@@ -1,0 +1,107 @@
+// Figure 5 regeneration: the whole software architecture, end to end.
+// Reports the per-stage traffic counts of a scripted evening (what entered
+// each box of the architecture diagram) and the platform's throughput:
+// datapath-forwarded packets vs controller round-trips, plus wall-clock
+// packets/second through the full stack.
+#include <chrono>
+#include <cstdio>
+
+#include "workload/scenario.hpp"
+
+using namespace hw;
+
+int main() {
+  std::printf("=== Figure 5: Homework router software architecture ===\n\n");
+
+  workload::HomeScenario::Config config;
+  config.router.admission = homework::DeviceRegistry::AdmissionDefault::PermitAll;
+  config.seed = 5;
+  workload::HomeScenario home(config);
+  home.populate_standard_home();
+  home.start();
+  home.start_dhcp_all();
+  home.wait_all_bound();
+  home.start_apps_all();
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  home.run_for(120 * kSecond);  // two minutes of family evening
+  const auto wall_end = std::chrono::steady_clock::now();
+  home.stop_apps_all();
+
+  auto& router = home.router();
+  const auto& dp = router.datapath();
+  const auto& ctl = router.controller();
+
+  // Per-port data-plane counters.
+  std::uint64_t rx_pkts = 0, tx_pkts = 0, rx_bytes = 0, tx_bytes = 0;
+  for (std::uint16_t port = 1; port <= 16; ++port) {
+    const auto* counters = dp.port_counters(port);
+    if (counters == nullptr) continue;
+    rx_pkts += counters->rx_packets;
+    tx_pkts += counters->tx_packets;
+    rx_bytes += counters->rx_bytes;
+    tx_bytes += counters->tx_bytes;
+  }
+
+  std::printf("-- per-component activity (120 virtual seconds) --\n");
+  std::printf("%-34s %14s\n", "openvswitch datapath rx packets",
+              std::to_string(rx_pkts).c_str());
+  std::printf("%-34s %14s\n", "openvswitch datapath tx packets",
+              std::to_string(tx_pkts).c_str());
+  std::printf("%-34s %14.1f\n", "datapath rx volume [MB]",
+              static_cast<double>(rx_bytes) / 1e6);
+  std::printf("%-34s %14llu\n", "table lookups",
+              static_cast<unsigned long long>(dp.table().stats().lookups));
+  std::printf("%-34s %14llu\n", "table matches",
+              static_cast<unsigned long long>(dp.table().stats().matches));
+  std::printf("%-34s %14llu\n", "packet-ins to NOX",
+              static_cast<unsigned long long>(dp.stats().packet_ins));
+  std::printf("%-34s %14llu\n", "flow-mods from NOX",
+              static_cast<unsigned long long>(dp.stats().flow_mods));
+  std::printf("%-34s %14llu\n", "packet-outs from NOX",
+              static_cast<unsigned long long>(dp.stats().packet_outs));
+  std::printf("%-34s %14llu\n", "dhcp transactions (acks)",
+              static_cast<unsigned long long>(router.dhcp().stats().acks));
+  std::printf("%-34s %14llu\n", "dns queries proxied",
+              static_cast<unsigned long long>(router.dns().stats().forwarded));
+  std::printf("%-34s %14llu\n", "flows admitted",
+              static_cast<unsigned long long>(
+                  router.forwarding().stats().flows_installed));
+  std::printf("%-34s %14llu\n", "hwdb Flows rows",
+              static_cast<unsigned long long>(
+                  router.event_export().stats().flow_rows));
+  std::printf("%-34s %14llu\n", "hwdb Links rows",
+              static_cast<unsigned long long>(
+                  router.event_export().stats().link_rows));
+  std::printf("%-34s %14llu\n", "hwdb Leases rows",
+              static_cast<unsigned long long>(
+                  router.event_export().stats().lease_rows));
+
+  // The architectural payoff: flows set up once, then forwarded in the
+  // datapath — controller involvement must be a small fraction.
+  const double ctrl_fraction =
+      rx_pkts == 0 ? 0
+                   : static_cast<double>(dp.stats().packet_ins) /
+                         static_cast<double>(rx_pkts);
+  std::printf("\n-- control/data plane split --\n");
+  std::printf("controller sees %.2f%% of packets; %.2f%% forwarded by flows\n",
+              ctrl_fraction * 100.0, (1.0 - ctrl_fraction) * 100.0);
+
+  const double wall_secs =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  std::printf("\n-- simulator throughput --\n");
+  std::printf("%.0f packets through the full stack in %.2f s wall "
+              "(%.0f pkts/s wall, %.0fx real time)\n",
+              static_cast<double>(rx_pkts), wall_secs,
+              static_cast<double>(rx_pkts) / wall_secs, 120.0 / wall_secs);
+
+  std::printf("\nshape checks: controller fraction well under 10%%; hwdb rows "
+              "grow with traffic;\n  every module in the diagram shows activity.\n");
+  std::printf("\ncontroller stats: %llu pktin / %llu flowmod / %llu pktout / "
+              "%llu errors\n",
+              static_cast<unsigned long long>(ctl.stats().packet_ins),
+              static_cast<unsigned long long>(ctl.stats().flow_mods),
+              static_cast<unsigned long long>(ctl.stats().packet_outs),
+              static_cast<unsigned long long>(ctl.stats().errors));
+  return 0;
+}

@@ -1,0 +1,123 @@
+// A satellite display talking to hwdb over its real UDP RPC interface —
+// the deployment shape of the paper's interfaces (the iPhone app and the
+// Arduino artifact were network clients of the router's measurement plane).
+//
+// This example runs the router simulation and, alongside it, a genuine
+// AF_INET UDP server/client pair on loopback: rows exported by the router
+// are re-inserted into a second "edge" database through the socket, queried
+// back over the socket, and a subscription pushes updates — exactly what a
+// remote display does.
+#include <cstdio>
+
+#include "hwdb/udp_transport.hpp"
+#include "workload/scenario.hpp"
+
+using namespace hw;
+
+int main() {
+  // 1. The home: router + devices + a minute of traffic.
+  workload::HomeScenario::Config config;
+  config.router.admission = homework::DeviceRegistry::AdmissionDefault::PermitAll;
+  workload::HomeScenario home(config);
+  home.populate_standard_home();
+  home.start();
+  home.start_dhcp_all();
+  if (!home.wait_all_bound()) {
+    std::fprintf(stderr, "scenario failed to lease devices\n");
+    return 1;
+  }
+  home.start_apps_all();
+  home.run_for(30 * kSecond);
+  home.stop_apps_all();
+
+  // 2. An "edge" hwdb reachable over real UDP on loopback (port auto-picked).
+  sim::EventLoop edge_loop;
+  hwdb::Database edge_db(edge_loop);
+  if (auto s = edge_db.create_table(
+          hwdb::Schema("Summary", {{"device", hwdb::ColumnType::Text},
+                                   {"app", hwdb::ColumnType::Text},
+                                   {"bytes", hwdb::ColumnType::Int}}),
+          1024);
+      !s.ok()) {
+    std::fprintf(stderr, "edge table: %s\n", s.error().message.c_str());
+    return 1;
+  }
+  hwdb::rpc::UdpServerTransport server(edge_db, 0);
+  if (!server.ok()) {
+    std::fprintf(stderr, "cannot bind UDP server\n");
+    return 1;
+  }
+  std::printf("edge hwdb listening on udp://127.0.0.1:%u\n\n", server.port());
+
+  hwdb::rpc::UdpClientTransport client(server.port());
+  if (!client.ok()) {
+    std::fprintf(stderr, "cannot connect UDP client\n");
+    return 1;
+  }
+
+  // Pump helper: serve both ends until quiescent.
+  auto pump = [&] {
+    for (int i = 0; i < 10; ++i) {
+      const auto a = server.poll();
+      const auto b = client.poll();
+      if (a + b == 0 && !client.wait(10)) break;
+    }
+  };
+
+  // 3. Subscribe the display to the edge table (push on every insert).
+  int pushes = 0;
+  client.client().on_push([&](std::uint64_t, const hwdb::ResultSet& rs) {
+    ++pushes;
+    if (!rs.rows.empty()) {
+      const auto& newest = rs.rows.back();
+      std::printf("  push #%d: %s %s %s bytes\n", pushes,
+                  newest[0].to_string().c_str(), newest[1].to_string().c_str(),
+                  newest[2].to_string().c_str());
+    }
+  });
+  client.client().subscribe("SELECT device, app, bytes FROM Summary [ROWS 1]",
+                            /*on_insert=*/true, 0,
+                            [](Result<std::uint64_t> id) {
+                              if (id.ok()) {
+                                std::printf("subscribed, id=%llu\n",
+                                            static_cast<unsigned long long>(
+                                                id.value()));
+                              }
+                            });
+  pump();
+
+  // 4. Export the router's per-device/app summary over the socket.
+  auto summary = home.router().db().query(
+      "SELECT device, app, sum(bytes) FROM Flows [RANGE 30 SECONDS] "
+      "GROUP BY device, app");
+  if (!summary.ok()) {
+    std::fprintf(stderr, "query failed: %s\n", summary.error().message.c_str());
+    return 1;
+  }
+  std::printf("\nexporting %zu summary rows over UDP RPC:\n",
+              summary.value().rows.size());
+  for (const auto& row : summary.value().rows) {
+    client.client().insert("Summary",
+                           {row[0], row[1], hwdb::Value{row[2].as_int()}});
+    pump();
+  }
+
+  // 5. Query it back through the socket, as the display would render it.
+  std::printf("\nremote query of the edge table:\n");
+  client.client().query(
+      "SELECT device, sum(bytes) FROM Summary GROUP BY device",
+      [](Result<hwdb::ResultSet> rs) {
+        if (!rs.ok()) {
+          std::printf("  error: %s\n", rs.error().message.c_str());
+          return;
+        }
+        for (const auto& row : rs.value().rows) {
+          std::printf("  %-20s %12s bytes\n", row[0].to_string().c_str(),
+                      row[1].to_string().c_str());
+        }
+      });
+  pump();
+
+  std::printf("\n%d subscription pushes received over the socket\n", pushes);
+  return pushes > 0 ? 0 : 1;
+}

@@ -1,0 +1,166 @@
+// An operator shell over the Homework router: the sort of CLI a downstream
+// integrator wires to the control API. Run with no arguments for a canned
+// demo session; run with `-` to feed commands on stdin.
+//
+// Commands:
+//   status                  router summary (GET /api/status)
+//   devices                 control-board view of all devices
+//   permit <mac> | deny <mac>
+//   name <mac> <label>
+//   interrogate <mac>       traffic/names/link summary for one device
+//   query <CQL>             raw hwdb query
+//   apps                    start every device's application mix
+//   run <seconds>           advance virtual time
+//   help, quit
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "ui/control_board.hpp"
+#include "util/strings.hpp"
+#include "workload/scenario.hpp"
+
+using namespace hw;
+
+namespace {
+
+class Shell {
+ public:
+  Shell() : home_(make_config()) {
+    home_.populate_standard_home();
+    home_.start();
+    home_.start_dhcp_all();
+    home_.run_for(3 * kSecond);
+  }
+
+  static workload::HomeScenario::Config make_config() {
+    workload::HomeScenario::Config config;
+    config.router.admission = homework::DeviceRegistry::AdmissionDefault::Pending;
+    return config;
+  }
+
+  bool execute(const std::string& line) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty() || cmd[0] == '#') return true;
+    std::printf("hw> %s\n", line.c_str());
+
+    if (cmd == "quit" || cmd == "exit") return false;
+    if (cmd == "help") {
+      std::printf("commands: status devices permit deny name interrogate "
+                  "query apps run help quit\n");
+    } else if (cmd == "status") {
+      http("GET", "/api/status", "");
+    } else if (cmd == "devices") {
+      ui::DhcpControlBoard board(home_.router().control_api());
+      board.refresh();
+      std::printf("%s", board.render().c_str());
+    } else if (cmd == "permit" || cmd == "deny") {
+      std::string mac;
+      in >> mac;
+      http("POST", "/api/devices/" + mac + "/" + cmd, "");
+      if (cmd == "permit") {
+        // A client that exhausted its DISCOVER retries while pending sits
+        // idle until the user pokes it (re-toggling Wi-Fi in real life).
+        for (auto& d : home_.devices()) {
+          if (d.host->mac().to_string() == mac &&
+              d.host->dhcp_state() == sim::DhcpClientState::Init) {
+            d.host->start_dhcp();
+          }
+        }
+      }
+      home_.run_for(5 * kSecond);  // give the client time to (re)lease
+    } else if (cmd == "name") {
+      std::string mac, label;
+      in >> mac;
+      std::getline(in, label);
+      Json body(JsonObject{});
+      body.set("name", std::string(trim(label)));
+      http("PUT", "/api/devices/" + mac + "/metadata", body.dump());
+    } else if (cmd == "interrogate") {
+      std::string mac;
+      in >> mac;
+      http("GET", "/api/devices/" + mac + "/interrogate", "");
+    } else if (cmd == "query") {
+      std::string q;
+      std::getline(in, q);
+      auto rs = home_.router().db().query(trim(q));
+      if (!rs.ok()) {
+        std::printf("error: %s\n", rs.error().message.c_str());
+      } else {
+        std::printf("%s", rs.value().to_string().c_str());
+      }
+    } else if (cmd == "apps") {
+      home_.start_apps_all();
+      std::printf("application mixes started\n");
+    } else if (cmd == "run") {
+      int seconds = 10;
+      in >> seconds;
+      home_.run_for(static_cast<Duration>(seconds) * kSecond);
+      std::printf("advanced to t=%llus\n",
+                  static_cast<unsigned long long>(home_.loop().now() / kSecond));
+    } else {
+      std::printf("unknown command '%s' (try: help)\n", cmd.c_str());
+    }
+    std::printf("\n");
+    return true;
+  }
+
+  std::string mac_of(const std::string& device) {
+    auto* d = home_.device(device);
+    return d == nullptr ? "" : d->host->mac().to_string();
+  }
+
+ private:
+  void http(const std::string& method, const std::string& path,
+            const std::string& body) {
+    homework::HttpRequest req;
+    req.method = method;
+    // Split query string if present.
+    const auto qpos = path.find('?');
+    req.path = qpos == std::string::npos ? path : path.substr(0, qpos);
+    req.body = body;
+    const auto resp = home_.router().control_api().handle(req);
+    std::printf("[%d]\n", resp.status);
+    auto parsed = Json::parse(resp.body);
+    std::printf("%s\n", parsed.ok() ? parsed.value().dump(2).c_str()
+                                    : resp.body.c_str());
+  }
+
+  workload::HomeScenario home_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Shell shell;
+
+  if (argc > 1 && std::string(argv[1]) == "-") {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (!shell.execute(line)) break;
+    }
+    return 0;
+  }
+
+  // Canned demo session: admit Tom's laptop, run the evening, inspect it.
+  const std::string tom = shell.mac_of("toms-mac-air");
+  const std::vector<std::string> script = {
+      "status",
+      "devices",
+      "permit " + tom,
+      "name " + tom + " Tom's Mac Air",
+      "apps",
+      "run 30",
+      "interrogate " + tom,
+      "query SELECT device, app, sum(bytes) FROM Flows [RANGE 30 SECONDS] "
+      "GROUP BY device, app",
+      "devices",
+      "quit",
+  };
+  for (const auto& line : script) {
+    if (!shell.execute(line)) break;
+  }
+  return 0;
+}

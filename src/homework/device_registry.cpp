@@ -1,0 +1,128 @@
+#include "homework/device_registry.hpp"
+
+namespace hw::homework {
+
+const char* to_string(DeviceState s) {
+  switch (s) {
+    case DeviceState::Pending: return "pending";
+    case DeviceState::Permitted: return "permitted";
+    case DeviceState::Denied: return "denied";
+  }
+  return "?";
+}
+
+const char* to_string(RegistryEvent e) {
+  switch (e) {
+    case RegistryEvent::Discovered: return "discovered";
+    case RegistryEvent::StateChanged: return "state_changed";
+    case RegistryEvent::LeaseGranted: return "lease_granted";
+    case RegistryEvent::LeaseRenewed: return "lease_renewed";
+    case RegistryEvent::LeaseReleased: return "lease_released";
+    case RegistryEvent::LeaseExpired: return "lease_expired";
+    case RegistryEvent::MetadataChanged: return "metadata_changed";
+  }
+  return "?";
+}
+
+DeviceRecord* DeviceRegistry::touch(MacAddress mac, Timestamp now,
+                                    const std::string& hostname) {
+  auto it = devices_.find(mac);
+  if (it == devices_.end()) {
+    DeviceRecord rec;
+    rec.mac = mac;
+    rec.state = default_ == AdmissionDefault::PermitAll ? DeviceState::Permitted
+                                                        : DeviceState::Pending;
+    rec.hostname = hostname;
+    rec.first_seen = now;
+    rec.last_seen = now;
+    rec.dhcp_requests = 1;
+    it = devices_.emplace(mac, std::move(rec)).first;
+    emit(RegistryEvent::Discovered, it->second);
+    return &it->second;
+  }
+  it->second.last_seen = now;
+  ++it->second.dhcp_requests;
+  if (!hostname.empty()) it->second.hostname = hostname;
+  return &it->second;
+}
+
+const DeviceRecord* DeviceRegistry::find(MacAddress mac) const {
+  auto it = devices_.find(mac);
+  return it == devices_.end() ? nullptr : &it->second;
+}
+
+DeviceRecord* DeviceRegistry::find(MacAddress mac) {
+  auto it = devices_.find(mac);
+  return it == devices_.end() ? nullptr : &it->second;
+}
+
+const DeviceRecord* DeviceRegistry::find_by_ip(Ipv4Address ip) const {
+  for (const auto& [_, rec] : devices_) {
+    if (rec.lease && rec.lease->ip == ip) return &rec;
+  }
+  return nullptr;
+}
+
+std::vector<const DeviceRecord*> DeviceRegistry::all() const {
+  std::vector<const DeviceRecord*> out;
+  out.reserve(devices_.size());
+  for (const auto& [_, rec] : devices_) out.push_back(&rec);
+  return out;
+}
+
+bool DeviceRegistry::set_state(MacAddress mac, DeviceState state, Timestamp now) {
+  DeviceRecord* rec = find(mac);
+  if (rec == nullptr) {
+    // Allow pre-authorisation of devices that have not appeared yet.
+    DeviceRecord fresh;
+    fresh.mac = mac;
+    fresh.state = state;
+    fresh.first_seen = now;
+    fresh.last_seen = now;
+    auto [it, _] = devices_.emplace(mac, std::move(fresh));
+    emit(RegistryEvent::StateChanged, it->second);
+    return true;
+  }
+  if (rec->state == state) return false;
+  rec->state = state;
+  rec->last_seen = now;
+  emit(RegistryEvent::StateChanged, *rec);
+  return true;
+}
+
+bool DeviceRegistry::set_name(MacAddress mac, std::string name, Timestamp now) {
+  DeviceRecord* rec = find(mac);
+  if (rec == nullptr) return false;
+  rec->name = std::move(name);
+  rec->last_seen = now;
+  emit(RegistryEvent::MetadataChanged, *rec);
+  return true;
+}
+
+void DeviceRegistry::record_lease(MacAddress mac, Lease lease, bool renewal,
+                                  Timestamp now) {
+  DeviceRecord* rec = find(mac);
+  if (rec == nullptr) rec = touch(mac, now, lease.hostname);
+  rec->lease = std::move(lease);
+  rec->last_seen = now;
+  emit(renewal ? RegistryEvent::LeaseRenewed : RegistryEvent::LeaseGranted, *rec);
+}
+
+void DeviceRegistry::clear_lease(MacAddress mac, bool expired, Timestamp now) {
+  DeviceRecord* rec = find(mac);
+  if (rec == nullptr || !rec->lease) return;
+  rec->lease.reset();
+  rec->last_seen = now;
+  emit(expired ? RegistryEvent::LeaseExpired : RegistryEvent::LeaseReleased, *rec);
+}
+
+void DeviceRegistry::note_location(MacAddress mac, std::uint16_t port) {
+  DeviceRecord* rec = find(mac);
+  if (rec != nullptr) rec->port = port;
+}
+
+void DeviceRegistry::emit(RegistryEvent e, const DeviceRecord& rec) {
+  for (const auto& listener : listeners_) listener(e, rec);
+}
+
+}  // namespace hw::homework

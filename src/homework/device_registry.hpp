@@ -1,0 +1,108 @@
+// Shared device state: every device ever seen on the home network, its
+// admission state (the pending/permitted/denied categories of the Figure 3
+// control interface), user-supplied metadata, and its current lease if any.
+// The DHCP server, DNS proxy, forwarding module and control API all consult
+// and update this registry.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/addr.hpp"
+#include "util/types.hpp"
+
+namespace hw::homework {
+
+/// Admission state driven by the Figure 3 drag-to-category interaction.
+enum class DeviceState {
+  Pending,    // detected, awaiting a decision
+  Permitted,  // may obtain a lease and use the network
+  Denied,     // DHCP NAKs, traffic dropped
+};
+
+const char* to_string(DeviceState s);
+
+struct Lease {
+  Ipv4Address ip;
+  Timestamp granted_at = 0;
+  Timestamp expires_at = 0;
+  std::string hostname;
+};
+
+struct DeviceRecord {
+  MacAddress mac;
+  DeviceState state = DeviceState::Pending;
+  std::string name;      // user-supplied metadata ("Tom's Mac Air")
+  std::string hostname;  // self-reported via DHCP option 12
+  std::optional<Lease> lease;
+  /// Switch port the device was last seen on (learned from packet-ins).
+  std::optional<std::uint16_t> port;
+  Timestamp first_seen = 0;
+  Timestamp last_seen = 0;
+  std::uint64_t dhcp_requests = 0;
+};
+
+/// Registry change events, also exported to hwdb's Leases table.
+enum class RegistryEvent {
+  Discovered,     // first DHCP message from a new MAC
+  StateChanged,   // pending/permitted/denied transition
+  LeaseGranted,
+  LeaseRenewed,
+  LeaseReleased,
+  LeaseExpired,
+  MetadataChanged,
+};
+
+const char* to_string(RegistryEvent e);
+
+class DeviceRegistry {
+ public:
+  using Listener =
+      std::function<void(RegistryEvent, const DeviceRecord&)>;
+
+  /// Default admission for never-seen devices (the situated display's
+  /// deployment used Pending so users decide; PermitAll matches a stock
+  /// home router).
+  enum class AdmissionDefault { Pending, PermitAll };
+
+  explicit DeviceRegistry(AdmissionDefault def = AdmissionDefault::Pending)
+      : default_(def) {}
+
+  /// Notes a DHCP sighting of `mac`, creating the record if new. Returns the
+  /// record (never null).
+  DeviceRecord* touch(MacAddress mac, Timestamp now, const std::string& hostname);
+
+  [[nodiscard]] const DeviceRecord* find(MacAddress mac) const;
+  DeviceRecord* find(MacAddress mac);
+  [[nodiscard]] const DeviceRecord* find_by_ip(Ipv4Address ip) const;
+  [[nodiscard]] std::vector<const DeviceRecord*> all() const;
+  [[nodiscard]] std::size_t size() const { return devices_.size(); }
+
+  /// Admission decisions (control API / Figure 3 board).
+  bool set_state(MacAddress mac, DeviceState state, Timestamp now);
+  bool set_name(MacAddress mac, std::string name, Timestamp now);
+
+  /// Lease lifecycle (DHCP server).
+  void record_lease(MacAddress mac, Lease lease, bool renewal, Timestamp now);
+  void clear_lease(MacAddress mac, bool expired, Timestamp now);
+
+  /// Notes the switch port a packet from `mac` arrived on (no event).
+  void note_location(MacAddress mac, std::uint16_t port);
+
+  void add_listener(Listener listener) { listeners_.push_back(std::move(listener)); }
+
+  [[nodiscard]] AdmissionDefault admission_default() const { return default_; }
+  void set_admission_default(AdmissionDefault def) { default_ = def; }
+
+ private:
+  void emit(RegistryEvent e, const DeviceRecord& rec);
+
+  AdmissionDefault default_;
+  std::map<MacAddress, DeviceRecord> devices_;
+  std::vector<Listener> listeners_;
+};
+
+}  // namespace hw::homework

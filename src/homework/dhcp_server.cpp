@@ -1,0 +1,217 @@
+#include "homework/dhcp_server.hpp"
+
+#include "net/packet.hpp"
+#include "util/logging.hpp"
+
+namespace hw::homework {
+namespace {
+constexpr std::string_view kLog = "dhcp";
+}  // namespace
+
+DhcpServer::DhcpServer(Config config, DeviceRegistry& registry)
+    : Component(kName), config_(config), registry_(registry) {}
+
+DhcpServer::~DhcpServer() = default;
+
+void DhcpServer::install(nox::Controller& ctl) {
+  Component::install(ctl);
+  expiry_timer_ = std::make_unique<sim::PeriodicTimer>(
+      ctl.loop(), config_.expiry_sweep, [this] { sweep_expiry(); });
+  expiry_timer_->start();
+}
+
+void DhcpServer::handle_datapath_join(nox::DatapathId dpid,
+                                      const ofp::FeaturesReply&) {
+  // Client→server DHCP traffic comes to the controller, highest priority.
+  ofp::Match m = ofp::Match::any();
+  m.with_dl_type(static_cast<std::uint16_t>(net::EtherType::Ipv4))
+      .with_nw_proto(static_cast<std::uint8_t>(net::IpProto::Udp))
+      .with_tp_src(net::kDhcpClientPort)
+      .with_tp_dst(net::kDhcpServerPort);
+  controller().install_flow(dpid, m, ofp::send_to_controller(1024), 0xffff);
+}
+
+nox::Disposition DhcpServer::handle_packet_in(const nox::PacketInEvent& ev) {
+  if (!ev.packet.is_dhcp() || !ev.packet.udp ||
+      ev.packet.udp->dst_port != net::kDhcpServerPort) {
+    return nox::Disposition::Continue;
+  }
+  auto msg = net::DhcpMessage::parse(ev.packet.l4_payload);
+  if (!msg) {
+    HW_LOG_WARN(kLog, "bad DHCP payload: %s", msg.error().message.c_str());
+    return nox::Disposition::Stop;
+  }
+  process(ev.dpid, ev.msg.in_port, ev.packet, msg.value());
+  return nox::Disposition::Stop;
+}
+
+void DhcpServer::process(nox::DatapathId dpid, std::uint16_t in_port,
+                         const net::ParsedPacket& packet,
+                         const net::DhcpMessage& msg) {
+  const Timestamp now = controller().loop().now();
+  DeviceRecord* rec = registry_.touch(msg.chaddr, now, msg.hostname);
+  registry_.note_location(msg.chaddr, in_port);
+  (void)packet;
+
+  switch (msg.message_type) {
+    case net::DhcpMessageType::Discover: {
+      ++stats_.discovers;
+      if (rec->state == DeviceState::Denied) {
+        ++stats_.naks;
+        send_reply(dpid, in_port,
+                   make_reply(msg, net::DhcpMessageType::Nak, Ipv4Address::any()),
+                   msg.chaddr);
+        return;
+      }
+      if (rec->state == DeviceState::Pending) {
+        // Silent: the device shows up on the control board as "requesting
+        // access" and retries until the user decides (Figure 3).
+        ++stats_.ignored_pending;
+        return;
+      }
+      auto ip = allocate(msg.chaddr);
+      if (!ip) {
+        ++stats_.pool_exhausted;
+        HW_LOG_WARN(kLog, "address pool exhausted for %s",
+                    msg.chaddr.to_string().c_str());
+        return;
+      }
+      ++stats_.offers;
+      send_reply(dpid, in_port,
+                 make_reply(msg, net::DhcpMessageType::Offer, *ip), msg.chaddr);
+      return;
+    }
+
+    case net::DhcpMessageType::Request: {
+      ++stats_.requests;
+      if (rec->state != DeviceState::Permitted) {
+        ++stats_.naks;
+        send_reply(dpid, in_port,
+                   make_reply(msg, net::DhcpMessageType::Nak, Ipv4Address::any()),
+                   msg.chaddr);
+        return;
+      }
+      // The requested address must match our allocation (either from the
+      // preceding OFFER or a renewal of the active lease in ciaddr).
+      auto allocated = allocation(msg.chaddr);
+      const Ipv4Address wanted =
+          msg.requested_ip.value_or(msg.ciaddr);
+      if (!allocated || wanted.is_zero() || wanted != *allocated) {
+        ++stats_.naks;
+        send_reply(dpid, in_port,
+                   make_reply(msg, net::DhcpMessageType::Nak, Ipv4Address::any()),
+                   msg.chaddr);
+        return;
+      }
+      const bool renewal = rec->lease.has_value();
+      Lease lease;
+      lease.ip = *allocated;
+      lease.granted_at = now;
+      lease.expires_at = now + static_cast<Duration>(config_.lease_secs) * kSecond;
+      lease.hostname = msg.hostname;
+      registry_.record_lease(msg.chaddr, lease, renewal, now);
+      ++stats_.acks;
+      send_reply(dpid, in_port,
+                 make_reply(msg, net::DhcpMessageType::Ack, *allocated),
+                 msg.chaddr);
+      return;
+    }
+
+    case net::DhcpMessageType::Release: {
+      ++stats_.releases;
+      registry_.clear_lease(msg.chaddr, /*expired=*/false, now);
+      return;
+    }
+
+    case net::DhcpMessageType::Decline: {
+      ++stats_.declines;
+      // The client saw an address conflict; blacklist the address.
+      if (auto it = allocations_.find(msg.chaddr); it != allocations_.end()) {
+        declined_.insert(it->second);
+        allocations_.erase(it);
+      }
+      registry_.clear_lease(msg.chaddr, /*expired=*/false, now);
+      return;
+    }
+
+    default:
+      return;  // Inform etc. unsupported
+  }
+}
+
+net::DhcpMessage DhcpServer::make_reply(const net::DhcpMessage& req,
+                                        net::DhcpMessageType type,
+                                        Ipv4Address yiaddr) const {
+  net::DhcpMessage reply;
+  reply.is_request = false;
+  reply.xid = req.xid;
+  reply.chaddr = req.chaddr;
+  reply.message_type = type;
+  reply.server_identifier = config_.server_ip;
+  if (type == net::DhcpMessageType::Offer || type == net::DhcpMessageType::Ack) {
+    reply.yiaddr = yiaddr;
+    reply.siaddr = config_.server_ip;
+    reply.lease_time_secs = config_.lease_secs;
+    // Isolation: a /32 mask leaves the client no on-link destinations, so
+    // everything — including "local" peers — is sent to the router.
+    reply.subnet_mask = config_.isolate ? Ipv4Address{0xffffffffu}
+                                        : config_.subnet.mask();
+    reply.router = config_.server_ip;
+    reply.dns_servers = {config_.server_ip};
+  }
+  return reply;
+}
+
+void DhcpServer::send_reply(nox::DatapathId dpid, std::uint16_t port,
+                            const net::DhcpMessage& reply, MacAddress client_mac) {
+  const Bytes payload = reply.serialize();
+  const Bytes frame = net::build_dhcp_frame(
+      config_.router_mac, client_mac, config_.server_ip,
+      Ipv4Address::broadcast(), /*from_client=*/false, payload);
+  ofp::PacketOut po;
+  po.in_port = ofp::port_no(ofp::Port::None);
+  po.actions = ofp::output_to(port);
+  po.data = frame;
+  controller().send_packet_out(dpid, po);
+}
+
+std::optional<Ipv4Address> DhcpServer::allocation(MacAddress mac) const {
+  auto it = allocations_.find(mac);
+  return it == allocations_.end() ? std::nullopt
+                                  : std::optional<Ipv4Address>(it->second);
+}
+
+std::optional<Ipv4Address> DhcpServer::allocate(MacAddress mac) {
+  if (auto existing = allocation(mac)) return existing;
+  // Linear scan of the pool for a free address. Home pools are small (~100
+  // addresses) so this stays trivially fast.
+  for (std::uint32_t a = config_.pool_start.value(); a <= config_.pool_end.value();
+       ++a) {
+    const Ipv4Address candidate{a};
+    if (declined_.count(candidate) != 0) continue;
+    bool taken = false;
+    for (const auto& [_, ip] : allocations_) {
+      if (ip == candidate) {
+        taken = true;
+        break;
+      }
+    }
+    if (!taken) {
+      allocations_[mac] = candidate;
+      return candidate;
+    }
+  }
+  return std::nullopt;
+}
+
+void DhcpServer::sweep_expiry() {
+  const Timestamp now = controller().loop().now();
+  for (const DeviceRecord* rec : registry_.all()) {
+    if (rec->lease && rec->lease->expires_at <= now) {
+      ++stats_.expired;
+      registry_.clear_lease(rec->mac, /*expired=*/true, now);
+    }
+  }
+}
+
+}  // namespace hw::homework

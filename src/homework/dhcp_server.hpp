@@ -1,0 +1,82 @@
+// The Homework DHCP server NOX module. "The first manages DHCP allocations
+// to ensure that all traffic flows are visible to software running on the
+// router, avoiding direct Ethernet-layer communication between devices."
+// (paper §2). Admission is gated on the DeviceRegistry state that the
+// Figure 3 control interface manipulates; with isolation enabled, leases
+// carry a /32 netmask so every client routes all traffic via the router.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "homework/device_registry.hpp"
+#include "net/dhcp.hpp"
+#include "nox/component.hpp"
+#include "nox/controller.hpp"
+
+namespace hw::homework {
+
+struct DhcpServerStats {
+  std::uint64_t discovers = 0;
+  std::uint64_t offers = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t acks = 0;
+  std::uint64_t naks = 0;
+  std::uint64_t releases = 0;
+  std::uint64_t declines = 0;
+  std::uint64_t ignored_pending = 0;  // silent treatment of pending devices
+  std::uint64_t pool_exhausted = 0;
+  std::uint64_t expired = 0;
+};
+
+class DhcpServer final : public nox::Component {
+ public:
+  struct Config {
+    Ipv4Address server_ip{192, 168, 1, 1};
+    Ipv4Subnet subnet{Ipv4Address{192, 168, 1, 0}, 24};
+    Ipv4Address pool_start{192, 168, 1, 100};
+    Ipv4Address pool_end{192, 168, 1, 199};
+    std::uint32_t lease_secs = 3600;
+    MacAddress router_mac = MacAddress::from_index(0xffffff);
+    /// Router-mediated isolation: /32 netmask in leases.
+    bool isolate = true;
+    Duration expiry_sweep = 5 * kSecond;
+  };
+
+  static constexpr const char* kName = "dhcp-server";
+
+  DhcpServer(Config config, DeviceRegistry& registry);
+  ~DhcpServer() override;
+
+  void install(nox::Controller& ctl) override;
+  void handle_datapath_join(nox::DatapathId dpid,
+                            const ofp::FeaturesReply& features) override;
+  nox::Disposition handle_packet_in(const nox::PacketInEvent& ev) override;
+
+  [[nodiscard]] const DhcpServerStats& stats() const { return stats_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+  /// Current address allocation (MAC keyed), including offered-not-acked.
+  [[nodiscard]] std::optional<Ipv4Address> allocation(MacAddress mac) const;
+  /// Runs one lease-expiry sweep immediately (normally timer-driven).
+  void sweep_expiry();
+
+ private:
+  void process(nox::DatapathId dpid, std::uint16_t in_port,
+               const net::ParsedPacket& packet, const net::DhcpMessage& msg);
+  void send_reply(nox::DatapathId dpid, std::uint16_t port,
+                  const net::DhcpMessage& reply, MacAddress client_mac);
+  net::DhcpMessage make_reply(const net::DhcpMessage& req,
+                              net::DhcpMessageType type, Ipv4Address yiaddr) const;
+  /// Sticky allocation: reuse the previous address when possible.
+  std::optional<Ipv4Address> allocate(MacAddress mac);
+
+  Config config_;
+  DeviceRegistry& registry_;
+  DhcpServerStats stats_;
+  std::map<MacAddress, Ipv4Address> allocations_;
+  std::set<Ipv4Address> declined_;  // addresses a client reported in use
+  std::unique_ptr<sim::PeriodicTimer> expiry_timer_;
+};
+
+}  // namespace hw::homework

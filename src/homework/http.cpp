@@ -1,0 +1,254 @@
+#include "homework/http.hpp"
+
+#include <charconv>
+
+#include "util/strings.hpp"
+
+namespace hw::homework {
+namespace {
+
+std::string url_decode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      unsigned v = 0;
+      auto [p, ec] = std::from_chars(s.data() + i + 1, s.data() + i + 3, v, 16);
+      if (ec == std::errc{} && p == s.data() + i + 3) {
+        out += static_cast<char>(v);
+        i += 2;
+        continue;
+      }
+    }
+    out += s[i] == '+' ? ' ' : s[i];
+  }
+  return out;
+}
+
+std::map<std::string, std::string> parse_query(std::string_view qs) {
+  std::map<std::string, std::string> out;
+  for (const auto& pair : split(qs, '&')) {
+    if (pair.empty()) continue;
+    const auto eq = pair.find('=');
+    if (eq == std::string::npos) {
+      out[url_decode(pair)] = "";
+    } else {
+      out[url_decode(pair.substr(0, eq))] = url_decode(pair.substr(eq + 1));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* http_status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 500: return "Internal Server Error";
+    default: return "Unknown";
+  }
+}
+
+Result<HttpRequest> HttpRequest::parse(std::string_view text) {
+  const auto header_end = text.find("\r\n\r\n");
+  if (header_end == std::string_view::npos) {
+    return make_error("http: incomplete request (no blank line)");
+  }
+  const std::string_view head = text.substr(0, header_end);
+  const auto first_line_end = head.find("\r\n");
+  const std::string_view start_line =
+      first_line_end == std::string_view::npos ? head
+                                               : head.substr(0, first_line_end);
+
+  const auto parts = split_whitespace(start_line);
+  if (parts.size() != 3) return make_error("http: malformed request line");
+  HttpRequest req;
+  req.method = to_upper(parts[0]);
+  if (parts[2].rfind("HTTP/1.", 0) != 0) {
+    return make_error("http: unsupported version " + parts[2]);
+  }
+
+  std::string_view target = parts[1];
+  const auto qpos = target.find('?');
+  if (qpos != std::string_view::npos) {
+    req.query = parse_query(target.substr(qpos + 1));
+    target = target.substr(0, qpos);
+  }
+  req.path = url_decode(target);
+  if (req.path.empty() || req.path[0] != '/') {
+    return make_error("http: target must be absolute path");
+  }
+
+  // Headers.
+  if (first_line_end != std::string_view::npos) {
+    std::string_view rest = head.substr(first_line_end + 2);
+    while (!rest.empty()) {
+      const auto line_end = rest.find("\r\n");
+      const std::string_view line =
+          line_end == std::string_view::npos ? rest : rest.substr(0, line_end);
+      const auto colon = line.find(':');
+      if (colon == std::string_view::npos) return make_error("http: bad header");
+      req.headers[to_lower(trim(line.substr(0, colon)))] =
+          std::string(trim(line.substr(colon + 1)));
+      if (line_end == std::string_view::npos) break;
+      rest = rest.substr(line_end + 2);
+    }
+  }
+
+  // Body.
+  std::size_t content_length = 0;
+  if (auto it = req.headers.find("content-length"); it != req.headers.end()) {
+    auto [p, ec] = std::from_chars(it->second.data(),
+                                   it->second.data() + it->second.size(),
+                                   content_length);
+    if (ec != std::errc{}) return make_error("http: bad content-length");
+  }
+  const std::string_view body = text.substr(header_end + 4);
+  if (body.size() < content_length) return make_error("http: truncated body");
+  req.body = std::string(body.substr(0, content_length));
+  return req;
+}
+
+std::string HttpRequest::serialize() const {
+  std::string out = method + " " + path;
+  if (!query.empty()) {
+    out += "?";
+    bool first = true;
+    for (const auto& [k, v] : query) {
+      if (!first) out += "&";
+      first = false;
+      out += k + "=" + v;
+    }
+  }
+  out += " HTTP/1.1\r\n";
+  bool has_length = false;
+  for (const auto& [k, v] : headers) {
+    out += k + ": " + v + "\r\n";
+    if (iequals(k, "content-length")) has_length = true;
+  }
+  if (!has_length) {
+    out += "content-length: " + std::to_string(body.size()) + "\r\n";
+  }
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+HttpResponse HttpResponse::json(const Json& value, int status) {
+  HttpResponse resp;
+  resp.status = status;
+  resp.headers["content-type"] = "application/json";
+  resp.body = value.dump();
+  return resp;
+}
+
+HttpResponse HttpResponse::text(std::string body, int status) {
+  HttpResponse resp;
+  resp.status = status;
+  resp.headers["content-type"] = "text/plain";
+  resp.body = std::move(body);
+  return resp;
+}
+
+HttpResponse HttpResponse::error(int status, const std::string& message) {
+  Json j(JsonObject{});
+  j.set("error", message);
+  return json(j, status);
+}
+
+std::string HttpResponse::serialize() const {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                    http_status_reason(status) + "\r\n";
+  for (const auto& [k, v] : headers) out += k + ": " + v + "\r\n";
+  out += "content-length: " + std::to_string(body.size()) + "\r\n\r\n";
+  out += body;
+  return out;
+}
+
+Result<HttpResponse> HttpResponse::parse(std::string_view text) {
+  const auto header_end = text.find("\r\n\r\n");
+  if (header_end == std::string_view::npos) {
+    return make_error("http: incomplete response");
+  }
+  const std::string_view head = text.substr(0, header_end);
+  const auto first_line_end = head.find("\r\n");
+  const std::string_view status_line =
+      first_line_end == std::string_view::npos ? head
+                                               : head.substr(0, first_line_end);
+  const auto parts = split_whitespace(status_line);
+  if (parts.size() < 2 || parts[0].rfind("HTTP/1.", 0) != 0) {
+    return make_error("http: malformed status line");
+  }
+  HttpResponse resp;
+  auto [p, ec] = std::from_chars(parts[1].data(),
+                                 parts[1].data() + parts[1].size(), resp.status);
+  if (ec != std::errc{}) return make_error("http: bad status code");
+
+  if (first_line_end != std::string_view::npos) {
+    std::string_view rest = head.substr(first_line_end + 2);
+    while (!rest.empty()) {
+      const auto line_end = rest.find("\r\n");
+      const std::string_view line =
+          line_end == std::string_view::npos ? rest : rest.substr(0, line_end);
+      const auto colon = line.find(':');
+      if (colon != std::string_view::npos) {
+        resp.headers[to_lower(trim(line.substr(0, colon)))] =
+            std::string(trim(line.substr(colon + 1)));
+      }
+      if (line_end == std::string_view::npos) break;
+      rest = rest.substr(line_end + 2);
+    }
+  }
+  resp.body = std::string(text.substr(header_end + 4));
+  return resp;
+}
+
+void HttpRouter::add(std::string method, std::string pattern, Handler handler) {
+  Route route;
+  route.method = to_upper(method);
+  for (const auto& seg : split(pattern, '/')) {
+    if (!seg.empty()) route.segments.push_back(seg);
+  }
+  route.handler = std::move(handler);
+  routes_.push_back(std::move(route));
+}
+
+bool HttpRouter::match(const Route& route, const std::string& path,
+                       Params& params) {
+  std::vector<std::string> segments;
+  for (const auto& seg : split(path, '/')) {
+    if (!seg.empty()) segments.push_back(seg);
+  }
+  if (segments.size() != route.segments.size()) return false;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const std::string& pat = route.segments[i];
+    if (!pat.empty() && pat[0] == ':') {
+      params[pat.substr(1)] = segments[i];
+    } else if (!iequals(pat, segments[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+HttpResponse HttpRouter::handle(const HttpRequest& req) const {
+  bool path_matched = false;
+  for (const auto& route : routes_) {
+    Params params;
+    if (!match(route, req.path, params)) continue;
+    path_matched = true;
+    if (route.method != req.method) continue;
+    return route.handler(req, params);
+  }
+  return path_matched ? HttpResponse::error(405, "method not allowed")
+                      : HttpResponse::not_found();
+}
+
+}  // namespace hw::homework

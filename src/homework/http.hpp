@@ -1,0 +1,75 @@
+// Minimal HTTP/1.1 message codec and path router for the control API's
+// "simple RESTful web interface" (paper §2). Transport-independent: the
+// router maps a parsed request to a response; tests and in-home interfaces
+// drive it directly, and the wire codec keeps it faithful to HTTP clients.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/result.hpp"
+
+namespace hw::homework {
+
+struct HttpRequest {
+  std::string method = "GET";
+  std::string path = "/";                       // decoded, no query string
+  std::map<std::string, std::string> query;     // ?k=v&k2=v2
+  std::map<std::string, std::string> headers;   // lower-case keys
+  std::string body;
+
+  /// Parses a full HTTP/1.1 request (start-line + headers + body per
+  /// Content-Length).
+  static Result<HttpRequest> parse(std::string_view text);
+  [[nodiscard]] std::string serialize() const;
+
+  /// Parses the body as JSON.
+  [[nodiscard]] Result<Json> json() const { return Json::parse(body); }
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  static HttpResponse json(const Json& value, int status = 200);
+  static HttpResponse text(std::string body, int status = 200);
+  static HttpResponse error(int status, const std::string& message);
+  static HttpResponse not_found() { return error(404, "not found"); }
+  static HttpResponse bad_request(const std::string& msg) {
+    return error(400, msg);
+  }
+
+  [[nodiscard]] std::string serialize() const;
+  static Result<HttpResponse> parse(std::string_view text);
+  [[nodiscard]] Result<Json> json_body() const { return Json::parse(body); }
+};
+
+const char* http_status_reason(int status);
+
+/// Route patterns use ":name" segments: "/api/devices/:mac/permit".
+class HttpRouter {
+ public:
+  using Params = std::map<std::string, std::string>;
+  using Handler =
+      std::function<HttpResponse(const HttpRequest&, const Params&)>;
+
+  void add(std::string method, std::string pattern, Handler handler);
+  [[nodiscard]] HttpResponse handle(const HttpRequest& req) const;
+  [[nodiscard]] std::size_t route_count() const { return routes_.size(); }
+
+ private:
+  struct Route {
+    std::string method;
+    std::vector<std::string> segments;  // ":x" marks a parameter
+    Handler handler;
+  };
+  static bool match(const Route& route, const std::string& path, Params& params);
+
+  std::vector<Route> routes_;
+};
+
+}  // namespace hw::homework

@@ -1,0 +1,182 @@
+#include "homework/router.hpp"
+
+#include <algorithm>
+
+namespace hw::homework {
+
+/// Counts wireless transmissions (for the Links table's retry signal) on the
+/// way from a device's link into its datapath port.
+class HomeworkRouter::WirelessIngress final : public sim::FrameSink {
+ public:
+  WirelessIngress(WirelessMap& map, MacAddress mac, sim::FrameSink* next)
+      : map_(map), mac_(mac), next_(next) {}
+
+  void deliver(const Bytes& frame) override {
+    map_.note_transmission(mac_);
+    next_->deliver(frame);
+  }
+
+ private:
+  WirelessMap& map_;
+  MacAddress mac_;
+  sim::FrameSink* next_;
+};
+
+/// Records frames at a named capture point, then passes them along.
+class HomeworkRouter::TraceShim final : public sim::FrameSink {
+ public:
+  TraceShim(sim::EventLoop& loop, sim::Trace& trace, std::string point,
+            sim::FrameSink* next)
+      : loop_(loop), trace_(trace), point_(std::move(point)), next_(next) {}
+
+  void deliver(const Bytes& frame) override {
+    trace_.record(loop_.now(), point_, frame);
+    if (next_ != nullptr) next_->deliver(frame);
+  }
+
+ private:
+  sim::EventLoop& loop_;
+  sim::Trace& trace_;
+  std::string point_;
+  sim::FrameSink* next_;
+};
+
+HomeworkRouter::HomeworkRouter(sim::EventLoop& loop, Rng& rng, Config config)
+    : loop_(loop), rng_(rng), config_(config) {
+  db_ = std::make_unique<hwdb::Database>(loop_);
+  registry_ = std::make_unique<DeviceRegistry>(config_.admission);
+  policy_ = std::make_unique<policy::PolicyEngine>([this] { return loop_.now(); });
+  wireless_ = std::make_unique<WirelessMap>(config_.wireless, rng_,
+                                            config_.ap_position);
+
+  datapath_ = std::make_unique<ofp::Datapath>(loop_, config_.datapath);
+  connection_ =
+      std::make_unique<ofp::InProcConnection>(loop_, config_.channel_latency);
+  controller_ = std::make_unique<nox::Controller>(loop_);
+
+  upstream_ = std::make_unique<Upstream>(loop_, config_.upstream);
+
+  // Modules (controller owns them; keep typed pointers for access).
+  DhcpServer::Config dhcp_config;
+  dhcp_config.server_ip = config_.router_ip;
+  dhcp_config.subnet = config_.subnet;
+  dhcp_config.pool_start = config_.pool_start;
+  dhcp_config.pool_end = config_.pool_end;
+  dhcp_config.lease_secs = config_.lease_secs;
+  dhcp_config.router_mac = config_.router_mac;
+  dhcp_config.isolate = config_.isolate;
+  auto dhcp = std::make_unique<DhcpServer>(dhcp_config, *registry_);
+  dhcp_ = dhcp.get();
+
+  DnsProxy::Config dns_config;
+  dns_config.router_ip = config_.router_ip;
+  dns_config.router_mac = config_.router_mac;
+  dns_config.upstream_dns = config_.upstream.dns_ip;
+  dns_config.uplink_port = config_.uplink_port;
+  dns_config.upstream_gw_mac = config_.upstream.gw_mac;
+  auto dns = std::make_unique<DnsProxy>(dns_config, *registry_, *policy_);
+  dns_ = dns.get();
+
+  Forwarding::Config fwd_config;
+  fwd_config.router_ip = config_.router_ip;
+  fwd_config.router_mac = config_.router_mac;
+  fwd_config.subnet = config_.subnet;
+  fwd_config.uplink_port = config_.uplink_port;
+  fwd_config.upstream_gw_mac = config_.upstream.gw_mac;
+  fwd_config.flow_idle_timeout = config_.flow_idle_timeout;
+  // Queue configuration side channel (the ovs-vsctl role): policing buckets
+  // sized for ~250 ms of traffic at the cap, with a sane floor.
+  fwd_config.configure_queue = [this](std::uint16_t port, std::uint32_t queue_id,
+                                      std::uint64_t rate_bps) {
+    const std::uint64_t burst = std::max<std::uint64_t>(rate_bps / 8 / 4, 3036);
+    datapath_->configure_queue(port, queue_id, rate_bps, burst);
+  };
+  auto fwd = std::make_unique<Forwarding>(fwd_config, *registry_, *policy_);
+  forwarding_ = fwd.get();
+
+  auto exp = std::make_unique<EventExport>(config_.event_export, *db_, *registry_,
+                                           wireless_.get());
+  export_ = exp.get();
+
+  auto api = std::make_unique<ControlApi>(*registry_, *policy_, *db_);
+  control_api_ = api.get();
+
+  // Registration order fixes the packet-in chain: DHCP and DNS interceptors
+  // consume their traffic before the forwarding module sees it.
+  controller_->add_component(std::move(dhcp));
+  controller_->add_component(std::move(dns));
+  controller_->add_component(std::move(fwd));
+  controller_->add_component(std::move(exp));
+  controller_->add_component(std::move(api));
+  controller_->add_component(std::make_unique<nox::LivenessMonitor>());
+
+  // Uplink port towards the ISP (Figure 5's "upstream" path), optionally
+  // with pcap capture shims on both directions.
+  sim::FrameSink* to_upstream = upstream_.get();
+  if (config_.capture_uplink) {
+    trace_shims_.push_back(std::make_unique<TraceShim>(
+        loop_, uplink_trace_, "uplink-tx", upstream_.get()));
+    to_upstream = trace_shims_.back().get();
+  }
+  datapath_->add_port(config_.uplink_port, "uplink",
+                      MacAddress::from_index(0xfffff0), to_upstream);
+  sim::FrameSink* from_upstream = datapath_->ingress(config_.uplink_port);
+  if (config_.capture_uplink) {
+    trace_shims_.push_back(std::make_unique<TraceShim>(
+        loop_, uplink_trace_, "uplink-rx", from_upstream));
+    from_upstream = trace_shims_.back().get();
+  }
+  upstream_->connect(from_upstream);
+}
+
+HomeworkRouter::~HomeworkRouter() = default;
+
+void HomeworkRouter::start() {
+  if (started_) return;
+  controller_->start();
+  datapath_->connect(connection_->datapath_end());
+  controller_->connect_datapath(connection_->controller_end());
+  // Let HELLO/FEATURES and the modules' table setup settle.
+  loop_.run_for(10 * kMillisecond);
+  started_ = true;
+}
+
+HomeworkRouter::Attachment HomeworkRouter::attach_device(
+    sim::Host& host, std::optional<sim::Position> position,
+    sim::LinkChannel::Config link_config) {
+  const std::uint16_t port = next_port_++;
+  links_.push_back(
+      std::make_unique<sim::DuplexLink>(loop_, link_config, &rng_));
+  sim::DuplexLink* link = links_.back().get();
+
+  datapath_->add_port(port, "port" + std::to_string(port),
+                      MacAddress::from_index(0xfff000u + port),
+                      &link->b_to_a());
+  link->b_to_a().connect(&host);
+
+  sim::FrameSink* ingress = datapath_->ingress(port);
+  if (position) {
+    wireless_->place_station(host.mac(), *position);
+    wireless_shims_.push_back(
+        std::make_unique<WirelessIngress>(*wireless_, host.mac(), ingress));
+    ingress = wireless_shims_.back().get();
+  }
+  link->a_to_b().connect(ingress);
+  host.attach_uplink(&link->a_to_b());
+  return Attachment{port, link};
+}
+
+void HomeworkRouter::detach_device(const Attachment& attachment, MacAddress mac) {
+  datapath_->remove_port(attachment.port);
+  wireless_->remove_station(mac);
+  if (attachment.link != nullptr) {
+    attachment.link->a_to_b().connect(nullptr);
+    attachment.link->b_to_a().connect(nullptr);
+  }
+}
+
+void HomeworkRouter::move_device(MacAddress mac, sim::Position position) {
+  wireless_->place_station(mac, position);
+}
+
+}  // namespace hw::homework

@@ -1,0 +1,133 @@
+// HomeworkRouter: the whole of the paper's Figure 5 wired together — the
+// OpenFlow datapath (Open vSwitch stand-in), the NOX controller carrying the
+// DHCP server, DNS proxy, forwarding, event-export and control-API modules,
+// the hwdb measurement plane, the policy engine with its USB monitor, the
+// wireless measurement map, and the upstream ISP cloud on the uplink port.
+//
+// Devices (sim::Host) attach to numbered ports over duplex links; wireless
+// devices additionally register with the wireless map so their RSSI and
+// retries appear in the Links table.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "homework/control_api.hpp"
+#include "homework/dhcp_server.hpp"
+#include "homework/dns_proxy.hpp"
+#include "homework/event_export.hpp"
+#include "homework/forwarding.hpp"
+#include "homework/upstream.hpp"
+#include "homework/wireless_map.hpp"
+#include "hwdb/database.hpp"
+#include "nox/controller.hpp"
+#include "nox/liveness.hpp"
+#include "openflow/datapath.hpp"
+#include "policy/engine.hpp"
+#include "sim/host.hpp"
+#include "sim/trace.hpp"
+
+namespace hw::homework {
+
+class HomeworkRouter {
+ public:
+  struct Config {
+    Ipv4Address router_ip{192, 168, 1, 1};
+    Ipv4Subnet subnet{Ipv4Address{192, 168, 1, 0}, 24};
+    Ipv4Address pool_start{192, 168, 1, 100};
+    Ipv4Address pool_end{192, 168, 1, 199};
+    std::uint32_t lease_secs = 3600;
+    MacAddress router_mac = MacAddress::from_index(0xffffff);
+    DeviceRegistry::AdmissionDefault admission =
+        DeviceRegistry::AdmissionDefault::Pending;
+    bool isolate = true;
+    std::uint16_t flow_idle_timeout = 10;
+    Upstream::Config upstream;
+    sim::WirelessConfig wireless;
+    sim::Position ap_position{5, 5};
+    ofp::Datapath::Config datapath;
+    EventExport::Config event_export;
+    Duration channel_latency = 100;  // controller channel, microseconds
+    std::uint16_t uplink_port = 1;
+    /// Records every frame crossing the uplink into uplink_trace(), from
+    /// which sim::write_pcap produces a tcpdump-compatible capture.
+    bool capture_uplink = false;
+  };
+
+  HomeworkRouter(sim::EventLoop& loop, Rng& rng, Config config);
+  ~HomeworkRouter();
+  HomeworkRouter(const HomeworkRouter&) = delete;
+  HomeworkRouter& operator=(const HomeworkRouter&) = delete;
+
+  /// Boots the platform: starts the controller components and completes the
+  /// OpenFlow handshake (runs the loop briefly).
+  void start();
+
+  /// Attachment of a device on the next free port. Wireless devices give a
+  /// position in the home; wired pass std::nullopt.
+  struct Attachment {
+    std::uint16_t port = 0;
+    sim::DuplexLink* link = nullptr;
+  };
+  Attachment attach_device(sim::Host& host,
+                           std::optional<sim::Position> position,
+                           sim::LinkChannel::Config link_config = {});
+  void detach_device(const Attachment& attachment, MacAddress mac);
+
+  /// Moves a wireless device (the Figure 2 artifact walks around the house).
+  void move_device(MacAddress mac, sim::Position position);
+
+  // -- Subsystem access --------------------------------------------------------
+  [[nodiscard]] sim::EventLoop& loop() { return loop_; }
+  [[nodiscard]] ofp::Datapath& datapath() { return *datapath_; }
+  [[nodiscard]] nox::Controller& controller() { return *controller_; }
+  [[nodiscard]] hwdb::Database& db() { return *db_; }
+  [[nodiscard]] DeviceRegistry& registry() { return *registry_; }
+  [[nodiscard]] policy::PolicyEngine& policy() { return *policy_; }
+  [[nodiscard]] WirelessMap& wireless() { return *wireless_; }
+  [[nodiscard]] Upstream& upstream() { return *upstream_; }
+  [[nodiscard]] DhcpServer& dhcp() { return *dhcp_; }
+  [[nodiscard]] DnsProxy& dns() { return *dns_; }
+  [[nodiscard]] Forwarding& forwarding() { return *forwarding_; }
+  [[nodiscard]] EventExport& event_export() { return *export_; }
+  [[nodiscard]] ControlApi& control_api() { return *control_api_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+  /// Uplink capture (points "uplink-tx"/"uplink-rx"); empty unless
+  /// config.capture_uplink was set.
+  [[nodiscard]] sim::Trace& uplink_trace() { return uplink_trace_; }
+
+ private:
+  /// Wireless TX accounting shim between a device link and its port.
+  class WirelessIngress;
+  /// Trace-recording shim (pcap capture points).
+  class TraceShim;
+
+  sim::EventLoop& loop_;
+  Rng& rng_;
+  Config config_;
+
+  std::unique_ptr<hwdb::Database> db_;
+  std::unique_ptr<DeviceRegistry> registry_;
+  std::unique_ptr<policy::PolicyEngine> policy_;
+  std::unique_ptr<WirelessMap> wireless_;
+  std::unique_ptr<ofp::Datapath> datapath_;
+  std::unique_ptr<ofp::InProcConnection> connection_;
+  std::unique_ptr<nox::Controller> controller_;
+  std::unique_ptr<Upstream> upstream_;
+
+  // Raw module pointers (owned by the controller).
+  DhcpServer* dhcp_ = nullptr;
+  DnsProxy* dns_ = nullptr;
+  Forwarding* forwarding_ = nullptr;
+  EventExport* export_ = nullptr;
+  ControlApi* control_api_ = nullptr;
+
+  std::vector<std::unique_ptr<sim::DuplexLink>> links_;
+  std::vector<std::unique_ptr<WirelessIngress>> wireless_shims_;
+  sim::Trace uplink_trace_;
+  std::vector<std::unique_ptr<TraceShim>> trace_shims_;
+  std::uint16_t next_port_ = 2;  // 1 is the uplink
+  bool started_ = false;
+};
+
+}  // namespace hw::homework

@@ -1,0 +1,74 @@
+// The simulated "upstream ISP" cloud behind the router's uplink port: an
+// authoritative DNS service (A + PTR) over a configurable zone, plus generic
+// remote servers that complete TCP handshakes, answer pings and return
+// download payloads — enough behaviour to exercise every egress code path
+// the real Internet would.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "net/dns.hpp"
+#include "net/packet.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/link.hpp"
+
+namespace hw::homework {
+
+struct UpstreamStats {
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  std::uint64_t dns_queries = 0;
+  std::uint64_t dns_nxdomain = 0;
+  std::uint64_t tcp_syns = 0;
+  std::uint64_t tcp_data_segments = 0;
+  std::uint64_t bytes_served = 0;
+  std::uint64_t pings = 0;
+};
+
+class Upstream final : public sim::FrameSink {
+ public:
+  struct Config {
+    MacAddress gw_mac = MacAddress::from_index(0xfffffe);
+    Ipv4Address dns_ip{8, 8, 8, 8};
+    Duration rtt = 20 * kMillisecond;  // one-way ~10ms each direction
+    /// Response bytes returned per TCP data segment, keyed by server port
+    /// (download model); ports not listed echo nothing, just ACK.
+    std::map<std::uint16_t, std::size_t> response_bytes = {
+        {80, 12000}, {443, 16000}, {8080, 8000}, {554, 32000}, {1935, 32000}};
+    std::size_t mtu_payload = 1400;
+  };
+
+  Upstream(sim::EventLoop& loop, Config config);
+
+  /// Where responses are injected (the datapath uplink-port ingress).
+  void connect(sim::FrameSink* to_router) { to_router_ = to_router; }
+
+  // -- DNS zone management -------------------------------------------------
+  /// Registers `name` → `ip` (also serves the matching PTR record).
+  void add_zone_entry(const std::string& name, Ipv4Address ip);
+  [[nodiscard]] std::optional<Ipv4Address> lookup(const std::string& name) const;
+  [[nodiscard]] std::size_t zone_size() const { return zone_.size(); }
+
+  // -- FrameSink: traffic leaving the home ---------------------------------
+  void deliver(const Bytes& frame) override;
+
+  [[nodiscard]] const UpstreamStats& stats() const { return stats_; }
+
+ private:
+  void handle_dns(const net::ParsedPacket& p);
+  void handle_tcp(const net::ParsedPacket& p);
+  void handle_icmp(const net::ParsedPacket& p);
+  void send(Bytes frame);
+
+  sim::EventLoop& loop_;
+  Config config_;
+  sim::FrameSink* to_router_ = nullptr;
+  UpstreamStats stats_;
+  std::map<std::string, Ipv4Address> zone_;
+  std::map<std::uint32_t, std::string> reverse_zone_;  // ip → name
+  std::uint32_t tcp_seq_ = 1000;
+};
+
+}  // namespace hw::homework

@@ -1,0 +1,48 @@
+#include "homework/wireless_map.hpp"
+
+namespace hw::homework {
+
+void WirelessMap::place_station(MacAddress mac, sim::Position pos) {
+  stations_[mac].pos = pos;
+}
+
+void WirelessMap::remove_station(MacAddress mac) { stations_.erase(mac); }
+
+std::uint64_t WirelessMap::note_transmission(MacAddress mac) {
+  auto it = stations_.find(mac);
+  if (it == stations_.end()) return 0;
+  ++it->second.tx_frames;
+  const double d = sim::distance(it->second.pos, ap_);
+  const double rssi = sim::sample_rssi(config_, d, rng_);
+  const double p_retry = sim::retry_probability(config_, rssi);
+  // Geometric retry count capped at the usual 802.11 retry limit of 7.
+  std::uint64_t retries = 0;
+  while (retries < 7 && rng_.chance(p_retry)) ++retries;
+  it->second.retries += retries;
+  return retries;
+}
+
+std::optional<double> WirelessMap::sample_rssi(MacAddress mac) {
+  auto it = stations_.find(mac);
+  if (it == stations_.end()) return std::nullopt;
+  const double d = sim::distance(it->second.pos, ap_);
+  return sim::sample_rssi(config_, d, rng_);
+}
+
+std::vector<StationSample> WirelessMap::sample_all() {
+  std::vector<StationSample> out;
+  out.reserve(stations_.size());
+  for (auto& [mac, st] : stations_) {
+    StationSample s;
+    s.mac = mac;
+    const double d = sim::distance(st.pos, ap_);
+    s.rssi_dbm = sim::sample_rssi(config_, d, rng_);
+    s.retries = st.retries;
+    s.tx_frames = st.tx_frames;
+    s.position = st.pos;
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace hw::homework

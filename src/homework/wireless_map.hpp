@@ -1,0 +1,65 @@
+// Link-layer measurement state for wireless stations: per-station position,
+// sampled RSSI and retry counts. This is the source of the hwdb Links table
+// ("link-layer information, e.g., MAC address and received signal strength")
+// and of the Figure 2 artifact's RSSI and retry modes.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "sim/wireless.hpp"
+#include "util/addr.hpp"
+#include "util/types.hpp"
+
+namespace hw::homework {
+
+struct StationSample {
+  MacAddress mac;
+  double rssi_dbm = -100;
+  std::uint64_t retries = 0;       // cumulative
+  std::uint64_t tx_frames = 0;     // cumulative
+  sim::Position position;
+};
+
+class WirelessMap {
+ public:
+  explicit WirelessMap(sim::WirelessConfig config, Rng& rng,
+                       sim::Position ap_position = {0, 0})
+      : config_(config), rng_(rng), ap_(ap_position) {}
+
+  /// Registers/updates a station at `pos`. Wired devices are simply never
+  /// registered here.
+  void place_station(MacAddress mac, sim::Position pos);
+  void remove_station(MacAddress mac);
+  [[nodiscard]] bool has_station(MacAddress mac) const {
+    return stations_.count(mac) != 0;
+  }
+
+  /// Accounts a transmission: draws retries from the retry probability at
+  /// the station's current RSSI. Returns the retry count added.
+  std::uint64_t note_transmission(MacAddress mac);
+
+  /// Fresh RSSI sample for one station (empty if unknown/wired).
+  [[nodiscard]] std::optional<double> sample_rssi(MacAddress mac);
+
+  /// Snapshot of all stations with fresh RSSI samples.
+  [[nodiscard]] std::vector<StationSample> sample_all();
+
+  [[nodiscard]] const sim::WirelessConfig& config() const { return config_; }
+  [[nodiscard]] sim::Position ap_position() const { return ap_; }
+
+ private:
+  struct Station {
+    sim::Position pos;
+    std::uint64_t retries = 0;
+    std::uint64_t tx_frames = 0;
+  };
+
+  sim::WirelessConfig config_;
+  Rng& rng_;
+  sim::Position ap_;
+  std::map<MacAddress, Station> stations_;
+};
+
+}  // namespace hw::homework

@@ -1,0 +1,433 @@
+#include "hwdb/cql_parser.hpp"
+
+#include <cctype>
+#include <charconv>
+
+#include "util/strings.hpp"
+
+namespace hw::hwdb {
+namespace {
+
+struct Token {
+  enum class Kind { Ident, Number, String, Symbol, End };
+  Kind kind = Kind::End;
+  std::string text;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<Token> next() {
+    skip_ws();
+    if (pos_ >= text_.size()) return Token{Token::Kind::End, ""};
+    const char c = text_[pos_];
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_' || text_[pos_] == '.')) {
+        ++pos_;
+      }
+      return Token{Token::Kind::Ident, std::string(text_.substr(start, pos_ - start))};
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos_ + 1 < text_.size() &&
+         std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))) {
+      std::size_t start = pos_;
+      ++pos_;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '.')) {
+        ++pos_;
+      }
+      return Token{Token::Kind::Number, std::string(text_.substr(start, pos_ - start))};
+    }
+    if (c == '\'' || c == '"') {
+      const char quote = c;
+      ++pos_;
+      std::string out;
+      while (pos_ < text_.size() && text_[pos_] != quote) {
+        out += text_[pos_++];
+      }
+      if (pos_ >= text_.size()) return make_error("CQL: unterminated string");
+      ++pos_;
+      return Token{Token::Kind::String, std::move(out)};
+    }
+    // Multi-char operators.
+    if (c == '<' || c == '>' || c == '!') {
+      if (pos_ + 1 < text_.size() &&
+          (text_[pos_ + 1] == '=' || (c == '<' && text_[pos_ + 1] == '>'))) {
+        std::string sym = std::string(text_.substr(pos_, 2));
+        pos_ += 2;
+        return Token{Token::Kind::Symbol, std::move(sym)};
+      }
+    }
+    ++pos_;
+    return Token{Token::Kind::Symbol, std::string(1, c)};
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : lexer_(text) {}
+
+  Result<SelectQuery> parse() {
+    if (auto s = advance(); !s.ok()) return s.error();
+    if (!accept_keyword("SELECT")) return make_error("CQL: expected SELECT");
+
+    SelectQuery q;
+    // Projections.
+    while (true) {
+      auto proj = parse_projection();
+      if (!proj) return proj.error();
+      q.projections.push_back(std::move(proj).take());
+      if (!accept_symbol(",")) break;
+    }
+    // A lone '*' projection means select-all.
+    if (q.projections.size() == 1 && q.projections[0].fn == AggFn::None &&
+        q.projections[0].column == "*") {
+      q.projections.clear();
+    }
+
+    if (!accept_keyword("FROM")) return make_error("CQL: expected FROM");
+    if (cur_.kind != Token::Kind::Ident) return make_error("CQL: expected table name");
+    q.table = cur_.text;
+    if (auto s = advance(); !s.ok()) return s.error();
+
+    // Window.
+    if (accept_symbol("[")) {
+      auto window = parse_window();
+      if (!window) return window.error();
+      q.window = window.value();
+      if (!accept_symbol("]")) return make_error("CQL: expected ']'");
+    }
+
+    // Temporal as-of join: JOIN other ON left_col = right_col.
+    if (accept_keyword("JOIN")) {
+      JoinClause join;
+      if (cur_.kind != Token::Kind::Ident) {
+        return make_error("CQL: expected table after JOIN");
+      }
+      join.table = cur_.text;
+      if (auto s = advance(); !s.ok()) return s.error();
+      if (!accept_keyword("ON")) return make_error("CQL: expected ON");
+      if (cur_.kind != Token::Kind::Ident) {
+        return make_error("CQL: expected column in ON");
+      }
+      join.left_column = cur_.text;
+      if (auto s = advance(); !s.ok()) return s.error();
+      if (!accept_symbol("=")) return make_error("CQL: expected '=' in ON");
+      if (cur_.kind != Token::Kind::Ident) {
+        return make_error("CQL: expected column in ON");
+      }
+      join.right_column = cur_.text;
+      if (auto s = advance(); !s.ok()) return s.error();
+      // Strip "table." qualifiers on the ON columns when present.
+      auto strip = [](std::string& col, const std::string& table) {
+        const auto dot = col.find('.');
+        if (dot != std::string::npos && iequals(col.substr(0, dot), table)) {
+          col = col.substr(dot + 1);
+        }
+      };
+      strip(join.left_column, q.table);
+      strip(join.right_column, join.table);
+      q.join = std::move(join);
+    }
+
+    if (accept_keyword("WHERE")) {
+      auto pred = parse_or();
+      if (!pred) return pred.error();
+      q.where = std::move(pred).take();
+    }
+
+    if (accept_keyword("GROUP")) {
+      if (!accept_keyword("BY")) return make_error("CQL: expected BY after GROUP");
+      while (true) {
+        if (cur_.kind != Token::Kind::Ident) {
+          return make_error("CQL: expected column in GROUP BY");
+        }
+        q.group_by.push_back(cur_.text);
+        if (auto s = advance(); !s.ok()) return s.error();
+        if (!accept_symbol(",")) break;
+      }
+    }
+
+    if (accept_keyword("LIMIT")) {
+      if (cur_.kind != Token::Kind::Number) {
+        return make_error("CQL: expected number after LIMIT");
+      }
+      std::uint64_t n = 0;
+      std::from_chars(cur_.text.data(), cur_.text.data() + cur_.text.size(), n);
+      if (n == 0) return make_error("CQL: LIMIT must be positive");
+      q.limit = n;
+      if (auto s = advance(); !s.ok()) return s.error();
+    }
+
+    if (cur_.kind != Token::Kind::End) {
+      return make_error("CQL: unexpected trailing token '" + cur_.text + "'");
+    }
+
+    // Aggregate/group sanity: non-aggregate projections must be grouped.
+    if (q.has_aggregates() || !q.group_by.empty()) {
+      for (const auto& p : q.projections) {
+        if (p.fn != AggFn::None) continue;
+        bool grouped = false;
+        for (const auto& g : q.group_by) {
+          if (iequals(g, p.column)) grouped = true;
+        }
+        if (!grouped) {
+          return make_error("CQL: column " + p.column +
+                            " must appear in GROUP BY or an aggregate");
+        }
+      }
+      if (q.projections.empty()) {
+        return make_error("CQL: SELECT * cannot be combined with GROUP BY");
+      }
+    }
+    return q;
+  }
+
+ private:
+  Status advance() {
+    auto t = lexer_.next();
+    if (!t) return Status::failure(t.error().message);
+    cur_ = std::move(t).take();
+    return {};
+  }
+
+  bool accept_keyword(std::string_view kw) {
+    if (cur_.kind == Token::Kind::Ident && iequals(cur_.text, kw)) {
+      (void)advance();
+      return true;
+    }
+    return false;
+  }
+
+  bool accept_symbol(std::string_view sym) {
+    if (cur_.kind == Token::Kind::Symbol && cur_.text == sym) {
+      (void)advance();
+      return true;
+    }
+    return false;
+  }
+
+  static std::optional<AggFn> agg_from_name(const std::string& name) {
+    if (iequals(name, "count")) return AggFn::Count;
+    if (iequals(name, "sum")) return AggFn::Sum;
+    if (iequals(name, "avg")) return AggFn::Avg;
+    if (iequals(name, "min")) return AggFn::Min;
+    if (iequals(name, "max")) return AggFn::Max;
+    if (iequals(name, "last")) return AggFn::Last;
+    if (iequals(name, "stddev")) return AggFn::Stddev;
+    return std::nullopt;
+  }
+
+  Result<Projection> parse_projection() {
+    Projection p;
+    if (cur_.kind == Token::Kind::Symbol && cur_.text == "*") {
+      p.column = "*";
+      if (auto s = advance(); !s.ok()) return s.error();
+      return p;
+    }
+    if (cur_.kind != Token::Kind::Ident) {
+      return make_error("CQL: expected column or aggregate");
+    }
+    const std::string name = cur_.text;
+    if (auto s = advance(); !s.ok()) return s.error();
+
+    if (accept_symbol("(")) {
+      auto fn = agg_from_name(name);
+      if (!fn) return make_error("CQL: unknown aggregate '" + name + "'");
+      p.fn = *fn;
+      if (cur_.kind == Token::Kind::Symbol && cur_.text == "*") {
+        if (p.fn != AggFn::Count) {
+          return make_error("CQL: only count(*) may use '*'");
+        }
+        p.column = "*";
+        if (auto s = advance(); !s.ok()) return s.error();
+      } else if (cur_.kind == Token::Kind::Ident) {
+        p.column = cur_.text;
+        if (auto s = advance(); !s.ok()) return s.error();
+      } else {
+        return make_error("CQL: expected column inside aggregate");
+      }
+      if (!accept_symbol(")")) return make_error("CQL: expected ')'");
+      return p;
+    }
+    p.column = name;
+    return p;
+  }
+
+  Result<Window> parse_window() {
+    Window w;
+    if (accept_keyword("RANGE")) {
+      if (cur_.kind != Token::Kind::Number) {
+        return make_error("CQL: expected number after RANGE");
+      }
+      std::uint64_t n = 0;
+      std::from_chars(cur_.text.data(), cur_.text.data() + cur_.text.size(), n);
+      if (auto s = advance(); !s.ok()) return s.error();
+      std::uint64_t scale = 1;
+      if (accept_keyword("SECONDS") || accept_keyword("SECOND")) {
+        scale = 1;
+      } else if (accept_keyword("MINUTES") || accept_keyword("MINUTE")) {
+        scale = 60;
+      } else if (accept_keyword("HOURS") || accept_keyword("HOUR")) {
+        scale = 3600;
+      } else {
+        return make_error("CQL: expected time unit after RANGE n");
+      }
+      w.kind = Window::Kind::Range;
+      w.amount = n * scale;
+      return w;
+    }
+    if (accept_keyword("ROWS")) {
+      if (cur_.kind != Token::Kind::Number) {
+        return make_error("CQL: expected number after ROWS");
+      }
+      std::uint64_t n = 0;
+      std::from_chars(cur_.text.data(), cur_.text.data() + cur_.text.size(), n);
+      if (auto s = advance(); !s.ok()) return s.error();
+      w.kind = Window::Kind::Rows;
+      w.amount = n;
+      return w;
+    }
+    if (accept_keyword("NOW")) {
+      w.kind = Window::Kind::Now;
+      return w;
+    }
+    if (accept_keyword("SINCE")) {
+      if (cur_.kind != Token::Kind::Number) {
+        return make_error("CQL: expected timestamp after SINCE");
+      }
+      std::uint64_t n = 0;
+      std::from_chars(cur_.text.data(), cur_.text.data() + cur_.text.size(), n);
+      if (auto s = advance(); !s.ok()) return s.error();
+      w.kind = Window::Kind::Since;
+      w.amount = n;
+      return w;
+    }
+    return make_error("CQL: expected RANGE, ROWS, NOW or SINCE in window");
+  }
+
+  Result<std::unique_ptr<Predicate>> parse_or() {
+    auto left = parse_and();
+    if (!left) return left;
+    while (accept_keyword("OR")) {
+      auto right = parse_and();
+      if (!right) return right;
+      auto node = std::make_unique<Predicate>();
+      node->kind = Predicate::Kind::Or;
+      node->children.push_back(std::move(left).take());
+      node->children.push_back(std::move(right).take());
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<Predicate>> parse_and() {
+    auto left = parse_unary();
+    if (!left) return left;
+    while (accept_keyword("AND")) {
+      auto right = parse_unary();
+      if (!right) return right;
+      auto node = std::make_unique<Predicate>();
+      node->kind = Predicate::Kind::And;
+      node->children.push_back(std::move(left).take());
+      node->children.push_back(std::move(right).take());
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<Predicate>> parse_unary() {
+    if (accept_keyword("NOT")) {
+      auto child = parse_unary();
+      if (!child) return child;
+      auto node = std::make_unique<Predicate>();
+      node->kind = Predicate::Kind::Not;
+      node->children.push_back(std::move(child).take());
+      return node;
+    }
+    if (accept_symbol("(")) {
+      auto inner = parse_or();
+      if (!inner) return inner;
+      if (!accept_symbol(")")) return make_error("CQL: expected ')'");
+      return inner;
+    }
+    return parse_compare();
+  }
+
+  Result<std::unique_ptr<Predicate>> parse_compare() {
+    if (cur_.kind != Token::Kind::Ident) {
+      return make_error("CQL: expected column in comparison");
+    }
+    auto node = std::make_unique<Predicate>();
+    node->kind = Predicate::Kind::Compare;
+    node->column = cur_.text;
+    if (auto s = advance(); !s.ok()) return s.error();
+
+    if (accept_keyword("CONTAINS")) {
+      node->op = CmpOp::Contains;
+    } else if (cur_.kind == Token::Kind::Symbol) {
+      const std::string& sym = cur_.text;
+      if (sym == "=") node->op = CmpOp::Eq;
+      else if (sym == "!=" || sym == "<>") node->op = CmpOp::Ne;
+      else if (sym == "<") node->op = CmpOp::Lt;
+      else if (sym == "<=") node->op = CmpOp::Le;
+      else if (sym == ">") node->op = CmpOp::Gt;
+      else if (sym == ">=") node->op = CmpOp::Ge;
+      else return make_error("CQL: unknown operator '" + sym + "'");
+      if (auto s = advance(); !s.ok()) return s.error();
+    } else {
+      return make_error("CQL: expected comparison operator");
+    }
+
+    switch (cur_.kind) {
+      case Token::Kind::Number: {
+        if (cur_.text.find('.') != std::string::npos) {
+          double v = 0;
+          std::from_chars(cur_.text.data(), cur_.text.data() + cur_.text.size(), v);
+          node->literal = Value{v};
+        } else {
+          std::int64_t v = 0;
+          std::from_chars(cur_.text.data(), cur_.text.data() + cur_.text.size(), v);
+          node->literal = Value{v};
+        }
+        break;
+      }
+      case Token::Kind::String:
+      case Token::Kind::Ident:  // bare words allowed as text literals
+        node->literal = Value{cur_.text};
+        break;
+      default:
+        return make_error("CQL: expected literal");
+    }
+    if (auto s = advance(); !s.ok()) return s.error();
+    return node;
+  }
+
+  Lexer lexer_;
+  Token cur_;
+};
+
+}  // namespace
+
+Result<SelectQuery> parse_query(std::string_view text) {
+  return Parser(text).parse();
+}
+
+}  // namespace hw::hwdb

@@ -1,0 +1,30 @@
+// Parser for the hwdb CQL variant. Grammar (case-insensitive keywords):
+//
+//   query   := SELECT proj (',' proj)* FROM ident window? join? where?
+//              group? limit?
+//   proj    := '*' | ident | fn '(' ('*' | ident) ')'
+//   fn      := COUNT | SUM | AVG | MIN | MAX | LAST | STDDEV
+//   join    := JOIN ident ON ident '=' ident   (temporal as-of join)
+//   window  := '[' RANGE number (SECONDS|MINUTES|HOURS) ']'
+//            | '[' ROWS number ']' | '[' NOW ']' | '[' SINCE number ']'
+//   where   := WHERE orexpr
+//   orexpr  := andexpr (OR andexpr)*
+//   andexpr := unary (AND unary)*
+//   unary   := NOT unary | '(' orexpr ')' | cmp
+//   cmp     := ident op literal
+//   op      := '=' | '!=' | '<>' | '<' | '<=' | '>' | '>=' | CONTAINS
+//   literal := number | 'single-quoted string' | "double-quoted string"
+//   group   := GROUP BY ident (',' ident)*
+//   limit   := LIMIT number
+#pragma once
+
+#include <string_view>
+
+#include "hwdb/query.hpp"
+#include "util/result.hpp"
+
+namespace hw::hwdb {
+
+Result<SelectQuery> parse_query(std::string_view text);
+
+}  // namespace hw::hwdb

@@ -1,0 +1,123 @@
+#include "hwdb/database.hpp"
+
+#include "util/logging.hpp"
+
+namespace hw::hwdb {
+namespace {
+constexpr std::string_view kLog = "hwdb";
+}  // namespace
+
+Status Database::create_table(Schema schema, std::size_t capacity) {
+  const std::string name = schema.name();
+  if (tables_.count(name) != 0) {
+    return Status::failure("table exists: " + name);
+  }
+  if (capacity == 0) return Status::failure("table capacity must be > 0");
+  tables_.emplace(name, std::make_unique<Table>(std::move(schema), capacity));
+  return {};
+}
+
+Table* Database::table(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Database::table(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Database::table_names() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) out.push_back(name);
+  return out;
+}
+
+Status Database::insert(const std::string& table_name, std::vector<Value> values) {
+  Table* t = table(table_name);
+  if (t == nullptr) {
+    ++stats_.insert_errors;
+    return Status::failure("no such table: " + table_name);
+  }
+  auto status = t->insert(loop_.now(), std::move(values));
+  if (!status.ok()) {
+    ++stats_.insert_errors;
+    HW_LOG_WARN(kLog, "%s", status.error().message.c_str());
+    return status;
+  }
+  ++stats_.inserts;
+
+  // Fire on-insert continuous queries bound to this table.
+  for (auto& [id, sub] : subs_) {
+    if (sub->mode == SubscriptionMode::OnInsert && sub->query.table == table_name) {
+      fire(*sub);
+    }
+  }
+  return {};
+}
+
+Result<ResultSet> Database::query(std::string_view text) const {
+  auto parsed = parse_query(text);
+  if (!parsed) return parsed.error();
+  return query(parsed.value());
+}
+
+Result<ResultSet> Database::query(const SelectQuery& q) const {
+  ++stats_.queries;
+  const Table* t = table(q.table);
+  if (t == nullptr) return make_error("no such table: " + q.table);
+  const Table* right = nullptr;
+  if (q.join) {
+    right = table(q.join->table);
+    if (right == nullptr) {
+      return make_error("no such table: " + q.join->table);
+    }
+  }
+  return execute(q, *t, right, loop_.now());
+}
+
+Result<SubscriptionId> Database::subscribe(std::string_view query_text,
+                                           SubscriptionMode mode, Duration period,
+                                           SubscriptionCallback cb) {
+  auto parsed = parse_query(query_text);
+  if (!parsed) return parsed.error();
+  if (table(parsed.value().table) == nullptr) {
+    return make_error("no such table: " + parsed.value().table);
+  }
+  if (mode == SubscriptionMode::Periodic && period == 0) {
+    return make_error("periodic subscription needs period > 0");
+  }
+
+  auto sub = std::make_unique<Subscription>();
+  sub->id = next_sub_id_++;
+  sub->query = std::move(parsed).take();
+  sub->mode = mode;
+  sub->cb = std::move(cb);
+
+  Subscription* raw = sub.get();
+  if (mode == SubscriptionMode::Periodic) {
+    sub->timer = std::make_unique<sim::PeriodicTimer>(loop_, period,
+                                                      [this, raw] { fire(*raw); });
+    sub->timer->start();
+  }
+  const SubscriptionId id = sub->id;
+  subs_.emplace(id, std::move(sub));
+  return id;
+}
+
+void Database::unsubscribe(SubscriptionId id) { subs_.erase(id); }
+
+void Database::fire(Subscription& sub) {
+  auto result = query(sub.query);
+  if (!result) {
+    HW_LOG_WARN(kLog, "subscription %llu failed: %s",
+                static_cast<unsigned long long>(sub.id),
+                result.error().message.c_str());
+    return;
+  }
+  ++stats_.subscription_fires;
+  sub.cb(sub.id, result.value());
+}
+
+}  // namespace hw::hwdb

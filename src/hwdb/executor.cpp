@@ -1,0 +1,491 @@
+#include "hwdb/executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <map>
+#include <unordered_map>
+
+#include "util/strings.hpp"
+
+namespace hw::hwdb {
+namespace {
+
+const char* agg_name(AggFn fn) {
+  switch (fn) {
+    case AggFn::None: return "";
+    case AggFn::Count: return "count";
+    case AggFn::Sum: return "sum";
+    case AggFn::Avg: return "avg";
+    case AggFn::Min: return "min";
+    case AggFn::Max: return "max";
+    case AggFn::Last: return "last";
+    case AggFn::Stddev: return "stddev";
+  }
+  return "";
+}
+
+/// Column namespace over the driving table and (optionally) a joined table:
+/// resolves bare and "table.column"-qualified names to combined-row indexes.
+/// Combined rows are laid out left columns then right columns.
+class ColumnSpace {
+ public:
+  ColumnSpace(const Schema& left, const Schema* right)
+      : left_(left), right_(right) {}
+
+  /// Returns the combined index, -2 for the ts pseudo-column, or -1.
+  [[nodiscard]] int resolve(const std::string& name) const {
+    const auto dot = name.find('.');
+    if (dot != std::string::npos) {
+      const std::string qualifier = name.substr(0, dot);
+      const std::string column = name.substr(dot + 1);
+      if (iequals(qualifier, left_.name())) {
+        if (iequals(column, "ts")) return -2;
+        return left_.column_index(column);
+      }
+      if (right_ != nullptr && iequals(qualifier, right_->name())) {
+        const int idx = right_->column_index(column);
+        return idx < 0 ? -1 : idx + static_cast<int>(left_.width());
+      }
+      return -1;
+    }
+    if (iequals(name, "ts")) return -2;
+    const int left_idx = left_.column_index(name);
+    if (left_idx >= 0) return left_idx;
+    if (right_ != nullptr) {
+      const int idx = right_->column_index(name);
+      if (idx >= 0) return idx + static_cast<int>(left_.width());
+    }
+    return -1;
+  }
+
+  /// Every column name, qualified where both tables are present.
+  [[nodiscard]] std::vector<std::string> all_names() const {
+    std::vector<std::string> out;
+    const bool qualify = right_ != nullptr;
+    for (const auto& c : left_.columns()) {
+      out.push_back(qualify ? left_.name() + "." + c.name : c.name);
+    }
+    if (right_ != nullptr) {
+      for (const auto& c : right_->columns()) {
+        out.push_back(right_->name() + "." + c.name);
+      }
+    }
+    return out;
+  }
+
+ private:
+  const Schema& left_;
+  const Schema* right_;
+};
+
+/// Aggregate accumulator.
+struct Accumulator {
+  AggFn fn = AggFn::None;
+  int column = -1;  // combined index; -1 for count(*), -2 for ts
+  std::uint64_t count = 0;
+  double sum = 0;
+  double sum_sq = 0;
+  bool integral = true;  // sum of only Int values renders as Int
+  Value min_v;
+  Value max_v;
+  Value last_v;
+  bool any = false;
+
+  // Rows are fed newest-first, so the first value seen is the LAST value.
+  void feed(const Row& row) {
+    ++count;
+    if (fn == AggFn::Count && column == -1) return;
+    const Value v = column == -2
+                        ? Value::ts(row.ts)
+                        : row.values[static_cast<std::size_t>(column)];
+    if (v.type() != ColumnType::Int) integral = false;
+    if (!any) {
+      min_v = v;
+      max_v = v;
+      last_v = v;
+      any = true;
+    } else {
+      if (v.compare(min_v) < 0) min_v = v;
+      if (v.compare(max_v) > 0) max_v = v;
+    }
+    sum += v.as_real();
+    sum_sq += v.as_real() * v.as_real();
+  }
+
+  [[nodiscard]] Value result() const {
+    switch (fn) {
+      case AggFn::Count:
+        return Value{static_cast<std::int64_t>(count)};
+      case AggFn::Sum:
+        return integral ? Value{static_cast<std::int64_t>(sum)} : Value{sum};
+      case AggFn::Avg:
+        return count == 0 ? Value{0.0} : Value{sum / static_cast<double>(count)};
+      case AggFn::Min:
+        return any ? min_v : Value{};
+      case AggFn::Max:
+        return any ? max_v : Value{};
+      case AggFn::Last:
+        return any ? last_v : Value{};
+      case AggFn::Stddev: {
+        if (count == 0) return Value{0.0};
+        const double n = static_cast<double>(count);
+        const double mean = sum / n;
+        const double variance = std::max(0.0, sum_sq / n - mean * mean);
+        return Value{std::sqrt(variance)};
+      }
+      case AggFn::None:
+        break;
+    }
+    return Value{};
+  }
+};
+
+Result<bool> eval(const Predicate& p, const ColumnSpace& cols, const Row& row);
+
+Result<bool> eval_compare(const Predicate& p, const ColumnSpace& cols,
+                          const Row& row) {
+  const int idx = cols.resolve(p.column);
+  if (idx == -1) return make_error("unknown column in WHERE: " + p.column);
+  const Value lhs =
+      idx == -2 ? Value::ts(row.ts) : row.values[static_cast<std::size_t>(idx)];
+  switch (p.op) {
+    case CmpOp::Eq: return lhs.compare(p.literal) == 0;
+    case CmpOp::Ne: return lhs.compare(p.literal) != 0;
+    case CmpOp::Lt: return lhs.compare(p.literal) < 0;
+    case CmpOp::Le: return lhs.compare(p.literal) <= 0;
+    case CmpOp::Gt: return lhs.compare(p.literal) > 0;
+    case CmpOp::Ge: return lhs.compare(p.literal) >= 0;
+    case CmpOp::Contains:
+      return lhs.to_string().find(p.literal.to_string()) != std::string::npos;
+  }
+  return make_error("bad comparison operator");
+}
+
+Result<bool> eval(const Predicate& p, const ColumnSpace& cols, const Row& row) {
+  switch (p.kind) {
+    case Predicate::Kind::Compare:
+      return eval_compare(p, cols, row);
+    case Predicate::Kind::And: {
+      for (const auto& c : p.children) {
+        auto r = eval(*c, cols, row);
+        if (!r) return r;
+        if (!r.value()) return false;
+      }
+      return true;
+    }
+    case Predicate::Kind::Or: {
+      for (const auto& c : p.children) {
+        auto r = eval(*c, cols, row);
+        if (!r) return r;
+        if (r.value()) return true;
+      }
+      return false;
+    }
+    case Predicate::Kind::Not: {
+      auto r = eval(*p.children[0], cols, row);
+      if (!r) return r;
+      return !r.value();
+    }
+  }
+  return make_error("bad predicate kind");
+}
+
+/// The query pipeline over an abstract newest-first row stream.
+/// `visit(fn)` must call fn for each candidate row newest-first and stop when
+/// fn returns false; rows are already window-filtered except for max_rows.
+Result<ResultSet> run_pipeline(
+    const SelectQuery& q, const ColumnSpace& cols, std::uint64_t max_rows,
+    const std::function<void(const std::function<bool(const Row&)>&)>& visit) {
+  // Resolve projections.
+  struct ResolvedProj {
+    Projection proj;
+    int column = -1;  // combined index; -2 ts pseudo-column; -1 count(*)
+  };
+  std::vector<ResolvedProj> projs;
+  ResultSet rs;
+
+  if (q.projections.empty()) {
+    projs.push_back({Projection{AggFn::None, "ts"}, -2});
+    rs.columns.push_back("ts");
+    int idx = 0;
+    for (const auto& name : cols.all_names()) {
+      projs.push_back({Projection{AggFn::None, name}, idx++});
+      rs.columns.push_back(name);
+    }
+  } else {
+    for (const auto& p : q.projections) {
+      ResolvedProj rp{p, -1};
+      if (p.fn == AggFn::Count && p.column == "*") {
+        rp.column = -1;
+      } else {
+        rp.column = cols.resolve(p.column);
+        if (rp.column == -1) return make_error("unknown column: " + p.column);
+      }
+      rs.columns.push_back(p.display_name());
+      projs.push_back(std::move(rp));
+    }
+  }
+
+  // Resolve grouping columns.
+  std::vector<int> group_cols;
+  for (const auto& g : q.group_by) {
+    const int idx = cols.resolve(g);
+    if (idx == -1) return make_error("unknown GROUP BY column: " + g);
+    group_cols.push_back(idx);
+  }
+
+  const bool aggregating = q.has_aggregates() || !q.group_by.empty();
+  std::string error;
+
+  auto value_at = [](const Row& row, int idx) {
+    return idx == -2 ? Value::ts(row.ts)
+                     : row.values[static_cast<std::size_t>(idx)];
+  };
+
+  if (!aggregating) {
+    std::uint64_t taken = 0;
+    visit([&](const Row& row) {
+      if (taken >= max_rows) return false;
+      if (q.where != nullptr) {
+        auto keep = eval(*q.where, cols, row);
+        if (!keep) {
+          error = keep.error().message;
+          return false;
+        }
+        if (!keep.value()) return true;
+      }
+      ++taken;
+      std::vector<Value> out;
+      out.reserve(projs.size());
+      for (const auto& rp : projs) out.push_back(value_at(row, rp.column));
+      rs.rows.push_back(std::move(out));
+      return true;
+    });
+    if (!error.empty()) return make_error(error);
+    std::reverse(rs.rows.begin(), rs.rows.end());  // chronological output
+    if (q.limit > 0 && rs.rows.size() > q.limit) {
+      // LIMIT keeps the newest rows: the tail of the chronological output.
+      rs.rows.erase(rs.rows.begin(),
+                    rs.rows.end() - static_cast<std::ptrdiff_t>(q.limit));
+    }
+    return rs;
+  }
+
+  // Aggregation path: group key is the rendered tuple of group columns.
+  struct Group {
+    std::vector<Value> key_values;
+    std::vector<Accumulator> accs;
+  };
+  std::map<std::string, Group> groups;
+  std::uint64_t taken = 0;
+
+  visit([&](const Row& row) {
+    if (taken >= max_rows) return false;
+    if (q.where != nullptr) {
+      auto keep = eval(*q.where, cols, row);
+      if (!keep) {
+        error = keep.error().message;
+        return false;
+      }
+      if (!keep.value()) return true;
+    }
+    ++taken;
+
+    std::string key;
+    std::vector<Value> key_values;
+    for (int col : group_cols) {
+      const Value v = value_at(row, col);
+      key += v.to_string();
+      key += '\x1f';
+      key_values.push_back(v);
+    }
+
+    auto [it, inserted] = groups.try_emplace(key);
+    if (inserted) {
+      it->second.key_values = std::move(key_values);
+      for (const auto& rp : projs) {
+        Accumulator acc;
+        acc.fn = rp.proj.fn;
+        acc.column = rp.column;
+        it->second.accs.push_back(acc);
+      }
+    }
+    for (auto& acc : it->second.accs) acc.feed(row);
+    return true;
+  });
+  if (!error.empty()) return make_error(error);
+
+  for (auto& [key, group] : groups) {
+    if (q.limit > 0 && rs.rows.size() >= q.limit) break;
+    std::vector<Value> out;
+    out.reserve(projs.size());
+    for (std::size_t i = 0; i < projs.size(); ++i) {
+      const auto& rp = projs[i];
+      if (rp.proj.fn == AggFn::None) {
+        bool found = false;
+        for (std::size_t g = 0; g < group_cols.size(); ++g) {
+          if (iequals(q.group_by[g], rp.proj.column)) {
+            out.push_back(group.key_values[g]);
+            found = true;
+            break;
+          }
+        }
+        if (!found) out.push_back(Value{});
+      } else {
+        out.push_back(group.accs[i].result());
+      }
+    }
+    rs.rows.push_back(std::move(out));
+  }
+  return rs;
+}
+
+/// As-of index over the right table of a join: per key, row indexes ordered
+/// by insertion (oldest → newest).
+class AsOfIndex {
+ public:
+  AsOfIndex(const Table& right, int key_column) : right_(right) {
+    right.rows().for_each([&](const Row& row) {
+      // for_each is oldest-first; positions stored in that order.
+      keys_[row.values[static_cast<std::size_t>(key_column)].to_string()]
+          .push_back(pos_++);
+      return true;
+    });
+  }
+
+  /// Newest right row with the given key and ts <= `as_of`, or nullptr.
+  [[nodiscard]] const Row* lookup(const Value& key, Timestamp as_of) const {
+    auto it = keys_.find(key.to_string());
+    if (it == keys_.end()) return nullptr;
+    const auto& positions = it->second;
+    // Binary search for the last position with ts <= as_of.
+    const Row* best = nullptr;
+    std::size_t lo = 0, hi = positions.size();
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      const Row& row = right_.rows().at(positions[mid]);
+      if (row.ts <= as_of) {
+        best = &row;
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return best;
+  }
+
+ private:
+  const Table& right_;
+  std::unordered_map<std::string, std::vector<std::size_t>> keys_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string Projection::display_name() const {
+  if (fn == AggFn::None) return column;
+  return std::string(agg_name(fn)) + "(" + column + ")";
+}
+
+int ResultSet::column_index(const std::string& name) const {
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (iequals(columns[i], name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string ResultSet::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) out += "\t";
+    out += columns[i];
+  }
+  out += "\n";
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out += "\t";
+      out += row[i].to_string();
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<bool> eval_predicate(const Predicate& p, const Schema& schema,
+                            const Row& row) {
+  return eval(p, ColumnSpace(schema, nullptr), row);
+}
+
+Result<ResultSet> execute(const SelectQuery& q, const Table& table,
+                          const Table* right, Timestamp now) {
+  // Window bounds over the driving table.
+  Timestamp min_ts = 0;
+  std::uint64_t max_rows = std::numeric_limits<std::uint64_t>::max();
+  switch (q.window.kind) {
+    case Window::Kind::All:
+      break;
+    case Window::Kind::Range:
+      min_ts = now >= q.window.amount * kSecond ? now - q.window.amount * kSecond
+                                                : 0;
+      break;
+    case Window::Kind::Rows:
+      max_rows = q.window.amount;
+      break;
+    case Window::Kind::Now:
+      min_ts = table.newest_ts();
+      break;
+    case Window::Kind::Since:
+      min_ts = q.window.amount;
+      break;
+  }
+
+  if (!q.join) {
+    const ColumnSpace cols(table.schema(), nullptr);
+    return run_pipeline(q, cols, max_rows, [&](const auto& fn) {
+      table.rows().for_each_newest_first([&](const Row& row) {
+        if (row.ts < min_ts) return false;
+        return fn(row);
+      });
+    });
+  }
+
+  // Join path.
+  if (right == nullptr) return make_error("join table missing: " + q.join->table);
+  const int left_key = table.schema().column_index(q.join->left_column);
+  if (left_key < 0) {
+    return make_error("unknown join column: " + q.join->left_column);
+  }
+  const int right_key = right->schema().column_index(q.join->right_column);
+  if (right_key < 0) {
+    return make_error("unknown join column: " + q.join->right_column);
+  }
+
+  const AsOfIndex index(*right, right_key);
+  const ColumnSpace cols(table.schema(), &right->schema());
+
+  return run_pipeline(q, cols, max_rows, [&](const auto& fn) {
+    table.rows().for_each_newest_first([&](const Row& left_row) {
+      if (left_row.ts < min_ts) return false;
+      const Value& key =
+          left_row.values[static_cast<std::size_t>(left_key)];
+      const Row* match = index.lookup(key, left_row.ts);
+      if (match == nullptr) return true;  // inner join: drop unmatched
+      Row combined;
+      combined.ts = left_row.ts;
+      combined.values.reserve(left_row.values.size() + match->values.size());
+      combined.values = left_row.values;
+      combined.values.insert(combined.values.end(), match->values.begin(),
+                             match->values.end());
+      return fn(combined);
+    });
+  });
+}
+
+Result<ResultSet> execute(const SelectQuery& q, const Table& table,
+                          Timestamp now) {
+  return execute(q, table, nullptr, now);
+}
+
+}  // namespace hw::hwdb

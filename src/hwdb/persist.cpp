@@ -1,0 +1,112 @@
+#include "hwdb/persist.hpp"
+
+#include <cstring>
+
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace hw::hwdb {
+
+Result<std::size_t> dump_table_tsv(const Table& table, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return make_error("cannot open " + path);
+  std::fprintf(f, "#ts");
+  for (const auto& col : table.schema().columns()) {
+    std::fprintf(f, "\t%s:%s", col.name.c_str(), to_string(col.type));
+  }
+  std::fputc('\n', f);
+  std::size_t rows = 0;
+  table.rows().for_each([&](const Row& row) {
+    std::fprintf(f, "%llu", static_cast<unsigned long long>(row.ts));
+    for (const auto& v : row.values) {
+      std::fprintf(f, "\t%s", v.to_string().c_str());
+    }
+    std::fputc('\n', f);
+    ++rows;
+    return true;
+  });
+  std::fclose(f);
+  return rows;
+}
+
+Result<std::size_t> load_table_tsv(Table& table, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return make_error("cannot open " + path);
+  std::size_t rows = 0;
+  char line[4096];
+  int lineno = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    ++lineno;
+    std::string_view text = trim(line);
+    if (text.empty() || text[0] == '#') continue;
+    const auto fields = split(text, '\t');
+    if (fields.size() != table.schema().width() + 1) {
+      std::fclose(f);
+      return make_error(path + ":" + std::to_string(lineno) +
+                        ": expected " +
+                        std::to_string(table.schema().width() + 1) + " fields");
+    }
+    auto ts = Value::from_string(ColumnType::Ts, fields[0]);
+    if (!ts) {
+      std::fclose(f);
+      return make_error(path + ":" + std::to_string(lineno) + ": bad ts");
+    }
+    std::vector<Value> values;
+    values.reserve(fields.size() - 1);
+    for (std::size_t i = 1; i < fields.size(); ++i) {
+      auto v = Value::from_string(table.schema().columns()[i - 1].type,
+                                  fields[i]);
+      if (!v) {
+        std::fclose(f);
+        return make_error(path + ":" + std::to_string(lineno) + ": " +
+                          v.error().message);
+      }
+      values.push_back(std::move(v).take());
+    }
+    if (auto s = table.insert(ts.value().as_ts(), std::move(values)); !s.ok()) {
+      std::fclose(f);
+      return s.error();
+    }
+    ++rows;
+  }
+  std::fclose(f);
+  return rows;
+}
+
+PersistSink::PersistSink(Database& db, std::string query_text,
+                         SubscriptionMode mode, Duration period,
+                         const std::string& path)
+    : db_(db) {
+  file_ = std::fopen(path.c_str(), "a");
+  if (file_ == nullptr) {
+    HW_LOG_ERROR("hwdb-persist", "cannot open %s", path.c_str());
+    return;
+  }
+  auto sub = db_.subscribe(
+      query_text, mode, period, [this](SubscriptionId, const ResultSet& rs) {
+        if (file_ == nullptr) return;
+        std::fprintf(file_, "# batch t=%llu rows=%zu\n",
+                     static_cast<unsigned long long>(db_.loop().now()),
+                     rs.rows.size());
+        for (const auto& row : rs.rows) {
+          for (std::size_t i = 0; i < row.size(); ++i) {
+            std::fprintf(file_, "%s%s", i ? "\t" : "", row[i].to_string().c_str());
+          }
+          std::fputc('\n', file_);
+          ++rows_;
+        }
+        ++batches_;
+      });
+  if (sub) sub_id_ = sub.value();
+}
+
+PersistSink::~PersistSink() {
+  if (sub_id_ != 0) db_.unsubscribe(sub_id_);
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void PersistSink::flush() {
+  if (file_ != nullptr) std::fflush(file_);
+}
+
+}  // namespace hw::hwdb

@@ -1,0 +1,48 @@
+// Persistence sink: subscribes to a continuous query and appends each result
+// batch to a file (TSV with a '#' batch header) — the paper's "persisting
+// output as desired".
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "hwdb/database.hpp"
+
+namespace hw::hwdb {
+
+/// Snapshots a whole table to TSV: header line "#ts<TAB>col..." then one row
+/// per line, oldest first. Returns rows written.
+Result<std::size_t> dump_table_tsv(const Table& table, const std::string& path);
+
+/// Loads a snapshot produced by dump_table_tsv into an existing table with a
+/// matching schema. Rows keep their recorded timestamps (they must be
+/// non-decreasing and are inserted directly, bypassing the virtual clock).
+/// Returns rows loaded.
+Result<std::size_t> load_table_tsv(Table& table, const std::string& path);
+
+class PersistSink {
+ public:
+  /// Subscribes to `query_text` on `db`, appending batches to `path`.
+  /// Check ok() after construction.
+  PersistSink(Database& db, std::string query_text, SubscriptionMode mode,
+              Duration period, const std::string& path);
+  ~PersistSink();
+  PersistSink(const PersistSink&) = delete;
+  PersistSink& operator=(const PersistSink&) = delete;
+
+  [[nodiscard]] bool ok() const { return file_ != nullptr && sub_id_ != 0; }
+  [[nodiscard]] std::uint64_t batches_written() const { return batches_; }
+  [[nodiscard]] std::uint64_t rows_written() const { return rows_; }
+  /// Flushes buffered output to disk.
+  void flush();
+
+ private:
+  Database& db_;
+  std::FILE* file_ = nullptr;
+  SubscriptionId sub_id_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t rows_ = 0;
+};
+
+}  // namespace hw::hwdb

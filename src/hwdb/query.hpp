@@ -1,0 +1,101 @@
+// AST for the hwdb CQL variant: windowed SELECTs with filters, grouping and
+// aggregates, able to "express temporal and relational operations" (paper §2).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hwdb/value.hpp"
+
+namespace hw::hwdb {
+
+/// Window over the stream, CQL-style bracket clause after the table name.
+struct Window {
+  enum class Kind {
+    All,    // no bracket: everything still in the ring
+    Range,  // [RANGE n SECONDS|MINUTES|HOURS]
+    Rows,   // [ROWS n]
+    Now,    // [NOW] — rows bearing the newest timestamp
+    Since,  // [SINCE t] — rows with ts >= t (microseconds)
+  };
+  Kind kind = Kind::All;
+  std::uint64_t amount = 0;  // seconds for Range, count for Rows, ts for Since
+};
+
+enum class AggFn {
+  None,   // plain column reference
+  Count,  // count(*) or count(col)
+  Sum,
+  Avg,
+  Min,
+  Max,
+  Last,   // newest value in window (hwdb extension for "current" queries)
+  Stddev, // population standard deviation
+};
+
+struct Projection {
+  AggFn fn = AggFn::None;
+  std::string column;  // "*" for count(*) / select-all
+  [[nodiscard]] std::string display_name() const;
+};
+
+enum class CmpOp { Eq, Ne, Lt, Le, Gt, Ge, Contains };
+
+/// WHERE expression tree: comparisons combined with AND/OR/NOT.
+struct Predicate {
+  enum class Kind { Compare, And, Or, Not };
+  Kind kind = Kind::Compare;
+
+  // Compare
+  std::string column;
+  CmpOp op = CmpOp::Eq;
+  Value literal;
+
+  // And/Or/Not
+  std::vector<std::unique_ptr<Predicate>> children;
+};
+
+/// Temporal ("as-of") join clause: `JOIN other ON left_col = right_col`.
+/// Each row of the driving table is joined with the *newest* row of the
+/// right table bearing an equal key and an insertion time no later than the
+/// left row's — i.e. the right table's state as of that event. Rows with no
+/// match are dropped (inner join).
+struct JoinClause {
+  std::string table;        // right-hand table
+  std::string left_column;  // column of the driving table
+  std::string right_column; // column of the right table
+};
+
+struct SelectQuery {
+  std::vector<Projection> projections;  // empty means SELECT *
+  std::string table;
+  std::optional<JoinClause> join;
+  Window window;
+  std::unique_ptr<Predicate> where;  // may be null
+  std::vector<std::string> group_by;
+  /// Caps the number of result rows (0 = unlimited). For plain selects the
+  /// newest rows win (the chronological tail); for grouped queries the first
+  /// groups in key order.
+  std::uint64_t limit = 0;
+
+  [[nodiscard]] bool has_aggregates() const {
+    for (const auto& p : projections) {
+      if (p.fn != AggFn::None) return true;
+    }
+    return false;
+  }
+};
+
+/// Query result: column names plus value rows.
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<std::vector<Value>> rows;
+
+  [[nodiscard]] std::string to_string() const;
+  /// Index of a result column by name, -1 if absent.
+  [[nodiscard]] int column_index(const std::string& name) const;
+};
+
+}  // namespace hw::hwdb

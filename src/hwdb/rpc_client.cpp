@@ -1,0 +1,73 @@
+#include "hwdb/rpc_client.hpp"
+
+#include "util/logging.hpp"
+
+namespace hw::hwdb::rpc {
+namespace {
+constexpr std::string_view kLog = "hwdb-rpc";
+}  // namespace
+
+void RpcClient::call(RequestBody body, ResponseCallback cb) {
+  Request req;
+  req.request_id = next_request_id_++;
+  if (req.request_id == 0) req.request_id = next_request_id_++;
+  req.body = std::move(body);
+  if (cb) pending_[req.request_id] = std::move(cb);
+  send_(encode(req));
+}
+
+void RpcClient::handle_datagram(std::span<const std::uint8_t> datagram) {
+  auto decoded = decode(datagram, /*from_server=*/true);
+  if (!decoded) {
+    HW_LOG_WARN(kLog, "bad server datagram: %s", decoded.error().message.c_str());
+    return;
+  }
+  if (auto* push = std::get_if<Publish>(&decoded.value())) {
+    if (push_) push_(push->sub_id, push->result);
+    return;
+  }
+  if (auto* resp = std::get_if<Response>(&decoded.value())) {
+    auto it = pending_.find(resp->request_id);
+    if (it == pending_.end()) return;
+    auto cb = std::move(it->second);
+    pending_.erase(it);
+    cb(*resp);
+  }
+}
+
+void RpcClient::insert(std::string table, std::vector<Value> values,
+                       ResponseCallback cb) {
+  call(InsertRequest{std::move(table), std::move(values)}, std::move(cb));
+}
+
+void RpcClient::query(std::string cql, std::function<void(Result<ResultSet>)> cb) {
+  call(QueryRequest{std::move(cql)}, [cb = std::move(cb)](const Response& resp) {
+    if (!resp.ok) {
+      cb(make_error(resp.error));
+    } else if (resp.result) {
+      cb(*resp.result);
+    } else {
+      cb(make_error("RPC: query response missing result"));
+    }
+  });
+}
+
+void RpcClient::subscribe(std::string cql, bool on_insert, std::uint32_t period_ms,
+                          std::function<void(Result<std::uint64_t>)> cb) {
+  call(SubscribeRequest{std::move(cql), on_insert, period_ms},
+       [cb = std::move(cb)](const Response& resp) {
+         if (!resp.ok) {
+           cb(make_error(resp.error));
+         } else if (resp.sub_id) {
+           cb(*resp.sub_id);
+         } else {
+           cb(make_error("RPC: subscribe response missing id"));
+         }
+       });
+}
+
+void RpcClient::unsubscribe(std::uint64_t sub_id) {
+  call(UnsubscribeRequest{sub_id}, {});
+}
+
+}  // namespace hw::hwdb::rpc

@@ -1,0 +1,48 @@
+// Client-side RPC stub: request/response correlation plus push dispatch.
+// Transport-independent; pair with InProcRpcLink (simulation) or
+// UdpTransport (real sockets).
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "hwdb/rpc_codec.hpp"
+#include "sim/event_loop.hpp"
+
+namespace hw::hwdb::rpc {
+
+class RpcClient {
+ public:
+  using SendFn = std::function<void(const Bytes&)>;
+  using ResponseCallback = std::function<void(const Response&)>;
+  using PushCallback = std::function<void(std::uint64_t sub_id, const ResultSet&)>;
+
+  explicit RpcClient(SendFn send) : send_(std::move(send)) {}
+
+  /// Sends a request; `cb` fires when the matching response arrives.
+  void call(RequestBody body, ResponseCallback cb);
+
+  /// Push handler for subscription publishes.
+  void on_push(PushCallback cb) { push_ = std::move(cb); }
+
+  /// Feed a datagram received from the server.
+  void handle_datagram(std::span<const std::uint8_t> datagram);
+
+  // Convenience wrappers.
+  void insert(std::string table, std::vector<Value> values,
+              ResponseCallback cb = {});
+  void query(std::string cql, std::function<void(Result<ResultSet>)> cb);
+  void subscribe(std::string cql, bool on_insert, std::uint32_t period_ms,
+                 std::function<void(Result<std::uint64_t>)> cb);
+  void unsubscribe(std::uint64_t sub_id);
+
+  [[nodiscard]] std::size_t pending() const { return pending_.size(); }
+
+ private:
+  SendFn send_;
+  PushCallback push_;
+  std::map<std::uint32_t, ResponseCallback> pending_;
+  std::uint32_t next_request_id_ = 1;
+};
+
+}  // namespace hw::hwdb::rpc

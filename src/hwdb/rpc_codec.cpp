@@ -1,0 +1,271 @@
+#include "hwdb/rpc_codec.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace hw::hwdb::rpc {
+namespace {
+
+void write_str16(ByteWriter& w, const std::string& s) {
+  const std::size_t len = std::min<std::size_t>(s.size(), 0xffff);
+  w.u16(static_cast<std::uint16_t>(len));
+  w.raw(s.data(), len);
+}
+
+Result<std::string> read_str16(ByteReader& r) {
+  auto len = r.u16();
+  if (!len) return len.error();
+  return r.fixed_string(len.value());
+}
+
+}  // namespace
+
+void write_value(ByteWriter& w, const Value& v) {
+  w.u8(static_cast<std::uint8_t>(v.type()));
+  switch (v.type()) {
+    case ColumnType::Int:
+      w.u64(static_cast<std::uint64_t>(v.as_int()));
+      break;
+    case ColumnType::Real: {
+      w.u64(std::bit_cast<std::uint64_t>(v.as_real()));
+      break;
+    }
+    case ColumnType::Text:
+      write_str16(w, v.as_text());
+      break;
+    case ColumnType::Ts:
+      w.u64(v.as_ts());
+      break;
+  }
+}
+
+Result<Value> read_value(ByteReader& r) {
+  auto type = r.u8();
+  if (!type) return type.error();
+  if (type.value() > 3) return make_error("RPC: bad value type tag");
+  switch (static_cast<ColumnType>(type.value())) {
+    case ColumnType::Int: {
+      auto v = r.u64();
+      if (!v) return v.error();
+      return Value{static_cast<std::int64_t>(v.value())};
+    }
+    case ColumnType::Real: {
+      auto v = r.u64();
+      if (!v) return v.error();
+      return Value{std::bit_cast<double>(v.value())};
+    }
+    case ColumnType::Text: {
+      auto s = read_str16(r);
+      if (!s) return s.error();
+      return Value{std::move(s).take()};
+    }
+    case ColumnType::Ts: {
+      auto v = r.u64();
+      if (!v) return v.error();
+      return Value::ts(v.value());
+    }
+  }
+  return make_error("RPC: unreachable value type");
+}
+
+void write_result_set(ByteWriter& w, const ResultSet& rs) {
+  w.u16(static_cast<std::uint16_t>(rs.columns.size()));
+  for (const auto& c : rs.columns) write_str16(w, c);
+  w.u32(static_cast<std::uint32_t>(rs.rows.size()));
+  for (const auto& row : rs.rows) {
+    for (const auto& v : row) write_value(w, v);
+  }
+}
+
+Result<ResultSet> read_result_set(ByteReader& r) {
+  ResultSet rs;
+  auto ncols = r.u16();
+  if (!ncols) return ncols.error();
+  for (int i = 0; i < ncols.value(); ++i) {
+    auto name = read_str16(r);
+    if (!name) return name.error();
+    rs.columns.push_back(std::move(name).take());
+  }
+  auto nrows = r.u32();
+  if (!nrows) return nrows.error();
+  if (nrows.value() > 10'000'000) return make_error("RPC: implausible row count");
+  rs.rows.reserve(nrows.value());
+  for (std::uint32_t i = 0; i < nrows.value(); ++i) {
+    std::vector<Value> row;
+    row.reserve(rs.columns.size());
+    for (std::size_t c = 0; c < rs.columns.size(); ++c) {
+      auto v = read_value(r);
+      if (!v) return v.error();
+      row.push_back(std::move(v).take());
+    }
+    rs.rows.push_back(std::move(row));
+  }
+  return rs;
+}
+
+Bytes encode(const Request& req) {
+  ByteWriter w(64);
+  w.u32(req.request_id);
+  std::visit(
+      [&](const auto& body) {
+        using T = std::decay_t<decltype(body)>;
+        if constexpr (std::is_same_v<T, InsertRequest>) {
+          w.u8(static_cast<std::uint8_t>(Opcode::Insert));
+          write_str16(w, body.table);
+          w.u16(static_cast<std::uint16_t>(body.values.size()));
+          for (const auto& v : body.values) write_value(w, v);
+        } else if constexpr (std::is_same_v<T, QueryRequest>) {
+          w.u8(static_cast<std::uint8_t>(Opcode::Query));
+          write_str16(w, body.cql);
+        } else if constexpr (std::is_same_v<T, SubscribeRequest>) {
+          w.u8(static_cast<std::uint8_t>(Opcode::Subscribe));
+          write_str16(w, body.cql);
+          w.u8(body.on_insert ? 1 : 0);
+          w.u32(body.period_ms);
+        } else if constexpr (std::is_same_v<T, UnsubscribeRequest>) {
+          w.u8(static_cast<std::uint8_t>(Opcode::Unsubscribe));
+          w.u64(body.sub_id);
+        } else {
+          w.u8(static_cast<std::uint8_t>(Opcode::Ping));
+        }
+      },
+      req.body);
+  return std::move(w).take();
+}
+
+Bytes encode(const Response& resp) {
+  ByteWriter w(64);
+  w.u32(resp.request_id);
+  w.u8(resp.ok ? 0 : 1);
+  if (!resp.ok) {
+    write_str16(w, resp.error);
+    return std::move(w).take();
+  }
+  // Body discriminator: 0 none, 1 resultset, 2 sub_id.
+  if (resp.result) {
+    w.u8(1);
+    write_result_set(w, *resp.result);
+  } else if (resp.sub_id) {
+    w.u8(2);
+    w.u64(*resp.sub_id);
+  } else {
+    w.u8(0);
+  }
+  return std::move(w).take();
+}
+
+Bytes encode(const Publish& push) {
+  ByteWriter w(64);
+  w.u32(0);
+  w.u8(static_cast<std::uint8_t>(Opcode::Publish));
+  w.u64(push.sub_id);
+  write_result_set(w, push.result);
+  return std::move(w).take();
+}
+
+Result<Decoded> decode(std::span<const std::uint8_t> datagram, bool from_server) {
+  ByteReader r(datagram);
+  auto request_id = r.u32();
+  if (!request_id) return request_id.error();
+
+  if (from_server) {
+    // Either a push (request_id 0, opcode Publish) or a response.
+    if (request_id.value() == 0) {
+      auto opcode = r.u8();
+      if (!opcode) return opcode.error();
+      if (opcode.value() != static_cast<std::uint8_t>(Opcode::Publish)) {
+        return make_error("RPC: expected Publish opcode");
+      }
+      Publish push;
+      auto sub = r.u64();
+      if (!sub) return sub.error();
+      push.sub_id = sub.value();
+      auto rs = read_result_set(r);
+      if (!rs) return rs.error();
+      push.result = std::move(rs).take();
+      return Decoded{std::move(push)};
+    }
+    Response resp;
+    resp.request_id = request_id.value();
+    auto status = r.u8();
+    if (!status) return status.error();
+    resp.ok = status.value() == 0;
+    if (!resp.ok) {
+      auto err = read_str16(r);
+      if (!err) return err.error();
+      resp.error = std::move(err).take();
+      return Decoded{std::move(resp)};
+    }
+    auto disc = r.u8();
+    if (!disc) return disc.error();
+    if (disc.value() == 1) {
+      auto rs = read_result_set(r);
+      if (!rs) return rs.error();
+      resp.result = std::move(rs).take();
+    } else if (disc.value() == 2) {
+      auto sub = r.u64();
+      if (!sub) return sub.error();
+      resp.sub_id = sub.value();
+    } else if (disc.value() != 0) {
+      return make_error("RPC: bad response discriminator");
+    }
+    return Decoded{std::move(resp)};
+  }
+
+  // Client → server: request.
+  Request req;
+  req.request_id = request_id.value();
+  auto opcode = r.u8();
+  if (!opcode) return opcode.error();
+  switch (static_cast<Opcode>(opcode.value())) {
+    case Opcode::Insert: {
+      InsertRequest body;
+      auto table = read_str16(r);
+      if (!table) return table.error();
+      body.table = std::move(table).take();
+      auto n = r.u16();
+      if (!n) return n.error();
+      for (int i = 0; i < n.value(); ++i) {
+        auto v = read_value(r);
+        if (!v) return v.error();
+        body.values.push_back(std::move(v).take());
+      }
+      req.body = std::move(body);
+      return Decoded{std::move(req)};
+    }
+    case Opcode::Query: {
+      auto cql = read_str16(r);
+      if (!cql) return cql.error();
+      req.body = QueryRequest{std::move(cql).take()};
+      return Decoded{std::move(req)};
+    }
+    case Opcode::Subscribe: {
+      SubscribeRequest body;
+      auto cql = read_str16(r);
+      if (!cql) return cql.error();
+      body.cql = std::move(cql).take();
+      auto mode = r.u8();
+      if (!mode) return mode.error();
+      body.on_insert = mode.value() != 0;
+      auto period = r.u32();
+      if (!period) return period.error();
+      body.period_ms = period.value();
+      req.body = std::move(body);
+      return Decoded{std::move(req)};
+    }
+    case Opcode::Unsubscribe: {
+      auto sub = r.u64();
+      if (!sub) return sub.error();
+      req.body = UnsubscribeRequest{sub.value()};
+      return Decoded{std::move(req)};
+    }
+    case Opcode::Ping:
+      req.body = PingRequest{};
+      return Decoded{std::move(req)};
+    case Opcode::Publish:
+      break;
+  }
+  return make_error("RPC: bad request opcode");
+}
+
+}  // namespace hw::hwdb::rpc

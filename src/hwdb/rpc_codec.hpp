@@ -1,0 +1,85 @@
+// Wire codec for hwdb's "simple UDP-based RPC interface" (paper §2).
+// Datagram layout:
+//   request : u32 request_id | u8 opcode | body
+//   response: u32 request_id | u8 status  | body     (status 0=ok, 1=error)
+//   push    : u32 0          | u8 opcode=Publish | u64 sub_id | resultset
+// Every multi-byte field is network byte order.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "hwdb/query.hpp"
+#include "util/bytes.hpp"
+
+namespace hw::hwdb::rpc {
+
+enum class Opcode : std::uint8_t {
+  Insert = 1,
+  Query = 2,
+  Subscribe = 3,
+  Unsubscribe = 4,
+  Ping = 5,
+  Publish = 6,  // server→client push
+};
+
+struct InsertRequest {
+  std::string table;
+  std::vector<Value> values;
+};
+
+struct QueryRequest {
+  std::string cql;
+};
+
+struct SubscribeRequest {
+  std::string cql;
+  bool on_insert = false;   // false: periodic
+  std::uint32_t period_ms = 1000;
+};
+
+struct UnsubscribeRequest {
+  std::uint64_t sub_id = 0;
+};
+
+struct PingRequest {};
+
+using RequestBody = std::variant<InsertRequest, QueryRequest, SubscribeRequest,
+                                 UnsubscribeRequest, PingRequest>;
+
+struct Request {
+  std::uint32_t request_id = 0;
+  RequestBody body;
+};
+
+struct Response {
+  std::uint32_t request_id = 0;
+  bool ok = true;
+  std::string error;            // when !ok
+  std::optional<ResultSet> result;   // Query
+  std::optional<std::uint64_t> sub_id;  // Subscribe
+};
+
+struct Publish {
+  std::uint64_t sub_id = 0;
+  ResultSet result;
+};
+
+Bytes encode(const Request& req);
+Bytes encode(const Response& resp);
+Bytes encode(const Publish& push);
+
+/// Datagram classification after decoding.
+using Decoded = std::variant<Request, Response, Publish>;
+Result<Decoded> decode(std::span<const std::uint8_t> datagram,
+                       bool from_server);
+
+/// Shared helpers (exposed for tests).
+void write_result_set(ByteWriter& w, const ResultSet& rs);
+Result<ResultSet> read_result_set(ByteReader& r);
+void write_value(ByteWriter& w, const Value& v);
+Result<Value> read_value(ByteReader& r);
+
+}  // namespace hw::hwdb::rpc

@@ -1,0 +1,93 @@
+#include "hwdb/rpc_server.hpp"
+
+#include "util/logging.hpp"
+
+namespace hw::hwdb::rpc {
+namespace {
+constexpr std::string_view kLog = "hwdb-rpc";
+}  // namespace
+
+RpcServer::~RpcServer() {
+  for (const auto& [sub_id, _] : sub_owner_) db_.unsubscribe(sub_id);
+}
+
+void RpcServer::handle_datagram(ClientAddress from,
+                                std::span<const std::uint8_t> datagram) {
+  auto decoded = decode(datagram, /*from_server=*/false);
+  if (!decoded) {
+    ++stats_.errors;
+    HW_LOG_WARN(kLog, "bad request datagram: %s", decoded.error().message.c_str());
+    return;
+  }
+  const auto* req = std::get_if<Request>(&decoded.value());
+  if (req == nullptr) {
+    ++stats_.errors;
+    return;
+  }
+  ++stats_.requests;
+  Response resp = process(from, *req);
+  send_(from, encode(resp));
+}
+
+Response RpcServer::process(ClientAddress from, const Request& req) {
+  Response resp;
+  resp.request_id = req.request_id;
+
+  std::visit(
+      [&](const auto& body) {
+        using T = std::decay_t<decltype(body)>;
+        if constexpr (std::is_same_v<T, InsertRequest>) {
+          auto status = db_.insert(body.table, body.values);
+          if (!status.ok()) {
+            resp.ok = false;
+            resp.error = status.error().message;
+          }
+        } else if constexpr (std::is_same_v<T, QueryRequest>) {
+          auto rs = db_.query(body.cql);
+          if (!rs) {
+            resp.ok = false;
+            resp.error = rs.error().message;
+          } else {
+            resp.result = std::move(rs).take();
+          }
+        } else if constexpr (std::is_same_v<T, SubscribeRequest>) {
+          const auto mode = body.on_insert ? SubscriptionMode::OnInsert
+                                           : SubscriptionMode::Periodic;
+          auto sub = db_.subscribe(
+              body.cql, mode,
+              static_cast<Duration>(body.period_ms) * kMillisecond,
+              [this, from](SubscriptionId id, const ResultSet& rs) {
+                ++stats_.pushes;
+                send_(from, encode(Publish{id, rs}));
+              });
+          if (!sub) {
+            resp.ok = false;
+            resp.error = sub.error().message;
+          } else {
+            sub_owner_[sub.value()] = from;
+            resp.sub_id = sub.value();
+          }
+        } else if constexpr (std::is_same_v<T, UnsubscribeRequest>) {
+          db_.unsubscribe(body.sub_id);
+          sub_owner_.erase(body.sub_id);
+        } else {
+          // Ping: empty ok response.
+        }
+      },
+      req.body);
+  if (!resp.ok) ++stats_.errors;
+  return resp;
+}
+
+void RpcServer::drop_client(ClientAddress addr) {
+  for (auto it = sub_owner_.begin(); it != sub_owner_.end();) {
+    if (it->second == addr) {
+      db_.unsubscribe(it->first);
+      it = sub_owner_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace hw::hwdb::rpc

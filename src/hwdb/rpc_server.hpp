@@ -1,0 +1,53 @@
+// Transport-independent RPC service endpoint binding a Database. Satellite
+// devices (the paper's visualization/control interfaces) talk to this over
+// UDP; tests and the in-process UIs use it directly.
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "hwdb/database.hpp"
+#include "hwdb/rpc_codec.hpp"
+
+namespace hw::hwdb::rpc {
+
+/// Opaque client address a transport hands in with each datagram and uses to
+/// route responses/pushes back.
+using ClientAddress = std::uint64_t;
+
+struct ServerStats {
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t pushes = 0;
+};
+
+class RpcServer {
+ public:
+  /// `send` transmits a datagram back to a client (responses and pushes).
+  using SendFn = std::function<void(ClientAddress, const Bytes&)>;
+
+  RpcServer(Database& db, SendFn send) : db_(db), send_(std::move(send)) {}
+  ~RpcServer();
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  /// Processes one request datagram from `from`; sends the response (and
+  /// registers push routes for subscribes) through the SendFn.
+  void handle_datagram(ClientAddress from, std::span<const std::uint8_t> datagram);
+
+  /// Drops all subscriptions owned by a client (transport saw it vanish).
+  void drop_client(ClientAddress addr);
+
+  [[nodiscard]] const ServerStats& stats() const { return stats_; }
+
+ private:
+  Response process(ClientAddress from, const Request& req);
+
+  Database& db_;
+  SendFn send_;
+  ServerStats stats_;
+  /// subscription id → owning client.
+  std::map<SubscriptionId, ClientAddress> sub_owner_;
+};
+
+}  // namespace hw::hwdb::rpc

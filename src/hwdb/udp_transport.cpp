@@ -1,0 +1,160 @@
+#include "hwdb/udp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "util/logging.hpp"
+
+namespace hw::hwdb::rpc {
+namespace {
+constexpr std::string_view kLog = "hwdb-udp";
+constexpr std::size_t kMaxDatagram = 65536;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// InProcRpcLink
+
+InProcRpcLink::InProcRpcLink(sim::EventLoop& loop, Database& db, Config config,
+                             Rng* rng)
+    : loop_(loop), config_(config), rng_(rng) {
+  server_ = std::make_unique<RpcServer>(
+      db, [this](ClientAddress to, const Bytes& datagram) {
+        if (rng_ != nullptr && config_.loss_probability > 0 &&
+            rng_->chance(config_.loss_probability)) {
+          return;
+        }
+        loop_.schedule(config_.latency, [this, to, datagram] {
+          const std::size_t idx = static_cast<std::size_t>(to);
+          if (idx < clients_.size()) clients_[idx]->handle_datagram(datagram);
+        });
+      });
+}
+
+InProcRpcLink::~InProcRpcLink() = default;
+
+RpcClient& InProcRpcLink::make_client() {
+  const ClientAddress addr = clients_.size();
+  clients_.push_back(std::make_unique<RpcClient>([this, addr](const Bytes& d) {
+    if (rng_ != nullptr && config_.loss_probability > 0 &&
+        rng_->chance(config_.loss_probability)) {
+      return;
+    }
+    loop_.schedule(config_.latency, [this, addr, d] {
+      server_->handle_datagram(addr, d);
+    });
+  }));
+  return *clients_.back();
+}
+
+// ---------------------------------------------------------------------------
+// UdpServerTransport
+
+UdpServerTransport::UdpServerTransport(Database& db, std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
+  if (fd_ < 0) {
+    HW_LOG_ERROR(kLog, "socket() failed: %s", std::strerror(errno));
+    return;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    HW_LOG_ERROR(kLog, "bind() failed: %s", std::strerror(errno));
+    ::close(fd_);
+    fd_ = -1;
+    return;
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  server_ = std::make_unique<RpcServer>(
+      db, [this](ClientAddress to, const Bytes& datagram) {
+        // ClientAddress packs (ip, port) of the peer.
+        sockaddr_in peer{};
+        peer.sin_family = AF_INET;
+        peer.sin_addr.s_addr = htonl(static_cast<std::uint32_t>(to >> 16));
+        peer.sin_port = htons(static_cast<std::uint16_t>(to & 0xffff));
+        ::sendto(fd_, datagram.data(), datagram.size(), 0,
+                 reinterpret_cast<sockaddr*>(&peer), sizeof peer);
+      });
+}
+
+UdpServerTransport::~UdpServerTransport() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::size_t UdpServerTransport::poll() {
+  if (fd_ < 0) return 0;
+  std::size_t handled = 0;
+  Bytes buf(kMaxDatagram);
+  while (true) {
+    sockaddr_in peer{};
+    socklen_t peer_len = sizeof peer;
+    const ssize_t n = ::recvfrom(fd_, buf.data(), buf.size(), 0,
+                                 reinterpret_cast<sockaddr*>(&peer), &peer_len);
+    if (n < 0) break;  // EWOULDBLOCK: drained
+    const ClientAddress from =
+        (static_cast<ClientAddress>(ntohl(peer.sin_addr.s_addr)) << 16) |
+        ntohs(peer.sin_port);
+    server_->handle_datagram(from,
+                             std::span(buf.data(), static_cast<std::size_t>(n)));
+    ++handled;
+  }
+  return handled;
+}
+
+// ---------------------------------------------------------------------------
+// UdpClientTransport
+
+UdpClientTransport::UdpClientTransport(std::uint16_t server_port) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
+  if (fd_ < 0) {
+    HW_LOG_ERROR(kLog, "socket() failed: %s", std::strerror(errno));
+    return;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server_port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    HW_LOG_ERROR(kLog, "connect() failed: %s", std::strerror(errno));
+    ::close(fd_);
+    fd_ = -1;
+    return;
+  }
+  client_ = std::make_unique<RpcClient>([this](const Bytes& datagram) {
+    if (fd_ >= 0) ::send(fd_, datagram.data(), datagram.size(), 0);
+  });
+}
+
+UdpClientTransport::~UdpClientTransport() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::size_t UdpClientTransport::poll() {
+  if (fd_ < 0) return 0;
+  std::size_t handled = 0;
+  Bytes buf(kMaxDatagram);
+  while (true) {
+    const ssize_t n = ::recv(fd_, buf.data(), buf.size(), 0);
+    if (n < 0) break;
+    client_->handle_datagram(std::span(buf.data(), static_cast<std::size_t>(n)));
+    ++handled;
+  }
+  return handled;
+}
+
+bool UdpClientTransport::wait(int timeout_ms) {
+  if (fd_ < 0) return false;
+  pollfd pfd{fd_, POLLIN, 0};
+  return ::poll(&pfd, 1, timeout_ms) > 0;
+}
+
+}  // namespace hw::hwdb::rpc

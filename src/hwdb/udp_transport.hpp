@@ -1,0 +1,91 @@
+// Transports binding RpcServer/RpcClient together.
+//
+// InProcRpcLink routes datagrams through the simulation event loop (with a
+// configurable latency and loss model, since UDP gives no guarantees).
+// UdpServerTransport/UdpClientTransport use real AF_INET sockets on
+// loopback, preserving the paper's deployment shape; they are poll-driven so
+// tests can pump them without threads.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "hwdb/rpc_client.hpp"
+#include "hwdb/rpc_server.hpp"
+#include "sim/event_loop.hpp"
+#include "util/rand.hpp"
+
+namespace hw::hwdb::rpc {
+
+/// In-process datagram link between one server and N clients.
+class InProcRpcLink {
+ public:
+  struct Config {
+    Duration latency = 200;  // one-way, microseconds
+    double loss_probability = 0.0;
+  };
+
+  InProcRpcLink(sim::EventLoop& loop, Database& db, Config config,
+                Rng* rng = nullptr);
+  InProcRpcLink(sim::EventLoop& loop, Database& db)
+      : InProcRpcLink(loop, db, Config{}) {}
+  ~InProcRpcLink();
+
+  /// Creates a client attached to the link.
+  RpcClient& make_client();
+
+  [[nodiscard]] RpcServer& server() { return *server_; }
+
+ private:
+  sim::EventLoop& loop_;
+  Config config_;
+  Rng* rng_;
+  std::unique_ptr<RpcServer> server_;
+  std::vector<std::unique_ptr<RpcClient>> clients_;
+};
+
+/// Real-socket UDP server. Bind to 127.0.0.1:port (0 = ephemeral); call
+/// poll() to drain pending datagrams.
+class UdpServerTransport {
+ public:
+  UdpServerTransport(Database& db, std::uint16_t port);
+  ~UdpServerTransport();
+  UdpServerTransport(const UdpServerTransport&) = delete;
+  UdpServerTransport& operator=(const UdpServerTransport&) = delete;
+
+  [[nodiscard]] bool ok() const { return fd_ >= 0; }
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  /// Processes all currently queued datagrams; returns how many.
+  std::size_t poll();
+
+  [[nodiscard]] RpcServer& server() { return *server_; }
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::unique_ptr<RpcServer> server_;
+};
+
+/// Real-socket UDP client talking to a UdpServerTransport.
+class UdpClientTransport {
+ public:
+  explicit UdpClientTransport(std::uint16_t server_port);
+  ~UdpClientTransport();
+  UdpClientTransport(const UdpClientTransport&) = delete;
+  UdpClientTransport& operator=(const UdpClientTransport&) = delete;
+
+  [[nodiscard]] bool ok() const { return fd_ >= 0; }
+  /// Processes queued datagrams from the server; returns how many.
+  std::size_t poll();
+  /// Polls until a datagram arrives or `timeout_ms` elapses.
+  bool wait(int timeout_ms);
+
+  [[nodiscard]] RpcClient& client() { return *client_; }
+
+ private:
+  int fd_ = -1;
+  std::unique_ptr<RpcClient> client_;
+};
+
+}  // namespace hw::hwdb::rpc

@@ -1,0 +1,75 @@
+// Typed values for hwdb rows. The Homework Database stores ephemeral events
+// as typed tuples (Sventek et al., IM 2011); we support the four column
+// types its standard tables need.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "util/result.hpp"
+#include "util/types.hpp"
+
+namespace hw::hwdb {
+
+enum class ColumnType : std::uint8_t {
+  Int = 0,   // 64-bit signed
+  Real = 1,  // double
+  Text = 2,  // UTF-8 string (also used for MAC/IP addresses)
+  Ts = 3,    // microsecond timestamp
+};
+
+const char* to_string(ColumnType t);
+
+class Value {
+ public:
+  Value() : v_(std::int64_t{0}) {}
+  Value(std::int64_t i) : v_(i) {}        // NOLINT
+  Value(int i) : v_(std::int64_t{i}) {}   // NOLINT
+  Value(double d) : v_(d) {}              // NOLINT
+  Value(std::string s) : v_(std::move(s)) {}  // NOLINT
+  Value(const char* s) : v_(std::string(s)) {}  // NOLINT
+  static Value ts(Timestamp t) {
+    Value v;
+    v.v_ = TsBox{t};
+    return v;
+  }
+
+  [[nodiscard]] ColumnType type() const {
+    switch (v_.index()) {
+      case 0: return ColumnType::Int;
+      case 1: return ColumnType::Real;
+      case 2: return ColumnType::Text;
+      default: return ColumnType::Ts;
+    }
+  }
+
+  [[nodiscard]] bool is_numeric() const {
+    return type() == ColumnType::Int || type() == ColumnType::Real ||
+           type() == ColumnType::Ts;
+  }
+
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] double as_real() const;
+  [[nodiscard]] const std::string& as_text() const;
+  [[nodiscard]] Timestamp as_ts() const;
+
+  /// Renders for RPC text transport and report output.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parses `text` as the given column type.
+  static Result<Value> from_string(ColumnType type, const std::string& text);
+
+  /// Ordering across numeric values uses numeric comparison; text compares
+  /// lexicographically; mixed text/number compares by rendered text.
+  [[nodiscard]] int compare(const Value& other) const;
+  bool operator==(const Value& other) const { return compare(other) == 0; }
+
+ private:
+  struct TsBox {
+    Timestamp t;
+  };
+  std::variant<std::int64_t, double, std::string, TsBox> v_;
+};
+
+}  // namespace hw::hwdb

@@ -1,0 +1,54 @@
+#include "net/app_map.hpp"
+
+#include <algorithm>
+
+namespace hw::net {
+namespace {
+
+bool port_is(const FiveTuple& t, std::uint16_t port) {
+  return t.src_port == port || t.dst_port == port;
+}
+
+bool port_in(const FiveTuple& t, std::initializer_list<std::uint16_t> ports) {
+  return std::any_of(ports.begin(), ports.end(),
+                     [&](std::uint16_t p) { return port_is(t, p); });
+}
+
+}  // namespace
+
+AppProtocol classify_app(const FiveTuple& t) {
+  if (t.protocol == 1) return AppProtocol::Icmp;
+  if (t.protocol == 17 && (port_is(t, 67) || port_is(t, 68))) return AppProtocol::Dhcp;
+  if (port_is(t, 53)) return AppProtocol::Dns;
+  if (port_is(t, 80) || port_is(t, 8080)) return AppProtocol::Web;
+  if (port_is(t, 443) || port_is(t, 8443)) return AppProtocol::WebSecure;
+  if (port_in(t, {25, 110, 143, 465, 587, 993, 995})) return AppProtocol::Email;
+  if (port_in(t, {554, 1935, 5004, 5005, 8554})) return AppProtocol::Streaming;
+  if (port_in(t, {5060, 5061})) return AppProtocol::VoIP;
+  if (port_in(t, {3074, 3478, 3479, 3658, 27015, 27016})) return AppProtocol::Gaming;
+  if (port_in(t, {20, 21, 139, 445, 548}) ||
+      (t.dst_port >= 6881 && t.dst_port <= 6889) ||
+      (t.src_port >= 6881 && t.src_port <= 6889)) {
+    return AppProtocol::FileShare;
+  }
+  return AppProtocol::Other;
+}
+
+std::string app_protocol_name(AppProtocol app) {
+  switch (app) {
+    case AppProtocol::Web: return "web";
+    case AppProtocol::WebSecure: return "web-tls";
+    case AppProtocol::Dns: return "dns";
+    case AppProtocol::Email: return "email";
+    case AppProtocol::Streaming: return "streaming";
+    case AppProtocol::Gaming: return "gaming";
+    case AppProtocol::VoIP: return "voip";
+    case AppProtocol::FileShare: return "fileshare";
+    case AppProtocol::Dhcp: return "dhcp";
+    case AppProtocol::Icmp: return "icmp";
+    case AppProtocol::Other: return "other";
+  }
+  return "other";
+}
+
+}  // namespace hw::net

@@ -1,0 +1,35 @@
+// The paper's "imperfect application–protocol mapping" (§1): the bandwidth
+// UI groups traffic per application by mapping protocol/port to an app label.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/packet.hpp"
+
+namespace hw::net {
+
+/// Application categories shown by the Figure 1 interface.
+enum class AppProtocol {
+  Web,        // HTTP 80
+  WebSecure,  // HTTPS 443
+  Dns,        // 53
+  Email,      // 25/110/143/465/587/993/995
+  Streaming,  // RTSP/RTP/1935 and video CDN heuristics
+  Gaming,     // common console ports
+  VoIP,       // SIP 5060/5061
+  FileShare,  // SMB/AFP/FTP/BitTorrent range
+  Dhcp,
+  Icmp,
+  Other,
+};
+
+/// Best-effort classification from the 5-tuple. Deliberately imperfect, as
+/// the paper notes — e.g. all TCP/443 is "WebSecure" even if it is video.
+AppProtocol classify_app(const FiveTuple& t);
+
+/// Human-readable label ("web", "dns", ...), stable across runs; used as the
+/// protocol key in hwdb Flows aggregation and the UI.
+std::string app_protocol_name(AppProtocol app);
+
+}  // namespace hw::net

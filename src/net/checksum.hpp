@@ -1,0 +1,18 @@
+// RFC 1071 Internet checksum, used by IPv4/ICMP (and TCP/UDP pseudo-header).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/addr.hpp"
+
+namespace hw::net {
+
+/// One's-complement sum over `data`, folded to 16 bits and complemented.
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+/// TCP/UDP checksum including the IPv4 pseudo-header.
+std::uint16_t l4_checksum(Ipv4Address src, Ipv4Address dst, std::uint8_t protocol,
+                          std::span<const std::uint8_t> segment);
+
+}  // namespace hw::net

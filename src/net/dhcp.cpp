@@ -1,0 +1,229 @@
+#include "net/dhcp.hpp"
+
+namespace hw::net {
+namespace {
+
+constexpr std::uint32_t kMagicCookie = 0x63825363;
+constexpr std::size_t kChaddrLen = 16;
+constexpr std::size_t kSnameLen = 64;
+constexpr std::size_t kFileLen = 128;
+
+}  // namespace
+
+Result<DhcpMessage> DhcpMessage::parse(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  DhcpMessage m;
+
+  auto op = r.u8();
+  if (!op) return op.error();
+  if (op.value() != 1 && op.value() != 2) return make_error("DHCP: bad op");
+  m.is_request = op.value() == 1;
+
+  auto htype = r.u8();
+  if (!htype) return htype.error();
+  auto hlen = r.u8();
+  if (!hlen) return hlen.error();
+  if (htype.value() != 1 || hlen.value() != 6) {
+    return make_error("DHCP: unsupported hardware type");
+  }
+  if (auto hops = r.u8(); !hops) return hops.error();
+  auto xid = r.u32();
+  if (!xid) return xid.error();
+  m.xid = xid.value();
+  auto secs = r.u16();
+  if (!secs) return secs.error();
+  m.secs = secs.value();
+  auto flags = r.u16();
+  if (!flags) return flags.error();
+  m.broadcast_flag = (flags.value() & 0x8000) != 0;
+
+  auto ciaddr = r.u32();
+  if (!ciaddr) return ciaddr.error();
+  m.ciaddr = Ipv4Address{ciaddr.value()};
+  auto yiaddr = r.u32();
+  if (!yiaddr) return yiaddr.error();
+  m.yiaddr = Ipv4Address{yiaddr.value()};
+  auto siaddr = r.u32();
+  if (!siaddr) return siaddr.error();
+  m.siaddr = Ipv4Address{siaddr.value()};
+  auto giaddr = r.u32();
+  if (!giaddr) return giaddr.error();
+  m.giaddr = Ipv4Address{giaddr.value()};
+
+  auto chaddr = r.raw(kChaddrLen);
+  if (!chaddr) return chaddr.error();
+  std::array<std::uint8_t, 6> mac{};
+  std::copy_n(chaddr.value().begin(), 6, mac.begin());
+  m.chaddr = MacAddress{mac};
+
+  if (auto s = r.skip(kSnameLen + kFileLen); !s.ok()) return s.error();
+
+  auto cookie = r.u32();
+  if (!cookie) return cookie.error();
+  if (cookie.value() != kMagicCookie) return make_error("DHCP: bad magic cookie");
+
+  bool saw_message_type = false;
+  while (!r.empty()) {
+    auto code = r.u8();
+    if (!code) return code.error();
+    const auto opt = static_cast<DhcpOption>(code.value());
+    if (opt == DhcpOption::Pad) continue;
+    if (opt == DhcpOption::End) break;
+    auto len = r.u8();
+    if (!len) return len.error();
+    auto body = r.view(len.value());
+    if (!body) return body.error();
+    ByteReader br(body.value());
+
+    switch (opt) {
+      case DhcpOption::MessageType: {
+        auto t = br.u8();
+        if (!t) return t.error();
+        if (t.value() < 1 || t.value() > 8) return make_error("DHCP: bad message type");
+        m.message_type = static_cast<DhcpMessageType>(t.value());
+        saw_message_type = true;
+        break;
+      }
+      case DhcpOption::RequestedIp: {
+        auto v = br.u32();
+        if (!v) return v.error();
+        m.requested_ip = Ipv4Address{v.value()};
+        break;
+      }
+      case DhcpOption::ServerIdentifier: {
+        auto v = br.u32();
+        if (!v) return v.error();
+        m.server_identifier = Ipv4Address{v.value()};
+        break;
+      }
+      case DhcpOption::LeaseTime: {
+        auto v = br.u32();
+        if (!v) return v.error();
+        m.lease_time_secs = v.value();
+        break;
+      }
+      case DhcpOption::SubnetMask: {
+        auto v = br.u32();
+        if (!v) return v.error();
+        m.subnet_mask = Ipv4Address{v.value()};
+        break;
+      }
+      case DhcpOption::Router: {
+        auto v = br.u32();
+        if (!v) return v.error();
+        m.router = Ipv4Address{v.value()};
+        break;
+      }
+      case DhcpOption::DnsServer: {
+        while (br.remaining() >= 4) {
+          auto v = br.u32();
+          if (!v) return v.error();
+          m.dns_servers.push_back(Ipv4Address{v.value()});
+        }
+        break;
+      }
+      case DhcpOption::Hostname: {
+        auto s = br.fixed_string(br.remaining());
+        if (!s) return s.error();
+        m.hostname = std::move(s).take();
+        break;
+      }
+      default:
+        break;  // ignore unknown options (ParameterRequestList etc.)
+    }
+  }
+  if (!saw_message_type) return make_error("DHCP: missing message type option");
+  return m;
+}
+
+Bytes DhcpMessage::serialize() const {
+  ByteWriter w(300);
+  w.u8(is_request ? 1 : 2);
+  w.u8(1);  // Ethernet
+  w.u8(6);
+  w.u8(0);  // hops
+  w.u32(xid);
+  w.u16(secs);
+  w.u16(broadcast_flag ? 0x8000 : 0);
+  w.u32(ciaddr.value());
+  w.u32(yiaddr.value());
+  w.u32(siaddr.value());
+  w.u32(giaddr.value());
+  w.raw(chaddr.octets().data(), 6);
+  w.zeros(kChaddrLen - 6);
+  w.zeros(kSnameLen + kFileLen);
+  w.u32(kMagicCookie);
+
+  auto put_opt_u8 = [&](DhcpOption opt, std::uint8_t v) {
+    w.u8(static_cast<std::uint8_t>(opt));
+    w.u8(1);
+    w.u8(v);
+  };
+  auto put_opt_u32 = [&](DhcpOption opt, std::uint32_t v) {
+    w.u8(static_cast<std::uint8_t>(opt));
+    w.u8(4);
+    w.u32(v);
+  };
+
+  put_opt_u8(DhcpOption::MessageType, static_cast<std::uint8_t>(message_type));
+  if (requested_ip) put_opt_u32(DhcpOption::RequestedIp, requested_ip->value());
+  if (server_identifier) {
+    put_opt_u32(DhcpOption::ServerIdentifier, server_identifier->value());
+  }
+  if (lease_time_secs) put_opt_u32(DhcpOption::LeaseTime, *lease_time_secs);
+  if (subnet_mask) put_opt_u32(DhcpOption::SubnetMask, subnet_mask->value());
+  if (router) put_opt_u32(DhcpOption::Router, router->value());
+  if (!dns_servers.empty()) {
+    w.u8(static_cast<std::uint8_t>(DhcpOption::DnsServer));
+    w.u8(static_cast<std::uint8_t>(dns_servers.size() * 4));
+    for (auto d : dns_servers) w.u32(d.value());
+  }
+  if (!hostname.empty()) {
+    w.u8(static_cast<std::uint8_t>(DhcpOption::Hostname));
+    w.u8(static_cast<std::uint8_t>(std::min<std::size_t>(hostname.size(), 255)));
+    w.raw(hostname.data(), std::min<std::size_t>(hostname.size(), 255));
+  }
+  w.u8(static_cast<std::uint8_t>(DhcpOption::End));
+  return std::move(w).take();
+}
+
+DhcpMessage DhcpMessage::discover(std::uint32_t xid, MacAddress mac,
+                                  std::string hostname) {
+  DhcpMessage m;
+  m.is_request = true;
+  m.xid = xid;
+  m.chaddr = mac;
+  m.broadcast_flag = true;
+  m.message_type = DhcpMessageType::Discover;
+  m.hostname = std::move(hostname);
+  return m;
+}
+
+DhcpMessage DhcpMessage::request(std::uint32_t xid, MacAddress mac,
+                                 Ipv4Address requested, Ipv4Address server,
+                                 std::string hostname) {
+  DhcpMessage m;
+  m.is_request = true;
+  m.xid = xid;
+  m.chaddr = mac;
+  m.broadcast_flag = true;
+  m.message_type = DhcpMessageType::Request;
+  m.requested_ip = requested;
+  m.server_identifier = server;
+  m.hostname = std::move(hostname);
+  return m;
+}
+
+DhcpMessage DhcpMessage::release(std::uint32_t xid, MacAddress mac,
+                                 Ipv4Address leased, Ipv4Address server) {
+  DhcpMessage m;
+  m.is_request = true;
+  m.xid = xid;
+  m.chaddr = mac;
+  m.ciaddr = leased;
+  m.message_type = DhcpMessageType::Release;
+  m.server_identifier = server;
+  return m;
+}
+
+}  // namespace hw::net

@@ -1,0 +1,81 @@
+// DHCP message codec (RFC 2131/2132 subset used by home clients).
+// The Homework DHCP server is a NOX module; clients' DISCOVER/REQUEST arrive
+// as OpenFlow packet-ins and the server's OFFER/ACK leave as packet-outs, so
+// full BOOTP + options wire fidelity matters.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/addr.hpp"
+#include "util/bytes.hpp"
+
+namespace hw::net {
+
+inline constexpr std::uint16_t kDhcpServerPort = 67;
+inline constexpr std::uint16_t kDhcpClientPort = 68;
+
+enum class DhcpMessageType : std::uint8_t {
+  Discover = 1,
+  Offer = 2,
+  Request = 3,
+  Decline = 4,
+  Ack = 5,
+  Nak = 6,
+  Release = 7,
+  Inform = 8,
+};
+
+enum class DhcpOption : std::uint8_t {
+  Pad = 0,
+  SubnetMask = 1,
+  Router = 3,
+  DnsServer = 6,
+  Hostname = 12,
+  RequestedIp = 50,
+  LeaseTime = 51,
+  MessageType = 53,
+  ServerIdentifier = 54,
+  ParameterRequestList = 55,
+  ClientIdentifier = 61,
+  End = 255,
+};
+
+struct DhcpMessage {
+  // BOOTP fixed fields.
+  bool is_request = true;            // op: BOOTREQUEST / BOOTREPLY
+  std::uint32_t xid = 0;             // transaction id
+  std::uint16_t secs = 0;
+  bool broadcast_flag = false;
+  Ipv4Address ciaddr;                // client's current address
+  Ipv4Address yiaddr;                // "your" address (assigned)
+  Ipv4Address siaddr;                // next server
+  Ipv4Address giaddr;                // relay agent
+  MacAddress chaddr;                 // client hardware address
+
+  // Decoded options.
+  DhcpMessageType message_type = DhcpMessageType::Discover;
+  std::optional<Ipv4Address> requested_ip;
+  std::optional<Ipv4Address> server_identifier;
+  std::optional<std::uint32_t> lease_time_secs;
+  std::optional<Ipv4Address> subnet_mask;
+  std::optional<Ipv4Address> router;
+  std::vector<Ipv4Address> dns_servers;
+  std::string hostname;
+
+  static Result<DhcpMessage> parse(std::span<const std::uint8_t> payload);
+  [[nodiscard]] Bytes serialize() const;
+
+  /// Client-side constructors.
+  static DhcpMessage discover(std::uint32_t xid, MacAddress mac,
+                              std::string hostname = {});
+  static DhcpMessage request(std::uint32_t xid, MacAddress mac,
+                             Ipv4Address requested, Ipv4Address server,
+                             std::string hostname = {});
+  static DhcpMessage release(std::uint32_t xid, MacAddress mac, Ipv4Address leased,
+                             Ipv4Address server);
+};
+
+}  // namespace hw::net

@@ -1,0 +1,280 @@
+#include "net/dns.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace hw::net {
+namespace {
+
+constexpr std::uint16_t kFlagResponse = 0x8000;
+constexpr std::uint16_t kFlagAuthoritative = 0x0400;
+constexpr std::uint16_t kFlagRecursionDesired = 0x0100;
+constexpr std::uint16_t kFlagRecursionAvailable = 0x0080;
+
+/// Parses a possibly-compressed domain name starting at reader position.
+/// `whole` is the full message for pointer chasing.
+Result<std::string> parse_name(ByteReader& r, std::span<const std::uint8_t> whole) {
+  std::string out;
+  int jumps = 0;
+  // Local cursor within `whole` once we follow a pointer.
+  std::size_t cursor = 0;
+  bool jumped = false;
+
+  auto read_byte = [&](std::uint8_t& b) -> bool {
+    if (!jumped) {
+      auto v = r.u8();
+      if (!v) return false;
+      b = v.value();
+      return true;
+    }
+    if (cursor >= whole.size()) return false;
+    b = whole[cursor++];
+    return true;
+  };
+
+  while (true) {
+    std::uint8_t len = 0;
+    if (!read_byte(len)) return make_error("DNS: truncated name");
+    if (len == 0) break;
+    if ((len & 0xc0) == 0xc0) {
+      std::uint8_t lo = 0;
+      if (!read_byte(lo)) return make_error("DNS: truncated pointer");
+      const std::size_t offset = (static_cast<std::size_t>(len & 0x3f) << 8) | lo;
+      if (offset >= whole.size()) return make_error("DNS: pointer out of range");
+      if (++jumps > 16) return make_error("DNS: pointer loop");
+      cursor = offset;
+      jumped = true;
+      continue;
+    }
+    if (len > 63) return make_error("DNS: label too long");
+    if (!out.empty()) out += '.';
+    for (std::uint8_t i = 0; i < len; ++i) {
+      std::uint8_t c = 0;
+      if (!read_byte(c)) return make_error("DNS: truncated label");
+      out += static_cast<char>(std::tolower(c));
+    }
+    if (out.size() > 253) return make_error("DNS: name too long");
+  }
+  return out;
+}
+
+void write_name(ByteWriter& w, const std::string& name) {
+  if (!name.empty()) {
+    for (const auto& label : split(name, '.')) {
+      const std::size_t len = std::min<std::size_t>(label.size(), 63);
+      w.u8(static_cast<std::uint8_t>(len));
+      w.raw(label.data(), len);
+    }
+  }
+  w.u8(0);
+}
+
+Result<DnsRecord> parse_record(ByteReader& r, std::span<const std::uint8_t> whole) {
+  DnsRecord rec;
+  auto name = parse_name(r, whole);
+  if (!name) return name.error();
+  rec.name = std::move(name).take();
+  auto rtype = r.u16();
+  if (!rtype) return rtype.error();
+  rec.rtype = static_cast<DnsType>(rtype.value());
+  auto rclass = r.u16();
+  if (!rclass) return rclass.error();
+  rec.rclass = rclass.value();
+  auto ttl = r.u32();
+  if (!ttl) return ttl.error();
+  rec.ttl = ttl.value();
+  auto rdlen = r.u16();
+  if (!rdlen) return rdlen.error();
+
+  switch (rec.rtype) {
+    case DnsType::A: {
+      if (rdlen.value() != 4) return make_error("DNS: bad A rdata length");
+      auto addr = r.u32();
+      if (!addr) return addr.error();
+      rec.address = Ipv4Address{addr.value()};
+      break;
+    }
+    case DnsType::Cname:
+    case DnsType::Ptr:
+    case DnsType::Ns: {
+      auto target = parse_name(r, whole);
+      if (!target) return target.error();
+      rec.target = std::move(target).take();
+      break;
+    }
+    default: {
+      auto raw = r.raw(rdlen.value());
+      if (!raw) return raw.error();
+      rec.rdata = std::move(raw).take();
+      break;
+    }
+  }
+  return rec;
+}
+
+void write_record(ByteWriter& w, const DnsRecord& rec) {
+  write_name(w, rec.name);
+  w.u16(static_cast<std::uint16_t>(rec.rtype));
+  w.u16(rec.rclass);
+  w.u32(rec.ttl);
+  switch (rec.rtype) {
+    case DnsType::A:
+      w.u16(4);
+      w.u32(rec.address.value());
+      break;
+    case DnsType::Cname:
+    case DnsType::Ptr:
+    case DnsType::Ns: {
+      ByteWriter tmp;
+      write_name(tmp, rec.target);
+      w.u16(static_cast<std::uint16_t>(tmp.size()));
+      w.raw(tmp.bytes());
+      break;
+    }
+    default:
+      w.u16(static_cast<std::uint16_t>(rec.rdata.size()));
+      w.raw(rec.rdata);
+      break;
+  }
+}
+
+}  // namespace
+
+DnsRecord DnsRecord::a(std::string name, Ipv4Address addr, std::uint32_t ttl) {
+  DnsRecord r;
+  r.name = std::move(name);
+  r.rtype = DnsType::A;
+  r.ttl = ttl;
+  r.address = addr;
+  return r;
+}
+
+DnsRecord DnsRecord::cname(std::string name, std::string target, std::uint32_t ttl) {
+  DnsRecord r;
+  r.name = std::move(name);
+  r.rtype = DnsType::Cname;
+  r.ttl = ttl;
+  r.target = std::move(target);
+  return r;
+}
+
+DnsRecord DnsRecord::ptr(std::string name, std::string target, std::uint32_t ttl) {
+  DnsRecord r;
+  r.name = std::move(name);
+  r.rtype = DnsType::Ptr;
+  r.ttl = ttl;
+  r.target = std::move(target);
+  return r;
+}
+
+Result<DnsMessage> DnsMessage::parse(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  DnsMessage m;
+  auto id = r.u16();
+  if (!id) return id.error();
+  m.id = id.value();
+  auto flags = r.u16();
+  if (!flags) return flags.error();
+  m.is_response = (flags.value() & kFlagResponse) != 0;
+  m.authoritative = (flags.value() & kFlagAuthoritative) != 0;
+  m.recursion_desired = (flags.value() & kFlagRecursionDesired) != 0;
+  m.recursion_available = (flags.value() & kFlagRecursionAvailable) != 0;
+  m.rcode = static_cast<DnsRcode>(flags.value() & 0x0f);
+
+  auto qd = r.u16();
+  if (!qd) return qd.error();
+  auto an = r.u16();
+  if (!an) return an.error();
+  auto ns = r.u16();
+  if (!ns) return ns.error();
+  auto ar = r.u16();
+  if (!ar) return ar.error();
+
+  // Sanity cap: a home-router DNS message never carries thousands of records.
+  if (qd.value() > 32 || an.value() > 256 || ns.value() > 256 || ar.value() > 256) {
+    return make_error("DNS: implausible section counts");
+  }
+
+  for (int i = 0; i < qd.value(); ++i) {
+    DnsQuestion q;
+    auto name = parse_name(r, payload);
+    if (!name) return name.error();
+    q.name = std::move(name).take();
+    auto qtype = r.u16();
+    if (!qtype) return qtype.error();
+    q.qtype = static_cast<DnsType>(qtype.value());
+    auto qclass = r.u16();
+    if (!qclass) return qclass.error();
+    q.qclass = qclass.value();
+    m.questions.push_back(std::move(q));
+  }
+  for (int i = 0; i < an.value(); ++i) {
+    auto rec = parse_record(r, payload);
+    if (!rec) return rec.error();
+    m.answers.push_back(std::move(rec).take());
+  }
+  for (int i = 0; i < ns.value(); ++i) {
+    auto rec = parse_record(r, payload);
+    if (!rec) return rec.error();
+    m.authorities.push_back(std::move(rec).take());
+  }
+  for (int i = 0; i < ar.value(); ++i) {
+    auto rec = parse_record(r, payload);
+    if (!rec) return rec.error();
+    m.additionals.push_back(std::move(rec).take());
+  }
+  return m;
+}
+
+Bytes DnsMessage::serialize() const {
+  ByteWriter w(128);
+  w.u16(id);
+  std::uint16_t flags = 0;
+  if (is_response) flags |= kFlagResponse;
+  if (authoritative) flags |= kFlagAuthoritative;
+  if (recursion_desired) flags |= kFlagRecursionDesired;
+  if (recursion_available) flags |= kFlagRecursionAvailable;
+  flags |= static_cast<std::uint16_t>(rcode);
+  w.u16(flags);
+  w.u16(static_cast<std::uint16_t>(questions.size()));
+  w.u16(static_cast<std::uint16_t>(answers.size()));
+  w.u16(static_cast<std::uint16_t>(authorities.size()));
+  w.u16(static_cast<std::uint16_t>(additionals.size()));
+  for (const auto& q : questions) {
+    write_name(w, q.name);
+    w.u16(static_cast<std::uint16_t>(q.qtype));
+    w.u16(q.qclass);
+  }
+  for (const auto& rec : answers) write_record(w, rec);
+  for (const auto& rec : authorities) write_record(w, rec);
+  for (const auto& rec : additionals) write_record(w, rec);
+  return std::move(w).take();
+}
+
+DnsMessage DnsMessage::query(std::uint16_t id, std::string name, DnsType qtype) {
+  DnsMessage m;
+  m.id = id;
+  m.is_response = false;
+  m.questions.push_back(DnsQuestion{to_lower(name), qtype, 1});
+  return m;
+}
+
+DnsMessage DnsMessage::make_response() const {
+  DnsMessage resp;
+  resp.id = id;
+  resp.is_response = true;
+  resp.recursion_desired = recursion_desired;
+  resp.recursion_available = true;
+  resp.questions = questions;
+  return resp;
+}
+
+std::string DnsMessage::reverse_name(Ipv4Address addr) {
+  const std::uint32_t v = addr.value();
+  return std::to_string(v & 0xff) + "." + std::to_string((v >> 8) & 0xff) + "." +
+         std::to_string((v >> 16) & 0xff) + "." + std::to_string(v >> 24) +
+         ".in-addr.arpa";
+}
+
+}  // namespace hw::net

@@ -1,0 +1,82 @@
+// DNS message codec (RFC 1035 subset: A, PTR, CNAME, AAAA pass-through).
+// The Homework DNS proxy intercepts outgoing queries and inspects responses,
+// so both directions must round-trip, including compressed names on parse.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/addr.hpp"
+#include "util/bytes.hpp"
+
+namespace hw::net {
+
+inline constexpr std::uint16_t kDnsPort = 53;
+
+enum class DnsType : std::uint16_t {
+  A = 1,
+  Ns = 2,
+  Cname = 5,
+  Ptr = 12,
+  Txt = 16,
+  Aaaa = 28,
+};
+
+enum class DnsRcode : std::uint8_t {
+  NoError = 0,
+  FormErr = 1,
+  ServFail = 2,
+  NxDomain = 3,
+  Refused = 5,
+};
+
+struct DnsQuestion {
+  std::string name;  // lower-case, no trailing dot
+  DnsType qtype = DnsType::A;
+  std::uint16_t qclass = 1;  // IN
+};
+
+struct DnsRecord {
+  std::string name;
+  DnsType rtype = DnsType::A;
+  std::uint16_t rclass = 1;
+  std::uint32_t ttl = 300;
+  // Exactly one of the following is meaningful, keyed on rtype:
+  Ipv4Address address;     // A
+  std::string target;      // CNAME/PTR/NS
+  Bytes rdata;             // anything else, raw
+
+  static DnsRecord a(std::string name, Ipv4Address addr, std::uint32_t ttl = 300);
+  static DnsRecord cname(std::string name, std::string target,
+                         std::uint32_t ttl = 300);
+  static DnsRecord ptr(std::string name, std::string target,
+                       std::uint32_t ttl = 300);
+};
+
+struct DnsMessage {
+  std::uint16_t id = 0;
+  bool is_response = false;
+  bool recursion_desired = true;
+  bool recursion_available = false;
+  bool authoritative = false;
+  DnsRcode rcode = DnsRcode::NoError;
+  std::vector<DnsQuestion> questions;
+  std::vector<DnsRecord> answers;
+  std::vector<DnsRecord> authorities;
+  std::vector<DnsRecord> additionals;
+
+  static Result<DnsMessage> parse(std::span<const std::uint8_t> payload);
+  [[nodiscard]] Bytes serialize() const;
+
+  /// Convenience: single-question A query.
+  static DnsMessage query(std::uint16_t id, std::string name,
+                          DnsType qtype = DnsType::A);
+  /// Convenience: response template copying the question section.
+  [[nodiscard]] DnsMessage make_response() const;
+
+  /// "a.b.c" for PTR of 192.0.2.1 → "1.2.0.192.in-addr.arpa".
+  static std::string reverse_name(Ipv4Address addr);
+};
+
+}  // namespace hw::net

@@ -1,0 +1,26 @@
+// ICMP echo (ping) subset — used for reachability checks in examples/tests.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace hw::net {
+
+enum class IcmpType : std::uint8_t {
+  EchoReply = 0,
+  DestinationUnreachable = 3,
+  EchoRequest = 8,
+};
+
+struct IcmpHeader {
+  IcmpType type = IcmpType::EchoRequest;
+  std::uint8_t code = 0;
+  std::uint16_t identifier = 0;
+  std::uint16_t sequence = 0;
+
+  static Result<IcmpHeader> parse(ByteReader& r);
+  void serialize(ByteWriter& w) const;
+};
+
+}  // namespace hw::net

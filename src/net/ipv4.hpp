@@ -1,0 +1,36 @@
+// IPv4 header (RFC 791), no options beyond padding, with checksum handling.
+#pragma once
+
+#include <cstdint>
+
+#include "util/addr.hpp"
+#include "util/bytes.hpp"
+
+namespace hw::net {
+
+enum class IpProto : std::uint8_t {
+  Icmp = 1,
+  Tcp = 6,
+  Udp = 17,
+};
+
+inline constexpr std::size_t kIpv4MinHeaderSize = 20;
+
+struct Ipv4Header {
+  std::uint8_t dscp = 0;
+  std::uint16_t total_length = 0;  // filled in by serialize when 0
+  std::uint16_t identification = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 0;
+  Ipv4Address src;
+  Ipv4Address dst;
+
+  /// Parses and verifies the header checksum.
+  static Result<Ipv4Header> parse(ByteReader& r);
+  /// Serializes with computed checksum. `payload_len` sets total_length.
+  void serialize(ByteWriter& w, std::size_t payload_len) const;
+
+  [[nodiscard]] IpProto proto() const { return static_cast<IpProto>(protocol); }
+};
+
+}  // namespace hw::net

@@ -1,0 +1,4 @@
+#include "nox/component.hpp"
+
+// Component is header-only behaviour; this TU anchors the vtable.
+namespace hw::nox {}  // namespace hw::nox

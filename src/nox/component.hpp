@@ -1,0 +1,68 @@
+// NOX-style component model. The paper's router runs its DHCP server, DNS
+// proxy, control API and hwdb export as NOX modules; each is a Component
+// receiving ordered OpenFlow events and using the Controller's send API.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "openflow/messages.hpp"
+
+namespace hw::nox {
+
+class Controller;
+
+using DatapathId = std::uint64_t;
+
+/// NOX event-handler chain disposition: Continue passes the event to the
+/// next component, Stop consumes it.
+enum class Disposition { Continue, Stop };
+
+/// Context handed to packet-in handlers: the raw message plus a parsed view
+/// (parsed once by the controller, shared by all components).
+struct PacketInEvent {
+  DatapathId dpid = 0;
+  const ofp::PacketIn& msg;
+  const net::ParsedPacket& packet;
+};
+
+class Component {
+ public:
+  explicit Component(std::string name) : name_(std::move(name)) {}
+  virtual ~Component() = default;
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Names of components that must be started before this one (NOX's
+  /// dependency declaration). Resolved topologically by the Controller.
+  [[nodiscard]] virtual std::vector<std::string> dependencies() const {
+    return {};
+  }
+
+  /// Called once when the controller starts the component, after its
+  /// dependencies have been installed. `ctl` outlives the component.
+  virtual void install(Controller& ctl) { ctl_ = &ctl; }
+
+  // -- Event handlers (defaults ignore the event) ---------------------------
+  virtual void handle_datapath_join(DatapathId, const ofp::FeaturesReply&) {}
+  virtual void handle_datapath_leave(DatapathId) {}
+  virtual Disposition handle_packet_in(const PacketInEvent&) {
+    return Disposition::Continue;
+  }
+  virtual void handle_flow_removed(DatapathId, const ofp::FlowRemoved&) {}
+  virtual void handle_port_status(DatapathId, const ofp::PortStatus&) {}
+  virtual void handle_error(DatapathId, const ofp::ErrorMsg&) {}
+
+ protected:
+  [[nodiscard]] Controller& controller() const { return *ctl_; }
+
+ private:
+  std::string name_;
+  Controller* ctl_ = nullptr;
+};
+
+}  // namespace hw::nox

@@ -1,0 +1,231 @@
+#include "nox/controller.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace hw::nox {
+namespace {
+constexpr std::string_view kLog = "nox";
+}  // namespace
+
+Controller::Controller(sim::EventLoop& loop) : loop_(loop) {}
+Controller::~Controller() = default;
+
+void Controller::add_component(std::unique_ptr<Component> component) {
+  components_.push_back(std::move(component));
+}
+
+Component* Controller::component(const std::string& name) const {
+  for (const auto& c : components_) {
+    if (c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+void Controller::start() {
+  if (started_) return;
+  // Topological sort of the dependency graph (DFS, cycle detection).
+  ordered_.clear();
+  std::map<std::string, int> state;  // 0 unvisited, 1 visiting, 2 done
+  std::function<void(Component*)> visit = [&](Component* c) {
+    int& s = state[c->name()];
+    if (s == 2) return;
+    if (s == 1) throw std::runtime_error("component dependency cycle at " + c->name());
+    s = 1;
+    for (const auto& dep : c->dependencies()) {
+      Component* d = component(dep);
+      if (d == nullptr) {
+        throw std::runtime_error("component " + c->name() +
+                                 " depends on unknown component " + dep);
+      }
+      visit(d);
+    }
+    s = 2;
+    ordered_.push_back(c);
+  };
+  for (const auto& c : components_) visit(c.get());
+
+  for (Component* c : ordered_) {
+    HW_LOG_INFO(kLog, "installing component %s", c->name().c_str());
+    c->install(*this);
+  }
+  started_ = true;
+}
+
+void Controller::connect_datapath(ofp::ChannelEndpoint& channel) {
+  auto conn = std::make_unique<Connection>();
+  conn->channel = &channel;
+  Connection* raw = conn.get();
+  channel.on_receive(
+      [this, raw](const Bytes& encoded) { handle_message(*raw, encoded); });
+  connections_.push_back(std::move(conn));
+  // OpenFlow handshake: HELLO then FEATURES_REQUEST.
+  channel.send(ofp::encode({next_xid(), ofp::Hello{}}));
+  channel.send(ofp::encode({next_xid(), ofp::FeaturesRequest{}}));
+}
+
+std::vector<DatapathId> Controller::datapaths() const {
+  std::vector<DatapathId> out;
+  for (const auto& c : connections_) {
+    if (c->dpid) out.push_back(*c->dpid);
+  }
+  return out;
+}
+
+bool Controller::datapath_connected(DatapathId dpid) const {
+  return std::any_of(connections_.begin(), connections_.end(),
+                     [&](const auto& c) { return c->dpid == dpid; });
+}
+
+const ofp::FeaturesReply* Controller::features(DatapathId dpid) const {
+  for (const auto& c : connections_) {
+    if (c->dpid == dpid) return &c->features;
+  }
+  return nullptr;
+}
+
+Controller::Connection* Controller::find(DatapathId dpid) {
+  for (const auto& c : connections_) {
+    if (c->dpid == dpid) return c.get();
+  }
+  return nullptr;
+}
+
+void Controller::handle_message(Connection& conn, const Bytes& encoded) {
+  auto env = ofp::decode(encoded);
+  if (!env) {
+    HW_LOG_WARN(kLog, "undecodable datapath message: %s",
+                env.error().message.c_str());
+    return;
+  }
+  const std::uint32_t xid = env.value().xid;
+
+  std::visit(
+      [&](auto&& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, ofp::Hello>) {
+          // nothing further; features request already in flight
+        } else if constexpr (std::is_same_v<T, ofp::EchoRequest>) {
+          conn.channel->send(ofp::encode({xid, ofp::EchoReply{m.data}}));
+        } else if constexpr (std::is_same_v<T, ofp::EchoReply>) {
+          auto it = pending_echo_.find(xid);
+          if (it != pending_echo_.end()) {
+            auto cb = std::move(it->second);
+            pending_echo_.erase(it);
+            cb();
+          }
+        } else if constexpr (std::is_same_v<T, ofp::FeaturesReply>) {
+          conn.dpid = m.datapath_id;
+          conn.features = m;
+          HW_LOG_INFO(kLog, "datapath %llu joined with %zu ports",
+                      static_cast<unsigned long long>(m.datapath_id),
+                      m.ports.size());
+          for (Component* c : ordered_) {
+            c->handle_datapath_join(m.datapath_id, conn.features);
+          }
+        } else if constexpr (std::is_same_v<T, ofp::PacketIn>) {
+          if (conn.dpid) dispatch_packet_in(*conn.dpid, m);
+        } else if constexpr (std::is_same_v<T, ofp::FlowRemoved>) {
+          ++stats_.flow_removed;
+          if (conn.dpid) {
+            for (Component* c : ordered_) c->handle_flow_removed(*conn.dpid, m);
+          }
+        } else if constexpr (std::is_same_v<T, ofp::PortStatus>) {
+          if (conn.dpid) {
+            for (Component* c : ordered_) c->handle_port_status(*conn.dpid, m);
+          }
+        } else if constexpr (std::is_same_v<T, ofp::ErrorMsg>) {
+          ++stats_.errors;
+          HW_LOG_WARN(kLog, "datapath error type=%u code=%u",
+                      static_cast<unsigned>(m.type), m.code);
+          if (conn.dpid) {
+            for (Component* c : ordered_) c->handle_error(*conn.dpid, m);
+          }
+        } else if constexpr (std::is_same_v<T, ofp::StatsReply>) {
+          auto it = pending_stats_.find(xid);
+          if (it != pending_stats_.end()) {
+            auto cb = std::move(it->second);
+            pending_stats_.erase(it);
+            cb(m);
+          }
+        } else if constexpr (std::is_same_v<T, ofp::BarrierReply>) {
+          // barriers currently used only for ordering; nothing to do
+        } else {
+          HW_LOG_WARN(kLog, "unexpected message type %s from datapath",
+                      to_string(ofp::type_of(ofp::Message{m})));
+        }
+      },
+      std::move(env).take().msg);
+}
+
+void Controller::dispatch_packet_in(DatapathId dpid, const ofp::PacketIn& pi) {
+  ++stats_.packet_ins;
+  auto parsed = net::ParsedPacket::parse(pi.data);
+  if (!parsed) {
+    ++stats_.unparseable_packets;
+    return;
+  }
+  const PacketInEvent event{dpid, pi, parsed.value()};
+  for (Component* c : ordered_) {
+    if (c->handle_packet_in(event) == Disposition::Stop) break;
+  }
+}
+
+void Controller::send_flow_mod(DatapathId dpid, const ofp::FlowMod& mod) {
+  Connection* conn = find(dpid);
+  if (conn == nullptr) return;
+  ++stats_.flow_mods;
+  conn->channel->send(ofp::encode({next_xid(), mod}));
+}
+
+void Controller::send_packet_out(DatapathId dpid, const ofp::PacketOut& po) {
+  Connection* conn = find(dpid);
+  if (conn == nullptr) return;
+  ++stats_.packet_outs;
+  conn->channel->send(ofp::encode({next_xid(), po}));
+}
+
+void Controller::install_flow(DatapathId dpid, const ofp::Match& match,
+                              ofp::ActionList actions, std::uint16_t priority,
+                              std::uint16_t idle_timeout,
+                              std::uint16_t hard_timeout, bool notify_removal,
+                              std::uint64_t cookie) {
+  ofp::FlowMod mod;
+  mod.match = match;
+  mod.command = ofp::FlowModCommand::Add;
+  mod.actions = std::move(actions);
+  mod.priority = priority;
+  mod.idle_timeout = idle_timeout;
+  mod.hard_timeout = hard_timeout;
+  mod.cookie = cookie;
+  if (notify_removal) mod.flags |= ofp::FlowModFlags::kSendFlowRem;
+  send_flow_mod(dpid, mod);
+}
+
+void Controller::delete_flows(DatapathId dpid, const ofp::Match& match) {
+  ofp::FlowMod mod;
+  mod.match = match;
+  mod.command = ofp::FlowModCommand::Delete;
+  send_flow_mod(dpid, mod);
+}
+
+void Controller::request_stats(DatapathId dpid, const ofp::StatsRequest& req,
+                               StatsCallback cb) {
+  Connection* conn = find(dpid);
+  if (conn == nullptr) return;
+  const std::uint32_t xid = next_xid();
+  pending_stats_[xid] = std::move(cb);
+  conn->channel->send(ofp::encode({xid, req}));
+}
+
+void Controller::send_echo(DatapathId dpid, std::function<void()> on_reply) {
+  Connection* conn = find(dpid);
+  if (conn == nullptr) return;
+  const std::uint32_t xid = next_xid();
+  pending_echo_[xid] = std::move(on_reply);
+  conn->channel->send(ofp::encode({xid, ofp::EchoRequest{}}));
+}
+
+}  // namespace hw::nox

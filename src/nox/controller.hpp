@@ -1,0 +1,104 @@
+// The NOX controller core: owns the secure-channel endpoints towards one or
+// more datapaths, performs the OpenFlow handshake, parses events once and
+// dispatches them through the ordered component chain, and exposes the
+// flow-management API the Homework modules use.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "nox/component.hpp"
+#include "openflow/channel.hpp"
+#include "openflow/messages.hpp"
+#include "sim/event_loop.hpp"
+
+namespace hw::nox {
+
+struct ControllerStats {
+  std::uint64_t packet_ins = 0;
+  std::uint64_t packet_outs = 0;
+  std::uint64_t flow_mods = 0;
+  std::uint64_t flow_removed = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t unparseable_packets = 0;
+};
+
+class Controller {
+ public:
+  explicit Controller(sim::EventLoop& loop);
+  ~Controller();
+  Controller(const Controller&) = delete;
+  Controller& operator=(const Controller&) = delete;
+
+  // -- Component management ---------------------------------------------------
+  /// Registers a component. Call before start(). Ownership transfers.
+  void add_component(std::unique_ptr<Component> component);
+  /// Installs all components in dependency order; throws std::runtime_error
+  /// on unknown or cyclic dependencies.
+  void start();
+  /// Finds a registered component by name (for inter-module calls), nullptr
+  /// if absent.
+  [[nodiscard]] Component* component(const std::string& name) const;
+  template <typename T>
+  [[nodiscard]] T* component_as(const std::string& name) const {
+    return dynamic_cast<T*>(component(name));
+  }
+
+  // -- Datapath connections ----------------------------------------------------
+  /// Binds a secure-channel endpoint; the controller sends HELLO and
+  /// FEATURES_REQUEST and announces the datapath to components on reply.
+  void connect_datapath(ofp::ChannelEndpoint& channel);
+  [[nodiscard]] std::vector<DatapathId> datapaths() const;
+  [[nodiscard]] bool datapath_connected(DatapathId dpid) const;
+  [[nodiscard]] const ofp::FeaturesReply* features(DatapathId dpid) const;
+
+  // -- Send API used by components ---------------------------------------------
+  void send_flow_mod(DatapathId dpid, const ofp::FlowMod& mod);
+  void send_packet_out(DatapathId dpid, const ofp::PacketOut& po);
+  /// Convenience: install a rule.
+  void install_flow(DatapathId dpid, const ofp::Match& match,
+                    ofp::ActionList actions, std::uint16_t priority = 0x8000,
+                    std::uint16_t idle_timeout = 0, std::uint16_t hard_timeout = 0,
+                    bool notify_removal = false, std::uint64_t cookie = 0);
+  /// Convenience: delete rules covered by `match`.
+  void delete_flows(DatapathId dpid, const ofp::Match& match);
+
+  /// Async stats: the callback fires when the reply with the matching xid
+  /// arrives.
+  using StatsCallback = std::function<void(const ofp::StatsReply&)>;
+  void request_stats(DatapathId dpid, const ofp::StatsRequest& req,
+                     StatsCallback cb);
+
+  /// Sends an echo request; callback fires on reply (liveness checks).
+  void send_echo(DatapathId dpid, std::function<void()> on_reply);
+
+  [[nodiscard]] sim::EventLoop& loop() const { return loop_; }
+  [[nodiscard]] const ControllerStats& stats() const { return stats_; }
+
+ private:
+  struct Connection {
+    ofp::ChannelEndpoint* channel = nullptr;
+    std::optional<DatapathId> dpid;  // known after FEATURES_REPLY
+    ofp::FeaturesReply features;
+  };
+
+  void handle_message(Connection& conn, const Bytes& encoded);
+  void dispatch_packet_in(DatapathId dpid, const ofp::PacketIn& pi);
+  std::uint32_t next_xid() { return next_xid_++; }
+  Connection* find(DatapathId dpid);
+
+  sim::EventLoop& loop_;
+  std::vector<std::unique_ptr<Component>> components_;
+  std::vector<Component*> ordered_;  // install order after topo-sort
+  bool started_ = false;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::map<std::uint32_t, StatsCallback> pending_stats_;
+  std::map<std::uint32_t, std::function<void()>> pending_echo_;
+  std::uint32_t next_xid_ = 1;
+  ControllerStats stats_;
+};
+
+}  // namespace hw::nox

@@ -1,0 +1,57 @@
+#include "nox/liveness.hpp"
+
+#include "util/logging.hpp"
+
+namespace hw::nox {
+
+LivenessMonitor::~LivenessMonitor() = default;
+
+void LivenessMonitor::install(Controller& ctl) {
+  Component::install(ctl);
+  timer_ = std::make_unique<sim::PeriodicTimer>(
+      ctl.loop(), config_.probe_interval, [this] { probe_all(); });
+  timer_->start();
+}
+
+void LivenessMonitor::handle_datapath_join(DatapathId dpid,
+                                           const ofp::FeaturesReply&) {
+  peers_[dpid] = PeerState{};
+}
+
+const LivenessMonitor::PeerState* LivenessMonitor::peer(DatapathId dpid) const {
+  auto it = peers_.find(dpid);
+  return it == peers_.end() ? nullptr : &it->second;
+}
+
+void LivenessMonitor::probe_all() {
+  for (auto& [dpid, state] : peers_) {
+    // Account the miss up front; the reply (if any) repairs it.
+    ++state.probes;
+    ++state.consecutive_misses;
+    if (state.alive && state.consecutive_misses > config_.max_misses) {
+      state.alive = false;
+      HW_LOG_WARN("liveness", "datapath %llu unresponsive",
+                  static_cast<unsigned long long>(dpid));
+      if (on_dead_) on_dead_(dpid);
+    }
+
+    const Timestamp sent_at = controller().loop().now();
+    const DatapathId id = dpid;
+    controller().send_echo(id, [this, id, sent_at] {
+      auto it = peers_.find(id);
+      if (it == peers_.end()) return;
+      PeerState& peer = it->second;
+      peer.consecutive_misses = 0;
+      peer.last_rtt = controller().loop().now() - sent_at;
+      ++peer.replies;
+      if (!peer.alive) {
+        peer.alive = true;
+        HW_LOG_INFO("liveness", "datapath %llu recovered",
+                    static_cast<unsigned long long>(id));
+        if (on_recovered_) on_recovered_(id);
+      }
+    });
+  }
+}
+
+}  // namespace hw::nox

@@ -1,0 +1,58 @@
+// Liveness monitoring component: periodic OpenFlow echo to every joined
+// datapath, RTT tracking, and a dead-peer callback after consecutive misses
+// — the watchdog a long-lived home router needs over its secure channel.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "nox/component.hpp"
+#include "nox/controller.hpp"
+
+namespace hw::nox {
+
+class LivenessMonitor final : public Component {
+ public:
+  struct Config {
+    Duration probe_interval = 5 * kSecond;
+    int max_misses = 3;  // consecutive unanswered probes → dead
+  };
+
+  static constexpr const char* kName = "liveness-monitor";
+
+  explicit LivenessMonitor(Config config) : Component(kName), config_(config) {}
+  LivenessMonitor() : LivenessMonitor(Config{}) {}
+  ~LivenessMonitor() override;
+
+  void install(Controller& ctl) override;
+  void handle_datapath_join(DatapathId dpid,
+                            const ofp::FeaturesReply& features) override;
+
+  struct PeerState {
+    bool alive = true;
+    int consecutive_misses = 0;
+    Duration last_rtt = 0;
+    std::uint64_t probes = 0;
+    std::uint64_t replies = 0;
+  };
+  [[nodiscard]] const PeerState* peer(DatapathId dpid) const;
+
+  /// Fired once when a datapath crosses the miss threshold.
+  void on_dead(std::function<void(DatapathId)> fn) { on_dead_ = std::move(fn); }
+  /// Fired when a previously-dead datapath answers again.
+  void on_recovered(std::function<void(DatapathId)> fn) {
+    on_recovered_ = std::move(fn);
+  }
+
+  /// One probe round immediately (normally timer-driven).
+  void probe_all();
+
+ private:
+  Config config_;
+  std::map<DatapathId, PeerState> peers_;
+  std::function<void(DatapathId)> on_dead_;
+  std::function<void(DatapathId)> on_recovered_;
+  std::unique_ptr<sim::PeriodicTimer> timer_;
+};
+
+}  // namespace hw::nox

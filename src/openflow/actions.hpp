@@ -1,0 +1,79 @@
+// OpenFlow 1.0 actions. The paper notes "four basic types of action":
+// drop (empty list), forward (output), send to controller, and send through
+// the normal pipeline; plus header modification while forwarding.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/addr.hpp"
+#include "util/bytes.hpp"
+
+namespace hw::ofp {
+
+/// OFPAT_OUTPUT — forward to a port (physical or OFPP_* reserved).
+struct ActionOutput {
+  std::uint16_t port = 0;
+  std::uint16_t max_len = 128;  // bytes sent to controller
+  bool operator==(const ActionOutput&) const = default;
+};
+
+/// OFPAT_SET_DL_SRC / OFPAT_SET_DL_DST.
+struct ActionSetDlSrc {
+  MacAddress mac;
+  bool operator==(const ActionSetDlSrc&) const = default;
+};
+struct ActionSetDlDst {
+  MacAddress mac;
+  bool operator==(const ActionSetDlDst&) const = default;
+};
+
+/// OFPAT_SET_NW_SRC / OFPAT_SET_NW_DST.
+struct ActionSetNwSrc {
+  Ipv4Address addr;
+  bool operator==(const ActionSetNwSrc&) const = default;
+};
+struct ActionSetNwDst {
+  Ipv4Address addr;
+  bool operator==(const ActionSetNwDst&) const = default;
+};
+
+/// OFPAT_SET_TP_SRC / OFPAT_SET_TP_DST.
+struct ActionSetTpSrc {
+  std::uint16_t port = 0;
+  bool operator==(const ActionSetTpSrc&) const = default;
+};
+struct ActionSetTpDst {
+  std::uint16_t port = 0;
+  bool operator==(const ActionSetTpDst&) const = default;
+};
+
+/// OFPAT_ENQUEUE — forward through a configured port queue (rate limiting).
+/// Queues themselves are configured out-of-band (ovs-vsctl in deployment;
+/// Datapath::configure_queue here).
+struct ActionEnqueue {
+  std::uint16_t port = 0;
+  std::uint32_t queue_id = 0;
+  bool operator==(const ActionEnqueue&) const = default;
+};
+
+using Action = std::variant<ActionOutput, ActionSetDlSrc, ActionSetDlDst,
+                            ActionSetNwSrc, ActionSetNwDst, ActionSetTpSrc,
+                            ActionSetTpDst, ActionEnqueue>;
+using ActionList = std::vector<Action>;
+
+/// Wire codecs (each action is TLV: type, len, body padded to 8 bytes).
+void serialize_actions(ByteWriter& w, const ActionList& actions);
+Result<ActionList> parse_actions(ByteReader& r, std::size_t actions_len);
+
+std::string to_string(const Action& action);
+std::string to_string(const ActionList& actions);
+
+/// Convenience builders.
+ActionList output_to(std::uint16_t port);
+ActionList send_to_controller(std::uint16_t max_len = 128);
+inline ActionList drop() { return {}; }
+
+}  // namespace hw::ofp

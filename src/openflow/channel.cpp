@@ -1,0 +1,51 @@
+#include "openflow/channel.hpp"
+
+namespace hw::ofp {
+
+class InProcConnection::End final : public ChannelEndpoint {
+ public:
+  End(sim::EventLoop& loop, Duration latency) : loop_(loop), latency_(latency) {}
+
+  void set_peer(End* peer) { peer_ = peer; }
+  void mark_disconnected() { connected_ = false; }
+
+  void send(const Bytes& encoded) override {
+    if (!connected_ || peer_ == nullptr) return;
+    note_sent(encoded.size());
+    End* peer = peer_;
+    if (latency_ == 0) {
+      // Still defer through the loop so handlers never re-enter senders.
+      loop_.schedule(0, [peer, encoded] {
+        if (peer->connected()) peer->dispatch(encoded);
+      });
+    } else {
+      loop_.schedule(latency_, [peer, encoded] {
+        if (peer->connected()) peer->dispatch(encoded);
+      });
+    }
+  }
+
+ private:
+  sim::EventLoop& loop_;
+  Duration latency_;
+  End* peer_ = nullptr;
+};
+
+InProcConnection::InProcConnection(sim::EventLoop& loop, Duration latency)
+    : a_(std::make_unique<End>(loop, latency)),
+      b_(std::make_unique<End>(loop, latency)) {
+  a_->set_peer(b_.get());
+  b_->set_peer(a_.get());
+}
+
+InProcConnection::~InProcConnection() = default;
+
+ChannelEndpoint& InProcConnection::datapath_end() { return *a_; }
+ChannelEndpoint& InProcConnection::controller_end() { return *b_; }
+
+void InProcConnection::disconnect() {
+  a_->mark_disconnected();
+  b_->mark_disconnected();
+}
+
+}  // namespace hw::ofp

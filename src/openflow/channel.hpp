@@ -1,0 +1,69 @@
+// The "secure channel" of the paper's OpenFlow switch description: a
+// bidirectional ordered byte-message pipe between datapath and controller.
+// Messages are always the encoded wire form; an in-process implementation
+// with optional latency stands in for the TCP/TLS transport.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "sim/event_loop.hpp"
+#include "util/bytes.hpp"
+
+namespace hw::ofp {
+
+/// One end of a connection. send() transmits to the peer; incoming messages
+/// arrive through the handler registered with on_receive().
+class ChannelEndpoint {
+ public:
+  using Handler = std::function<void(const Bytes& encoded)>;
+
+  virtual ~ChannelEndpoint() = default;
+  virtual void send(const Bytes& encoded) = 0;
+  void on_receive(Handler handler) { handler_ = std::move(handler); }
+  [[nodiscard]] bool connected() const { return connected_; }
+
+  struct Stats {
+    std::uint64_t tx_messages = 0;
+    std::uint64_t tx_bytes = 0;
+    std::uint64_t rx_messages = 0;
+    std::uint64_t rx_bytes = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ protected:
+  void dispatch(const Bytes& encoded) {
+    ++stats_.rx_messages;
+    stats_.rx_bytes += encoded.size();
+    if (handler_) handler_(encoded);
+  }
+  void note_sent(std::size_t size) {
+    ++stats_.tx_messages;
+    stats_.tx_bytes += size;
+  }
+
+  Handler handler_;
+  bool connected_ = true;
+  Stats stats_;
+};
+
+/// An in-process connection joining two endpoints through the event loop,
+/// preserving ordering and (optionally) modelling channel latency.
+class InProcConnection {
+ public:
+  explicit InProcConnection(sim::EventLoop& loop, Duration latency = 0);
+
+  ~InProcConnection();
+  ChannelEndpoint& datapath_end();
+  ChannelEndpoint& controller_end();
+
+  /// Simulates connection loss: subsequent sends are dropped.
+  void disconnect();
+
+ private:
+  class End;
+  std::unique_ptr<End> a_;
+  std::unique_ptr<End> b_;
+};
+
+}  // namespace hw::ofp

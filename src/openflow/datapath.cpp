@@ -1,0 +1,532 @@
+#include "openflow/datapath.hpp"
+
+#include <algorithm>
+
+#include "net/packet.hpp"
+#include "util/logging.hpp"
+
+namespace hw::ofp {
+namespace {
+
+constexpr std::string_view kLog = "datapath";
+
+/// Re-serializes a frame after header rewrites. Returns the original frame
+/// if it cannot be parsed (rewrite actions then have no effect).
+Bytes rewrite_frame(const Bytes& frame, const std::function<void(net::ParsedPacket&)>& edit) {
+  auto parsed = net::ParsedPacket::parse(frame);
+  if (!parsed) return frame;
+  auto p = std::move(parsed).take();
+  edit(p);
+
+  // Rebuild from the parsed layers.
+  if (p.arp) {
+    return net::build_ethernet(p.eth.src, p.eth.dst,
+                               static_cast<net::EtherType>(p.eth.ethertype),
+                               [&] {
+                                 ByteWriter w;
+                                 p.arp->serialize(w);
+                                 return std::move(w).take();
+                               }());
+  }
+  if (p.ip) {
+    ByteWriter w(frame.size());
+    p.eth.serialize(w);
+    if (p.udp) {
+      p.ip->serialize(w, net::kUdpHeaderSize + p.l4_payload.size());
+      p.udp->length = 0;  // recompute
+      p.udp->serialize(w, p.l4_payload.size());
+      w.raw(p.l4_payload);
+    } else if (p.tcp) {
+      p.ip->serialize(w, net::kTcpMinHeaderSize + p.l4_payload.size());
+      p.tcp->serialize(w);
+      w.raw(p.l4_payload);
+    } else if (p.icmp) {
+      p.ip->serialize(w, 8);
+      p.icmp->serialize(w);
+    } else {
+      p.ip->serialize(w, 0);
+    }
+    return std::move(w).take();
+  }
+  return frame;
+}
+
+}  // namespace
+
+Datapath::Datapath(sim::EventLoop& loop, Config config)
+    : loop_(loop), config_(config), table_(config.table_capacity) {
+  buffers_.reserve(config_.n_buffers);
+  expiry_timer_ = std::make_unique<sim::PeriodicTimer>(
+      loop_, config_.expiry_interval, [this] { sweep_timeouts(); });
+  expiry_timer_->start();
+}
+
+Datapath::~Datapath() = default;
+
+void Datapath::connect(ChannelEndpoint& channel) {
+  channel_ = &channel;
+  channel_->on_receive([this](const Bytes& encoded) {
+    handle_channel_message(encoded);
+  });
+  send_to_controller(Hello{}, next_xid_++);
+}
+
+void Datapath::add_port(std::uint16_t port, std::string name, MacAddress hw_addr,
+                        sim::FrameSink* out) {
+  if (auto existing = ports_.find(port); existing != ports_.end()) {
+    existing->second.name = std::move(name);
+    existing->second.hw_addr = hw_addr;
+    existing->second.out = out;
+    return;
+  }
+  PortState state;
+  state.name = std::move(name);
+  state.hw_addr = hw_addr;
+  state.out = out;
+  state.ingress_adapter = std::make_unique<sim::CallbackSink>(
+      [this, port](const Bytes& frame) { receive_frame(port, frame); });
+  auto [it, inserted] = ports_.emplace(port, std::move(state));
+  (void)inserted;
+  if (channel_ != nullptr) {
+    PortStatus status;
+    status.reason = PortReason::Add;
+    status.desc = PhyPort{port, it->second.hw_addr, it->second.name, 0, 0, 0};
+    send_to_controller(std::move(status), next_xid_++);
+  }
+}
+
+void Datapath::remove_port(std::uint16_t port) {
+  auto it = ports_.find(port);
+  if (it == ports_.end()) return;
+  PhyPort desc{port, it->second.hw_addr, it->second.name, 0, 0, 0};
+  ports_.erase(it);
+  // Purge learned MACs on that port.
+  for (auto mit = mac_table_.begin(); mit != mac_table_.end();) {
+    if (mit->second == port) {
+      mit = mac_table_.erase(mit);
+    } else {
+      ++mit;
+    }
+  }
+  if (channel_ != nullptr) {
+    PortStatus status;
+    status.reason = PortReason::Delete;
+    status.desc = desc;
+    send_to_controller(std::move(status), next_xid_++);
+  }
+}
+
+sim::FrameSink* Datapath::ingress(std::uint16_t port) {
+  auto it = ports_.find(port);
+  return it == ports_.end() ? nullptr : it->second.ingress_adapter.get();
+}
+
+const PortCounters* Datapath::port_counters(std::uint16_t port) const {
+  auto it = ports_.find(port);
+  return it == ports_.end() ? nullptr : &it->second.counters;
+}
+
+std::vector<PhyPort> Datapath::port_descriptions() const {
+  std::vector<PhyPort> out;
+  out.reserve(ports_.size());
+  for (const auto& [no, state] : ports_) {
+    out.push_back(PhyPort{no, state.hw_addr, state.name, 0, 0, 0});
+  }
+  return out;
+}
+
+void Datapath::receive_frame(std::uint16_t in_port, const Bytes& frame) {
+  auto it = ports_.find(in_port);
+  if (it == ports_.end()) return;
+  ++it->second.counters.rx_packets;
+  it->second.counters.rx_bytes += frame.size();
+  process_frame(in_port, frame);
+}
+
+void Datapath::process_frame(std::uint16_t in_port, const Bytes& frame) {
+  auto parsed = net::ParsedPacket::parse(frame);
+  if (!parsed) {
+    auto it = ports_.find(in_port);
+    if (it != ports_.end()) ++it->second.counters.rx_dropped;
+    return;
+  }
+  // Opportunistic L2 learning keeps NORMAL working regardless of rules.
+  if (!parsed.value().eth.src.is_multicast()) {
+    mac_table_[parsed.value().eth.src] = in_port;
+  }
+
+  const Match pkt = Match::from_packet(parsed.value(), in_port);
+  FlowEntry* entry = table_.lookup(pkt, loop_.now(), frame.size());
+  if (entry == nullptr) {
+    send_packet_in(in_port, frame, PacketInReason::NoMatch,
+                   config_.miss_send_len);
+    return;
+  }
+  apply_actions(entry->actions, in_port, frame);
+}
+
+void Datapath::apply_actions(const ActionList& actions, std::uint16_t in_port,
+                             Bytes frame) {
+  if (actions.empty()) return;  // drop
+
+  for (const auto& action : actions) {
+    std::visit(
+        [&](const auto& a) {
+          using T = std::decay_t<decltype(a)>;
+          if constexpr (std::is_same_v<T, ActionOutput>) {
+            output(a.port, in_port, frame, a.max_len);
+          } else if constexpr (std::is_same_v<T, ActionSetDlSrc>) {
+            frame = rewrite_frame(frame, [&](net::ParsedPacket& p) { p.eth.src = a.mac; });
+          } else if constexpr (std::is_same_v<T, ActionSetDlDst>) {
+            frame = rewrite_frame(frame, [&](net::ParsedPacket& p) { p.eth.dst = a.mac; });
+          } else if constexpr (std::is_same_v<T, ActionSetNwSrc>) {
+            frame = rewrite_frame(frame, [&](net::ParsedPacket& p) {
+              if (p.ip) p.ip->src = a.addr;
+            });
+          } else if constexpr (std::is_same_v<T, ActionSetNwDst>) {
+            frame = rewrite_frame(frame, [&](net::ParsedPacket& p) {
+              if (p.ip) p.ip->dst = a.addr;
+            });
+          } else if constexpr (std::is_same_v<T, ActionSetTpSrc>) {
+            frame = rewrite_frame(frame, [&](net::ParsedPacket& p) {
+              if (p.udp) p.udp->src_port = a.port;
+              if (p.tcp) p.tcp->src_port = a.port;
+            });
+          } else if constexpr (std::is_same_v<T, ActionSetTpDst>) {
+            frame = rewrite_frame(frame, [&](net::ParsedPacket& p) {
+              if (p.udp) p.udp->dst_port = a.port;
+              if (p.tcp) p.tcp->dst_port = a.port;
+            });
+          } else if constexpr (std::is_same_v<T, ActionEnqueue>) {
+            auto it = queues_.find({a.port, a.queue_id});
+            if (it == queues_.end()) {
+              // Unconfigured queue degrades to a plain output (OVS behaviour).
+              output(a.port, in_port, frame);
+            } else if (it->second.bucket.try_consume(loop_.now(), frame.size())) {
+              ++it->second.counters.tx_packets;
+              it->second.counters.tx_bytes += frame.size();
+              output(a.port, in_port, frame);
+            } else {
+              ++it->second.counters.dropped;  // policed
+            }
+          }
+        },
+        action);
+  }
+}
+
+void Datapath::output(std::uint16_t out_port, std::uint16_t in_port,
+                      const Bytes& frame, std::uint16_t controller_max_len) {
+  switch (out_port) {
+    case port_no(Port::Controller):
+      send_packet_in(in_port, frame, PacketInReason::Action, controller_max_len);
+      return;
+    case port_no(Port::Flood):
+      flood(in_port, frame, /*include_in_port=*/false);
+      return;
+    case port_no(Port::All):
+      flood(in_port, frame, /*include_in_port=*/false);
+      return;
+    case port_no(Port::InPort):
+      out_port = in_port;
+      break;
+    case port_no(Port::Normal):
+      do_normal(in_port, frame);
+      return;
+    case port_no(Port::Local):
+    case port_no(Port::Table):
+    case port_no(Port::None):
+      return;  // LOCAL handled by modules via controller in this platform
+    default:
+      break;
+  }
+  auto it = ports_.find(out_port);
+  if (it == ports_.end() || it->second.out == nullptr) return;
+  ++it->second.counters.tx_packets;
+  it->second.counters.tx_bytes += frame.size();
+  it->second.out->deliver(frame);
+}
+
+void Datapath::flood(std::uint16_t in_port, const Bytes& frame,
+                     bool include_in_port) {
+  for (auto& [no, state] : ports_) {
+    if (!include_in_port && no == in_port) continue;
+    if (state.out == nullptr) continue;
+    ++state.counters.tx_packets;
+    state.counters.tx_bytes += frame.size();
+    state.out->deliver(frame);
+  }
+}
+
+void Datapath::do_normal(std::uint16_t in_port, const Bytes& frame) {
+  auto parsed = net::ParsedPacket::parse(frame);
+  if (!parsed) return;
+  const MacAddress dst = parsed.value().eth.dst;
+  if (dst.is_broadcast() || dst.is_multicast()) {
+    flood(in_port, frame, false);
+    return;
+  }
+  auto it = mac_table_.find(dst);
+  if (it == mac_table_.end()) {
+    flood(in_port, frame, false);
+    return;
+  }
+  if (it->second == in_port) return;  // already on the right segment
+  output(it->second, in_port, frame);
+}
+
+void Datapath::send_packet_in(std::uint16_t in_port, const Bytes& frame,
+                              PacketInReason reason, std::uint16_t max_len) {
+  if (channel_ == nullptr) return;
+  PacketIn pi;
+  pi.in_port = in_port;
+  pi.reason = reason;
+  pi.total_len = static_cast<std::uint16_t>(frame.size());
+
+  // Buffer the full frame and send a (possibly truncated) copy.
+  if (buffers_.size() >= config_.n_buffers) {
+    buffers_.erase(buffers_.begin());
+    ++stats_.buffer_evictions;
+  }
+  BufferedPacket buf;
+  buf.id = next_buffer_id_++;
+  buf.in_port = in_port;
+  buf.frame = frame;
+  pi.buffer_id = buf.id;
+  buffers_.push_back(std::move(buf));
+
+  // max_len 0 means "whole packet" (the OFPCML_NO_BUFFER convention).
+  const std::size_t send_len =
+      max_len == 0 ? frame.size() : std::min<std::size_t>(frame.size(), max_len);
+  pi.data.assign(frame.begin(), frame.begin() + static_cast<std::ptrdiff_t>(send_len));
+
+  ++stats_.packet_ins;
+  send_to_controller(std::move(pi), next_xid_++);
+}
+
+std::optional<Bytes> Datapath::take_buffered(std::uint32_t buffer_id) {
+  auto it = std::find_if(buffers_.begin(), buffers_.end(),
+                         [&](const BufferedPacket& b) { return b.id == buffer_id; });
+  if (it == buffers_.end()) return std::nullopt;
+  Bytes frame = std::move(it->frame);
+  buffers_.erase(it);
+  return frame;
+}
+
+void Datapath::send_to_controller(Message msg, std::uint32_t xid) {
+  if (channel_ == nullptr) return;
+  channel_->send(encode(Envelope{xid, std::move(msg)}));
+}
+
+void Datapath::send_error(ErrorType type, std::uint16_t code, std::uint32_t xid,
+                          const Bytes& offending) {
+  ErrorMsg err;
+  err.type = type;
+  err.code = code;
+  const std::size_t keep = std::min<std::size_t>(offending.size(), 64);
+  err.data.assign(offending.begin(),
+                  offending.begin() + static_cast<std::ptrdiff_t>(keep));
+  send_to_controller(std::move(err), xid);
+}
+
+void Datapath::handle_channel_message(const Bytes& encoded) {
+  auto env = decode(encoded);
+  if (!env) {
+    HW_LOG_WARN(kLog, "undecodable controller message: %s",
+                env.error().message.c_str());
+    return;
+  }
+  const std::uint32_t xid = env.value().xid;
+
+  std::visit(
+      [&](auto&& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, Hello>) {
+          // version negotiation trivially succeeds (both speak 0x01)
+        } else if constexpr (std::is_same_v<T, EchoRequest>) {
+          send_to_controller(EchoReply{m.data}, xid);
+        } else if constexpr (std::is_same_v<T, FeaturesRequest>) {
+          FeaturesReply reply;
+          reply.datapath_id = config_.datapath_id;
+          reply.n_buffers = static_cast<std::uint32_t>(config_.n_buffers);
+          reply.ports = port_descriptions();
+          send_to_controller(std::move(reply), xid);
+        } else if constexpr (std::is_same_v<T, BarrierRequest>) {
+          send_to_controller(BarrierReply{}, xid);
+        } else if constexpr (std::is_same_v<T, FlowMod>) {
+          handle_flow_mod(m, xid);
+        } else if constexpr (std::is_same_v<T, PacketOut>) {
+          handle_packet_out(m, xid);
+        } else if constexpr (std::is_same_v<T, StatsRequest>) {
+          handle_stats_request(m, xid);
+        } else {
+          send_error(ErrorType::BadRequest, /*OFPBRC_BAD_TYPE=*/1, xid, encoded);
+        }
+      },
+      std::move(env).take().msg);
+}
+
+void Datapath::handle_flow_mod(const FlowMod& mod, std::uint32_t xid) {
+  ++stats_.flow_mods;
+  std::vector<FlowEntry> removed;
+  const FlowModResult result = table_.apply(mod, loop_.now(), &removed);
+
+  if (result == FlowModResult::Overlap) {
+    send_error(ErrorType::FlowModFailed, /*OFPFMFC_OVERLAP=*/2, xid, {});
+    return;
+  }
+  if (result == FlowModResult::TableFull) {
+    send_error(ErrorType::FlowModFailed, /*OFPFMFC_ALL_TABLES_FULL=*/0, xid, {});
+    return;
+  }
+
+  for (const auto& e : removed) {
+    if (!e.send_flow_removed) continue;
+    FlowRemoved fr;
+    fr.match = e.match;
+    fr.cookie = e.cookie;
+    fr.priority = e.priority;
+    fr.reason = FlowRemovedReason::Delete;
+    fr.duration_sec =
+        static_cast<std::uint32_t>((loop_.now() - e.install_time) / kSecond);
+    fr.idle_timeout = e.idle_timeout;
+    fr.packet_count = e.packet_count;
+    fr.byte_count = e.byte_count;
+    ++stats_.flow_removed_sent;
+    send_to_controller(std::move(fr), next_xid_++);
+  }
+
+  // A buffered packet attached to an ADD is released through the new rule.
+  if (mod.buffer_id != kNoBuffer &&
+      (mod.command == FlowModCommand::Add ||
+       mod.command == FlowModCommand::Modify ||
+       mod.command == FlowModCommand::ModifyStrict)) {
+    if (auto frame = take_buffered(mod.buffer_id)) {
+      apply_actions(mod.actions, mod.match.in_port, std::move(*frame));
+    }
+  }
+}
+
+void Datapath::handle_packet_out(const PacketOut& po, std::uint32_t xid) {
+  ++stats_.packet_outs;
+  Bytes frame;
+  if (po.buffer_id != kNoBuffer) {
+    auto buffered = take_buffered(po.buffer_id);
+    if (!buffered) {
+      send_error(ErrorType::BadRequest, /*OFPBRC_BUFFER_UNKNOWN=*/8, xid, {});
+      return;
+    }
+    frame = std::move(*buffered);
+  } else {
+    frame = po.data;
+  }
+  apply_actions(po.actions, po.in_port, std::move(frame));
+}
+
+void Datapath::handle_stats_request(const StatsRequest& req, std::uint32_t xid) {
+  StatsReply reply;
+  reply.type = req.type;
+  switch (req.type) {
+    case StatsType::Desc:
+      reply.body = DescStats{};
+      break;
+    case StatsType::Flow: {
+      const auto* filter = std::get_if<FlowStatsRequest>(&req.body);
+      const Match match = filter != nullptr ? filter->match : Match::any();
+      const std::uint16_t out_port =
+          filter != nullptr ? filter->out_port : port_no(Port::None);
+      std::vector<FlowStatsEntry> entries;
+      for (const FlowEntry* e : table_.query(match, out_port)) {
+        FlowStatsEntry fs;
+        fs.match = e->match;
+        fs.priority = e->priority;
+        fs.idle_timeout = e->idle_timeout;
+        fs.hard_timeout = e->hard_timeout;
+        fs.cookie = e->cookie;
+        fs.duration_sec =
+            static_cast<std::uint32_t>((loop_.now() - e->install_time) / kSecond);
+        fs.duration_nsec = static_cast<std::uint32_t>(
+            ((loop_.now() - e->install_time) % kSecond) * 1000);
+        fs.packet_count = e->packet_count;
+        fs.byte_count = e->byte_count;
+        fs.actions = e->actions;
+        entries.push_back(std::move(fs));
+      }
+      reply.body = std::move(entries);
+      break;
+    }
+    case StatsType::Aggregate: {
+      const auto* filter = std::get_if<FlowStatsRequest>(&req.body);
+      const Match match = filter != nullptr ? filter->match : Match::any();
+      AggregateStatsReplyBody agg;
+      for (const FlowEntry* e : table_.query(match)) {
+        agg.packet_count += e->packet_count;
+        agg.byte_count += e->byte_count;
+        ++agg.flow_count;
+      }
+      reply.body = agg;
+      break;
+    }
+    case StatsType::Port: {
+      const auto* filter = std::get_if<PortStatsRequest>(&req.body);
+      const std::uint16_t want =
+          filter != nullptr ? filter->port_no : port_no(Port::None);
+      std::vector<PortStatsEntry> entries;
+      for (const auto& [no, state] : ports_) {
+        if (want != port_no(Port::None) && want != 0xffff && want != no) continue;
+        PortStatsEntry ps;
+        ps.port_no = no;
+        ps.rx_packets = state.counters.rx_packets;
+        ps.tx_packets = state.counters.tx_packets;
+        ps.rx_bytes = state.counters.rx_bytes;
+        ps.tx_bytes = state.counters.tx_bytes;
+        ps.rx_dropped = state.counters.rx_dropped;
+        ps.tx_dropped = state.counters.tx_dropped;
+        entries.push_back(ps);
+      }
+      reply.body = std::move(entries);
+      break;
+    }
+    default:
+      send_error(ErrorType::BadRequest, /*OFPBRC_BAD_STAT=*/5, xid, {});
+      return;
+  }
+  send_to_controller(std::move(reply), xid);
+}
+
+void Datapath::configure_queue(std::uint16_t port, std::uint32_t queue_id,
+                               std::uint64_t rate_bps, std::uint64_t burst_bytes) {
+  Queue queue;
+  queue.bucket = TokenBucket(rate_bps / 8, burst_bytes);
+  queues_[{port, queue_id}] = queue;
+}
+
+void Datapath::remove_queue(std::uint16_t port, std::uint32_t queue_id) {
+  queues_.erase({port, queue_id});
+}
+
+const Datapath::QueueCounters* Datapath::queue_counters(
+    std::uint16_t port, std::uint32_t queue_id) const {
+  auto it = queues_.find({port, queue_id});
+  return it == queues_.end() ? nullptr : &it->second.counters;
+}
+
+void Datapath::sweep_timeouts() {
+  for (auto& [entry, reason] : table_.expire(loop_.now())) {
+    if (!entry.send_flow_removed) continue;
+    FlowRemoved fr;
+    fr.match = entry.match;
+    fr.cookie = entry.cookie;
+    fr.priority = entry.priority;
+    fr.reason = reason;
+    fr.duration_sec =
+        static_cast<std::uint32_t>((loop_.now() - entry.install_time) / kSecond);
+    fr.idle_timeout = entry.idle_timeout;
+    fr.packet_count = entry.packet_count;
+    fr.byte_count = entry.byte_count;
+    ++stats_.flow_removed_sent;
+    send_to_controller(std::move(fr), next_xid_++);
+  }
+}
+
+}  // namespace hw::ofp

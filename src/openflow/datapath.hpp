@@ -1,0 +1,150 @@
+// The Open vSwitch stand-in: an OpenFlow 1.0 datapath with physical ports,
+// a flow table, a packet buffer and a secure channel to the controller
+// ("dp0" in the paper's Figure 5). Frames enter via port FrameSinks, are
+// matched against the flow table, and misses go to the controller as
+// packet-in messages.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "openflow/channel.hpp"
+#include "openflow/flow_table.hpp"
+#include "openflow/messages.hpp"
+#include "sim/link.hpp"
+#include "util/token_bucket.hpp"
+
+namespace hw::ofp {
+
+struct PortCounters {
+  std::uint64_t rx_packets = 0;
+  std::uint64_t tx_packets = 0;
+  std::uint64_t rx_bytes = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t rx_dropped = 0;
+  std::uint64_t tx_dropped = 0;
+};
+
+struct DatapathStats {
+  std::uint64_t packet_ins = 0;
+  std::uint64_t packet_outs = 0;
+  std::uint64_t flow_mods = 0;
+  std::uint64_t flow_removed_sent = 0;
+  std::uint64_t buffer_evictions = 0;
+};
+
+class Datapath {
+ public:
+  struct Config {
+    std::uint64_t datapath_id = 1;
+    std::size_t n_buffers = 256;
+    std::uint16_t miss_send_len = 128;
+    std::size_t table_capacity = 4096;
+    Duration expiry_interval = kSecond;  // timeout sweep period
+  };
+
+  Datapath(sim::EventLoop& loop, Config config);
+  ~Datapath();
+  Datapath(const Datapath&) = delete;
+  Datapath& operator=(const Datapath&) = delete;
+
+  /// Attaches the secure channel to the controller and sends HELLO.
+  void connect(ChannelEndpoint& channel);
+
+  /// Registers a physical port. `out` receives frames the datapath emits on
+  /// that port (i.e. it is the attached link towards the device).
+  void add_port(std::uint16_t port, std::string name, MacAddress hw_addr,
+                sim::FrameSink* out);
+  void remove_port(std::uint16_t port);
+  /// Sink for frames *arriving* on `port` — hand this to the link.
+  sim::FrameSink* ingress(std::uint16_t port);
+
+  /// Ingress entry point (links call this through ingress() adapters).
+  void receive_frame(std::uint16_t in_port, const Bytes& frame);
+
+  [[nodiscard]] std::uint64_t id() const { return config_.datapath_id; }
+  [[nodiscard]] FlowTable& table() { return table_; }
+  [[nodiscard]] const FlowTable& table() const { return table_; }
+  [[nodiscard]] const DatapathStats& stats() const { return stats_; }
+  [[nodiscard]] const PortCounters* port_counters(std::uint16_t port) const;
+  [[nodiscard]] std::vector<PhyPort> port_descriptions() const;
+
+  /// Runs one expiry sweep immediately (normally driven by the timer).
+  void sweep_timeouts();
+
+  // -- Port queues (rate limiting) --------------------------------------------
+  // OpenFlow 1.0 exposes queues via OFPAT_ENQUEUE but configures them out of
+  // band (ovs-vsctl / ovsdb in deployment). These calls are that side
+  // channel: a policing queue drops frames beyond its token-bucket rate.
+  void configure_queue(std::uint16_t port, std::uint32_t queue_id,
+                       std::uint64_t rate_bps, std::uint64_t burst_bytes);
+  void remove_queue(std::uint16_t port, std::uint32_t queue_id);
+  struct QueueCounters {
+    std::uint64_t tx_packets = 0;
+    std::uint64_t tx_bytes = 0;
+    std::uint64_t dropped = 0;
+  };
+  [[nodiscard]] const QueueCounters* queue_counters(std::uint16_t port,
+                                                    std::uint32_t queue_id) const;
+
+ private:
+  struct PortState {
+    std::string name;
+    MacAddress hw_addr;
+    sim::FrameSink* out = nullptr;
+    PortCounters counters;
+    std::unique_ptr<sim::CallbackSink> ingress_adapter;
+  };
+
+  void handle_channel_message(const Bytes& encoded);
+  void handle_flow_mod(const FlowMod& mod, std::uint32_t xid);
+  void handle_packet_out(const PacketOut& po, std::uint32_t xid);
+  void handle_stats_request(const StatsRequest& req, std::uint32_t xid);
+  void process_frame(std::uint16_t in_port, const Bytes& frame);
+  /// Executes an action list on a frame (possibly rewriting headers).
+  void apply_actions(const ActionList& actions, std::uint16_t in_port,
+                     Bytes frame);
+  void output(std::uint16_t out_port, std::uint16_t in_port, const Bytes& frame,
+              std::uint16_t controller_max_len = 0);
+  void flood(std::uint16_t in_port, const Bytes& frame, bool include_in_port);
+  void do_normal(std::uint16_t in_port, const Bytes& frame);
+  void send_packet_in(std::uint16_t in_port, const Bytes& frame,
+                      PacketInReason reason, std::uint16_t max_len);
+  void send_to_controller(Message msg, std::uint32_t xid = 0);
+  void send_error(ErrorType type, std::uint16_t code, std::uint32_t xid,
+                  const Bytes& offending);
+  std::optional<Bytes> take_buffered(std::uint32_t buffer_id);
+
+  sim::EventLoop& loop_;
+  Config config_;
+  FlowTable table_;
+  std::map<std::uint16_t, PortState> ports_;
+  ChannelEndpoint* channel_ = nullptr;
+  DatapathStats stats_;
+  std::uint32_t next_xid_ = 1;
+
+  // Packet buffer: miss frames held for controller-directed release.
+  struct BufferedPacket {
+    std::uint32_t id = 0;
+    std::uint16_t in_port = 0;
+    Bytes frame;
+  };
+  std::vector<BufferedPacket> buffers_;
+  std::uint32_t next_buffer_id_ = 1;
+
+  // L2 learning table backing the NORMAL action ("normal processing
+  // pipeline" in the paper's action taxonomy).
+  std::map<MacAddress, std::uint16_t> mac_table_;
+
+  // Policing queues keyed by (port, queue_id).
+  struct Queue {
+    TokenBucket bucket{0, 0};
+    QueueCounters counters;
+  };
+  std::map<std::pair<std::uint16_t, std::uint32_t>, Queue> queues_;
+
+  std::unique_ptr<sim::PeriodicTimer> expiry_timer_;
+};
+
+}  // namespace hw::ofp

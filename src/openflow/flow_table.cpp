@@ -1,0 +1,164 @@
+#include "openflow/flow_table.hpp"
+
+#include <algorithm>
+
+namespace hw::ofp {
+
+bool FlowTable::entry_outputs_to(const FlowEntry& e, std::uint16_t out_port) const {
+  if (out_port == port_no(Port::None)) return true;
+  return std::any_of(e.actions.begin(), e.actions.end(), [&](const Action& a) {
+    const auto* out = std::get_if<ActionOutput>(&a);
+    return out != nullptr && out->port == out_port;
+  });
+}
+
+FlowModResult FlowTable::apply(const FlowMod& mod, Timestamp now,
+                               std::vector<FlowEntry>* removed) {
+  switch (mod.command) {
+    case FlowModCommand::Add: {
+      if (mod.flags & FlowModFlags::kCheckOverlap) {
+        for (const auto& e : entries_) {
+          if (e.priority == mod.priority && e.match.overlaps(mod.match) &&
+              !e.match.same_pattern(mod.match)) {
+            return FlowModResult::Overlap;
+          }
+        }
+      }
+      // Identical match+priority replaces the entry (spec §4.6), counters reset.
+      for (auto& e : entries_) {
+        if (e.priority == mod.priority && e.match.same_pattern(mod.match)) {
+          e.actions = mod.actions;
+          e.cookie = mod.cookie;
+          e.idle_timeout = mod.idle_timeout;
+          e.hard_timeout = mod.hard_timeout;
+          e.send_flow_removed = (mod.flags & FlowModFlags::kSendFlowRem) != 0;
+          e.install_time = now;
+          e.last_used = now;
+          e.packet_count = 0;
+          e.byte_count = 0;
+          return FlowModResult::Added;
+        }
+      }
+      if (entries_.size() >= capacity_) return FlowModResult::TableFull;
+      FlowEntry e;
+      e.match = mod.match;
+      e.priority = mod.priority;
+      e.actions = mod.actions;
+      e.cookie = mod.cookie;
+      e.idle_timeout = mod.idle_timeout;
+      e.hard_timeout = mod.hard_timeout;
+      e.send_flow_removed = (mod.flags & FlowModFlags::kSendFlowRem) != 0;
+      e.install_time = now;
+      e.last_used = now;
+      // Insert after the last entry with priority >= new priority.
+      auto pos = std::upper_bound(
+          entries_.begin(), entries_.end(), e.priority,
+          [](std::uint16_t p, const FlowEntry& x) { return p > x.priority; });
+      entries_.insert(pos, std::move(e));
+      return FlowModResult::Added;
+    }
+
+    case FlowModCommand::Modify:
+    case FlowModCommand::ModifyStrict: {
+      const bool strict = mod.command == FlowModCommand::ModifyStrict;
+      bool any = false;
+      for (auto& e : entries_) {
+        const bool hit = strict ? (e.priority == mod.priority &&
+                                   e.match.same_pattern(mod.match))
+                                : mod.match.covers(e.match);
+        if (hit) {
+          e.actions = mod.actions;
+          e.cookie = mod.cookie;
+          any = true;
+        }
+      }
+      if (any) return FlowModResult::Modified;
+      // Per spec, MODIFY with no match behaves like ADD.
+      FlowMod add = mod;
+      add.command = FlowModCommand::Add;
+      return apply(add, now, removed);
+    }
+
+    case FlowModCommand::Delete:
+    case FlowModCommand::DeleteStrict: {
+      const bool strict = mod.command == FlowModCommand::DeleteStrict;
+      bool any = false;
+      for (auto it = entries_.begin(); it != entries_.end();) {
+        const bool hit = (strict ? (it->priority == mod.priority &&
+                                    it->match.same_pattern(mod.match))
+                                 : mod.match.covers(it->match)) &&
+                         entry_outputs_to(*it, mod.out_port);
+        if (hit) {
+          if (removed != nullptr) removed->push_back(*it);
+          it = entries_.erase(it);
+          any = true;
+        } else {
+          ++it;
+        }
+      }
+      return any ? FlowModResult::Deleted : FlowModResult::NoMatch;
+    }
+  }
+  return FlowModResult::NoMatch;
+}
+
+FlowEntry* FlowTable::lookup(const Match& pkt, Timestamp now, std::size_t bytes) {
+  ++stats_.lookups;
+  for (auto& e : entries_) {
+    if (e.match.covers(pkt)) {
+      ++stats_.matches;
+      e.last_used = now;
+      ++e.packet_count;
+      e.byte_count += bytes;
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+const FlowEntry* FlowTable::peek(const Match& pkt) const {
+  for (const auto& e : entries_) {
+    if (e.match.covers(pkt)) return &e;
+  }
+  return nullptr;
+}
+
+std::vector<std::pair<FlowEntry, FlowRemovedReason>> FlowTable::expire(
+    Timestamp now) {
+  std::vector<std::pair<FlowEntry, FlowRemovedReason>> out;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    std::optional<FlowRemovedReason> reason;
+    if (it->hard_timeout != 0 &&
+        now >= it->install_time + static_cast<Duration>(it->hard_timeout) * kSecond) {
+      reason = FlowRemovedReason::HardTimeout;
+    } else if (it->idle_timeout != 0 &&
+               now >= it->last_used +
+                          static_cast<Duration>(it->idle_timeout) * kSecond) {
+      reason = FlowRemovedReason::IdleTimeout;
+    }
+    if (reason) {
+      out.emplace_back(*it, *reason);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+std::vector<const FlowEntry*> FlowTable::query(const Match& filter,
+                                               std::uint16_t out_port) const {
+  std::vector<const FlowEntry*> out;
+  for (const auto& e : entries_) {
+    if (filter.covers(e.match) && entry_outputs_to(e, out_port)) {
+      out.push_back(&e);
+    }
+  }
+  return out;
+}
+
+void FlowTable::for_each(const std::function<void(const FlowEntry&)>& fn) const {
+  for (const auto& e : entries_) fn(e);
+}
+
+}  // namespace hw::ofp

@@ -1,0 +1,89 @@
+// The datapath's flow table: priority-ordered wildcard matching with
+// idle/hard timeouts and per-entry counters (OpenFlow 1.0 §3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <optional>
+#include <vector>
+
+#include "openflow/actions.hpp"
+#include "openflow/match.hpp"
+#include "openflow/messages.hpp"
+#include "util/types.hpp"
+
+namespace hw::ofp {
+
+struct FlowEntry {
+  Match match;
+  std::uint16_t priority = 0x8000;
+  ActionList actions;
+  std::uint64_t cookie = 0;
+  std::uint16_t idle_timeout = 0;  // seconds; 0 = never
+  std::uint16_t hard_timeout = 0;  // seconds; 0 = never
+  bool send_flow_removed = false;
+
+  Timestamp install_time = 0;
+  Timestamp last_used = 0;
+  std::uint64_t packet_count = 0;
+  std::uint64_t byte_count = 0;
+};
+
+struct TableStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t matches = 0;
+};
+
+/// Result of applying a FlowMod.
+enum class FlowModResult {
+  Added,
+  Modified,
+  Deleted,
+  Overlap,   // rejected: OFPFF_CHECK_OVERLAP and an overlapping entry exists
+  TableFull,
+  NoMatch,   // modify/delete matched nothing (not an error per spec)
+};
+
+class FlowTable {
+ public:
+  explicit FlowTable(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  /// Applies a flow-mod at time `now`. Removed entries (for DELETE) are
+  /// appended to `removed` so the datapath can emit flow-removed messages.
+  FlowModResult apply(const FlowMod& mod, Timestamp now,
+                      std::vector<FlowEntry>* removed = nullptr);
+
+  /// Highest-priority entry covering the packet's exact-match fields, or
+  /// nullptr. Updates counters and last_used when `bytes` > 0.
+  FlowEntry* lookup(const Match& pkt, Timestamp now, std::size_t bytes);
+  /// Read-only lookup without touching counters.
+  [[nodiscard]] const FlowEntry* peek(const Match& pkt) const;
+
+  /// Removes entries whose idle/hard timeout has fired by `now`; returns
+  /// them together with the timeout reason.
+  std::vector<std::pair<FlowEntry, FlowRemovedReason>> expire(Timestamp now);
+
+  /// Entries matching a stats-request filter (match cover + out_port).
+  [[nodiscard]] std::vector<const FlowEntry*> query(
+      const Match& filter, std::uint16_t out_port = port_no(Port::None)) const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] const TableStats& stats() const { return stats_; }
+
+  /// Visits every entry (diagnostics, EXPERIMENTS dumps).
+  void for_each(const std::function<void(const FlowEntry&)>& fn) const;
+
+ private:
+  [[nodiscard]] bool entry_outputs_to(const FlowEntry& e,
+                                      std::uint16_t out_port) const;
+
+  std::size_t capacity_;
+  // Kept sorted by descending priority; stable order among equal priorities
+  // (later adds go after earlier ones, matching OVS behaviour closely enough).
+  std::vector<FlowEntry> entries_;
+  TableStats stats_;
+};
+
+}  // namespace hw::ofp

@@ -1,0 +1,261 @@
+#include "openflow/match.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hw::ofp {
+namespace {
+
+bool ip_field_matches(Ipv4Address rule, Ipv4Address pkt, int ignored_bits) {
+  if (ignored_bits >= 32) return true;
+  const std::uint32_t mask = ignored_bits == 0 ? ~0u : (~0u << ignored_bits);
+  return (rule.value() & mask) == (pkt.value() & mask);
+}
+
+Result<MacAddress> read_mac(ByteReader& r) {
+  auto raw = r.raw(6);
+  if (!raw) return raw.error();
+  std::array<std::uint8_t, 6> octets{};
+  std::copy(raw.value().begin(), raw.value().end(), octets.begin());
+  return MacAddress{octets};
+}
+
+}  // namespace
+
+Match Match::from_packet(const net::ParsedPacket& p, std::uint16_t in_port) {
+  Match m;
+  m.wildcards = 0;
+  m.in_port = in_port;
+  m.dl_src = p.eth.src;
+  m.dl_dst = p.eth.dst;
+  m.dl_vlan = 0xffff;  // untagged
+  m.dl_type = p.eth.ethertype;
+
+  if (p.ip) {
+    m.nw_tos = static_cast<std::uint8_t>(p.ip->dscp & 0xfc);
+    m.nw_proto = p.ip->protocol;
+    m.nw_src = p.ip->src;
+    m.nw_dst = p.ip->dst;
+    if (p.udp) {
+      m.tp_src = p.udp->src_port;
+      m.tp_dst = p.udp->dst_port;
+    } else if (p.tcp) {
+      m.tp_src = p.tcp->src_port;
+      m.tp_dst = p.tcp->dst_port;
+    } else if (p.icmp) {
+      // OF1.0: ICMP type/code go in tp_src/tp_dst.
+      m.tp_src = static_cast<std::uint16_t>(p.icmp->type);
+      m.tp_dst = p.icmp->code;
+    }
+  } else if (p.arp) {
+    // OF1.0 matches ARP via nw fields: opcode in nw_proto, IPs in nw_src/dst.
+    m.nw_proto = static_cast<std::uint8_t>(p.arp->op);
+    m.nw_src = p.arp->sender_ip;
+    m.nw_dst = p.arp->target_ip;
+  }
+  return m;
+}
+
+Match& Match::with_in_port(std::uint16_t port) {
+  in_port = port;
+  wildcards &= ~Wildcards::kInPort;
+  return *this;
+}
+Match& Match::with_dl_src(MacAddress mac) {
+  dl_src = mac;
+  wildcards &= ~Wildcards::kDlSrc;
+  return *this;
+}
+Match& Match::with_dl_dst(MacAddress mac) {
+  dl_dst = mac;
+  wildcards &= ~Wildcards::kDlDst;
+  return *this;
+}
+Match& Match::with_dl_type(std::uint16_t type) {
+  dl_type = type;
+  wildcards &= ~Wildcards::kDlType;
+  return *this;
+}
+Match& Match::with_nw_proto(std::uint8_t proto) {
+  nw_proto = proto;
+  wildcards &= ~Wildcards::kNwProto;
+  return *this;
+}
+Match& Match::with_nw_src(Ipv4Address addr, int prefix_len) {
+  nw_src = addr;
+  const std::uint32_t ignored = static_cast<std::uint32_t>(32 - prefix_len);
+  wildcards = (wildcards & ~Wildcards::kNwSrcMask) |
+              (ignored << Wildcards::kNwSrcShift);
+  return *this;
+}
+Match& Match::with_nw_dst(Ipv4Address addr, int prefix_len) {
+  nw_dst = addr;
+  const std::uint32_t ignored = static_cast<std::uint32_t>(32 - prefix_len);
+  wildcards = (wildcards & ~Wildcards::kNwDstMask) |
+              (ignored << Wildcards::kNwDstShift);
+  return *this;
+}
+Match& Match::with_tp_src(std::uint16_t port) {
+  tp_src = port;
+  wildcards &= ~Wildcards::kTpSrc;
+  return *this;
+}
+Match& Match::with_tp_dst(std::uint16_t port) {
+  tp_dst = port;
+  wildcards &= ~Wildcards::kTpDst;
+  return *this;
+}
+
+bool Match::covers(const Match& pkt) const {
+  if (!(wildcards & Wildcards::kInPort) && in_port != pkt.in_port) return false;
+  if (!(wildcards & Wildcards::kDlSrc) && dl_src != pkt.dl_src) return false;
+  if (!(wildcards & Wildcards::kDlDst) && dl_dst != pkt.dl_dst) return false;
+  if (!(wildcards & Wildcards::kDlVlan) && dl_vlan != pkt.dl_vlan) return false;
+  if (!(wildcards & Wildcards::kDlVlanPcp) && dl_vlan_pcp != pkt.dl_vlan_pcp) {
+    return false;
+  }
+  if (!(wildcards & Wildcards::kDlType) && dl_type != pkt.dl_type) return false;
+  if (!(wildcards & Wildcards::kNwTos) && nw_tos != pkt.nw_tos) return false;
+  if (!(wildcards & Wildcards::kNwProto) && nw_proto != pkt.nw_proto) return false;
+  if (!ip_field_matches(nw_src, pkt.nw_src, nw_src_ignored_bits())) return false;
+  if (!ip_field_matches(nw_dst, pkt.nw_dst, nw_dst_ignored_bits())) return false;
+  if (!(wildcards & Wildcards::kTpSrc) && tp_src != pkt.tp_src) return false;
+  if (!(wildcards & Wildcards::kTpDst) && tp_dst != pkt.tp_dst) return false;
+  return true;
+}
+
+bool Match::same_pattern(const Match& other) const {
+  return wildcards == other.wildcards &&
+         ((wildcards & Wildcards::kInPort) || in_port == other.in_port) &&
+         ((wildcards & Wildcards::kDlSrc) || dl_src == other.dl_src) &&
+         ((wildcards & Wildcards::kDlDst) || dl_dst == other.dl_dst) &&
+         ((wildcards & Wildcards::kDlVlan) || dl_vlan == other.dl_vlan) &&
+         ((wildcards & Wildcards::kDlType) || dl_type == other.dl_type) &&
+         ((wildcards & Wildcards::kNwProto) || nw_proto == other.nw_proto) &&
+         (nw_src_ignored_bits() >= 32 ||
+          ip_field_matches(nw_src, other.nw_src, nw_src_ignored_bits())) &&
+         (nw_dst_ignored_bits() >= 32 ||
+          ip_field_matches(nw_dst, other.nw_dst, nw_dst_ignored_bits())) &&
+         ((wildcards & Wildcards::kTpSrc) || tp_src == other.tp_src) &&
+         ((wildcards & Wildcards::kTpDst) || tp_dst == other.tp_dst);
+}
+
+bool Match::overlaps(const Match& other) const {
+  const auto field = [&](std::uint32_t bit, auto a, auto b) {
+    return (wildcards & bit) || (other.wildcards & bit) || a == b;
+  };
+  if (!field(Wildcards::kInPort, in_port, other.in_port)) return false;
+  if (!field(Wildcards::kDlSrc, dl_src, other.dl_src)) return false;
+  if (!field(Wildcards::kDlDst, dl_dst, other.dl_dst)) return false;
+  if (!field(Wildcards::kDlVlan, dl_vlan, other.dl_vlan)) return false;
+  if (!field(Wildcards::kDlVlanPcp, dl_vlan_pcp, other.dl_vlan_pcp)) return false;
+  if (!field(Wildcards::kDlType, dl_type, other.dl_type)) return false;
+  if (!field(Wildcards::kNwTos, nw_tos, other.nw_tos)) return false;
+  if (!field(Wildcards::kNwProto, nw_proto, other.nw_proto)) return false;
+  if (!field(Wildcards::kTpSrc, tp_src, other.tp_src)) return false;
+  if (!field(Wildcards::kTpDst, tp_dst, other.tp_dst)) return false;
+  // nw fields intersect when they agree under the looser of the two masks.
+  const int src_ignored = std::max(nw_src_ignored_bits(), other.nw_src_ignored_bits());
+  if (!ip_field_matches(nw_src, other.nw_src, src_ignored)) return false;
+  const int dst_ignored = std::max(nw_dst_ignored_bits(), other.nw_dst_ignored_bits());
+  return ip_field_matches(nw_dst, other.nw_dst, dst_ignored);
+}
+
+void Match::serialize(ByteWriter& w) const {
+  w.u32(wildcards);
+  w.u16(in_port);
+  w.raw(dl_src.octets().data(), 6);
+  w.raw(dl_dst.octets().data(), 6);
+  w.u16(dl_vlan);
+  w.u8(dl_vlan_pcp);
+  w.u8(0);  // pad
+  w.u16(dl_type);
+  w.u8(nw_tos);
+  w.u8(nw_proto);
+  w.zeros(2);  // pad
+  w.u32(nw_src.value());
+  w.u32(nw_dst.value());
+  w.u16(tp_src);
+  w.u16(tp_dst);
+}
+
+Result<Match> Match::parse(ByteReader& r) {
+  Match m;
+  auto wc = r.u32();
+  if (!wc) return wc.error();
+  m.wildcards = wc.value() & Wildcards::kAll;
+  auto in_port = r.u16();
+  if (!in_port) return in_port.error();
+  m.in_port = in_port.value();
+  auto src = read_mac(r);
+  if (!src) return src.error();
+  m.dl_src = src.value();
+  auto dst = read_mac(r);
+  if (!dst) return dst.error();
+  m.dl_dst = dst.value();
+  auto vlan = r.u16();
+  if (!vlan) return vlan.error();
+  m.dl_vlan = vlan.value();
+  auto pcp = r.u8();
+  if (!pcp) return pcp.error();
+  m.dl_vlan_pcp = pcp.value();
+  if (auto s = r.skip(1); !s.ok()) return s.error();
+  auto type = r.u16();
+  if (!type) return type.error();
+  m.dl_type = type.value();
+  auto tos = r.u8();
+  if (!tos) return tos.error();
+  m.nw_tos = tos.value();
+  auto proto = r.u8();
+  if (!proto) return proto.error();
+  m.nw_proto = proto.value();
+  if (auto s = r.skip(2); !s.ok()) return s.error();
+  auto nw_src = r.u32();
+  if (!nw_src) return nw_src.error();
+  m.nw_src = Ipv4Address{nw_src.value()};
+  auto nw_dst = r.u32();
+  if (!nw_dst) return nw_dst.error();
+  m.nw_dst = Ipv4Address{nw_dst.value()};
+  auto tp_src = r.u16();
+  if (!tp_src) return tp_src.error();
+  m.tp_src = tp_src.value();
+  auto tp_dst = r.u16();
+  if (!tp_dst) return tp_dst.error();
+  m.tp_dst = tp_dst.value();
+  return m;
+}
+
+std::string Match::to_string() const {
+  std::string out = "{";
+  auto field = [&](const char* name, const std::string& value, bool wildcarded) {
+    if (wildcarded) return;
+    if (out.size() > 1) out += ", ";
+    out += name;
+    out += "=";
+    out += value;
+  };
+  field("in_port", std::to_string(in_port), wildcards & Wildcards::kInPort);
+  field("dl_src", dl_src.to_string(), wildcards & Wildcards::kDlSrc);
+  field("dl_dst", dl_dst.to_string(), wildcards & Wildcards::kDlDst);
+  char hex[8];
+  std::snprintf(hex, sizeof hex, "0x%04x", dl_type);
+  field("dl_type", hex, wildcards & Wildcards::kDlType);
+  field("nw_proto", std::to_string(nw_proto), wildcards & Wildcards::kNwProto);
+  if (nw_src_ignored_bits() < 32) {
+    field("nw_src",
+          nw_src.to_string() + "/" + std::to_string(32 - nw_src_ignored_bits()),
+          false);
+  }
+  if (nw_dst_ignored_bits() < 32) {
+    field("nw_dst",
+          nw_dst.to_string() + "/" + std::to_string(32 - nw_dst_ignored_bits()),
+          false);
+  }
+  field("tp_src", std::to_string(tp_src), wildcards & Wildcards::kTpSrc);
+  field("tp_dst", std::to_string(tp_dst), wildcards & Wildcards::kTpDst);
+  if (out.size() == 1) out += "*";
+  out += "}";
+  return out;
+}
+
+}  // namespace hw::ofp

@@ -1,0 +1,61 @@
+#include "policy/compiler.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace hw::policy {
+
+bool DeviceRestriction::domain_allowed(const std::string& domain) const {
+  if (allow_only) {
+    return std::any_of(allowed_domains.begin(), allowed_domains.end(),
+                       [&](const std::string& pattern) {
+                         return domain_matches(domain, pattern);
+                       });
+  }
+  return std::none_of(blocked_domains.begin(), blocked_domains.end(),
+                      [&](const std::string& pattern) {
+                        return domain_matches(domain, pattern);
+                      });
+}
+
+bool policy_unlocked(const PolicyDocument& p, const EvalContext& ctx) {
+  if (p.unlock == UnlockEffect::None) return false;
+  return std::any_of(ctx.inserted_tokens.begin(), ctx.inserted_tokens.end(),
+                     [&](const std::string& t) { return t == p.unlock_token; });
+}
+
+DeviceRestriction compile_restriction(const std::vector<PolicyDocument>& policies,
+                                      const std::string& mac,
+                                      const std::vector<std::string>& tags,
+                                      const EvalContext& ctx) {
+  DeviceRestriction r;
+  for (const auto& p : policies) {
+    if (!p.who.selects(mac, tags)) continue;
+    if (!p.when.active_at(ctx.now, ctx.epoch_weekday)) continue;
+    const bool unlocked = policy_unlocked(p, ctx);
+    if (unlocked && p.unlock == UnlockEffect::LiftAll) continue;
+
+    r.sources.push_back(p.id);
+    if (p.block_network) r.network_blocked = true;
+    if (p.rate_limit_bps > 0 &&
+        (r.rate_limit_bps == 0 || p.rate_limit_bps < r.rate_limit_bps)) {
+      r.rate_limit_bps = p.rate_limit_bps;
+    }
+
+    const bool sites_lifted = unlocked && p.unlock == UnlockEffect::LiftSiteRule;
+    if (sites_lifted || p.sites.domains.empty()) continue;
+
+    if (p.sites.kind == SiteRuleKind::AllowOnly) {
+      r.allow_only = true;
+      r.allowed_domains.insert(r.allowed_domains.end(), p.sites.domains.begin(),
+                               p.sites.domains.end());
+    } else {
+      r.blocked_domains.insert(r.blocked_domains.end(), p.sites.domains.begin(),
+                               p.sites.domains.end());
+    }
+  }
+  return r;
+}
+
+}  // namespace hw::policy

@@ -1,0 +1,54 @@
+// Compiles policy documents into the per-device restriction set the router
+// enforces: "This is mapped to per-device network and DNS access
+// restrictions" (paper §1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "policy/policy.hpp"
+
+namespace hw::policy {
+
+/// The effective restriction for one device at one instant.
+struct DeviceRestriction {
+  bool network_blocked = false;
+  /// Tightest bandwidth cap among active policies (0 = uncapped).
+  std::uint64_t rate_limit_bps = 0;
+  /// When true, only `allowed_domains` resolve; otherwise everything except
+  /// `blocked_domains` resolves.
+  bool allow_only = false;
+  std::vector<std::string> allowed_domains;
+  std::vector<std::string> blocked_domains;
+  /// Policy ids that contributed (for UI display / debugging).
+  std::vector<std::string> sources;
+
+  [[nodiscard]] bool unrestricted() const {
+    return !network_blocked && !allow_only && blocked_domains.empty() &&
+           rate_limit_bps == 0;
+  }
+  /// May this device resolve/contact `domain`?
+  [[nodiscard]] bool domain_allowed(const std::string& domain) const;
+};
+
+/// Evaluation inputs that change over time.
+struct EvalContext {
+  Timestamp now = 0;
+  int epoch_weekday = 1;  // simulation epoch is a Monday by default
+  /// Unlock tokens present on currently inserted USB keys.
+  std::vector<std::string> inserted_tokens;
+};
+
+/// Computes the effective restriction of `mac` (with `tags`) under a policy
+/// set. Multiple matching policies compose: network blocks OR together;
+/// allow-only lists intersect semantics are approximated by unioning
+/// allow-lists and switching to allow-only if any active policy demands it.
+DeviceRestriction compile_restriction(const std::vector<PolicyDocument>& policies,
+                                      const std::string& mac,
+                                      const std::vector<std::string>& tags,
+                                      const EvalContext& ctx);
+
+/// True if `p` is currently suspended by an inserted unlock token.
+bool policy_unlocked(const PolicyDocument& p, const EvalContext& ctx);
+
+}  // namespace hw::policy

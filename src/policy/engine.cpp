@@ -1,0 +1,73 @@
+#include "policy/engine.hpp"
+
+#include "util/strings.hpp"
+
+namespace hw::policy {
+
+PolicyEngine::PolicyEngine(std::function<Timestamp()> now_fn)
+    : now_fn_(std::move(now_fn)) {
+  usb_.on_insert([this](UsbMonitor::SlotId slot, const ParsedKey& key) {
+    // Policies carried by the key are installed for its insertion lifetime.
+    std::vector<std::string> ids;
+    for (const auto& doc : key.policies) {
+      ids.push_back(doc.id);
+      installed_[doc.id] = doc;
+    }
+    key_policies_[slot] = std::move(ids);
+    notify();
+  });
+  usb_.on_remove([this](UsbMonitor::SlotId slot, const ParsedKey&) {
+    auto it = key_policies_.find(slot);
+    if (it != key_policies_.end()) {
+      for (const auto& id : it->second) installed_.erase(id);
+      key_policies_.erase(it);
+    }
+    notify();
+  });
+}
+
+void PolicyEngine::install(PolicyDocument doc) {
+  installed_[doc.id] = std::move(doc);
+  notify();
+}
+
+bool PolicyEngine::uninstall(const std::string& id) {
+  const bool erased = installed_.erase(id) > 0;
+  if (erased) notify();
+  return erased;
+}
+
+std::vector<const PolicyDocument*> PolicyEngine::policies() const {
+  std::vector<const PolicyDocument*> out;
+  out.reserve(installed_.size());
+  for (const auto& [_, doc] : installed_) out.push_back(&doc);
+  return out;
+}
+
+void PolicyEngine::set_tags(const std::string& mac,
+                            std::vector<std::string> tags) {
+  tags_[to_lower(mac)] = std::move(tags);
+  notify();
+}
+
+std::vector<std::string> PolicyEngine::tags_of(const std::string& mac) const {
+  auto it = tags_.find(to_lower(mac));
+  return it == tags_.end() ? std::vector<std::string>{} : it->second;
+}
+
+EvalContext PolicyEngine::context() const {
+  EvalContext ctx;
+  ctx.now = now_fn_();
+  ctx.epoch_weekday = epoch_weekday_;
+  ctx.inserted_tokens = usb_.inserted_tokens();
+  return ctx;
+}
+
+DeviceRestriction PolicyEngine::restriction_for(const std::string& mac) const {
+  std::vector<PolicyDocument> docs;
+  docs.reserve(installed_.size());
+  for (const auto& [_, doc] : installed_) docs.push_back(doc);
+  return compile_restriction(docs, to_lower(mac), tags_of(mac), context());
+}
+
+}  // namespace hw::policy

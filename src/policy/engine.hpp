@@ -1,0 +1,71 @@
+// PolicyEngine: the live policy state of the router. Owns installed policy
+// documents (from the control API and from inserted USB keys), the USB
+// monitor, and per-device tags; answers the two questions the enforcement
+// path asks — "may this device use the network now?" and "may this device
+// talk to this domain now?" — and notifies listeners when any answer may
+// have changed so flows/DNS state can be re-evaluated.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "policy/compiler.hpp"
+#include "policy/usb.hpp"
+
+namespace hw::policy {
+
+class PolicyEngine {
+ public:
+  /// `now_fn` supplies virtual time for schedule evaluation.
+  explicit PolicyEngine(std::function<Timestamp()> now_fn);
+
+  // -- Policy management -------------------------------------------------------
+  /// Installs or replaces (by id) a persistent policy.
+  void install(PolicyDocument doc);
+  /// Removes a persistent policy; false if unknown.
+  bool uninstall(const std::string& id);
+  [[nodiscard]] std::vector<const PolicyDocument*> policies() const;
+
+  // -- Device tags ("the kids") ----------------------------------------------
+  void set_tags(const std::string& mac, std::vector<std::string> tags);
+  [[nodiscard]] std::vector<std::string> tags_of(const std::string& mac) const;
+
+  // -- USB mediation ------------------------------------------------------------
+  [[nodiscard]] UsbMonitor& usb() { return usb_; }
+
+  // -- Enforcement queries ------------------------------------------------------
+  [[nodiscard]] DeviceRestriction restriction_for(const std::string& mac) const;
+  [[nodiscard]] bool network_allowed(const std::string& mac) const {
+    return !restriction_for(mac).network_blocked;
+  }
+  [[nodiscard]] bool domain_allowed(const std::string& mac,
+                                    const std::string& domain) const {
+    const auto r = restriction_for(mac);
+    return !r.network_blocked && r.domain_allowed(domain);
+  }
+
+  /// Fired whenever policy state changed (install/uninstall/usb/tags): the
+  /// enforcement layer revokes cached flows and DNS verdicts.
+  void on_change(std::function<void()> fn) { on_change_ = std::move(fn); }
+
+  [[nodiscard]] int epoch_weekday() const { return epoch_weekday_; }
+  void set_epoch_weekday(int weekday) { epoch_weekday_ = weekday; }
+
+ private:
+  void notify() {
+    if (on_change_) on_change_();
+  }
+  [[nodiscard]] EvalContext context() const;
+
+  std::function<Timestamp()> now_fn_;
+  std::map<std::string, PolicyDocument> installed_;
+  /// Policies installed by an inserted key, keyed by slot (removed with it).
+  std::map<UsbMonitor::SlotId, std::vector<std::string>> key_policies_;
+  std::map<std::string, std::vector<std::string>> tags_;
+  UsbMonitor usb_;
+  std::function<void()> on_change_;
+  int epoch_weekday_ = 1;  // Monday
+};
+
+}  // namespace hw::policy

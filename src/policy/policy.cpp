@@ -1,0 +1,156 @@
+#include "policy/policy.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace hw::policy {
+
+bool DeviceSelector::selects(const std::string& mac,
+                             const std::vector<std::string>& device_tags) const {
+  for (const auto& m : macs) {
+    if (iequals(m, mac)) return true;
+  }
+  for (const auto& t : tags) {
+    for (const auto& dt : device_tags) {
+      if (iequals(t, dt)) return true;
+    }
+  }
+  return false;
+}
+
+bool Schedule::active_at(Timestamp t, int epoch_weekday) const {
+  const std::uint64_t day_index = t / kDay;
+  const int weekday = static_cast<int>((day_index + static_cast<std::uint64_t>(
+                                                        epoch_weekday)) %
+                                       7);
+  if (!days.empty() &&
+      std::find(days.begin(), days.end(), weekday) == days.end()) {
+    return false;
+  }
+  const int minute = static_cast<int>((t % kDay) / kMinute);
+  if (start_minute <= end_minute) {
+    return minute >= start_minute && minute < end_minute;
+  }
+  // Wrapping window (e.g. 21:00–07:00).
+  return minute >= start_minute || minute < end_minute;
+}
+
+namespace {
+
+std::vector<std::string> string_list(const Json& j) {
+  std::vector<std::string> out;
+  for (const auto& v : j.as_array()) {
+    if (v.is_string()) out.push_back(v.as_string());
+  }
+  return out;
+}
+
+Json to_json_list(const std::vector<std::string>& list) {
+  JsonArray arr;
+  for (const auto& s : list) arr.emplace_back(s);
+  return Json(std::move(arr));
+}
+
+}  // namespace
+
+Result<PolicyDocument> PolicyDocument::from_json(const Json& j) {
+  if (!j.is_object()) return make_error("policy: expected object");
+  PolicyDocument p;
+  p.id = j["id"].as_string();
+  if (p.id.empty()) return make_error("policy: missing id");
+  p.description = j["description"].as_string();
+
+  const Json& who = j["who"];
+  p.who.macs = string_list(who["macs"]);
+  p.who.tags = string_list(who["tags"]);
+  if (p.who.macs.empty() && p.who.tags.empty()) {
+    return make_error("policy: selector selects nothing");
+  }
+
+  const Json& sites = j["sites"];
+  if (!sites.is_null()) {
+    const std::string kind = sites["kind"].as_string();
+    if (iequals(kind, "allow_only")) {
+      p.sites.kind = SiteRuleKind::AllowOnly;
+    } else if (iequals(kind, "block") || kind.empty()) {
+      p.sites.kind = SiteRuleKind::Block;
+    } else {
+      return make_error("policy: bad site rule kind: " + kind);
+    }
+    p.sites.domains = string_list(sites["domains"]);
+  }
+
+  const Json& when = j["when"];
+  if (!when.is_null()) {
+    for (const auto& d : when["days"].as_array()) {
+      const int day = static_cast<int>(d.as_int(-1));
+      if (day < 0 || day > 6) return make_error("policy: bad weekday");
+      p.when.days.push_back(day);
+    }
+    if (when.contains("start_minute")) {
+      p.when.start_minute = static_cast<int>(when["start_minute"].as_int());
+    }
+    if (when.contains("end_minute")) {
+      p.when.end_minute = static_cast<int>(when["end_minute"].as_int());
+    }
+    if (p.when.start_minute < 0 || p.when.start_minute > 24 * 60 ||
+        p.when.end_minute < 0 || p.when.end_minute > 24 * 60) {
+      return make_error("policy: schedule minutes out of range");
+    }
+  }
+
+  p.block_network = j["block_network"].as_bool(false);
+  if (j.contains("rate_limit_bps")) {
+    const auto rate = j["rate_limit_bps"].as_int(-1);
+    if (rate < 0) return make_error("policy: bad rate_limit_bps");
+    p.rate_limit_bps = static_cast<std::uint64_t>(rate);
+  }
+
+  const std::string unlock = j["unlock"].as_string();
+  if (unlock.empty() || iequals(unlock, "none")) {
+    p.unlock = UnlockEffect::None;
+  } else if (iequals(unlock, "lift_all")) {
+    p.unlock = UnlockEffect::LiftAll;
+  } else if (iequals(unlock, "lift_sites")) {
+    p.unlock = UnlockEffect::LiftSiteRule;
+  } else {
+    return make_error("policy: bad unlock effect: " + unlock);
+  }
+  p.unlock_token = j["unlock_token"].as_string();
+  if (p.unlock != UnlockEffect::None && p.unlock_token.empty()) {
+    return make_error("policy: unlock effect requires unlock_token");
+  }
+  return p;
+}
+
+Json PolicyDocument::to_json() const {
+  Json j(JsonObject{});
+  j.set("id", id);
+  j.set("description", description);
+  Json who(JsonObject{});
+  who.set("macs", to_json_list(this->who.macs));
+  who.set("tags", to_json_list(this->who.tags));
+  j.set("who", std::move(who));
+  Json sites(JsonObject{});
+  sites.set("kind",
+            this->sites.kind == SiteRuleKind::AllowOnly ? "allow_only" : "block");
+  sites.set("domains", to_json_list(this->sites.domains));
+  j.set("sites", std::move(sites));
+  Json when(JsonObject{});
+  JsonArray days;
+  for (int d : this->when.days) days.emplace_back(d);
+  when.set("days", Json(std::move(days)));
+  when.set("start_minute", this->when.start_minute);
+  when.set("end_minute", this->when.end_minute);
+  j.set("when", std::move(when));
+  j.set("block_network", block_network);
+  j.set("rate_limit_bps", static_cast<std::int64_t>(rate_limit_bps));
+  j.set("unlock", unlock == UnlockEffect::None       ? "none"
+                  : unlock == UnlockEffect::LiftAll  ? "lift_all"
+                                                     : "lift_sites");
+  j.set("unlock_token", unlock_token);
+  return j;
+}
+
+}  // namespace hw::policy

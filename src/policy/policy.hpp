@@ -1,0 +1,84 @@
+// The visual policy language behind Figure 4. A policy document is the
+// machine form of the "cartoon" panels: who it applies to, which web sites
+// are involved, when it applies, and what the USB key mediates. The canonical
+// example from the paper: "the kids can only use Facebook on weekdays after
+// they've finished their homework" — network and DNS restrictions on the
+// kids' devices that are lifted only while a suitably responsible adult's
+// USB key is inserted.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/result.hpp"
+#include "util/types.hpp"
+
+namespace hw::policy {
+
+/// Panel 1: who the policy applies to. Devices are selected by MAC address
+/// ("aa:bb:..") or by tag ("kids") assigned through the control interface.
+struct DeviceSelector {
+  std::vector<std::string> macs;
+  std::vector<std::string> tags;
+
+  [[nodiscard]] bool selects(const std::string& mac,
+                             const std::vector<std::string>& device_tags) const;
+};
+
+/// Panel 2: which sites. Domains use the usual "*.example.com" wildcard.
+enum class SiteRuleKind {
+  AllowOnly,  // only the listed domains may be resolved/contacted
+  Block,      // the listed domains are refused, everything else allowed
+};
+
+struct SiteRule {
+  SiteRuleKind kind = SiteRuleKind::Block;
+  std::vector<std::string> domains;
+};
+
+/// Panel 3: when. Days use 0=Sunday..6=Saturday; times are minutes from
+/// midnight, local (virtual) time. An empty schedule means "always".
+struct Schedule {
+  std::vector<int> days;          // empty = every day
+  int start_minute = 0;           // inclusive
+  int end_minute = 24 * 60;       // exclusive
+
+  /// True when the instant `t` (microseconds since the simulation epoch,
+  /// where the epoch is taken to be midnight on `epoch_weekday`) is covered.
+  [[nodiscard]] bool active_at(Timestamp t, int epoch_weekday) const;
+  [[nodiscard]] bool always() const {
+    return days.empty() && start_minute == 0 && end_minute == 24 * 60;
+  }
+};
+
+/// Panel 4: what the USB key does when inserted.
+enum class UnlockEffect {
+  None,          // key has no effect on this policy
+  LiftAll,       // key suspends the whole policy (the paper's example)
+  LiftSiteRule,  // key suspends only the site restrictions
+};
+
+struct PolicyDocument {
+  std::string id;
+  std::string description;
+  DeviceSelector who;
+  SiteRule sites;
+  Schedule when;
+  bool block_network = false;  // deny all traffic while active (not just DNS)
+  /// Per-device bandwidth cap in bits/second (0 = uncapped) — enforced by
+  /// the router through OpenFlow enqueue actions onto policing queues.
+  std::uint64_t rate_limit_bps = 0;
+  UnlockEffect unlock = UnlockEffect::None;
+  /// Token that must be present on the inserted key for unlock to apply.
+  std::string unlock_token;
+
+  /// JSON (de)serialization — the format stored on the USB key and accepted
+  /// by POST /api/policy.
+  static Result<PolicyDocument> from_json(const Json& j);
+  [[nodiscard]] Json to_json() const;
+};
+
+}  // namespace hw::policy

@@ -1,0 +1,79 @@
+#include "policy/usb.hpp"
+
+#include "util/strings.hpp"
+
+namespace hw::policy {
+
+std::vector<std::string> UsbKeyImage::list(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (const auto& [path, _] : files_) {
+    if (path.rfind(prefix, 0) == 0) out.push_back(path);
+  }
+  return out;
+}
+
+UsbKeyImage UsbKeyImage::make_key(const std::string& token,
+                                  const std::vector<PolicyDocument>& policies) {
+  UsbKeyImage img;
+  if (!token.empty()) img.write_file("homework/token", token + "\n");
+  int n = 0;
+  for (const auto& p : policies) {
+    img.write_file("homework/policies/" + std::to_string(n++) + ".json",
+                   p.to_json().dump(2));
+  }
+  return img;
+}
+
+Result<ParsedKey> parse_policy_key(const UsbKeyImage& image) {
+  const bool has_dir = !image.list("homework/").empty();
+  if (!has_dir) return make_error("usb: no homework/ directory on key");
+
+  ParsedKey key;
+  if (const std::string* token = image.read_file("homework/token")) {
+    key.token = std::string(trim(*token));
+    if (key.token.empty()) return make_error("usb: empty token file");
+  }
+  for (const auto& path : image.list("homework/policies/")) {
+    const std::string* contents = image.read_file(path);
+    auto json = Json::parse(*contents);
+    if (!json) return make_error("usb: " + path + ": " + json.error().message);
+    auto doc = PolicyDocument::from_json(json.value());
+    if (!doc) return make_error("usb: " + path + ": " + doc.error().message);
+    key.policies.push_back(std::move(doc).take());
+  }
+  if (key.token.empty() && key.policies.empty()) {
+    return make_error("usb: key carries neither token nor policies");
+  }
+  return key;
+}
+
+UsbMonitor::SlotId UsbMonitor::insert(const UsbKeyImage& image) {
+  auto parsed = parse_policy_key(image);
+  if (!parsed) {
+    if (on_invalid_) on_invalid_(0, parsed.error().message);
+    return 0;
+  }
+  const SlotId slot = next_slot_++;
+  slots_[slot] = std::move(parsed).take();
+  if (on_insert_) on_insert_(slot, slots_[slot]);
+  return slot;
+}
+
+bool UsbMonitor::remove(SlotId slot) {
+  auto it = slots_.find(slot);
+  if (it == slots_.end()) return false;
+  ParsedKey key = std::move(it->second);
+  slots_.erase(it);
+  if (on_remove_) on_remove_(slot, key);
+  return true;
+}
+
+std::vector<std::string> UsbMonitor::inserted_tokens() const {
+  std::vector<std::string> out;
+  for (const auto& [_, key] : slots_) {
+    if (!key.token.empty()) out.push_back(key.token);
+  }
+  return out;
+}
+
+}  // namespace hw::policy

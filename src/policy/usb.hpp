@@ -1,0 +1,88 @@
+// USB storage key model + udev-style monitor. The paper's Figure 4 flow:
+// "When the user plugs a USB storage device with appropriate filesystem
+// layout into the router, it enables specific devices to connect to the
+// network as well as limiting access to specified web-hosted services."
+//
+// Key layout (paths within the key's filesystem image):
+//   homework/token            — the unlock token string (one line)
+//   homework/policies/<n>.json — zero or more policy documents to install
+//
+// A key can therefore (a) carry an unlock token that suspends policies whose
+// unlock_token matches, and/or (b) install new policies while inserted.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "policy/policy.hpp"
+
+namespace hw::policy {
+
+/// In-memory filesystem image of a USB key: path → file contents.
+class UsbKeyImage {
+ public:
+  UsbKeyImage() = default;
+
+  void write_file(std::string path, std::string contents) {
+    files_[std::move(path)] = std::move(contents);
+  }
+  [[nodiscard]] const std::string* read_file(const std::string& path) const {
+    auto it = files_.find(path);
+    return it == files_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] std::vector<std::string> list(const std::string& prefix) const;
+  [[nodiscard]] std::size_t file_count() const { return files_.size(); }
+
+  /// Builds a well-formed policy key (convenience for tests/examples).
+  static UsbKeyImage make_key(const std::string& token,
+                              const std::vector<PolicyDocument>& policies);
+
+ private:
+  std::map<std::string, std::string> files_;
+};
+
+/// Parse result of an inserted key.
+struct ParsedKey {
+  std::string token;  // empty if no token file
+  std::vector<PolicyDocument> policies;
+};
+
+/// Validates the "appropriate filesystem layout" and extracts the payload.
+/// A key missing the homework/ directory entirely is rejected (it is just a
+/// storage stick, not a policy key).
+Result<ParsedKey> parse_policy_key(const UsbKeyImage& image);
+
+/// udev-style hotplug monitor: devices are inserted/removed by the platform
+/// (or tests); observers get ordered insert/remove callbacks with the parsed
+/// payload. Keys that fail validation raise on_invalid instead.
+class UsbMonitor {
+ public:
+  using SlotId = std::uint32_t;
+  using InsertHandler = std::function<void(SlotId, const ParsedKey&)>;
+  using RemoveHandler = std::function<void(SlotId, const ParsedKey&)>;
+  using InvalidHandler = std::function<void(SlotId, const std::string& reason)>;
+
+  void on_insert(InsertHandler h) { on_insert_ = std::move(h); }
+  void on_remove(RemoveHandler h) { on_remove_ = std::move(h); }
+  void on_invalid(InvalidHandler h) { on_invalid_ = std::move(h); }
+
+  /// Plugs a key in; returns the slot id (0 on validation failure).
+  SlotId insert(const UsbKeyImage& image);
+  /// Unplugs; returns false if the slot is empty.
+  bool remove(SlotId slot);
+
+  [[nodiscard]] std::vector<std::string> inserted_tokens() const;
+  [[nodiscard]] std::size_t inserted_count() const { return slots_.size(); }
+
+ private:
+  std::map<SlotId, ParsedKey> slots_;
+  SlotId next_slot_ = 1;
+  InsertHandler on_insert_;
+  RemoveHandler on_remove_;
+  InvalidHandler on_invalid_;
+};
+
+}  // namespace hw::policy

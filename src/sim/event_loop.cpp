@@ -1,0 +1,54 @@
+#include "sim/event_loop.hpp"
+
+#include <algorithm>
+
+namespace hw::sim {
+
+EventLoop::EventId EventLoop::schedule_at(Timestamp when, Callback fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{std::max(when, now_), id, std::move(fn)});
+  return id;
+}
+
+void EventLoop::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return;
+  cancelled_ids_.push_back(id);
+  ++cancelled_;
+}
+
+bool EventLoop::pop_one(Timestamp deadline) {
+  while (!heap_.empty()) {
+    const Entry& top = heap_.top();
+    if (top.when > deadline) return false;
+    // Lazily discard cancelled entries.
+    auto it = std::find(cancelled_ids_.begin(), cancelled_ids_.end(), top.id);
+    if (it != cancelled_ids_.end()) {
+      cancelled_ids_.erase(it);
+      --cancelled_;
+      heap_.pop();
+      continue;
+    }
+    Entry entry = std::move(const_cast<Entry&>(top));
+    heap_.pop();
+    now_ = entry.when;
+    ++executed_;
+    entry.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t EventLoop::run_until(Timestamp deadline) {
+  std::size_t count = 0;
+  while (pop_one(deadline)) ++count;
+  now_ = std::max(now_, deadline);
+  return count;
+}
+
+std::size_t EventLoop::run_all() {
+  std::size_t count = 0;
+  while (pop_one(~Timestamp{0})) ++count;
+  return count;
+}
+
+}  // namespace hw::sim

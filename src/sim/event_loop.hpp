@@ -1,0 +1,102 @@
+// Discrete-event scheduler with a virtual microsecond clock. Everything in
+// the reproduction (hosts, links, datapath timeouts, hwdb subscriptions,
+// artifact animation) runs off this loop, making runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace hw::sim {
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+  /// Handle for cancelling a scheduled event.
+  using EventId = std::uint64_t;
+
+  [[nodiscard]] Timestamp now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `when` (clamped to >= now).
+  EventId schedule_at(Timestamp when, Callback fn);
+  /// Schedules `fn` to run `delay` after now.
+  EventId schedule(Duration delay, Callback fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+  /// Cancels a pending event; no-op if already fired or cancelled.
+  void cancel(EventId id);
+
+  /// Runs events until the queue is empty or the virtual clock passes
+  /// `deadline`. Returns the number of events executed.
+  std::size_t run_until(Timestamp deadline);
+  std::size_t run_for(Duration d) { return run_until(now_ + d); }
+  /// Drains every pending event regardless of time. Use in tests only;
+  /// periodic timers must be stopped first or this never returns.
+  std::size_t run_all();
+
+  [[nodiscard]] std::size_t pending() const { return heap_.size() - cancelled_; }
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    Timestamp when;
+    EventId id;  // also breaks ties: FIFO among same-time events
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.when != b.when ? a.when > b.when : a.id > b.id;
+    }
+  };
+
+  bool pop_one(Timestamp deadline);
+
+  Timestamp now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::size_t cancelled_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::vector<EventId> cancelled_ids_;
+};
+
+/// Repeating timer helper: reschedules itself every `period` until stopped.
+class PeriodicTimer {
+ public:
+  PeriodicTimer(EventLoop& loop, Duration period, EventLoop::Callback fn)
+      : loop_(loop), period_(period), fn_(std::move(fn)) {}
+  ~PeriodicTimer() { stop(); }
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  void start() {
+    if (running_) return;
+    running_ = true;
+    arm();
+  }
+  void stop() {
+    if (!running_) return;
+    running_ = false;
+    loop_.cancel(pending_);
+  }
+  [[nodiscard]] bool running() const { return running_; }
+
+ private:
+  void arm() {
+    pending_ = loop_.schedule(period_, [this] {
+      if (!running_) return;
+      fn_();
+      if (running_) arm();
+    });
+  }
+
+  EventLoop& loop_;
+  Duration period_;
+  EventLoop::Callback fn_;
+  bool running_ = false;
+  EventLoop::EventId pending_ = 0;
+};
+
+}  // namespace hw::sim

@@ -1,0 +1,42 @@
+#include "sim/link.hpp"
+
+#include "util/rand.hpp"
+
+namespace hw::sim {
+
+LinkChannel::LinkChannel(EventLoop& loop, Config config, Rng* rng)
+    : loop_(loop), config_(config), rng_(rng) {}
+
+bool LinkChannel::send(const Bytes& frame) {
+  if (sink_ == nullptr) return false;
+  if (in_flight_ >= config_.queue_limit) {
+    ++stats_.dropped_frames;
+    return false;
+  }
+  if (rng_ != nullptr && config_.loss_probability > 0 &&
+      rng_->chance(config_.loss_probability)) {
+    ++stats_.dropped_frames;
+    return false;
+  }
+
+  // Serialization: frames queue behind each other on the wire.
+  const Duration tx_time =
+      config_.bandwidth_bps == 0
+          ? 0
+          : static_cast<Duration>(frame.size() * 8 * kSecond /
+                                  config_.bandwidth_bps);
+  const Timestamp start = std::max(loop_.now(), busy_until_);
+  busy_until_ = start + tx_time;
+  const Timestamp arrival = busy_until_ + config_.latency;
+
+  ++stats_.tx_frames;
+  stats_.tx_bytes += frame.size();
+  ++in_flight_;
+  loop_.schedule_at(arrival, [this, frame] {
+    --in_flight_;
+    if (sink_ != nullptr) sink_->deliver(frame);
+  });
+  return true;
+}
+
+}  // namespace hw::sim

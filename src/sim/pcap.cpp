@@ -1,0 +1,164 @@
+#include "sim/pcap.hpp"
+
+#include <cstdio>
+
+namespace hw::sim {
+namespace {
+
+constexpr std::uint32_t kMagic = 0xa1b2c3d4;
+constexpr std::uint32_t kMagicSwapped = 0xd4c3b2a1;
+constexpr std::uint32_t kLinkTypeEthernet = 1;
+
+void put_u16le(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32le(Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+/// Little/big-endian u32 reader chosen by file magic.
+class EndianReader {
+ public:
+  EndianReader(std::span<const std::uint8_t> data, bool swapped)
+      : data_(data), swapped_(swapped) {}
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+  Result<std::uint32_t> u32() {
+    if (remaining() < 4) return make_error("pcap: truncated");
+    std::uint32_t v;
+    if (swapped_) {
+      v = (static_cast<std::uint32_t>(data_[pos_]) << 24) |
+          (static_cast<std::uint32_t>(data_[pos_ + 1]) << 16) |
+          (static_cast<std::uint32_t>(data_[pos_ + 2]) << 8) |
+          data_[pos_ + 3];
+    } else {
+      v = static_cast<std::uint32_t>(data_[pos_]) |
+          (static_cast<std::uint32_t>(data_[pos_ + 1]) << 8) |
+          (static_cast<std::uint32_t>(data_[pos_ + 2]) << 16) |
+          (static_cast<std::uint32_t>(data_[pos_ + 3]) << 24);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  Result<Bytes> raw(std::size_t len) {
+    if (remaining() < len) return make_error("pcap: truncated packet");
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+    pos_ += len;
+    return out;
+  }
+
+  Status skip(std::size_t len) {
+    if (remaining() < len) return Status::failure("pcap: truncated header");
+    pos_ += len;
+    return {};
+  }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  bool swapped_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Bytes to_pcap(const Trace& trace) {
+  Bytes out;
+  out.reserve(24 + trace.size() * 64);
+  // Global header (host-native little-endian layout).
+  put_u32le(out, kMagic);
+  put_u16le(out, 2);   // version major
+  put_u16le(out, 4);   // version minor
+  put_u32le(out, 0);   // thiszone
+  put_u32le(out, 0);   // sigfigs
+  put_u32le(out, 65535);  // snaplen
+  put_u32le(out, kLinkTypeEthernet);
+
+  for (const auto& entry : trace.entries()) {
+    put_u32le(out, static_cast<std::uint32_t>(entry.time / kSecond));
+    put_u32le(out, static_cast<std::uint32_t>(entry.time % kSecond));
+    put_u32le(out, static_cast<std::uint32_t>(entry.frame.size()));  // incl_len
+    put_u32le(out, static_cast<std::uint32_t>(entry.frame.size()));  // orig_len
+    out.insert(out.end(), entry.frame.begin(), entry.frame.end());
+  }
+  return out;
+}
+
+Status write_pcap(const Trace& trace, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::failure("pcap: cannot open " + path);
+  const Bytes data = to_pcap(trace);
+  const std::size_t written = std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  if (written != data.size()) return Status::failure("pcap: short write");
+  return {};
+}
+
+Result<std::vector<PcapPacket>> parse_pcap(std::span<const std::uint8_t> data) {
+  if (data.size() < 24) return make_error("pcap: too short for global header");
+  // Magic decides endianness; read it little-endian first.
+  const std::uint32_t magic_le = static_cast<std::uint32_t>(data[0]) |
+                                 (static_cast<std::uint32_t>(data[1]) << 8) |
+                                 (static_cast<std::uint32_t>(data[2]) << 16) |
+                                 (static_cast<std::uint32_t>(data[3]) << 24);
+  bool swapped = false;
+  if (magic_le == kMagic) {
+    swapped = false;
+  } else if (magic_le == kMagicSwapped) {
+    swapped = true;
+  } else {
+    return make_error("pcap: bad magic");
+  }
+
+  EndianReader r(data, swapped);
+  if (auto s = r.skip(4 + 2 + 2 + 4 + 4); !s.ok()) return s.error();  // → snaplen
+  auto snaplen = r.u32();
+  if (!snaplen) return snaplen.error();
+  auto linktype = r.u32();
+  if (!linktype) return linktype.error();
+  if (linktype.value() != kLinkTypeEthernet) {
+    return make_error("pcap: unsupported link type");
+  }
+
+  std::vector<PcapPacket> out;
+  while (r.remaining() > 0) {
+    auto sec = r.u32();
+    if (!sec) return sec.error();
+    auto usec = r.u32();
+    if (!usec) return usec.error();
+    auto incl = r.u32();
+    if (!incl) return incl.error();
+    auto orig = r.u32();
+    if (!orig) return orig.error();
+    if (incl.value() > snaplen.value()) return make_error("pcap: incl > snaplen");
+    auto frame = r.raw(incl.value());
+    if (!frame) return frame.error();
+    PcapPacket pkt;
+    pkt.time = static_cast<Timestamp>(sec.value()) * kSecond + usec.value();
+    pkt.frame = std::move(frame).take();
+    out.push_back(std::move(pkt));
+  }
+  return out;
+}
+
+Result<std::vector<PcapPacket>> read_pcap(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return make_error("pcap: cannot open " + path);
+  Bytes data;
+  std::uint8_t buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    data.insert(data.end(), buf, buf + n);
+  }
+  std::fclose(f);
+  return parse_pcap(data);
+}
+
+}  // namespace hw::sim

@@ -1,0 +1,32 @@
+// Classic libpcap capture-file writer/reader (no libpcap dependency): traces
+// recorded on the simulated wire open directly in tcpdump/tshark. Timestamps
+// map the virtual microsecond clock onto the file's sec/usec fields.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/trace.hpp"
+#include "util/result.hpp"
+
+namespace hw::sim {
+
+/// Writes `trace` (all capture points) to `path` in pcap format
+/// (magic 0xa1b2c3d4, version 2.4, LINKTYPE_ETHERNET).
+Status write_pcap(const Trace& trace, const std::string& path);
+
+/// Serializes to bytes instead of a file (tests, in-memory shipping).
+Bytes to_pcap(const Trace& trace);
+
+struct PcapPacket {
+  Timestamp time = 0;  // microseconds
+  Bytes frame;
+};
+
+/// Parses a pcap byte stream (both endiannesses); rejects malformed files.
+Result<std::vector<PcapPacket>> parse_pcap(std::span<const std::uint8_t> data);
+
+/// Convenience: read a pcap file from disk.
+Result<std::vector<PcapPacket>> read_pcap(const std::string& path);
+
+}  // namespace hw::sim

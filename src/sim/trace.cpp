@@ -1,0 +1,25 @@
+#include "sim/trace.hpp"
+
+namespace hw::sim {
+
+std::size_t Trace::count_if(
+    const std::function<bool(const net::ParsedPacket&)>& pred) const {
+  std::size_t n = 0;
+  for (const auto& e : entries_) {
+    auto p = net::ParsedPacket::parse(e.frame);
+    if (p && pred(p.value())) ++n;
+  }
+  return n;
+}
+
+std::vector<net::ParsedPacket> Trace::parsed_at(const std::string& point) const {
+  std::vector<net::ParsedPacket> out;
+  for (const auto& e : entries_) {
+    if (e.point != point) continue;
+    auto p = net::ParsedPacket::parse(e.frame);
+    if (p) out.push_back(std::move(p).take());
+  }
+  return out;
+}
+
+}  // namespace hw::sim

@@ -1,0 +1,42 @@
+// Frame trace sink for tests and debugging: records (time, direction, frame)
+// and offers simple filters, like a tcpdump for the simulated wire.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "util/types.hpp"
+
+namespace hw::sim {
+
+struct TraceEntry {
+  Timestamp time = 0;
+  std::string point;  // capture point label, e.g. "port1-in"
+  Bytes frame;
+};
+
+class Trace {
+ public:
+  void record(Timestamp time, std::string point, const Bytes& frame) {
+    entries_.push_back(TraceEntry{time, std::move(point), frame});
+  }
+
+  [[nodiscard]] const std::vector<TraceEntry>& entries() const { return entries_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  void clear() { entries_.clear(); }
+
+  /// Counts entries whose parsed form satisfies `pred` (unparseable frames
+  /// are skipped).
+  std::size_t count_if(
+      const std::function<bool(const net::ParsedPacket&)>& pred) const;
+
+  /// Returns parsed packets at a capture point.
+  std::vector<net::ParsedPacket> parsed_at(const std::string& point) const;
+
+ private:
+  std::vector<TraceEntry> entries_;
+};
+
+}  // namespace hw::sim

@@ -1,0 +1,38 @@
+#include "sim/wireless.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hw::sim {
+
+double distance(Position a, Position b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double path_loss_rssi(const WirelessConfig& cfg, double d) {
+  const double dist = std::max(d, 0.5);
+  const double loss =
+      cfg.reference_loss_db + 10.0 * cfg.path_loss_exponent * std::log10(dist);
+  return cfg.tx_power_dbm - loss;
+}
+
+double sample_rssi(const WirelessConfig& cfg, double d, Rng& rng) {
+  const double rssi =
+      path_loss_rssi(cfg, d) + rng.normal(0.0, cfg.shadowing_stddev_db);
+  return std::max(rssi, cfg.noise_floor_dbm);
+}
+
+double retry_probability(const WirelessConfig& cfg, double rssi_dbm) {
+  // Logistic in SNR: comfortable above ~30 dB SNR, falls apart below ~10 dB.
+  const double snr = rssi_dbm - cfg.noise_floor_dbm;
+  const double p = 1.0 / (1.0 + std::exp((snr - 18.0) / 4.0));
+  return std::clamp(p * 0.9, 0.0, 0.9);
+}
+
+double rssi_quality(double rssi_dbm) {
+  return std::clamp((rssi_dbm + 90.0) / 60.0, 0.0, 1.0);
+}
+
+}  // namespace hw::sim

@@ -1,0 +1,42 @@
+// Wireless medium model: log-distance path loss gives per-station RSSI, and
+// low RSSI raises the retry probability. These are exactly the Links-table
+// signals (RSSI, retries) that feed the Figure 2 artifact's modes 1 and 3.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rand.hpp"
+
+namespace hw::sim {
+
+/// 2-D position in metres within the home.
+struct Position {
+  double x = 0;
+  double y = 0;
+};
+
+double distance(Position a, Position b);
+
+struct WirelessConfig {
+  double tx_power_dbm = 20.0;       // AP transmit power
+  double path_loss_exponent = 3.0;  // indoor, walls
+  double reference_loss_db = 40.0;  // loss at 1 m for 2.4 GHz
+  double shadowing_stddev_db = 2.0; // lognormal shadowing
+  double noise_floor_dbm = -95.0;
+};
+
+/// RSSI in dBm seen at distance `d` metres (deterministic part).
+double path_loss_rssi(const WirelessConfig& cfg, double d);
+
+/// One shadowing-noised RSSI sample.
+double sample_rssi(const WirelessConfig& cfg, double d, Rng& rng);
+
+/// Probability that a transmission needs link-layer retry at a given RSSI.
+/// Smoothly rises from ~0 above -65 dBm to ~0.9 near the noise floor.
+double retry_probability(const WirelessConfig& cfg, double rssi_dbm);
+
+/// Normalizes RSSI to [0,1] for display (-90 dBm → 0, -30 dBm → 1); the
+/// artifact's mode 1 maps this onto its number of lit LEDs.
+double rssi_quality(double rssi_dbm);
+
+}  // namespace hw::sim

@@ -1,0 +1,166 @@
+#include "ui/artifact.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/wireless.hpp"
+
+namespace hw::ui {
+
+NetworkArtifact::NetworkArtifact(hwdb::Database& db, Config config)
+    : db_(db), config_(config) {
+  // Events that predate the artifact never flash.
+  if (const auto* leases = db_.table("Leases")) {
+    last_lease_ts_ = leases->newest_ts();
+  }
+  // Mode 3 event source: every Leases insert lands here.
+  auto sub = db_.subscribe(
+      "SELECT ts, mac, event FROM Leases [ROWS 8]",
+      hwdb::SubscriptionMode::OnInsert, 0,
+      [this](hwdb::SubscriptionId, const hwdb::ResultSet& rs) {
+        on_lease_event(rs);
+      });
+  if (sub) lease_sub_ = sub.value();
+}
+
+void NetworkArtifact::set_mode(ArtifactMode mode) {
+  mode_ = mode;
+  flash_queue_.clear();
+  if (const auto* leases = db_.table("Leases")) {
+    last_lease_ts_ = leases->newest_ts();
+  }
+}
+
+NetworkArtifact::~NetworkArtifact() {
+  if (lease_sub_ != 0) db_.unsubscribe(lease_sub_);
+}
+
+void NetworkArtifact::on_lease_event(const hwdb::ResultSet& rs) {
+  // Rows are chronological; queue flashes for events newer than the last
+  // one we saw. Grants flash green, releases/expiries blue (paper §1).
+  const int ts_col = rs.column_index("ts");
+  const int event_col = rs.column_index("event");
+  if (ts_col < 0 || event_col < 0) return;
+  for (const auto& row : rs.rows) {
+    const Timestamp ts = row[static_cast<std::size_t>(ts_col)].as_ts();
+    if (ts <= last_lease_ts_) continue;
+    last_lease_ts_ = ts;
+    const std::string event = row[static_cast<std::size_t>(event_col)].to_string();
+    if (event == "lease_granted" || event == "lease_renewed") {
+      flash_queue_.push_back(Flash{kLedGreen, config_.flash_frames});
+    } else if (event == "lease_released" || event == "lease_expired") {
+      flash_queue_.push_back(Flash{kLedBlue, config_.flash_frames});
+    }
+  }
+}
+
+std::size_t NetworkArtifact::lit_count_for_rssi(double rssi_dbm) const {
+  const double q = sim::rssi_quality(rssi_dbm);
+  return static_cast<std::size_t>(
+      std::lround(q * static_cast<double>(config_.led_count)));
+}
+
+double NetworkArtifact::animation_speed(double proportion) const {
+  // 0 → barely moving, 1 → one full revolution per second.
+  return 0.1 + 0.9 * std::clamp(proportion, 0.0, 1.0);
+}
+
+LedFrame NetworkArtifact::render() {
+  ++frames_;
+  switch (mode_) {
+    case ArtifactMode::SignalStrength: return render_signal();
+    case ArtifactMode::Bandwidth: return render_bandwidth();
+    case ArtifactMode::Events: return render_events();
+  }
+  return LedFrame(config_.led_count, kLedOff);
+}
+
+LedFrame NetworkArtifact::render_signal() {
+  LedFrame frame(config_.led_count, kLedOff);
+  // The artifact's own RSSI as the router sees it, newest sample wins.
+  auto rs = db_.query("SELECT last(rssi) FROM Links [RANGE 5 SECONDS] WHERE mac = '" +
+                      config_.own_mac + "' GROUP BY mac");
+  if (!rs || rs.value().rows.empty()) return frame;
+  const double rssi = rs.value().rows.front()[0].as_real();
+  const std::size_t lit = lit_count_for_rssi(rssi);
+  for (std::size_t i = 0; i < lit && i < frame.size(); ++i) frame[i] = kLedWhite;
+  return frame;
+}
+
+LedFrame NetworkArtifact::render_bandwidth() {
+  LedFrame frame(config_.led_count, kLedOff);
+  auto current = db_.query("SELECT sum(bytes) FROM Flows [RANGE " +
+                           std::to_string(config_.bandwidth_window_secs) +
+                           " SECONDS] GROUP BY app");
+  auto peak = db_.query("SELECT max(bytes) FROM Flows [RANGE " +
+                        std::to_string(config_.peak_window_secs) +
+                        " SECONDS] GROUP BY device");
+  double current_rate = 0;
+  if (current) {
+    for (const auto& row : current.value().rows) current_rate += row[0].as_real();
+    current_rate /= static_cast<double>(config_.bandwidth_window_secs);
+  }
+  double peak_rate = 1;
+  if (peak) {
+    for (const auto& row : peak.value().rows) {
+      peak_rate = std::max(peak_rate, row[0].as_real());
+    }
+  }
+  const double proportion = std::clamp(current_rate / peak_rate, 0.0, 1.0);
+  // Advance the chase animation: more bandwidth, faster sweep.
+  animation_pos_ += animation_speed(proportion) *
+                    static_cast<double>(config_.led_count) *
+                    (static_cast<double>(config_.frame_interval) / 1e6);
+  const auto head = static_cast<std::size_t>(animation_pos_) % config_.led_count;
+  frame[head] = kLedWhite;
+  frame[(head + config_.led_count - 1) % config_.led_count] =
+      LedColor{96, 96, 96};
+  return frame;
+}
+
+LedFrame NetworkArtifact::render_events() {
+  // Retry proportion across all stations in the last few seconds.
+  auto rs = db_.query(
+      "SELECT mac, sum(retries), sum(tx) FROM Links [RANGE 5 SECONDS] "
+      "GROUP BY mac");
+  bool retry_alarm = false;
+  if (rs) {
+    for (const auto& row : rs.value().rows) {
+      const double retries = row[1].as_real();
+      const double tx = row[2].as_real();
+      if (tx >= 10 && retries / tx >= config_.retry_flash_threshold) {
+        retry_alarm = true;
+        break;
+      }
+    }
+  }
+
+  LedFrame frame(config_.led_count, kLedOff);
+  if (!flash_queue_.empty()) {
+    Flash& flash = flash_queue_.front();
+    std::fill(frame.begin(), frame.end(), flash.color);
+    if (--flash.frames_left <= 0) flash_queue_.pop_front();
+    return frame;
+  }
+  if (retry_alarm) {
+    std::fill(frame.begin(), frame.end(), kLedRed);
+  }
+  return frame;
+}
+
+std::string NetworkArtifact::to_string(const LedFrame& frame) {
+  std::string out;
+  out.reserve(frame.size());
+  for (const auto& led : frame) {
+    if (led == kLedOff) out += '.';
+    else if (led == kLedGreen) out += 'G';
+    else if (led == kLedBlue) out += 'B';
+    else if (led == kLedRed) out += 'R';
+    else if (led.r == led.g && led.g == led.b && led.r > 0 && led.r < 255)
+      out += '+';
+    else out += '#';
+  }
+  return out;
+}
+
+}  // namespace hw::ui

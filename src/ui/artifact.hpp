@@ -1,0 +1,92 @@
+// Figure 2 backend: the physical "network artifact" — a ring of RGB LEDs on
+// an Arduino that renders network state ambiently. Three modes (paper §1):
+//   Mode 1: wireless signal strength (RSSI) → number of lit LEDs, so users
+//           can carry it around to map coverage;
+//   Mode 2: current total bandwidth as a proportion of the last day's peak →
+//           speed of an animation chasing across the face;
+//   Mode 3: DHCP lease grants flash green, revocations blue, and a high
+//           proportion of packet retries for any machine flashes red.
+// The artifact is a pure hwdb client: Links for RSSI/retries, Flows for
+// bandwidth, Leases for grant/revoke events.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "hwdb/database.hpp"
+
+namespace hw::ui {
+
+struct LedColor {
+  std::uint8_t r = 0, g = 0, b = 0;
+  bool operator==(const LedColor&) const = default;
+};
+
+inline constexpr LedColor kLedOff{0, 0, 0};
+inline constexpr LedColor kLedWhite{255, 255, 255};
+inline constexpr LedColor kLedGreen{0, 255, 0};
+inline constexpr LedColor kLedBlue{0, 0, 255};
+inline constexpr LedColor kLedRed{255, 0, 0};
+
+using LedFrame = std::vector<LedColor>;
+
+enum class ArtifactMode { SignalStrength = 1, Bandwidth = 2, Events = 3 };
+
+class NetworkArtifact {
+ public:
+  struct Config {
+    std::size_t led_count = 12;
+    std::string own_mac;            // the artifact's own station (mode 1)
+    std::uint32_t bandwidth_window_secs = 10;
+    std::uint32_t peak_window_secs = 86400;  // "peak usage ... in the last day"
+    double retry_flash_threshold = 0.25;     // retries/tx proportion → red
+    Duration frame_interval = 250 * kMillisecond;
+    int flash_frames = 3;  // frames each queued flash stays lit
+  };
+
+  NetworkArtifact(hwdb::Database& db, Config config);
+  ~NetworkArtifact();
+
+  /// Switching mode clears queued flashes and skips past historical events —
+  /// the artifact shows what happens from now on, not a backlog.
+  void set_mode(ArtifactMode mode);
+  [[nodiscard]] ArtifactMode mode() const { return mode_; }
+
+  /// Computes the current LED frame from the measurement plane.
+  LedFrame render();
+
+  /// Mode-1 helper: lit-LED count for the current RSSI (exposed for tests).
+  [[nodiscard]] std::size_t lit_count_for_rssi(double rssi_dbm) const;
+  /// Mode-2 helper: animation steps/sec for a bandwidth proportion.
+  [[nodiscard]] double animation_speed(double proportion) const;
+
+  [[nodiscard]] std::size_t pending_flashes() const { return flash_queue_.size(); }
+  [[nodiscard]] std::uint64_t frames_rendered() const { return frames_; }
+
+  /// ASCII rendering for terminal demos: one char per LED.
+  static std::string to_string(const LedFrame& frame);
+
+ private:
+  void on_lease_event(const hwdb::ResultSet& rs);
+  LedFrame render_signal();
+  LedFrame render_bandwidth();
+  LedFrame render_events();
+
+  hwdb::Database& db_;
+  Config config_;
+  ArtifactMode mode_ = ArtifactMode::SignalStrength;
+  hwdb::SubscriptionId lease_sub_ = 0;
+  Timestamp last_lease_ts_ = 0;
+
+  struct Flash {
+    LedColor color;
+    int frames_left;
+  };
+  std::deque<Flash> flash_queue_;
+  double animation_pos_ = 0;
+  std::uint64_t frames_ = 0;
+};
+
+}  // namespace hw::ui

@@ -1,0 +1,84 @@
+#include "ui/control_board.hpp"
+
+namespace hw::ui {
+
+void DhcpControlBoard::refresh() {
+  pending_.clear();
+  permitted_.clear();
+  denied_.clear();
+
+  homework::HttpRequest req;
+  req.method = "GET";
+  req.path = "/api/devices";
+  const auto resp = api_.handle(req);
+  if (resp.status != 200) return;
+  auto body = resp.json_body();
+  if (!body) return;
+
+  for (const auto& d : body.value().as_array()) {
+    DeviceTab tab;
+    tab.mac = d["mac"].as_string();
+    tab.state = d["state"].as_string();
+    tab.label = d["name"].as_string();
+    if (tab.label.empty()) tab.label = d["hostname"].as_string();
+    if (tab.label.empty()) tab.label = tab.mac;
+    if (d["lease"].is_object()) tab.ip = d["lease"]["ip"].as_string();
+    tab.dhcp_requests = d["dhcp_requests"].as_int();
+
+    if (tab.state == "permitted") {
+      permitted_.push_back(std::move(tab));
+    } else if (tab.state == "denied") {
+      denied_.push_back(std::move(tab));
+    } else {
+      pending_.push_back(std::move(tab));
+    }
+  }
+}
+
+bool DhcpControlBoard::post(const std::string& path) {
+  homework::HttpRequest req;
+  req.method = "POST";
+  req.path = path;
+  const auto resp = api_.handle(req);
+  refresh();
+  return resp.status < 400;
+}
+
+bool DhcpControlBoard::drag_to_permitted(const std::string& mac) {
+  return post("/api/devices/" + mac + "/permit");
+}
+
+bool DhcpControlBoard::drag_to_denied(const std::string& mac) {
+  return post("/api/devices/" + mac + "/deny");
+}
+
+bool DhcpControlBoard::set_label(const std::string& mac,
+                                 const std::string& name) {
+  homework::HttpRequest req;
+  req.method = "PUT";
+  req.path = "/api/devices/" + mac + "/metadata";
+  Json body(JsonObject{});
+  body.set("name", name);
+  req.body = body.dump();
+  const auto resp = api_.handle(req);
+  refresh();
+  return resp.status < 400;
+}
+
+std::string DhcpControlBoard::render() const {
+  std::string out = "=== DHCP control board ===\n";
+  auto column = [&](const char* title, const std::vector<DeviceTab>& tabs) {
+    out += std::string("[") + title + "]\n";
+    for (const auto& t : tabs) {
+      out += "  " + t.label + " (" + t.mac + ")";
+      if (!t.ip.empty()) out += " ip=" + t.ip;
+      out += " requests=" + std::to_string(t.dhcp_requests) + "\n";
+    }
+  };
+  column("requesting access", pending_);
+  column("permitted", permitted_);
+  column("denied", denied_);
+  return out;
+}
+
+}  // namespace hw::ui

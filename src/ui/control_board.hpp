@@ -1,0 +1,56 @@
+// Figure 3 backend: the situated control display. "This allows non-expert
+// users to detect, interrogate and supply metadata for devices requesting
+// access, and to control the DHCP server on a case-by-case basis by dragging
+// the device's tab into the appropriate permitted/denied category."
+//
+// The board is a pure REST client of the control API — exactly the decoupling
+// the paper's architecture prescribes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "homework/control_api.hpp"
+
+namespace hw::ui {
+
+struct DeviceTab {
+  std::string mac;
+  std::string label;       // name if set, else hostname, else MAC
+  std::string state;       // "pending" | "permitted" | "denied"
+  std::string ip;          // empty without a lease
+  std::int64_t dhcp_requests = 0;
+};
+
+class DhcpControlBoard {
+ public:
+  explicit DhcpControlBoard(homework::ControlApi& api) : api_(api) {}
+
+  /// Pulls the device list (GET /api/devices) into the three columns.
+  void refresh();
+
+  [[nodiscard]] const std::vector<DeviceTab>& pending() const { return pending_; }
+  [[nodiscard]] const std::vector<DeviceTab>& permitted() const {
+    return permitted_;
+  }
+  [[nodiscard]] const std::vector<DeviceTab>& denied() const { return denied_; }
+
+  /// The drag gestures. Both refresh the board and return false on API error.
+  bool drag_to_permitted(const std::string& mac);
+  bool drag_to_denied(const std::string& mac);
+  /// Metadata entry ("supply metadata for devices requesting access").
+  bool set_label(const std::string& mac, const std::string& name);
+
+  /// ASCII rendering of the three columns for terminal demos.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  bool post(const std::string& path);
+
+  homework::ControlApi& api_;
+  std::vector<DeviceTab> pending_;
+  std::vector<DeviceTab> permitted_;
+  std::vector<DeviceTab> denied_;
+};
+
+}  // namespace hw::ui

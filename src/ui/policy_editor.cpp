@@ -1,0 +1,60 @@
+#include "ui/policy_editor.hpp"
+
+namespace hw::ui {
+
+policy::PolicyDocument PolicyEditor::compile(const std::string& id,
+                                             const PolicyPanels& panels) const {
+  policy::PolicyDocument doc;
+  doc.id = id;
+  doc.who.tags = panels.who_tags;
+  doc.who.macs = panels.who_macs;
+  doc.sites.kind = panels.limit_to_sites ? policy::SiteRuleKind::AllowOnly
+                                         : policy::SiteRuleKind::Block;
+  doc.sites.domains = panels.sites;
+  doc.when.days = panels.days;
+  doc.when.start_minute = panels.start_minute;
+  doc.when.end_minute = panels.end_minute;
+  doc.unlock = panels.key_unlocks ? policy::UnlockEffect::LiftAll
+                                  : policy::UnlockEffect::None;
+  doc.unlock_token = panels.key_unlocks ? panels.unlock_token : "";
+  return doc;
+}
+
+bool PolicyEditor::submit(const policy::PolicyDocument& doc) {
+  homework::HttpRequest req;
+  req.method = "POST";
+  req.path = "/api/policies";
+  req.body = doc.to_json().dump();
+  return api_.handle(req).status < 400;
+}
+
+bool PolicyEditor::retract(const std::string& id) {
+  homework::HttpRequest req;
+  req.method = "DELETE";
+  req.path = "/api/policies/" + id;
+  return api_.handle(req).status < 400;
+}
+
+policy::UsbKeyImage PolicyEditor::make_unlock_key(const std::string& token) {
+  return policy::UsbKeyImage::make_key(token, {});
+}
+
+policy::UsbKeyImage PolicyEditor::make_policy_key(
+    const std::string& token, const std::vector<policy::PolicyDocument>& docs) {
+  return policy::UsbKeyImage::make_key(token, docs);
+}
+
+policy::PolicyDocument PolicyEditor::kids_facebook_weekdays_example() const {
+  PolicyPanels panels;
+  panels.who_tags = {"kids"};
+  panels.limit_to_sites = true;
+  panels.sites = {"*.facebook.com"};
+  panels.days = {1, 2, 3, 4, 5};       // weekdays
+  panels.start_minute = 16 * 60;       // after homework: 16:00
+  panels.end_minute = 21 * 60;         // until 21:00
+  panels.key_unlocks = true;
+  panels.unlock_token = "parent-key";
+  return compile("kids-facebook-weekdays", panels);
+}
+
+}  // namespace hw::ui

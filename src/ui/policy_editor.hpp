@@ -1,0 +1,61 @@
+// Figure 4 backend: the "novel interactive policy interface" — a cartoon of
+// panels from which non-expert users compose simple policies ("the kids can
+// only use Facebook on weekdays after they've finished their homework").
+// The editor produces a PolicyDocument, writes it onto a USB key image with
+// the appropriate filesystem layout, and/or posts it to the control API.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "homework/control_api.hpp"
+#include "policy/usb.hpp"
+
+namespace hw::ui {
+
+/// One selectable option per panel, mirroring the cartoon's four panels.
+struct PolicyPanels {
+  // Panel 1 — who: a tag such as "kids", or explicit MACs.
+  std::vector<std::string> who_tags;
+  std::vector<std::string> who_macs;
+  // Panel 2 — sites: pick the one service the selection is limited to
+  // (allow-only), or services to block.
+  bool limit_to_sites = true;
+  std::vector<std::string> sites;
+  // Panel 3 — when: weekday selection and a time-of-day window.
+  std::vector<int> days;
+  int start_minute = 0;
+  int end_minute = 24 * 60;
+  // Panel 4 — mediation: whether a responsible adult's key lifts the policy.
+  bool key_unlocks = true;
+  std::string unlock_token = "parent-key";
+};
+
+class PolicyEditor {
+ public:
+  explicit PolicyEditor(homework::ControlApi& api) : api_(api) {}
+
+  /// Compiles the panel selections into a policy document.
+  [[nodiscard]] policy::PolicyDocument compile(const std::string& id,
+                                               const PolicyPanels& panels) const;
+
+  /// Installs via POST /api/policies; returns false on rejection.
+  bool submit(const policy::PolicyDocument& doc);
+  /// Removes via DELETE /api/policies/:id.
+  bool retract(const std::string& id);
+
+  /// Burns the policy and unlock token onto a key image with the layout the
+  /// router's udev hook expects.
+  [[nodiscard]] static policy::UsbKeyImage make_unlock_key(
+      const std::string& token);
+  [[nodiscard]] static policy::UsbKeyImage make_policy_key(
+      const std::string& token, const std::vector<policy::PolicyDocument>& docs);
+
+  /// The canonical example from the paper, ready to submit.
+  [[nodiscard]] policy::PolicyDocument kids_facebook_weekdays_example() const;
+
+ private:
+  homework::ControlApi& api_;
+};
+
+}  // namespace hw::ui

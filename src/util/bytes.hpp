@@ -1,0 +1,77 @@
+// Big-endian (network order) byte buffer reader/writer used by every wire
+// codec in the repository (OpenFlow, DHCP, DNS, hwdb RPC, Ethernet/IP stacks).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace hw {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Appends integral fields in network byte order to a growable buffer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void raw(std::span<const std::uint8_t> bytes);
+  void raw(const void* data, std::size_t len);
+  /// Writes exactly `len` bytes: the string truncated or zero-padded.
+  void fixed_string(std::string_view s, std::size_t len);
+  void zeros(std::size_t count);
+
+  /// Overwrites a previously written big-endian u16 at `offset` (for length
+  /// fields that are only known once the body is complete).
+  void patch_u16(std::size_t offset, std::uint16_t v);
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] const Bytes& bytes() const& { return buf_; }
+  [[nodiscard]] Bytes take() && { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Reads integral fields in network byte order from a fixed buffer. All reads
+/// are bounds-checked; failures surface as Result errors so malformed packets
+/// never crash the router.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] std::size_t position() const { return pos_; }
+  [[nodiscard]] bool empty() const { return remaining() == 0; }
+
+  Result<std::uint8_t> u8();
+  Result<std::uint16_t> u16();
+  Result<std::uint32_t> u32();
+  Result<std::uint64_t> u64();
+  /// Copies `len` bytes out.
+  Result<Bytes> raw(std::size_t len);
+  /// Zero-copy view of `len` bytes.
+  Result<std::span<const std::uint8_t>> view(std::size_t len);
+  /// Reads `len` bytes and strips trailing NULs (fixed-width name fields).
+  Result<std::string> fixed_string(std::size_t len);
+  Status skip(std::size_t len);
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Hex dump helper for diagnostics ("0a 1b ..".)
+std::string hex_dump(std::span<const std::uint8_t> data, std::size_t max_bytes = 64);
+
+}  // namespace hw

@@ -1,0 +1,322 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace hw {
+namespace {
+
+const Json& null_json() {
+  static const Json v;
+  return v;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Json> parse() {
+    skip_ws();
+    auto v = value();
+    if (!v) return v;
+    skip_ws();
+    if (pos_ != text_.size()) return make_error("JSON: trailing characters");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  bool consume(char c) {
+    if (peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_word(std::string_view w) {
+    if (text_.substr(pos_, w.size()) == w) {
+      pos_ += w.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<Json> value() {
+    if (++depth_ > 128) return make_error("JSON: nesting too deep");
+    struct DepthGuard {
+      int& d;
+      ~DepthGuard() { --d; }
+    } guard{depth_};
+
+    skip_ws();
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"': {
+        auto s = string();
+        if (!s) return s.error();
+        return Json(std::move(s).take());
+      }
+      case 't':
+        if (consume_word("true")) return Json(true);
+        return make_error("JSON: bad literal");
+      case 'f':
+        if (consume_word("false")) return Json(false);
+        return make_error("JSON: bad literal");
+      case 'n':
+        if (consume_word("null")) return Json(nullptr);
+        return make_error("JSON: bad literal");
+      default:
+        return number();
+    }
+  }
+
+  Result<Json> object() {
+    ++pos_;  // '{'
+    JsonObject obj;
+    skip_ws();
+    if (consume('}')) return Json(std::move(obj));
+    while (true) {
+      skip_ws();
+      if (peek() != '"') return make_error("JSON: expected object key");
+      auto key = string();
+      if (!key) return key.error();
+      skip_ws();
+      if (!consume(':')) return make_error("JSON: expected ':'");
+      auto v = value();
+      if (!v) return v;
+      obj[std::move(key).take()] = std::move(v).take();
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return Json(std::move(obj));
+      return make_error("JSON: expected ',' or '}'");
+    }
+  }
+
+  Result<Json> array() {
+    ++pos_;  // '['
+    JsonArray arr;
+    skip_ws();
+    if (consume(']')) return Json(std::move(arr));
+    while (true) {
+      auto v = value();
+      if (!v) return v;
+      arr.push_back(std::move(v).take());
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return Json(std::move(arr));
+      return make_error("JSON: expected ',' or ']'");
+    }
+  }
+
+  Result<std::string> string() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return make_error("JSON: bad escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return make_error("JSON: bad \\u escape");
+            unsigned code = 0;
+            auto [p, ec] = std::from_chars(text_.data() + pos_,
+                                           text_.data() + pos_ + 4, code, 16);
+            if (ec != std::errc{} || p != text_.data() + pos_ + 4) {
+              return make_error("JSON: bad \\u escape");
+            }
+            pos_ += 4;
+            // UTF-8 encode (BMP only; surrogate pairs unsupported).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xc0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3f));
+            } else {
+              out += static_cast<char>(0xe0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+              out += static_cast<char>(0x80 | (code & 0x3f));
+            }
+            break;
+          }
+          default:
+            return make_error("JSON: bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return make_error("JSON: unterminated string");
+  }
+
+  Result<Json> number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (pos_ == start) return make_error("JSON: expected value");
+    double v = 0;
+    auto [p, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, v);
+    if (ec != std::errc{} || p != text_.data() + pos_) {
+      return make_error("JSON: bad number");
+    }
+    return Json(v);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+void escape_to(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+Result<Json> Json::parse(std::string_view text) { return Parser(text).parse(); }
+
+const Json& Json::operator[](const std::string& key) const {
+  if (type_ != Type::Object) return null_json();
+  auto it = obj_.find(key);
+  return it == obj_.end() ? null_json() : it->second;
+}
+
+void Json::set(std::string key, Json value) {
+  if (type_ != Type::Object) {
+    *this = Json(JsonObject{});
+  }
+  obj_[std::move(key)] = std::move(value);
+}
+
+void Json::push_back(Json value) {
+  if (type_ != Type::Array) {
+    *this = Json(JsonArray{});
+  }
+  arr_.push_back(std::move(value));
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const auto newline = [&] {
+    if (indent > 0) {
+      out += '\n';
+      out.append(static_cast<std::size_t>(indent * (depth + 1)), ' ');
+    }
+  };
+  const auto close_newline = [&] {
+    if (indent > 0) {
+      out += '\n';
+      out.append(static_cast<std::size_t>(indent * depth), ' ');
+    }
+  };
+  switch (type_) {
+    case Type::Null:
+      out += "null";
+      break;
+    case Type::Bool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::Number: {
+      if (std::isfinite(num_) && num_ == std::floor(num_) &&
+          std::abs(num_) < 9e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(num_));
+        out += buf;
+      } else {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.12g", num_);
+        out += buf;
+      }
+      break;
+    }
+    case Type::String:
+      escape_to(out, str_);
+      break;
+    case Type::Array: {
+      out += '[';
+      bool first = true;
+      for (const auto& v : arr_) {
+        if (!first) out += ',';
+        first = false;
+        newline();
+        v.dump_to(out, indent, depth + 1);
+      }
+      if (!arr_.empty()) close_newline();
+      out += ']';
+      break;
+    }
+    case Type::Object: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!first) out += ',';
+        first = false;
+        newline();
+        escape_to(out, k);
+        out += indent > 0 ? ": " : ":";
+        v.dump_to(out, indent, depth + 1);
+      }
+      if (!obj_.empty()) close_newline();
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+}  // namespace hw

@@ -1,0 +1,85 @@
+// Minimal JSON value model, parser and serializer for the control API
+// (REST endpoints exchange JSON) and policy-key payloads. Supports the full
+// JSON grammar except \u escapes beyond the BMP-ASCII subset.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace hw {
+
+class Json;
+using JsonArray = std::vector<Json>;
+using JsonObject = std::map<std::string, Json>;
+
+/// Immutable-ish JSON value. Object keys are ordered (std::map) so serialized
+/// output is deterministic — important for golden tests.
+class Json {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Json() : type_(Type::Null) {}
+  Json(std::nullptr_t) : type_(Type::Null) {}          // NOLINT
+  Json(bool b) : type_(Type::Bool), bool_(b) {}        // NOLINT
+  Json(double n) : type_(Type::Number), num_(n) {}     // NOLINT
+  Json(int n) : Json(static_cast<double>(n)) {}        // NOLINT
+  Json(std::int64_t n) : Json(static_cast<double>(n)) {}    // NOLINT
+  Json(std::uint64_t n) : Json(static_cast<double>(n)) {}   // NOLINT
+  Json(std::string s) : type_(Type::String), str_(std::move(s)) {}  // NOLINT
+  Json(const char* s) : Json(std::string(s)) {}        // NOLINT
+  Json(JsonArray a) : type_(Type::Array), arr_(std::move(a)) {}     // NOLINT
+  Json(JsonObject o) : type_(Type::Object), obj_(std::move(o)) {}   // NOLINT
+
+  static Result<Json> parse(std::string_view text);
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::Null; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::Object; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::Array; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::String; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::Number; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::Bool; }
+
+  [[nodiscard]] bool as_bool(bool fallback = false) const {
+    return type_ == Type::Bool ? bool_ : fallback;
+  }
+  [[nodiscard]] double as_number(double fallback = 0) const {
+    return type_ == Type::Number ? num_ : fallback;
+  }
+  [[nodiscard]] std::int64_t as_int(std::int64_t fallback = 0) const {
+    return type_ == Type::Number ? static_cast<std::int64_t>(num_) : fallback;
+  }
+  [[nodiscard]] const std::string& as_string() const { return str_; }
+  [[nodiscard]] const JsonArray& as_array() const { return arr_; }
+  [[nodiscard]] const JsonObject& as_object() const { return obj_; }
+
+  /// Object member lookup; returns a null Json when absent or not an object.
+  [[nodiscard]] const Json& operator[](const std::string& key) const;
+  [[nodiscard]] bool contains(const std::string& key) const {
+    return type_ == Type::Object && obj_.count(key) > 0;
+  }
+
+  /// Mutators for building values.
+  void set(std::string key, Json value);
+  void push_back(Json value);
+
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  JsonArray arr_;
+  JsonObject obj_;
+};
+
+}  // namespace hw

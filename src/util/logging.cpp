@@ -1,0 +1,40 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace hw {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::atomic<LogSink> g_sink{nullptr};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+void set_log_sink(LogSink sink) { g_sink.store(sink, std::memory_order_relaxed); }
+
+void log_message(LogLevel level, std::string_view module, std::string_view msg) {
+  if (level < log_level()) return;
+  if (auto* sink = g_sink.load(std::memory_order_relaxed)) {
+    sink(level, module, msg);
+    return;
+  }
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
+               static_cast<int>(module.size()), module.data(),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace hw

@@ -1,0 +1,44 @@
+// Lightweight leveled logger. The router runs as a long-lived daemon in the
+// paper; components tag messages with their module name ("dhcp", "dns", ...).
+// printf-style formatting (the toolchain predates std::format).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace hw {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global minimum level; messages below it are dropped cheaply.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Sink override for tests (capture) — pass nullptr to restore stderr.
+using LogSink = void (*)(LogLevel, std::string_view module, std::string_view msg);
+void set_log_sink(LogSink sink);
+
+void log_message(LogLevel level, std::string_view module, std::string_view msg);
+
+template <typename... Args>
+void logf(LogLevel level, std::string_view module, const char* fmt, Args&&... args) {
+  if (level < log_level()) return;
+  if constexpr (sizeof...(Args) == 0) {
+    log_message(level, module, fmt);
+  } else {
+    char buf[512];
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wformat-security"
+    std::snprintf(buf, sizeof buf, fmt, args...);
+#pragma GCC diagnostic pop
+    log_message(level, module, buf);
+  }
+}
+
+#define HW_LOG_DEBUG(module, ...) ::hw::logf(::hw::LogLevel::Debug, module, __VA_ARGS__)
+#define HW_LOG_INFO(module, ...) ::hw::logf(::hw::LogLevel::Info, module, __VA_ARGS__)
+#define HW_LOG_WARN(module, ...) ::hw::logf(::hw::LogLevel::Warn, module, __VA_ARGS__)
+#define HW_LOG_ERROR(module, ...) ::hw::logf(::hw::LogLevel::Error, module, __VA_ARGS__)
+
+}  // namespace hw

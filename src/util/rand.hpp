@@ -1,0 +1,34 @@
+// Deterministic PRNG (xoshiro256**) so simulations and benches reproduce
+// exactly across runs and platforms — std::mt19937 distributions are not
+// cross-stdlib stable, so we implement our own distributions too.
+#pragma once
+
+#include <cstdint>
+
+namespace hw {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  std::uint64_t next();
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi);
+  /// Uniform double in [0, 1).
+  double uniform01();
+  /// True with probability p.
+  bool chance(double p);
+  /// Exponential with mean `mean` (>0).
+  double exponential(double mean);
+  /// Approximately normal via sum of uniforms (Irwin–Hall, 12 draws).
+  double normal(double mean, double stddev);
+  /// Pareto heavy-tail with shape alpha and scale xm (flow sizes).
+  double pareto(double alpha, double xm);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace hw

@@ -1,0 +1,78 @@
+// Minimal expected-style result type (std::expected is C++23; we target C++20).
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace hw {
+
+/// Error payload: a human-readable message. Kept deliberately simple; the
+/// router's failure modes are protocol-parse and lookup errors, and callers
+/// either propagate or log them.
+struct Error {
+  std::string message;
+};
+
+/// Result<T> holds either a value or an Error. Modeled after std::expected
+/// with the subset of the API this codebase needs.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error err) : error_(std::move(err)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  [[nodiscard]] T&& take() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  [[nodiscard]] const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  std::optional<Error> error_;
+};
+
+/// Result<void> analogue.
+class Status {
+ public:
+  Status() = default;
+  Status(Error err) : error_(std::move(err)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+  [[nodiscard]] const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+  static Status success() { return {}; }
+  static Status failure(std::string message) { return Status{Error{std::move(message)}}; }
+
+ private:
+  std::optional<Error> error_;
+};
+
+inline Error make_error(std::string message) { return Error{std::move(message)}; }
+
+}  // namespace hw

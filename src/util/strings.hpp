@@ -1,0 +1,26 @@
+// Small string utilities shared by the CQL parser, HTTP server and config.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hw {
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+/// Splits on runs of whitespace; drops empty fields.
+std::vector<std::string> split_whitespace(std::string_view s);
+std::string_view trim(std::string_view s);
+std::string to_lower(std::string_view s);
+std::string to_upper(std::string_view s);
+bool iequals(std::string_view a, std::string_view b);
+bool starts_with_i(std::string_view s, std::string_view prefix);
+/// Joins with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+/// True if `name` matches `pattern` where pattern may have a leading "*." to
+/// match any subdomain ("*.facebook.com" matches "www.facebook.com" and
+/// "facebook.com" itself). Used by the DNS proxy's site lists.
+bool domain_matches(std::string_view name, std::string_view pattern);
+
+}  // namespace hw

@@ -1,0 +1,32 @@
+#include "util/token_bucket.hpp"
+
+namespace hw {
+
+void TokenBucket::refill(Timestamp now) {
+  if (now <= last_) return;
+  const double elapsed = static_cast<double>(now - last_) / 1e6;
+  tokens_ = std::min<double>(static_cast<double>(burst_),
+                             tokens_ + elapsed * static_cast<double>(rate_));
+  last_ = now;
+}
+
+bool TokenBucket::try_consume(Timestamp now, std::uint64_t bytes) {
+  refill(now);
+  if (tokens_ >= static_cast<double>(bytes)) {
+    tokens_ -= static_cast<double>(bytes);
+    return true;
+  }
+  return false;
+}
+
+Timestamp TokenBucket::available_at(Timestamp now, std::uint64_t bytes) const {
+  TokenBucket copy = *this;
+  copy.refill(now);
+  if (copy.tokens_ >= static_cast<double>(bytes)) return now;
+  if (rate_ == 0) return ~Timestamp{0};
+  const double deficit = static_cast<double>(bytes) - copy.tokens_;
+  const double secs = deficit / static_cast<double>(rate_);
+  return now + static_cast<Timestamp>(secs * 1e6) + 1;
+}
+
+}  // namespace hw

@@ -1,0 +1,37 @@
+// Token bucket used for rate-limiting models: link bandwidth shaping in the
+// simulator and per-device throttles installed by policies.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace hw {
+
+class TokenBucket {
+ public:
+  /// `rate_bytes_per_sec` refill rate; `burst_bytes` bucket depth.
+  TokenBucket(std::uint64_t rate_bytes_per_sec, std::uint64_t burst_bytes)
+      : rate_(rate_bytes_per_sec), burst_(burst_bytes), tokens_(burst_bytes) {}
+
+  /// Attempts to consume `bytes` at virtual time `now`; returns true if the
+  /// packet conforms (and deducts), false if it must be dropped/queued.
+  bool try_consume(Timestamp now, std::uint64_t bytes);
+
+  /// Time at which `bytes` tokens will be available (for queue scheduling).
+  [[nodiscard]] Timestamp available_at(Timestamp now, std::uint64_t bytes) const;
+
+  [[nodiscard]] std::uint64_t rate() const { return rate_; }
+  void set_rate(std::uint64_t rate_bytes_per_sec) { rate_ = rate_bytes_per_sec; }
+
+ private:
+  void refill(Timestamp now);
+
+  std::uint64_t rate_;
+  std::uint64_t burst_;
+  double tokens_;
+  Timestamp last_ = 0;
+};
+
+}  // namespace hw

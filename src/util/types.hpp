@@ -1,0 +1,25 @@
+// Core scalar types shared across the Homework router libraries.
+#pragma once
+
+#include <cstdint>
+
+namespace hw {
+
+/// Microseconds since simulation epoch. All subsystems share this virtual
+/// timebase so runs are deterministic and benches are reproducible.
+using Timestamp = std::uint64_t;
+
+/// Duration in microseconds.
+using Duration = std::uint64_t;
+
+inline constexpr Duration kMicrosecond = 1;
+inline constexpr Duration kMillisecond = 1000;
+inline constexpr Duration kSecond = 1'000'000;
+inline constexpr Duration kMinute = 60 * kSecond;
+inline constexpr Duration kHour = 60 * kMinute;
+inline constexpr Duration kDay = 24 * kHour;
+
+/// Seconds (floating) from a microsecond timestamp, for reporting only.
+constexpr double to_seconds(Duration d) { return static_cast<double>(d) / 1e6; }
+
+}  // namespace hw

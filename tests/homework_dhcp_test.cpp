@@ -1,0 +1,183 @@
+// The Homework DHCP server module: admission gating (Figure 3 semantics),
+// lease lifecycle, isolation netmask, pool management and expiry.
+#include "router_fixture.hpp"
+
+namespace hw::homework {
+namespace {
+
+using testing::RouterFixture;
+
+struct DhcpFixture : RouterFixture {};
+
+TEST_F(DhcpFixture, PendingDeviceGetsSilence) {
+  sim::Host& host = make_device("newbie");
+  host.start_dhcp();
+  loop.run_for(3 * kSecond);
+  EXPECT_FALSE(host.ip().has_value());
+  EXPECT_EQ(host.dhcp_state(), sim::DhcpClientState::Selecting);
+  // ... but the router saw it: it shows on the control board as pending.
+  const DeviceRecord* rec = router.registry().find(host.mac());
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->state, DeviceState::Pending);
+  EXPECT_GT(router.dhcp().stats().ignored_pending, 0u);
+  EXPECT_EQ(router.dhcp().stats().offers, 0u);
+}
+
+TEST_F(DhcpFixture, PermittedDeviceLeases) {
+  sim::Host& host = make_device("laptop");
+  permit(host);
+  auto ip = bind(host);
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_TRUE(router.config().subnet.contains(*ip));
+  const DeviceRecord* rec = router.registry().find(host.mac());
+  ASSERT_NE(rec, nullptr);
+  ASSERT_TRUE(rec->lease.has_value());
+  EXPECT_EQ(rec->lease->ip, *ip);
+  EXPECT_EQ(rec->lease->hostname, "laptop");
+  EXPECT_EQ(router.dhcp().stats().acks, 1u);
+}
+
+TEST_F(DhcpFixture, IsolationMaskIsSlash32) {
+  sim::Host& host = make_device("laptop");
+  permit(host);
+  bind(host);
+  // The /32 mask means the client routes everything via the router — its
+  // gateway is set and it has no on-link peers.
+  EXPECT_EQ(host.gateway(), router.config().router_ip);
+  EXPECT_EQ(host.dns_server(), router.config().router_ip);
+}
+
+TEST_F(DhcpFixture, DeniedDeviceGetsNak) {
+  sim::Host& host = make_device("banned");
+  deny(host);
+  int naks = 0;
+  host.on_nak([&] { ++naks; });
+  host.start_dhcp();
+  loop.run_for(2 * kSecond);
+  EXPECT_FALSE(host.ip().has_value());
+  EXPECT_GE(naks, 1);
+  EXPECT_GE(router.dhcp().stats().naks, 1u);
+}
+
+TEST_F(DhcpFixture, PermitAfterPendingUnblocks) {
+  sim::Host& host = make_device("eventually");
+  host.start_dhcp();
+  loop.run_for(3 * kSecond);
+  EXPECT_FALSE(host.ip().has_value());
+  permit(host);
+  loop.run_for(5 * kSecond);  // client retries DISCOVER every 2s
+  EXPECT_TRUE(host.ip().has_value());
+}
+
+TEST_F(DhcpFixture, StickyAllocationAcrossRestart) {
+  sim::Host& host = make_device("laptop");
+  permit(host);
+  const auto first = bind(host);
+  ASSERT_TRUE(first.has_value());
+  host.release_dhcp();
+  loop.run_for(kSecond);
+  const auto second = bind(host);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*first, *second);
+}
+
+TEST_F(DhcpFixture, DistinctDevicesDistinctAddresses) {
+  sim::Host& a = admitted_device("a");
+  sim::Host& b = admitted_device("b");
+  sim::Host& c = admitted_device("c");
+  EXPECT_NE(a.ip(), b.ip());
+  EXPECT_NE(b.ip(), c.ip());
+  EXPECT_NE(a.ip(), c.ip());
+}
+
+TEST_F(DhcpFixture, ReleaseClearsLeaseInRegistry) {
+  sim::Host& host = admitted_device("laptop");
+  host.release_dhcp();
+  loop.run_for(kSecond);
+  const DeviceRecord* rec = router.registry().find(host.mac());
+  ASSERT_NE(rec, nullptr);
+  EXPECT_FALSE(rec->lease.has_value());
+  EXPECT_EQ(router.dhcp().stats().releases, 1u);
+}
+
+TEST_F(DhcpFixture, RenewalKeepsAddress) {
+  sim::Host& host = admitted_device("laptop");
+  const auto ip = host.ip();
+  // Lease 3600s → client renews at 1800s.
+  loop.run_for(1900 * kSecond);
+  EXPECT_EQ(host.ip(), ip);
+  EXPECT_EQ(host.dhcp_state(), sim::DhcpClientState::Bound);
+  EXPECT_GE(router.dhcp().stats().acks, 2u);
+}
+
+TEST_F(DhcpFixture, DenyAfterLeaseNaksRenewal) {
+  sim::Host& host = admitted_device("laptop");
+  deny(host);
+  int naks = 0;
+  host.on_nak([&] { ++naks; });
+  host.start_dhcp();  // re-request
+  loop.run_for(2 * kSecond);
+  EXPECT_GE(naks, 1);
+  EXPECT_FALSE(host.ip().has_value());
+}
+
+TEST_F(DhcpFixture, LeaseEventsLandInHwdb) {
+  sim::Host& host = admitted_device("laptop");
+  (void)host;
+  auto rs = router.db().query(
+      "SELECT mac, event FROM Leases WHERE event = 'lease_granted'");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs.value().rows.size(), 1u);
+  EXPECT_EQ(rs.value().rows[0][0].as_text(), host.mac().to_string());
+}
+
+struct SmallPoolFixture : RouterFixture {
+  static HomeworkRouter::Config small_pool() {
+    auto config = default_config();
+    config.admission = DeviceRegistry::AdmissionDefault::PermitAll;
+    config.pool_start = Ipv4Address{192, 168, 1, 100};
+    config.pool_end = Ipv4Address{192, 168, 1, 101};  // two addresses
+    return config;
+  }
+  SmallPoolFixture() : RouterFixture(small_pool()) {}
+};
+
+TEST_F(SmallPoolFixture, PoolExhaustionLeavesThirdDeviceUnserved) {
+  sim::Host& a = make_device("a");
+  sim::Host& b = make_device("b");
+  sim::Host& c = make_device("c");
+  ASSERT_TRUE(bind(a).has_value());
+  ASSERT_TRUE(bind(b).has_value());
+  EXPECT_FALSE(bind(c, 3 * kSecond).has_value());
+  EXPECT_GT(router.dhcp().stats().pool_exhausted, 0u);
+}
+
+struct ShortLeaseFixture : RouterFixture {
+  static HomeworkRouter::Config short_lease() {
+    auto config = default_config();
+    config.admission = DeviceRegistry::AdmissionDefault::PermitAll;
+    config.lease_secs = 10;
+    return config;
+  }
+  ShortLeaseFixture() : RouterFixture(short_lease()) {}
+};
+
+TEST_F(ShortLeaseFixture, UnrenewedLeaseExpiresInRegistry) {
+  sim::Host& host = make_device("flaky");
+  ASSERT_TRUE(bind(host).has_value());
+  // Detach the device so it cannot renew: silence from the client side.
+  host.attach_uplink(nullptr);
+  loop.run_for(30 * kSecond);
+  const DeviceRecord* rec = router.registry().find(host.mac());
+  ASSERT_NE(rec, nullptr);
+  EXPECT_FALSE(rec->lease.has_value());
+  EXPECT_GT(router.dhcp().stats().expired, 0u);
+  // The expiry shows in hwdb's Leases table too (artifact mode 3 blue flash).
+  auto rs = router.db().query(
+      "SELECT mac FROM Leases WHERE event = 'lease_expired'");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs.value().rows.size(), 1u);
+}
+
+}  // namespace
+}  // namespace hw::homework

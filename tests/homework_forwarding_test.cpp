@@ -1,0 +1,260 @@
+// The forwarding module: proxy-ARP mediation, flow admission and exact-match
+// rule installation, DNS-gated egress (including the async reverse-lookup
+// path), policy revocation and spoofing defences.
+#include "router_fixture.hpp"
+
+namespace hw::homework {
+namespace {
+
+using testing::RouterFixture;
+
+struct ForwardingFixture : RouterFixture {
+  /// Pings from a host; returns true if the echo reply came back.
+  bool ping(sim::Host& host, Ipv4Address dst) {
+    bool replied = false;
+    host.on_echo_reply([&](Ipv4Address from, std::uint16_t) {
+      if (from == dst) replied = true;
+    });
+    host.ping(dst, 1);
+    loop.run_for(2 * kSecond);
+    return replied;
+  }
+
+  std::optional<Ipv4Address> resolve(sim::Host& host, const std::string& name) {
+    std::optional<Ipv4Address> out;
+    host.resolve(name, [&](Result<Ipv4Address> r, const std::string&) {
+      if (r.ok()) out = r.value();
+    });
+    loop.run_for(2 * kSecond);
+    return out;
+  }
+};
+
+TEST_F(ForwardingFixture, RouterAnswersGatewayArpAndPing) {
+  sim::Host& host = admitted_device("laptop");
+  EXPECT_TRUE(ping(host, router.config().router_ip));
+  EXPECT_GE(router.forwarding().stats().arp_replies, 1u);
+  EXPECT_GE(router.forwarding().stats().echo_replies, 1u);
+}
+
+TEST_F(ForwardingFixture, UpstreamReachableAfterResolve) {
+  sim::Host& host = admitted_device("laptop");
+  const auto ip = resolve(host, "www.example.com");
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_TRUE(ping(host, *ip));
+  EXPECT_GE(router.forwarding().stats().flows_installed, 2u);  // fwd + rev
+  EXPECT_GT(router.upstream().stats().pings, 0u);
+}
+
+TEST_F(ForwardingFixture, SecondPacketUsesInstalledFlow) {
+  sim::Host& host = admitted_device("laptop");
+  const auto ip = resolve(host, "www.example.com");
+  ASSERT_TRUE(ip.has_value());
+  ASSERT_TRUE(host.send_udp(*ip, 5555, 9999, 100));
+  loop.run_for(kSecond);
+  const auto flows_before = router.forwarding().stats().flows_installed;
+  const auto pktins_before = router.controller().stats().packet_ins;
+  for (int i = 0; i < 10; ++i) {
+    host.send_udp(*ip, 5555, 9999, 100);
+    loop.run_for(100 * kMillisecond);
+  }
+  // Same 5-tuple: no new flows, no extra packet-ins.
+  EXPECT_EQ(router.forwarding().stats().flows_installed, flows_before);
+  EXPECT_EQ(router.controller().stats().packet_ins, pktins_before);
+}
+
+TEST_F(ForwardingFixture, DeviceToDeviceIsRouterMediated) {
+  sim::Host& a = admitted_device("a");
+  sim::Host& b = admitted_device("b");
+  ASSERT_TRUE(a.ip() && b.ip());
+  EXPECT_TRUE(ping(a, *b.ip()));
+  // Mediation: the frame b received came from the *router's* MAC, not a's
+  // (devices never exchange Ethernet frames directly, paper §2).
+  // We verify via the proxy-ARP path: a asked for b's IP and got the router.
+  EXPECT_GE(router.forwarding().stats().arp_replies, 1u);
+}
+
+TEST_F(ForwardingFixture, DeniedDestinationDeviceUnreachable) {
+  sim::Host& a = admitted_device("a");
+  sim::Host& b = admitted_device("b");
+  deny(b);
+  loop.run_for(kSecond);
+  EXPECT_FALSE(ping(a, *b.ip()));
+}
+
+TEST_F(ForwardingFixture, SpoofedSourceDropped) {
+  sim::Host& host = admitted_device("laptop");
+  sim::Host& victim = admitted_device("victim");
+  // Forge traffic claiming the victim's address.
+  const auto dropped_before = router.forwarding().stats().dropped_unknown_source;
+  const Bytes forged = net::build_udp(
+      host.mac(), router.config().router_mac, *victim.ip(),
+      Ipv4Address{8, 8, 8, 8}, 1234, 9999, Bytes(32, 0));
+  router.datapath().receive_frame(3, forged);  // host's port... any port
+  loop.run_for(kSecond);
+  EXPECT_GT(router.forwarding().stats().dropped_unknown_source, dropped_before);
+}
+
+TEST_F(ForwardingFixture, RestrictedDeviceResolvedFlowAllowed) {
+  sim::Host& kid = admitted_device("console");
+  policy::PolicyDocument p;
+  p.id = "kids";
+  p.who.macs = {kid.mac().to_string()};
+  p.sites.kind = policy::SiteRuleKind::AllowOnly;
+  p.sites.domains = {"*.facebook.com"};
+  router.policy().install(std::move(p));
+
+  const auto fb = resolve(kid, "www.facebook.com");
+  ASSERT_TRUE(fb.has_value());
+  EXPECT_TRUE(ping(kid, *fb));
+}
+
+TEST_F(ForwardingFixture, RestrictedDeviceUnresolvedFlowReverseLooked) {
+  sim::Host& kid = admitted_device("console");
+  policy::PolicyDocument p;
+  p.id = "kids";
+  p.who.macs = {kid.mac().to_string()};
+  p.sites.kind = policy::SiteRuleKind::AllowOnly;
+  p.sites.domains = {"*.facebook.com"};
+  router.policy().install(std::move(p));
+
+  // The console talks straight to netflix's address without resolving it:
+  // the reverse lookup (PTR → video.netflix.com) says "not facebook" → drop.
+  EXPECT_FALSE(ping(kid, Ipv4Address{45, 57, 3, 1}));
+  EXPECT_GE(router.forwarding().stats().reverse_lookups_triggered, 1u);
+  EXPECT_GE(router.forwarding().stats().flows_denied, 1u);
+
+  // Straight to facebook's address: PTR matches the allow list → allowed.
+  EXPECT_TRUE(ping(kid, Ipv4Address{31, 13, 72, 1}));
+}
+
+TEST_F(ForwardingFixture, NetworkBlockedDeviceCannotSend) {
+  sim::Host& host = admitted_device("laptop");
+  policy::PolicyDocument p;
+  p.id = "grounded";
+  p.who.macs = {host.mac().to_string()};
+  p.block_network = true;
+  router.policy().install(std::move(p));
+  EXPECT_FALSE(ping(host, router.config().upstream.dns_ip));
+  EXPECT_GE(router.forwarding().stats().flows_denied, 1u);
+}
+
+TEST_F(ForwardingFixture, PolicyChangeRevokesInstalledFlows) {
+  sim::Host& host = admitted_device("laptop");
+  const auto ip = resolve(host, "www.example.com");
+  ASSERT_TRUE(ip.has_value());
+  ASSERT_TRUE(ping(host, *ip));
+  const auto table_before = router.datapath().table().size();
+
+  // Install a blocking policy: the change handler must flush the forwarding
+  // band so the next packet re-admits (and is now denied).
+  policy::PolicyDocument p;
+  p.id = "grounded";
+  p.who.macs = {host.mac().to_string()};
+  p.block_network = true;
+  router.policy().install(std::move(p));
+  loop.run_for(kSecond);
+  EXPECT_LT(router.datapath().table().size(), table_before);
+  EXPECT_GE(router.forwarding().stats().policy_revocations, 1u);
+  EXPECT_FALSE(ping(host, *ip));
+
+  // Lifting the policy restores connectivity on the next admission.
+  router.policy().uninstall("grounded");
+  loop.run_for(kSecond);
+  EXPECT_TRUE(ping(host, *ip));
+}
+
+TEST_F(ForwardingFixture, RevocationPreservesServiceRules) {
+  sim::Host& host = admitted_device("laptop");
+  router.forwarding().revoke_all_flows();
+  loop.run_for(kSecond);
+  // DHCP/DNS/ARP interception rules survive: DNS still works.
+  EXPECT_TRUE(resolve(host, "www.example.com").has_value());
+}
+
+TEST_F(ForwardingFixture, DenyDeviceRevokesItsFlows) {
+  sim::Host& host = admitted_device("laptop");
+  const auto ip = resolve(host, "www.example.com");
+  ASSERT_TRUE(ping(host, *ip));
+  deny(host);
+  loop.run_for(kSecond);
+  EXPECT_FALSE(ping(host, *ip));
+}
+
+TEST_F(ForwardingFixture, RateLimitPolicyCapsDeviceUpload) {
+  sim::Host& host = admitted_device("torrent-box");
+  const auto dst = resolve(host, "www.example.com");
+  ASSERT_TRUE(dst.has_value());
+
+  // Cap the device at 80 kbit/s (10 KB/s).
+  policy::PolicyDocument p;
+  p.id = "cap";
+  p.who.macs = {host.mac().to_string()};
+  p.rate_limit_bps = 80'000;
+  router.policy().install(std::move(p));
+
+  // Offer ~50 KB/s for 10 virtual seconds.
+  for (int i = 0; i < 1000; ++i) {
+    host.send_udp(*dst, 5000, 9999, 500);
+    loop.run_for(10 * kMillisecond);
+  }
+  loop.run_for(2 * kSecond);
+  EXPECT_GE(router.forwarding().stats().rate_limited_flows, 1u);
+
+  // Note: flow-rule byte counters (and hence the Flows table) count packets
+  // *before* queue policing, as in real OVS — delivered volume is read from
+  // the queue counters on the uplink egress.
+  const std::uint32_t queue_id = host.ip()->value() & 0xffff;
+  const auto* q = router.datapath().queue_counters(
+      router.config().uplink_port, queue_id);
+  ASSERT_NE(q, nullptr);
+  EXPECT_GT(q->dropped, 0u);            // the cap actually policed
+  EXPECT_GT(q->tx_bytes, 50'000u);      // traffic does flow
+  EXPECT_LT(q->tx_bytes, 160'000u);     // ~10 KB/s * 10 s + burst, not 500 KB
+}
+
+TEST_F(ForwardingFixture, UncappedDeviceUnaffectedByOthersCap) {
+  sim::Host& capped = admitted_device("capped");
+  sim::Host& free_dev = admitted_device("free");
+  const auto dst = resolve(capped, "www.example.com");
+  ASSERT_TRUE(dst.has_value());
+  ASSERT_TRUE(resolve(free_dev, "www.example.com").has_value());
+
+  policy::PolicyDocument p;
+  p.id = "cap";
+  p.who.macs = {capped.mac().to_string()};
+  p.rate_limit_bps = 80'000;
+  router.policy().install(std::move(p));
+
+  for (int i = 0; i < 500; ++i) {
+    capped.send_udp(*dst, 5000, 9999, 500);
+    free_dev.send_udp(*dst, 5001, 9999, 500);
+    loop.run_for(10 * kMillisecond);
+  }
+  loop.run_for(2 * kSecond);
+
+  // The capped device's upload queue policed traffic; the free device's
+  // flows were installed with plain outputs (no queue at all).
+  const auto uplink = router.config().uplink_port;
+  const auto* capped_q = router.datapath().queue_counters(
+      uplink, capped.ip()->value() & 0xffff);
+  ASSERT_NE(capped_q, nullptr);
+  EXPECT_GT(capped_q->dropped, 0u);
+  EXPECT_EQ(router.datapath().queue_counters(uplink,
+                                             free_dev.ip()->value() & 0xffff),
+            nullptr);
+}
+
+TEST_F(ForwardingFixture, FlowsIdleOutAndReadmit) {
+  sim::Host& host = admitted_device("laptop");
+  const auto ip = resolve(host, "www.example.com");
+  ASSERT_TRUE(ping(host, *ip));
+  // Flow idle timeout is 10s; wait it out.
+  loop.run_for(15 * kSecond);
+  const auto installs_before = router.forwarding().stats().flows_installed;
+  EXPECT_TRUE(ping(host, *ip));
+  EXPECT_GT(router.forwarding().stats().flows_installed, installs_before);
+}
+
+}  // namespace
+}  // namespace hw::homework

@@ -1,0 +1,352 @@
+// The UDP-based RPC interface: wire codec round-trips, the in-process link
+// (request/response + subscription push), real-socket loopback transport,
+// and the persistence sink.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "hwdb/persist.hpp"
+#include "hwdb/udp_transport.hpp"
+
+namespace hw::hwdb::rpc {
+namespace {
+
+Schema links_schema() {
+  return Schema("Links", {{"mac", ColumnType::Text},
+                          {"rssi", ColumnType::Real},
+                          {"retries", ColumnType::Int}});
+}
+
+// ---------------------------------------------------------------------------
+// Codec
+
+TEST(RpcCodec, RequestRoundTrips) {
+  const auto check = [](RequestBody body) {
+    Request req{77, std::move(body)};
+    auto decoded = decode(encode(req), /*from_server=*/false);
+    ASSERT_TRUE(decoded.ok());
+    const auto* out = std::get_if<Request>(&decoded.value());
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->request_id, 77u);
+    EXPECT_EQ(out->body.index(), req.body.index());
+  };
+  check(InsertRequest{"Links", {Value{"m"}, Value{-60.5}, Value{3}}});
+  check(QueryRequest{"SELECT * FROM Links"});
+  check(SubscribeRequest{"SELECT * FROM Links", true, 500});
+  check(UnsubscribeRequest{42});
+  check(PingRequest{});
+}
+
+TEST(RpcCodec, InsertValuesSurvive) {
+  Request req{1, InsertRequest{"Links", {Value{"aa:bb"}, Value{-70.25}, Value{9}}}};
+  auto decoded = decode(encode(req), false);
+  const auto& out = std::get<InsertRequest>(std::get<Request>(decoded.value()).body);
+  EXPECT_EQ(out.table, "Links");
+  ASSERT_EQ(out.values.size(), 3u);
+  EXPECT_EQ(out.values[0].as_text(), "aa:bb");
+  EXPECT_DOUBLE_EQ(out.values[1].as_real(), -70.25);
+  EXPECT_EQ(out.values[2].as_int(), 9);
+}
+
+TEST(RpcCodec, ResponseVariants) {
+  Response ok;
+  ok.request_id = 5;
+  ok.sub_id = 99;
+  auto d1 = decode(encode(ok), true);
+  EXPECT_EQ(std::get<Response>(d1.value()).sub_id, 99u);
+
+  Response err;
+  err.request_id = 6;
+  err.ok = false;
+  err.error = "no such table";
+  auto d2 = decode(encode(err), true);
+  EXPECT_FALSE(std::get<Response>(d2.value()).ok);
+  EXPECT_EQ(std::get<Response>(d2.value()).error, "no such table");
+
+  Response with_result;
+  with_result.request_id = 7;
+  ResultSet rs;
+  rs.columns = {"a", "b"};
+  rs.rows = {{Value{1}, Value{"x"}}, {Value{2}, Value{"y"}}};
+  with_result.result = rs;
+  auto d3 = decode(encode(with_result), true);
+  const auto& out = *std::get<Response>(d3.value()).result;
+  ASSERT_EQ(out.rows.size(), 2u);
+  EXPECT_EQ(out.rows[1][1].as_text(), "y");
+}
+
+TEST(RpcCodec, PublishRoundTrip) {
+  Publish push;
+  push.sub_id = 12;
+  push.result.columns = {"mac"};
+  push.result.rows = {{Value{"m"}}};
+  auto decoded = decode(encode(push), true);
+  const auto* out = std::get_if<Publish>(&decoded.value());
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->sub_id, 12u);
+  EXPECT_EQ(out->result.rows.size(), 1u);
+}
+
+TEST(RpcCodec, RejectsGarbage) {
+  Bytes garbage{1, 2};
+  EXPECT_FALSE(decode(garbage, true).ok());
+  EXPECT_FALSE(decode(garbage, false).ok());
+  Bytes bad_opcode{0, 0, 0, 1, 99};
+  EXPECT_FALSE(decode(bad_opcode, false).ok());
+}
+
+TEST(RpcCodec, ValueTagValidation) {
+  ByteWriter w;
+  w.u8(9);  // invalid type tag
+  ByteReader r(w.bytes());
+  EXPECT_FALSE(read_value(r).ok());
+}
+
+// ---------------------------------------------------------------------------
+// In-process link
+
+struct LinkFixture : ::testing::Test {
+  LinkFixture() : db(loop), link(loop, db) {
+    EXPECT_TRUE(db.create_table(links_schema(), 64).ok());
+  }
+  sim::EventLoop loop;
+  Database db;
+  InProcRpcLink link;
+};
+
+TEST_F(LinkFixture, InsertAndQuery) {
+  auto& client = link.make_client();
+  bool inserted = false;
+  client.insert("Links", {Value{"m1"}, Value{-50.0}, Value{0}},
+                [&](const Response& resp) { inserted = resp.ok; });
+  loop.run_for(10 * kMillisecond);
+  EXPECT_TRUE(inserted);
+
+  std::size_t rows = 0;
+  client.query("SELECT mac, rssi FROM Links", [&](Result<ResultSet> rs) {
+    ASSERT_TRUE(rs.ok());
+    rows = rs.value().rows.size();
+    EXPECT_EQ(rs.value().rows[0][0].as_text(), "m1");
+  });
+  loop.run_for(10 * kMillisecond);
+  EXPECT_EQ(rows, 1u);
+}
+
+TEST_F(LinkFixture, QueryErrorPropagates) {
+  auto& client = link.make_client();
+  std::string error;
+  client.query("SELECT * FROM Ghost", [&](Result<ResultSet> rs) {
+    ASSERT_FALSE(rs.ok());
+    error = rs.error().message;
+  });
+  loop.run_for(10 * kMillisecond);
+  EXPECT_NE(error.find("Ghost"), std::string::npos);
+  EXPECT_EQ(link.server().stats().errors, 1u);
+}
+
+TEST_F(LinkFixture, SubscriptionPushesPeriodically) {
+  auto& client = link.make_client();
+  std::uint64_t sub_id = 0;
+  int pushes = 0;
+  client.on_push([&](std::uint64_t id, const ResultSet&) {
+    EXPECT_EQ(id, sub_id);
+    ++pushes;
+  });
+  client.subscribe("SELECT * FROM Links [RANGE 5 SECONDS]", false, 1000,
+                   [&](Result<std::uint64_t> id) {
+                     ASSERT_TRUE(id.ok());
+                     sub_id = id.value();
+                   });
+  loop.run_for(3 * kSecond + 10 * kMillisecond);
+  EXPECT_EQ(pushes, 3);
+
+  client.unsubscribe(sub_id);
+  loop.run_for(2 * kSecond);
+  EXPECT_EQ(pushes, 3);
+}
+
+TEST_F(LinkFixture, OnInsertSubscriptionPushes) {
+  auto& client = link.make_client();
+  int pushes = 0;
+  client.on_push([&](std::uint64_t, const ResultSet& rs) {
+    ++pushes;
+    EXPECT_FALSE(rs.rows.empty());
+  });
+  client.subscribe("SELECT * FROM Links [ROWS 1]", true, 0,
+                   [](Result<std::uint64_t>) {});
+  loop.run_for(10 * kMillisecond);
+  db.insert("Links", {Value{"m"}, Value{-60.0}, Value{1}});
+  db.insert("Links", {Value{"m"}, Value{-61.0}, Value{2}});
+  loop.run_for(10 * kMillisecond);
+  EXPECT_EQ(pushes, 2);
+}
+
+TEST_F(LinkFixture, TwoClientsIsolatedPushes) {
+  auto& c1 = link.make_client();
+  auto& c2 = link.make_client();
+  int pushes1 = 0, pushes2 = 0;
+  c1.on_push([&](std::uint64_t, const ResultSet&) { ++pushes1; });
+  c2.on_push([&](std::uint64_t, const ResultSet&) { ++pushes2; });
+  c1.subscribe("SELECT * FROM Links [ROWS 1]", true, 0,
+               [](Result<std::uint64_t>) {});
+  loop.run_for(10 * kMillisecond);
+  db.insert("Links", {Value{"m"}, Value{-60.0}, Value{1}});
+  loop.run_for(10 * kMillisecond);
+  EXPECT_EQ(pushes1, 1);
+  EXPECT_EQ(pushes2, 0);
+}
+
+TEST_F(LinkFixture, DropClientRemovesSubscriptions) {
+  auto& client = link.make_client();
+  client.subscribe("SELECT * FROM Links [ROWS 1]", true, 0,
+                   [](Result<std::uint64_t>) {});
+  loop.run_for(10 * kMillisecond);
+  EXPECT_EQ(db.subscription_count(), 1u);
+  link.server().drop_client(0);
+  EXPECT_EQ(db.subscription_count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Real UDP sockets on loopback
+
+TEST(UdpTransport, RequestResponseOverLoopback) {
+  sim::EventLoop loop;
+  Database db(loop);
+  ASSERT_TRUE(db.create_table(links_schema(), 64).ok());
+
+  UdpServerTransport server(db, 0);
+  ASSERT_TRUE(server.ok());
+  ASSERT_NE(server.port(), 0);
+
+  UdpClientTransport client(server.port());
+  ASSERT_TRUE(client.ok());
+
+  bool inserted = false;
+  client.client().insert("Links", {Value{"m1"}, Value{-55.0}, Value{2}},
+                         [&](const Response& resp) { inserted = resp.ok; });
+  ASSERT_TRUE(client.wait(2000) || server.poll() > 0);
+  server.poll();
+  ASSERT_TRUE(client.wait(2000));
+  client.poll();
+  EXPECT_TRUE(inserted);
+
+  std::size_t rows = 0;
+  client.client().query("SELECT * FROM Links", [&](Result<ResultSet> rs) {
+    ASSERT_TRUE(rs.ok());
+    rows = rs.value().rows.size();
+  });
+  server.poll();
+  ASSERT_TRUE(client.wait(2000));
+  client.poll();
+  EXPECT_EQ(rows, 1u);
+}
+
+TEST(UdpTransport, SubscriptionPushOverLoopback) {
+  sim::EventLoop loop;
+  Database db(loop);
+  ASSERT_TRUE(db.create_table(links_schema(), 64).ok());
+
+  UdpServerTransport server(db, 0);
+  ASSERT_TRUE(server.ok());
+  UdpClientTransport client(server.port());
+  ASSERT_TRUE(client.ok());
+
+  int pushes = 0;
+  client.client().on_push(
+      [&](std::uint64_t, const ResultSet& rs) {
+        ++pushes;
+        EXPECT_FALSE(rs.rows.empty());
+      });
+  bool subscribed = false;
+  client.client().subscribe("SELECT * FROM Links [ROWS 1]", /*on_insert=*/true,
+                            0, [&](Result<std::uint64_t> id) {
+                              subscribed = id.ok();
+                            });
+  server.poll();
+  ASSERT_TRUE(client.wait(2000));
+  client.poll();
+  ASSERT_TRUE(subscribed);
+
+  // Inserts through the socket trigger pushes back through the socket.
+  for (int i = 0; i < 3; ++i) {
+    client.client().insert("Links", {Value{"m"}, Value{-60.0}, Value{i}});
+    server.poll();
+    // Each insert produces a push + an insert ack.
+    while (client.wait(500) && client.poll() > 0) {
+    }
+  }
+  EXPECT_EQ(pushes, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Persistence sink
+
+TEST(TableTsv, DumpLoadRoundTrip) {
+  sim::EventLoop loop;
+  Database db(loop);
+  ASSERT_TRUE(db.create_table(links_schema(), 64).ok());
+  for (int i = 0; i < 5; ++i) {
+    loop.run_for(kSecond);
+    ASSERT_TRUE(db.insert("Links", {Value{"m" + std::to_string(i)},
+                                    Value{-60.0 - i}, Value{i}})
+                    .ok());
+  }
+  const std::string path = ::testing::TempDir() + "/hwdb_table_test.tsv";
+  auto dumped = dump_table_tsv(*db.table("Links"), path);
+  ASSERT_TRUE(dumped.ok());
+  EXPECT_EQ(dumped.value(), 5u);
+
+  // Load into a fresh table with the same schema; timestamps preserved.
+  Table copy(links_schema(), 64);
+  auto loaded = load_table_tsv(copy, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  EXPECT_EQ(loaded.value(), 5u);
+  EXPECT_EQ(copy.size(), 5u);
+  EXPECT_EQ(copy.rows().oldest().ts, kSecond);
+  EXPECT_EQ(copy.rows().newest().values[0].as_text(), "m4");
+  EXPECT_DOUBLE_EQ(copy.rows().newest().values[1].as_real(), -64.0);
+  std::remove(path.c_str());
+}
+
+TEST(TableTsv, LoadRejectsSchemaMismatch) {
+  const std::string path = ::testing::TempDir() + "/hwdb_bad_test.tsv";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fprintf(f, "100\tonly-two-fields\n");
+  std::fclose(f);
+  Table table(links_schema(), 8);
+  EXPECT_FALSE(load_table_tsv(table, path).ok());
+  std::remove(path.c_str());
+  EXPECT_FALSE(load_table_tsv(table, "/no/such/file.tsv").ok());
+}
+
+TEST(PersistSink, AppendsBatchesToFile) {
+  sim::EventLoop loop;
+  Database db(loop);
+  ASSERT_TRUE(db.create_table(links_schema(), 64).ok());
+  const std::string path = ::testing::TempDir() + "/hwdb_persist_test.tsv";
+  std::remove(path.c_str());
+
+  {
+    PersistSink sink(db, "SELECT mac, retries FROM Links [ROWS 4]",
+                     SubscriptionMode::OnInsert, 0, path);
+    ASSERT_TRUE(sink.ok());
+    db.insert("Links", {Value{"m"}, Value{-60.0}, Value{1}});
+    db.insert("Links", {Value{"m"}, Value{-61.0}, Value{2}});
+    EXPECT_EQ(sink.batches_written(), 2u);
+    EXPECT_EQ(sink.rows_written(), 3u);  // batch1: 1 row, batch2: 2 rows
+    sink.flush();
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[256];
+  std::string contents;
+  while (std::fgets(buf, sizeof buf, f) != nullptr) contents += buf;
+  std::fclose(f);
+  EXPECT_NE(contents.find("# batch"), std::string::npos);
+  EXPECT_NE(contents.find("m\t1"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hw::hwdb::rpc

@@ -1,0 +1,569 @@
+// hwdb: typed tables over ring buffers, the CQL-variant parser, windowed
+// query execution with filters/grouping/aggregates, and continuous queries.
+#include <gtest/gtest.h>
+
+#include "hwdb/cql_parser.hpp"
+#include "hwdb/database.hpp"
+#include "hwdb/executor.hpp"
+
+namespace hw::hwdb {
+namespace {
+
+Schema flows_schema() {
+  return Schema("Flows", {{"device", ColumnType::Text},
+                          {"app", ColumnType::Text},
+                          {"bytes", ColumnType::Int},
+                          {"rtt", ColumnType::Real}});
+}
+
+// ---------------------------------------------------------------------------
+// Values
+
+TEST(Value, TypesAndConversions) {
+  EXPECT_EQ(Value{42}.type(), ColumnType::Int);
+  EXPECT_EQ(Value{4.5}.type(), ColumnType::Real);
+  EXPECT_EQ(Value{"x"}.type(), ColumnType::Text);
+  EXPECT_EQ(Value::ts(9).type(), ColumnType::Ts);
+  EXPECT_EQ(Value{42}.as_real(), 42.0);
+  EXPECT_EQ(Value{4.5}.as_int(), 4);
+  EXPECT_EQ(Value::ts(9).as_ts(), 9u);
+  EXPECT_EQ(Value{"abc"}.as_text(), "abc");
+}
+
+TEST(Value, CompareNumericAndText) {
+  EXPECT_EQ(Value{1}.compare(Value{2}), -1);
+  EXPECT_EQ(Value{2.0}.compare(Value{2}), 0);  // cross-type numeric
+  EXPECT_EQ(Value{"b"}.compare(Value{"a"}), 1);
+  EXPECT_TRUE(Value{"x"} == Value{"x"});
+}
+
+TEST(Value, FromString) {
+  EXPECT_EQ(Value::from_string(ColumnType::Int, "-7").value().as_int(), -7);
+  EXPECT_EQ(Value::from_string(ColumnType::Real, "2.5").value().as_real(), 2.5);
+  EXPECT_EQ(Value::from_string(ColumnType::Text, "hi").value().as_text(), "hi");
+  EXPECT_EQ(Value::from_string(ColumnType::Ts, "123").value().as_ts(), 123u);
+  EXPECT_FALSE(Value::from_string(ColumnType::Int, "xyz").ok());
+  EXPECT_FALSE(Value::from_string(ColumnType::Real, "1.2.3").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Tables
+
+TEST(Table, InsertValidatesArityAndTypes) {
+  Table t(flows_schema(), 8);
+  EXPECT_TRUE(t.insert(0, {Value{"mac"}, Value{"web"}, Value{100}, Value{0.5}}).ok());
+  EXPECT_FALSE(t.insert(0, {Value{"mac"}, Value{"web"}, Value{100}}).ok());
+  // Text where Int expected: rejected.
+  EXPECT_FALSE(
+      t.insert(0, {Value{"mac"}, Value{"web"}, Value{"oops"}, Value{0.5}}).ok());
+  // Int where Real expected: converted.
+  EXPECT_TRUE(t.insert(0, {Value{"mac"}, Value{"web"}, Value{100}, Value{2}}).ok());
+  EXPECT_EQ(t.rows().newest().values[3].type(), ColumnType::Real);
+}
+
+TEST(Table, EphemeralFixedSize) {
+  Table t(flows_schema(), 4);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        t.insert(static_cast<Timestamp>(i),
+                 {Value{"m"}, Value{"web"}, Value{i}, Value{0.0}})
+            .ok());
+  }
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.evicted(), 6u);
+  EXPECT_EQ(t.inserted(), 10u);
+  EXPECT_EQ(t.rows().oldest().values[2].as_int(), 6);
+  EXPECT_EQ(t.newest_ts(), 9u);
+}
+
+TEST(Schema, CaseInsensitiveColumnLookup) {
+  const Schema s = flows_schema();
+  EXPECT_EQ(s.column_index("BYTES"), 2);
+  EXPECT_EQ(s.column_index("Device"), 0);
+  EXPECT_EQ(s.column_index("nope"), -1);
+}
+
+// ---------------------------------------------------------------------------
+// CQL parser
+
+TEST(CqlParser, SelectStar) {
+  auto q = parse_query("SELECT * FROM Flows");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q.value().projections.empty());
+  EXPECT_EQ(q.value().table, "Flows");
+  EXPECT_EQ(q.value().window.kind, Window::Kind::All);
+}
+
+TEST(CqlParser, Columns) {
+  auto q = parse_query("select device, bytes from Flows");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q.value().projections.size(), 2u);
+  EXPECT_EQ(q.value().projections[0].column, "device");
+  EXPECT_EQ(q.value().projections[1].column, "bytes");
+}
+
+TEST(CqlParser, Windows) {
+  EXPECT_EQ(parse_query("SELECT * FROM t [RANGE 30 SECONDS]").value().window.kind,
+            Window::Kind::Range);
+  EXPECT_EQ(parse_query("SELECT * FROM t [RANGE 30 SECONDS]").value().window.amount,
+            30u);
+  EXPECT_EQ(parse_query("SELECT * FROM t [RANGE 2 MINUTES]").value().window.amount,
+            120u);
+  EXPECT_EQ(parse_query("SELECT * FROM t [RANGE 1 HOUR]").value().window.amount,
+            3600u);
+  EXPECT_EQ(parse_query("SELECT * FROM t [ROWS 5]").value().window.kind,
+            Window::Kind::Rows);
+  EXPECT_EQ(parse_query("SELECT * FROM t [NOW]").value().window.kind,
+            Window::Kind::Now);
+  EXPECT_EQ(parse_query("SELECT * FROM t [SINCE 1000]").value().window.amount,
+            1000u);
+}
+
+TEST(CqlParser, WhereTree) {
+  auto q = parse_query(
+      "SELECT * FROM Flows WHERE (app = 'web' OR app = 'dns') AND bytes > 100 "
+      "AND NOT device CONTAINS 'ff'");
+  ASSERT_TRUE(q.ok());
+  ASSERT_NE(q.value().where, nullptr);
+  EXPECT_EQ(q.value().where->kind, Predicate::Kind::And);
+}
+
+TEST(CqlParser, AggregatesAndGroupBy) {
+  auto q = parse_query(
+      "SELECT device, sum(bytes), avg(rtt), count(*) FROM Flows "
+      "[RANGE 10 SECONDS] GROUP BY device");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q.value().projections.size(), 4u);
+  EXPECT_EQ(q.value().projections[1].fn, AggFn::Sum);
+  EXPECT_EQ(q.value().projections[2].fn, AggFn::Avg);
+  EXPECT_EQ(q.value().projections[3].fn, AggFn::Count);
+  EXPECT_EQ(q.value().projections[3].column, "*");
+  EXPECT_EQ(q.value().group_by, (std::vector<std::string>{"device"}));
+  EXPECT_TRUE(q.value().has_aggregates());
+}
+
+TEST(CqlParser, LastAggregate) {
+  auto q = parse_query("SELECT mac, last(rssi) FROM Links GROUP BY mac");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().projections[1].fn, AggFn::Last);
+}
+
+TEST(CqlParser, Errors) {
+  EXPECT_FALSE(parse_query("").ok());
+  EXPECT_FALSE(parse_query("SELEC * FROM t").ok());
+  EXPECT_FALSE(parse_query("SELECT * FROM").ok());
+  EXPECT_FALSE(parse_query("SELECT * FROM t [RANGE]").ok());
+  EXPECT_FALSE(parse_query("SELECT * FROM t [RANGE 5]").ok());          // no unit
+  EXPECT_FALSE(parse_query("SELECT * FROM t [BOGUS 5]").ok());
+  EXPECT_FALSE(parse_query("SELECT * FROM t WHERE").ok());
+  EXPECT_FALSE(parse_query("SELECT * FROM t WHERE a >").ok());
+  EXPECT_FALSE(parse_query("SELECT * FROM t WHERE a ?? 1").ok());
+  EXPECT_FALSE(parse_query("SELECT * FROM t trailing").ok());
+  EXPECT_FALSE(parse_query("SELECT bogus(x) FROM t").ok());
+  EXPECT_FALSE(parse_query("SELECT sum(*) FROM t").ok());
+  // Ungrouped plain column alongside an aggregate.
+  EXPECT_FALSE(parse_query("SELECT device, sum(bytes) FROM t").ok());
+  // SELECT * with GROUP BY is ambiguous.
+  EXPECT_FALSE(parse_query("SELECT * FROM t GROUP BY a").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Executor
+
+struct ExecutorFixture : ::testing::Test {
+  ExecutorFixture() : table(flows_schema(), 64) {
+    // 10 rows, one per second: devices alternate, apps cycle.
+    for (int i = 0; i < 10; ++i) {
+      const char* device = i % 2 == 0 ? "mac-a" : "mac-b";
+      const char* app = i % 3 == 0 ? "web" : (i % 3 == 1 ? "dns" : "streaming");
+      EXPECT_TRUE(table
+                      .insert(static_cast<Timestamp>(i) * kSecond,
+                              {Value{device}, Value{app}, Value{(i + 1) * 100},
+                               Value{static_cast<double>(i) / 10}})
+                      .ok());
+    }
+  }
+
+  ResultSet run(const std::string& text, Timestamp now = 9 * kSecond) {
+    auto q = parse_query(text);
+    EXPECT_TRUE(q.ok()) << (q.ok() ? "" : q.error().message);
+    auto rs = execute(q.value(), table, now);
+    EXPECT_TRUE(rs.ok()) << (rs.ok() ? "" : rs.error().message);
+    return std::move(rs).take();
+  }
+
+  Table table;
+};
+
+TEST_F(ExecutorFixture, SelectStarChronological) {
+  auto rs = run("SELECT * FROM Flows");
+  EXPECT_EQ(rs.rows.size(), 10u);
+  EXPECT_EQ(rs.columns[0], "ts");
+  EXPECT_EQ(rs.columns[1], "device");
+  // Oldest first.
+  EXPECT_LT(rs.rows.front()[0].as_ts(), rs.rows.back()[0].as_ts());
+}
+
+TEST_F(ExecutorFixture, RangeWindow) {
+  // now=9s; RANGE 3 SECONDS keeps ts >= 6s → rows 6,7,8,9.
+  auto rs = run("SELECT * FROM Flows [RANGE 3 SECONDS]");
+  EXPECT_EQ(rs.rows.size(), 4u);
+  EXPECT_EQ(rs.rows.front()[0].as_ts(), 6 * kSecond);
+}
+
+TEST_F(ExecutorFixture, RowsWindow) {
+  auto rs = run("SELECT bytes FROM Flows [ROWS 3]");
+  ASSERT_EQ(rs.rows.size(), 3u);
+  // The newest three, in chronological order.
+  EXPECT_EQ(rs.rows[0][0].as_int(), 800);
+  EXPECT_EQ(rs.rows[2][0].as_int(), 1000);
+}
+
+TEST_F(ExecutorFixture, NowWindow) {
+  auto rs = run("SELECT bytes FROM Flows [NOW]");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].as_int(), 1000);
+}
+
+TEST_F(ExecutorFixture, SinceWindow) {
+  auto rs = run("SELECT * FROM Flows [SINCE 8000000]");
+  EXPECT_EQ(rs.rows.size(), 2u);
+}
+
+TEST_F(ExecutorFixture, WhereFilters) {
+  EXPECT_EQ(run("SELECT * FROM Flows WHERE device = 'mac-a'").rows.size(), 5u);
+  EXPECT_EQ(run("SELECT * FROM Flows WHERE bytes > 500").rows.size(), 5u);
+  EXPECT_EQ(run("SELECT * FROM Flows WHERE bytes >= 500").rows.size(), 6u);
+  EXPECT_EQ(run("SELECT * FROM Flows WHERE app != 'web'").rows.size(), 6u);
+  EXPECT_EQ(
+      run("SELECT * FROM Flows WHERE device = 'mac-a' AND app = 'web'").rows.size(),
+      2u);
+  EXPECT_EQ(
+      run("SELECT * FROM Flows WHERE app = 'web' OR app = 'dns'").rows.size(), 7u);
+  EXPECT_EQ(run("SELECT * FROM Flows WHERE NOT app = 'web'").rows.size(), 6u);
+  EXPECT_EQ(run("SELECT * FROM Flows WHERE device CONTAINS '-a'").rows.size(), 5u);
+  EXPECT_EQ(run("SELECT * FROM Flows WHERE ts >= 8000000").rows.size(), 2u);
+}
+
+TEST_F(ExecutorFixture, WhereUnknownColumnErrors) {
+  auto q = parse_query("SELECT * FROM Flows WHERE nosuch = 1");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(execute(q.value(), table, 0).ok());
+}
+
+TEST_F(ExecutorFixture, GlobalAggregates) {
+  auto rs = run("SELECT sum(bytes), count(*), min(bytes), max(bytes), avg(bytes) "
+                "FROM Flows GROUP BY app");
+  // Three apps → three rows; verify via a total-only query instead:
+  EXPECT_EQ(rs.rows.size(), 3u);
+}
+
+TEST_F(ExecutorFixture, GroupBySums) {
+  auto rs = run("SELECT device, sum(bytes) FROM Flows GROUP BY device");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  std::int64_t total = 0;
+  for (const auto& row : rs.rows) total += row[1].as_int();
+  EXPECT_EQ(total, 100 * (1 + 2 + 3 + 4 + 5 + 6 + 7 + 8 + 9 + 10));
+  // mac-a holds rows 0,2,4,6,8 → (1+3+5+7+9)*100 = 2500.
+  for (const auto& row : rs.rows) {
+    if (row[0].as_text() == "mac-a") {
+      EXPECT_EQ(row[1].as_int(), 2500);
+    }
+  }
+}
+
+TEST_F(ExecutorFixture, GroupByMultipleKeys) {
+  auto rs = run("SELECT device, app, count(*) FROM Flows GROUP BY device, app");
+  EXPECT_EQ(rs.rows.size(), 6u);  // 2 devices × 3 apps (all combinations hit)
+}
+
+TEST_F(ExecutorFixture, LastPicksNewest) {
+  auto rs = run("SELECT device, last(bytes) FROM Flows GROUP BY device");
+  for (const auto& row : rs.rows) {
+    if (row[0].as_text() == "mac-a") {
+      EXPECT_EQ(row[1].as_int(), 900);  // row 8
+    }
+    if (row[0].as_text() == "mac-b") {
+      EXPECT_EQ(row[1].as_int(), 1000);  // row 9
+    }
+  }
+}
+
+TEST_F(ExecutorFixture, MinMaxAvg) {
+  auto rs = run("SELECT min(bytes), max(bytes), avg(bytes) FROM Flows "
+                "[RANGE 100 SECONDS] GROUP BY device");
+  ASSERT_EQ(rs.rows.size(), 2u);
+}
+
+TEST_F(ExecutorFixture, WindowAndWhereCompose) {
+  auto rs = run(
+      "SELECT device, sum(bytes) FROM Flows [RANGE 5 SECONDS] "
+      "WHERE device = 'mac-b' GROUP BY device");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  // now=9s, range keeps ts>=4s: mac-b rows 5,7,9 → (6+8+10)*100.
+  EXPECT_EQ(rs.rows[0][1].as_int(), 2400);
+}
+
+TEST_F(ExecutorFixture, EmptyWindowEmptyResult) {
+  auto rs = run("SELECT * FROM Flows [SINCE 99000000]");
+  EXPECT_TRUE(rs.rows.empty());
+  auto agg = run("SELECT count(*) FROM Flows [SINCE 99000000] GROUP BY device");
+  EXPECT_TRUE(agg.rows.empty());
+}
+
+TEST_F(ExecutorFixture, LimitKeepsNewestRows) {
+  auto rs = run("SELECT bytes FROM Flows LIMIT 3");
+  ASSERT_EQ(rs.rows.size(), 3u);
+  // The chronological tail: rows 7,8,9 → bytes 800,900,1000.
+  EXPECT_EQ(rs.rows[0][0].as_int(), 800);
+  EXPECT_EQ(rs.rows[2][0].as_int(), 1000);
+  // LIMIT larger than the result is a no-op.
+  EXPECT_EQ(run("SELECT bytes FROM Flows LIMIT 99").rows.size(), 10u);
+}
+
+TEST_F(ExecutorFixture, LimitCapsGroups) {
+  auto rs = run("SELECT device, count(*) FROM Flows GROUP BY device LIMIT 1");
+  EXPECT_EQ(rs.rows.size(), 1u);
+}
+
+TEST_F(ExecutorFixture, LimitParseErrors) {
+  EXPECT_FALSE(parse_query("SELECT * FROM Flows LIMIT").ok());
+  EXPECT_FALSE(parse_query("SELECT * FROM Flows LIMIT 0").ok());
+  EXPECT_FALSE(parse_query("SELECT * FROM Flows LIMIT x").ok());
+}
+
+TEST_F(ExecutorFixture, StddevAggregate) {
+  // bytes are 100..1000 per device; stddev of mac-a's {100,300,500,700,900}
+  // is sqrt(80000) ≈ 282.84.
+  auto rs = run("SELECT device, stddev(bytes) FROM Flows GROUP BY device");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  for (const auto& row : rs.rows) {
+    if (row[0].as_text() == "mac-a") {
+      EXPECT_NEAR(row[1].as_real(), 282.8427, 0.01);
+    }
+  }
+  // Constant series → stddev 0.
+  auto zero = run("SELECT stddev(bytes) FROM Flows WHERE bytes = 500 "
+                  "GROUP BY device");
+  ASSERT_EQ(zero.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(zero.rows[0][0].as_real(), 0.0);
+}
+
+TEST_F(ExecutorFixture, ResultSetHelpers) {
+  auto rs = run("SELECT device, bytes FROM Flows [ROWS 1]");
+  EXPECT_EQ(rs.column_index("BYTES"), 1);
+  EXPECT_EQ(rs.column_index("none"), -1);
+  EXPECT_NE(rs.to_string().find("device\tbytes"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Temporal joins ("relational operations" in the paper's description)
+
+TEST(CqlParser, JoinClause) {
+  auto q = parse_query(
+      "SELECT hostname, sum(bytes) FROM Flows [RANGE 10 SECONDS] "
+      "JOIN Leases ON device = mac GROUP BY hostname");
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(q.value().join.has_value());
+  EXPECT_EQ(q.value().join->table, "Leases");
+  EXPECT_EQ(q.value().join->left_column, "device");
+  EXPECT_EQ(q.value().join->right_column, "mac");
+}
+
+TEST(CqlParser, JoinQualifiedOnColumns) {
+  auto q = parse_query(
+      "SELECT device FROM Flows JOIN Leases ON Flows.device = Leases.mac "
+      "GROUP BY device");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().join->left_column, "device");
+  EXPECT_EQ(q.value().join->right_column, "mac");
+}
+
+TEST(CqlParser, JoinErrors) {
+  EXPECT_FALSE(parse_query("SELECT * FROM a JOIN").ok());
+  EXPECT_FALSE(parse_query("SELECT * FROM a JOIN b").ok());
+  EXPECT_FALSE(parse_query("SELECT * FROM a JOIN b ON x").ok());
+  EXPECT_FALSE(parse_query("SELECT * FROM a JOIN b ON x > y").ok());
+}
+
+struct JoinFixture : ::testing::Test {
+  JoinFixture() : db(loop) {
+    EXPECT_TRUE(db.create_table(flows_schema(), 64).ok());
+    EXPECT_TRUE(db.create_table(Schema("Leases", {{"mac", ColumnType::Text},
+                                                  {"hostname", ColumnType::Text}}),
+                                16)
+                    .ok());
+    // Chronological event stream (virtual time cannot rewind):
+    //   t=0 lease m1="laptop", t=1 flow m1, t=2 lease m2="phone",
+    //   t=3 flow m2, t=5 lease m1 renamed "toms-laptop", t=6 flow m1,
+    //   t=7 flow from unknown m3.
+    insert_at(0, "Leases", {Value{"m1"}, Value{"laptop"}});
+    insert_at(1, "Flows", {Value{"m1"}, Value{"web"}, Value{100}, Value{0.0}});
+    insert_at(2, "Leases", {Value{"m2"}, Value{"phone"}});
+    insert_at(3, "Flows", {Value{"m2"}, Value{"dns"}, Value{50}, Value{0.0}});
+    insert_at(5, "Leases", {Value{"m1"}, Value{"toms-laptop"}});
+    insert_at(6, "Flows", {Value{"m1"}, Value{"web"}, Value{200}, Value{0.0}});
+    insert_at(7, "Flows", {Value{"m3"}, Value{"web"}, Value{10}, Value{0.0}});
+  }
+
+  void insert_at(int second, const std::string& table, std::vector<Value> v) {
+    loop.run_until(static_cast<Timestamp>(second) * kSecond);
+    ASSERT_TRUE(db.insert(table, std::move(v)).ok());
+  }
+
+  sim::EventLoop loop;
+  Database db;
+};
+
+TEST_F(JoinFixture, AsOfSemanticsPickContemporaryRow) {
+  auto rs = db.query(
+      "SELECT device, hostname, bytes FROM Flows JOIN Leases ON device = mac");
+  ASSERT_TRUE(rs.ok());
+  // m3 has no lease → dropped; three joined rows remain, chronological.
+  ASSERT_EQ(rs.value().rows.size(), 3u);
+  // t=1 flow joins the t=0 lease ("laptop"), not the later rename.
+  EXPECT_EQ(rs.value().rows[0][1].as_text(), "laptop");
+  // t=3 flow (m2) joins "phone".
+  EXPECT_EQ(rs.value().rows[1][1].as_text(), "phone");
+  // t=6 flow joins the t=5 rename ("toms-laptop").
+  EXPECT_EQ(rs.value().rows[2][1].as_text(), "toms-laptop");
+}
+
+TEST_F(JoinFixture, JoinWithGroupByAndAggregates) {
+  auto rs = db.query(
+      "SELECT hostname, sum(bytes) FROM Flows JOIN Leases ON device = mac "
+      "GROUP BY hostname");
+  ASSERT_TRUE(rs.ok());
+  std::map<std::string, std::int64_t> by_host;
+  for (const auto& row : rs.value().rows) {
+    by_host[row[0].as_text()] = row[1].as_int();
+  }
+  EXPECT_EQ(by_host["laptop"], 100);
+  EXPECT_EQ(by_host["toms-laptop"], 200);
+  EXPECT_EQ(by_host["phone"], 50);
+}
+
+TEST_F(JoinFixture, JoinRespectsWindowAndWhere) {
+  // now = 7s; RANGE 5 keeps flows with ts >= 2s.
+  auto rs = db.query(
+      "SELECT device, hostname FROM Flows [RANGE 5 SECONDS] "
+      "JOIN Leases ON device = mac WHERE hostname CONTAINS 'lap'");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs.value().rows.size(), 1u);
+  EXPECT_EQ(rs.value().rows[0][1].as_text(), "toms-laptop");
+}
+
+TEST_F(JoinFixture, QualifiedProjectionsResolveBothSides) {
+  auto rs = db.query(
+      "SELECT Flows.device, Leases.hostname FROM Flows "
+      "JOIN Leases ON device = mac [ROWS 100]");
+  // Window comes before JOIN in the grammar; this should fail to parse...
+  EXPECT_FALSE(rs.ok());
+  rs = db.query(
+      "SELECT Flows.device, Leases.hostname FROM Flows [ROWS 100] "
+      "JOIN Leases ON device = mac");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs.value().columns[0], "Flows.device");
+  EXPECT_EQ(rs.value().rows.size(), 3u);
+}
+
+TEST_F(JoinFixture, SelectStarQualifiesColumns) {
+  auto rs = db.query("SELECT * FROM Flows JOIN Leases ON device = mac");
+  ASSERT_TRUE(rs.ok());
+  // ts + 4 Flows columns + 2 Leases columns.
+  ASSERT_EQ(rs.value().columns.size(), 7u);
+  EXPECT_EQ(rs.value().columns[1], "Flows.device");
+  EXPECT_EQ(rs.value().columns[6], "Leases.hostname");
+}
+
+TEST_F(JoinFixture, JoinAgainstMissingTableFails) {
+  EXPECT_FALSE(db.query("SELECT * FROM Flows JOIN Ghost ON device = mac").ok());
+  EXPECT_FALSE(
+      db.query("SELECT * FROM Flows JOIN Leases ON nosuch = mac").ok());
+  EXPECT_FALSE(
+      db.query("SELECT * FROM Flows JOIN Leases ON device = nosuch").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Database + subscriptions
+
+struct DatabaseFixture : ::testing::Test {
+  DatabaseFixture() : db(loop) {
+    EXPECT_TRUE(db.create_table(flows_schema(), 128).ok());
+  }
+  sim::EventLoop loop;
+  Database db;
+};
+
+TEST_F(DatabaseFixture, CreateDuplicateFails) {
+  EXPECT_FALSE(db.create_table(flows_schema(), 16).ok());
+  EXPECT_FALSE(db.create_table(Schema("Empty", {}), 0).ok());
+  EXPECT_EQ(db.table_names(), (std::vector<std::string>{"Flows"}));
+}
+
+TEST_F(DatabaseFixture, InsertStampsVirtualTime) {
+  loop.run_until(5 * kSecond);
+  ASSERT_TRUE(db.insert("Flows", {Value{"m"}, Value{"web"}, Value{1}, Value{0.0}})
+                  .ok());
+  EXPECT_EQ(db.table("Flows")->newest_ts(), 5 * kSecond);
+  EXPECT_FALSE(db.insert("NoTable", {}).ok());
+  EXPECT_EQ(db.stats().inserts, 1u);
+  EXPECT_EQ(db.stats().insert_errors, 1u);
+}
+
+TEST_F(DatabaseFixture, QueryText) {
+  db.insert("Flows", {Value{"m"}, Value{"web"}, Value{1}, Value{0.0}});
+  auto rs = db.query("SELECT device FROM Flows");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs.value().rows.size(), 1u);
+  EXPECT_FALSE(db.query("SELECT device FROM Nope").ok());
+  EXPECT_FALSE(db.query("garbage").ok());
+}
+
+TEST_F(DatabaseFixture, PeriodicSubscriptionFires) {
+  int fires = 0;
+  std::size_t last_rows = 0;
+  auto sub = db.subscribe("SELECT * FROM Flows [RANGE 10 SECONDS]",
+                          SubscriptionMode::Periodic, kSecond,
+                          [&](SubscriptionId, const ResultSet& rs) {
+                            ++fires;
+                            last_rows = rs.rows.size();
+                          });
+  ASSERT_TRUE(sub.ok());
+  db.insert("Flows", {Value{"m"}, Value{"web"}, Value{1}, Value{0.0}});
+  loop.run_for(3 * kSecond + kMillisecond);
+  EXPECT_EQ(fires, 3);
+  EXPECT_EQ(last_rows, 1u);
+
+  db.unsubscribe(sub.value());
+  loop.run_for(3 * kSecond);
+  EXPECT_EQ(fires, 3);
+  EXPECT_EQ(db.subscription_count(), 0u);
+}
+
+TEST_F(DatabaseFixture, OnInsertSubscriptionFiresPerInsert) {
+  int fires = 0;
+  auto sub = db.subscribe("SELECT count(*) FROM Flows GROUP BY device",
+                          SubscriptionMode::OnInsert, 0,
+                          [&](SubscriptionId, const ResultSet&) { ++fires; });
+  ASSERT_TRUE(sub.ok());
+  for (int i = 0; i < 4; ++i) {
+    db.insert("Flows", {Value{"m"}, Value{"web"}, Value{i}, Value{0.0}});
+  }
+  EXPECT_EQ(fires, 4);
+}
+
+TEST_F(DatabaseFixture, SubscriptionValidation) {
+  EXPECT_FALSE(db.subscribe("garbage", SubscriptionMode::Periodic, kSecond,
+                            [](SubscriptionId, const ResultSet&) {})
+                   .ok());
+  EXPECT_FALSE(db.subscribe("SELECT * FROM Ghost", SubscriptionMode::Periodic,
+                            kSecond, [](SubscriptionId, const ResultSet&) {})
+                   .ok());
+  EXPECT_FALSE(db.subscribe("SELECT * FROM Flows", SubscriptionMode::Periodic, 0,
+                            [](SubscriptionId, const ResultSet&) {})
+                   .ok());
+}
+
+}  // namespace
+}  // namespace hw::hwdb

@@ -1,0 +1,254 @@
+// NOX controller framework: component dependency ordering, the OpenFlow
+// handshake, ordered packet-in dispatch with Stop/Continue disposition, and
+// the async stats/echo APIs — against a real Datapath over a real channel.
+#include <gtest/gtest.h>
+
+#include "net/packet.hpp"
+#include "nox/controller.hpp"
+#include "nox/liveness.hpp"
+#include "openflow/datapath.hpp"
+
+namespace hw::nox {
+namespace {
+
+class Recorder : public Component {
+ public:
+  Recorder(std::string name, std::vector<std::string>& log,
+           std::vector<std::string> deps = {}, Disposition disposition = Disposition::Continue)
+      : Component(std::move(name)), log_(log), deps_(std::move(deps)),
+        disposition_(disposition) {}
+
+  std::vector<std::string> dependencies() const override { return deps_; }
+
+  void install(Controller& ctl) override {
+    Component::install(ctl);
+    log_.push_back("install:" + name());
+  }
+  void handle_datapath_join(DatapathId dpid, const ofp::FeaturesReply&) override {
+    log_.push_back("join:" + name() + ":" + std::to_string(dpid));
+  }
+  Disposition handle_packet_in(const PacketInEvent& ev) override {
+    log_.push_back("pktin:" + name() + ":" + std::to_string(ev.msg.in_port));
+    return disposition_;
+  }
+  void handle_flow_removed(DatapathId, const ofp::FlowRemoved&) override {
+    log_.push_back("flowrem:" + name());
+  }
+
+ private:
+  std::vector<std::string>& log_;
+  std::vector<std::string> deps_;
+  Disposition disposition_;
+};
+
+TEST(ControllerComponents, InstallFollowsDependencyOrder) {
+  sim::EventLoop loop;
+  Controller ctl(loop);
+  std::vector<std::string> log;
+  ctl.add_component(std::make_unique<Recorder>("c", log,
+                                               std::vector<std::string>{"b"}));
+  ctl.add_component(std::make_unique<Recorder>("a", log));
+  ctl.add_component(std::make_unique<Recorder>("b", log,
+                                               std::vector<std::string>{"a"}));
+  ctl.start();
+  // "c" is registered first but depends on b which depends on a.
+  EXPECT_EQ(log, (std::vector<std::string>{"install:a", "install:b", "install:c"}));
+}
+
+TEST(ControllerComponents, CycleThrows) {
+  sim::EventLoop loop;
+  Controller ctl(loop);
+  std::vector<std::string> log;
+  ctl.add_component(std::make_unique<Recorder>("a", log,
+                                               std::vector<std::string>{"b"}));
+  ctl.add_component(std::make_unique<Recorder>("b", log,
+                                               std::vector<std::string>{"a"}));
+  EXPECT_THROW(ctl.start(), std::runtime_error);
+}
+
+TEST(ControllerComponents, UnknownDependencyThrows) {
+  sim::EventLoop loop;
+  Controller ctl(loop);
+  std::vector<std::string> log;
+  ctl.add_component(std::make_unique<Recorder>("a", log,
+                                               std::vector<std::string>{"ghost"}));
+  EXPECT_THROW(ctl.start(), std::runtime_error);
+}
+
+TEST(ControllerComponents, LookupByNameAndType) {
+  sim::EventLoop loop;
+  Controller ctl(loop);
+  std::vector<std::string> log;
+  ctl.add_component(std::make_unique<Recorder>("a", log));
+  ctl.start();
+  EXPECT_NE(ctl.component("a"), nullptr);
+  EXPECT_EQ(ctl.component("nope"), nullptr);
+  EXPECT_NE(ctl.component_as<Recorder>("a"), nullptr);
+}
+
+struct HandshakeFixture : ::testing::Test {
+  HandshakeFixture()
+      : dp(loop, {.datapath_id = 7}), conn(loop), ctl(loop) {
+    dp.add_port(1, "p1", MacAddress::from_index(1), &sink);
+    dp.add_port(2, "p2", MacAddress::from_index(2), &sink2);
+  }
+
+  void connect_all() {
+    ctl.start();
+    dp.connect(conn.datapath_end());
+    ctl.connect_datapath(conn.controller_end());
+    loop.run_for(10 * kMillisecond);
+  }
+
+  class Collector final : public sim::FrameSink {
+   public:
+    void deliver(const Bytes& frame) override { frames.push_back(frame); }
+    std::vector<Bytes> frames;
+  };
+
+  sim::EventLoop loop;
+  Collector sink, sink2;
+  ofp::Datapath dp;
+  ofp::InProcConnection conn;
+  Controller ctl;
+  std::vector<std::string> log;
+};
+
+TEST_F(HandshakeFixture, DatapathJoinsAndAnnounces) {
+  ctl.add_component(std::make_unique<Recorder>("mod", log));
+  connect_all();
+  EXPECT_TRUE(ctl.datapath_connected(7));
+  ASSERT_EQ(ctl.datapaths().size(), 1u);
+  const auto* features = ctl.features(7);
+  ASSERT_NE(features, nullptr);
+  EXPECT_EQ(features->ports.size(), 2u);
+  EXPECT_EQ(log, (std::vector<std::string>{"install:mod", "join:mod:7"}));
+}
+
+TEST_F(HandshakeFixture, PacketInChainStopsAtConsumer) {
+  ctl.add_component(std::make_unique<Recorder>("first", log,
+                                               std::vector<std::string>{},
+                                               Disposition::Stop));
+  ctl.add_component(std::make_unique<Recorder>("second", log));
+  connect_all();
+  dp.receive_frame(1, net::build_udp(MacAddress::from_index(9),
+                                     MacAddress::from_index(8),
+                                     Ipv4Address{1, 1, 1, 1},
+                                     Ipv4Address{2, 2, 2, 2}, 10, 20,
+                                     Bytes(8, 0)));
+  loop.run_for(10 * kMillisecond);
+  // "second" never sees the packet.
+  EXPECT_EQ(std::count(log.begin(), log.end(), "pktin:first:1"), 1);
+  EXPECT_EQ(std::count_if(log.begin(), log.end(),
+                          [](const std::string& s) {
+                            return s.rfind("pktin:second", 0) == 0;
+                          }),
+            0);
+  EXPECT_EQ(ctl.stats().packet_ins, 1u);
+}
+
+TEST_F(HandshakeFixture, InstallFlowReachesDatapathTable) {
+  connect_all();
+  ofp::Match m = ofp::Match::any();
+  m.with_dl_type(0x0800);
+  ctl.install_flow(7, m, ofp::output_to(2), 0x7000, 5, 0);
+  loop.run_for(10 * kMillisecond);
+  EXPECT_EQ(dp.table().size(), 1u);
+  EXPECT_EQ(ctl.stats().flow_mods, 1u);
+
+  ctl.delete_flows(7, ofp::Match::any());
+  loop.run_for(10 * kMillisecond);
+  EXPECT_EQ(dp.table().size(), 0u);
+}
+
+TEST_F(HandshakeFixture, PacketOutEgresses) {
+  connect_all();
+  ofp::PacketOut po;
+  po.actions = ofp::output_to(2);
+  po.data = net::build_udp(MacAddress::from_index(9), MacAddress::from_index(8),
+                           Ipv4Address{1, 1, 1, 1}, Ipv4Address{2, 2, 2, 2}, 1,
+                           2, Bytes(4, 0));
+  ctl.send_packet_out(7, po);
+  loop.run_for(10 * kMillisecond);
+  EXPECT_EQ(sink2.frames.size(), 1u);
+}
+
+TEST_F(HandshakeFixture, AsyncStatsCallback) {
+  connect_all();
+  ofp::Match m = ofp::Match::any();
+  ctl.install_flow(7, m, ofp::output_to(2));
+  loop.run_for(10 * kMillisecond);
+
+  bool fired = false;
+  ofp::StatsRequest req;
+  req.type = ofp::StatsType::Aggregate;
+  req.body = ofp::FlowStatsRequest{};
+  ctl.request_stats(7, req, [&](const ofp::StatsReply& reply) {
+    fired = true;
+    EXPECT_EQ(std::get<ofp::AggregateStatsReplyBody>(reply.body).flow_count, 1u);
+  });
+  loop.run_for(10 * kMillisecond);
+  EXPECT_TRUE(fired);
+}
+
+TEST_F(HandshakeFixture, EchoRoundTrip) {
+  connect_all();
+  bool alive = false;
+  ctl.send_echo(7, [&] { alive = true; });
+  loop.run_for(10 * kMillisecond);
+  EXPECT_TRUE(alive);
+}
+
+TEST_F(HandshakeFixture, FlowRemovedReachesComponents) {
+  ctl.add_component(std::make_unique<Recorder>("mod", log));
+  connect_all();
+  ofp::Match m = ofp::Match::any();
+  m.with_dl_type(0x0800);
+  ctl.install_flow(7, m, ofp::output_to(2), 0x7000, /*idle=*/1, 0,
+                   /*notify_removal=*/true);
+  loop.run_for(3 * kSecond);
+  EXPECT_NE(std::find(log.begin(), log.end(), "flowrem:mod"), log.end());
+  EXPECT_EQ(ctl.stats().flow_removed, 1u);
+}
+
+TEST_F(HandshakeFixture, LivenessMonitorTracksRttAndDeath) {
+  LivenessMonitor::Config lm_config;
+  lm_config.probe_interval = kSecond;
+  lm_config.max_misses = 2;
+  auto monitor = std::make_unique<LivenessMonitor>(lm_config);
+  LivenessMonitor* lm = monitor.get();
+  ctl.add_component(std::move(monitor));
+  connect_all();
+
+  std::vector<DatapathId> dead, recovered;
+  lm->on_dead([&](DatapathId d) { dead.push_back(d); });
+  lm->on_recovered([&](DatapathId d) { recovered.push_back(d); });
+
+  // Healthy channel: probes answered, peer alive, RTT measured.
+  loop.run_for(5 * kSecond);
+  const auto* peer = lm->peer(7);
+  ASSERT_NE(peer, nullptr);
+  EXPECT_TRUE(peer->alive);
+  EXPECT_GT(peer->replies, 2u);
+  EXPECT_EQ(peer->consecutive_misses, 0);
+  EXPECT_TRUE(dead.empty());
+
+  // Channel dies: misses accumulate, death fires exactly once.
+  conn.disconnect();
+  loop.run_for(10 * kSecond);
+  EXPECT_FALSE(lm->peer(7)->alive);
+  EXPECT_EQ(dead, (std::vector<DatapathId>{7}));
+  EXPECT_TRUE(recovered.empty());
+}
+
+TEST_F(HandshakeFixture, SendToUnknownDatapathIsSafe) {
+  connect_all();
+  ctl.install_flow(999, ofp::Match::any(), ofp::output_to(1));
+  ctl.send_packet_out(999, {});
+  ctl.request_stats(999, {}, [](const ofp::StatsReply&) { FAIL(); });
+  loop.run_for(10 * kMillisecond);
+  EXPECT_EQ(ctl.stats().flow_mods, 0u);
+}
+
+}  // namespace
+}  // namespace hw::nox

@@ -1,0 +1,438 @@
+// Datapath behaviour: port plumbing, flow-directed forwarding with header
+// rewrites, packet-in buffering and release, NORMAL (learning switch), the
+// controller-side protocol handlers, and timeout notifications — all through
+// the real secure-channel byte stream.
+#include <gtest/gtest.h>
+
+#include "net/checksum.hpp"
+#include "net/packet.hpp"
+#include "openflow/channel.hpp"
+#include "openflow/datapath.hpp"
+
+namespace hw::ofp {
+namespace {
+
+const MacAddress kHostA = MacAddress::from_index(1);
+const MacAddress kHostB = MacAddress::from_index(2);
+const Ipv4Address kIpA{192, 168, 1, 100};
+const Ipv4Address kIpB{10, 1, 1, 1};
+
+class Collector final : public sim::FrameSink {
+ public:
+  void deliver(const Bytes& frame) override { frames.push_back(frame); }
+  std::vector<Bytes> frames;
+};
+
+/// Test harness playing the controller role over a real channel.
+class FakeController {
+ public:
+  explicit FakeController(ChannelEndpoint& end) : end_(end) {
+    end_.on_receive([this](const Bytes& encoded) {
+      auto env = decode(encoded);
+      ASSERT_TRUE(env.ok());
+      received.push_back(std::move(env).take());
+    });
+  }
+
+  void send(Message msg, std::uint32_t xid = 1) {
+    end_.send(encode({xid, std::move(msg)}));
+  }
+
+  template <typename T>
+  std::vector<const T*> of_type() const {
+    std::vector<const T*> out;
+    for (const auto& env : received) {
+      if (const auto* m = std::get_if<T>(&env.msg)) out.push_back(m);
+    }
+    return out;
+  }
+
+  std::vector<Envelope> received;
+
+ private:
+  ChannelEndpoint& end_;
+};
+
+struct DatapathFixture : ::testing::Test {
+  DatapathFixture()
+      : dp(loop, {.datapath_id = 0xd0, .n_buffers = 4, .miss_send_len = 128}),
+        conn(loop),
+        controller(conn.controller_end()) {
+    dp.add_port(1, "p1", MacAddress::from_index(0xa1), &port1_out);
+    dp.add_port(2, "p2", MacAddress::from_index(0xa2), &port2_out);
+    dp.connect(conn.datapath_end());
+    loop.run_for(kMillisecond);
+  }
+
+  Bytes udp_frame(MacAddress src_mac, Ipv4Address src, Ipv4Address dst,
+                  std::uint16_t dport, std::size_t payload = 32) const {
+    return net::build_udp(src_mac, kHostB, src, dst, 1234, dport,
+                          Bytes(payload, 0));
+  }
+
+  sim::EventLoop loop;
+  Collector port1_out;
+  Collector port2_out;
+  Datapath dp;
+  InProcConnection conn;
+  FakeController controller;
+};
+
+TEST_F(DatapathFixture, SendsHelloOnConnect) {
+  ASSERT_FALSE(controller.of_type<Hello>().empty());
+}
+
+TEST_F(DatapathFixture, FeaturesHandshake) {
+  controller.send(FeaturesRequest{}, 55);
+  loop.run_for(kMillisecond);
+  auto replies = controller.of_type<FeaturesReply>();
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0]->datapath_id, 0xd0u);
+  EXPECT_EQ(replies[0]->ports.size(), 2u);
+  // xid echoes the request.
+  EXPECT_EQ(controller.received.back().xid, 55u);
+}
+
+TEST_F(DatapathFixture, EchoAndBarrier) {
+  controller.send(EchoRequest{{1, 2}}, 9);
+  controller.send(BarrierRequest{}, 10);
+  loop.run_for(kMillisecond);
+  auto echoes = controller.of_type<EchoReply>();
+  ASSERT_EQ(echoes.size(), 1u);
+  EXPECT_EQ(echoes[0]->data, (Bytes{1, 2}));
+  EXPECT_EQ(controller.of_type<BarrierReply>().size(), 1u);
+}
+
+TEST_F(DatapathFixture, MissGeneratesBufferedPacketIn) {
+  const Bytes frame = udp_frame(kHostA, kIpA, kIpB, 80, 300);
+  dp.receive_frame(1, frame);
+  loop.run_for(kMillisecond);
+  auto pis = controller.of_type<PacketIn>();
+  ASSERT_EQ(pis.size(), 1u);
+  EXPECT_EQ(pis[0]->in_port, 1);
+  EXPECT_EQ(pis[0]->reason, PacketInReason::NoMatch);
+  EXPECT_NE(pis[0]->buffer_id, kNoBuffer);
+  EXPECT_EQ(pis[0]->total_len, frame.size());
+  EXPECT_EQ(pis[0]->data.size(), 128u);  // truncated to miss_send_len
+}
+
+TEST_F(DatapathFixture, PacketOutReleasesBufferedFrame) {
+  const Bytes frame = udp_frame(kHostA, kIpA, kIpB, 80);
+  dp.receive_frame(1, frame);
+  loop.run_for(kMillisecond);
+  const auto buffer_id = controller.of_type<PacketIn>()[0]->buffer_id;
+
+  PacketOut po;
+  po.buffer_id = buffer_id;
+  po.in_port = 1;
+  po.actions = output_to(2);
+  controller.send(std::move(po));
+  loop.run_for(kMillisecond);
+  ASSERT_EQ(port2_out.frames.size(), 1u);
+  EXPECT_EQ(port2_out.frames[0], frame);  // full frame, not the truncation
+}
+
+TEST_F(DatapathFixture, PacketOutUnknownBufferErrors) {
+  PacketOut po;
+  po.buffer_id = 424242;
+  po.actions = output_to(2);
+  controller.send(std::move(po), 31);
+  loop.run_for(kMillisecond);
+  auto errors = controller.of_type<ErrorMsg>();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0]->type, ErrorType::BadRequest);
+}
+
+TEST_F(DatapathFixture, FlowModWithBufferForwardsAndInstalls) {
+  const Bytes frame = udp_frame(kHostA, kIpA, kIpB, 80);
+  dp.receive_frame(1, frame);
+  loop.run_for(kMillisecond);
+  const auto buffer_id = controller.of_type<PacketIn>()[0]->buffer_id;
+
+  FlowMod mod;
+  mod.match = Match::any();
+  mod.match.with_dl_type(0x0800);
+  mod.buffer_id = buffer_id;
+  mod.actions = output_to(2);
+  controller.send(std::move(mod));
+  loop.run_for(kMillisecond);
+
+  EXPECT_EQ(dp.table().size(), 1u);
+  ASSERT_EQ(port2_out.frames.size(), 1u);  // buffered frame released
+
+  // Subsequent traffic forwards in the datapath, no controller round-trip.
+  const std::size_t pis_before = controller.of_type<PacketIn>().size();
+  dp.receive_frame(1, udp_frame(kHostA, kIpA, kIpB, 443));
+  loop.run_for(kMillisecond);
+  EXPECT_EQ(port2_out.frames.size(), 2u);
+  EXPECT_EQ(controller.of_type<PacketIn>().size(), pis_before);
+}
+
+TEST_F(DatapathFixture, HeaderRewriteActions) {
+  FlowMod mod;
+  mod.match = Match::any();
+  mod.match.with_dl_type(0x0800);
+  mod.actions = {ActionSetDlSrc{MacAddress::from_index(0xbb)},
+                 ActionSetDlDst{MacAddress::from_index(0xcc)},
+                 ActionSetNwDst{Ipv4Address{99, 99, 99, 99}},
+                 ActionSetTpDst{8080},
+                 ActionOutput{2, 0}};
+  controller.send(std::move(mod));
+  loop.run_for(kMillisecond);
+
+  dp.receive_frame(1, udp_frame(kHostA, kIpA, kIpB, 80));
+  loop.run_for(kMillisecond);
+  ASSERT_EQ(port2_out.frames.size(), 1u);
+  auto p = net::ParsedPacket::parse(port2_out.frames[0]);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().eth.src, MacAddress::from_index(0xbb));
+  EXPECT_EQ(p.value().eth.dst, MacAddress::from_index(0xcc));
+  EXPECT_EQ(p.value().ip->dst.to_string(), "99.99.99.99");
+  EXPECT_EQ(p.value().udp->dst_port, 8080);
+  // The rewritten IPv4 header must still checksum correctly.
+  const std::size_t ip_off = net::kEthernetHeaderSize;
+  std::span<const std::uint8_t> ip_hdr(port2_out.frames[0].data() + ip_off, 20);
+  EXPECT_EQ(net::internet_checksum(ip_hdr), 0);
+}
+
+TEST_F(DatapathFixture, DropRuleSwallowsTraffic) {
+  FlowMod mod;
+  mod.match = Match::any();
+  mod.actions = {};  // drop
+  controller.send(std::move(mod));
+  loop.run_for(kMillisecond);
+  dp.receive_frame(1, udp_frame(kHostA, kIpA, kIpB, 80));
+  loop.run_for(kMillisecond);
+  EXPECT_TRUE(port1_out.frames.empty());
+  EXPECT_TRUE(port2_out.frames.empty());
+  EXPECT_TRUE(controller.of_type<PacketIn>().empty());
+}
+
+TEST_F(DatapathFixture, FloodExcludesIngress) {
+  FlowMod mod;
+  mod.match = Match::any();
+  mod.actions = output_to(port_no(Port::Flood));
+  controller.send(std::move(mod));
+  loop.run_for(kMillisecond);
+  dp.receive_frame(1, udp_frame(kHostA, kIpA, kIpB, 80));
+  loop.run_for(kMillisecond);
+  EXPECT_TRUE(port1_out.frames.empty());
+  EXPECT_EQ(port2_out.frames.size(), 1u);
+}
+
+TEST_F(DatapathFixture, NormalActionLearnsAndForwards) {
+  FlowMod mod;
+  mod.match = Match::any();
+  mod.actions = output_to(port_no(Port::Normal));
+  controller.send(std::move(mod));
+  loop.run_for(kMillisecond);
+
+  // A talks first: B unknown → flood (port 2 only).
+  dp.receive_frame(1, udp_frame(kHostA, kIpA, kIpB, 80));
+  EXPECT_EQ(port2_out.frames.size(), 1u);
+  // B replies: A's location was learned → unicast to port 1.
+  dp.receive_frame(2, net::build_udp(kHostB, kHostA, kIpB, kIpA, 80, 1234,
+                                     Bytes(10, 0)));
+  EXPECT_EQ(port1_out.frames.size(), 1u);
+  EXPECT_EQ(port2_out.frames.size(), 1u);  // no extra flood
+}
+
+TEST_F(DatapathFixture, StatsFlowAndAggregateAndPort) {
+  FlowMod mod;
+  mod.match = Match::any();
+  mod.match.with_dl_type(0x0800);
+  mod.actions = output_to(2);
+  controller.send(std::move(mod));
+  loop.run_for(kMillisecond);
+  dp.receive_frame(1, udp_frame(kHostA, kIpA, kIpB, 80, 100));
+  dp.receive_frame(1, udp_frame(kHostA, kIpA, kIpB, 80, 100));
+  loop.run_for(kMillisecond);
+
+  StatsRequest flow_req;
+  flow_req.type = StatsType::Flow;
+  flow_req.body = FlowStatsRequest{};
+  controller.send(std::move(flow_req), 71);
+  StatsRequest agg_req;
+  agg_req.type = StatsType::Aggregate;
+  agg_req.body = FlowStatsRequest{};
+  controller.send(std::move(agg_req), 72);
+  StatsRequest port_req;
+  port_req.type = StatsType::Port;
+  port_req.body = PortStatsRequest{};
+  controller.send(std::move(port_req), 73);
+  loop.run_for(kMillisecond);
+
+  auto replies = controller.of_type<StatsReply>();
+  ASSERT_EQ(replies.size(), 3u);
+  const auto& flows = std::get<std::vector<FlowStatsEntry>>(replies[0]->body);
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].packet_count, 2u);
+  const auto& agg = std::get<AggregateStatsReplyBody>(replies[1]->body);
+  EXPECT_EQ(agg.flow_count, 1u);
+  EXPECT_EQ(agg.packet_count, 2u);
+  const auto& ports = std::get<std::vector<PortStatsEntry>>(replies[2]->body);
+  ASSERT_EQ(ports.size(), 2u);
+  EXPECT_EQ(ports[0].rx_packets, 2u);  // port 1 received both frames
+  EXPECT_EQ(ports[1].tx_packets, 2u);  // port 2 sent both
+}
+
+TEST_F(DatapathFixture, IdleTimeoutEmitsFlowRemoved) {
+  FlowMod mod;
+  mod.match = Match::any();
+  mod.match.with_dl_type(0x0800);
+  mod.idle_timeout = 2;
+  mod.flags = FlowModFlags::kSendFlowRem;
+  mod.actions = output_to(2);
+  controller.send(std::move(mod));
+  loop.run_for(kMillisecond);
+  dp.receive_frame(1, udp_frame(kHostA, kIpA, kIpB, 80));
+  loop.run_for(5 * kSecond);  // expiry sweep fires every second
+  auto removed = controller.of_type<FlowRemoved>();
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0]->reason, FlowRemovedReason::IdleTimeout);
+  EXPECT_EQ(removed[0]->packet_count, 1u);
+  EXPECT_EQ(dp.table().size(), 0u);
+}
+
+TEST_F(DatapathFixture, DeleteWithNotifyEmitsFlowRemoved) {
+  FlowMod mod;
+  mod.match = Match::any();
+  mod.match.with_dl_type(0x0800);
+  mod.flags = FlowModFlags::kSendFlowRem;
+  mod.actions = output_to(2);
+  controller.send(std::move(mod));
+  loop.run_for(kMillisecond);
+
+  FlowMod del;
+  del.match = Match::any();
+  del.command = FlowModCommand::Delete;
+  controller.send(std::move(del));
+  loop.run_for(kMillisecond);
+  auto removed = controller.of_type<FlowRemoved>();
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0]->reason, FlowRemovedReason::Delete);
+}
+
+TEST_F(DatapathFixture, PortRemovalAnnouncesAndStopsForwarding) {
+  FlowMod mod;
+  mod.match = Match::any();
+  mod.actions = output_to(2);
+  controller.send(std::move(mod));
+  loop.run_for(kMillisecond);
+  dp.remove_port(2);
+  loop.run_for(kMillisecond);
+  auto statuses = controller.of_type<PortStatus>();
+  ASSERT_GE(statuses.size(), 1u);
+  EXPECT_EQ(statuses.back()->reason, PortReason::Delete);
+  dp.receive_frame(1, udp_frame(kHostA, kIpA, kIpB, 80));
+  EXPECT_TRUE(port2_out.frames.empty());
+}
+
+TEST_F(DatapathFixture, BufferEvictionWhenFull) {
+  // n_buffers = 4; the fifth miss evicts the oldest buffer.
+  for (int i = 0; i < 5; ++i) {
+    dp.receive_frame(1, udp_frame(kHostA, kIpA, kIpB,
+                                  static_cast<std::uint16_t>(1000 + i)));
+  }
+  loop.run_for(kMillisecond);
+  EXPECT_EQ(dp.stats().buffer_evictions, 1u);
+  // The evicted (first) buffer is gone.
+  const auto first_buffer = controller.of_type<PacketIn>()[0]->buffer_id;
+  PacketOut po;
+  po.buffer_id = first_buffer;
+  po.actions = output_to(2);
+  controller.send(std::move(po), 80);
+  loop.run_for(kMillisecond);
+  EXPECT_EQ(controller.of_type<ErrorMsg>().size(), 1u);
+}
+
+TEST_F(DatapathFixture, EnqueuePolicesAboveRate) {
+  // Queue on port 2: 80 kbit/s = 10 KB/s, burst 2 KB.
+  dp.configure_queue(2, 7, 80'000, 2'000);
+  FlowMod mod;
+  mod.match = Match::any();
+  mod.match.with_dl_type(0x0800);
+  mod.actions = {ActionEnqueue{2, 7}};
+  controller.send(std::move(mod));
+  loop.run_for(kMillisecond);
+
+  // Send 100 frames of ~550 B in one virtual second: ~55 KB offered against
+  // a 10 KB/s + 2 KB burst budget → most must be policed.
+  for (int i = 0; i < 100; ++i) {
+    dp.receive_frame(1, udp_frame(kHostA, kIpA, kIpB, 80, 512));
+    loop.run_for(10 * kMillisecond);
+  }
+  const auto* q = dp.queue_counters(2, 7);
+  ASSERT_NE(q, nullptr);
+  EXPECT_GT(q->dropped, 50u);
+  EXPECT_GT(q->tx_packets, 5u);
+  EXPECT_EQ(q->tx_packets + q->dropped, 100u);
+  EXPECT_EQ(port2_out.frames.size(), q->tx_packets);
+  // Conforming bytes stay within budget (burst + 1s refill + one frame).
+  EXPECT_LE(q->tx_bytes, 2'000u + 10'000u + 600u);
+}
+
+TEST_F(DatapathFixture, EnqueueUnconfiguredQueueDegradesToOutput) {
+  FlowMod mod;
+  mod.match = Match::any();
+  mod.match.with_dl_type(0x0800);
+  mod.actions = {ActionEnqueue{2, 99}};  // never configured
+  controller.send(std::move(mod));
+  loop.run_for(kMillisecond);
+  dp.receive_frame(1, udp_frame(kHostA, kIpA, kIpB, 80));
+  EXPECT_EQ(port2_out.frames.size(), 1u);
+}
+
+TEST_F(DatapathFixture, QueueRemovalStopsPolicing) {
+  dp.configure_queue(2, 7, 8'000, 100);  // tiny: everything drops
+  FlowMod mod;
+  mod.match = Match::any();
+  mod.match.with_dl_type(0x0800);
+  mod.actions = {ActionEnqueue{2, 7}};
+  controller.send(std::move(mod));
+  loop.run_for(kMillisecond);
+  dp.receive_frame(1, udp_frame(kHostA, kIpA, kIpB, 80, 512));
+  EXPECT_TRUE(port2_out.frames.empty());
+  dp.remove_queue(2, 7);
+  dp.receive_frame(1, udp_frame(kHostA, kIpA, kIpB, 80, 512));
+  EXPECT_EQ(port2_out.frames.size(), 1u);  // plain output now
+  EXPECT_EQ(dp.queue_counters(2, 7), nullptr);
+}
+
+TEST_F(DatapathFixture, MalformedFrameCountsAsDrop) {
+  dp.receive_frame(1, Bytes{1, 2, 3});
+  EXPECT_EQ(dp.port_counters(1)->rx_dropped, 1u);
+  EXPECT_TRUE(controller.of_type<PacketIn>().empty());
+}
+
+TEST_F(DatapathFixture, InstalledFlowsSurviveControllerDisconnect) {
+  // Fail-open data plane: when the secure channel dies, already-installed
+  // flows keep forwarding; only new flows (misses) go dark.
+  FlowMod mod;
+  mod.match = Match::any();
+  mod.match.with_dl_type(0x0800).with_tp_dst(80);
+  mod.actions = output_to(2);
+  controller.send(std::move(mod));
+  loop.run_for(kMillisecond);
+
+  conn.disconnect();
+  dp.receive_frame(1, udp_frame(kHostA, kIpA, kIpB, 80));
+  EXPECT_EQ(port2_out.frames.size(), 1u);  // still forwarded
+
+  const auto pis_before = controller.received.size();
+  dp.receive_frame(1, udp_frame(kHostA, kIpA, kIpB, 443));  // miss
+  loop.run_for(kMillisecond);
+  EXPECT_EQ(controller.received.size(), pis_before);  // nothing arrives
+}
+
+TEST_F(DatapathFixture, IngressAdapterRoutesToPort) {
+  sim::FrameSink* ingress = dp.ingress(1);
+  ASSERT_NE(ingress, nullptr);
+  ingress->deliver(udp_frame(kHostA, kIpA, kIpB, 80));
+  loop.run_for(kMillisecond);
+  EXPECT_EQ(controller.of_type<PacketIn>().size(), 1u);
+  EXPECT_EQ(dp.ingress(99), nullptr);
+}
+
+}  // namespace
+}  // namespace hw::ofp

@@ -1,0 +1,224 @@
+// OpenFlow match semantics: wildcard handling, CIDR nw masks, extraction
+// from packets, wire round-trips, and a property sweep against a reference
+// implementation of field comparison.
+#include <gtest/gtest.h>
+
+#include "net/packet.hpp"
+#include "openflow/match.hpp"
+#include "util/rand.hpp"
+
+namespace hw::ofp {
+namespace {
+
+const MacAddress kMacA = MacAddress::from_index(1);
+const MacAddress kMacB = MacAddress::from_index(2);
+const Ipv4Address kIpA{192, 168, 1, 100};
+const Ipv4Address kIpB{10, 1, 2, 3};
+
+Match packet_fields(std::uint16_t in_port = 3) {
+  Match m;
+  m.wildcards = 0;
+  m.in_port = in_port;
+  m.dl_src = kMacA;
+  m.dl_dst = kMacB;
+  m.dl_vlan = 0xffff;
+  m.dl_type = 0x0800;
+  m.nw_proto = 6;
+  m.nw_src = kIpA;
+  m.nw_dst = kIpB;
+  m.tp_src = 40000;
+  m.tp_dst = 80;
+  return m;
+}
+
+TEST(Match, AnyCoversEverything) {
+  EXPECT_TRUE(Match::any().covers(packet_fields()));
+  Match other = packet_fields();
+  other.nw_src = Ipv4Address{8, 8, 8, 8};
+  other.in_port = 60000;
+  EXPECT_TRUE(Match::any().covers(other));
+}
+
+TEST(Match, ExactRequiresAllFieldsEqual) {
+  Match rule = packet_fields();
+  EXPECT_TRUE(rule.covers(packet_fields()));
+  Match pkt = packet_fields();
+  pkt.tp_dst = 81;
+  EXPECT_FALSE(rule.covers(pkt));
+}
+
+TEST(Match, SingleFieldBuilders) {
+  Match rule = Match::any();
+  rule.with_tp_dst(53);
+  Match pkt = packet_fields();
+  EXPECT_FALSE(rule.covers(pkt));
+  pkt.tp_dst = 53;
+  EXPECT_TRUE(rule.covers(pkt));
+
+  Match port_rule = Match::any();
+  port_rule.with_in_port(3);
+  EXPECT_TRUE(port_rule.covers(packet_fields(3)));
+  EXPECT_FALSE(port_rule.covers(packet_fields(4)));
+}
+
+TEST(Match, CidrNwMasks) {
+  Match rule = Match::any();
+  rule.with_nw_dst(Ipv4Address{10, 1, 2, 0}, 24);
+  Match pkt = packet_fields();
+  pkt.nw_dst = Ipv4Address{10, 1, 2, 200};
+  EXPECT_TRUE(rule.covers(pkt));
+  pkt.nw_dst = Ipv4Address{10, 1, 3, 200};
+  EXPECT_FALSE(rule.covers(pkt));
+
+  // /0 wildcards everything.
+  Match any_dst = Match::any();
+  any_dst.with_nw_dst(Ipv4Address{1, 2, 3, 4}, 0);
+  EXPECT_TRUE(any_dst.covers(packet_fields()));
+}
+
+TEST(Match, IgnoredBitsEncoding) {
+  Match m = Match::any();
+  EXPECT_GE(m.nw_src_ignored_bits(), 32);
+  m.with_nw_src(kIpA, 32);
+  EXPECT_EQ(m.nw_src_ignored_bits(), 0);
+  m.with_nw_src(kIpA, 24);
+  EXPECT_EQ(m.nw_src_ignored_bits(), 8);
+  m.with_nw_dst(kIpB, 16);
+  EXPECT_EQ(m.nw_dst_ignored_bits(), 16);
+}
+
+TEST(Match, FromUdpPacket) {
+  const Bytes frame = net::build_udp(kMacA, kMacB, kIpA, kIpB, 5000, 53,
+                                     Bytes(8, 0));
+  auto parsed = net::ParsedPacket::parse(frame);
+  ASSERT_TRUE(parsed.ok());
+  const Match m = Match::from_packet(parsed.value(), 7);
+  EXPECT_TRUE(m.is_exact());
+  EXPECT_EQ(m.in_port, 7);
+  EXPECT_EQ(m.dl_src, kMacA);
+  EXPECT_EQ(m.dl_type, 0x0800);
+  EXPECT_EQ(m.nw_proto, 17);
+  EXPECT_EQ(m.tp_src, 5000);
+  EXPECT_EQ(m.tp_dst, 53);
+}
+
+TEST(Match, FromArpPacketUsesNwFields) {
+  net::ArpMessage arp;
+  arp.op = net::ArpOp::Request;
+  arp.sender_mac = kMacA;
+  arp.sender_ip = kIpA;
+  arp.target_ip = kIpB;
+  auto parsed = net::ParsedPacket::parse(net::build_arp(arp));
+  ASSERT_TRUE(parsed.ok());
+  const Match m = Match::from_packet(parsed.value(), 1);
+  EXPECT_EQ(m.dl_type, 0x0806);
+  EXPECT_EQ(m.nw_proto, 1);  // ARP opcode
+  EXPECT_EQ(m.nw_src, kIpA);
+  EXPECT_EQ(m.nw_dst, kIpB);
+}
+
+TEST(Match, FromIcmpPacketPutsTypeCodeInPorts) {
+  const Bytes frame = net::build_icmp_echo(kMacA, kMacB, kIpA, kIpB,
+                                           net::IcmpType::EchoRequest, 1, 2);
+  auto parsed = net::ParsedPacket::parse(frame);
+  ASSERT_TRUE(parsed.ok());
+  const Match m = Match::from_packet(parsed.value(), 1);
+  EXPECT_EQ(m.nw_proto, 1);
+  EXPECT_EQ(m.tp_src, 8);  // echo request type
+  EXPECT_EQ(m.tp_dst, 0);  // code
+}
+
+TEST(Match, WireRoundTrip) {
+  Match m = Match::any();
+  m.with_in_port(4)
+      .with_dl_src(kMacA)
+      .with_dl_type(0x0800)
+      .with_nw_proto(17)
+      .with_nw_src(kIpA, 24)
+      .with_nw_dst(kIpB, 32)
+      .with_tp_dst(53);
+  ByteWriter w;
+  m.serialize(w);
+  EXPECT_EQ(w.size(), kMatchWireSize);
+  ByteReader r(w.bytes());
+  auto parsed = Match::parse(r);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().same_pattern(m));
+  EXPECT_EQ(parsed.value().wildcards, m.wildcards);
+  EXPECT_EQ(parsed.value().nw_src_ignored_bits(), 8);
+}
+
+TEST(Match, SamePatternDistinguishesWildcards) {
+  Match a = Match::any();
+  a.with_tp_dst(80);
+  Match b = Match::any();
+  b.with_tp_dst(80);
+  EXPECT_TRUE(a.same_pattern(b));
+  b.with_nw_proto(6);
+  EXPECT_FALSE(a.same_pattern(b));
+}
+
+TEST(Match, ToStringShowsOnlyConcreteFields) {
+  Match m = Match::any();
+  EXPECT_EQ(m.to_string(), "{*}");
+  m.with_tp_dst(53);
+  EXPECT_NE(m.to_string().find("tp_dst=53"), std::string::npos);
+  EXPECT_EQ(m.to_string().find("tp_src"), std::string::npos);
+}
+
+// Property sweep: covers() agrees with a per-field reference for random
+// rules and packets.
+class MatchProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatchProperty, CoversAgreesWithReference) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 200; ++iter) {
+    // Random packet fields.
+    Match pkt;
+    pkt.wildcards = 0;
+    pkt.in_port = static_cast<std::uint16_t>(rng.uniform(4));
+    pkt.dl_src = MacAddress::from_index(static_cast<std::uint32_t>(rng.uniform(3)));
+    pkt.dl_dst = MacAddress::from_index(static_cast<std::uint32_t>(rng.uniform(3)));
+    pkt.dl_type = rng.chance(0.5) ? 0x0800 : 0x0806;
+    pkt.nw_proto = static_cast<std::uint8_t>(rng.uniform(3) * 5 + 6);
+    pkt.nw_src = Ipv4Address{static_cast<std::uint32_t>(rng.next())};
+    pkt.nw_dst = Ipv4Address{static_cast<std::uint32_t>(rng.next())};
+    pkt.tp_src = static_cast<std::uint16_t>(rng.uniform(4));
+    pkt.tp_dst = static_cast<std::uint16_t>(rng.uniform(4));
+
+    // Random rule: each field independently wildcarded or copied/perturbed.
+    Match rule = Match::any();
+    bool expect = true;
+    auto pick = [&](auto setter, auto pkt_value, auto other_value) {
+      const int choice = static_cast<int>(rng.uniform(3));
+      if (choice == 0) return;  // wildcard: always matches
+      if (choice == 1) {
+        setter(pkt_value);
+      } else {
+        setter(other_value);
+        if (pkt_value != other_value) expect = false;
+      }
+    };
+    pick([&](std::uint16_t v) { rule.with_in_port(v); }, pkt.in_port,
+         static_cast<std::uint16_t>(pkt.in_port + 1));
+    pick([&](MacAddress v) { rule.with_dl_src(v); }, pkt.dl_src,
+         MacAddress::from_index(77));
+    pick([&](std::uint16_t v) { rule.with_dl_type(v); }, pkt.dl_type,
+         static_cast<std::uint16_t>(0x86dd));
+    pick([&](std::uint8_t v) { rule.with_nw_proto(v); }, pkt.nw_proto,
+         static_cast<std::uint8_t>(pkt.nw_proto + 1));
+    pick([&](std::uint16_t v) { rule.with_tp_dst(v); }, pkt.tp_dst,
+         static_cast<std::uint16_t>(pkt.tp_dst + 1));
+
+    // nw_src via a random prefix length.
+    const int prefix = static_cast<int>(rng.uniform(33));
+    rule.with_nw_src(pkt.nw_src, prefix);  // always matches by construction
+    EXPECT_EQ(rule.covers(pkt), expect) << "iter " << iter;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatchProperty,
+                         ::testing::Values(1, 2, 3, 42, 1337));
+
+}  // namespace
+}  // namespace hw::ofp

@@ -1,0 +1,516 @@
+// Simulator tests: event loop determinism, link models, wireless signal
+// model and the host's DHCP client state machine against a scripted server.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "net/dhcp.hpp"
+#include "net/packet.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/host.hpp"
+#include "sim/link.hpp"
+#include "sim/pcap.hpp"
+#include "sim/trace.hpp"
+#include "sim/wireless.hpp"
+
+namespace hw::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// EventLoop
+
+TEST(EventLoop, RunsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(300, [&] { order.push_back(3); });
+  loop.schedule_at(100, [&] { order.push_back(1); });
+  loop.schedule_at(200, [&] { order.push_back(2); });
+  loop.run_until(1000);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 1000u);
+}
+
+TEST(EventLoop, FifoAmongSameTimestamp) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    loop.schedule_at(50, [&, i] { order.push_back(i); });
+  }
+  loop.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoop, DeadlineStopsExecution) {
+  EventLoop loop;
+  int ran = 0;
+  loop.schedule_at(100, [&] { ++ran; });
+  loop.schedule_at(200, [&] { ++ran; });
+  loop.run_until(150);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(loop.now(), 150u);
+  loop.run_until(250);
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(EventLoop, CancelPreventsExecution) {
+  EventLoop loop;
+  int ran = 0;
+  auto id = loop.schedule_at(100, [&] { ++ran; });
+  loop.schedule_at(100, [&] { ++ran; });
+  loop.cancel(id);
+  loop.run_all();
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(EventLoop, EventsScheduledDuringRunExecute) {
+  EventLoop loop;
+  int depth2 = 0;
+  loop.schedule_at(10, [&] {
+    loop.schedule(5, [&] { ++depth2; });
+  });
+  loop.run_until(100);
+  EXPECT_EQ(depth2, 1);
+}
+
+TEST(EventLoop, PastSchedulingClampsToNow) {
+  EventLoop loop;
+  loop.run_until(500);
+  Timestamp fired_at = 0;
+  loop.schedule_at(100, [&] { fired_at = loop.now(); });
+  loop.run_until(600);
+  EXPECT_EQ(fired_at, 500u);
+}
+
+TEST(PeriodicTimer, FiresAtPeriodUntilStopped) {
+  EventLoop loop;
+  int fires = 0;
+  PeriodicTimer timer(loop, 100, [&] { ++fires; });
+  timer.start();
+  loop.run_until(1000);
+  EXPECT_EQ(fires, 10);
+  timer.stop();
+  loop.run_until(2000);
+  EXPECT_EQ(fires, 10);
+}
+
+TEST(PeriodicTimer, StopFromWithinCallback) {
+  EventLoop loop;
+  int fires = 0;
+  PeriodicTimer timer(loop, 10, [&] {
+    if (++fires == 3) {
+      // The timer is stopped from its own callback; no further fires.
+    }
+  });
+  timer.start();
+  loop.schedule_at(25, [&] { timer.stop(); });
+  loop.run_until(1000);
+  EXPECT_EQ(fires, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Links
+
+class Collector final : public FrameSink {
+ public:
+  void deliver(const Bytes& frame) override { frames.push_back(frame); }
+  std::vector<Bytes> frames;
+};
+
+TEST(Link, DeliversWithLatencyAndSerialization) {
+  EventLoop loop;
+  LinkChannel::Config config;
+  config.bandwidth_bps = 8'000'000;  // 1 byte/us
+  config.latency = 100;
+  LinkChannel link(loop, config);
+  Collector sink;
+  link.connect(&sink);
+
+  link.send(Bytes(500, 0));
+  loop.run_until(100 + 500 - 1);
+  EXPECT_TRUE(sink.frames.empty());
+  loop.run_until(100 + 500);
+  ASSERT_EQ(sink.frames.size(), 1u);
+}
+
+TEST(Link, FramesQueueBehindEachOther) {
+  EventLoop loop;
+  LinkChannel::Config config;
+  config.bandwidth_bps = 8'000'000;
+  config.latency = 0;
+  LinkChannel link(loop, config);
+  Collector sink;
+  link.connect(&sink);
+
+  link.send(Bytes(1000, 0));  // tx 1000us
+  link.send(Bytes(1000, 0));  // queued: arrives at 2000us
+  loop.run_until(1500);
+  EXPECT_EQ(sink.frames.size(), 1u);
+  loop.run_until(2000);
+  EXPECT_EQ(sink.frames.size(), 2u);
+}
+
+TEST(Link, QueueLimitTailDrops) {
+  EventLoop loop;
+  LinkChannel::Config config;
+  config.queue_limit = 2;
+  LinkChannel link(loop, config);
+  Collector sink;
+  link.connect(&sink);
+  EXPECT_TRUE(link.send(Bytes(100, 0)));
+  EXPECT_TRUE(link.send(Bytes(100, 0)));
+  EXPECT_FALSE(link.send(Bytes(100, 0)));  // dropped
+  EXPECT_EQ(link.stats().dropped_frames, 1u);
+  loop.run_all();
+  EXPECT_EQ(sink.frames.size(), 2u);
+}
+
+TEST(Link, LossProbabilityDrops) {
+  EventLoop loop;
+  Rng rng(11);
+  LinkChannel::Config config;
+  config.loss_probability = 0.5;
+  config.queue_limit = 100000;  // isolate the loss model from tail drops
+  LinkChannel link(loop, config, &rng);
+  Collector sink;
+  link.connect(&sink);
+  for (int i = 0; i < 1000; ++i) link.send(Bytes(10, 0));
+  loop.run_all();
+  // Statistically ~500; allow a generous band.
+  EXPECT_GT(sink.frames.size(), 350u);
+  EXPECT_LT(sink.frames.size(), 650u);
+  EXPECT_EQ(sink.frames.size() + link.stats().dropped_frames, 1000u);
+}
+
+TEST(Link, NoSinkMeansNoDelivery) {
+  EventLoop loop;
+  LinkChannel link(loop, {});
+  EXPECT_FALSE(link.send(Bytes(10, 0)));
+}
+
+// ---------------------------------------------------------------------------
+// Wireless model
+
+TEST(Wireless, RssiFallsWithDistance) {
+  WirelessConfig cfg;
+  const double near = path_loss_rssi(cfg, 1);
+  const double mid = path_loss_rssi(cfg, 10);
+  const double far = path_loss_rssi(cfg, 30);
+  EXPECT_GT(near, mid);
+  EXPECT_GT(mid, far);
+}
+
+TEST(Wireless, RetryProbabilityRisesAsSignalDegrades) {
+  WirelessConfig cfg;
+  const double strong = retry_probability(cfg, -40);
+  const double weak = retry_probability(cfg, -85);
+  EXPECT_LT(strong, 0.05);
+  EXPECT_GT(weak, 0.5);
+  EXPECT_LE(weak, 0.9);
+}
+
+TEST(Wireless, QualityNormalization) {
+  EXPECT_DOUBLE_EQ(rssi_quality(-90), 0.0);
+  EXPECT_DOUBLE_EQ(rssi_quality(-30), 1.0);
+  EXPECT_NEAR(rssi_quality(-60), 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(rssi_quality(-120), 0.0);  // clamped
+}
+
+TEST(Wireless, SampleClampedAtNoiseFloor) {
+  WirelessConfig cfg;
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_GE(sample_rssi(cfg, 1000, rng), cfg.noise_floor_dbm);
+  }
+}
+
+TEST(Wireless, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Host DHCP client against a scripted server
+
+/// Minimal scripted DHCP server living directly on the host's uplink.
+class ScriptedDhcpServer final : public FrameSink {
+ public:
+  ScriptedDhcpServer(EventLoop& loop, Host& client) : loop_(loop), client_(client) {}
+
+  bool offer_enabled = true;
+  bool ack_enabled = true;
+  bool nak_requests = false;
+  int discovers_seen = 0;
+  int requests_seen = 0;
+
+  void deliver(const Bytes& frame) override {
+    auto p = net::ParsedPacket::parse(frame);
+    if (!p.ok() || !p.value().is_dhcp()) return;
+    auto msg = net::DhcpMessage::parse(p.value().l4_payload);
+    if (!msg.ok()) return;
+    const auto& m = msg.value();
+
+    if (m.message_type == net::DhcpMessageType::Discover) {
+      ++discovers_seen;
+      if (!offer_enabled) return;
+      reply(m, net::DhcpMessageType::Offer);
+    } else if (m.message_type == net::DhcpMessageType::Request) {
+      ++requests_seen;
+      if (nak_requests) {
+        reply(m, net::DhcpMessageType::Nak);
+      } else if (ack_enabled) {
+        reply(m, net::DhcpMessageType::Ack);
+      }
+    }
+  }
+
+ private:
+  void reply(const net::DhcpMessage& req, net::DhcpMessageType type) {
+    net::DhcpMessage resp;
+    resp.is_request = false;
+    resp.xid = req.xid;
+    resp.chaddr = req.chaddr;
+    resp.message_type = type;
+    resp.server_identifier = Ipv4Address{192, 168, 1, 1};
+    if (type != net::DhcpMessageType::Nak) {
+      resp.yiaddr = Ipv4Address{192, 168, 1, 50};
+      resp.lease_time_secs = 600;
+      resp.router = Ipv4Address{192, 168, 1, 1};
+      resp.dns_servers = {Ipv4Address{192, 168, 1, 1}};
+      resp.subnet_mask = Ipv4Address{0xffffffffu};
+    }
+    const Bytes frame = net::build_dhcp_frame(
+        MacAddress::from_index(0xff), req.chaddr, Ipv4Address{192, 168, 1, 1},
+        Ipv4Address::broadcast(), false, resp.serialize());
+    loop_.schedule(100, [this, frame] { client_.deliver(frame); });
+  }
+
+  EventLoop& loop_;
+  Host& client_;
+};
+
+struct HostFixture : ::testing::Test {
+  HostFixture() : rng(1), host(loop,
+             {.name = "dev", .mac = MacAddress::from_index(9), .hostname = ""},
+             rng) {
+    uplink = std::make_unique<LinkChannel>(loop, LinkChannel::Config{});
+    server = std::make_unique<ScriptedDhcpServer>(loop, host);
+    uplink->connect(server.get());
+    host.attach_uplink(uplink.get());
+  }
+
+  EventLoop loop;
+  Rng rng;
+  Host host;
+  std::unique_ptr<LinkChannel> uplink;
+  std::unique_ptr<ScriptedDhcpServer> server;
+};
+
+TEST_F(HostFixture, FullAcquisitionSequence) {
+  EXPECT_EQ(host.dhcp_state(), DhcpClientState::Init);
+  int bound_count = 0;
+  host.on_bound([&] { ++bound_count; });
+  host.start_dhcp();
+  loop.run_for(kSecond);
+  EXPECT_EQ(host.dhcp_state(), DhcpClientState::Bound);
+  ASSERT_TRUE(host.ip().has_value());
+  EXPECT_EQ(host.ip()->to_string(), "192.168.1.50");
+  EXPECT_EQ(host.gateway()->to_string(), "192.168.1.1");
+  EXPECT_EQ(host.dns_server()->to_string(), "192.168.1.1");
+  EXPECT_EQ(bound_count, 1);
+  EXPECT_EQ(server->discovers_seen, 1);
+  EXPECT_EQ(server->requests_seen, 1);
+}
+
+TEST_F(HostFixture, RetransmitsDiscoverWhenUnanswered) {
+  server->offer_enabled = false;
+  host.start_dhcp();
+  loop.run_for(7 * kSecond);
+  // Initial + retries every 2s, capped by dhcp_max_retries (4).
+  EXPECT_GE(server->discovers_seen, 3);
+  EXPECT_EQ(host.dhcp_state(), DhcpClientState::Selecting);
+  EXPECT_FALSE(host.ip().has_value());
+}
+
+TEST_F(HostFixture, GivesUpAfterMaxRetries) {
+  server->offer_enabled = false;
+  host.start_dhcp();
+  loop.run_for(30 * kSecond);
+  EXPECT_EQ(host.dhcp_state(), DhcpClientState::Init);
+  EXPECT_EQ(server->discovers_seen, 5);  // initial + 4 retries
+}
+
+TEST_F(HostFixture, NakReturnsToInit) {
+  server->nak_requests = true;
+  int naks = 0;
+  host.on_nak([&] { ++naks; });
+  host.start_dhcp();
+  loop.run_for(kSecond);
+  EXPECT_EQ(naks, 1);
+  EXPECT_EQ(host.dhcp_state(), DhcpClientState::Init);
+  EXPECT_FALSE(host.ip().has_value());
+  EXPECT_EQ(host.stats().dhcp_naks, 1u);
+}
+
+TEST_F(HostFixture, RenewsAtHalfLease) {
+  host.start_dhcp();
+  loop.run_for(kSecond);
+  ASSERT_TRUE(host.ip().has_value());
+  const int requests_before = server->requests_seen;
+  // Lease is 600s; renewal at T1=300s.
+  loop.run_for(301 * kSecond);
+  EXPECT_GT(server->requests_seen, requests_before);
+  EXPECT_EQ(host.dhcp_state(), DhcpClientState::Bound);
+}
+
+TEST_F(HostFixture, ReleaseClearsState) {
+  host.start_dhcp();
+  loop.run_for(kSecond);
+  ASSERT_TRUE(host.ip().has_value());
+  host.release_dhcp();
+  EXPECT_EQ(host.dhcp_state(), DhcpClientState::Init);
+  EXPECT_FALSE(host.ip().has_value());
+}
+
+TEST_F(HostFixture, IgnoresRepliesWithWrongXid) {
+  host.start_dhcp();
+  // Inject a forged OFFER with a wrong xid before the real one arrives.
+  net::DhcpMessage forged;
+  forged.is_request = false;
+  forged.xid = 0xbadbad;
+  forged.chaddr = host.mac();
+  forged.message_type = net::DhcpMessageType::Offer;
+  forged.yiaddr = Ipv4Address{10, 66, 66, 66};
+  forged.server_identifier = Ipv4Address{10, 6, 6, 6};
+  host.deliver(net::build_dhcp_frame(MacAddress::from_index(0xee), host.mac(),
+                                     Ipv4Address{10, 6, 6, 6},
+                                     Ipv4Address::broadcast(), false,
+                                     forged.serialize()));
+  loop.run_for(kSecond);
+  // Bound via the legitimate exchange, not the forgery.
+  EXPECT_EQ(host.ip()->to_string(), "192.168.1.50");
+}
+
+TEST_F(HostFixture, DnsTimeoutFailsClosed) {
+  host.start_dhcp();
+  loop.run_for(kSecond);
+  ASSERT_TRUE(host.ip().has_value());
+  // The scripted server answers DHCP only; DNS queries vanish → the stub
+  // resolver times out after 3 s and reports the failure.
+  std::string error;
+  bool done = false;
+  host.resolve("unanswered.example",
+               [&](Result<Ipv4Address> r, const std::string&) {
+                 done = true;
+                 if (!r.ok()) error = r.error().message;
+               });
+  loop.run_for(4 * kSecond);
+  EXPECT_TRUE(done);
+  EXPECT_NE(error.find("timeout"), std::string::npos);
+  EXPECT_EQ(host.stats().dns_failures, 1u);
+}
+
+TEST_F(HostFixture, ResolveWithoutBindingFailsImmediately) {
+  bool done = false;
+  host.resolve("x.test", [&](Result<Ipv4Address> r, const std::string&) {
+    done = true;
+    EXPECT_FALSE(r.ok());
+  });
+  EXPECT_TRUE(done);
+}
+
+TEST_F(HostFixture, SendRequiresBinding) {
+  EXPECT_FALSE(host.send_udp(Ipv4Address{1, 2, 3, 4}, 1, 2, 10));
+  host.start_dhcp();
+  loop.run_for(kSecond);
+  EXPECT_TRUE(host.send_udp(Ipv4Address{1, 2, 3, 4}, 1, 2, 10));
+}
+
+// ---------------------------------------------------------------------------
+// pcap export
+
+TEST(Pcap, RoundTripThroughBytes) {
+  Trace trace;
+  const Bytes f1 = net::build_udp(MacAddress::from_index(1),
+                                  MacAddress::from_index(2),
+                                  Ipv4Address{1, 1, 1, 1},
+                                  Ipv4Address{2, 2, 2, 2}, 10, 20, Bytes(40, 7));
+  const Bytes f2 = net::build_icmp_echo(MacAddress::from_index(3),
+                                        MacAddress::from_index(4),
+                                        Ipv4Address{3, 3, 3, 3},
+                                        Ipv4Address{4, 4, 4, 4},
+                                        net::IcmpType::EchoRequest, 1, 2);
+  trace.record(1'500'000, "uplink", f1);
+  trace.record(2'000'001, "uplink", f2);
+
+  const Bytes pcap = to_pcap(trace);
+  // Global header invariants: little-endian magic, v2.4, Ethernet link type.
+  ASSERT_GE(pcap.size(), 24u);
+  EXPECT_EQ(pcap[0], 0xd4);
+  EXPECT_EQ(pcap[1], 0xc3);
+  EXPECT_EQ(pcap[2], 0xb2);
+  EXPECT_EQ(pcap[3], 0xa1);
+  EXPECT_EQ(pcap[20], 1u);  // LINKTYPE_ETHERNET, LE byte 0
+
+  auto parsed = parse_pcap(pcap);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  ASSERT_EQ(parsed.value().size(), 2u);
+  EXPECT_EQ(parsed.value()[0].time, 1'500'000u);
+  EXPECT_EQ(parsed.value()[0].frame, f1);
+  EXPECT_EQ(parsed.value()[1].time, 2'000'001u);
+  EXPECT_EQ(parsed.value()[1].frame, f2);
+  // The payloads still dissect as packets.
+  EXPECT_TRUE(net::ParsedPacket::parse(parsed.value()[1].frame).ok());
+}
+
+TEST(Pcap, FileRoundTrip) {
+  Trace trace;
+  trace.record(42, "p", net::build_udp(MacAddress::from_index(1),
+                                       MacAddress::from_index(2),
+                                       Ipv4Address{1, 1, 1, 1},
+                                       Ipv4Address{2, 2, 2, 2}, 1, 2,
+                                       Bytes(10, 0)));
+  const std::string path = ::testing::TempDir() + "/hw_trace_test.pcap";
+  ASSERT_TRUE(write_pcap(trace, path).ok());
+  auto back = read_pcap(path);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back.value().size(), 1u);
+  EXPECT_EQ(back.value()[0].time, 42u);
+  std::remove(path.c_str());
+}
+
+TEST(Pcap, RejectsMalformed) {
+  EXPECT_FALSE(parse_pcap(Bytes{1, 2, 3}).ok());
+  Bytes bad_magic(24, 0);
+  EXPECT_FALSE(parse_pcap(bad_magic).ok());
+  // Truncated packet body.
+  Trace trace;
+  trace.record(0, "p", Bytes(64, 0));
+  Bytes pcap = to_pcap(trace);
+  pcap.resize(pcap.size() - 10);
+  EXPECT_FALSE(parse_pcap(pcap).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Trace
+
+TEST(Trace, RecordsAndFilters) {
+  Trace trace;
+  const Bytes frame = net::build_udp(MacAddress::from_index(1),
+                                     MacAddress::from_index(2),
+                                     Ipv4Address{1, 1, 1, 1},
+                                     Ipv4Address{2, 2, 2, 2}, 10, 20, Bytes(4, 0));
+  trace.record(100, "p1", frame);
+  trace.record(200, "p2", frame);
+  trace.record(300, "p1", Bytes{1, 2});  // unparseable
+  EXPECT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.count_if([](const net::ParsedPacket& p) {
+              return p.udp && p.udp->dst_port == 20;
+            }),
+            2u);
+  EXPECT_EQ(trace.parsed_at("p1").size(), 1u);
+  trace.clear();
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+}  // namespace
+}  // namespace hw::sim

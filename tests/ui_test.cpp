@@ -1,0 +1,265 @@
+// The four interface backends (Figures 1-4) as pure clients of hwdb and the
+// control API.
+#include "router_fixture.hpp"
+#include "ui/artifact.hpp"
+#include "ui/bandwidth_monitor.hpp"
+#include "ui/control_board.hpp"
+#include "ui/policy_editor.hpp"
+
+namespace hw::ui {
+namespace {
+
+using homework::testing::RouterFixture;
+
+// ---------------------------------------------------------------------------
+// Figure 1: bandwidth monitor
+
+struct BandwidthFixture : RouterFixture {
+  static homework::HomeworkRouter::Config config() {
+    auto c = default_config();
+    c.admission = homework::DeviceRegistry::AdmissionDefault::PermitAll;
+    return c;
+  }
+  BandwidthFixture() : RouterFixture(config()) {}
+
+  void pump_traffic(sim::Host& host, Ipv4Address dst, std::uint16_t dport,
+                    int packets, std::size_t size = 500) {
+    for (int i = 0; i < packets; ++i) {
+      host.send_udp(dst, 5000, dport, size);
+      loop.run_for(100 * kMillisecond);
+    }
+  }
+
+  Ipv4Address resolve(sim::Host& host, const std::string& name) {
+    Ipv4Address out;
+    host.resolve(name, [&](Result<Ipv4Address> r, const std::string&) {
+      if (r.ok()) out = r.value();
+    });
+    loop.run_for(kSecond);
+    return out;
+  }
+};
+
+TEST_F(BandwidthFixture, PerDeviceRatesAndBreakdown) {
+  sim::Host& heavy = make_device("heavy");
+  sim::Host& light = make_device("light");
+  ASSERT_TRUE(bind(heavy).has_value());
+  ASSERT_TRUE(bind(light).has_value());
+  const auto dst = resolve(heavy, "www.example.com");
+
+  BandwidthMonitor monitor(router.db(), {.window_secs = 10, .refresh = kSecond});
+  monitor.set_label(heavy.mac().to_string(), "Tom's Mac Air");
+
+  pump_traffic(heavy, dst, 1935, 30, 900);  // streaming port
+  pump_traffic(light, dst, 9999, 5, 100);
+  loop.run_for(2 * kSecond);
+  monitor.refresh();
+
+  ASSERT_EQ(monitor.devices().size(), 2u);
+  // Sorted by rate: heavy first, with its friendly label.
+  EXPECT_EQ(monitor.devices()[0].label, "Tom's Mac Air");
+  EXPECT_GT(monitor.devices()[0].total_bytes_per_sec,
+            monitor.devices()[1].total_bytes_per_sec);
+
+  const auto breakdown = monitor.device_breakdown(heavy.mac().to_string());
+  ASSERT_FALSE(breakdown.empty());
+  EXPECT_EQ(breakdown[0].app, "streaming");
+  EXPECT_GT(monitor.total_bytes_per_sec(), 0.0);
+
+  const std::string screen = monitor.render();
+  EXPECT_NE(screen.find("Tom's Mac Air"), std::string::npos);
+  EXPECT_NE(screen.find("streaming"), std::string::npos);
+}
+
+TEST_F(BandwidthFixture, SubscriptionUpdatesAutomatically) {
+  sim::Host& host = make_device("laptop");
+  ASSERT_TRUE(bind(host).has_value());
+  const auto dst = resolve(host, "www.example.com");
+  BandwidthMonitor monitor(router.db(), {.window_secs = 5, .refresh = kSecond});
+  const auto updates_before = monitor.updates();
+  pump_traffic(host, dst, 80, 10);
+  loop.run_for(2 * kSecond);
+  EXPECT_GT(monitor.updates(), updates_before);
+  EXPECT_FALSE(monitor.devices().empty());
+}
+
+TEST_F(BandwidthFixture, QuietWindowShowsNothing) {
+  sim::Host& host = make_device("laptop");
+  ASSERT_TRUE(bind(host).has_value());
+  const auto dst = resolve(host, "www.example.com");
+  BandwidthMonitor monitor(router.db(), {.window_secs = 5, .refresh = kSecond});
+  pump_traffic(host, dst, 80, 10);
+  loop.run_for(30 * kSecond);  // traffic ages out of the 5s window
+  monitor.refresh();
+  EXPECT_TRUE(monitor.devices().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2: artifact
+
+struct ArtifactFixture : BandwidthFixture {};
+
+TEST_F(ArtifactFixture, Mode1LedCountTracksRssi) {
+  sim::Host& walker = make_device("artifact", sim::Position{5, 5});
+  ASSERT_TRUE(bind(walker).has_value());
+  NetworkArtifact artifact(router.db(),
+                           {.led_count = 12, .own_mac = walker.mac().to_string()});
+  artifact.set_mode(ArtifactMode::SignalStrength);
+
+  auto lit = [](const LedFrame& f) {
+    return std::count_if(f.begin(), f.end(),
+                         [](LedColor c) { return !(c == kLedOff); });
+  };
+
+  loop.run_for(3 * kSecond);
+  const auto near_lit = lit(artifact.render());
+  router.move_device(walker.mac(), sim::Position{55, 55});
+  loop.run_for(3 * kSecond);
+  const auto far_lit = lit(artifact.render());
+  EXPECT_GT(near_lit, far_lit);
+  EXPECT_GT(near_lit, 6);
+}
+
+TEST_F(ArtifactFixture, Mode1HelperMapping) {
+  NetworkArtifact artifact(router.db(), {.led_count = 10, .own_mac = "x"});
+  EXPECT_EQ(artifact.lit_count_for_rssi(-30), 10u);
+  EXPECT_EQ(artifact.lit_count_for_rssi(-90), 0u);
+  EXPECT_EQ(artifact.lit_count_for_rssi(-60), 5u);
+}
+
+TEST_F(ArtifactFixture, Mode2SpeedGrowsWithProportion) {
+  NetworkArtifact artifact(router.db(), {.led_count = 12, .own_mac = "x"});
+  EXPECT_LT(artifact.animation_speed(0.0), artifact.animation_speed(0.5));
+  EXPECT_LT(artifact.animation_speed(0.5), artifact.animation_speed(1.0));
+  EXPECT_DOUBLE_EQ(artifact.animation_speed(2.0), artifact.animation_speed(1.0));
+}
+
+TEST_F(ArtifactFixture, Mode3FlashesOnLeaseEvents) {
+  NetworkArtifact artifact(router.db(), {.led_count = 4, .own_mac = "x"});
+  artifact.set_mode(ArtifactMode::Events);
+  EXPECT_EQ(NetworkArtifact::to_string(artifact.render()), "....");
+
+  sim::Host& guest = make_device("guest");
+  ASSERT_TRUE(bind(guest).has_value());
+  loop.run_for(kSecond);
+  EXPECT_EQ(NetworkArtifact::to_string(artifact.render()), "GGGG");
+
+  // Drain the green flash, then release → blue.
+  artifact.render();
+  artifact.render();
+  guest.release_dhcp();
+  loop.run_for(kSecond);
+  EXPECT_EQ(NetworkArtifact::to_string(artifact.render()), "BBBB");
+}
+
+TEST_F(ArtifactFixture, Mode3RedOnRetryStorm) {
+  NetworkArtifact artifact(router.db(),
+                           {.led_count = 4, .own_mac = "x",
+                            .retry_flash_threshold = 0.01});
+  // A station at the edge of coverage sends a lot: retries accumulate.
+  sim::Host& attic = make_device("attic", sim::Position{70, 70});
+  ASSERT_TRUE(bind(attic).has_value());
+  const auto dst = resolve(attic, "www.example.com");
+  // Enter event mode after the join so its green flash is not queued.
+  artifact.set_mode(ArtifactMode::Events);
+  pump_traffic(attic, dst, 9999, 30, 200);
+  loop.run_for(2 * kSecond);
+  EXPECT_EQ(NetworkArtifact::to_string(artifact.render()), "RRRR");
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3: control board
+
+struct BoardFixture : RouterFixture {};
+
+TEST_F(BoardFixture, CategoriesTrackRegistry) {
+  sim::Host& pending = make_device("new-phone");
+  pending.start_dhcp();
+  loop.run_for(2 * kSecond);
+
+  DhcpControlBoard board(router.control_api());
+  board.refresh();
+  ASSERT_EQ(board.pending().size(), 1u);
+  EXPECT_TRUE(board.permitted().empty());
+  EXPECT_EQ(board.pending()[0].label, "new-phone");  // hostname fallback
+  EXPECT_GT(board.pending()[0].dhcp_requests, 0);
+
+  EXPECT_TRUE(board.drag_to_permitted(pending.mac().to_string()));
+  loop.run_for(5 * kSecond);
+  board.refresh();
+  EXPECT_TRUE(board.pending().empty());
+  ASSERT_EQ(board.permitted().size(), 1u);
+  EXPECT_FALSE(board.permitted()[0].ip.empty());
+
+  EXPECT_TRUE(board.drag_to_denied(pending.mac().to_string()));
+  ASSERT_EQ(board.denied().size(), 1u);
+}
+
+TEST_F(BoardFixture, MetadataLabelsApply) {
+  sim::Host& host = make_device("phone");
+  host.start_dhcp();
+  loop.run_for(2 * kSecond);
+  DhcpControlBoard board(router.control_api());
+  EXPECT_TRUE(board.set_label(host.mac().to_string(), "Kate's phone"));
+  ASSERT_EQ(board.pending().size(), 1u);
+  EXPECT_EQ(board.pending()[0].label, "Kate's phone");
+  const std::string rendered = board.render();
+  EXPECT_NE(rendered.find("Kate's phone"), std::string::npos);
+  EXPECT_NE(rendered.find("requesting access"), std::string::npos);
+}
+
+TEST_F(BoardFixture, BogusMacRejected) {
+  DhcpControlBoard board(router.control_api());
+  EXPECT_FALSE(board.drag_to_permitted("not-a-mac"));
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4: policy editor
+
+struct EditorFixture : RouterFixture {};
+
+TEST_F(EditorFixture, CompileMapsPanelsToDocument) {
+  PolicyEditor editor(router.control_api());
+  PolicyPanels panels;
+  panels.who_tags = {"kids"};
+  panels.limit_to_sites = true;
+  panels.sites = {"*.facebook.com"};
+  panels.days = {1, 2, 3};
+  panels.start_minute = 900;
+  panels.end_minute = 1200;
+  panels.key_unlocks = true;
+  panels.unlock_token = "tok";
+  const auto doc = editor.compile("p1", panels);
+  EXPECT_EQ(doc.id, "p1");
+  EXPECT_EQ(doc.who.tags, panels.who_tags);
+  EXPECT_EQ(doc.sites.kind, policy::SiteRuleKind::AllowOnly);
+  EXPECT_EQ(doc.when.days, panels.days);
+  EXPECT_EQ(doc.unlock, policy::UnlockEffect::LiftAll);
+}
+
+TEST_F(EditorFixture, SubmitAndRetractThroughApi) {
+  PolicyEditor editor(router.control_api());
+  const auto doc = editor.kids_facebook_weekdays_example();
+  EXPECT_TRUE(editor.submit(doc));
+  EXPECT_EQ(router.policy().policies().size(), 1u);
+  EXPECT_TRUE(editor.retract(doc.id));
+  EXPECT_TRUE(router.policy().policies().empty());
+  EXPECT_FALSE(editor.retract("never-existed"));
+}
+
+TEST_F(EditorFixture, KeyImagesHaveExpectedLayout) {
+  const auto unlock = PolicyEditor::make_unlock_key("parent-key");
+  EXPECT_NE(unlock.read_file("homework/token"), nullptr);
+
+  PolicyEditor editor(router.control_api());
+  const auto doc = editor.kids_facebook_weekdays_example();
+  const auto key = PolicyEditor::make_policy_key("parent-key", {doc});
+  auto parsed = policy::parse_policy_key(key);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().token, "parent-key");
+  ASSERT_EQ(parsed.value().policies.size(), 1u);
+  EXPECT_EQ(parsed.value().policies[0].id, doc.id);
+}
+
+}  // namespace
+}  // namespace hw::ui
