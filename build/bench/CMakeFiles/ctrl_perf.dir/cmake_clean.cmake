@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctrl_perf.dir/ctrl_perf.cpp.o"
+  "CMakeFiles/ctrl_perf.dir/ctrl_perf.cpp.o.d"
+  "ctrl_perf"
+  "ctrl_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctrl_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_artifact.dir/fig2_artifact.cpp.o"
+  "CMakeFiles/fig2_artifact.dir/fig2_artifact.cpp.o.d"
+  "fig2_artifact"
+  "fig2_artifact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_artifact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_control.dir/fig3_control.cpp.o"
+  "CMakeFiles/fig3_control.dir/fig3_control.cpp.o.d"
+  "fig3_control"
+  "fig3_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

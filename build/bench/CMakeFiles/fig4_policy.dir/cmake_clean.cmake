@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_policy.dir/fig4_policy.cpp.o"
+  "CMakeFiles/fig4_policy.dir/fig4_policy.cpp.o.d"
+  "fig4_policy"
+  "fig4_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_router.dir/fig5_router.cpp.o"
+  "CMakeFiles/fig5_router.dir/fig5_router.cpp.o.d"
+  "fig5_router"
+  "fig5_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwdb_perf.dir/hwdb_perf.cpp.o"
+  "CMakeFiles/hwdb_perf.dir/hwdb_perf.cpp.o.d"
+  "hwdb_perf"
+  "hwdb_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwdb_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ofp_perf.dir/ofp_perf.cpp.o"
+  "CMakeFiles/ofp_perf.dir/ofp_perf.cpp.o.d"
+  "ofp_perf"
+  "ofp_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ofp_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bandwidth_view.dir/bandwidth_view.cpp.o"
+  "CMakeFiles/bandwidth_view.dir/bandwidth_view.cpp.o.d"
+  "bandwidth_view"
+  "bandwidth_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bandwidth_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_admission.dir/device_admission.cpp.o"
+  "CMakeFiles/device_admission.dir/device_admission.cpp.o.d"
+  "device_admission"
+  "device_admission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_artifact.dir/network_artifact.cpp.o"
+  "CMakeFiles/network_artifact.dir/network_artifact.cpp.o.d"
+  "network_artifact"
+  "network_artifact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_artifact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

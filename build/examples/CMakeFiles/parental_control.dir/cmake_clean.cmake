@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parental_control.dir/parental_control.cpp.o"
+  "CMakeFiles/parental_control.dir/parental_control.cpp.o.d"
+  "parental_control"
+  "parental_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parental_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

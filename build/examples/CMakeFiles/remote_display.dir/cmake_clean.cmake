@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_display.dir/remote_display.cpp.o"
+  "CMakeFiles/remote_display.dir/remote_display.cpp.o.d"
+  "remote_display"
+  "remote_display.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_display.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

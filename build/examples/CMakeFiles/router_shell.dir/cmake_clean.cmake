@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/router_shell.dir/router_shell.cpp.o"
+  "CMakeFiles/router_shell.dir/router_shell.cpp.o.d"
+  "router_shell"
+  "router_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/router_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/homework/control_api.cpp" "src/homework/CMakeFiles/hw_homework.dir/control_api.cpp.o" "gcc" "src/homework/CMakeFiles/hw_homework.dir/control_api.cpp.o.d"
+  "/root/repo/src/homework/device_registry.cpp" "src/homework/CMakeFiles/hw_homework.dir/device_registry.cpp.o" "gcc" "src/homework/CMakeFiles/hw_homework.dir/device_registry.cpp.o.d"
+  "/root/repo/src/homework/dhcp_server.cpp" "src/homework/CMakeFiles/hw_homework.dir/dhcp_server.cpp.o" "gcc" "src/homework/CMakeFiles/hw_homework.dir/dhcp_server.cpp.o.d"
+  "/root/repo/src/homework/dns_proxy.cpp" "src/homework/CMakeFiles/hw_homework.dir/dns_proxy.cpp.o" "gcc" "src/homework/CMakeFiles/hw_homework.dir/dns_proxy.cpp.o.d"
+  "/root/repo/src/homework/event_export.cpp" "src/homework/CMakeFiles/hw_homework.dir/event_export.cpp.o" "gcc" "src/homework/CMakeFiles/hw_homework.dir/event_export.cpp.o.d"
+  "/root/repo/src/homework/forwarding.cpp" "src/homework/CMakeFiles/hw_homework.dir/forwarding.cpp.o" "gcc" "src/homework/CMakeFiles/hw_homework.dir/forwarding.cpp.o.d"
+  "/root/repo/src/homework/http.cpp" "src/homework/CMakeFiles/hw_homework.dir/http.cpp.o" "gcc" "src/homework/CMakeFiles/hw_homework.dir/http.cpp.o.d"
+  "/root/repo/src/homework/router.cpp" "src/homework/CMakeFiles/hw_homework.dir/router.cpp.o" "gcc" "src/homework/CMakeFiles/hw_homework.dir/router.cpp.o.d"
+  "/root/repo/src/homework/upstream.cpp" "src/homework/CMakeFiles/hw_homework.dir/upstream.cpp.o" "gcc" "src/homework/CMakeFiles/hw_homework.dir/upstream.cpp.o.d"
+  "/root/repo/src/homework/wireless_map.cpp" "src/homework/CMakeFiles/hw_homework.dir/wireless_map.cpp.o" "gcc" "src/homework/CMakeFiles/hw_homework.dir/wireless_map.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nox/CMakeFiles/hw_nox.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwdb/CMakeFiles/hw_hwdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/hw_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/openflow/CMakeFiles/hw_ofp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

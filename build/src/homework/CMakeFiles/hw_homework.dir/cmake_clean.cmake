@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_homework.dir/control_api.cpp.o"
+  "CMakeFiles/hw_homework.dir/control_api.cpp.o.d"
+  "CMakeFiles/hw_homework.dir/device_registry.cpp.o"
+  "CMakeFiles/hw_homework.dir/device_registry.cpp.o.d"
+  "CMakeFiles/hw_homework.dir/dhcp_server.cpp.o"
+  "CMakeFiles/hw_homework.dir/dhcp_server.cpp.o.d"
+  "CMakeFiles/hw_homework.dir/dns_proxy.cpp.o"
+  "CMakeFiles/hw_homework.dir/dns_proxy.cpp.o.d"
+  "CMakeFiles/hw_homework.dir/event_export.cpp.o"
+  "CMakeFiles/hw_homework.dir/event_export.cpp.o.d"
+  "CMakeFiles/hw_homework.dir/forwarding.cpp.o"
+  "CMakeFiles/hw_homework.dir/forwarding.cpp.o.d"
+  "CMakeFiles/hw_homework.dir/http.cpp.o"
+  "CMakeFiles/hw_homework.dir/http.cpp.o.d"
+  "CMakeFiles/hw_homework.dir/router.cpp.o"
+  "CMakeFiles/hw_homework.dir/router.cpp.o.d"
+  "CMakeFiles/hw_homework.dir/upstream.cpp.o"
+  "CMakeFiles/hw_homework.dir/upstream.cpp.o.d"
+  "CMakeFiles/hw_homework.dir/wireless_map.cpp.o"
+  "CMakeFiles/hw_homework.dir/wireless_map.cpp.o.d"
+  "libhw_homework.a"
+  "libhw_homework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_homework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hwdb/cql_parser.cpp" "src/hwdb/CMakeFiles/hw_hwdb.dir/cql_parser.cpp.o" "gcc" "src/hwdb/CMakeFiles/hw_hwdb.dir/cql_parser.cpp.o.d"
+  "/root/repo/src/hwdb/database.cpp" "src/hwdb/CMakeFiles/hw_hwdb.dir/database.cpp.o" "gcc" "src/hwdb/CMakeFiles/hw_hwdb.dir/database.cpp.o.d"
+  "/root/repo/src/hwdb/executor.cpp" "src/hwdb/CMakeFiles/hw_hwdb.dir/executor.cpp.o" "gcc" "src/hwdb/CMakeFiles/hw_hwdb.dir/executor.cpp.o.d"
+  "/root/repo/src/hwdb/persist.cpp" "src/hwdb/CMakeFiles/hw_hwdb.dir/persist.cpp.o" "gcc" "src/hwdb/CMakeFiles/hw_hwdb.dir/persist.cpp.o.d"
+  "/root/repo/src/hwdb/rpc_client.cpp" "src/hwdb/CMakeFiles/hw_hwdb.dir/rpc_client.cpp.o" "gcc" "src/hwdb/CMakeFiles/hw_hwdb.dir/rpc_client.cpp.o.d"
+  "/root/repo/src/hwdb/rpc_codec.cpp" "src/hwdb/CMakeFiles/hw_hwdb.dir/rpc_codec.cpp.o" "gcc" "src/hwdb/CMakeFiles/hw_hwdb.dir/rpc_codec.cpp.o.d"
+  "/root/repo/src/hwdb/rpc_server.cpp" "src/hwdb/CMakeFiles/hw_hwdb.dir/rpc_server.cpp.o" "gcc" "src/hwdb/CMakeFiles/hw_hwdb.dir/rpc_server.cpp.o.d"
+  "/root/repo/src/hwdb/table.cpp" "src/hwdb/CMakeFiles/hw_hwdb.dir/table.cpp.o" "gcc" "src/hwdb/CMakeFiles/hw_hwdb.dir/table.cpp.o.d"
+  "/root/repo/src/hwdb/udp_transport.cpp" "src/hwdb/CMakeFiles/hw_hwdb.dir/udp_transport.cpp.o" "gcc" "src/hwdb/CMakeFiles/hw_hwdb.dir/udp_transport.cpp.o.d"
+  "/root/repo/src/hwdb/value.cpp" "src/hwdb/CMakeFiles/hw_hwdb.dir/value.cpp.o" "gcc" "src/hwdb/CMakeFiles/hw_hwdb.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hw_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

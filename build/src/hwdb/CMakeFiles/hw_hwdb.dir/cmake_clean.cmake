@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_hwdb.dir/cql_parser.cpp.o"
+  "CMakeFiles/hw_hwdb.dir/cql_parser.cpp.o.d"
+  "CMakeFiles/hw_hwdb.dir/database.cpp.o"
+  "CMakeFiles/hw_hwdb.dir/database.cpp.o.d"
+  "CMakeFiles/hw_hwdb.dir/executor.cpp.o"
+  "CMakeFiles/hw_hwdb.dir/executor.cpp.o.d"
+  "CMakeFiles/hw_hwdb.dir/persist.cpp.o"
+  "CMakeFiles/hw_hwdb.dir/persist.cpp.o.d"
+  "CMakeFiles/hw_hwdb.dir/rpc_client.cpp.o"
+  "CMakeFiles/hw_hwdb.dir/rpc_client.cpp.o.d"
+  "CMakeFiles/hw_hwdb.dir/rpc_codec.cpp.o"
+  "CMakeFiles/hw_hwdb.dir/rpc_codec.cpp.o.d"
+  "CMakeFiles/hw_hwdb.dir/rpc_server.cpp.o"
+  "CMakeFiles/hw_hwdb.dir/rpc_server.cpp.o.d"
+  "CMakeFiles/hw_hwdb.dir/table.cpp.o"
+  "CMakeFiles/hw_hwdb.dir/table.cpp.o.d"
+  "CMakeFiles/hw_hwdb.dir/udp_transport.cpp.o"
+  "CMakeFiles/hw_hwdb.dir/udp_transport.cpp.o.d"
+  "CMakeFiles/hw_hwdb.dir/value.cpp.o"
+  "CMakeFiles/hw_hwdb.dir/value.cpp.o.d"
+  "libhw_hwdb.a"
+  "libhw_hwdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_hwdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/app_map.cpp" "src/net/CMakeFiles/hw_net.dir/app_map.cpp.o" "gcc" "src/net/CMakeFiles/hw_net.dir/app_map.cpp.o.d"
+  "/root/repo/src/net/arp.cpp" "src/net/CMakeFiles/hw_net.dir/arp.cpp.o" "gcc" "src/net/CMakeFiles/hw_net.dir/arp.cpp.o.d"
+  "/root/repo/src/net/checksum.cpp" "src/net/CMakeFiles/hw_net.dir/checksum.cpp.o" "gcc" "src/net/CMakeFiles/hw_net.dir/checksum.cpp.o.d"
+  "/root/repo/src/net/dhcp.cpp" "src/net/CMakeFiles/hw_net.dir/dhcp.cpp.o" "gcc" "src/net/CMakeFiles/hw_net.dir/dhcp.cpp.o.d"
+  "/root/repo/src/net/dns.cpp" "src/net/CMakeFiles/hw_net.dir/dns.cpp.o" "gcc" "src/net/CMakeFiles/hw_net.dir/dns.cpp.o.d"
+  "/root/repo/src/net/ethernet.cpp" "src/net/CMakeFiles/hw_net.dir/ethernet.cpp.o" "gcc" "src/net/CMakeFiles/hw_net.dir/ethernet.cpp.o.d"
+  "/root/repo/src/net/icmp.cpp" "src/net/CMakeFiles/hw_net.dir/icmp.cpp.o" "gcc" "src/net/CMakeFiles/hw_net.dir/icmp.cpp.o.d"
+  "/root/repo/src/net/ipv4.cpp" "src/net/CMakeFiles/hw_net.dir/ipv4.cpp.o" "gcc" "src/net/CMakeFiles/hw_net.dir/ipv4.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/net/CMakeFiles/hw_net.dir/packet.cpp.o" "gcc" "src/net/CMakeFiles/hw_net.dir/packet.cpp.o.d"
+  "/root/repo/src/net/tcp.cpp" "src/net/CMakeFiles/hw_net.dir/tcp.cpp.o" "gcc" "src/net/CMakeFiles/hw_net.dir/tcp.cpp.o.d"
+  "/root/repo/src/net/udp.cpp" "src/net/CMakeFiles/hw_net.dir/udp.cpp.o" "gcc" "src/net/CMakeFiles/hw_net.dir/udp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_net.dir/app_map.cpp.o"
+  "CMakeFiles/hw_net.dir/app_map.cpp.o.d"
+  "CMakeFiles/hw_net.dir/arp.cpp.o"
+  "CMakeFiles/hw_net.dir/arp.cpp.o.d"
+  "CMakeFiles/hw_net.dir/checksum.cpp.o"
+  "CMakeFiles/hw_net.dir/checksum.cpp.o.d"
+  "CMakeFiles/hw_net.dir/dhcp.cpp.o"
+  "CMakeFiles/hw_net.dir/dhcp.cpp.o.d"
+  "CMakeFiles/hw_net.dir/dns.cpp.o"
+  "CMakeFiles/hw_net.dir/dns.cpp.o.d"
+  "CMakeFiles/hw_net.dir/ethernet.cpp.o"
+  "CMakeFiles/hw_net.dir/ethernet.cpp.o.d"
+  "CMakeFiles/hw_net.dir/icmp.cpp.o"
+  "CMakeFiles/hw_net.dir/icmp.cpp.o.d"
+  "CMakeFiles/hw_net.dir/ipv4.cpp.o"
+  "CMakeFiles/hw_net.dir/ipv4.cpp.o.d"
+  "CMakeFiles/hw_net.dir/packet.cpp.o"
+  "CMakeFiles/hw_net.dir/packet.cpp.o.d"
+  "CMakeFiles/hw_net.dir/tcp.cpp.o"
+  "CMakeFiles/hw_net.dir/tcp.cpp.o.d"
+  "CMakeFiles/hw_net.dir/udp.cpp.o"
+  "CMakeFiles/hw_net.dir/udp.cpp.o.d"
+  "libhw_net.a"
+  "libhw_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nox/component.cpp" "src/nox/CMakeFiles/hw_nox.dir/component.cpp.o" "gcc" "src/nox/CMakeFiles/hw_nox.dir/component.cpp.o.d"
+  "/root/repo/src/nox/controller.cpp" "src/nox/CMakeFiles/hw_nox.dir/controller.cpp.o" "gcc" "src/nox/CMakeFiles/hw_nox.dir/controller.cpp.o.d"
+  "/root/repo/src/nox/liveness.cpp" "src/nox/CMakeFiles/hw_nox.dir/liveness.cpp.o" "gcc" "src/nox/CMakeFiles/hw_nox.dir/liveness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/openflow/CMakeFiles/hw_ofp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_nox.dir/component.cpp.o"
+  "CMakeFiles/hw_nox.dir/component.cpp.o.d"
+  "CMakeFiles/hw_nox.dir/controller.cpp.o"
+  "CMakeFiles/hw_nox.dir/controller.cpp.o.d"
+  "CMakeFiles/hw_nox.dir/liveness.cpp.o"
+  "CMakeFiles/hw_nox.dir/liveness.cpp.o.d"
+  "libhw_nox.a"
+  "libhw_nox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_nox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

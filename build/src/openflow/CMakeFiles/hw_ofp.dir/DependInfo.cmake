@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/openflow/actions.cpp" "src/openflow/CMakeFiles/hw_ofp.dir/actions.cpp.o" "gcc" "src/openflow/CMakeFiles/hw_ofp.dir/actions.cpp.o.d"
+  "/root/repo/src/openflow/channel.cpp" "src/openflow/CMakeFiles/hw_ofp.dir/channel.cpp.o" "gcc" "src/openflow/CMakeFiles/hw_ofp.dir/channel.cpp.o.d"
+  "/root/repo/src/openflow/datapath.cpp" "src/openflow/CMakeFiles/hw_ofp.dir/datapath.cpp.o" "gcc" "src/openflow/CMakeFiles/hw_ofp.dir/datapath.cpp.o.d"
+  "/root/repo/src/openflow/flow_table.cpp" "src/openflow/CMakeFiles/hw_ofp.dir/flow_table.cpp.o" "gcc" "src/openflow/CMakeFiles/hw_ofp.dir/flow_table.cpp.o.d"
+  "/root/repo/src/openflow/match.cpp" "src/openflow/CMakeFiles/hw_ofp.dir/match.cpp.o" "gcc" "src/openflow/CMakeFiles/hw_ofp.dir/match.cpp.o.d"
+  "/root/repo/src/openflow/messages.cpp" "src/openflow/CMakeFiles/hw_ofp.dir/messages.cpp.o" "gcc" "src/openflow/CMakeFiles/hw_ofp.dir/messages.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

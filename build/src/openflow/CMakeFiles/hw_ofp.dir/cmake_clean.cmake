@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_ofp.dir/actions.cpp.o"
+  "CMakeFiles/hw_ofp.dir/actions.cpp.o.d"
+  "CMakeFiles/hw_ofp.dir/channel.cpp.o"
+  "CMakeFiles/hw_ofp.dir/channel.cpp.o.d"
+  "CMakeFiles/hw_ofp.dir/datapath.cpp.o"
+  "CMakeFiles/hw_ofp.dir/datapath.cpp.o.d"
+  "CMakeFiles/hw_ofp.dir/flow_table.cpp.o"
+  "CMakeFiles/hw_ofp.dir/flow_table.cpp.o.d"
+  "CMakeFiles/hw_ofp.dir/match.cpp.o"
+  "CMakeFiles/hw_ofp.dir/match.cpp.o.d"
+  "CMakeFiles/hw_ofp.dir/messages.cpp.o"
+  "CMakeFiles/hw_ofp.dir/messages.cpp.o.d"
+  "libhw_ofp.a"
+  "libhw_ofp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_ofp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/compiler.cpp" "src/policy/CMakeFiles/hw_policy.dir/compiler.cpp.o" "gcc" "src/policy/CMakeFiles/hw_policy.dir/compiler.cpp.o.d"
+  "/root/repo/src/policy/engine.cpp" "src/policy/CMakeFiles/hw_policy.dir/engine.cpp.o" "gcc" "src/policy/CMakeFiles/hw_policy.dir/engine.cpp.o.d"
+  "/root/repo/src/policy/policy.cpp" "src/policy/CMakeFiles/hw_policy.dir/policy.cpp.o" "gcc" "src/policy/CMakeFiles/hw_policy.dir/policy.cpp.o.d"
+  "/root/repo/src/policy/usb.cpp" "src/policy/CMakeFiles/hw_policy.dir/usb.cpp.o" "gcc" "src/policy/CMakeFiles/hw_policy.dir/usb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

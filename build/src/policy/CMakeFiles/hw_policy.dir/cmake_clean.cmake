@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_policy.dir/compiler.cpp.o"
+  "CMakeFiles/hw_policy.dir/compiler.cpp.o.d"
+  "CMakeFiles/hw_policy.dir/engine.cpp.o"
+  "CMakeFiles/hw_policy.dir/engine.cpp.o.d"
+  "CMakeFiles/hw_policy.dir/policy.cpp.o"
+  "CMakeFiles/hw_policy.dir/policy.cpp.o.d"
+  "CMakeFiles/hw_policy.dir/usb.cpp.o"
+  "CMakeFiles/hw_policy.dir/usb.cpp.o.d"
+  "libhw_policy.a"
+  "libhw_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

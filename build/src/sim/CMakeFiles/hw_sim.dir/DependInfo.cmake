@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_loop.cpp" "src/sim/CMakeFiles/hw_sim.dir/event_loop.cpp.o" "gcc" "src/sim/CMakeFiles/hw_sim.dir/event_loop.cpp.o.d"
+  "/root/repo/src/sim/host.cpp" "src/sim/CMakeFiles/hw_sim.dir/host.cpp.o" "gcc" "src/sim/CMakeFiles/hw_sim.dir/host.cpp.o.d"
+  "/root/repo/src/sim/link.cpp" "src/sim/CMakeFiles/hw_sim.dir/link.cpp.o" "gcc" "src/sim/CMakeFiles/hw_sim.dir/link.cpp.o.d"
+  "/root/repo/src/sim/pcap.cpp" "src/sim/CMakeFiles/hw_sim.dir/pcap.cpp.o" "gcc" "src/sim/CMakeFiles/hw_sim.dir/pcap.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/hw_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/hw_sim.dir/trace.cpp.o.d"
+  "/root/repo/src/sim/wireless.cpp" "src/sim/CMakeFiles/hw_sim.dir/wireless.cpp.o" "gcc" "src/sim/CMakeFiles/hw_sim.dir/wireless.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/hw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

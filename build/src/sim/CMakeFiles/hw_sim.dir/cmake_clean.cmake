@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_sim.dir/event_loop.cpp.o"
+  "CMakeFiles/hw_sim.dir/event_loop.cpp.o.d"
+  "CMakeFiles/hw_sim.dir/host.cpp.o"
+  "CMakeFiles/hw_sim.dir/host.cpp.o.d"
+  "CMakeFiles/hw_sim.dir/link.cpp.o"
+  "CMakeFiles/hw_sim.dir/link.cpp.o.d"
+  "CMakeFiles/hw_sim.dir/pcap.cpp.o"
+  "CMakeFiles/hw_sim.dir/pcap.cpp.o.d"
+  "CMakeFiles/hw_sim.dir/trace.cpp.o"
+  "CMakeFiles/hw_sim.dir/trace.cpp.o.d"
+  "CMakeFiles/hw_sim.dir/wireless.cpp.o"
+  "CMakeFiles/hw_sim.dir/wireless.cpp.o.d"
+  "libhw_sim.a"
+  "libhw_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

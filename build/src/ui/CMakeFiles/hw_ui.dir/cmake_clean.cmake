@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_ui.dir/artifact.cpp.o"
+  "CMakeFiles/hw_ui.dir/artifact.cpp.o.d"
+  "CMakeFiles/hw_ui.dir/bandwidth_monitor.cpp.o"
+  "CMakeFiles/hw_ui.dir/bandwidth_monitor.cpp.o.d"
+  "CMakeFiles/hw_ui.dir/control_board.cpp.o"
+  "CMakeFiles/hw_ui.dir/control_board.cpp.o.d"
+  "CMakeFiles/hw_ui.dir/policy_editor.cpp.o"
+  "CMakeFiles/hw_ui.dir/policy_editor.cpp.o.d"
+  "libhw_ui.a"
+  "libhw_ui.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_ui.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

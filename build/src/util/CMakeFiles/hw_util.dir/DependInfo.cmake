@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/addr.cpp" "src/util/CMakeFiles/hw_util.dir/addr.cpp.o" "gcc" "src/util/CMakeFiles/hw_util.dir/addr.cpp.o.d"
+  "/root/repo/src/util/bytes.cpp" "src/util/CMakeFiles/hw_util.dir/bytes.cpp.o" "gcc" "src/util/CMakeFiles/hw_util.dir/bytes.cpp.o.d"
+  "/root/repo/src/util/json.cpp" "src/util/CMakeFiles/hw_util.dir/json.cpp.o" "gcc" "src/util/CMakeFiles/hw_util.dir/json.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/util/CMakeFiles/hw_util.dir/logging.cpp.o" "gcc" "src/util/CMakeFiles/hw_util.dir/logging.cpp.o.d"
+  "/root/repo/src/util/rand.cpp" "src/util/CMakeFiles/hw_util.dir/rand.cpp.o" "gcc" "src/util/CMakeFiles/hw_util.dir/rand.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/util/CMakeFiles/hw_util.dir/strings.cpp.o" "gcc" "src/util/CMakeFiles/hw_util.dir/strings.cpp.o.d"
+  "/root/repo/src/util/token_bucket.cpp" "src/util/CMakeFiles/hw_util.dir/token_bucket.cpp.o" "gcc" "src/util/CMakeFiles/hw_util.dir/token_bucket.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_util.dir/addr.cpp.o"
+  "CMakeFiles/hw_util.dir/addr.cpp.o.d"
+  "CMakeFiles/hw_util.dir/bytes.cpp.o"
+  "CMakeFiles/hw_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/hw_util.dir/json.cpp.o"
+  "CMakeFiles/hw_util.dir/json.cpp.o.d"
+  "CMakeFiles/hw_util.dir/logging.cpp.o"
+  "CMakeFiles/hw_util.dir/logging.cpp.o.d"
+  "CMakeFiles/hw_util.dir/rand.cpp.o"
+  "CMakeFiles/hw_util.dir/rand.cpp.o.d"
+  "CMakeFiles/hw_util.dir/strings.cpp.o"
+  "CMakeFiles/hw_util.dir/strings.cpp.o.d"
+  "CMakeFiles/hw_util.dir/token_bucket.cpp.o"
+  "CMakeFiles/hw_util.dir/token_bucket.cpp.o.d"
+  "libhw_util.a"
+  "libhw_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_workload.dir/apps.cpp.o"
+  "CMakeFiles/hw_workload.dir/apps.cpp.o.d"
+  "CMakeFiles/hw_workload.dir/scenario.cpp.o"
+  "CMakeFiles/hw_workload.dir/scenario.cpp.o.d"
+  "libhw_workload.a"
+  "libhw_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

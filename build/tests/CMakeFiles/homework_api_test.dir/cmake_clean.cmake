@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/homework_api_test.dir/homework_api_test.cpp.o"
+  "CMakeFiles/homework_api_test.dir/homework_api_test.cpp.o.d"
+  "homework_api_test"
+  "homework_api_test.pdb"
+  "homework_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/homework_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

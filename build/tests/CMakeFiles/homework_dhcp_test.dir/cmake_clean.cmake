@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/homework_dhcp_test.dir/homework_dhcp_test.cpp.o"
+  "CMakeFiles/homework_dhcp_test.dir/homework_dhcp_test.cpp.o.d"
+  "homework_dhcp_test"
+  "homework_dhcp_test.pdb"
+  "homework_dhcp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/homework_dhcp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

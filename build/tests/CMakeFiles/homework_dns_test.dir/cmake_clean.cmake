@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/homework_dns_test.dir/homework_dns_test.cpp.o"
+  "CMakeFiles/homework_dns_test.dir/homework_dns_test.cpp.o.d"
+  "homework_dns_test"
+  "homework_dns_test.pdb"
+  "homework_dns_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/homework_dns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/homework_export_test.dir/homework_export_test.cpp.o"
+  "CMakeFiles/homework_export_test.dir/homework_export_test.cpp.o.d"
+  "homework_export_test"
+  "homework_export_test.pdb"
+  "homework_export_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/homework_export_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/homework_forwarding_test.cpp" "tests/CMakeFiles/homework_forwarding_test.dir/homework_forwarding_test.cpp.o" "gcc" "tests/CMakeFiles/homework_forwarding_test.dir/homework_forwarding_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/hw_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/ui/CMakeFiles/hw_ui.dir/DependInfo.cmake"
+  "/root/repo/build/src/homework/CMakeFiles/hw_homework.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwdb/CMakeFiles/hw_hwdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/hw_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/openflow/CMakeFiles/hw_ofp.dir/DependInfo.cmake"
+  "/root/repo/build/src/nox/CMakeFiles/hw_nox.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/homework_forwarding_test.dir/homework_forwarding_test.cpp.o"
+  "CMakeFiles/homework_forwarding_test.dir/homework_forwarding_test.cpp.o.d"
+  "homework_forwarding_test"
+  "homework_forwarding_test.pdb"
+  "homework_forwarding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/homework_forwarding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/homework_upstream_test.dir/homework_upstream_test.cpp.o"
+  "CMakeFiles/homework_upstream_test.dir/homework_upstream_test.cpp.o.d"
+  "homework_upstream_test"
+  "homework_upstream_test.pdb"
+  "homework_upstream_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/homework_upstream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwdb_test.dir/hwdb_test.cpp.o"
+  "CMakeFiles/hwdb_test.dir/hwdb_test.cpp.o.d"
+  "hwdb_test"
+  "hwdb_test.pdb"
+  "hwdb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

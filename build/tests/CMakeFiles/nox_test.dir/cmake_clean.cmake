@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nox_test.dir/nox_test.cpp.o"
+  "CMakeFiles/nox_test.dir/nox_test.cpp.o.d"
+  "nox_test"
+  "nox_test.pdb"
+  "nox_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nox_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

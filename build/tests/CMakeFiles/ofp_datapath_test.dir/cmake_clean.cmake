@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ofp_datapath_test.dir/ofp_datapath_test.cpp.o"
+  "CMakeFiles/ofp_datapath_test.dir/ofp_datapath_test.cpp.o.d"
+  "ofp_datapath_test"
+  "ofp_datapath_test.pdb"
+  "ofp_datapath_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ofp_datapath_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ofp_flow_table_test.dir/ofp_flow_table_test.cpp.o"
+  "CMakeFiles/ofp_flow_table_test.dir/ofp_flow_table_test.cpp.o.d"
+  "ofp_flow_table_test"
+  "ofp_flow_table_test.pdb"
+  "ofp_flow_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ofp_flow_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

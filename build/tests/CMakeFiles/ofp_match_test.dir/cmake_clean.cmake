@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ofp_match_test.dir/ofp_match_test.cpp.o"
+  "CMakeFiles/ofp_match_test.dir/ofp_match_test.cpp.o.d"
+  "ofp_match_test"
+  "ofp_match_test.pdb"
+  "ofp_match_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ofp_match_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ofp_messages_test.dir/ofp_messages_test.cpp.o"
+  "CMakeFiles/ofp_messages_test.dir/ofp_messages_test.cpp.o.d"
+  "ofp_messages_test"
+  "ofp_messages_test.pdb"
+  "ofp_messages_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ofp_messages_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/ofp_match_test[1]_include.cmake")
+include("/root/repo/build/tests/ofp_messages_test[1]_include.cmake")
+include("/root/repo/build/tests/ofp_flow_table_test[1]_include.cmake")
+include("/root/repo/build/tests/ofp_datapath_test[1]_include.cmake")
+include("/root/repo/build/tests/nox_test[1]_include.cmake")
+include("/root/repo/build/tests/hwdb_test[1]_include.cmake")
+include("/root/repo/build/tests/hwdb_rpc_test[1]_include.cmake")
+include("/root/repo/build/tests/policy_test[1]_include.cmake")
+include("/root/repo/build/tests/homework_dhcp_test[1]_include.cmake")
+include("/root/repo/build/tests/homework_dns_test[1]_include.cmake")
+include("/root/repo/build/tests/homework_forwarding_test[1]_include.cmake")
+include("/root/repo/build/tests/homework_export_test[1]_include.cmake")
+include("/root/repo/build/tests/homework_api_test[1]_include.cmake")
+include("/root/repo/build/tests/ui_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/homework_upstream_test[1]_include.cmake")
