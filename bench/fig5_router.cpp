@@ -5,7 +5,10 @@
 // packets/second through the full stack.
 #include <chrono>
 #include <cstdio>
+#include <map>
+#include <optional>
 
+#include "hwdb/udp_transport.hpp"
 #include "workload/scenario.hpp"
 
 using namespace hw;
@@ -103,5 +106,49 @@ int main() {
               static_cast<unsigned long long>(ctl.stats().flow_mods),
               static_cast<unsigned long long>(ctl.stats().packet_outs),
               static_cast<unsigned long long>(ctl.stats().errors));
+
+  // The telemetry registry as a client sees it: MetricsExport has been
+  // polling all along; read the latest export back over the hwdb RPC
+  // interface, exactly like an external UI would.
+  std::printf("\n-- telemetry via hwdb RPC: "
+              "SELECT name, value FROM Metrics [NOW] --\n");
+  hwdb::rpc::InProcRpcLink rpc_link(router.loop(), router.db());
+  hwdb::rpc::RpcClient& rpc_client = rpc_link.make_client();
+  std::optional<hwdb::ResultSet> metrics;
+  rpc_client.query("SELECT name, value FROM Metrics [NOW]",
+                   [&](Result<hwdb::ResultSet> rs) {
+                     if (rs.ok()) metrics = std::move(rs.value());
+                   });
+  home.run_for(10 * kMillisecond);
+  if (!metrics.has_value()) {
+    std::printf("RPC query failed\n");
+    return 1;
+  }
+
+  std::map<std::string, std::size_t> per_layer;
+  std::map<std::string, double> by_name;
+  for (const auto& row : metrics->rows) {
+    const std::string& name = row[0].as_text();
+    ++per_layer[name.substr(0, name.find('.'))];
+    by_name[name] = row[1].as_real();
+  }
+  std::printf("%zu samples in the latest export; per layer:",
+              metrics->rows.size());
+  for (const auto& [layer, n] : per_layer) {
+    std::printf(" %s=%zu", layer.c_str(), n);
+  }
+  std::printf("\n");
+  for (const char* name :
+       {"openflow.flow_table.lookups", "openflow.datapath.packet_ins",
+        "nox.controller.packet_ins", "homework.dhcp.acks",
+        "homework.dns.forwarded", "hwdb.database.inserts",
+        "sim.host.tx_frames", "openflow.flow_table.lookup_ns.p50",
+        "openflow.flow_table.lookup_ns.p99",
+        "nox.controller.packet_in_dispatch_ns.p50",
+        "nox.controller.packet_in_dispatch_ns.p99",
+        "hwdb.database.insert_ns.p50", "hwdb.database.insert_ns.p99"}) {
+    const auto it = by_name.find(name);
+    std::printf("%-44s %14.0f\n", name, it == by_name.end() ? -1.0 : it->second);
+  }
   return 0;
 }

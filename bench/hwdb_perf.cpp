@@ -5,12 +5,21 @@
 #include <benchmark/benchmark.h>
 
 #include "hwdb/database.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/rand.hpp"
 
 using namespace hw;
 using namespace hw::hwdb;
 
 namespace {
+
+/// Reports insert latency percentiles from the database's registry
+/// histogram — the same instrument MetricsExport publishes into hwdb.
+void report_insert_latency(benchmark::State& state, const Database& db) {
+  const telemetry::Histogram& h = db.insert_latency();
+  state.counters["insert_p50_ns"] = h.percentile(0.50);
+  state.counters["insert_p99_ns"] = h.percentile(0.99);
+}
 
 Schema flows_schema() {
   return Schema("Flows", {{"device", ColumnType::Text},
@@ -41,6 +50,7 @@ void BM_Insert(benchmark::State& state) {
         db.insert("Flows", {Value{"dev"}, Value{"web"}, Value{i++}}));
   }
   state.SetItemsProcessed(state.iterations());
+  report_insert_latency(state, db);
 }
 BENCHMARK(BM_Insert);
 
@@ -57,6 +67,7 @@ void BM_InsertEvicting(benchmark::State& state) {
         db.insert("Flows", {Value{"dev"}, Value{"web"}, Value{i++}}));
   }
   state.SetItemsProcessed(state.iterations());
+  report_insert_latency(state, db);
 }
 BENCHMARK(BM_InsertEvicting);
 
@@ -183,6 +194,7 @@ void BM_SubscriptionFanout(benchmark::State& state) {
         db.insert("Flows", {Value{"dev"}, Value{"web"}, Value{i++}}));
   }
   state.SetItemsProcessed(state.iterations());
+  report_insert_latency(state, db);
 }
 BENCHMARK(BM_SubscriptionFanout)->Arg(0)->Arg(1)->Arg(4)->Arg(16);
 

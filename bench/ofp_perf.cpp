@@ -7,11 +7,20 @@
 #include "net/packet.hpp"
 #include "openflow/channel.hpp"
 #include "openflow/datapath.hpp"
+#include "telemetry/metrics.hpp"
 
 using namespace hw;
 using namespace hw::ofp;
 
 namespace {
+
+/// Reports lookup latency percentiles from the table's registry histogram —
+/// the same instrument MetricsExport publishes into the hwdb Metrics table.
+void report_lookup_latency(benchmark::State& state, const FlowTable& table) {
+  const telemetry::Histogram& h = table.lookup_latency();
+  state.counters["lookup_p50_ns"] = h.percentile(0.50);
+  state.counters["lookup_p99_ns"] = h.percentile(0.99);
+}
 
 Match exact_pkt(std::uint32_t i) {
   Match m;
@@ -50,6 +59,7 @@ void BM_TableLookupHit(benchmark::State& state) {
         table.lookup(exact_pkt(i++ % static_cast<std::uint32_t>(rules)), 0, 64));
   }
   state.SetItemsProcessed(state.iterations());
+  report_lookup_latency(state, table);
 }
 BENCHMARK(BM_TableLookupHit)->Arg(16)->Arg(128)->Arg(1024)->Arg(8192);
 
@@ -62,6 +72,7 @@ void BM_TableLookupMiss(benchmark::State& state) {
     benchmark::DoNotOptimize(table.lookup(miss, 0, 64));
   }
   state.SetItemsProcessed(state.iterations());
+  report_lookup_latency(state, table);
 }
 BENCHMARK(BM_TableLookupMiss)->Arg(16)->Arg(1024)->Arg(8192);
 
@@ -92,6 +103,7 @@ void BM_TableWildcardHit(benchmark::State& state) {
     benchmark::DoNotOptimize(table.lookup(dns_pkt, 0, 64));
   }
   state.SetItemsProcessed(state.iterations());
+  report_lookup_latency(state, table);
 }
 BENCHMARK(BM_TableWildcardHit);
 
@@ -164,6 +176,7 @@ void BM_DatapathFastPath(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(frame.size()));
+  report_lookup_latency(state, table);
 }
 BENCHMARK(BM_DatapathFastPath);
 

@@ -15,17 +15,17 @@ ControlApi::ControlApi(DeviceRegistry& registry, policy::PolicyEngine& policy,
 void ControlApi::install(nox::Controller& ctl) { Component::install(ctl); }
 
 HttpResponse ControlApi::handle(const HttpRequest& req) {
-  ++stats_.requests;
+  metrics_.requests.inc();
   HttpResponse resp = router_.handle(req);
-  if (resp.status >= 400) ++stats_.errors;
+  if (resp.status >= 400) metrics_.errors.inc();
   return resp;
 }
 
 std::string ControlApi::handle_raw(std::string_view request_text) {
   auto req = HttpRequest::parse(request_text);
   if (!req) {
-    ++stats_.requests;
-    ++stats_.errors;
+    metrics_.requests.inc();
+    metrics_.errors.inc();
     return HttpResponse::bad_request(req.error().message).serialize();
   }
   return handle(req.value()).serialize();
@@ -164,8 +164,8 @@ void ControlApi::setup_routes() {
     auto mac = parse_mac(p);
     if (!mac) return HttpResponse::bad_request(mac.error().message);
     registry_.set_state(mac.value(), state, controller().loop().now());
-    if (state == DeviceState::Permitted) ++stats_.permits;
-    if (state == DeviceState::Denied) ++stats_.denies;
+    if (state == DeviceState::Permitted) metrics_.permits.inc();
+    if (state == DeviceState::Denied) metrics_.denies.inc();
     const DeviceRecord* rec = registry_.find(mac.value());
     return HttpResponse::json(device_json(*rec));
   };
@@ -257,7 +257,7 @@ void ControlApi::setup_routes() {
         if (slot == 0) {
           return HttpResponse::bad_request("not a valid policy key");
         }
-        ++stats_.usb_inserts;
+        metrics_.usb_inserts.inc();
         const std::uint32_t handle = next_usb_handle_++;
         usb_slots_[handle] = slot;
         Json j(JsonObject{});
@@ -277,7 +277,7 @@ void ControlApi::setup_routes() {
                 if (it == usb_slots_.end()) return HttpResponse::not_found();
                 policy_.usb().remove(it->second);
                 usb_slots_.erase(it);
-                ++stats_.usb_removes;
+                metrics_.usb_removes.inc();
                 return HttpResponse::text("", 204);
               });
 

@@ -27,9 +27,11 @@
 #include "nox/component.hpp"
 #include "nox/controller.hpp"
 #include "policy/engine.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace hw::homework {
 
+/// Snapshot view over the module's telemetry instruments.
 struct ControlApiStats {
   std::uint64_t requests = 0;
   std::uint64_t errors = 0;
@@ -54,7 +56,14 @@ class ControlApi final : public nox::Component {
   /// Convenience: parse a raw HTTP/1.1 request text, serve, serialize.
   std::string handle_raw(std::string_view request_text);
 
-  [[nodiscard]] const ControlApiStats& stats() const { return stats_; }
+  [[nodiscard]] ControlApiStats stats() const {
+    return {metrics_.requests.value(),
+            metrics_.errors.value(),
+            metrics_.permits.value(),
+            metrics_.denies.value(),
+            metrics_.usb_inserts.value(),
+            metrics_.usb_removes.value()};
+  }
   [[nodiscard]] const HttpRouter& router() const { return router_; }
 
  private:
@@ -65,7 +74,14 @@ class ControlApi final : public nox::Component {
   policy::PolicyEngine& policy_;
   hwdb::Database& db_;
   HttpRouter router_;
-  ControlApiStats stats_;
+  struct Instruments {
+    telemetry::Counter requests{"homework.control_api.requests"};
+    telemetry::Counter errors{"homework.control_api.errors"};
+    telemetry::Counter permits{"homework.control_api.permits"};
+    telemetry::Counter denies{"homework.control_api.denies"};
+    telemetry::Counter usb_inserts{"homework.control_api.usb_inserts"};
+    telemetry::Counter usb_removes{"homework.control_api.usb_removes"};
+  } metrics_;
   /// USB slot handles returned by /api/usb/insert.
   std::map<std::uint32_t, policy::UsbMonitor::SlotId> usb_slots_;
   std::uint32_t next_usb_handle_ = 1;

@@ -55,9 +55,9 @@ void DhcpServer::process(nox::DatapathId dpid, std::uint16_t in_port,
 
   switch (msg.message_type) {
     case net::DhcpMessageType::Discover: {
-      ++stats_.discovers;
+      metrics_.discovers.inc();
       if (rec->state == DeviceState::Denied) {
-        ++stats_.naks;
+        metrics_.naks.inc();
         send_reply(dpid, in_port,
                    make_reply(msg, net::DhcpMessageType::Nak, Ipv4Address::any()),
                    msg.chaddr);
@@ -66,26 +66,26 @@ void DhcpServer::process(nox::DatapathId dpid, std::uint16_t in_port,
       if (rec->state == DeviceState::Pending) {
         // Silent: the device shows up on the control board as "requesting
         // access" and retries until the user decides (Figure 3).
-        ++stats_.ignored_pending;
+        metrics_.ignored_pending.inc();
         return;
       }
       auto ip = allocate(msg.chaddr);
       if (!ip) {
-        ++stats_.pool_exhausted;
+        metrics_.pool_exhausted.inc();
         HW_LOG_WARN(kLog, "address pool exhausted for %s",
                     msg.chaddr.to_string().c_str());
         return;
       }
-      ++stats_.offers;
+      metrics_.offers.inc();
       send_reply(dpid, in_port,
                  make_reply(msg, net::DhcpMessageType::Offer, *ip), msg.chaddr);
       return;
     }
 
     case net::DhcpMessageType::Request: {
-      ++stats_.requests;
+      metrics_.requests.inc();
       if (rec->state != DeviceState::Permitted) {
-        ++stats_.naks;
+        metrics_.naks.inc();
         send_reply(dpid, in_port,
                    make_reply(msg, net::DhcpMessageType::Nak, Ipv4Address::any()),
                    msg.chaddr);
@@ -97,7 +97,7 @@ void DhcpServer::process(nox::DatapathId dpid, std::uint16_t in_port,
       const Ipv4Address wanted =
           msg.requested_ip.value_or(msg.ciaddr);
       if (!allocated || wanted.is_zero() || wanted != *allocated) {
-        ++stats_.naks;
+        metrics_.naks.inc();
         send_reply(dpid, in_port,
                    make_reply(msg, net::DhcpMessageType::Nak, Ipv4Address::any()),
                    msg.chaddr);
@@ -110,7 +110,7 @@ void DhcpServer::process(nox::DatapathId dpid, std::uint16_t in_port,
       lease.expires_at = now + static_cast<Duration>(config_.lease_secs) * kSecond;
       lease.hostname = msg.hostname;
       registry_.record_lease(msg.chaddr, lease, renewal, now);
-      ++stats_.acks;
+      metrics_.acks.inc();
       send_reply(dpid, in_port,
                  make_reply(msg, net::DhcpMessageType::Ack, *allocated),
                  msg.chaddr);
@@ -118,13 +118,13 @@ void DhcpServer::process(nox::DatapathId dpid, std::uint16_t in_port,
     }
 
     case net::DhcpMessageType::Release: {
-      ++stats_.releases;
+      metrics_.releases.inc();
       registry_.clear_lease(msg.chaddr, /*expired=*/false, now);
       return;
     }
 
     case net::DhcpMessageType::Decline: {
-      ++stats_.declines;
+      metrics_.declines.inc();
       // The client saw an address conflict; blacklist the address.
       if (auto it = allocations_.find(msg.chaddr); it != allocations_.end()) {
         declined_.insert(it->second);
@@ -208,7 +208,7 @@ void DhcpServer::sweep_expiry() {
   const Timestamp now = controller().loop().now();
   for (const DeviceRecord* rec : registry_.all()) {
     if (rec->lease && rec->lease->expires_at <= now) {
-      ++stats_.expired;
+      metrics_.expired.inc();
       registry_.clear_lease(rec->mac, /*expired=*/true, now);
     }
   }

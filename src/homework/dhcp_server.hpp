@@ -14,9 +14,11 @@
 #include "net/dhcp.hpp"
 #include "nox/component.hpp"
 #include "nox/controller.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace hw::homework {
 
+/// Snapshot view over the module's telemetry instruments.
 struct DhcpServerStats {
   std::uint64_t discovers = 0;
   std::uint64_t offers = 0;
@@ -54,7 +56,18 @@ class DhcpServer final : public nox::Component {
                             const ofp::FeaturesReply& features) override;
   nox::Disposition handle_packet_in(const nox::PacketInEvent& ev) override;
 
-  [[nodiscard]] const DhcpServerStats& stats() const { return stats_; }
+  [[nodiscard]] DhcpServerStats stats() const {
+    return {metrics_.discovers.value(),
+            metrics_.offers.value(),
+            metrics_.requests.value(),
+            metrics_.acks.value(),
+            metrics_.naks.value(),
+            metrics_.releases.value(),
+            metrics_.declines.value(),
+            metrics_.ignored_pending.value(),
+            metrics_.pool_exhausted.value(),
+            metrics_.expired.value()};
+  }
   [[nodiscard]] const Config& config() const { return config_; }
   /// Current address allocation (MAC keyed), including offered-not-acked.
   [[nodiscard]] std::optional<Ipv4Address> allocation(MacAddress mac) const;
@@ -73,7 +86,18 @@ class DhcpServer final : public nox::Component {
 
   Config config_;
   DeviceRegistry& registry_;
-  DhcpServerStats stats_;
+  struct Instruments {
+    telemetry::Counter discovers{"homework.dhcp.discovers"};
+    telemetry::Counter offers{"homework.dhcp.offers"};
+    telemetry::Counter requests{"homework.dhcp.requests"};
+    telemetry::Counter acks{"homework.dhcp.acks"};
+    telemetry::Counter naks{"homework.dhcp.naks"};
+    telemetry::Counter releases{"homework.dhcp.releases"};
+    telemetry::Counter declines{"homework.dhcp.declines"};
+    telemetry::Counter ignored_pending{"homework.dhcp.ignored_pending"};
+    telemetry::Counter pool_exhausted{"homework.dhcp.pool_exhausted"};
+    telemetry::Counter expired{"homework.dhcp.expired"};
+  } metrics_;
   std::map<MacAddress, Ipv4Address> allocations_;
   std::set<Ipv4Address> declined_;  // addresses a client reported in use
   std::unique_ptr<sim::PeriodicTimer> expiry_timer_;

@@ -39,13 +39,13 @@ nox::Disposition DnsProxy::handle_packet_in(const nox::PacketInEvent& ev) {
 }
 
 void DnsProxy::handle_query(const nox::PacketInEvent& ev) {
-  ++stats_.queries;
+  metrics_.queries.inc();
   const MacAddress device = ev.packet.eth.src;
   registry_.note_location(device, ev.msg.in_port);
 
   const DeviceRecord* rec = registry_.find(device);
   if (rec == nullptr || rec->state != DeviceState::Permitted || !rec->lease) {
-    ++stats_.dropped_unpermitted;
+    metrics_.dropped_unpermitted.inc();
     return;  // drop silently; unadmitted devices get no resolution
   }
 
@@ -55,7 +55,7 @@ void DnsProxy::handle_query(const nox::PacketInEvent& ev) {
   const std::string qname = query.questions.front().name;
 
   if (!policy_.domain_allowed(device.to_string(), qname)) {
-    ++stats_.blocked;
+    metrics_.blocked.inc();
     auto refusal = query.make_response();
     refusal.rcode = net::DnsRcode::NxDomain;
     send_to_device(ev.dpid, device, ev.msg.in_port, ev.packet.ip->src,
@@ -70,7 +70,7 @@ void DnsProxy::handle_query(const nox::PacketInEvent& ev) {
   // comes back through our port-53 interception rule).
   pending_[{ev.packet.ip->src.value(), query.id}] =
       PendingQuery{device, ev.msg.in_port, qname};
-  ++stats_.forwarded;
+  metrics_.forwarded.inc();
   relay_upstream(ev.dpid, ev.packet);
 }
 
@@ -118,7 +118,7 @@ void DnsProxy::handle_response(const nox::PacketInEvent& ev) {
       entry.names.insert(name);
       entry.expires_at = controller().loop().now() +
                          static_cast<Duration>(config_.cache_ttl_secs) * kSecond;
-      ++stats_.cache_entries;
+      metrics_.cache_entries.inc();
     }
     pending.cb(verdict);
     return;
@@ -131,7 +131,7 @@ void DnsProxy::handle_response(const nox::PacketInEvent& ev) {
   pending_.erase(it);
 
   record_answers(pending.device, resp);
-  ++stats_.responses;
+  metrics_.responses.inc();
 
   const DeviceRecord* rec = registry_.find(pending.device);
   if (rec == nullptr || !rec->lease) return;
@@ -155,7 +155,7 @@ void DnsProxy::record_answers(MacAddress device, const net::DnsMessage& msg) {
     entry.names.insert(rec.name);
     entry.names.insert(names.begin(), names.end());
     entry.expires_at = expiry;
-    ++stats_.cache_entries;
+    metrics_.cache_entries.inc();
   }
 }
 
@@ -195,7 +195,7 @@ DnsProxy::FlowVerdict DnsProxy::check_flow(MacAddress device,
 void DnsProxy::reverse_lookup(nox::DatapathId dpid, MacAddress device,
                               Ipv4Address dst,
                               std::function<void(FlowVerdict)> cb) {
-  ++stats_.reverse_lookups;
+  metrics_.reverse_lookups.inc();
   const std::uint16_t id = next_reverse_id_++;
   auto query = net::DnsMessage::query(id, net::DnsMessage::reverse_name(dst),
                                       net::DnsType::Ptr);

@@ -23,9 +23,11 @@
 #include "nox/component.hpp"
 #include "nox/controller.hpp"
 #include "policy/engine.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace hw::homework {
 
+/// Snapshot view over the module's telemetry instruments.
 struct DnsProxyStats {
   std::uint64_t queries = 0;
   std::uint64_t blocked = 0;     // refused by policy
@@ -68,7 +70,15 @@ class DnsProxy final : public nox::Component {
   /// Names this device successfully resolved recently (for the UI).
   [[nodiscard]] std::vector<std::string> names_for(MacAddress device) const;
 
-  [[nodiscard]] const DnsProxyStats& stats() const { return stats_; }
+  [[nodiscard]] DnsProxyStats stats() const {
+    return {metrics_.queries.value(),
+            metrics_.blocked.value(),
+            metrics_.forwarded.value(),
+            metrics_.responses.value(),
+            metrics_.reverse_lookups.value(),
+            metrics_.cache_entries.value(),
+            metrics_.dropped_unpermitted.value()};
+  }
   /// Drops all cached name→address verdicts (policy changed).
   void flush_cache();
 
@@ -84,7 +94,15 @@ class DnsProxy final : public nox::Component {
   Config config_;
   DeviceRegistry& registry_;
   policy::PolicyEngine& policy_;
-  DnsProxyStats stats_;
+  struct Instruments {
+    telemetry::Counter queries{"homework.dns.queries"};
+    telemetry::Counter blocked{"homework.dns.blocked"};
+    telemetry::Counter forwarded{"homework.dns.forwarded"};
+    telemetry::Counter responses{"homework.dns.responses"};
+    telemetry::Counter reverse_lookups{"homework.dns.reverse_lookups"};
+    telemetry::Counter cache_entries{"homework.dns.cache_entries"};
+    telemetry::Counter dropped_unpermitted{"homework.dns.dropped_unpermitted"};
+  } metrics_;
 
   /// Per-device name cache: device → (ip → {names, expiry}).
   struct CacheEntry {

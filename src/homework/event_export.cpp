@@ -80,7 +80,7 @@ void EventExport::handle_flow_removed(nox::DatapathId, const ofp::FlowRemoved& f
 }
 
 void EventExport::poll_flows() {
-  ++stats_.stats_polls;
+  metrics_.stats_polls.inc();
   for (const auto dpid : datapaths_) {
     ofp::StatsRequest req;
     req.type = ofp::StatsType::Flow;
@@ -147,7 +147,7 @@ void EventExport::export_flow_stats(
          hwdb::Value{static_cast<std::int64_t>(e.match.tp_dst)},
          hwdb::Value{app}, hwdb::Value{static_cast<std::int64_t>(db_bytes)},
          hwdb::Value{static_cast<std::int64_t>(dp)}});
-    if (status.ok()) ++stats_.flow_rows;
+    if (status.ok()) metrics_.flow_rows.inc();
   }
 }
 
@@ -164,7 +164,7 @@ void EventExport::poll_links() {
                              hwdb::Value{sample.rssi_dbm},
                              hwdb::Value{static_cast<std::int64_t>(d_retries)},
                              hwdb::Value{static_cast<std::int64_t>(d_tx)}});
-    if (status.ok()) ++stats_.link_rows;
+    if (status.ok()) metrics_.link_rows.inc();
   }
 }
 
@@ -185,7 +185,7 @@ void EventExport::on_registry_event(RegistryEvent ev, const DeviceRecord& rec) {
       "Leases", {hwdb::Value{rec.mac.to_string()}, hwdb::Value{ip},
                  hwdb::Value{rec.hostname}, hwdb::Value{to_string(ev)},
                  hwdb::Value{to_string(rec.state)}});
-  if (status.ok()) ++stats_.lease_rows;
+  if (status.ok()) metrics_.lease_rows.inc();
 }
 
 }  // namespace hw::homework

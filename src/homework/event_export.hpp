@@ -19,9 +19,11 @@
 #include "hwdb/database.hpp"
 #include "nox/component.hpp"
 #include "nox/controller.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace hw::homework {
 
+/// Snapshot view over the module's telemetry instruments.
 struct EventExportStats {
   std::uint64_t flow_rows = 0;
   std::uint64_t link_rows = 0;
@@ -52,7 +54,12 @@ class EventExport final : public nox::Component {
   void handle_flow_removed(nox::DatapathId dpid,
                            const ofp::FlowRemoved& fr) override;
 
-  [[nodiscard]] const EventExportStats& stats() const { return stats_; }
+  [[nodiscard]] EventExportStats stats() const {
+    return {metrics_.flow_rows.value(),
+            metrics_.link_rows.value(),
+            metrics_.lease_rows.value(),
+            metrics_.stats_polls.value()};
+  }
   /// One flow-stats poll cycle (normally timer-driven).
   void poll_flows();
   /// One link sample cycle (normally timer-driven).
@@ -69,7 +76,12 @@ class EventExport final : public nox::Component {
   hwdb::Database& db_;
   DeviceRegistry& registry_;
   WirelessMap* wireless_;
-  EventExportStats stats_;
+  struct Instruments {
+    telemetry::Counter flow_rows{"homework.event_export.flow_rows"};
+    telemetry::Counter link_rows{"homework.event_export.link_rows"};
+    telemetry::Counter lease_rows{"homework.event_export.lease_rows"};
+    telemetry::Counter stats_polls{"homework.event_export.stats_polls"};
+  } metrics_;
   std::vector<nox::DatapathId> datapaths_;
 
   /// Previous cumulative counters per flow (keyed by rendered match).

@@ -19,7 +19,7 @@ void Forwarding::install(nox::Controller& ctl) {
   // Policy changes invalidate every admission decision: flush installed
   // flows and the DNS proxy's verdict cache so traffic re-admits afresh.
   policy_.on_change([this] {
-    ++stats_.policy_revocations;
+    metrics_.policy_revocations.inc();
     revoke_all_flows();
     if (dns_ != nullptr) dns_->flush_cache();
   });
@@ -84,7 +84,7 @@ void Forwarding::handle_arp(const nox::PacketInEvent& ev) {
   po.in_port = ofp::port_no(ofp::Port::None);
   po.actions = ofp::output_to(ev.msg.in_port);
   po.data = net::build_arp(reply);
-  ++stats_.arp_replies;
+  metrics_.arp_replies.inc();
   controller().send_packet_out(ev.dpid, po);
 }
 
@@ -118,7 +118,7 @@ void Forwarding::handle_ipv4(const nox::PacketInEvent& ev) {
         rec->lease->ip != ip.src) {
       // Unknown/unpermitted source or spoofed address: drop, and install a
       // short-lived drop rule to shed the packet-in load.
-      ++stats_.dropped_unknown_source;
+      metrics_.dropped_unknown_source.inc();
       install_pair(ev.dpid, ev.packet, ev.msg.in_port, ev.msg.buffer_id,
                    /*allowed=*/false);
       return;
@@ -135,7 +135,7 @@ void Forwarding::handle_ipv4(const nox::PacketInEvent& ev) {
           config_.router_mac, ev.packet.eth.src, config_.router_ip, ip.src,
           net::IcmpType::EchoReply, ev.packet.icmp->identifier,
           ev.packet.icmp->sequence);
-      ++stats_.echo_replies;
+      metrics_.echo_replies.inc();
       controller().send_packet_out(ev.dpid, po);
     }
     return;
@@ -185,7 +185,7 @@ void Forwarding::handle_ipv4(const nox::PacketInEvent& ev) {
     case DnsProxy::FlowVerdict::Unknown: {
       // Paper §2: reverse-look the address up, then decide. The packet stays
       // buffered in the datapath until the verdict arrives.
-      ++stats_.reverse_lookups_triggered;
+      metrics_.reverse_lookups_triggered.inc();
       const auto dpid = ev.dpid;
       const auto packet = ev.packet;  // copy: event dies with this frame
       const auto in_port = ev.msg.in_port;
@@ -209,7 +209,7 @@ void Forwarding::install_pair(nox::DatapathId dpid,
   ofp::Match fwd = ofp::Match::from_packet(packet, in_port);
 
   if (!allowed) {
-    ++stats_.flows_denied;
+    metrics_.flows_denied.inc();
     ofp::FlowMod drop;
     drop.match = fwd;
     drop.command = ofp::FlowModCommand::Add;
@@ -226,7 +226,7 @@ void Forwarding::install_pair(nox::DatapathId dpid,
 
   const NextHop hop = next_hop_for(ip.dst);
   if (!hop.known) {
-    ++stats_.flows_denied;
+    metrics_.flows_denied.inc();
     return;
   }
 
@@ -244,7 +244,7 @@ void Forwarding::install_pair(nox::DatapathId dpid,
           const std::uint32_t queue_id = device_ip.value() & 0xffff;
           config_.configure_queue(egress_port, queue_id,
                                   restriction.rate_limit_bps);
-          ++stats_.rate_limited_flows;
+          metrics_.rate_limited_flows.inc();
           return ofp::ActionEnqueue{egress_port, queue_id};
         }
       }
@@ -272,7 +272,7 @@ void Forwarding::install_pair(nox::DatapathId dpid,
                  ofp::ActionSetDlDst{hop.mac},
                  egress_action(hop.port, capped_device(hop.port, ip.src, ip.dst))};
   controller().send_flow_mod(dpid, mod);
-  ++stats_.flows_installed;
+  metrics_.flows_installed.inc();
 
   // Reverse direction (pre-installed so the response doesn't round-trip
   // through the controller).
@@ -299,7 +299,7 @@ void Forwarding::install_pair(nox::DatapathId dpid,
         ofp::ActionSetDlDst{back.mac},
         egress_action(back.port, capped_device(back.port, ip.dst, ip.src))};
     controller().send_flow_mod(dpid, rmod);
-    ++stats_.flows_installed;
+    metrics_.flows_installed.inc();
   }
 }
 

@@ -16,9 +16,11 @@
 #include "nox/component.hpp"
 #include "nox/controller.hpp"
 #include "policy/engine.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace hw::homework {
 
+/// Snapshot view over the module's telemetry instruments.
 struct ForwardingStats {
   std::uint64_t arp_replies = 0;
   std::uint64_t flows_installed = 0;
@@ -62,7 +64,16 @@ class Forwarding final : public nox::Component {
                             const ofp::FeaturesReply& features) override;
   nox::Disposition handle_packet_in(const nox::PacketInEvent& ev) override;
 
-  [[nodiscard]] const ForwardingStats& stats() const { return stats_; }
+  [[nodiscard]] ForwardingStats stats() const {
+    return {metrics_.arp_replies.value(),
+            metrics_.flows_installed.value(),
+            metrics_.rate_limited_flows.value(),
+            metrics_.flows_denied.value(),
+            metrics_.reverse_lookups_triggered.value(),
+            metrics_.echo_replies.value(),
+            metrics_.dropped_unknown_source.value(),
+            metrics_.policy_revocations.value()};
+  }
 
   /// Deletes every forwarding rule (policy changed / manual flush); traffic
   /// re-admits through fresh packet-ins.
@@ -89,7 +100,16 @@ class Forwarding final : public nox::Component {
   DeviceRegistry& registry_;
   policy::PolicyEngine& policy_;
   DnsProxy* dns_ = nullptr;  // resolved at install()
-  ForwardingStats stats_;
+  struct Instruments {
+    telemetry::Counter arp_replies{"homework.forwarding.arp_replies"};
+    telemetry::Counter flows_installed{"homework.forwarding.flows_installed"};
+    telemetry::Counter rate_limited_flows{"homework.forwarding.rate_limited_flows"};
+    telemetry::Counter flows_denied{"homework.forwarding.flows_denied"};
+    telemetry::Counter reverse_lookups_triggered{"homework.forwarding.reverse_lookups_triggered"};
+    telemetry::Counter echo_replies{"homework.forwarding.echo_replies"};
+    telemetry::Counter dropped_unknown_source{"homework.forwarding.dropped_unknown_source"};
+    telemetry::Counter policy_revocations{"homework.forwarding.policy_revocations"};
+  } metrics_;
   std::vector<nox::DatapathId> datapaths_;
 };
 

@@ -1,0 +1,48 @@
+#include "homework/metrics_export.hpp"
+
+#include "util/logging.hpp"
+
+namespace hw::homework {
+namespace {
+constexpr std::string_view kLog = "metrics";
+}  // namespace
+
+MetricsExport::MetricsExport(Config config, hwdb::Database& db)
+    : Component(kName), config_(config), db_(db) {}
+
+MetricsExport::~MetricsExport() = default;
+
+Status MetricsExport::create_table(hwdb::Database& db, const Config& config) {
+  using hwdb::ColumnType;
+  return db.create_table(hwdb::Schema("Metrics", {{"name", ColumnType::Text},
+                                                  {"kind", ColumnType::Text},
+                                                  {"value", ColumnType::Real}}),
+                         config.capacity);
+}
+
+void MetricsExport::install(nox::Controller& ctl) {
+  Component::install(ctl);
+  if (db_.table("Metrics") == nullptr) {
+    if (auto s = create_table(db_, config_); !s.ok()) {
+      HW_LOG_ERROR(kLog, "cannot create Metrics table: %s",
+                   s.error().message.c_str());
+      return;
+    }
+  }
+  timer_ = std::make_unique<sim::PeriodicTimer>(ctl.loop(), config_.poll,
+                                                [this] { poll(); });
+  timer_->start();
+}
+
+void MetricsExport::poll() {
+  metrics_.polls.inc();
+  for (const auto& sample : telemetry::MetricRegistry::instance().snapshot()) {
+    const auto status =
+        db_.insert("Metrics", {hwdb::Value{sample.name},
+                               hwdb::Value{telemetry::to_string(sample.kind)},
+                               hwdb::Value{sample.value}});
+    if (status.ok()) metrics_.rows_exported.inc();
+  }
+}
+
+}  // namespace hw::homework

@@ -1,0 +1,63 @@
+// MetricsExport NOX module: the router monitoring *itself* through its own
+// measurement plane. A peer of EventExport — where EventExport populates the
+// paper's Flows/Links/Leases tables with network observations, MetricsExport
+// polls the process-wide telemetry::MetricRegistry and appends every sample
+// to the hwdb Metrics table, so CQL queries and the RPC interface read
+// router internals (packet-ins, flow installs, lookup latency percentiles,
+// DHCP counters, …) exactly like any other hwdb table:
+//
+//   Metrics(ts, name, kind, value)
+//     — one row per registry sample per poll interval; `name` follows the
+//       layer.module.name convention, `kind` is counter/gauge/histogram.
+#pragma once
+
+#include <memory>
+
+#include "hwdb/database.hpp"
+#include "nox/component.hpp"
+#include "nox/controller.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace hw::homework {
+
+/// Snapshot view over the module's telemetry instruments.
+struct MetricsExportStats {
+  std::uint64_t polls = 0;
+  std::uint64_t rows_exported = 0;
+};
+
+class MetricsExport final : public nox::Component {
+ public:
+  struct Config {
+    Duration poll = kSecond;
+    std::size_t capacity = 65536;
+  };
+
+  static constexpr const char* kName = "metrics-export";
+
+  MetricsExport(Config config, hwdb::Database& db);
+  ~MetricsExport() override;
+
+  void install(nox::Controller& ctl) override;
+
+  [[nodiscard]] MetricsExportStats stats() const {
+    return {metrics_.polls.value(), metrics_.rows_exported.value()};
+  }
+
+  /// One registry-snapshot-to-table cycle (normally timer-driven).
+  void poll();
+
+  /// Creates the Metrics table on `db` (shared with tests).
+  static Status create_table(hwdb::Database& db, const Config& config);
+
+ private:
+  Config config_;
+  hwdb::Database& db_;
+  struct Instruments {
+    telemetry::Counter polls{"homework.metrics_export.polls"};
+    telemetry::Counter rows_exported{"homework.metrics_export.rows_exported"};
+  } metrics_;
+  std::unique_ptr<sim::PeriodicTimer> timer_;
+};
+
+}  // namespace hw::homework

@@ -98,6 +98,9 @@ HomeworkRouter::HomeworkRouter(sim::EventLoop& loop, Rng& rng, Config config)
                                            wireless_.get());
   export_ = exp.get();
 
+  auto metrics = std::make_unique<MetricsExport>(config_.metrics_export, *db_);
+  metrics_export_ = metrics.get();
+
   auto api = std::make_unique<ControlApi>(*registry_, *policy_, *db_);
   control_api_ = api.get();
 
@@ -107,6 +110,7 @@ HomeworkRouter::HomeworkRouter(sim::EventLoop& loop, Rng& rng, Config config)
   controller_->add_component(std::move(dns));
   controller_->add_component(std::move(fwd));
   controller_->add_component(std::move(exp));
+  controller_->add_component(std::move(metrics));
   controller_->add_component(std::move(api));
   controller_->add_component(std::make_unique<nox::LivenessMonitor>());
 

@@ -17,6 +17,7 @@
 #include "homework/dns_proxy.hpp"
 #include "homework/event_export.hpp"
 #include "homework/forwarding.hpp"
+#include "homework/metrics_export.hpp"
 #include "homework/upstream.hpp"
 #include "homework/wireless_map.hpp"
 #include "hwdb/database.hpp"
@@ -47,6 +48,7 @@ class HomeworkRouter {
     sim::Position ap_position{5, 5};
     ofp::Datapath::Config datapath;
     EventExport::Config event_export;
+    MetricsExport::Config metrics_export;
     Duration channel_latency = 100;  // controller channel, microseconds
     std::uint16_t uplink_port = 1;
     /// Records every frame crossing the uplink into uplink_trace(), from
@@ -90,6 +92,7 @@ class HomeworkRouter {
   [[nodiscard]] DnsProxy& dns() { return *dns_; }
   [[nodiscard]] Forwarding& forwarding() { return *forwarding_; }
   [[nodiscard]] EventExport& event_export() { return *export_; }
+  [[nodiscard]] MetricsExport& metrics_export() { return *metrics_export_; }
   [[nodiscard]] ControlApi& control_api() { return *control_api_; }
   [[nodiscard]] const Config& config() const { return config_; }
   /// Uplink capture (points "uplink-tx"/"uplink-rx"); empty unless
@@ -120,6 +123,7 @@ class HomeworkRouter {
   DnsProxy* dns_ = nullptr;
   Forwarding* forwarding_ = nullptr;
   EventExport* export_ = nullptr;
+  MetricsExport* metrics_export_ = nullptr;
   ControlApi* control_api_ = nullptr;
 
   std::vector<std::unique_ptr<sim::DuplexLink>> links_;

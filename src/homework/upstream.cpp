@@ -19,14 +19,14 @@ std::optional<Ipv4Address> Upstream::lookup(const std::string& name) const {
 
 void Upstream::send(Bytes frame) {
   if (to_router_ == nullptr) return;
-  ++stats_.frames_out;
+  metrics_.frames_out.inc();
   loop_.schedule(config_.rtt, [this, frame = std::move(frame)] {
     to_router_->deliver(frame);
   });
 }
 
 void Upstream::deliver(const Bytes& frame) {
-  ++stats_.frames_in;
+  metrics_.frames_in.inc();
   auto parsed = net::ParsedPacket::parse(frame);
   if (!parsed || !parsed.value().ip) return;
   const auto& p = parsed.value();
@@ -47,7 +47,7 @@ void Upstream::deliver(const Bytes& frame) {
 }
 
 void Upstream::handle_dns(const net::ParsedPacket& p) {
-  ++stats_.dns_queries;
+  metrics_.dns_queries.inc();
   auto msg = net::DnsMessage::parse(p.l4_payload);
   if (!msg || msg.value().questions.empty()) return;
   const auto& query = msg.value();
@@ -61,7 +61,7 @@ void Upstream::handle_dns(const net::ParsedPacket& p) {
       resp.answers.push_back(net::DnsRecord::a(q.name, *ip));
     } else {
       resp.rcode = net::DnsRcode::NxDomain;
-      ++stats_.dns_nxdomain;
+      metrics_.dns_nxdomain.inc();
     }
   } else if (q.qtype == net::DnsType::Ptr) {
     // "d.c.b.a.in-addr.arpa" → a.b.c.d
@@ -75,14 +75,14 @@ void Upstream::handle_dns(const net::ParsedPacket& p) {
           resp.answers.push_back(net::DnsRecord::ptr(q.name, it->second));
         } else {
           resp.rcode = net::DnsRcode::NxDomain;
-          ++stats_.dns_nxdomain;
+          metrics_.dns_nxdomain.inc();
         }
       } else {
         resp.rcode = net::DnsRcode::FormErr;
       }
     } else {
       resp.rcode = net::DnsRcode::NxDomain;
-      ++stats_.dns_nxdomain;
+      metrics_.dns_nxdomain.inc();
     }
   } else {
     resp.rcode = net::DnsRcode::NxDomain;
@@ -97,7 +97,7 @@ void Upstream::handle_tcp(const net::ParsedPacket& p) {
   if (tcp.rst()) return;
 
   if (tcp.syn() && !tcp.ack_set()) {
-    ++stats_.tcp_syns;
+    metrics_.tcp_syns.inc();
     net::TcpHeader synack;
     synack.src_port = tcp.dst_port;
     synack.dst_port = tcp.src_port;
@@ -120,7 +120,7 @@ void Upstream::handle_tcp(const net::ParsedPacket& p) {
     return;
   }
   if (!p.l4_payload.empty()) {
-    ++stats_.tcp_data_segments;
+    metrics_.tcp_data_segments.inc();
     // Serve the download: N response bytes split into MTU-sized segments.
     auto it = config_.response_bytes.find(tcp.dst_port);
     std::size_t remaining = it == config_.response_bytes.end() ? 0 : it->second;
@@ -136,7 +136,7 @@ void Upstream::handle_tcp(const net::ParsedPacket& p) {
       data.flags = net::TcpFlags::kAck | (chunk > 0 ? net::TcpFlags::kPsh : 0);
       send(net::build_tcp(config_.gw_mac, p.eth.src, p.ip->dst, p.ip->src, data,
                           Bytes(chunk, 0x5a)));
-      stats_.bytes_served += chunk;
+      metrics_.bytes_served.inc(chunk);
       seq += static_cast<std::uint32_t>(chunk);
       remaining -= chunk;
     } while (remaining > 0);
@@ -145,7 +145,7 @@ void Upstream::handle_tcp(const net::ParsedPacket& p) {
 }
 
 void Upstream::handle_icmp(const net::ParsedPacket& p) {
-  ++stats_.pings;
+  metrics_.pings.inc();
   send(net::build_icmp_echo(config_.gw_mac, p.eth.src, p.ip->dst, p.ip->src,
                             net::IcmpType::EchoReply, p.icmp->identifier,
                             p.icmp->sequence));

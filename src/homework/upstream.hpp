@@ -13,9 +13,11 @@
 #include "net/packet.hpp"
 #include "sim/event_loop.hpp"
 #include "sim/link.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace hw::homework {
 
+/// Snapshot view over the module's telemetry instruments.
 struct UpstreamStats {
   std::uint64_t frames_in = 0;
   std::uint64_t frames_out = 0;
@@ -54,7 +56,16 @@ class Upstream final : public sim::FrameSink {
   // -- FrameSink: traffic leaving the home ---------------------------------
   void deliver(const Bytes& frame) override;
 
-  [[nodiscard]] const UpstreamStats& stats() const { return stats_; }
+  [[nodiscard]] UpstreamStats stats() const {
+    return {metrics_.frames_in.value(),
+            metrics_.frames_out.value(),
+            metrics_.dns_queries.value(),
+            metrics_.dns_nxdomain.value(),
+            metrics_.tcp_syns.value(),
+            metrics_.tcp_data_segments.value(),
+            metrics_.bytes_served.value(),
+            metrics_.pings.value()};
+  }
 
  private:
   void handle_dns(const net::ParsedPacket& p);
@@ -65,7 +76,16 @@ class Upstream final : public sim::FrameSink {
   sim::EventLoop& loop_;
   Config config_;
   sim::FrameSink* to_router_ = nullptr;
-  UpstreamStats stats_;
+  struct Instruments {
+    telemetry::Counter frames_in{"homework.upstream.frames_in"};
+    telemetry::Counter frames_out{"homework.upstream.frames_out"};
+    telemetry::Counter dns_queries{"homework.upstream.dns_queries"};
+    telemetry::Counter dns_nxdomain{"homework.upstream.dns_nxdomain"};
+    telemetry::Counter tcp_syns{"homework.upstream.tcp_syns"};
+    telemetry::Counter tcp_data_segments{"homework.upstream.tcp_data_segments"};
+    telemetry::Counter bytes_served{"homework.upstream.bytes_served"};
+    telemetry::Counter pings{"homework.upstream.pings"};
+  } metrics_;
   std::map<std::string, Ipv4Address> zone_;
   std::map<std::uint32_t, std::string> reverse_zone_;  // ip → name
   std::uint32_t tcp_seq_ = 1000;

@@ -14,6 +14,7 @@ Status Database::create_table(Schema schema, std::size_t capacity) {
   }
   if (capacity == 0) return Status::failure("table capacity must be > 0");
   tables_.emplace(name, std::make_unique<Table>(std::move(schema), capacity));
+  metrics_.tables.set(static_cast<std::int64_t>(tables_.size()));
   return {};
 }
 
@@ -35,18 +36,19 @@ std::vector<std::string> Database::table_names() const {
 }
 
 Status Database::insert(const std::string& table_name, std::vector<Value> values) {
+  const telemetry::ScopedTimer timer(metrics_.insert_ns);
   Table* t = table(table_name);
   if (t == nullptr) {
-    ++stats_.insert_errors;
+    metrics_.insert_errors.inc();
     return Status::failure("no such table: " + table_name);
   }
   auto status = t->insert(loop_.now(), std::move(values));
   if (!status.ok()) {
-    ++stats_.insert_errors;
+    metrics_.insert_errors.inc();
     HW_LOG_WARN(kLog, "%s", status.error().message.c_str());
     return status;
   }
-  ++stats_.inserts;
+  metrics_.inserts.inc();
 
   // Fire on-insert continuous queries bound to this table.
   for (auto& [id, sub] : subs_) {
@@ -64,7 +66,7 @@ Result<ResultSet> Database::query(std::string_view text) const {
 }
 
 Result<ResultSet> Database::query(const SelectQuery& q) const {
-  ++stats_.queries;
+  metrics_.queries.inc();
   const Table* t = table(q.table);
   if (t == nullptr) return make_error("no such table: " + q.table);
   const Table* right = nullptr;
@@ -116,7 +118,7 @@ void Database::fire(Subscription& sub) {
                 result.error().message.c_str());
     return;
   }
-  ++stats_.subscription_fires;
+  metrics_.subscription_fires.inc();
   sub.cb(sub.id, result.value());
 }
 

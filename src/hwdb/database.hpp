@@ -14,6 +14,7 @@
 #include "hwdb/executor.hpp"
 #include "hwdb/table.hpp"
 #include "sim/event_loop.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace hw::hwdb {
 
@@ -26,6 +27,7 @@ enum class SubscriptionMode {
   OnInsert,  // re-run whenever the queried table receives an insert
 };
 
+/// Snapshot view over the database's telemetry instruments.
 struct DatabaseStats {
   std::uint64_t inserts = 0;
   std::uint64_t queries = 0;
@@ -65,7 +67,15 @@ class Database {
   void unsubscribe(SubscriptionId id);
   [[nodiscard]] std::size_t subscription_count() const { return subs_.size(); }
 
-  [[nodiscard]] const DatabaseStats& stats() const { return stats_; }
+  [[nodiscard]] DatabaseStats stats() const {
+    return {metrics_.inserts.value(), metrics_.queries.value(),
+            metrics_.subscription_fires.value(), metrics_.insert_errors.value()};
+  }
+  /// Insert latency histogram (nanoseconds) — the instrument hwdb_perf and
+  /// MetricsExport report from.
+  [[nodiscard]] const telemetry::Histogram& insert_latency() const {
+    return metrics_.insert_ns;
+  }
   [[nodiscard]] sim::EventLoop& loop() const { return loop_; }
 
  private:
@@ -83,7 +93,15 @@ class Database {
   std::map<std::string, std::unique_ptr<Table>> tables_;
   std::map<SubscriptionId, std::unique_ptr<Subscription>> subs_;
   SubscriptionId next_sub_id_ = 1;
-  mutable DatabaseStats stats_;
+  // Mutable: query() is logically const but still counts.
+  mutable struct Instruments {
+    telemetry::Counter inserts{"hwdb.database.inserts"};
+    telemetry::Counter queries{"hwdb.database.queries"};
+    telemetry::Counter subscription_fires{"hwdb.database.subscription_fires"};
+    telemetry::Counter insert_errors{"hwdb.database.insert_errors"};
+    telemetry::Gauge tables{"hwdb.database.tables"};
+    telemetry::Histogram insert_ns{"hwdb.database.insert_ns"};
+  } metrics_;
 };
 
 }  // namespace hw::hwdb

@@ -15,16 +15,16 @@ void RpcServer::handle_datagram(ClientAddress from,
                                 std::span<const std::uint8_t> datagram) {
   auto decoded = decode(datagram, /*from_server=*/false);
   if (!decoded) {
-    ++stats_.errors;
+    metrics_.errors.inc();
     HW_LOG_WARN(kLog, "bad request datagram: %s", decoded.error().message.c_str());
     return;
   }
   const auto* req = std::get_if<Request>(&decoded.value());
   if (req == nullptr) {
-    ++stats_.errors;
+    metrics_.errors.inc();
     return;
   }
-  ++stats_.requests;
+  metrics_.requests.inc();
   Response resp = process(from, *req);
   send_(from, encode(resp));
 }
@@ -57,7 +57,7 @@ Response RpcServer::process(ClientAddress from, const Request& req) {
               body.cql, mode,
               static_cast<Duration>(body.period_ms) * kMillisecond,
               [this, from](SubscriptionId id, const ResultSet& rs) {
-                ++stats_.pushes;
+                metrics_.pushes.inc();
                 send_(from, encode(Publish{id, rs}));
               });
           if (!sub) {
@@ -75,7 +75,7 @@ Response RpcServer::process(ClientAddress from, const Request& req) {
         }
       },
       req.body);
-  if (!resp.ok) ++stats_.errors;
+  if (!resp.ok) metrics_.errors.inc();
   return resp;
 }
 

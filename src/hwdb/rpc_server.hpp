@@ -8,6 +8,7 @@
 
 #include "hwdb/database.hpp"
 #include "hwdb/rpc_codec.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace hw::hwdb::rpc {
 
@@ -15,6 +16,7 @@ namespace hw::hwdb::rpc {
 /// route responses/pushes back.
 using ClientAddress = std::uint64_t;
 
+/// Snapshot view over the RPC server's telemetry instruments.
 struct ServerStats {
   std::uint64_t requests = 0;
   std::uint64_t errors = 0;
@@ -38,14 +40,21 @@ class RpcServer {
   /// Drops all subscriptions owned by a client (transport saw it vanish).
   void drop_client(ClientAddress addr);
 
-  [[nodiscard]] const ServerStats& stats() const { return stats_; }
+  [[nodiscard]] ServerStats stats() const {
+    return {metrics_.requests.value(), metrics_.errors.value(),
+            metrics_.pushes.value()};
+  }
 
  private:
   Response process(ClientAddress from, const Request& req);
 
   Database& db_;
   SendFn send_;
-  ServerStats stats_;
+  struct Instruments {
+    telemetry::Counter requests{"hwdb.rpc_server.requests"};
+    telemetry::Counter errors{"hwdb.rpc_server.errors"};
+    telemetry::Counter pushes{"hwdb.rpc_server.pushes"};
+  } metrics_;
   /// subscription id → owning client.
   std::map<SubscriptionId, ClientAddress> sub_owner_;
 };

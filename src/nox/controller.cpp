@@ -128,7 +128,7 @@ void Controller::handle_message(Connection& conn, const Bytes& encoded) {
         } else if constexpr (std::is_same_v<T, ofp::PacketIn>) {
           if (conn.dpid) dispatch_packet_in(*conn.dpid, m);
         } else if constexpr (std::is_same_v<T, ofp::FlowRemoved>) {
-          ++stats_.flow_removed;
+          metrics_.flow_removed.inc();
           if (conn.dpid) {
             for (Component* c : ordered_) c->handle_flow_removed(*conn.dpid, m);
           }
@@ -137,7 +137,7 @@ void Controller::handle_message(Connection& conn, const Bytes& encoded) {
             for (Component* c : ordered_) c->handle_port_status(*conn.dpid, m);
           }
         } else if constexpr (std::is_same_v<T, ofp::ErrorMsg>) {
-          ++stats_.errors;
+          metrics_.errors.inc();
           HW_LOG_WARN(kLog, "datapath error type=%u code=%u",
                       static_cast<unsigned>(m.type), m.code);
           if (conn.dpid) {
@@ -161,10 +161,11 @@ void Controller::handle_message(Connection& conn, const Bytes& encoded) {
 }
 
 void Controller::dispatch_packet_in(DatapathId dpid, const ofp::PacketIn& pi) {
-  ++stats_.packet_ins;
+  const telemetry::ScopedTimer timer(metrics_.packet_in_dispatch_ns);
+  metrics_.packet_ins.inc();
   auto parsed = net::ParsedPacket::parse(pi.data);
   if (!parsed) {
-    ++stats_.unparseable_packets;
+    metrics_.unparseable_packets.inc();
     return;
   }
   const PacketInEvent event{dpid, pi, parsed.value()};
@@ -176,14 +177,14 @@ void Controller::dispatch_packet_in(DatapathId dpid, const ofp::PacketIn& pi) {
 void Controller::send_flow_mod(DatapathId dpid, const ofp::FlowMod& mod) {
   Connection* conn = find(dpid);
   if (conn == nullptr) return;
-  ++stats_.flow_mods;
+  metrics_.flow_mods.inc();
   conn->channel->send(ofp::encode({next_xid(), mod}));
 }
 
 void Controller::send_packet_out(DatapathId dpid, const ofp::PacketOut& po) {
   Connection* conn = find(dpid);
   if (conn == nullptr) return;
-  ++stats_.packet_outs;
+  metrics_.packet_outs.inc();
   conn->channel->send(ofp::encode({next_xid(), po}));
 }
 

@@ -14,9 +14,11 @@
 #include "openflow/channel.hpp"
 #include "openflow/messages.hpp"
 #include "sim/event_loop.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace hw::nox {
 
+/// Snapshot view over the controller's telemetry instruments.
 struct ControllerStats {
   std::uint64_t packet_ins = 0;
   std::uint64_t packet_outs = 0;
@@ -76,7 +78,16 @@ class Controller {
   void send_echo(DatapathId dpid, std::function<void()> on_reply);
 
   [[nodiscard]] sim::EventLoop& loop() const { return loop_; }
-  [[nodiscard]] const ControllerStats& stats() const { return stats_; }
+  [[nodiscard]] ControllerStats stats() const {
+    return {metrics_.packet_ins.value(),     metrics_.packet_outs.value(),
+            metrics_.flow_mods.value(),      metrics_.flow_removed.value(),
+            metrics_.errors.value(),         metrics_.unparseable_packets.value()};
+  }
+  /// Packet-in dispatch latency (nanoseconds through the component chain) —
+  /// the instrument ctrl_perf and MetricsExport report from.
+  [[nodiscard]] const telemetry::Histogram& packet_in_latency() const {
+    return metrics_.packet_in_dispatch_ns;
+  }
 
  private:
   struct Connection {
@@ -98,7 +109,16 @@ class Controller {
   std::map<std::uint32_t, StatsCallback> pending_stats_;
   std::map<std::uint32_t, std::function<void()>> pending_echo_;
   std::uint32_t next_xid_ = 1;
-  ControllerStats stats_;
+  struct Instruments {
+    telemetry::Counter packet_ins{"nox.controller.packet_ins"};
+    telemetry::Counter packet_outs{"nox.controller.packet_outs"};
+    telemetry::Counter flow_mods{"nox.controller.flow_mods"};
+    telemetry::Counter flow_removed{"nox.controller.flow_removed"};
+    telemetry::Counter errors{"nox.controller.errors"};
+    telemetry::Counter unparseable_packets{"nox.controller.unparseable_packets"};
+    telemetry::Histogram packet_in_dispatch_ns{
+        "nox.controller.packet_in_dispatch_ns"};
+  } metrics_;
 };
 
 }  // namespace hw::nox

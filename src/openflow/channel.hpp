@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "sim/event_loop.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/bytes.hpp"
 
 namespace hw::ofp {
@@ -23,28 +24,39 @@ class ChannelEndpoint {
   void on_receive(Handler handler) { handler_ = std::move(handler); }
   [[nodiscard]] bool connected() const { return connected_; }
 
+  /// Snapshot view over the endpoint's telemetry instruments.
   struct Stats {
     std::uint64_t tx_messages = 0;
     std::uint64_t tx_bytes = 0;
     std::uint64_t rx_messages = 0;
     std::uint64_t rx_bytes = 0;
   };
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] Stats stats() const {
+    return {metrics_.tx_messages.value(), metrics_.tx_bytes.value(),
+            metrics_.rx_messages.value(), metrics_.rx_bytes.value()};
+  }
 
  protected:
   void dispatch(const Bytes& encoded) {
-    ++stats_.rx_messages;
-    stats_.rx_bytes += encoded.size();
+    metrics_.rx_messages.inc();
+    metrics_.rx_bytes.inc(encoded.size());
     if (handler_) handler_(encoded);
   }
   void note_sent(std::size_t size) {
-    ++stats_.tx_messages;
-    stats_.tx_bytes += size;
+    metrics_.tx_messages.inc();
+    metrics_.tx_bytes.inc(size);
   }
 
   Handler handler_;
   bool connected_ = true;
-  Stats stats_;
+
+ private:
+  struct Instruments {
+    telemetry::Counter tx_messages{"openflow.channel.tx_messages"};
+    telemetry::Counter tx_bytes{"openflow.channel.tx_bytes"};
+    telemetry::Counter rx_messages{"openflow.channel.rx_messages"};
+    telemetry::Counter rx_bytes{"openflow.channel.rx_bytes"};
+  } metrics_;
 };
 
 /// An in-process connection joining two endpoints through the event loop,

@@ -286,7 +286,7 @@ void Datapath::send_packet_in(std::uint16_t in_port, const Bytes& frame,
   // Buffer the full frame and send a (possibly truncated) copy.
   if (buffers_.size() >= config_.n_buffers) {
     buffers_.erase(buffers_.begin());
-    ++stats_.buffer_evictions;
+    metrics_.buffer_evictions.inc();
   }
   BufferedPacket buf;
   buf.id = next_buffer_id_++;
@@ -300,7 +300,7 @@ void Datapath::send_packet_in(std::uint16_t in_port, const Bytes& frame,
       max_len == 0 ? frame.size() : std::min<std::size_t>(frame.size(), max_len);
   pi.data.assign(frame.begin(), frame.begin() + static_cast<std::ptrdiff_t>(send_len));
 
-  ++stats_.packet_ins;
+  metrics_.packet_ins.inc();
   send_to_controller(std::move(pi), next_xid_++);
 }
 
@@ -367,7 +367,7 @@ void Datapath::handle_channel_message(const Bytes& encoded) {
 }
 
 void Datapath::handle_flow_mod(const FlowMod& mod, std::uint32_t xid) {
-  ++stats_.flow_mods;
+  metrics_.flow_mods.inc();
   std::vector<FlowEntry> removed;
   const FlowModResult result = table_.apply(mod, loop_.now(), &removed);
 
@@ -392,7 +392,7 @@ void Datapath::handle_flow_mod(const FlowMod& mod, std::uint32_t xid) {
     fr.idle_timeout = e.idle_timeout;
     fr.packet_count = e.packet_count;
     fr.byte_count = e.byte_count;
-    ++stats_.flow_removed_sent;
+    metrics_.flow_removed_sent.inc();
     send_to_controller(std::move(fr), next_xid_++);
   }
 
@@ -408,7 +408,7 @@ void Datapath::handle_flow_mod(const FlowMod& mod, std::uint32_t xid) {
 }
 
 void Datapath::handle_packet_out(const PacketOut& po, std::uint32_t xid) {
-  ++stats_.packet_outs;
+  metrics_.packet_outs.inc();
   Bytes frame;
   if (po.buffer_id != kNoBuffer) {
     auto buffered = take_buffered(po.buffer_id);
@@ -524,7 +524,7 @@ void Datapath::sweep_timeouts() {
     fr.idle_timeout = entry.idle_timeout;
     fr.packet_count = entry.packet_count;
     fr.byte_count = entry.byte_count;
-    ++stats_.flow_removed_sent;
+    metrics_.flow_removed_sent.inc();
     send_to_controller(std::move(fr), next_xid_++);
   }
 }

@@ -13,6 +13,7 @@
 #include "openflow/flow_table.hpp"
 #include "openflow/messages.hpp"
 #include "sim/link.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/token_bucket.hpp"
 
 namespace hw::ofp {
@@ -26,6 +27,7 @@ struct PortCounters {
   std::uint64_t tx_dropped = 0;
 };
 
+/// Snapshot view over the datapath's telemetry instruments.
 struct DatapathStats {
   std::uint64_t packet_ins = 0;
   std::uint64_t packet_outs = 0;
@@ -66,7 +68,11 @@ class Datapath {
   [[nodiscard]] std::uint64_t id() const { return config_.datapath_id; }
   [[nodiscard]] FlowTable& table() { return table_; }
   [[nodiscard]] const FlowTable& table() const { return table_; }
-  [[nodiscard]] const DatapathStats& stats() const { return stats_; }
+  [[nodiscard]] DatapathStats stats() const {
+    return {metrics_.packet_ins.value(), metrics_.packet_outs.value(),
+            metrics_.flow_mods.value(), metrics_.flow_removed_sent.value(),
+            metrics_.buffer_evictions.value()};
+  }
   [[nodiscard]] const PortCounters* port_counters(std::uint16_t port) const;
   [[nodiscard]] std::vector<PhyPort> port_descriptions() const;
 
@@ -121,7 +127,13 @@ class Datapath {
   FlowTable table_;
   std::map<std::uint16_t, PortState> ports_;
   ChannelEndpoint* channel_ = nullptr;
-  DatapathStats stats_;
+  struct Instruments {
+    telemetry::Counter packet_ins{"openflow.datapath.packet_ins"};
+    telemetry::Counter packet_outs{"openflow.datapath.packet_outs"};
+    telemetry::Counter flow_mods{"openflow.datapath.flow_mods"};
+    telemetry::Counter flow_removed_sent{"openflow.datapath.flow_removed_sent"};
+    telemetry::Counter buffer_evictions{"openflow.datapath.buffer_evictions"};
+  } metrics_;
   std::uint32_t next_xid_ = 1;
 
   // Packet buffer: miss frames held for controller-directed release.

@@ -55,6 +55,7 @@ FlowModResult FlowTable::apply(const FlowMod& mod, Timestamp now,
           entries_.begin(), entries_.end(), e.priority,
           [](std::uint16_t p, const FlowEntry& x) { return p > x.priority; });
       entries_.insert(pos, std::move(e));
+      metrics_.entries.set(static_cast<std::int64_t>(entries_.size()));
       return FlowModResult::Added;
     }
 
@@ -96,6 +97,7 @@ FlowModResult FlowTable::apply(const FlowMod& mod, Timestamp now,
           ++it;
         }
       }
+      metrics_.entries.set(static_cast<std::int64_t>(entries_.size()));
       return any ? FlowModResult::Deleted : FlowModResult::NoMatch;
     }
   }
@@ -103,10 +105,13 @@ FlowModResult FlowTable::apply(const FlowMod& mod, Timestamp now,
 }
 
 FlowEntry* FlowTable::lookup(const Match& pkt, Timestamp now, std::size_t bytes) {
-  ++stats_.lookups;
+  const telemetry::ScopedTimer timer(metrics_.lookup_ns);
+  metrics_.lookups.inc();
   for (auto& e : entries_) {
     if (e.match.covers(pkt)) {
-      ++stats_.matches;
+      metrics_.matches.inc();
+      // Zero-length packets still refresh the idle timeout: OF 1.0 expires
+      // on packet arrival, not byte volume.
       e.last_used = now;
       ++e.packet_count;
       e.byte_count += bytes;
@@ -143,6 +148,7 @@ std::vector<std::pair<FlowEntry, FlowRemovedReason>> FlowTable::expire(
       ++it;
     }
   }
+  metrics_.entries.set(static_cast<std::int64_t>(entries_.size()));
   return out;
 }
 

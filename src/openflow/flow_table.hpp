@@ -11,6 +11,7 @@
 #include "openflow/actions.hpp"
 #include "openflow/match.hpp"
 #include "openflow/messages.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/types.hpp"
 
 namespace hw::ofp {
@@ -30,6 +31,7 @@ struct FlowEntry {
   std::uint64_t byte_count = 0;
 };
 
+/// Snapshot view over the table's telemetry instruments.
 struct TableStats {
   std::uint64_t lookups = 0;
   std::uint64_t matches = 0;
@@ -55,7 +57,9 @@ class FlowTable {
                       std::vector<FlowEntry>* removed = nullptr);
 
   /// Highest-priority entry covering the packet's exact-match fields, or
-  /// nullptr. Updates counters and last_used when `bytes` > 0.
+  /// nullptr. Updates per-entry counters and refreshes last_used — also for
+  /// zero-length packets, which still reset the idle timeout (OF 1.0 §3.4
+  /// counts packets, not bytes).
   FlowEntry* lookup(const Match& pkt, Timestamp now, std::size_t bytes);
   /// Read-only lookup without touching counters.
   [[nodiscard]] const FlowEntry* peek(const Match& pkt) const;
@@ -70,7 +74,14 @@ class FlowTable {
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
-  [[nodiscard]] const TableStats& stats() const { return stats_; }
+  [[nodiscard]] TableStats stats() const {
+    return {metrics_.lookups.value(), metrics_.matches.value()};
+  }
+  /// Lookup latency histogram (nanoseconds) — the instrument ofp_perf and
+  /// the MetricsExport table both report from.
+  [[nodiscard]] const telemetry::Histogram& lookup_latency() const {
+    return metrics_.lookup_ns;
+  }
 
   /// Visits every entry (diagnostics, EXPERIMENTS dumps).
   void for_each(const std::function<void(const FlowEntry&)>& fn) const;
@@ -83,7 +94,13 @@ class FlowTable {
   // Kept sorted by descending priority; stable order among equal priorities
   // (later adds go after earlier ones, matching OVS behaviour closely enough).
   std::vector<FlowEntry> entries_;
-  TableStats stats_;
+
+  struct Instruments {
+    telemetry::Counter lookups{"openflow.flow_table.lookups"};
+    telemetry::Counter matches{"openflow.flow_table.matches"};
+    telemetry::Gauge entries{"openflow.flow_table.entries"};
+    telemetry::Histogram lookup_ns{"openflow.flow_table.lookup_ns"};
+  } metrics_;
 };
 
 }  // namespace hw::ofp

@@ -30,14 +30,14 @@ Host::Host(EventLoop& loop, Config config, Rng& rng)
 
 void Host::send_frame(Bytes frame) {
   if (uplink_ == nullptr) return;
-  ++stats_.tx_frames;
-  stats_.tx_bytes += frame.size();
+  metrics_.tx_frames.inc();
+  metrics_.tx_bytes.inc(frame.size());
   uplink_->send(frame);
 }
 
 void Host::deliver(const Bytes& frame) {
-  ++stats_.rx_frames;
-  stats_.rx_bytes += frame.size();
+  metrics_.rx_frames.inc();
+  metrics_.rx_bytes.inc(frame.size());
 
   auto parsed = net::ParsedPacket::parse(frame);
   if (!parsed) return;  // malformed frames are dropped silently, as NICs do
@@ -178,7 +178,7 @@ void Host::handle_dhcp(const net::ParsedPacket& p) {
       lease_secs_ = m.lease_time_secs.value_or(3600);
       dhcp_state_ = DhcpClientState::Bound;
       dhcp_retries_ = 0;
-      ++stats_.dhcp_acks;
+      metrics_.dhcp_acks.inc();
       HW_LOG_INFO(kLog, "%s: bound %s", config_.name.c_str(),
                   ip_->to_string().c_str());
       schedule_renewal();
@@ -187,7 +187,7 @@ void Host::handle_dhcp(const net::ParsedPacket& p) {
     }
     case net::DhcpMessageType::Nak: {
       loop_.cancel(dhcp_timer_);
-      ++stats_.dhcp_naks;
+      metrics_.dhcp_naks.inc();
       dhcp_state_ = DhcpClientState::Init;
       ip_.reset();
       if (on_nak_) on_nak_();
@@ -330,7 +330,7 @@ void Host::resolve(const std::string& name, ResolveCallback cb) {
     if (it == dns_pending_.end()) return;
     auto entry = std::move(it->second);
     dns_pending_.erase(it);
-    ++stats_.dns_failures;
+    metrics_.dns_failures.inc();
     entry.cb(make_error("DNS timeout"), entry.name);
   });
   dns_pending_.emplace(port, std::move(pending));
@@ -347,19 +347,19 @@ void Host::handle_dns_response(const net::ParsedPacket& p) {
 
   const auto& m = msg.value();
   if (m.rcode != net::DnsRcode::NoError) {
-    ++stats_.dns_failures;
+    metrics_.dns_failures.inc();
     entry.cb(make_error("DNS rcode " + std::to_string(static_cast<int>(m.rcode))),
              entry.name);
     return;
   }
   for (const auto& rec : m.answers) {
     if (rec.rtype == net::DnsType::A) {
-      ++stats_.dns_answers;
+      metrics_.dns_answers.inc();
       entry.cb(rec.address, entry.name);
       return;
     }
   }
-  ++stats_.dns_failures;
+  metrics_.dns_failures.inc();
   entry.cb(make_error("DNS: no A record"), entry.name);
 }
 

@@ -16,6 +16,7 @@
 #include "net/packet.hpp"
 #include "sim/event_loop.hpp"
 #include "sim/link.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/rand.hpp"
 
 namespace hw::sim {
@@ -31,6 +32,7 @@ enum class DhcpClientState {
 
 const char* to_string(DhcpClientState s);
 
+/// Snapshot view over the module's telemetry instruments.
 struct HostStats {
   std::uint64_t tx_frames = 0;
   std::uint64_t tx_bytes = 0;
@@ -99,7 +101,16 @@ class Host final : public FrameSink {
               std::function<void(const net::ParsedPacket&)> handler);
 
   [[nodiscard]] const Config& config() const { return config_; }
-  [[nodiscard]] const HostStats& stats() const { return stats_; }
+  [[nodiscard]] HostStats stats() const {
+    return {metrics_.tx_frames.value(),
+            metrics_.tx_bytes.value(),
+            metrics_.rx_frames.value(),
+            metrics_.rx_bytes.value(),
+            metrics_.dhcp_acks.value(),
+            metrics_.dhcp_naks.value(),
+            metrics_.dns_answers.value(),
+            metrics_.dns_failures.value()};
+  }
   [[nodiscard]] MacAddress mac() const { return config_.mac; }
   [[nodiscard]] const std::string& name() const { return config_.name; }
 
@@ -121,7 +132,16 @@ class Host final : public FrameSink {
   Config config_;
   Rng& rng_;
   LinkChannel* uplink_ = nullptr;
-  HostStats stats_;
+  struct Instruments {
+    telemetry::Counter tx_frames{"sim.host.tx_frames"};
+    telemetry::Counter tx_bytes{"sim.host.tx_bytes"};
+    telemetry::Counter rx_frames{"sim.host.rx_frames"};
+    telemetry::Counter rx_bytes{"sim.host.rx_bytes"};
+    telemetry::Counter dhcp_acks{"sim.host.dhcp_acks"};
+    telemetry::Counter dhcp_naks{"sim.host.dhcp_naks"};
+    telemetry::Counter dns_answers{"sim.host.dns_answers"};
+    telemetry::Counter dns_failures{"sim.host.dns_failures"};
+  } metrics_;
 
   // DHCP
   DhcpClientState dhcp_state_ = DhcpClientState::Init;

@@ -10,12 +10,12 @@ LinkChannel::LinkChannel(EventLoop& loop, Config config, Rng* rng)
 bool LinkChannel::send(const Bytes& frame) {
   if (sink_ == nullptr) return false;
   if (in_flight_ >= config_.queue_limit) {
-    ++stats_.dropped_frames;
+    metrics_.dropped_frames.inc();
     return false;
   }
   if (rng_ != nullptr && config_.loss_probability > 0 &&
       rng_->chance(config_.loss_probability)) {
-    ++stats_.dropped_frames;
+    metrics_.dropped_frames.inc();
     return false;
   }
 
@@ -29,8 +29,8 @@ bool LinkChannel::send(const Bytes& frame) {
   busy_until_ = start + tx_time;
   const Timestamp arrival = busy_until_ + config_.latency;
 
-  ++stats_.tx_frames;
-  stats_.tx_bytes += frame.size();
+  metrics_.tx_frames.inc();
+  metrics_.tx_bytes.inc(frame.size());
   ++in_flight_;
   loop_.schedule_at(arrival, [this, frame] {
     --in_flight_;

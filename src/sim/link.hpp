@@ -7,6 +7,7 @@
 #include <string>
 
 #include "sim/event_loop.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/bytes.hpp"
 #include "util/rand.hpp"
 
@@ -30,6 +31,7 @@ class CallbackSink final : public FrameSink {
   Fn fn_;
 };
 
+/// Snapshot view over the module's telemetry instruments.
 struct LinkStats {
   std::uint64_t tx_frames = 0;
   std::uint64_t tx_bytes = 0;
@@ -57,7 +59,12 @@ class LinkChannel : public FrameSink {
   bool send(const Bytes& frame);
   void deliver(const Bytes& frame) override { send(frame); }
 
-  [[nodiscard]] const LinkStats& stats() const { return stats_; }
+  [[nodiscard]] LinkStats stats() const {
+    return {metrics_.tx_frames.value(),
+            metrics_.tx_bytes.value(),
+            metrics_.dropped_frames.value(),
+            metrics_.retried_frames.value()};
+  }
   [[nodiscard]] const Config& config() const { return config_; }
   void set_loss_probability(double p) { config_.loss_probability = p; }
   void set_bandwidth(std::uint64_t bps) { config_.bandwidth_bps = bps; }
@@ -67,7 +74,12 @@ class LinkChannel : public FrameSink {
   Config config_;
   Rng* rng_;
   FrameSink* sink_ = nullptr;
-  LinkStats stats_;
+  struct Instruments {
+    telemetry::Counter tx_frames{"sim.link.tx_frames"};
+    telemetry::Counter tx_bytes{"sim.link.tx_bytes"};
+    telemetry::Counter dropped_frames{"sim.link.dropped_frames"};
+    telemetry::Counter retried_frames{"sim.link.retried_frames"};
+  } metrics_;
   Timestamp busy_until_ = 0;
   std::size_t in_flight_ = 0;
 };

@@ -1,0 +1,162 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace hw::telemetry {
+
+const char* to_string(MetricKind k) {
+  switch (k) {
+    case MetricKind::Counter: return "counter";
+    case MetricKind::Gauge: return "gauge";
+    case MetricKind::Histogram: return "histogram";
+  }
+  return "?";
+}
+
+Instrument::Instrument(std::string name, MetricKind kind)
+    : name_(std::move(name)), kind_(kind) {
+  MetricRegistry::instance().attach(this);
+}
+
+Instrument::~Instrument() { MetricRegistry::instance().detach(this); }
+
+namespace {
+
+/// Bucket b of a Histogram holds values whose bit width is b: [2^(b-1), 2^b).
+constexpr std::uint64_t bucket_lo(std::size_t b) {
+  return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+}
+constexpr std::uint64_t bucket_hi(std::size_t b) {
+  return b == 0 ? 0
+         : b >= 64 ? ~std::uint64_t{0}
+                   : (std::uint64_t{1} << b) - 1;
+}
+
+}  // namespace
+
+double Histogram::percentile_of(const Buckets& buckets, std::uint64_t count,
+                                double q) {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // 1-based rank of the requested order statistic.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(q * static_cast<double>(count) + 0.5));
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    if (cumulative + buckets[b] >= rank) {
+      const double lo = static_cast<double>(bucket_lo(b));
+      const double hi = static_cast<double>(bucket_hi(b));
+      const double within =
+          static_cast<double>(rank - cumulative) / static_cast<double>(buckets[b]);
+      return lo + (hi - lo) * within;
+    }
+    cumulative += buckets[b];
+  }
+  return static_cast<double>(bucket_hi(kBuckets - 1));
+}
+
+double Histogram::percentile(double q) const {
+  return percentile_of(buckets_, count_, q);
+}
+
+MetricRegistry& MetricRegistry::instance() {
+  static MetricRegistry registry;
+  return registry;
+}
+
+void MetricRegistry::attach(Instrument* i) { instruments_.push_back(i); }
+
+void MetricRegistry::detach(Instrument* i) {
+  instruments_.erase(std::remove(instruments_.begin(), instruments_.end(), i),
+                     instruments_.end());
+}
+
+std::optional<double> MetricRegistry::total(const std::string& name) const {
+  std::optional<double> out;
+  for (const Instrument* i : instruments_) {
+    if (i->name() != name) continue;
+    double v = 0;
+    switch (i->kind()) {
+      case MetricKind::Counter:
+        v = static_cast<double>(static_cast<const Counter*>(i)->value());
+        break;
+      case MetricKind::Gauge:
+        v = static_cast<double>(static_cast<const Gauge*>(i)->value());
+        break;
+      case MetricKind::Histogram:
+        v = static_cast<double>(static_cast<const Histogram*>(i)->count());
+        break;
+    }
+    out = out.value_or(0.0) + v;
+  }
+  return out;
+}
+
+std::vector<MetricSample> MetricRegistry::snapshot() const {
+  // Aggregate same-named instruments: instances of a module each carry their
+  // own cells, the series is their merge.
+  std::map<std::string, double> scalars;            // counters + gauges
+  std::map<std::string, MetricKind> scalar_kinds;
+  struct MergedHistogram {
+    Histogram::Buckets buckets{};
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t max = 0;
+  };
+  std::map<std::string, MergedHistogram> histograms;
+
+  for (const Instrument* i : instruments_) {
+    switch (i->kind()) {
+      case MetricKind::Counter:
+        scalars[i->name()] +=
+            static_cast<double>(static_cast<const Counter*>(i)->value());
+        scalar_kinds.emplace(i->name(), MetricKind::Counter);
+        break;
+      case MetricKind::Gauge:
+        scalars[i->name()] +=
+            static_cast<double>(static_cast<const Gauge*>(i)->value());
+        scalar_kinds.emplace(i->name(), MetricKind::Gauge);
+        break;
+      case MetricKind::Histogram: {
+        const auto* h = static_cast<const Histogram*>(i);
+        MergedHistogram& m = histograms[i->name()];
+        for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+          m.buckets[b] += h->buckets()[b];
+        }
+        m.count += h->count();
+        m.sum += h->sum();
+        m.max = std::max(m.max, h->max_value());
+        break;
+      }
+    }
+  }
+
+  std::vector<MetricSample> out;
+  out.reserve(scalars.size() + histograms.size() * 7);
+  for (const auto& [name, value] : scalars) {
+    out.push_back({name, scalar_kinds.at(name), value});
+  }
+  for (const auto& [name, m] : histograms) {
+    const auto emit = [&](const char* suffix, double v) {
+      out.push_back({name + "." + suffix, MetricKind::Histogram, v});
+    };
+    emit("count", static_cast<double>(m.count));
+    emit("sum", static_cast<double>(m.sum));
+    emit("mean", m.count == 0 ? 0.0
+                              : static_cast<double>(m.sum) /
+                                    static_cast<double>(m.count));
+    emit("p50", Histogram::percentile_of(m.buckets, m.count, 0.50));
+    emit("p90", Histogram::percentile_of(m.buckets, m.count, 0.90));
+    emit("p99", Histogram::percentile_of(m.buckets, m.count, 0.99));
+    emit("max", static_cast<double>(m.max));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+}  // namespace hw::telemetry

@@ -1,0 +1,176 @@
+// The router's self-measurement plane: a process-wide registry of named
+// instruments. The paper's thesis is that hwdb is *the* measurement plane
+// every interface reads from; this subsystem lets the router monitor itself
+// through that same plane. Modules own Counter/Gauge/Histogram instruments
+// (plain uint64 cells — the simulation is single-threaded by design, so no
+// atomics), the registry tracks every live instrument, and MetricsExport
+// periodically snapshots it into the hwdb Metrics table.
+//
+// Naming convention: `layer.module.name`, e.g. `openflow.flow_table.lookups`
+// or `hwdb.database.insert_ns`. Several instances of a module may carry the
+// same instrument name (one per sim::Host, per LinkChannel, …); snapshots
+// aggregate same-named instruments, so the name identifies the *series*.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hw::telemetry {
+
+enum class MetricKind : std::uint8_t { Counter, Gauge, Histogram };
+
+const char* to_string(MetricKind k);
+
+/// One flattened point of a registry snapshot. Histograms flatten into
+/// derived samples (`<name>.count`, `<name>.p50`, `<name>.p99`, …).
+struct MetricSample {
+  std::string name;
+  MetricKind kind = MetricKind::Counter;
+  double value = 0.0;
+};
+
+class MetricRegistry;
+
+/// Base of all instruments: registers with the process registry on
+/// construction, deregisters on destruction. Non-copyable and non-movable —
+/// instruments live as members of the module they instrument.
+class Instrument {
+ public:
+  Instrument(const Instrument&) = delete;
+  Instrument& operator=(const Instrument&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] MetricKind kind() const { return kind_; }
+
+ protected:
+  Instrument(std::string name, MetricKind kind);
+  ~Instrument();
+
+ private:
+  std::string name_;
+  MetricKind kind_;
+};
+
+/// Monotonically increasing event count.
+class Counter final : public Instrument {
+ public:
+  explicit Counter(std::string name)
+      : Instrument(std::move(name), MetricKind::Counter) {}
+
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Point-in-time level (table occupancy, connection count, …).
+class Gauge final : public Instrument {
+ public:
+  explicit Gauge(std::string name)
+      : Instrument(std::move(name), MetricKind::Gauge) {}
+
+  void set(std::int64_t v) { value_ = v; }
+  void add(std::int64_t d) { value_ += d; }
+  [[nodiscard]] std::int64_t value() const { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// Fixed-bucket histogram over non-negative integer observations (latency in
+/// nanoseconds at the hot paths). Buckets are powers of two: bucket b holds
+/// values whose bit width is b, so the range never saturates and recording
+/// is one bit_width plus one increment.
+class Histogram final : public Instrument {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+  using Buckets = std::array<std::uint64_t, kBuckets>;
+
+  explicit Histogram(std::string name)
+      : Instrument(std::move(name), MetricKind::Histogram) {}
+
+  void record(std::uint64_t v) {
+    ++buckets_[std::bit_width(v)];
+    ++count_;
+    sum_ += v;
+    if (v > max_) max_ = v;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+  [[nodiscard]] std::uint64_t max_value() const { return max_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  /// Estimated q-quantile (q in [0,1]), interpolated within the bucket.
+  [[nodiscard]] double percentile(double q) const;
+  [[nodiscard]] const Buckets& buckets() const { return buckets_; }
+
+  /// Quantile over externally merged buckets (registry aggregation).
+  static double percentile_of(const Buckets& buckets, std::uint64_t count,
+                              double q);
+
+ private:
+  Buckets buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// The process-wide instrument registry. Instruments attach themselves; a
+/// snapshot aggregates same-named instruments (sum for counters and gauges,
+/// bucket-merge for histograms) into a flat, name-sorted sample vector.
+class MetricRegistry {
+ public:
+  static MetricRegistry& instance();
+
+  /// Flattened, name-sorted view of every live instrument. Histogram series
+  /// expand to `<name>.count`, `<name>.sum`, `<name>.mean`, `<name>.p50`,
+  /// `<name>.p90`, `<name>.p99` and `<name>.max`.
+  [[nodiscard]] std::vector<MetricSample> snapshot() const;
+
+  /// Sum of all counter/gauge instruments bearing `name` (tests, reports);
+  /// nullopt when no such instrument is live.
+  [[nodiscard]] std::optional<double> total(const std::string& name) const;
+
+  [[nodiscard]] std::size_t instrument_count() const {
+    return instruments_.size();
+  }
+
+ private:
+  friend class Instrument;
+  void attach(Instrument* i);
+  void detach(Instrument* i);
+
+  std::vector<Instrument*> instruments_;
+};
+
+/// Wall-clock nanosecond stopwatch recording into a histogram when it goes
+/// out of scope — wraps the hot paths (flow lookup, packet-in dispatch,
+/// hwdb insert) so benches and the live router share one latency source.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& h)
+      : h_(h), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    h_.record(ns < 0 ? 0 : static_cast<std::uint64_t>(ns));
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram& h_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace hw::telemetry

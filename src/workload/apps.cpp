@@ -97,7 +97,7 @@ void TrafficApp::start() {
                 [this](Result<Ipv4Address> result, const std::string&) {
                   if (!running_) return;
                   if (!result) {
-                    ++stats_.dns_failures;
+                    metrics_.dns_failures.inc();
                     // Blocked or failed: retry occasionally, as apps do.
                     timer_ = loop_.schedule(10 * kSecond, [this] {
                       if (running_) {
@@ -107,7 +107,7 @@ void TrafficApp::start() {
                     });
                     return;
                   }
-                  stats_.resolved = true;
+                  resolved_ = true;
                   resolved(result.value());
                 });
 }
@@ -138,7 +138,7 @@ void TrafficApp::send_next() {
   } else {
     host_.send_udp(*server_, src_port_, profile_.dst_port, size);
   }
-  ++stats_.requests_sent;
+  metrics_.requests_sent.inc();
   const double wait = rng_.exponential(profile_.request_interval_mean);
   timer_ = loop_.schedule(static_cast<Duration>(wait * 1e6) + 1,
                           [this] { send_next(); });

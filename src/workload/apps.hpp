@@ -10,6 +10,7 @@
 
 #include "sim/event_loop.hpp"
 #include "sim/host.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/rand.hpp"
 
 namespace hw::workload {
@@ -37,6 +38,7 @@ struct AppProfile {
   static AppProfile email(std::string domain);
 };
 
+/// Snapshot view over the app's telemetry instruments.
 struct AppStats {
   std::uint64_t requests_sent = 0;
   std::uint64_t dns_failures = 0;
@@ -54,7 +56,10 @@ class TrafficApp {
   void start();
   void stop();
   [[nodiscard]] bool running() const { return running_; }
-  [[nodiscard]] const AppStats& stats() const { return stats_; }
+  [[nodiscard]] AppStats stats() const {
+    return {metrics_.requests_sent.value(), metrics_.dns_failures.value(),
+            resolved_};
+  }
   [[nodiscard]] const AppProfile& profile() const { return profile_; }
 
  private:
@@ -65,7 +70,11 @@ class TrafficApp {
   sim::Host& host_;
   Rng& rng_;
   AppProfile profile_;
-  AppStats stats_;
+  struct Instruments {
+    telemetry::Counter requests_sent{"workload.app.requests_sent"};
+    telemetry::Counter dns_failures{"workload.app.dns_failures"};
+  } metrics_;
+  bool resolved_ = false;
   bool running_ = false;
   bool handshake_done_ = false;
   std::optional<Ipv4Address> server_;

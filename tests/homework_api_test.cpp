@@ -96,7 +96,8 @@ TEST_F(ApiFixture, StatusReportsInventory) {
   ASSERT_EQ(resp.status, 200);
   auto j = resp.json_body().value();
   EXPECT_EQ(j["devices"].as_int(), 0);
-  EXPECT_EQ(j["hwdb_tables"].as_array().size(), 3u);
+  // Flows, Links, Leases plus the router's own Metrics table.
+  EXPECT_EQ(j["hwdb_tables"].as_array().size(), 4u);
 }
 
 TEST_F(ApiFixture, DeviceListAndDetail) {

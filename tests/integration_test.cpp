@@ -253,5 +253,44 @@ TEST_F(IntegrationFixture, RouterSurvivesGarbageTraffic) {
   EXPECT_EQ(router.control_api().handle(status).status, 200);
 }
 
+TEST_F(IntegrationFixture, TelemetryExportedThroughHwdb) {
+  // The router's self-measurement: MetricsExport polls the telemetry
+  // registry into the Metrics table, so the same CQL surface every display
+  // reads from must return the platform's own live counters.
+  sim::Host& host = admitted_device("laptop");
+  ASSERT_TRUE(resolve(host, "www.example.com").has_value());
+  loop.run_for(2 * kSecond);  // at least one poll interval past the traffic
+
+  const auto rs = router.db().query("SELECT name, value FROM Metrics [NOW]");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs.value().columns.size(), 2u);
+  ASSERT_FALSE(rs.value().rows.empty());
+
+  auto value_of = [&](const std::string& name) -> std::optional<double> {
+    for (const auto& row : rs.value().rows) {
+      if (row[0].as_text() == name) return row[1].as_real();
+    }
+    return std::nullopt;
+  };
+  // One live counter per layer of the stack, all driven by the DHCP + DNS
+  // traffic above.
+  for (const char* name :
+       {"openflow.flow_table.lookups", "nox.controller.packet_ins",
+        "homework.dhcp.acks", "hwdb.database.inserts", "sim.host.tx_frames"}) {
+    const auto v = value_of(name);
+    ASSERT_TRUE(v.has_value()) << name;
+    EXPECT_GT(*v, 0.0) << name;
+  }
+  // The hot-path histograms export flattened percentiles.
+  for (const char* name :
+       {"openflow.flow_table.lookup_ns.p99",
+        "nox.controller.packet_in_dispatch_ns.p99",
+        "hwdb.database.insert_ns.p99"}) {
+    const auto v = value_of(name);
+    ASSERT_TRUE(v.has_value()) << name;
+    EXPECT_GT(*v, 0.0) << name;
+  }
+}
+
 }  // namespace
 }  // namespace hw::homework

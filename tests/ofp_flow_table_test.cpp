@@ -220,6 +220,25 @@ TEST(FlowTable, IdleTimeoutExpiresFromLastUse) {
   EXPECT_EQ(table.size(), 0u);
 }
 
+TEST(FlowTable, ZeroLengthPacketRefreshesIdleTimeout) {
+  // OF 1.0 §3.4: any matched packet counts as use, including zero-length
+  // ones — the idle clock restarts even when no payload bytes are carried.
+  FlowTable table;
+  table.apply(add_rule(Match::any(), 1, output_to(1), /*idle=*/10), 0);
+  table.lookup(exact_pkt(80), 2 * kSecond, 100);
+  FlowEntry* entry = table.lookup(exact_pkt(80), 8 * kSecond, /*bytes=*/0);
+  ASSERT_NE(entry, nullptr);
+  // The zero-length hit counts a packet but no bytes.
+  EXPECT_EQ(entry->packet_count, 2u);
+  EXPECT_EQ(entry->byte_count, 100u);
+  // Without the refresh at 8s the entry would expire at 12s (last payload
+  // at 2s + idle 10s); the zero-length packet pushed that out to 18s.
+  EXPECT_TRUE(table.expire(17 * kSecond).empty());
+  auto removed = table.expire(18 * kSecond);
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0].second, FlowRemovedReason::IdleTimeout);
+}
+
 TEST(FlowTable, HardTimeoutExpiresFromInstall) {
   FlowTable table;
   table.apply(add_rule(Match::any(), 1, output_to(1), 0, /*hard=*/20), 0);

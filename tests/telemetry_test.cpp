@@ -1,0 +1,144 @@
+// The telemetry registry: instrument registration lifetime, snapshot
+// aggregation across same-named instruments, histogram percentile
+// estimation, and the scoped latency timer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "telemetry/metrics.hpp"
+
+namespace hw::telemetry {
+namespace {
+
+std::optional<MetricSample> find_sample(const std::vector<MetricSample>& samples,
+                                        const std::string& name) {
+  const auto it = std::find_if(samples.begin(), samples.end(),
+                               [&](const MetricSample& s) { return s.name == name; });
+  if (it == samples.end()) return std::nullopt;
+  return *it;
+}
+
+TEST(Registry, InstrumentsAttachAndDetachWithScope) {
+  auto& reg = MetricRegistry::instance();
+  const std::size_t before = reg.instrument_count();
+  {
+    Counter c("test.scope.counter");
+    Gauge g("test.scope.gauge");
+    Histogram h("test.scope.histogram");
+    EXPECT_EQ(reg.instrument_count(), before + 3);
+    EXPECT_TRUE(reg.total("test.scope.counter").has_value());
+  }
+  EXPECT_EQ(reg.instrument_count(), before);
+  EXPECT_FALSE(reg.total("test.scope.counter").has_value());
+}
+
+TEST(Registry, CounterAndGaugeBasics) {
+  Counter c("test.basics.counter");
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+
+  Gauge g("test.basics.gauge");
+  g.set(7);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 4);
+}
+
+TEST(Registry, SnapshotAggregatesSameNamedInstruments) {
+  // Per-instance cells, per-series export: two hosts carrying the same
+  // instrument name must show up as one summed sample.
+  Counter a("test.agg.tx_frames");
+  Counter b("test.agg.tx_frames");
+  a.inc(10);
+  b.inc(5);
+  const auto samples = MetricRegistry::instance().snapshot();
+  const auto sample = find_sample(samples, "test.agg.tx_frames");
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_EQ(sample->kind, MetricKind::Counter);
+  EXPECT_DOUBLE_EQ(sample->value, 15.0);
+  EXPECT_EQ(MetricRegistry::instance().total("test.agg.tx_frames"), 15.0);
+}
+
+TEST(Registry, SnapshotIsNameSorted) {
+  Counter b("test.sorted.b");
+  Counter a("test.sorted.a");
+  const auto samples = MetricRegistry::instance().snapshot();
+  EXPECT_TRUE(std::is_sorted(
+      samples.begin(), samples.end(),
+      [](const MetricSample& x, const MetricSample& y) { return x.name < y.name; }));
+}
+
+TEST(Registry, HistogramFlattensIntoDerivedSamples) {
+  Histogram h("test.flat.latency_ns");
+  h.record(100);
+  h.record(200);
+  h.record(300);
+  const auto samples = MetricRegistry::instance().snapshot();
+  const auto count = find_sample(samples, "test.flat.latency_ns.count");
+  const auto sum = find_sample(samples, "test.flat.latency_ns.sum");
+  const auto mean = find_sample(samples, "test.flat.latency_ns.mean");
+  const auto max = find_sample(samples, "test.flat.latency_ns.max");
+  ASSERT_TRUE(count.has_value());
+  ASSERT_TRUE(sum.has_value());
+  ASSERT_TRUE(mean.has_value());
+  ASSERT_TRUE(max.has_value());
+  EXPECT_DOUBLE_EQ(count->value, 3.0);
+  EXPECT_DOUBLE_EQ(sum->value, 600.0);
+  EXPECT_DOUBLE_EQ(mean->value, 200.0);
+  EXPECT_DOUBLE_EQ(max->value, 300.0);
+  for (const char* q : {".p50", ".p90", ".p99"}) {
+    ASSERT_TRUE(
+        find_sample(samples, std::string("test.flat.latency_ns") + q).has_value())
+        << q;
+  }
+}
+
+TEST(Histogram, PercentilesLandInTheRightBuckets) {
+  Histogram h("test.pct.latency_ns");
+  // 90 fast observations (~10 ns) and 10 slow ones (~1000 ns): the median
+  // must come from the fast bucket, the p99 from the slow one. Buckets are
+  // powers of two, so assert bucket ranges, not exact values.
+  for (int i = 0; i < 90; ++i) h.record(10);
+  for (int i = 0; i < 10; ++i) h.record(1000);
+  const double p50 = h.percentile(0.50);
+  const double p99 = h.percentile(0.99);
+  EXPECT_GE(p50, 8.0);     // bit_width(10) == 4 → bucket [8, 16)
+  EXPECT_LE(p50, 16.0);
+  EXPECT_GE(p99, 512.0);   // bit_width(1000) == 10 → bucket [512, 1024)
+  EXPECT_LE(p99, 1024.0);
+  EXPECT_LE(p50, p99);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.max_value(), 1000u);
+}
+
+TEST(Histogram, EmptyHistogramIsZero) {
+  Histogram h("test.empty.latency_ns");
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+}
+
+TEST(Histogram, SnapshotMergesSameNamedHistograms) {
+  Histogram a("test.merge.latency_ns");
+  Histogram b("test.merge.latency_ns");
+  for (int i = 0; i < 50; ++i) a.record(10);
+  for (int i = 0; i < 50; ++i) b.record(1000);
+  const auto samples = MetricRegistry::instance().snapshot();
+  const auto count = find_sample(samples, "test.merge.latency_ns.count");
+  ASSERT_TRUE(count.has_value());
+  EXPECT_DOUBLE_EQ(count->value, 100.0);
+  // With half the merged observations slow, p90 must come from the slow
+  // bucket even though neither instrument alone would put it there.
+  const auto p90 = find_sample(samples, "test.merge.latency_ns.p90");
+  ASSERT_TRUE(p90.has_value());
+  EXPECT_GE(p90->value, 512.0);
+}
+
+TEST(Histogram, ScopedTimerRecordsOneObservation) {
+  Histogram h("test.timer.latency_ns");
+  { const ScopedTimer timer(h); }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+}  // namespace
+}  // namespace hw::telemetry
