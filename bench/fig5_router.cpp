@@ -57,6 +57,15 @@ int main() {
               static_cast<unsigned long long>(dp.table().stats().lookups));
   std::printf("%-34s %14llu\n", "table matches",
               static_cast<unsigned long long>(dp.table().stats().matches));
+  std::printf("%-34s %14llu\n", "microflow cache hits",
+              static_cast<unsigned long long>(dp.stats().microflow_hits));
+  std::printf("%-34s %14llu\n", "microflow cache misses",
+              static_cast<unsigned long long>(dp.stats().microflow_misses));
+  std::printf("%-34s %14llu\n", "microflow invalidations",
+              static_cast<unsigned long long>(
+                  dp.stats().microflow_invalidations));
+  std::printf("%-34s %14zu\n", "classifier subtables",
+              dp.table().subtable_count());
   std::printf("%-34s %14llu\n", "packet-ins to NOX",
               static_cast<unsigned long long>(dp.stats().packet_ins));
   std::printf("%-34s %14llu\n", "flow-mods from NOX",
@@ -139,7 +148,12 @@ int main() {
   }
   std::printf("\n");
   for (const char* name :
-       {"openflow.flow_table.lookups", "openflow.datapath.packet_ins",
+       {"openflow.flow_table.lookups", "openflow.flow_table.subtables",
+        "openflow.flow_table.subtable_scans",
+        "openflow.datapath.microflow_hits",
+        "openflow.datapath.microflow_misses",
+        "openflow.datapath.microflow_invalidations",
+        "openflow.datapath.packet_ins",
         "nox.controller.packet_ins", "homework.dhcp.acks",
         "homework.dns.forwarded", "hwdb.database.inserts",
         "sim.host.tx_frames", "openflow.flow_table.lookup_ns.p50",

@@ -4,6 +4,9 @@
 // that justifies the architecture.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "net/packet.hpp"
 #include "openflow/channel.hpp"
 #include "openflow/datapath.hpp"
@@ -61,7 +64,7 @@ void BM_TableLookupHit(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
   report_lookup_latency(state, table);
 }
-BENCHMARK(BM_TableLookupHit)->Arg(16)->Arg(128)->Arg(1024)->Arg(8192);
+BENCHMARK(BM_TableLookupHit)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
 
 void BM_TableLookupMiss(benchmark::State& state) {
   FlowTable table(100000);
@@ -74,7 +77,7 @@ void BM_TableLookupMiss(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
   report_lookup_latency(state, table);
 }
-BENCHMARK(BM_TableLookupMiss)->Arg(16)->Arg(1024)->Arg(8192);
+BENCHMARK(BM_TableLookupMiss)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
 
 void BM_TableWildcardHit(benchmark::State& state) {
   // A handful of service rules (the Homework pattern) over a busy packet mix.
@@ -228,6 +231,110 @@ void BM_DatapathFastPathEnqueue(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_DatapathFastPathEnqueue);
+
+/// Builds a UDP frame whose 12-tuple is unique per index (source port
+/// varies), plus the matching exact-match FlowMod.
+Bytes indexed_frame(std::uint32_t i) {
+  return net::build_udp(MacAddress::from_index(1), MacAddress::from_index(2),
+                        Ipv4Address{192, 168, 1, 100}, Ipv4Address{8, 8, 8, 8},
+                        static_cast<std::uint16_t>(1024 + (i % 50000)), 80,
+                        Bytes(512, 0));
+}
+
+void install_exact_rule(Datapath& dp, const Bytes& frame) {
+  FlowMod mod;
+  mod.match = Match::from_packet(net::ParsedPacket::parse(frame).value(), 1);
+  mod.actions = output_to(2);
+  dp.table().apply(mod, 0);
+}
+
+void report_microflow(benchmark::State& state, const Datapath& dp) {
+  const DatapathStats s = dp.stats();
+  const double total =
+      static_cast<double>(s.microflow_hits + s.microflow_misses);
+  state.counters["microflow_hit_ratio"] =
+      total > 0 ? static_cast<double>(s.microflow_hits) / total : 0.0;
+  state.counters["microflow_invalidations"] =
+      static_cast<double>(s.microflow_invalidations);
+}
+
+void BM_DatapathMicroflowHit(benchmark::State& state) {
+  // Steady traffic on one flow over a table of range(0) exact rules: after
+  // the first packet every lookup resolves in the exact-match cache, so the
+  // per-packet cost should be flat in table size.
+  sim::EventLoop loop;
+  Datapath dp(loop, {.table_capacity = 100000});
+  sim::CallbackSink sink([](const Bytes&) {});
+  dp.add_port(1, "in", MacAddress::from_index(1), &sink);
+  dp.add_port(2, "out", MacAddress::from_index(2), &sink);
+  const int rules = static_cast<int>(state.range(0));
+  for (int i = 0; i < rules; ++i) {
+    install_exact_rule(dp, indexed_frame(static_cast<std::uint32_t>(i)));
+  }
+  const Bytes frame = indexed_frame(0);
+  for (auto _ : state) {
+    dp.receive_frame(1, frame);
+  }
+  state.SetItemsProcessed(state.iterations());
+  report_microflow(state, dp);
+  report_lookup_latency(state, dp.table());
+}
+BENCHMARK(BM_DatapathMicroflowHit)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_DatapathMicroflowMiss(benchmark::State& state) {
+  // The cache deliberately thrashed: a tiny microflow capacity with traffic
+  // rotating over many more flows than it holds, so (almost) every packet
+  // falls through to the tuple-space classifier. The gap against
+  // BM_DatapathMicroflowHit is what the cache buys.
+  sim::EventLoop loop;
+  Datapath dp(loop, {.table_capacity = 100000, .microflow_capacity = 8});
+  sim::CallbackSink sink([](const Bytes&) {});
+  dp.add_port(1, "in", MacAddress::from_index(1), &sink);
+  dp.add_port(2, "out", MacAddress::from_index(2), &sink);
+  const int rules = static_cast<int>(state.range(0));
+  std::vector<Bytes> frames;
+  const int n_flows = std::min(rules, 64);
+  for (int i = 0; i < rules; ++i) {
+    const Bytes frame = indexed_frame(static_cast<std::uint32_t>(i));
+    install_exact_rule(dp, frame);
+    if (i < n_flows) frames.push_back(frame);
+  }
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    dp.receive_frame(1, frames[i++ % frames.size()]);
+  }
+  state.SetItemsProcessed(state.iterations());
+  report_microflow(state, dp);
+  report_lookup_latency(state, dp.table());
+}
+BENCHMARK(BM_DatapathMicroflowMiss)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_DatapathMicroflowChurn(benchmark::State& state) {
+  // Worst case for the generation scheme: a table mutation between every
+  // packet, so each probe flushes the whole cache and re-runs the
+  // classifier. Measures flow-mod + invalidation + cold lookup together.
+  sim::EventLoop loop;
+  Datapath dp(loop, {.table_capacity = 100000});
+  sim::CallbackSink sink([](const Bytes&) {});
+  dp.add_port(1, "in", MacAddress::from_index(1), &sink);
+  dp.add_port(2, "out", MacAddress::from_index(2), &sink);
+  const int rules = static_cast<int>(state.range(0));
+  for (int i = 0; i < rules; ++i) {
+    install_exact_rule(dp, indexed_frame(static_cast<std::uint32_t>(i)));
+  }
+  const Bytes frame = indexed_frame(0);
+  FlowMod churn;
+  churn.match = Match::from_packet(net::ParsedPacket::parse(frame).value(), 1);
+  churn.actions = output_to(2);
+  for (auto _ : state) {
+    dp.table().apply(churn, 0);  // replace: bumps the table generation
+    dp.receive_frame(1, frame);
+  }
+  state.SetItemsProcessed(state.iterations());
+  report_microflow(state, dp);
+  report_lookup_latency(state, dp.table());
+}
+BENCHMARK(BM_DatapathMicroflowChurn)->Arg(10)->Arg(1000);
 
 void BM_DatapathSlowPathRoundTrip(benchmark::State& state) {
   // The full miss cost: packet-in encode → channel → controller decodes and

@@ -54,7 +54,10 @@ Bytes rewrite_frame(const Bytes& frame, const std::function<void(net::ParsedPack
 }  // namespace
 
 Datapath::Datapath(sim::EventLoop& loop, Config config)
-    : loop_(loop), config_(config), table_(config.table_capacity) {
+    : loop_(loop),
+      config_(config),
+      table_(config.table_capacity),
+      microflow_(config.microflow_capacity) {
   buffers_.reserve(config_.n_buffers);
   expiry_timer_ = std::make_unique<sim::PeriodicTimer>(
       loop_, config_.expiry_interval, [this] { sweep_timeouts(); });
@@ -155,8 +158,23 @@ void Datapath::process_frame(std::uint16_t in_port, const Bytes& frame) {
     mac_table_[parsed.value().eth.src] = in_port;
   }
 
-  const Match pkt = Match::from_packet(parsed.value(), in_port);
-  FlowEntry* entry = table_.lookup(pkt, loop_.now(), frame.size());
+  // Tier 1: the exact-match microflow cache. A hit skips the classifier
+  // entirely; only the first packet of a flow (or the first after a table
+  // mutation) pays the tuple-space search.
+  const FlowKey key =
+      FlowKey::from_match(Match::from_packet(parsed.value(), in_port));
+  const std::uint64_t generation = table_.generation();
+  const MicroflowCache::Probe cached = microflow_.probe(key, generation);
+  if (cached.flushed) metrics_.microflow_invalidations.inc();
+  FlowEntry* entry = cached.entry;
+  if (entry != nullptr) {
+    metrics_.microflow_hits.inc();
+    table_.record_hit(*entry, loop_.now(), frame.size());
+  } else {
+    metrics_.microflow_misses.inc();
+    entry = table_.lookup(key, loop_.now(), frame.size());
+    if (entry != nullptr) microflow_.insert(key, entry, generation);
+  }
   if (entry == nullptr) {
     send_packet_in(in_port, frame, PacketInReason::NoMatch,
                    config_.miss_send_len);

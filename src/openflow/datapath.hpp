@@ -12,6 +12,7 @@
 #include "openflow/channel.hpp"
 #include "openflow/flow_table.hpp"
 #include "openflow/messages.hpp"
+#include "openflow/microflow_cache.hpp"
 #include "sim/link.hpp"
 #include "telemetry/metrics.hpp"
 #include "util/token_bucket.hpp"
@@ -34,6 +35,9 @@ struct DatapathStats {
   std::uint64_t flow_mods = 0;
   std::uint64_t flow_removed_sent = 0;
   std::uint64_t buffer_evictions = 0;
+  std::uint64_t microflow_hits = 0;
+  std::uint64_t microflow_misses = 0;
+  std::uint64_t microflow_invalidations = 0;
 };
 
 class Datapath {
@@ -43,6 +47,7 @@ class Datapath {
     std::size_t n_buffers = 256;
     std::uint16_t miss_send_len = 128;
     std::size_t table_capacity = 4096;
+    std::size_t microflow_capacity = 4096;  // exact-match cache entries
     Duration expiry_interval = kSecond;  // timeout sweep period
   };
 
@@ -71,7 +76,12 @@ class Datapath {
   [[nodiscard]] DatapathStats stats() const {
     return {metrics_.packet_ins.value(), metrics_.packet_outs.value(),
             metrics_.flow_mods.value(), metrics_.flow_removed_sent.value(),
-            metrics_.buffer_evictions.value()};
+            metrics_.buffer_evictions.value(), metrics_.microflow_hits.value(),
+            metrics_.microflow_misses.value(),
+            metrics_.microflow_invalidations.value()};
+  }
+  [[nodiscard]] const MicroflowCache& microflow_cache() const {
+    return microflow_;
   }
   [[nodiscard]] const PortCounters* port_counters(std::uint16_t port) const;
   [[nodiscard]] std::vector<PhyPort> port_descriptions() const;
@@ -125,6 +135,9 @@ class Datapath {
   sim::EventLoop& loop_;
   Config config_;
   FlowTable table_;
+  // Exact-match fast path in front of table_; handles validated against
+  // table_.generation().
+  MicroflowCache microflow_;
   std::map<std::uint16_t, PortState> ports_;
   ChannelEndpoint* channel_ = nullptr;
   struct Instruments {
@@ -133,6 +146,10 @@ class Datapath {
     telemetry::Counter flow_mods{"openflow.datapath.flow_mods"};
     telemetry::Counter flow_removed_sent{"openflow.datapath.flow_removed_sent"};
     telemetry::Counter buffer_evictions{"openflow.datapath.buffer_evictions"};
+    telemetry::Counter microflow_hits{"openflow.datapath.microflow_hits"};
+    telemetry::Counter microflow_misses{"openflow.datapath.microflow_misses"};
+    telemetry::Counter microflow_invalidations{
+        "openflow.datapath.microflow_invalidations"};
   } metrics_;
   std::uint32_t next_xid_ = 1;
 

@@ -3,6 +3,24 @@
 #include <algorithm>
 
 namespace hw::ofp {
+namespace {
+
+/// The one place a FlowMod's payload lands in an entry — shared by the
+/// Add-replace and Add-insert paths so the two can never drift. Counters
+/// reset per spec §4.6 (a fresh entry starts at zero anyway).
+void assign_from_mod(FlowEntry& e, const FlowMod& mod, Timestamp now) {
+  e.actions = mod.actions;
+  e.cookie = mod.cookie;
+  e.idle_timeout = mod.idle_timeout;
+  e.hard_timeout = mod.hard_timeout;
+  e.send_flow_removed = (mod.flags & FlowModFlags::kSendFlowRem) != 0;
+  e.install_time = now;
+  e.last_used = now;
+  e.packet_count = 0;
+  e.byte_count = 0;
+}
+
+}  // namespace
 
 bool FlowTable::entry_outputs_to(const FlowEntry& e, std::uint16_t out_port) const {
   if (out_port == port_no(Port::None)) return true;
@@ -12,50 +30,102 @@ bool FlowTable::entry_outputs_to(const FlowEntry& e, std::uint16_t out_port) con
   });
 }
 
+FlowTable::Subtable* FlowTable::subtable_for(std::uint32_t wildcards) {
+  for (const auto& sub : subtables_) {
+    if (sub->wildcards == wildcards) return sub.get();
+  }
+  return nullptr;
+}
+
+FlowTable::Subtable& FlowTable::create_subtable(std::uint32_t wildcards) {
+  auto sub = std::make_unique<Subtable>();
+  sub->wildcards = wildcards;
+  sub->mask = FlowMask::from_wildcards(wildcards);
+  subtables_.push_back(std::move(sub));
+  metrics_.subtables.set(static_cast<std::int64_t>(subtables_.size()));
+  return *subtables_.back();
+}
+
+void FlowTable::sort_subtables() {
+  std::stable_sort(subtables_.begin(), subtables_.end(),
+                   [](const auto& a, const auto& b) {
+                     return a->max_priority > b->max_priority;
+                   });
+}
+
+void FlowTable::prune_and_resort() {
+  for (const auto& sub : subtables_) {
+    sub->max_priority = 0;
+    for (const auto& [key, bucket] : sub->buckets) {
+      // Buckets are sorted descending, so front() carries the bucket max.
+      sub->max_priority = std::max(sub->max_priority, bucket.front().priority);
+    }
+  }
+  std::erase_if(subtables_, [](const auto& sub) { return sub->n_entries == 0; });
+  sort_subtables();
+  metrics_.subtables.set(static_cast<std::int64_t>(subtables_.size()));
+}
+
+void FlowTable::bump_generation() { ++generation_; }
+
 FlowModResult FlowTable::apply(const FlowMod& mod, Timestamp now,
                                std::vector<FlowEntry>* removed) {
   switch (mod.command) {
     case FlowModCommand::Add: {
       if (mod.flags & FlowModFlags::kCheckOverlap) {
-        for (const auto& e : entries_) {
-          if (e.priority == mod.priority && e.match.overlaps(mod.match) &&
-              !e.match.same_pattern(mod.match)) {
-            return FlowModResult::Overlap;
+        for (const auto& sub : subtables_) {
+          for (const auto& [key, bucket] : sub->buckets) {
+            for (const auto& e : bucket) {
+              if (e.priority == mod.priority && e.match.overlaps(mod.match) &&
+                  !e.match.same_pattern(mod.match)) {
+                return FlowModResult::Overlap;
+              }
+            }
           }
         }
       }
-      // Identical match+priority replaces the entry (spec §4.6), counters reset.
-      for (auto& e : entries_) {
-        if (e.priority == mod.priority && e.match.same_pattern(mod.match)) {
-          e.actions = mod.actions;
-          e.cookie = mod.cookie;
-          e.idle_timeout = mod.idle_timeout;
-          e.hard_timeout = mod.hard_timeout;
-          e.send_flow_removed = (mod.flags & FlowModFlags::kSendFlowRem) != 0;
-          e.install_time = now;
-          e.last_used = now;
-          e.packet_count = 0;
-          e.byte_count = 0;
-          return FlowModResult::Added;
+      const FlowKey key = FlowKey::from_match(mod.match);
+      Subtable* sub = subtable_for(mod.match.wildcards);
+      if (sub != nullptr) {
+        // Identical match+priority replaces the entry (spec §4.6): same
+        // wildcards and same masked key is exactly same_pattern().
+        if (auto it = sub->buckets.find(hw::ofp::apply(sub->mask, key));
+            it != sub->buckets.end()) {
+          for (auto& e : it->second) {
+            if (e.priority == mod.priority) {
+              assign_from_mod(e, mod, now);
+              metrics_.entries.set(static_cast<std::int64_t>(size_));
+              bump_generation();
+              return FlowModResult::Added;
+            }
+          }
         }
       }
-      if (entries_.size() >= capacity_) return FlowModResult::TableFull;
+      if (size_ >= capacity_) {
+        metrics_.table_full.inc();
+        return FlowModResult::TableFull;
+      }
+      if (sub == nullptr) sub = &create_subtable(mod.match.wildcards);
       FlowEntry e;
       e.match = mod.match;
       e.priority = mod.priority;
-      e.actions = mod.actions;
-      e.cookie = mod.cookie;
-      e.idle_timeout = mod.idle_timeout;
-      e.hard_timeout = mod.hard_timeout;
-      e.send_flow_removed = (mod.flags & FlowModFlags::kSendFlowRem) != 0;
-      e.install_time = now;
-      e.last_used = now;
-      // Insert after the last entry with priority >= new priority.
-      auto pos = std::upper_bound(
-          entries_.begin(), entries_.end(), e.priority,
+      e.seq = next_seq_++;
+      assign_from_mod(e, mod, now);
+      auto& bucket = sub->buckets[hw::ofp::apply(sub->mask, key)];
+      // Descending priority within the bucket; later adds go after earlier
+      // ones among equal priorities.
+      const auto pos = std::upper_bound(
+          bucket.begin(), bucket.end(), e.priority,
           [](std::uint16_t p, const FlowEntry& x) { return p > x.priority; });
-      entries_.insert(pos, std::move(e));
-      metrics_.entries.set(static_cast<std::int64_t>(entries_.size()));
+      bucket.insert(pos, std::move(e));
+      ++sub->n_entries;
+      ++size_;
+      if (sub->n_entries == 1 || mod.priority > sub->max_priority) {
+        sub->max_priority = mod.priority;
+        sort_subtables();
+      }
+      metrics_.entries.set(static_cast<std::int64_t>(size_));
+      bump_generation();
       return FlowModResult::Added;
     }
 
@@ -63,17 +133,24 @@ FlowModResult FlowTable::apply(const FlowMod& mod, Timestamp now,
     case FlowModCommand::ModifyStrict: {
       const bool strict = mod.command == FlowModCommand::ModifyStrict;
       bool any = false;
-      for (auto& e : entries_) {
-        const bool hit = strict ? (e.priority == mod.priority &&
-                                   e.match.same_pattern(mod.match))
-                                : mod.match.covers(e.match);
-        if (hit) {
-          e.actions = mod.actions;
-          e.cookie = mod.cookie;
-          any = true;
+      for (const auto& sub : subtables_) {
+        for (auto& [key, bucket] : sub->buckets) {
+          for (auto& e : bucket) {
+            const bool hit = strict ? (e.priority == mod.priority &&
+                                       e.match.same_pattern(mod.match))
+                                    : mod.match.covers(e.match);
+            if (hit) {
+              e.actions = mod.actions;
+              e.cookie = mod.cookie;
+              any = true;
+            }
+          }
         }
       }
-      if (any) return FlowModResult::Modified;
+      if (any) {
+        bump_generation();
+        return FlowModResult::Modified;
+      }
       // Per spec, MODIFY with no match behaves like ADD.
       FlowMod add = mod;
       add.command = FlowModCommand::Add;
@@ -83,88 +160,164 @@ FlowModResult FlowTable::apply(const FlowMod& mod, Timestamp now,
     case FlowModCommand::Delete:
     case FlowModCommand::DeleteStrict: {
       const bool strict = mod.command == FlowModCommand::DeleteStrict;
-      bool any = false;
-      for (auto it = entries_.begin(); it != entries_.end();) {
-        const bool hit = (strict ? (it->priority == mod.priority &&
-                                    it->match.same_pattern(mod.match))
-                                 : mod.match.covers(it->match)) &&
-                         entry_outputs_to(*it, mod.out_port);
-        if (hit) {
-          if (removed != nullptr) removed->push_back(*it);
-          it = entries_.erase(it);
-          any = true;
-        } else {
-          ++it;
-        }
-      }
-      metrics_.entries.set(static_cast<std::int64_t>(entries_.size()));
+      const bool any = remove_entries(
+          [&](const FlowEntry& e) {
+            return (strict ? (e.priority == mod.priority &&
+                              e.match.same_pattern(mod.match))
+                           : mod.match.covers(e.match)) &&
+                   entry_outputs_to(e, mod.out_port);
+          },
+          [&](FlowEntry&& e) {
+            if (removed != nullptr) removed->push_back(std::move(e));
+          });
+      metrics_.entries.set(static_cast<std::int64_t>(size_));
       return any ? FlowModResult::Deleted : FlowModResult::NoMatch;
     }
   }
   return FlowModResult::NoMatch;
 }
 
-FlowEntry* FlowTable::lookup(const Match& pkt, Timestamp now, std::size_t bytes) {
-  const telemetry::ScopedTimer timer(metrics_.lookup_ns);
-  metrics_.lookups.inc();
-  for (auto& e : entries_) {
-    if (e.match.covers(pkt)) {
-      metrics_.matches.inc();
-      // Zero-length packets still refresh the idle timeout: OF 1.0 expires
-      // on packet arrival, not byte volume.
-      e.last_used = now;
-      ++e.packet_count;
-      e.byte_count += bytes;
-      return &e;
+const FlowEntry* FlowTable::find(const FlowKey& key,
+                                 std::uint64_t* scanned) const {
+  const FlowEntry* best = nullptr;
+  for (const auto& sub : subtables_) {
+    // Every remaining subtable tops out at or below this one; once the best
+    // hit strictly outranks that bound, no further probe can win. Ties keep
+    // scanning — an equal-priority entry installed earlier still beats us.
+    if (best != nullptr && best->priority > sub->max_priority) break;
+    if (scanned != nullptr) ++*scanned;
+    const auto it = sub->buckets.find(hw::ofp::apply(sub->mask, key));
+    if (it == sub->buckets.end()) continue;
+    const FlowEntry& candidate = it->second.front();
+    if (best == nullptr || candidate.priority > best->priority ||
+        (candidate.priority == best->priority && candidate.seq < best->seq)) {
+      best = &candidate;
     }
   }
-  return nullptr;
+  return best;
+}
+
+FlowEntry* FlowTable::lookup(const FlowKey& key, Timestamp now,
+                             std::size_t bytes) {
+  const telemetry::ScopedTimer timer(metrics_.lookup_ns);
+  metrics_.lookups.inc();
+  std::uint64_t scanned = 0;
+  auto* e = const_cast<FlowEntry*>(find(key, &scanned));
+  metrics_.subtable_scans.inc(scanned);
+  if (e == nullptr) return nullptr;
+  metrics_.matches.inc();
+  // Zero-length packets still refresh the idle timeout: OF 1.0 expires on
+  // packet arrival, not byte volume.
+  e->last_used = now;
+  ++e->packet_count;
+  e->byte_count += bytes;
+  return e;
+}
+
+FlowEntry* FlowTable::lookup(const Match& pkt, Timestamp now,
+                             std::size_t bytes) {
+  return lookup(FlowKey::from_match(pkt), now, bytes);
+}
+
+const FlowEntry* FlowTable::peek(const FlowKey& key) const {
+  return find(key, nullptr);
 }
 
 const FlowEntry* FlowTable::peek(const Match& pkt) const {
-  for (const auto& e : entries_) {
-    if (e.match.covers(pkt)) return &e;
+  return peek(FlowKey::from_match(pkt));
+}
+
+void FlowTable::record_hit(FlowEntry& entry, Timestamp now, std::size_t bytes) {
+  const telemetry::ScopedTimer timer(metrics_.lookup_ns);
+  metrics_.lookups.inc();
+  metrics_.matches.inc();
+  entry.last_used = now;
+  ++entry.packet_count;
+  entry.byte_count += bytes;
+}
+
+bool FlowTable::remove_entries(
+    const std::function<bool(const FlowEntry&)>& pred,
+    const std::function<void(FlowEntry&&)>& sink) {
+  bool any = false;
+  for (const auto& sub : subtables_) {
+    for (auto bit = sub->buckets.begin(); bit != sub->buckets.end();) {
+      auto& bucket = bit->second;
+      for (auto eit = bucket.begin(); eit != bucket.end();) {
+        if (pred(*eit)) {
+          sink(std::move(*eit));
+          eit = bucket.erase(eit);
+          --sub->n_entries;
+          --size_;
+          any = true;
+        } else {
+          ++eit;
+        }
+      }
+      bit = bucket.empty() ? sub->buckets.erase(bit) : std::next(bit);
+    }
   }
-  return nullptr;
+  if (any) {
+    prune_and_resort();
+    bump_generation();
+  }
+  return any;
 }
 
 std::vector<std::pair<FlowEntry, FlowRemovedReason>> FlowTable::expire(
     Timestamp now) {
   std::vector<std::pair<FlowEntry, FlowRemovedReason>> out;
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    std::optional<FlowRemovedReason> reason;
-    if (it->hard_timeout != 0 &&
-        now >= it->install_time + static_cast<Duration>(it->hard_timeout) * kSecond) {
-      reason = FlowRemovedReason::HardTimeout;
-    } else if (it->idle_timeout != 0 &&
-               now >= it->last_used +
-                          static_cast<Duration>(it->idle_timeout) * kSecond) {
-      reason = FlowRemovedReason::IdleTimeout;
+  // Hard timeout outranks idle when both have fired, matching the original
+  // check order.
+  const auto reason_for = [&](const FlowEntry& e) {
+    if (e.hard_timeout != 0 &&
+        now >= e.install_time + static_cast<Duration>(e.hard_timeout) * kSecond) {
+      return FlowRemovedReason::HardTimeout;
     }
-    if (reason) {
-      out.emplace_back(*it, *reason);
-      it = entries_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-  metrics_.entries.set(static_cast<std::int64_t>(entries_.size()));
+    return FlowRemovedReason::IdleTimeout;
+  };
+  remove_entries(
+      [&](const FlowEntry& e) {
+        if (e.hard_timeout != 0 &&
+            now >= e.install_time +
+                       static_cast<Duration>(e.hard_timeout) * kSecond) {
+          return true;
+        }
+        return e.idle_timeout != 0 &&
+               now >= e.last_used +
+                          static_cast<Duration>(e.idle_timeout) * kSecond;
+      },
+      [&](FlowEntry&& e) {
+        const FlowRemovedReason reason = reason_for(e);
+        out.emplace_back(std::move(e), reason);
+      });
+  metrics_.entries.set(static_cast<std::int64_t>(size_));
   return out;
 }
 
 std::vector<const FlowEntry*> FlowTable::query(const Match& filter,
                                                std::uint16_t out_port) const {
   std::vector<const FlowEntry*> out;
-  for (const auto& e : entries_) {
-    if (filter.covers(e.match) && entry_outputs_to(e, out_port)) {
-      out.push_back(&e);
+  for (const auto& sub : subtables_) {
+    for (const auto& [key, bucket] : sub->buckets) {
+      for (const auto& e : bucket) {
+        if (filter.covers(e.match) && entry_outputs_to(e, out_port)) {
+          out.push_back(&e);
+        }
+      }
     }
   }
+  std::stable_sort(out.begin(), out.end(), [](const auto* a, const auto* b) {
+    // Descending priority, insertion order within a band — the order a
+    // linear-scan table would naturally report.
+    return a->priority != b->priority ? a->priority > b->priority
+                                      : a->seq < b->seq;
+  });
   return out;
 }
 
 void FlowTable::for_each(const std::function<void(const FlowEntry&)>& fn) const {
-  for (const auto& e : entries_) fn(e);
+  for (const FlowEntry* e : query(Match::any())) fn(*e);
 }
 
 }  // namespace hw::ofp

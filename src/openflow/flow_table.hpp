@@ -1,14 +1,21 @@
-// The datapath's flow table: priority-ordered wildcard matching with
-// idle/hard timeouts and per-entry counters (OpenFlow 1.0 §3).
+// The datapath's flow table: a tuple-space-search classifier. Rules are
+// grouped into per-mask subtables (one per distinct wildcard bitmap), each a
+// hash map from masked FlowKey to a priority-sorted bucket. A lookup probes
+// subtables in descending max-priority order and exits early once the best
+// hit outranks every remaining subtable — O(#masks) probes instead of the
+// O(#rules) linear scan, the same structure Open vSwitch uses (Pfaff et al.,
+// NSDI 2015). Semantics are OpenFlow 1.0 §3: priority-ordered wildcard
+// matching with idle/hard timeouts and per-entry counters.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <list>
-#include <optional>
+#include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "openflow/actions.hpp"
+#include "openflow/flow_key.hpp"
 #include "openflow/match.hpp"
 #include "openflow/messages.hpp"
 #include "telemetry/metrics.hpp"
@@ -29,12 +36,18 @@ struct FlowEntry {
   Timestamp last_used = 0;
   std::uint64_t packet_count = 0;
   std::uint64_t byte_count = 0;
+  // Insertion order, kept across replaces. Lookup breaks priority ties in
+  // favour of the earliest-installed entry, exactly like a linear scan with
+  // a strict "better priority" comparison would.
+  std::uint64_t seq = 0;
 };
 
 /// Snapshot view over the table's telemetry instruments.
 struct TableStats {
   std::uint64_t lookups = 0;
   std::uint64_t matches = 0;
+  std::uint64_t subtable_scans = 0;
+  std::uint64_t table_full = 0;
 };
 
 /// Result of applying a FlowMod.
@@ -59,23 +72,40 @@ class FlowTable {
   /// Highest-priority entry covering the packet's exact-match fields, or
   /// nullptr. Updates per-entry counters and refreshes last_used — also for
   /// zero-length packets, which still reset the idle timeout (OF 1.0 §3.4
-  /// counts packets, not bytes).
+  /// counts packets, not bytes). The FlowKey overload is the fast path; the
+  /// Match overload flattens and delegates.
+  FlowEntry* lookup(const FlowKey& key, Timestamp now, std::size_t bytes);
   FlowEntry* lookup(const Match& pkt, Timestamp now, std::size_t bytes);
-  /// Read-only lookup without touching counters.
+  /// Read-only lookup sharing the exact matching code path with lookup(),
+  /// minus every counter update.
+  [[nodiscard]] const FlowEntry* peek(const FlowKey& key) const;
   [[nodiscard]] const FlowEntry* peek(const Match& pkt) const;
+
+  /// Counter bookkeeping for a hit served out of the datapath's microflow
+  /// cache: the side effects of lookup() without re-running the classifier.
+  void record_hit(FlowEntry& entry, Timestamp now, std::size_t bytes);
 
   /// Removes entries whose idle/hard timeout has fired by `now`; returns
   /// them together with the timeout reason.
   std::vector<std::pair<FlowEntry, FlowRemovedReason>> expire(Timestamp now);
 
-  /// Entries matching a stats-request filter (match cover + out_port).
+  /// Entries matching a stats-request filter (match cover + out_port),
+  /// in descending priority order.
   [[nodiscard]] std::vector<const FlowEntry*> query(
       const Match& filter, std::uint16_t out_port = port_no(Port::None)) const;
 
-  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Bumped on every mutation (add/modify/delete/expire). Cached pointers
+  /// into the table — the microflow cache's handles — are only valid while
+  /// the generation they were read under is current.
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+  /// Number of live subtables (distinct wildcard patterns). Lookup cost is
+  /// proportional to this, not to size().
+  [[nodiscard]] std::size_t subtable_count() const { return subtables_.size(); }
   [[nodiscard]] TableStats stats() const {
-    return {metrics_.lookups.value(), metrics_.matches.value()};
+    return {metrics_.lookups.value(), metrics_.matches.value(),
+            metrics_.subtable_scans.value(), metrics_.table_full.value()};
   }
   /// Lookup latency histogram (nanoseconds) — the instrument ofp_perf and
   /// the MetricsExport table both report from.
@@ -83,23 +113,54 @@ class FlowTable {
     return metrics_.lookup_ns;
   }
 
-  /// Visits every entry (diagnostics, EXPERIMENTS dumps).
+  /// Visits every entry in descending priority order (diagnostics,
+  /// EXPERIMENTS dumps).
   void for_each(const std::function<void(const FlowEntry&)>& fn) const;
 
  private:
+  /// One tuple-space subtable: every entry added with the same wildcard
+  /// bitmap. The bucket key is the entry's FlowKey masked by `mask`; a
+  /// bucket holds same-pattern entries at distinct priorities, sorted
+  /// descending so front() is the subtable's best candidate for that key.
+  struct Subtable {
+    std::uint32_t wildcards = 0;
+    FlowMask mask;
+    std::uint16_t max_priority = 0;
+    std::size_t n_entries = 0;
+    std::unordered_map<FlowKey, std::vector<FlowEntry>, FlowKeyHash> buckets;
+  };
+
   [[nodiscard]] bool entry_outputs_to(const FlowEntry& e,
                                       std::uint16_t out_port) const;
+  [[nodiscard]] Subtable* subtable_for(std::uint32_t wildcards);
+  Subtable& create_subtable(std::uint32_t wildcards);
+  /// The single matching code path under lookup() and peek(): probe
+  /// subtables in descending max-priority order with early exit.
+  [[nodiscard]] const FlowEntry* find(const FlowKey& key,
+                                      std::uint64_t* scanned) const;
+  /// Erases every entry satisfying `pred`; appends them (with `reason` when
+  /// collecting for expiry) and restores the subtable invariants.
+  bool remove_entries(const std::function<bool(const FlowEntry&)>& pred,
+                      const std::function<void(FlowEntry&&)>& sink);
+  void prune_and_resort();
+  void sort_subtables();
+  void bump_generation();
 
   std::size_t capacity_;
-  // Kept sorted by descending priority; stable order among equal priorities
-  // (later adds go after earlier ones, matching OVS behaviour closely enough).
-  std::vector<FlowEntry> entries_;
+  std::size_t size_ = 0;
+  std::uint64_t generation_ = 0;
+  std::uint64_t next_seq_ = 0;
+  // Kept sorted by descending max_priority so find() can exit early.
+  std::vector<std::unique_ptr<Subtable>> subtables_;
 
   struct Instruments {
     telemetry::Counter lookups{"openflow.flow_table.lookups"};
     telemetry::Counter matches{"openflow.flow_table.matches"};
     telemetry::Gauge entries{"openflow.flow_table.entries"};
     telemetry::Histogram lookup_ns{"openflow.flow_table.lookup_ns"};
+    telemetry::Gauge subtables{"openflow.flow_table.subtables"};
+    telemetry::Counter subtable_scans{"openflow.flow_table.subtable_scans"};
+    telemetry::Counter table_full{"openflow.flow_table.table_full"};
   } metrics_;
 };
 

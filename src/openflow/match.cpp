@@ -3,14 +3,10 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "openflow/flow_key.hpp"
+
 namespace hw::ofp {
 namespace {
-
-bool ip_field_matches(Ipv4Address rule, Ipv4Address pkt, int ignored_bits) {
-  if (ignored_bits >= 32) return true;
-  const std::uint32_t mask = ignored_bits == 0 ? ~0u : (~0u << ignored_bits);
-  return (rule.value() & mask) == (pkt.value() & mask);
-}
 
 Result<MacAddress> read_mac(ByteReader& r) {
   auto raw = r.raw(6);
@@ -106,59 +102,34 @@ Match& Match::with_tp_dst(std::uint16_t port) {
   return *this;
 }
 
+// The three pattern relations all reduce to one operation on the packed
+// form: mask both keys with the relevant FlowMask and compare words. This is
+// the single matching code path the classifier, the stats filters and the
+// strict flow-mod comparisons share.
+
 bool Match::covers(const Match& pkt) const {
-  if (!(wildcards & Wildcards::kInPort) && in_port != pkt.in_port) return false;
-  if (!(wildcards & Wildcards::kDlSrc) && dl_src != pkt.dl_src) return false;
-  if (!(wildcards & Wildcards::kDlDst) && dl_dst != pkt.dl_dst) return false;
-  if (!(wildcards & Wildcards::kDlVlan) && dl_vlan != pkt.dl_vlan) return false;
-  if (!(wildcards & Wildcards::kDlVlanPcp) && dl_vlan_pcp != pkt.dl_vlan_pcp) {
-    return false;
-  }
-  if (!(wildcards & Wildcards::kDlType) && dl_type != pkt.dl_type) return false;
-  if (!(wildcards & Wildcards::kNwTos) && nw_tos != pkt.nw_tos) return false;
-  if (!(wildcards & Wildcards::kNwProto) && nw_proto != pkt.nw_proto) return false;
-  if (!ip_field_matches(nw_src, pkt.nw_src, nw_src_ignored_bits())) return false;
-  if (!ip_field_matches(nw_dst, pkt.nw_dst, nw_dst_ignored_bits())) return false;
-  if (!(wildcards & Wildcards::kTpSrc) && tp_src != pkt.tp_src) return false;
-  if (!(wildcards & Wildcards::kTpDst) && tp_dst != pkt.tp_dst) return false;
-  return true;
+  const FlowMask mask = FlowMask::from_wildcards(wildcards);
+  return apply(mask, FlowKey::from_match(*this)) ==
+         apply(mask, FlowKey::from_match(pkt));
 }
 
 bool Match::same_pattern(const Match& other) const {
-  return wildcards == other.wildcards &&
-         ((wildcards & Wildcards::kInPort) || in_port == other.in_port) &&
-         ((wildcards & Wildcards::kDlSrc) || dl_src == other.dl_src) &&
-         ((wildcards & Wildcards::kDlDst) || dl_dst == other.dl_dst) &&
-         ((wildcards & Wildcards::kDlVlan) || dl_vlan == other.dl_vlan) &&
-         ((wildcards & Wildcards::kDlType) || dl_type == other.dl_type) &&
-         ((wildcards & Wildcards::kNwProto) || nw_proto == other.nw_proto) &&
-         (nw_src_ignored_bits() >= 32 ||
-          ip_field_matches(nw_src, other.nw_src, nw_src_ignored_bits())) &&
-         (nw_dst_ignored_bits() >= 32 ||
-          ip_field_matches(nw_dst, other.nw_dst, nw_dst_ignored_bits())) &&
-         ((wildcards & Wildcards::kTpSrc) || tp_src == other.tp_src) &&
-         ((wildcards & Wildcards::kTpDst) || tp_dst == other.tp_dst);
+  if (wildcards != other.wildcards) return false;
+  const FlowMask mask = FlowMask::from_wildcards(wildcards);
+  return apply(mask, FlowKey::from_match(*this)) ==
+         apply(mask, FlowKey::from_match(other));
 }
 
 bool Match::overlaps(const Match& other) const {
-  const auto field = [&](std::uint32_t bit, auto a, auto b) {
-    return (wildcards & bit) || (other.wildcards & bit) || a == b;
-  };
-  if (!field(Wildcards::kInPort, in_port, other.in_port)) return false;
-  if (!field(Wildcards::kDlSrc, dl_src, other.dl_src)) return false;
-  if (!field(Wildcards::kDlDst, dl_dst, other.dl_dst)) return false;
-  if (!field(Wildcards::kDlVlan, dl_vlan, other.dl_vlan)) return false;
-  if (!field(Wildcards::kDlVlanPcp, dl_vlan_pcp, other.dl_vlan_pcp)) return false;
-  if (!field(Wildcards::kDlType, dl_type, other.dl_type)) return false;
-  if (!field(Wildcards::kNwTos, nw_tos, other.nw_tos)) return false;
-  if (!field(Wildcards::kNwProto, nw_proto, other.nw_proto)) return false;
-  if (!field(Wildcards::kTpSrc, tp_src, other.tp_src)) return false;
-  if (!field(Wildcards::kTpDst, tp_dst, other.tp_dst)) return false;
-  // nw fields intersect when they agree under the looser of the two masks.
-  const int src_ignored = std::max(nw_src_ignored_bits(), other.nw_src_ignored_bits());
-  if (!ip_field_matches(nw_src, other.nw_src, src_ignored)) return false;
-  const int dst_ignored = std::max(nw_dst_ignored_bits(), other.nw_dst_ignored_bits());
-  return ip_field_matches(nw_dst, other.nw_dst, dst_ignored);
+  // Two patterns overlap iff they agree on the bits both consider relevant:
+  // the intersection of the masks. For the nw fields this is exactly "agree
+  // under the looser of the two prefixes".
+  const FlowMask a = FlowMask::from_wildcards(wildcards);
+  const FlowMask b = FlowMask::from_wildcards(other.wildcards);
+  FlowMask common;
+  for (std::size_t i = 0; i < FlowKey::kWords; ++i) common.w[i] = a.w[i] & b.w[i];
+  return apply(common, FlowKey::from_match(*this)) ==
+         apply(common, FlowKey::from_match(other));
 }
 
 void Match::serialize(ByteWriter& w) const {

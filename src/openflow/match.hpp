@@ -100,7 +100,9 @@ struct Match {
   /// True if this match is fully exact (no wildcarded fields).
   [[nodiscard]] bool is_exact() const { return wildcards == 0; }
 
-  /// Strict-equality comparison used by OFPFC_MODIFY_STRICT/DELETE_STRICT.
+  /// Strict-equality comparison used by OFPFC_MODIFY_STRICT/DELETE_STRICT:
+  /// identical wildcard bitmap and identical masked 12-tuple (every
+  /// non-wildcarded field, vlan PCP and IP ToS included).
   [[nodiscard]] bool same_pattern(const Match& other) const;
 
   /// True if some packet could match both patterns (OFPFF_CHECK_OVERLAP):

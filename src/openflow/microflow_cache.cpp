@@ -1,0 +1,46 @@
+#include "openflow/microflow_cache.hpp"
+
+namespace hw::ofp {
+
+MicroflowCache::Probe MicroflowCache::probe(const FlowKey& key,
+                                            std::uint64_t generation) {
+  Probe result;
+  if (generation != generation_) {
+    result.flushed = !index_.empty();
+    clear();
+    generation_ = generation;
+    return result;
+  }
+  const auto it = index_.find(key);
+  if (it == index_.end()) return result;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  result.entry = it->second->second;
+  return result;
+}
+
+void MicroflowCache::insert(const FlowKey& key, FlowEntry* entry,
+                            std::uint64_t generation) {
+  if (capacity_ == 0) return;
+  if (generation != generation_) {
+    clear();
+    generation_ = generation;
+  }
+  if (const auto it = index_.find(key); it != index_.end()) {
+    it->second->second = entry;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (index_.size() >= capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+  lru_.emplace_front(key, entry);
+  index_.emplace(key, lru_.begin());
+}
+
+void MicroflowCache::clear() {
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace hw::ofp

@@ -1,0 +1,53 @@
+// The exact-match microflow cache in front of the classifier: the first
+// packet of a flow pays the tuple-space search, every later packet of the
+// same 12-tuple resolves with one hash probe. Entries are raw handles into
+// the FlowTable, so they are validated against the table's generation
+// counter — any table mutation may move or delete entries, and the first
+// probe after a mutation flushes the whole cache. Capacity is bounded with
+// LRU eviction. This mirrors the OVS kernel-datapath design (Pfaff et al.,
+// NSDI 2015), collapsed into one process.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+#include "openflow/flow_key.hpp"
+
+namespace hw::ofp {
+
+struct FlowEntry;
+
+class MicroflowCache {
+ public:
+  explicit MicroflowCache(std::size_t capacity) : capacity_(capacity) {}
+
+  struct Probe {
+    FlowEntry* entry = nullptr;  // nullptr = miss; run the classifier
+    bool flushed = false;        // the table mutated since the last probe
+  };
+
+  /// Looks the key up under the classifier's current generation. A
+  /// generation change invalidates every cached handle at once (any
+  /// mutation may have moved or deleted the entries they point at).
+  Probe probe(const FlowKey& key, std::uint64_t generation);
+
+  /// Remembers a classifier hit under the generation it was computed at.
+  /// Evicts the least-recently-used entry when full.
+  void insert(const FlowKey& key, FlowEntry* entry, std::uint64_t generation);
+
+  void clear();
+  [[nodiscard]] std::size_t size() const { return index_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  using LruList = std::list<std::pair<FlowKey, FlowEntry*>>;
+
+  std::size_t capacity_;
+  std::uint64_t generation_ = 0;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<FlowKey, LruList::iterator, FlowKeyHash> index_;
+};
+
+}  // namespace hw::ofp

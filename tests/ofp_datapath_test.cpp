@@ -425,6 +425,133 @@ TEST_F(DatapathFixture, InstalledFlowsSurviveControllerDisconnect) {
   EXPECT_EQ(controller.received.size(), pis_before);  // nothing arrives
 }
 
+TEST_F(DatapathFixture, MicroflowCacheServesRepeatTraffic) {
+  FlowMod mod;
+  mod.match = Match::any();
+  mod.match.with_dl_type(0x0800);
+  mod.actions = output_to(2);
+  controller.send(std::move(mod));
+  loop.run_for(kMillisecond);
+
+  for (int i = 0; i < 3; ++i) {
+    dp.receive_frame(1, udp_frame(kHostA, kIpA, kIpB, 80));
+  }
+  EXPECT_EQ(port2_out.frames.size(), 3u);
+  // First packet runs the classifier and seeds the cache; the rest hit.
+  EXPECT_EQ(dp.stats().microflow_misses, 1u);
+  EXPECT_EQ(dp.stats().microflow_hits, 2u);
+  EXPECT_EQ(dp.stats().microflow_invalidations, 0u);
+  EXPECT_EQ(dp.microflow_cache().size(), 1u);
+  // Table-level stats still count every packet, hit or not.
+  EXPECT_EQ(dp.table().stats().lookups, 3u);
+  EXPECT_EQ(dp.table().stats().matches, 3u);
+}
+
+TEST_F(DatapathFixture, FlowModInvalidatesMicroflowCache) {
+  FlowMod broad;
+  broad.match = Match::any();
+  broad.match.with_dl_type(0x0800);
+  broad.priority = 100;
+  broad.actions = output_to(2);
+  controller.send(std::move(broad));
+  loop.run_for(kMillisecond);
+  dp.receive_frame(1, udp_frame(kHostA, kIpA, kIpB, 80));
+  dp.receive_frame(1, udp_frame(kHostA, kIpA, kIpB, 80));
+  EXPECT_EQ(port2_out.frames.size(), 2u);
+  EXPECT_EQ(dp.stats().microflow_hits, 1u);
+
+  // A higher-priority rule arrives for the same traffic. The cached handle
+  // must not keep winning: the next packet re-runs the classifier.
+  FlowMod narrow;
+  narrow.match = Match::any();
+  narrow.match.with_dl_type(0x0800).with_tp_dst(80);
+  narrow.priority = 200;
+  narrow.actions = output_to(1);
+  controller.send(std::move(narrow));
+  loop.run_for(kMillisecond);
+
+  dp.receive_frame(1, udp_frame(kHostA, kIpA, kIpB, 80));
+  EXPECT_EQ(port1_out.frames.size(), 1u);  // new rule applied, not stale
+  EXPECT_EQ(port2_out.frames.size(), 2u);
+  EXPECT_EQ(dp.stats().microflow_invalidations, 1u);
+}
+
+TEST_F(DatapathFixture, CachedHitsFeedPerFlowCounters) {
+  FlowMod mod;
+  mod.match = Match::any();
+  mod.match.with_dl_type(0x0800);
+  mod.actions = output_to(2);
+  controller.send(std::move(mod));
+  loop.run_for(kMillisecond);
+  for (int i = 0; i < 3; ++i) {
+    dp.receive_frame(1, udp_frame(kHostA, kIpA, kIpB, 80, 100));
+  }
+  ASSERT_EQ(dp.stats().microflow_hits, 2u);
+
+  StatsRequest flow_req;
+  flow_req.type = StatsType::Flow;
+  flow_req.body = FlowStatsRequest{};
+  controller.send(std::move(flow_req), 91);
+  loop.run_for(kMillisecond);
+  auto replies = controller.of_type<StatsReply>();
+  ASSERT_EQ(replies.size(), 1u);
+  const auto& flows = std::get<std::vector<FlowStatsEntry>>(replies[0]->body);
+  ASSERT_EQ(flows.size(), 1u);
+  // Cache-served packets still land in the entry's OpenFlow counters.
+  EXPECT_EQ(flows[0].packet_count, 3u);
+}
+
+TEST_F(DatapathFixture, ExpiryInvalidatesMicroflowCache) {
+  FlowMod mod;
+  mod.match = Match::any();
+  mod.match.with_dl_type(0x0800);
+  mod.idle_timeout = 2;
+  mod.actions = output_to(2);
+  controller.send(std::move(mod));
+  loop.run_for(kMillisecond);
+  dp.receive_frame(1, udp_frame(kHostA, kIpA, kIpB, 80));
+  dp.receive_frame(1, udp_frame(kHostA, kIpA, kIpB, 80));
+  EXPECT_EQ(port2_out.frames.size(), 2u);
+  EXPECT_TRUE(controller.of_type<PacketIn>().empty());
+
+  loop.run_for(5 * kSecond);  // idle timeout fires; the entry is gone
+  EXPECT_EQ(dp.table().size(), 0u);
+  // The cached handle must not serve the dead flow: this is a miss again.
+  dp.receive_frame(1, udp_frame(kHostA, kIpA, kIpB, 80));
+  loop.run_for(kMillisecond);
+  EXPECT_EQ(port2_out.frames.size(), 2u);  // not forwarded by a stale entry
+  EXPECT_EQ(controller.of_type<PacketIn>().size(), 1u);
+}
+
+TEST(DatapathTableFull, RejectedAddAnswersWithError) {
+  sim::EventLoop loop;
+  Datapath dp(loop, {.datapath_id = 1, .table_capacity = 1});
+  InProcConnection conn(loop);
+  FakeController controller(conn.controller_end());
+  dp.connect(conn.datapath_end());
+  loop.run_for(kMillisecond);
+
+  FlowMod a;
+  a.match = Match::any();
+  a.match.with_tp_dst(80);
+  a.actions = output_to(1);
+  controller.send(std::move(a), 11);
+  FlowMod b;
+  b.match = Match::any();
+  b.match.with_tp_dst(443);
+  b.actions = output_to(1);
+  controller.send(std::move(b), 12);
+  loop.run_for(kMillisecond);
+
+  EXPECT_EQ(dp.table().size(), 1u);
+  EXPECT_EQ(dp.table().stats().table_full, 1u);
+  auto errors = controller.of_type<ErrorMsg>();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0]->type, ErrorType::FlowModFailed);
+  EXPECT_EQ(errors[0]->code, 0u);  // OFPFMFC_ALL_TABLES_FULL
+  EXPECT_EQ(controller.received.back().xid, 12u);  // echoes the bad request
+}
+
 TEST_F(DatapathFixture, IngressAdapterRoutesToPort) {
   sim::FrameSink* ingress = dp.ingress(1);
   ASSERT_NE(ingress, nullptr);

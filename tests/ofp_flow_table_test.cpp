@@ -274,6 +274,116 @@ TEST(FlowTable, QueryFiltersByMatchAndOutPort) {
   EXPECT_EQ(table.query(Match::any(), 9).size(), 0u);
 }
 
+TEST(FlowTable, SubtableCountTracksDistinctWildcardPatterns) {
+  FlowTable table;
+  EXPECT_EQ(table.subtable_count(), 0u);
+  Match web = Match::any();
+  web.with_dl_type(0x0800).with_tp_dst(80);
+  Match dns = Match::any();
+  dns.with_dl_type(0x0800).with_tp_dst(53);
+  table.apply(add_rule(web, 5, output_to(1)), 0);
+  table.apply(add_rule(dns, 6, output_to(2)), 0);
+  // Same wildcard bitmap → same subtable.
+  EXPECT_EQ(table.subtable_count(), 1u);
+  Match arp = Match::any();
+  arp.with_dl_type(0x0806);
+  table.apply(add_rule(arp, 5, output_to(3)), 0);
+  EXPECT_EQ(table.subtable_count(), 2u);
+  // Exact rules land in a third subtable.
+  table.apply(add_rule(exact_pkt(80), 5, output_to(4)), 0);
+  EXPECT_EQ(table.subtable_count(), 3u);
+
+  // Deleting the last entry of a pattern prunes its subtable.
+  FlowMod del;
+  del.match = Match::any();
+  del.match.with_dl_type(0x0806);
+  del.command = FlowModCommand::DeleteStrict;
+  del.priority = 5;
+  EXPECT_EQ(table.apply(del, 0), FlowModResult::Deleted);
+  EXPECT_EQ(table.subtable_count(), 2u);
+}
+
+TEST(FlowTable, GenerationBumpsOnEveryMutation) {
+  FlowTable table;
+  const std::uint64_t g0 = table.generation();
+  Match m = Match::any();
+  m.with_tp_dst(80);
+  table.apply(add_rule(m, 5, output_to(1), /*idle=*/1), 0);
+  const std::uint64_t g1 = table.generation();
+  EXPECT_GT(g1, g0);
+
+  // Lookups are not mutations.
+  table.lookup(exact_pkt(80), 0, 64);
+  EXPECT_EQ(table.generation(), g1);
+
+  // Replace, modify, delete and expire all invalidate cached handles.
+  table.apply(add_rule(m, 5, output_to(2)), 0);
+  const std::uint64_t g2 = table.generation();
+  EXPECT_GT(g2, g1);
+  FlowMod mod;
+  mod.match = Match::any();
+  mod.command = FlowModCommand::Modify;
+  mod.actions = output_to(3);
+  table.apply(mod, 0);
+  const std::uint64_t g3 = table.generation();
+  EXPECT_GT(g3, g2);
+  table.apply(add_rule(m, 5, output_to(1), /*idle=*/1), 0);
+  const std::uint64_t g4 = table.generation();
+  EXPECT_FALSE(table.expire(10 * kSecond).empty());
+  EXPECT_GT(table.generation(), g4);
+}
+
+TEST(FlowTable, TableFullCounterCountsRejections) {
+  FlowTable table(1);
+  Match a = Match::any();
+  a.with_tp_dst(1);
+  Match b = Match::any();
+  b.with_tp_dst(2);
+  EXPECT_EQ(table.apply(add_rule(a, 5, {}), 0), FlowModResult::Added);
+  EXPECT_EQ(table.stats().table_full, 0u);
+  EXPECT_EQ(table.apply(add_rule(b, 5, {}), 0), FlowModResult::TableFull);
+  EXPECT_EQ(table.apply(add_rule(b, 5, {}), 0), FlowModResult::TableFull);
+  EXPECT_EQ(table.stats().table_full, 2u);
+  // Replacing an existing pattern is not an insert and must still succeed.
+  EXPECT_EQ(table.apply(add_rule(a, 5, output_to(9)), 0),
+            FlowModResult::Added);
+  EXPECT_EQ(table.stats().table_full, 2u);
+}
+
+TEST(FlowTable, PeekAgreesWithLookupWithoutCounterSideEffects) {
+  FlowTable table;
+  Match broad = Match::any();
+  broad.with_dl_type(0x0800);
+  Match narrow = Match::any();
+  narrow.with_dl_type(0x0800).with_tp_dst(80);
+  table.apply(add_rule(broad, 100, output_to(1)), 0);
+  table.apply(add_rule(narrow, 200, output_to(2)), 0);
+
+  const FlowEntry* peeked = table.peek(exact_pkt(80));
+  ASSERT_NE(peeked, nullptr);
+  EXPECT_EQ(peeked->packet_count, 0u);
+  EXPECT_EQ(table.stats().lookups, 0u);
+
+  FlowEntry* looked = table.lookup(exact_pkt(80), 0, 64);
+  ASSERT_NE(looked, nullptr);
+  EXPECT_EQ(looked, peeked);  // same winner through the same code path
+  EXPECT_EQ(table.peek(exact_pkt(443)), table.lookup(exact_pkt(443), 0, 64));
+  EXPECT_EQ(table.peek(exact_pkt(80, Ipv4Address{1, 2, 3, 4})),
+            table.lookup(exact_pkt(80, Ipv4Address{1, 2, 3, 4}), 0, 64));
+}
+
+TEST(FlowTable, SubtableScansStayBelowRuleCount) {
+  // 100 exact-match rules share one wildcard pattern: a lookup probes one
+  // subtable, not one rule at a time.
+  FlowTable table;
+  for (std::uint16_t i = 0; i < 100; ++i) {
+    table.apply(add_rule(exact_pkt(i), 5, output_to(1)), 0);
+  }
+  EXPECT_EQ(table.subtable_count(), 1u);
+  table.lookup(exact_pkt(7), 0, 64);
+  EXPECT_EQ(table.stats().subtable_scans, 1u);
+}
+
 TEST(FlowTable, ForEachVisitsAll) {
   FlowTable table;
   for (std::uint16_t i = 0; i < 5; ++i) {

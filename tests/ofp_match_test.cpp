@@ -3,7 +3,10 @@
 // implementation of field comparison.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "net/packet.hpp"
+#include "openflow/flow_key.hpp"
 #include "openflow/match.hpp"
 #include "util/rand.hpp"
 
@@ -219,6 +222,207 @@ TEST_P(MatchProperty, CoversAgreesWithReference) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MatchProperty,
                          ::testing::Values(1, 2, 3, 42, 1337));
+
+// ---------------------------------------------------------------------------
+// FlowKey / FlowMask: the packed representation the classifier runs on.
+
+TEST(FlowKey, RoundTripThroughMatch) {
+  const Match m = packet_fields();
+  const FlowKey key = FlowKey::from_match(m);
+  const Match back = key.to_match(0);
+  EXPECT_EQ(back.in_port, m.in_port);
+  EXPECT_EQ(back.dl_src, m.dl_src);
+  EXPECT_EQ(back.dl_dst, m.dl_dst);
+  EXPECT_EQ(back.dl_vlan, m.dl_vlan);
+  EXPECT_EQ(back.dl_vlan_pcp, m.dl_vlan_pcp);
+  EXPECT_EQ(back.dl_type, m.dl_type);
+  EXPECT_EQ(back.nw_tos, m.nw_tos);
+  EXPECT_EQ(back.nw_proto, m.nw_proto);
+  EXPECT_EQ(back.nw_src, m.nw_src);
+  EXPECT_EQ(back.nw_dst, m.nw_dst);
+  EXPECT_EQ(back.tp_src, m.tp_src);
+  EXPECT_EQ(back.tp_dst, m.tp_dst);
+  EXPECT_EQ(FlowKey::from_match(back), key);
+}
+
+TEST(FlowKey, HashFollowsValue) {
+  const FlowKey a = FlowKey::from_match(packet_fields());
+  const FlowKey b = FlowKey::from_match(packet_fields());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  Match other = packet_fields();
+  other.tp_dst = 81;
+  const FlowKey c = FlowKey::from_match(other);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a.hash(), c.hash());
+}
+
+TEST(FlowMask, ApplyZeroesWildcardedFields) {
+  Match rule = Match::any();
+  rule.with_tp_dst(53);
+  const FlowMask mask = FlowMask::from_wildcards(rule.wildcards);
+
+  Match pkt_a = packet_fields();
+  pkt_a.tp_dst = 53;
+  Match pkt_b = packet_fields(9);  // different in_port: wildcarded
+  pkt_b.dl_src = MacAddress::from_index(42);
+  pkt_b.tp_dst = 53;
+  EXPECT_EQ(apply(mask, FlowKey::from_match(pkt_a)),
+            apply(mask, FlowKey::from_match(pkt_b)));
+
+  Match pkt_c = packet_fields();
+  pkt_c.tp_dst = 80;  // concrete field differs
+  EXPECT_NE(apply(mask, FlowKey::from_match(pkt_a)),
+            apply(mask, FlowKey::from_match(pkt_c)));
+}
+
+TEST(FlowMask, NwPrefixMasking) {
+  Match rule = Match::any();
+  rule.with_nw_dst(Ipv4Address{10, 1, 2, 0}, 24);
+  const FlowMask mask = FlowMask::from_wildcards(rule.wildcards);
+  Match pkt_a = packet_fields();
+  pkt_a.nw_dst = Ipv4Address{10, 1, 2, 7};
+  Match pkt_b = packet_fields();
+  pkt_b.nw_dst = Ipv4Address{10, 1, 2, 250};
+  Match pkt_c = packet_fields();
+  pkt_c.nw_dst = Ipv4Address{10, 1, 3, 7};
+  EXPECT_EQ(apply(mask, FlowKey::from_match(pkt_a)),
+            apply(mask, FlowKey::from_match(pkt_b)));
+  EXPECT_NE(apply(mask, FlowKey::from_match(pkt_a)),
+            apply(mask, FlowKey::from_match(pkt_c)));
+}
+
+// Field-by-field reference implementations of the pattern relations, used
+// as oracles for the FlowKey/FlowMask-based production code.
+bool ref_same_pattern(const Match& a, const Match& b) {
+  if (a.wildcards != b.wildcards) return false;
+  const auto concrete = [&](std::uint32_t bit) {
+    return (a.wildcards & bit) == 0;
+  };
+  if (concrete(Wildcards::kInPort) && a.in_port != b.in_port) return false;
+  if (concrete(Wildcards::kDlVlan) && a.dl_vlan != b.dl_vlan) return false;
+  if (concrete(Wildcards::kDlSrc) && !(a.dl_src == b.dl_src)) return false;
+  if (concrete(Wildcards::kDlDst) && !(a.dl_dst == b.dl_dst)) return false;
+  if (concrete(Wildcards::kDlType) && a.dl_type != b.dl_type) return false;
+  if (concrete(Wildcards::kNwProto) && a.nw_proto != b.nw_proto) return false;
+  if (concrete(Wildcards::kTpSrc) && a.tp_src != b.tp_src) return false;
+  if (concrete(Wildcards::kTpDst) && a.tp_dst != b.tp_dst) return false;
+  if (concrete(Wildcards::kDlVlanPcp) && a.dl_vlan_pcp != b.dl_vlan_pcp) {
+    return false;
+  }
+  if (concrete(Wildcards::kNwTos) && a.nw_tos != b.nw_tos) return false;
+  const auto prefix_equal = [](std::uint32_t x, std::uint32_t y, int ignored) {
+    if (ignored >= 32) return true;
+    const std::uint32_t mask = ignored == 0 ? ~0u : ~0u << ignored;
+    return (x & mask) == (y & mask);
+  };
+  if (!prefix_equal(a.nw_src.value(), b.nw_src.value(),
+                    a.nw_src_ignored_bits())) {
+    return false;
+  }
+  return prefix_equal(a.nw_dst.value(), b.nw_dst.value(),
+                      a.nw_dst_ignored_bits());
+}
+
+bool ref_overlaps(const Match& a, const Match& b) {
+  const auto both = [&](std::uint32_t bit) {
+    return (a.wildcards & bit) == 0 && (b.wildcards & bit) == 0;
+  };
+  if (both(Wildcards::kInPort) && a.in_port != b.in_port) return false;
+  if (both(Wildcards::kDlVlan) && a.dl_vlan != b.dl_vlan) return false;
+  if (both(Wildcards::kDlSrc) && !(a.dl_src == b.dl_src)) return false;
+  if (both(Wildcards::kDlDst) && !(a.dl_dst == b.dl_dst)) return false;
+  if (both(Wildcards::kDlType) && a.dl_type != b.dl_type) return false;
+  if (both(Wildcards::kNwProto) && a.nw_proto != b.nw_proto) return false;
+  if (both(Wildcards::kTpSrc) && a.tp_src != b.tp_src) return false;
+  if (both(Wildcards::kTpDst) && a.tp_dst != b.tp_dst) return false;
+  if (both(Wildcards::kDlVlanPcp) && a.dl_vlan_pcp != b.dl_vlan_pcp) {
+    return false;
+  }
+  if (both(Wildcards::kNwTos) && a.nw_tos != b.nw_tos) return false;
+  const auto prefixes_agree = [](std::uint32_t x, int ix, std::uint32_t y,
+                                 int iy) {
+    // Two prefixes intersect iff they agree on the shorter (more ignored
+    // bits) of the two masks.
+    const int ignored = std::max(ix, iy);
+    if (ignored >= 32) return true;
+    const std::uint32_t mask = ignored == 0 ? ~0u : ~0u << ignored;
+    return (x & mask) == (y & mask);
+  };
+  if (!prefixes_agree(a.nw_src.value(), a.nw_src_ignored_bits(),
+                      b.nw_src.value(), b.nw_src_ignored_bits())) {
+    return false;
+  }
+  return prefixes_agree(a.nw_dst.value(), a.nw_dst_ignored_bits(),
+                        b.nw_dst.value(), b.nw_dst_ignored_bits());
+}
+
+/// Random rule over small value pools so pattern collisions actually occur.
+Match random_match(Rng& rng) {
+  Match m = Match::any();
+  if (rng.chance(0.5)) {
+    m.with_in_port(static_cast<std::uint16_t>(rng.uniform(3)));
+  }
+  if (rng.chance(0.4)) {
+    m.with_dl_src(MacAddress::from_index(static_cast<std::uint32_t>(rng.uniform(3))));
+  }
+  if (rng.chance(0.4)) {
+    m.with_dl_dst(MacAddress::from_index(static_cast<std::uint32_t>(rng.uniform(3))));
+  }
+  if (rng.chance(0.3)) {
+    m.wildcards &= ~Wildcards::kDlVlan;
+    m.dl_vlan = static_cast<std::uint16_t>(rng.uniform(3));
+  }
+  if (rng.chance(0.3)) {
+    m.wildcards &= ~Wildcards::kDlVlanPcp;
+    m.dl_vlan_pcp = static_cast<std::uint8_t>(rng.uniform(4));
+  }
+  if (rng.chance(0.5)) m.with_dl_type(rng.chance(0.7) ? 0x0800 : 0x0806);
+  if (rng.chance(0.3)) {
+    m.wildcards &= ~Wildcards::kNwTos;
+    m.nw_tos = static_cast<std::uint8_t>(rng.uniform(3) << 2);
+  }
+  if (rng.chance(0.4)) {
+    m.with_nw_proto(static_cast<std::uint8_t>(rng.chance(0.5) ? 6 : 17));
+  }
+  if (rng.chance(0.5)) {
+    m.with_nw_src(Ipv4Address{static_cast<std::uint32_t>(0x0a000000 +
+                                                         rng.uniform(4))},
+                  static_cast<int>(rng.uniform(5)) * 8);
+  }
+  if (rng.chance(0.5)) {
+    m.with_nw_dst(Ipv4Address{static_cast<std::uint32_t>(0x0a000000 +
+                                                         rng.uniform(4))},
+                  static_cast<int>(rng.uniform(5)) * 8);
+  }
+  if (rng.chance(0.4)) {
+    m.with_tp_src(static_cast<std::uint16_t>(rng.uniform(3)));
+  }
+  if (rng.chance(0.4)) {
+    m.with_tp_dst(static_cast<std::uint16_t>(rng.uniform(3) * 100));
+  }
+  return m;
+}
+
+class FlowKeyProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlowKeyProperty, RelationsAgreeWithFieldReference) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 300; ++iter) {
+    const Match a = random_match(rng);
+    const Match b = random_match(rng);
+    EXPECT_EQ(a.same_pattern(b), ref_same_pattern(a, b)) << "iter " << iter;
+    EXPECT_EQ(a.overlaps(b), ref_overlaps(a, b)) << "iter " << iter;
+    EXPECT_EQ(a.overlaps(b), b.overlaps(a)) << "iter " << iter;
+    // A rule survives the FlowKey round trip up to pattern equality
+    // (wildcarded fields may hold arbitrary values).
+    const Match back = FlowKey::from_match(a).to_match(a.wildcards);
+    EXPECT_TRUE(a.same_pattern(back)) << "iter " << iter;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowKeyProperty,
+                         ::testing::Values(4, 8, 15, 16, 23));
 
 }  // namespace
 }  // namespace hw::ofp

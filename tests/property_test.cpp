@@ -54,6 +54,27 @@ class ReferenceTable {
                                  mod.idle_timeout, mod.hard_timeout, 0});
         break;
       }
+      case ofp::FlowModCommand::Modify:
+      case ofp::FlowModCommand::ModifyStrict: {
+        const bool strict = mod.command == ofp::FlowModCommand::ModifyStrict;
+        bool any = false;
+        for (auto& e : entries_) {
+          const bool hit = strict ? (e.priority == mod.priority &&
+                                     e.match.same_pattern(mod.match))
+                                  : mod.match.covers(e.match);
+          if (hit) {
+            e.actions = mod.actions;
+            any = true;
+          }
+        }
+        if (!any) {
+          // Per spec, MODIFY with no match behaves like ADD.
+          ofp::FlowMod add = mod;
+          add.command = ofp::FlowModCommand::Add;
+          apply(add, now);
+        }
+        break;
+      }
       case ofp::FlowModCommand::Delete: {
         entries_.remove_if(
             [&](const Entry& e) { return mod.match.covers(e.match); });
@@ -137,18 +158,16 @@ ofp::Match random_packet(Rng& rng) {
   return m;
 }
 
-class FlowTableProperty : public ::testing::TestWithParam<std::uint64_t> {};
-
-TEST_P(FlowTableProperty, AgreesWithReferenceModel) {
-  Rng rng(GetParam());
+void run_flow_table_differential(std::uint64_t seed, int steps) {
+  Rng rng(seed);
   ofp::FlowTable table;
   ReferenceTable reference;
   Timestamp now = 0;
 
-  for (int step = 0; step < 2000; ++step) {
+  for (int step = 0; step < steps; ++step) {
     now += rng.uniform(kSecond);
     const double dice = rng.uniform01();
-    if (dice < 0.35) {
+    if (dice < 0.30) {
       ofp::FlowMod mod;
       mod.command = ofp::FlowModCommand::Add;
       mod.match = random_rule(rng);
@@ -158,7 +177,17 @@ TEST_P(FlowTableProperty, AgreesWithReferenceModel) {
       if (rng.chance(0.2)) mod.hard_timeout = 20;
       table.apply(mod, now);
       reference.apply(mod, now);
-    } else if (dice < 0.45) {
+    } else if (dice < 0.40) {
+      ofp::FlowMod mod;
+      mod.command = rng.chance(0.5) ? ofp::FlowModCommand::Modify
+                                    : ofp::FlowModCommand::ModifyStrict;
+      mod.match = random_rule(rng);
+      mod.priority = static_cast<std::uint16_t>(rng.uniform(4) * 100);
+      mod.actions = ofp::output_to(static_cast<std::uint16_t>(rng.uniform(4) + 1));
+      if (rng.chance(0.3)) mod.idle_timeout = 5;
+      table.apply(mod, now);
+      reference.apply(mod, now);
+    } else if (dice < 0.50) {
       ofp::FlowMod del;
       del.command = rng.chance(0.5) ? ofp::FlowModCommand::Delete
                                     : ofp::FlowModCommand::DeleteStrict;
@@ -166,27 +195,47 @@ TEST_P(FlowTableProperty, AgreesWithReferenceModel) {
       del.priority = static_cast<std::uint16_t>(rng.uniform(4) * 100);
       table.apply(del, now);
       reference.apply(del, now);
-    } else if (dice < 0.55) {
-      (void)table.expire(now);
-      (void)reference.expire(now);
+    } else if (dice < 0.60) {
+      ASSERT_EQ(table.expire(now).size(), reference.expire(now))
+          << "step " << step;
     } else {
       const ofp::Match pkt = random_packet(rng);
+      // peek is read-only and must agree with the lookup that follows it.
+      const ofp::FlowEntry* peeked = table.peek(pkt);
       ofp::FlowEntry* got = table.lookup(pkt, now, 64);
       ReferenceTable::Entry* want = reference.lookup(pkt, now);
       ASSERT_EQ(got != nullptr, want != nullptr) << "step " << step;
+      EXPECT_EQ(peeked, got) << "step " << step;
       if (got != nullptr) {
-        // The same priority band must win. (Tie-breaking order within a
-        // band can differ between implementations when matches overlap, so
-        // compare priorities, not identities.)
+        // Ties resolve to the earliest-installed entry in both models, so
+        // the comparison can be by identity: same priority, same actions,
+        // same per-entry counters.
         EXPECT_EQ(got->priority, want->priority) << "step " << step;
+        EXPECT_EQ(got->actions, want->actions) << "step " << step;
+        EXPECT_EQ(got->packet_count, want->packets) << "step " << step;
       }
     }
     ASSERT_EQ(table.size(), reference.size()) << "step " << step;
   }
 }
 
+class FlowTableProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlowTableProperty, AgreesWithReferenceModel) {
+  run_flow_table_differential(GetParam(), 2000);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, FlowTableProperty,
                          ::testing::Values(1, 7, 42, 99, 12345));
+
+class FlowTableDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlowTableDifferential, TenThousandRandomOps) {
+  run_flow_table_differential(GetParam() * 977 + 13, 10000);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowTableDifferential,
+                         ::testing::Values(2, 31));
 
 // ---------------------------------------------------------------------------
 // hwdb window algebra on random streams
