@@ -123,6 +123,9 @@ int main() {
               "SELECT name, value FROM Metrics [NOW] --\n");
   hwdb::rpc::InProcRpcLink rpc_link(router.loop(), router.db());
   hwdb::rpc::RpcClient& rpc_client = rpc_link.make_client();
+  // The RPC stack's own instruments (hwdb.rpc.*) attach when the link is
+  // created; let one export period elapse so they appear in the snapshot.
+  home.run_for(2 * kSecond);
   std::optional<hwdb::ResultSet> metrics;
   rpc_client.query("SELECT name, value FROM Metrics [NOW]",
                    [&](Result<hwdb::ResultSet> rs) {
@@ -155,7 +158,12 @@ int main() {
         "openflow.datapath.microflow_invalidations",
         "openflow.datapath.packet_ins",
         "nox.controller.packet_ins", "homework.dhcp.acks",
-        "homework.dns.forwarded", "hwdb.database.inserts",
+        "homework.dhcp.retransmits", "homework.dns.forwarded",
+        "hwdb.database.inserts",
+        // Recovery telemetry (the chaos suite's series): all zero in this
+        // healthy run, but readable over the same RPC path.
+        "nox.channel.reconnects", "nox.channel.resynced_flows",
+        "hwdb.rpc.retries", "hwdb.rpc.timeouts", "hwdb.rpc.dup_suppressed",
         "sim.host.tx_frames", "openflow.flow_table.lookup_ns.p50",
         "openflow.flow_table.lookup_ns.p99",
         "nox.controller.packet_in_dispatch_ns.p50",

@@ -69,6 +69,10 @@ void DhcpServer::process(nox::DatapathId dpid, std::uint16_t in_port,
         metrics_.ignored_pending.inc();
         return;
       }
+      // A lossy network re-sends DISCOVERs; the sticky allocator hands the
+      // same address back, so a retransmit can never double-allocate. Count
+      // it so the chaos suite can read the recovery story off telemetry.
+      if (allocation(msg.chaddr)) metrics_.retransmits.inc();
       auto ip = allocate(msg.chaddr);
       if (!ip) {
         metrics_.pool_exhausted.inc();
@@ -104,6 +108,12 @@ void DhcpServer::process(nox::DatapathId dpid, std::uint16_t in_port,
         return;
       }
       const bool renewal = rec->lease.has_value();
+      // A REQUEST that selects an address (rather than renewing via ciaddr)
+      // while the lease already exists is a retransmission of the original
+      // REQUEST — re-ACK the same lease, never allocate a second address.
+      if (renewal && msg.requested_ip && rec->lease->ip == *allocated) {
+        metrics_.retransmits.inc();
+      }
       Lease lease;
       lease.ip = *allocated;
       lease.granted_at = now;

@@ -30,6 +30,9 @@ struct DhcpServerStats {
   std::uint64_t ignored_pending = 0;  // silent treatment of pending devices
   std::uint64_t pool_exhausted = 0;
   std::uint64_t expired = 0;
+  /// Retransmitted DISCOVER/REQUEST messages (lossy network re-sends)
+  /// answered idempotently from the existing allocation.
+  std::uint64_t retransmits = 0;
 };
 
 class DhcpServer final : public nox::Component {
@@ -66,7 +69,8 @@ class DhcpServer final : public nox::Component {
             metrics_.declines.value(),
             metrics_.ignored_pending.value(),
             metrics_.pool_exhausted.value(),
-            metrics_.expired.value()};
+            metrics_.expired.value(),
+            metrics_.retransmits.value()};
   }
   [[nodiscard]] const Config& config() const { return config_; }
   /// Current address allocation (MAC keyed), including offered-not-acked.
@@ -97,6 +101,7 @@ class DhcpServer final : public nox::Component {
     telemetry::Counter ignored_pending{"homework.dhcp.ignored_pending"};
     telemetry::Counter pool_exhausted{"homework.dhcp.pool_exhausted"};
     telemetry::Counter expired{"homework.dhcp.expired"};
+    telemetry::Counter retransmits{"homework.dhcp.retransmits"};
   } metrics_;
   std::map<MacAddress, Ipv4Address> allocations_;
   std::set<Ipv4Address> declined_;  // addresses a client reported in use

@@ -112,7 +112,15 @@ HomeworkRouter::HomeworkRouter(sim::EventLoop& loop, Rng& rng, Config config)
   controller_->add_component(std::move(exp));
   controller_->add_component(std::move(metrics));
   controller_->add_component(std::move(api));
-  controller_->add_component(std::make_unique<nox::LivenessMonitor>());
+  auto liveness = std::make_unique<nox::LivenessMonitor>(config_.liveness);
+  liveness_ = liveness.get();
+  controller_->add_component(std::move(liveness));
+
+  // Recovery loop: once the watchdog hears a previously-dead datapath again
+  // (channel restored), the controller replays every module's flow setup and
+  // confirms it with a barrier.
+  liveness_->on_recovered(
+      [this](nox::DatapathId dpid) { controller_->resync_datapath(dpid); });
 
   // Uplink port towards the ISP (Figure 5's "upstream" path), optionally
   // with pcap capture shims on both directions.
@@ -181,6 +189,12 @@ void HomeworkRouter::detach_device(const Attachment& attachment, MacAddress mac)
 
 void HomeworkRouter::move_device(MacAddress mac, sim::Position position) {
   wireless_->place_station(mac, position);
+}
+
+void HomeworkRouter::attach_faults(sim::FaultInjector& faults) {
+  faults.set_controller_channel([this] { connection_->disconnect(); },
+                                [this] { connection_->reconnect(); });
+  faults.set_datapath_restart([this] { datapath_->restart(); });
 }
 
 }  // namespace hw::homework

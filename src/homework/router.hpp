@@ -25,6 +25,7 @@
 #include "nox/liveness.hpp"
 #include "openflow/datapath.hpp"
 #include "policy/engine.hpp"
+#include "sim/fault_injector.hpp"
 #include "sim/host.hpp"
 #include "sim/trace.hpp"
 
@@ -49,6 +50,7 @@ class HomeworkRouter {
     ofp::Datapath::Config datapath;
     EventExport::Config event_export;
     MetricsExport::Config metrics_export;
+    nox::LivenessMonitor::Config liveness;
     Duration channel_latency = 100;  // controller channel, microseconds
     std::uint16_t uplink_port = 1;
     /// Records every frame crossing the uplink into uplink_trace(), from
@@ -82,7 +84,9 @@ class HomeworkRouter {
   // -- Subsystem access --------------------------------------------------------
   [[nodiscard]] sim::EventLoop& loop() { return loop_; }
   [[nodiscard]] ofp::Datapath& datapath() { return *datapath_; }
+  [[nodiscard]] ofp::InProcConnection& connection() { return *connection_; }
   [[nodiscard]] nox::Controller& controller() { return *controller_; }
+  [[nodiscard]] nox::LivenessMonitor& liveness() { return *liveness_; }
   [[nodiscard]] hwdb::Database& db() { return *db_; }
   [[nodiscard]] DeviceRegistry& registry() { return *registry_; }
   [[nodiscard]] policy::PolicyEngine& policy() { return *policy_; }
@@ -98,6 +102,12 @@ class HomeworkRouter {
   /// Uplink capture (points "uplink-tx"/"uplink-rx"); empty unless
   /// config.capture_uplink was set.
   [[nodiscard]] sim::Trace& uplink_trace() { return uplink_trace_; }
+
+  /// Registers the router's fault surfaces with a chaos injector: the
+  /// controller secure channel (ControllerOutage severs/restores it) and the
+  /// datapath (DatapathRestart cold-boots it). Device links are registered
+  /// by the caller per attachment (it owns their names).
+  void attach_faults(sim::FaultInjector& faults);
 
  private:
   /// Wireless TX accounting shim between a device link and its port.
@@ -125,6 +135,7 @@ class HomeworkRouter {
   EventExport* export_ = nullptr;
   MetricsExport* metrics_export_ = nullptr;
   ControlApi* control_api_ = nullptr;
+  nox::LivenessMonitor* liveness_ = nullptr;
 
   std::vector<std::unique_ptr<sim::DuplexLink>> links_;
   std::vector<std::unique_ptr<WirelessIngress>> wireless_shims_;

@@ -7,13 +7,83 @@ namespace {
 constexpr std::string_view kLog = "hwdb-rpc";
 }  // namespace
 
+Duration RetryPolicy::retry_backoff(int retry_index) const {
+  if (retry_index < 0) retry_index = 0;
+  // Saturate the shift well before Duration overflows.
+  Duration backoff = backoff_base;
+  for (int i = 0; i < retry_index && backoff < backoff_cap; ++i) backoff *= 2;
+  return backoff < backoff_cap ? backoff : backoff_cap;
+}
+
+std::vector<Duration> RetryPolicy::schedule() const {
+  std::vector<Duration> out;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    // After the n-th transmission the client waits the base timeout plus the
+    // backoff earned by the retries already spent.
+    out.push_back(timeout + (attempt == 0 ? 0 : retry_backoff(attempt - 1)));
+  }
+  return out;
+}
+
+RpcClient::~RpcClient() {
+  if (loop_ == nullptr) return;
+  for (auto& [id, call] : pending_) loop_->cancel(call.timer);
+}
+
 void RpcClient::call(RequestBody body, ResponseCallback cb) {
   Request req;
   req.request_id = next_request_id_++;
   if (req.request_id == 0) req.request_id = next_request_id_++;
   req.body = std::move(body);
-  if (cb) pending_[req.request_id] = std::move(cb);
-  send_(encode(req));
+  Bytes datagram = encode(req);
+
+  // A reliable client tracks every call (it needs the datagram to resend);
+  // the legacy fire-and-forget client only tracks calls that want replies.
+  if (loop_ != nullptr) {
+    PendingCall pc;
+    pc.datagram = datagram;
+    pc.cb = std::move(cb);
+    pending_[req.request_id] = std::move(pc);
+    arm_timer(req.request_id);
+  } else if (cb) {
+    pending_[req.request_id] = PendingCall{{}, std::move(cb), 1, 0};
+  }
+  send_(datagram);
+}
+
+void RpcClient::arm_timer(std::uint32_t request_id) {
+  auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;
+  const Duration wait =
+      policy_.timeout + (it->second.attempts == 1
+                             ? 0
+                             : policy_.retry_backoff(it->second.attempts - 2));
+  it->second.timer = loop_->schedule(
+      wait, [this, request_id] { handle_timeout(request_id); });
+}
+
+void RpcClient::handle_timeout(std::uint32_t request_id) {
+  auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;
+  if (it->second.attempts >= policy_.max_attempts) {
+    metrics_.timeouts.inc();
+    auto cb = std::move(it->second.cb);
+    pending_.erase(it);
+    HW_LOG_WARN(kLog, "request %u timed out after %d attempts", request_id,
+                policy_.max_attempts);
+    if (cb) {
+      Response failure;
+      failure.request_id = request_id;
+      failure.ok = false;
+      failure.error = "RPC: timed out";
+      cb(failure);
+    }
+    return;
+  }
+  ++it->second.attempts;
+  metrics_.retries.inc();
+  send_(it->second.datagram);
+  arm_timer(request_id);
 }
 
 void RpcClient::handle_datagram(std::span<const std::uint8_t> datagram) {
@@ -28,10 +98,11 @@ void RpcClient::handle_datagram(std::span<const std::uint8_t> datagram) {
   }
   if (auto* resp = std::get_if<Response>(&decoded.value())) {
     auto it = pending_.find(resp->request_id);
-    if (it == pending_.end()) return;
-    auto cb = std::move(it->second);
+    if (it == pending_.end()) return;  // late duplicate of an answered call
+    if (loop_ != nullptr) loop_->cancel(it->second.timer);
+    auto cb = std::move(it->second.cb);
     pending_.erase(it);
-    cb(*resp);
+    if (cb) cb(*resp);
   }
 }
 

@@ -1,6 +1,14 @@
 // Client-side RPC stub: request/response correlation plus push dispatch.
 // Transport-independent; pair with InProcRpcLink (simulation) or
 // UdpTransport (real sockets).
+//
+// The transport is plain UDP (paper §2), so the client owns reliability:
+// every call carries a request id, and — when constructed with an event
+// loop and a RetryPolicy — a per-call timeout with bounded exponential
+// backoff resends. Retried writes stay idempotent because the server
+// suppresses duplicate request ids (see RpcServer); the client just has to
+// reuse the id on every resend, which it does by retransmitting the
+// original encoded datagram verbatim.
 #pragma once
 
 #include <functional>
@@ -8,8 +16,35 @@
 
 #include "hwdb/rpc_codec.hpp"
 #include "sim/event_loop.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace hw::hwdb::rpc {
+
+/// Retry schedule for calls over a lossy transport. Attempt n (0-based) is
+/// given `timeout + retry_backoff(n)` to complete before the next resend;
+/// after `max_attempts` sends the call fails with an error response. The
+/// schedule is purely deterministic (no jitter) so chaos runs replay
+/// byte-identically.
+struct RetryPolicy {
+  int max_attempts = 1;  // total transmissions; 1 = fire once, never retry
+  Duration timeout = 250 * kMillisecond;        // per-attempt response budget
+  Duration backoff_base = 100 * kMillisecond;   // doubles per retry
+  Duration backoff_cap = 2 * kSecond;           // backoff growth ceiling
+
+  /// Extra delay added to the n-th retry's timeout (n = 0 for the first
+  /// retry): min(cap, base << n). Exposed so the property suite can check
+  /// the schedule is monotone and bounded without driving a transport.
+  [[nodiscard]] Duration retry_backoff(int retry_index) const;
+  /// Full inter-send delay sequence for a call: entry n is how long the
+  /// client waits after send n before resending (or failing).
+  [[nodiscard]] std::vector<Duration> schedule() const;
+};
+
+/// Snapshot view over the client's telemetry instruments.
+struct RpcClientStats {
+  std::uint64_t retries = 0;
+  std::uint64_t timeouts = 0;
+};
 
 class RpcClient {
  public:
@@ -17,9 +52,18 @@ class RpcClient {
   using ResponseCallback = std::function<void(const Response&)>;
   using PushCallback = std::function<void(std::uint64_t sub_id, const ResultSet&)>;
 
+  /// Fire-and-forget client: no timeouts, no retries (legacy behaviour).
   explicit RpcClient(SendFn send) : send_(std::move(send)) {}
+  /// Reliable client: unanswered calls are retried on `loop` per `policy`.
+  RpcClient(SendFn send, sim::EventLoop& loop, RetryPolicy policy)
+      : send_(std::move(send)), loop_(&loop), policy_(policy) {}
+  ~RpcClient();
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
 
-  /// Sends a request; `cb` fires when the matching response arrives.
+  /// Sends a request; `cb` fires when the matching response arrives, or —
+  /// with retries enabled — with an error response after the last attempt
+  /// times out.
   void call(RequestBody body, ResponseCallback cb);
 
   /// Push handler for subscription publishes.
@@ -37,12 +81,32 @@ class RpcClient {
   void unsubscribe(std::uint64_t sub_id);
 
   [[nodiscard]] std::size_t pending() const { return pending_.size(); }
+  [[nodiscard]] const RetryPolicy& policy() const { return policy_; }
+  [[nodiscard]] RpcClientStats stats() const {
+    return {metrics_.retries.value(), metrics_.timeouts.value()};
+  }
 
  private:
+  struct PendingCall {
+    Bytes datagram;  // resent verbatim so the request id is stable
+    ResponseCallback cb;
+    int attempts = 1;  // transmissions so far
+    sim::EventLoop::EventId timer = 0;
+  };
+
+  void arm_timer(std::uint32_t request_id);
+  void handle_timeout(std::uint32_t request_id);
+
   SendFn send_;
   PushCallback push_;
-  std::map<std::uint32_t, ResponseCallback> pending_;
+  sim::EventLoop* loop_ = nullptr;
+  RetryPolicy policy_;
+  std::map<std::uint32_t, PendingCall> pending_;
   std::uint32_t next_request_id_ = 1;
+  struct Instruments {
+    telemetry::Counter retries{"hwdb.rpc.retries"};
+    telemetry::Counter timeouts{"hwdb.rpc.timeouts"};
+  } metrics_;
 };
 
 }  // namespace hw::hwdb::rpc

@@ -25,8 +25,26 @@ void RpcServer::handle_datagram(ClientAddress from,
     return;
   }
   metrics_.requests.inc();
-  Response resp = process(from, *req);
-  send_(from, encode(resp));
+
+  // A retransmission of an already-answered request replays the cached
+  // response without re-executing the body — this is what keeps retried
+  // inserts/subscribes idempotent over the lossy UDP transport.
+  DedupState& dedup = dedup_[from];
+  if (auto cached = dedup.responses.find(req->request_id);
+      cached != dedup.responses.end()) {
+    metrics_.dup_suppressed.inc();
+    send_(from, cached->second);
+    return;
+  }
+
+  Bytes encoded_resp = encode(process(from, *req));
+  dedup.responses[req->request_id] = encoded_resp;
+  dedup.order.push_back(req->request_id);
+  if (dedup.order.size() > kDedupWindow) {
+    dedup.responses.erase(dedup.order.front());
+    dedup.order.pop_front();
+  }
+  send_(from, encoded_resp);
 }
 
 Response RpcServer::process(ClientAddress from, const Request& req) {
@@ -80,6 +98,7 @@ Response RpcServer::process(ClientAddress from, const Request& req) {
 }
 
 void RpcServer::drop_client(ClientAddress addr) {
+  dedup_.erase(addr);
   for (auto it = sub_owner_.begin(); it != sub_owner_.end();) {
     if (it->second == addr) {
       db_.unsubscribe(it->first);

@@ -1,8 +1,15 @@
 // Transport-independent RPC service endpoint binding a Database. Satellite
 // devices (the paper's visualization/control interfaces) talk to this over
 // UDP; tests and the in-process UIs use it directly.
+//
+// Reliability contract with RpcClient: clients may retransmit a request
+// (same request id) when the response is lost. The server keeps a bounded
+// per-client window of recently answered request ids and replays the cached
+// response for a duplicate instead of re-executing it, so retried writes
+// (inserts, subscribes) stay idempotent.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <map>
 
@@ -21,6 +28,7 @@ struct ServerStats {
   std::uint64_t requests = 0;
   std::uint64_t errors = 0;
   std::uint64_t pushes = 0;
+  std::uint64_t dup_suppressed = 0;
 };
 
 class RpcServer {
@@ -42,8 +50,12 @@ class RpcServer {
 
   [[nodiscard]] ServerStats stats() const {
     return {metrics_.requests.value(), metrics_.errors.value(),
-            metrics_.pushes.value()};
+            metrics_.pushes.value(), metrics_.dup_suppressed.value()};
   }
+
+  /// Duplicate-suppression window per client (answered request ids whose
+  /// responses are kept for replay).
+  static constexpr std::size_t kDedupWindow = 128;
 
  private:
   Response process(ClientAddress from, const Request& req);
@@ -54,9 +66,17 @@ class RpcServer {
     telemetry::Counter requests{"hwdb.rpc_server.requests"};
     telemetry::Counter errors{"hwdb.rpc_server.errors"};
     telemetry::Counter pushes{"hwdb.rpc_server.pushes"};
+    telemetry::Counter dup_suppressed{"hwdb.rpc.dup_suppressed"};
   } metrics_;
   /// subscription id → owning client.
   std::map<SubscriptionId, ClientAddress> sub_owner_;
+  /// Recently answered requests, per client: encoded responses replayed on
+  /// retransmission, evicted FIFO once the window is full.
+  struct DedupState {
+    std::map<std::uint32_t, Bytes> responses;
+    std::deque<std::uint32_t> order;
+  };
+  std::map<ClientAddress, DedupState> dedup_;
 };
 
 }  // namespace hw::hwdb::rpc

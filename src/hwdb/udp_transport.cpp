@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 
 #include "util/logging.hpp"
@@ -24,13 +25,9 @@ InProcRpcLink::InProcRpcLink(sim::EventLoop& loop, Database& db, Config config,
     : loop_(loop), config_(config), rng_(rng) {
   server_ = std::make_unique<RpcServer>(
       db, [this](ClientAddress to, const Bytes& datagram) {
-        if (rng_ != nullptr && config_.loss_probability > 0 &&
-            rng_->chance(config_.loss_probability)) {
-          return;
-        }
-        loop_.schedule(config_.latency, [this, to, datagram] {
+        transmit(datagram, [this, to](Bytes d) {
           const std::size_t idx = static_cast<std::size_t>(to);
-          if (idx < clients_.size()) clients_[idx]->handle_datagram(datagram);
+          if (idx < clients_.size()) clients_[idx]->handle_datagram(d);
         });
       });
 }
@@ -40,15 +37,57 @@ InProcRpcLink::~InProcRpcLink() = default;
 RpcClient& InProcRpcLink::make_client() {
   const ClientAddress addr = clients_.size();
   clients_.push_back(std::make_unique<RpcClient>([this, addr](const Bytes& d) {
-    if (rng_ != nullptr && config_.loss_probability > 0 &&
-        rng_->chance(config_.loss_probability)) {
-      return;
-    }
-    loop_.schedule(config_.latency, [this, addr, d] {
-      server_->handle_datagram(addr, d);
-    });
+    transmit(d, [this, addr](Bytes dg) { server_->handle_datagram(addr, dg); });
   }));
   return *clients_.back();
+}
+
+RpcClient& InProcRpcLink::make_client(RetryPolicy policy) {
+  const ClientAddress addr = clients_.size();
+  clients_.push_back(std::make_unique<RpcClient>(
+      [this, addr](const Bytes& d) {
+        transmit(d, [this, addr](Bytes dg) { server_->handle_datagram(addr, dg); });
+      },
+      loop_, policy));
+  return *clients_.back();
+}
+
+void InProcRpcLink::set_fault(const sim::DatagramFault& fault, Rng* rng) {
+  fault_ = fault;
+  fault_rng_ = rng;
+}
+
+void InProcRpcLink::transmit(const Bytes& datagram,
+                             std::function<void(Bytes)> deliver) {
+  // Stage 1: the link's ambient loss model (legacy config).
+  if (rng_ != nullptr && config_.loss_probability > 0 &&
+      rng_->chance(config_.loss_probability)) {
+    return;
+  }
+  // Stage 2: the chaos fault filter, both directions, injector-owned RNG so
+  // fault draws never perturb the scenario's randomness.
+  Duration latency = config_.latency;
+  std::size_t copies = 1;
+  if (fault_rng_ != nullptr) {
+    if (fault_.drop > 0 && fault_rng_->chance(fault_.drop)) {
+      metrics_.fault_dropped.inc();
+      return;
+    }
+    if (fault_.duplicate > 0 && fault_rng_->chance(fault_.duplicate)) {
+      metrics_.fault_duplicated.inc();
+      copies = 2;
+    }
+    if (fault_.extra_delay > 0) {
+      metrics_.fault_delayed.inc();
+      latency += fault_.extra_delay;
+    }
+  }
+  for (std::size_t i = 0; i < copies; ++i) {
+    // Duplicates trail the original by one extra latency so reordering with
+    // respect to later traffic is actually exercised.
+    loop_.schedule(latency + static_cast<Duration>(i) * config_.latency,
+                   [datagram, deliver](){ deliver(datagram); });
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -113,7 +152,9 @@ std::size_t UdpServerTransport::poll() {
 // ---------------------------------------------------------------------------
 // UdpClientTransport
 
-UdpClientTransport::UdpClientTransport(std::uint16_t server_port) {
+UdpClientTransport::UdpClientTransport(std::uint16_t server_port,
+                                       sim::EventLoop* loop)
+    : loop_(loop) {
   fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
   if (fd_ < 0) {
     HW_LOG_ERROR(kLog, "socket() failed: %s", std::strerror(errno));
@@ -153,8 +194,27 @@ std::size_t UdpClientTransport::poll() {
 
 bool UdpClientTransport::wait(int timeout_ms) {
   if (fd_ < 0) return false;
+  // Run sim work that is already due (virtual time does not advance), then
+  // park in a single poll() for the whole remaining budget. The old
+  // implementation re-polled in a loop, burning cycles and — when driven
+  // from a simulation — consuming events that had not come due yet; a
+  // timed-out wait must leave the loop's executed() count unchanged.
+  if (loop_ != nullptr) loop_->run_until(loop_->now());
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
   pollfd pfd{fd_, POLLIN, 0};
-  return ::poll(&pfd, 1, timeout_ms) > 0;
+  while (true) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    const int budget = timeout_ms < 0 ? -1 : static_cast<int>(
+        remaining.count() < 0 ? 0 : remaining.count());
+    const int rc = ::poll(&pfd, 1, budget);
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno != EINTR) return false;  // real error; surface as timeout
+    // EINTR: resume the same wait with the leftover budget (still one
+    // logical blocking poll, not a busy loop).
+  }
 }
 
 }  // namespace hw::hwdb::rpc

@@ -14,9 +14,17 @@
 #include "hwdb/rpc_client.hpp"
 #include "hwdb/rpc_server.hpp"
 #include "sim/event_loop.hpp"
+#include "sim/fault_injector.hpp"
 #include "util/rand.hpp"
 
 namespace hw::hwdb::rpc {
+
+/// Snapshot view over the link's fault-filter telemetry.
+struct RpcLinkStats {
+  std::uint64_t fault_dropped = 0;
+  std::uint64_t fault_duplicated = 0;
+  std::uint64_t fault_delayed = 0;
+};
 
 /// In-process datagram link between one server and N clients.
 class InProcRpcLink {
@@ -32,17 +40,38 @@ class InProcRpcLink {
       : InProcRpcLink(loop, db, Config{}) {}
   ~InProcRpcLink();
 
-  /// Creates a client attached to the link.
+  /// Creates a fire-and-forget client attached to the link.
   RpcClient& make_client();
+  /// Creates a client whose calls are retried on the link's event loop.
+  RpcClient& make_client(RetryPolicy policy);
+
+  /// Chaos hook (sim::FaultInjector::set_hwdb_fault): mangles datagrams in
+  /// both directions while active. Pass a default DatagramFault to clear.
+  void set_fault(const sim::DatagramFault& fault, Rng* rng);
 
   [[nodiscard]] RpcServer& server() { return *server_; }
+  [[nodiscard]] RpcLinkStats stats() const {
+    return {metrics_.fault_dropped.value(), metrics_.fault_duplicated.value(),
+            metrics_.fault_delayed.value()};
+  }
 
  private:
+  /// Applies loss + the fault filter, then schedules `deliver` for every
+  /// surviving copy of the datagram.
+  void transmit(const Bytes& datagram, std::function<void(Bytes)> deliver);
+
   sim::EventLoop& loop_;
   Config config_;
   Rng* rng_;
+  sim::DatagramFault fault_;
+  Rng* fault_rng_ = nullptr;
   std::unique_ptr<RpcServer> server_;
   std::vector<std::unique_ptr<RpcClient>> clients_;
+  struct Instruments {
+    telemetry::Counter fault_dropped{"hwdb.rpc_link.fault_dropped"};
+    telemetry::Counter fault_duplicated{"hwdb.rpc_link.fault_duplicated"};
+    telemetry::Counter fault_delayed{"hwdb.rpc_link.fault_delayed"};
+  } metrics_;
 };
 
 /// Real-socket UDP server. Bind to 127.0.0.1:port (0 = ephemeral); call
@@ -67,10 +96,13 @@ class UdpServerTransport {
   std::unique_ptr<RpcServer> server_;
 };
 
-/// Real-socket UDP client talking to a UdpServerTransport.
+/// Real-socket UDP client talking to a UdpServerTransport. Optionally bound
+/// to a simulation EventLoop: wait() then drains already-due events before
+/// blocking, but never advances virtual time.
 class UdpClientTransport {
  public:
-  explicit UdpClientTransport(std::uint16_t server_port);
+  explicit UdpClientTransport(std::uint16_t server_port,
+                              sim::EventLoop* loop = nullptr);
   ~UdpClientTransport();
   UdpClientTransport(const UdpClientTransport&) = delete;
   UdpClientTransport& operator=(const UdpClientTransport&) = delete;
@@ -78,13 +110,18 @@ class UdpClientTransport {
   [[nodiscard]] bool ok() const { return fd_ >= 0; }
   /// Processes queued datagrams from the server; returns how many.
   std::size_t poll();
-  /// Polls until a datagram arrives or `timeout_ms` elapses.
+  /// Blocks until a datagram arrives or `timeout_ms` elapses — one
+  /// event-driven ::poll on the socket for the whole budget, never a
+  /// busy-poll loop. A timed-out wait consumes zero simulation events and
+  /// leaves the virtual clock untouched (events already due when wait() is
+  /// entered are drained first so sim-scheduled sends are not starved).
   bool wait(int timeout_ms);
 
   [[nodiscard]] RpcClient& client() { return *client_; }
 
  private:
   int fd_ = -1;
+  sim::EventLoop* loop_ = nullptr;
   std::unique_ptr<RpcClient> client_;
 };
 

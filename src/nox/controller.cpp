@@ -106,7 +106,14 @@ void Controller::handle_message(Connection& conn, const Bytes& encoded) {
       [&](auto&& m) {
         using T = std::decay_t<decltype(m)>;
         if constexpr (std::is_same_v<T, ofp::Hello>) {
-          // nothing further; features request already in flight
+          if (conn.dpid) {
+            // A fresh HELLO on an identified connection means the datapath
+            // restarted and lost its flow table: run a full re-sync.
+            HW_LOG_WARN(kLog, "datapath %llu re-sent HELLO; re-syncing",
+                        static_cast<unsigned long long>(*conn.dpid));
+            resync_datapath(*conn.dpid);
+          }
+          // otherwise nothing further; features request already in flight
         } else if constexpr (std::is_same_v<T, ofp::EchoRequest>) {
           conn.channel->send(ofp::encode({xid, ofp::EchoReply{m.data}}));
         } else if constexpr (std::is_same_v<T, ofp::EchoReply>) {
@@ -117,13 +124,27 @@ void Controller::handle_message(Connection& conn, const Bytes& encoded) {
             cb();
           }
         } else if constexpr (std::is_same_v<T, ofp::FeaturesReply>) {
+          const bool rejoin = conn.dpid.has_value();
           conn.dpid = m.datapath_id;
           conn.features = m;
-          HW_LOG_INFO(kLog, "datapath %llu joined with %zu ports",
+          HW_LOG_INFO(kLog, "datapath %llu %sjoined with %zu ports",
                       static_cast<unsigned long long>(m.datapath_id),
-                      m.ports.size());
+                      rejoin ? "re-" : "", m.ports.size());
+          const std::uint64_t mods_before = metrics_.flow_mods.value();
           for (Component* c : ordered_) {
             c->handle_datapath_join(m.datapath_id, conn.features);
+          }
+          if (rejoin) {
+            // Everything the components just pushed is the recovery
+            // re-install; a barrier confirms it landed in the flow table.
+            metrics_.resynced_flows.inc(metrics_.flow_mods.value() -
+                                        mods_before);
+            const DatapathId dpid = m.datapath_id;
+            send_barrier(dpid, [this, dpid] {
+              HW_LOG_INFO(kLog, "datapath %llu re-sync barrier confirmed",
+                          static_cast<unsigned long long>(dpid));
+              if (on_resynced_) on_resynced_(dpid);
+            });
           }
         } else if constexpr (std::is_same_v<T, ofp::PacketIn>) {
           if (conn.dpid) dispatch_packet_in(*conn.dpid, m);
@@ -151,7 +172,12 @@ void Controller::handle_message(Connection& conn, const Bytes& encoded) {
             cb(m);
           }
         } else if constexpr (std::is_same_v<T, ofp::BarrierReply>) {
-          // barriers currently used only for ordering; nothing to do
+          auto it = pending_barrier_.find(xid);
+          if (it != pending_barrier_.end()) {
+            auto cb = std::move(it->second);
+            pending_barrier_.erase(it);
+            if (cb) cb();
+          }
         } else {
           HW_LOG_WARN(kLog, "unexpected message type %s from datapath",
                       to_string(ofp::type_of(ofp::Message{m})));
@@ -227,6 +253,23 @@ void Controller::send_echo(DatapathId dpid, std::function<void()> on_reply) {
   const std::uint32_t xid = next_xid();
   pending_echo_[xid] = std::move(on_reply);
   conn->channel->send(ofp::encode({xid, ofp::EchoRequest{}}));
+}
+
+void Controller::send_barrier(DatapathId dpid, std::function<void()> cb) {
+  Connection* conn = find(dpid);
+  if (conn == nullptr) return;
+  const std::uint32_t xid = next_xid();
+  pending_barrier_[xid] = std::move(cb);
+  conn->channel->send(ofp::encode({xid, ofp::BarrierRequest{}}));
+}
+
+void Controller::resync_datapath(DatapathId dpid) {
+  Connection* conn = find(dpid);
+  if (conn == nullptr) return;
+  metrics_.reconnects.inc();
+  // Restart the handshake; the FEATURES_REPLY handler re-announces the join
+  // to every component (re-installing their flows) and barriers the result.
+  conn->channel->send(ofp::encode({next_xid(), ofp::FeaturesRequest{}}));
 }
 
 }  // namespace hw::nox

@@ -26,6 +26,8 @@ struct ControllerStats {
   std::uint64_t flow_removed = 0;
   std::uint64_t errors = 0;
   std::uint64_t unparseable_packets = 0;
+  std::uint64_t reconnects = 0;       // channel re-handshakes driven
+  std::uint64_t resynced_flows = 0;   // flow-mods replayed by re-syncs
 };
 
 class Controller {
@@ -77,11 +79,26 @@ class Controller {
   /// Sends an echo request; callback fires on reply (liveness checks).
   void send_echo(DatapathId dpid, std::function<void()> on_reply);
 
+  /// Sends a barrier request; `cb` fires when the datapath confirms every
+  /// earlier message on the channel has been processed.
+  void send_barrier(DatapathId dpid, std::function<void()> cb);
+
+  /// Re-synchronizes a datapath after a channel outage or restart: restarts
+  /// the handshake, replays every component's flow setup on FEATURES_REPLY
+  /// and confirms with a barrier. on_resynced (if set) fires once the
+  /// barrier reply proves the re-installed flows are in the table. Also
+  /// triggered automatically when an identified datapath re-sends HELLO.
+  void resync_datapath(DatapathId dpid);
+  void on_resynced(std::function<void(DatapathId)> fn) {
+    on_resynced_ = std::move(fn);
+  }
+
   [[nodiscard]] sim::EventLoop& loop() const { return loop_; }
   [[nodiscard]] ControllerStats stats() const {
     return {metrics_.packet_ins.value(),     metrics_.packet_outs.value(),
             metrics_.flow_mods.value(),      metrics_.flow_removed.value(),
-            metrics_.errors.value(),         metrics_.unparseable_packets.value()};
+            metrics_.errors.value(),         metrics_.unparseable_packets.value(),
+            metrics_.reconnects.value(),     metrics_.resynced_flows.value()};
   }
   /// Packet-in dispatch latency (nanoseconds through the component chain) —
   /// the instrument ctrl_perf and MetricsExport report from.
@@ -108,6 +125,8 @@ class Controller {
   std::vector<std::unique_ptr<Connection>> connections_;
   std::map<std::uint32_t, StatsCallback> pending_stats_;
   std::map<std::uint32_t, std::function<void()>> pending_echo_;
+  std::map<std::uint32_t, std::function<void()>> pending_barrier_;
+  std::function<void(DatapathId)> on_resynced_;
   std::uint32_t next_xid_ = 1;
   struct Instruments {
     telemetry::Counter packet_ins{"nox.controller.packet_ins"};
@@ -116,6 +135,8 @@ class Controller {
     telemetry::Counter flow_removed{"nox.controller.flow_removed"};
     telemetry::Counter errors{"nox.controller.errors"};
     telemetry::Counter unparseable_packets{"nox.controller.unparseable_packets"};
+    telemetry::Counter reconnects{"nox.channel.reconnects"};
+    telemetry::Counter resynced_flows{"nox.channel.resynced_flows"};
     telemetry::Histogram packet_in_dispatch_ns{
         "nox.controller.packet_in_dispatch_ns"};
   } metrics_;

@@ -8,9 +8,13 @@ class InProcConnection::End final : public ChannelEndpoint {
 
   void set_peer(End* peer) { peer_ = peer; }
   void mark_disconnected() { connected_ = false; }
+  void mark_connected() { connected_ = true; }
 
   void send(const Bytes& encoded) override {
-    if (!connected_ || peer_ == nullptr) return;
+    if (!connected_ || peer_ == nullptr) {
+      note_dropped();
+      return;
+    }
     note_sent(encoded.size());
     End* peer = peer_;
     if (latency_ == 0) {
@@ -47,5 +51,12 @@ void InProcConnection::disconnect() {
   a_->mark_disconnected();
   b_->mark_disconnected();
 }
+
+void InProcConnection::reconnect() {
+  a_->mark_connected();
+  b_->mark_connected();
+}
+
+bool InProcConnection::connected() const { return a_->connected(); }
 
 }  // namespace hw::ofp

@@ -30,10 +30,12 @@ class ChannelEndpoint {
     std::uint64_t tx_bytes = 0;
     std::uint64_t rx_messages = 0;
     std::uint64_t rx_bytes = 0;
+    std::uint64_t tx_dropped = 0;  // sends swallowed while disconnected
   };
   [[nodiscard]] Stats stats() const {
     return {metrics_.tx_messages.value(), metrics_.tx_bytes.value(),
-            metrics_.rx_messages.value(), metrics_.rx_bytes.value()};
+            metrics_.rx_messages.value(), metrics_.rx_bytes.value(),
+            metrics_.tx_dropped.value()};
   }
 
  protected:
@@ -46,6 +48,7 @@ class ChannelEndpoint {
     metrics_.tx_messages.inc();
     metrics_.tx_bytes.inc(size);
   }
+  void note_dropped() { metrics_.tx_dropped.inc(); }
 
   Handler handler_;
   bool connected_ = true;
@@ -56,6 +59,7 @@ class ChannelEndpoint {
     telemetry::Counter tx_bytes{"openflow.channel.tx_bytes"};
     telemetry::Counter rx_messages{"openflow.channel.rx_messages"};
     telemetry::Counter rx_bytes{"openflow.channel.rx_bytes"};
+    telemetry::Counter tx_dropped{"openflow.channel.tx_dropped"};
   } metrics_;
 };
 
@@ -71,6 +75,10 @@ class InProcConnection {
 
   /// Simulates connection loss: subsequent sends are dropped.
   void disconnect();
+  /// Re-establishes a severed connection. Messages dropped during the outage
+  /// stay lost (TCP would have reset); the endpoints must re-handshake.
+  void reconnect();
+  [[nodiscard]] bool connected() const;
 
  private:
   class End;

@@ -71,7 +71,25 @@ void Datapath::connect(ChannelEndpoint& channel) {
   channel_->on_receive([this](const Bytes& encoded) {
     handle_channel_message(encoded);
   });
+  last_channel_rx_ = loop_.now();
   send_to_controller(Hello{}, next_xid_++);
+}
+
+void Datapath::restart() {
+  metrics_.restarts.inc();
+  table_.clear();
+  microflow_.clear();
+  buffers_.clear();
+  mac_table_.clear();
+  next_buffer_id_ = 1;
+  if (fail_safe_) {
+    fail_safe_ = false;
+    metrics_.fail_safe.set(0);
+  }
+  last_channel_rx_ = loop_.now();
+  // Fresh HELLO: the controller treats a renewed handshake on an identified
+  // connection as a restart and re-installs its flows.
+  if (channel_ != nullptr) send_to_controller(Hello{}, next_xid_++);
 }
 
 void Datapath::add_port(std::uint16_t port, std::string name, MacAddress hw_addr,
@@ -296,6 +314,13 @@ void Datapath::do_normal(std::uint16_t in_port, const Bytes& frame) {
 void Datapath::send_packet_in(std::uint16_t in_port, const Bytes& frame,
                               PacketInReason reason, std::uint16_t max_len) {
   if (channel_ == nullptr) return;
+  if (fail_safe_) {
+    // Deny-new: with the controller dead nobody can answer a packet-in, so
+    // queuing it would only stall the buffer pool. Established flows never
+    // reach here — they match the table and keep forwarding.
+    metrics_.failsafe_dropped_packet_ins.inc();
+    return;
+  }
   PacketIn pi;
   pi.in_port = in_port;
   pi.reason = reason;
@@ -355,6 +380,13 @@ void Datapath::handle_channel_message(const Bytes& encoded) {
     return;
   }
   const std::uint32_t xid = env.value().xid;
+  last_channel_rx_ = loop_.now();
+  if (fail_safe_) {
+    // Any controller traffic proves the channel is back.
+    fail_safe_ = false;
+    metrics_.fail_safe.set(0);
+    HW_LOG_INFO(kLog, "controller heard again; leaving fail-safe mode");
+  }
 
   std::visit(
       [&](auto&& m) {
@@ -530,7 +562,17 @@ const Datapath::QueueCounters* Datapath::queue_counters(
 }
 
 void Datapath::sweep_timeouts() {
-  for (auto& [entry, reason] : table_.expire(loop_.now())) {
+  if (!fail_safe_ && channel_ != nullptr &&
+      config_.controller_dead_interval > 0 &&
+      loop_.now() - last_channel_rx_ > config_.controller_dead_interval) {
+    fail_safe_ = true;
+    metrics_.failsafe_entries.inc();
+    metrics_.fail_safe.set(1);
+    HW_LOG_WARN(kLog,
+                "no controller traffic for %llu us; entering fail-safe mode",
+                static_cast<unsigned long long>(loop_.now() - last_channel_rx_));
+  }
+  for (auto& [entry, reason] : table_.expire(loop_.now(), fail_safe_)) {
     if (!entry.send_flow_removed) continue;
     FlowRemoved fr;
     fr.match = entry.match;

@@ -38,6 +38,9 @@ struct DatapathStats {
   std::uint64_t microflow_hits = 0;
   std::uint64_t microflow_misses = 0;
   std::uint64_t microflow_invalidations = 0;
+  std::uint64_t failsafe_entries = 0;
+  std::uint64_t failsafe_dropped_packet_ins = 0;
+  std::uint64_t restarts = 0;
 };
 
 class Datapath {
@@ -49,6 +52,10 @@ class Datapath {
     std::size_t table_capacity = 4096;
     std::size_t microflow_capacity = 4096;  // exact-match cache entries
     Duration expiry_interval = kSecond;  // timeout sweep period
+    /// Channel silence after which the datapath assumes the controller is
+    /// dead and enters fail-safe mode (deny-new / permit-established). Must
+    /// comfortably exceed the controller's echo-probe interval; 0 disables.
+    Duration controller_dead_interval = 15 * kSecond;
   };
 
   Datapath(sim::EventLoop& loop, Config config);
@@ -78,7 +85,10 @@ class Datapath {
             metrics_.flow_mods.value(), metrics_.flow_removed_sent.value(),
             metrics_.buffer_evictions.value(), metrics_.microflow_hits.value(),
             metrics_.microflow_misses.value(),
-            metrics_.microflow_invalidations.value()};
+            metrics_.microflow_invalidations.value(),
+            metrics_.failsafe_entries.value(),
+            metrics_.failsafe_dropped_packet_ins.value(),
+            metrics_.restarts.value()};
   }
   [[nodiscard]] const MicroflowCache& microflow_cache() const {
     return microflow_;
@@ -86,8 +96,21 @@ class Datapath {
   [[nodiscard]] const PortCounters* port_counters(std::uint16_t port) const;
   [[nodiscard]] std::vector<PhyPort> port_descriptions() const;
 
-  /// Runs one expiry sweep immediately (normally driven by the timer).
+  /// Runs one expiry sweep immediately (normally driven by the timer). Also
+  /// the fail-safe watchdog: entered when the channel has been silent for
+  /// controller_dead_interval, left on the next channel message.
   void sweep_timeouts();
+
+  /// While fail-safe, new flows are denied (packet-ins dropped instead of
+  /// queued towards a dead controller) but established flows keep forwarding
+  /// — their idle timeouts are suspended so they outlive the outage.
+  [[nodiscard]] bool fail_safe() const { return fail_safe_; }
+
+  /// Cold restart: all volatile state (flow table, microflow cache, packet
+  /// buffers, learned MACs, fail-safe latch) is lost; the out-of-band queue
+  /// configuration survives. Re-sends HELLO so the controller re-handshakes
+  /// and re-installs flows.
+  void restart();
 
   // -- Port queues (rate limiting) --------------------------------------------
   // OpenFlow 1.0 exposes queues via OFPAT_ENQUEUE but configures them out of
@@ -150,8 +173,15 @@ class Datapath {
     telemetry::Counter microflow_misses{"openflow.datapath.microflow_misses"};
     telemetry::Counter microflow_invalidations{
         "openflow.datapath.microflow_invalidations"};
+    telemetry::Counter failsafe_entries{"openflow.datapath.failsafe_entries"};
+    telemetry::Counter failsafe_dropped_packet_ins{
+        "openflow.datapath.failsafe_dropped_packet_ins"};
+    telemetry::Counter restarts{"openflow.datapath.restarts"};
+    telemetry::Gauge fail_safe{"openflow.datapath.fail_safe"};
   } metrics_;
   std::uint32_t next_xid_ = 1;
+  bool fail_safe_ = false;
+  Timestamp last_channel_rx_ = 0;
 
   // Packet buffer: miss frames held for controller-directed release.
   struct BufferedPacket {

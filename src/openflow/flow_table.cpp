@@ -265,7 +265,7 @@ bool FlowTable::remove_entries(
 }
 
 std::vector<std::pair<FlowEntry, FlowRemovedReason>> FlowTable::expire(
-    Timestamp now) {
+    Timestamp now, bool suspend_idle) {
   std::vector<std::pair<FlowEntry, FlowRemovedReason>> out;
   // Hard timeout outranks idle when both have fired, matching the original
   // check order.
@@ -283,7 +283,7 @@ std::vector<std::pair<FlowEntry, FlowRemovedReason>> FlowTable::expire(
                        static_cast<Duration>(e.hard_timeout) * kSecond) {
           return true;
         }
-        return e.idle_timeout != 0 &&
+        return !suspend_idle && e.idle_timeout != 0 &&
                now >= e.last_used +
                           static_cast<Duration>(e.idle_timeout) * kSecond;
       },
@@ -293,6 +293,12 @@ std::vector<std::pair<FlowEntry, FlowRemovedReason>> FlowTable::expire(
       });
   metrics_.entries.set(static_cast<std::int64_t>(size_));
   return out;
+}
+
+void FlowTable::clear() {
+  if (size_ == 0) return;
+  remove_entries([](const FlowEntry&) { return true; }, [](FlowEntry&&) {});
+  metrics_.entries.set(static_cast<std::int64_t>(size_));
 }
 
 std::vector<const FlowEntry*> FlowTable::query(const Match& filter,

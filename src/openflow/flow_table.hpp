@@ -86,8 +86,15 @@ class FlowTable {
   void record_hit(FlowEntry& entry, Timestamp now, std::size_t bytes);
 
   /// Removes entries whose idle/hard timeout has fired by `now`; returns
-  /// them together with the timeout reason.
-  std::vector<std::pair<FlowEntry, FlowRemovedReason>> expire(Timestamp now);
+  /// them together with the timeout reason. With `suspend_idle` only hard
+  /// timeouts fire — the datapath's fail-safe mode keeps established flows
+  /// alive while the controller (which would re-install them) is dead.
+  std::vector<std::pair<FlowEntry, FlowRemovedReason>> expire(
+      Timestamp now, bool suspend_idle = false);
+
+  /// Drops every entry without emitting flow-removed records (a datapath
+  /// cold restart losing its volatile state).
+  void clear();
 
   /// Entries matching a stats-request filter (match cover + out_port),
   /// in descending priority order.

@@ -1,0 +1,136 @@
+#include "sim/fault_injector.hpp"
+
+#include "util/logging.hpp"
+
+namespace hw::sim {
+namespace {
+constexpr std::string_view kLog = "fault";
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::LinkLoss: return "link-loss";
+    case FaultKind::LinkPartition: return "link-partition";
+    case FaultKind::ControllerOutage: return "controller-outage";
+    case FaultKind::HwdbFault: return "hwdb-fault";
+    case FaultKind::DatapathRestart: return "datapath-restart";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(EventLoop& loop) : loop_(loop), rng_(1) {}
+
+FaultInjector::~FaultInjector() {
+  for (EventLoop::EventId id : scheduled_) loop_.cancel(id);
+}
+
+void FaultInjector::add_link(const std::string& name, DuplexLink& link) {
+  add_channel(name, link.a_to_b());
+  add_channel(name, link.b_to_a());
+}
+
+void FaultInjector::add_channel(const std::string& name, LinkChannel& channel) {
+  links_.emplace(name,
+                 RegisteredChannel{&channel, channel.config().loss_probability});
+}
+
+void FaultInjector::set_controller_channel(std::function<void()> sever,
+                                           std::function<void()> restore) {
+  sever_controller_ = std::move(sever);
+  restore_controller_ = std::move(restore);
+}
+
+void FaultInjector::set_hwdb_fault(
+    std::function<void(const DatagramFault&, Rng*)> apply) {
+  apply_hwdb_fault_ = std::move(apply);
+}
+
+void FaultInjector::set_datapath_restart(std::function<void()> restart) {
+  restart_datapath_ = std::move(restart);
+}
+
+void FaultInjector::arm(const FaultPlan& plan) {
+  rng_ = Rng(plan.seed);
+  armed_ = true;
+  for (const FaultWindow& window : plan.windows) {
+    scheduled_.push_back(loop_.schedule_at(
+        window.start, [this, window] { begin_window(window); }));
+    if (window.duration > 0) {
+      scheduled_.push_back(
+          loop_.schedule_at(window.start + window.duration,
+                            [this, window] { end_window(window); }));
+    }
+  }
+}
+
+std::vector<LinkChannel*> FaultInjector::matching_links(
+    const std::string& target) {
+  std::vector<LinkChannel*> out;
+  for (const auto& [name, reg] : links_) {
+    if (target == "*" || target == name) out.push_back(reg.channel);
+  }
+  return out;
+}
+
+void FaultInjector::begin_window(const FaultWindow& window) {
+  metrics_.windows_started.inc();
+  metrics_.active.add(1);
+  HW_LOG_INFO(kLog, "t=%llu begin %s target=%s",
+              static_cast<unsigned long long>(loop_.now()),
+              to_string(window.kind), window.target.c_str());
+  switch (window.kind) {
+    case FaultKind::LinkLoss:
+    case FaultKind::LinkPartition: {
+      const double loss =
+          window.kind == FaultKind::LinkPartition ? 1.0 : window.loss;
+      for (LinkChannel* ch : matching_links(window.target)) {
+        ch->set_loss_probability(loss);
+        metrics_.link_faults.inc();
+      }
+      break;
+    }
+    case FaultKind::ControllerOutage:
+      metrics_.controller_outages.inc();
+      if (sever_controller_) sever_controller_();
+      break;
+    case FaultKind::HwdbFault:
+      metrics_.hwdb_faults.inc();
+      if (apply_hwdb_fault_) apply_hwdb_fault_(window.hwdb, &rng_);
+      break;
+    case FaultKind::DatapathRestart:
+      metrics_.datapath_restarts.inc();
+      if (restart_datapath_) restart_datapath_();
+      // Instantaneous: balance the active gauge immediately.
+      metrics_.windows_ended.inc();
+      metrics_.active.add(-1);
+      break;
+  }
+}
+
+void FaultInjector::end_window(const FaultWindow& window) {
+  metrics_.windows_ended.inc();
+  metrics_.active.add(-1);
+  HW_LOG_INFO(kLog, "t=%llu end %s target=%s",
+              static_cast<unsigned long long>(loop_.now()),
+              to_string(window.kind), window.target.c_str());
+  switch (window.kind) {
+    case FaultKind::LinkLoss:
+    case FaultKind::LinkPartition:
+      for (const auto& [name, reg] : links_) {
+        if (window.target == "*" || window.target == name) {
+          reg.channel->set_loss_probability(reg.base_loss);
+        }
+      }
+      break;
+    case FaultKind::ControllerOutage:
+      if (restore_controller_) restore_controller_();
+      break;
+    case FaultKind::HwdbFault:
+      if (apply_hwdb_fault_) apply_hwdb_fault_(DatagramFault{}, &rng_);
+      break;
+    case FaultKind::DatapathRestart:
+      break;  // handled inline at begin
+  }
+}
+
+}  // namespace hw::sim

@@ -207,6 +207,105 @@ TEST_F(LinkFixture, DropClientRemovesSubscriptions) {
 }
 
 // ---------------------------------------------------------------------------
+// Reliable client: retries, timeouts, server-side duplicate suppression
+
+TEST_F(LinkFixture, ReliableClientRetriesUntilResponse) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.timeout = 10 * kMillisecond;
+  policy.backoff_base = 5 * kMillisecond;
+  policy.backoff_cap = 20 * kMillisecond;
+  auto& client = link.make_client(policy);
+
+  // Black-hole the link, then heal it mid-retry-schedule: the first sends
+  // vanish, a later resend (same request id) gets through.
+  Rng fault_rng(3);
+  sim::DatagramFault blackhole;
+  blackhole.drop = 1.0;
+  link.set_fault(blackhole, &fault_rng);
+  loop.schedule_at(22 * kMillisecond,
+                   [&] { link.set_fault(sim::DatagramFault{}, &fault_rng); });
+
+  bool inserted = false;
+  client.insert("Links", {Value{"m1"}, Value{-50.0}, Value{0}},
+                [&](const Response& resp) { inserted = resp.ok; });
+  loop.run_for(100 * kMillisecond);
+
+  EXPECT_TRUE(inserted);
+  EXPECT_GE(client.stats().retries, 1u);
+  EXPECT_EQ(client.stats().timeouts, 0u);
+  EXPECT_EQ(client.pending(), 0u);
+  // The retried insert was applied exactly once.
+  auto rs = db.query("SELECT mac FROM Links");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs.value().rows.size(), 1u);
+}
+
+TEST_F(LinkFixture, ReliableClientTimesOutAfterMaxAttempts) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.timeout = 10 * kMillisecond;
+  policy.backoff_base = 5 * kMillisecond;
+  auto& client = link.make_client(policy);
+
+  Rng fault_rng(3);
+  sim::DatagramFault blackhole;
+  blackhole.drop = 1.0;
+  link.set_fault(blackhole, &fault_rng);
+
+  std::string error;
+  client.insert("Links", {Value{"m1"}, Value{-50.0}, Value{0}},
+                [&](const Response& resp) {
+                  EXPECT_FALSE(resp.ok);
+                  error = resp.error;
+                });
+  loop.run_for(kSecond);
+
+  EXPECT_EQ(error, "RPC: timed out");
+  EXPECT_EQ(client.stats().retries, 2u);  // attempts 2 and 3
+  EXPECT_EQ(client.stats().timeouts, 1u);
+  EXPECT_EQ(client.pending(), 0u);
+  EXPECT_EQ(link.stats().fault_dropped, 3u);
+  auto rs = db.query("SELECT mac FROM Links");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_TRUE(rs.value().rows.empty());
+}
+
+TEST_F(LinkFixture, ServerSuppressesDuplicatedRequests) {
+  // The link duplicates every datagram; the server must apply the insert
+  // once and answer the duplicate from its response cache.
+  auto& client = link.make_client();
+  Rng fault_rng(3);
+  sim::DatagramFault dup;
+  dup.duplicate = 1.0;
+  link.set_fault(dup, &fault_rng);
+
+  bool inserted = false;
+  client.insert("Links", {Value{"m1"}, Value{-50.0}, Value{0}},
+                [&](const Response& resp) { inserted = resp.ok; });
+  loop.run_for(50 * kMillisecond);
+
+  EXPECT_TRUE(inserted);
+  EXPECT_GE(link.stats().fault_duplicated, 1u);
+  EXPECT_EQ(link.server().stats().dup_suppressed, 1u);
+  auto rs = db.query("SELECT mac FROM Links");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs.value().rows.size(), 1u);
+}
+
+TEST_F(LinkFixture, RetryScheduleIsDeterministic) {
+  // Two identically-configured clients over two identical black-holed links
+  // retransmit on exactly the same virtual-clock schedule (no jitter).
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.timeout = 10 * kMillisecond;
+  policy.backoff_base = 5 * kMillisecond;
+  const std::vector<Duration> expected = {10 * kMillisecond, 15 * kMillisecond,
+                                          20 * kMillisecond, 30 * kMillisecond};
+  EXPECT_EQ(policy.schedule(), expected);
+}
+
+// ---------------------------------------------------------------------------
 // Real UDP sockets on loopback
 
 TEST(UdpTransport, RequestResponseOverLoopback) {
@@ -276,6 +375,51 @@ TEST(UdpTransport, SubscriptionPushOverLoopback) {
     }
   }
   EXPECT_EQ(pushes, 3);
+}
+
+TEST(UdpTransport, TimedOutWaitConsumesNoSimEvents) {
+  sim::EventLoop loop;
+  Database db(loop);
+  ASSERT_TRUE(db.create_table(links_schema(), 64).ok());
+  UdpServerTransport server(db, 0);
+  ASSERT_TRUE(server.ok());
+  UdpClientTransport client(server.port(), &loop);
+  ASSERT_TRUE(client.ok());
+
+  // A future event must survive a timed-out wait untouched: wait() blocks in
+  // one ::poll on the socket, it does not spin the simulation forward.
+  bool fired = false;
+  loop.schedule_at(kSecond, [&] { fired = true; });
+  const std::uint64_t executed_before = loop.executed();
+  const Timestamp now_before = loop.now();
+
+  EXPECT_FALSE(client.wait(50));  // nothing on the wire → timeout
+
+  EXPECT_EQ(loop.executed(), executed_before);
+  EXPECT_EQ(loop.now(), now_before);
+  EXPECT_FALSE(fired);
+}
+
+TEST(UdpTransport, WaitDrainsDueEventsBeforeBlocking) {
+  sim::EventLoop loop;
+  Database db(loop);
+  ASSERT_TRUE(db.create_table(links_schema(), 64).ok());
+  UdpServerTransport server(db, 0);
+  ASSERT_TRUE(server.ok());
+  UdpClientTransport client(server.port(), &loop);
+  ASSERT_TRUE(client.ok());
+
+  // An already-due event (a sim-scheduled send, typically) runs before the
+  // socket wait, so it cannot be starved by a long timeout...
+  bool due_ran = false;
+  loop.schedule_at(loop.now(), [&] { due_ran = true; });
+  // ...while a future event stays future.
+  bool future_ran = false;
+  loop.schedule_at(loop.now() + kSecond, [&] { future_ran = true; });
+
+  EXPECT_FALSE(client.wait(10));
+  EXPECT_TRUE(due_ran);
+  EXPECT_FALSE(future_ran);
 }
 
 // ---------------------------------------------------------------------------

@@ -241,6 +241,125 @@ TEST_F(HandshakeFixture, LivenessMonitorTracksRttAndDeath) {
   EXPECT_TRUE(recovered.empty());
 }
 
+TEST_F(HandshakeFixture, LivenessReplyAfterDeclaredDeadResurrects) {
+  LivenessMonitor::Config lm_config;
+  lm_config.probe_interval = kSecond;
+  lm_config.max_misses = 2;
+  auto monitor = std::make_unique<LivenessMonitor>(lm_config);
+  LivenessMonitor* lm = monitor.get();
+  ctl.add_component(std::move(monitor));
+  connect_all();
+
+  std::vector<DatapathId> dead, recovered;
+  lm->on_dead([&](DatapathId d) { dead.push_back(d); });
+  lm->on_recovered([&](DatapathId d) { recovered.push_back(d); });
+
+  conn.disconnect();
+  loop.run_for(10 * kSecond);
+  ASSERT_EQ(dead, (std::vector<DatapathId>{7}));
+  ASSERT_FALSE(lm->peer(7)->alive);
+
+  // The monitor keeps probing a dead peer; once the channel heals, the next
+  // echo reply resurrects it and fires on_recovered exactly once.
+  conn.reconnect();
+  loop.run_for(3 * kSecond);
+  EXPECT_TRUE(lm->peer(7)->alive);
+  EXPECT_EQ(recovered, (std::vector<DatapathId>{7}));
+  EXPECT_EQ(lm->peer(7)->consecutive_misses, 0);
+  EXPECT_EQ(dead.size(), 1u);  // no second death event
+
+  // Dying again after a recovery fires on_dead again (repeatable cycle).
+  conn.disconnect();
+  loop.run_for(10 * kSecond);
+  EXPECT_EQ(dead, (std::vector<DatapathId>{7, 7}));
+}
+
+TEST_F(HandshakeFixture, LivenessMaxMissesOneFiresOnFirstConfirmedMiss) {
+  LivenessMonitor::Config lm_config;
+  lm_config.probe_interval = kSecond;
+  lm_config.max_misses = 1;
+  auto monitor = std::make_unique<LivenessMonitor>(lm_config);
+  LivenessMonitor* lm = monitor.get();
+  ctl.add_component(std::move(monitor));
+  connect_all();
+
+  std::vector<DatapathId> dead;
+  lm->on_dead([&](DatapathId d) { dead.push_back(d); });
+
+  conn.disconnect();
+  // Probe round 1 (t≈1s) records the first miss; round 2 (t≈2s) confirms it
+  // — consecutive_misses becomes 2 > max_misses — and must fire there, not a
+  // round later.
+  loop.run_for(kSecond + 100 * kMillisecond);
+  EXPECT_TRUE(dead.empty());
+  EXPECT_EQ(lm->peer(7)->consecutive_misses, 1);
+  loop.run_for(kSecond);
+  EXPECT_EQ(dead, (std::vector<DatapathId>{7}));
+  EXPECT_FALSE(lm->peer(7)->alive);
+}
+
+TEST_F(HandshakeFixture, BarrierCallbackFiresAfterRoundTrip) {
+  connect_all();
+  bool confirmed = false;
+  ctl.send_barrier(7, [&] { confirmed = true; });
+  EXPECT_FALSE(confirmed);  // needs the datapath's BarrierReply
+  loop.run_for(10 * kMillisecond);
+  EXPECT_TRUE(confirmed);
+}
+
+/// Installs one table-setup flow on every datapath join, the way the real
+/// modules (DHCP, DNS, forwarding) do — re-sync must replay it.
+class FlowOnJoin final : public Component {
+ public:
+  FlowOnJoin() : Component("flow-on-join") {}
+  void handle_datapath_join(DatapathId dpid, const ofp::FeaturesReply&) override {
+    ofp::Match m = ofp::Match::any();
+    m.with_dl_type(0x0800);
+    controller().install_flow(dpid, m, ofp::output_to(2), 0x7000);
+  }
+};
+
+TEST_F(HandshakeFixture, ResyncAfterChannelOutageReinstallsFlows) {
+  ctl.add_component(std::make_unique<Recorder>("mod", log));
+  ctl.add_component(std::make_unique<FlowOnJoin>());
+  connect_all();
+  ASSERT_EQ(dp.table().size(), 1u);
+
+  // Sever the channel and wipe the table behind the controller's back.
+  conn.disconnect();
+  dp.restart();  // volatile state gone; HELLO queued into a dead channel
+  ASSERT_EQ(dp.table().size(), 0u);
+
+  std::vector<DatapathId> resynced;
+  ctl.on_resynced([&](DatapathId d) { resynced.push_back(d); });
+  const auto resynced_flows_before = ctl.stats().resynced_flows;
+
+  conn.reconnect();
+  ctl.resync_datapath(7);
+  loop.run_for(100 * kMillisecond);
+
+  // The rejoin replayed every component's datapath-join flow setup and the
+  // barrier confirmed it landed in the table.
+  EXPECT_EQ(resynced, (std::vector<DatapathId>{7}));
+  EXPECT_GE(ctl.stats().reconnects, 1u);
+  EXPECT_GT(ctl.stats().resynced_flows, resynced_flows_before);
+  EXPECT_EQ(dp.table().size(), 1u);
+  EXPECT_EQ(std::count(log.begin(), log.end(), "join:mod:7"), 2);
+}
+
+TEST_F(HandshakeFixture, HelloOnIdentifiedChannelTriggersResync) {
+  connect_all();
+  std::vector<DatapathId> resynced;
+  ctl.on_resynced([&](DatapathId d) { resynced.push_back(d); });
+
+  // A datapath restart on a live channel re-sends HELLO; the controller must
+  // treat that as "peer lost its state" and drive a re-sync on its own.
+  dp.restart();
+  loop.run_for(100 * kMillisecond);
+  EXPECT_EQ(resynced, (std::vector<DatapathId>{7}));
+  EXPECT_GE(ctl.stats().reconnects, 1u);
+}
+
 TEST_F(HandshakeFixture, SendToUnknownDatapathIsSafe) {
   connect_all();
   ctl.install_flow(999, ofp::Match::any(), ofp::output_to(1));

@@ -9,8 +9,10 @@
 
 #include <algorithm>
 #include <list>
+#include <set>
 
 #include "hwdb/database.hpp"
+#include "hwdb/udp_transport.hpp"
 #include "openflow/flow_table.hpp"
 #include "router_fixture.hpp"
 #include "util/rand.hpp"
@@ -430,6 +432,113 @@ TEST_P(OfpCodecProperty, RandomFlowModsRoundTrip) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, OfpCodecProperty, ::testing::Values(5, 55, 555));
+
+// ---------------------------------------------------------------------------
+// RPC retry schedule + duplicate-suppression invariants
+
+class RetryPolicyProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RetryPolicyProperty, ScheduleIsMonotoneAndBounded) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    hwdb::rpc::RetryPolicy policy;
+    policy.max_attempts = static_cast<int>(rng.uniform(8)) + 1;
+    policy.timeout = (rng.uniform(500) + 1) * kMillisecond;
+    policy.backoff_base = (rng.uniform(200) + 1) * kMillisecond;
+    policy.backoff_cap =
+        policy.backoff_base + rng.uniform(2000) * kMillisecond;
+
+    const auto schedule = policy.schedule();
+    // One wait per transmission: the call fails only after max_attempts
+    // sends, never earlier, never later.
+    ASSERT_EQ(schedule.size(), static_cast<std::size_t>(policy.max_attempts));
+    EXPECT_EQ(schedule.front(), policy.timeout);
+    for (std::size_t n = 0; n < schedule.size(); ++n) {
+      // Monotone: each wait is at least as long as the previous one.
+      if (n > 0) EXPECT_GE(schedule[n], schedule[n - 1]);
+      // Bounded: backoff growth stops at the cap.
+      EXPECT_LE(schedule[n], policy.timeout + policy.backoff_cap);
+    }
+    // The backoff sequence itself is monotone and capped.
+    for (int r = 0; r + 1 < policy.max_attempts; ++r) {
+      EXPECT_LE(policy.retry_backoff(r), policy.backoff_cap);
+      if (r > 0) EXPECT_GE(policy.retry_backoff(r), policy.retry_backoff(r - 1));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RetryPolicyProperty,
+                         ::testing::Values(6, 66, 666));
+
+class RpcDedupProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RpcDedupProperty, ExactlyOnceUnderRandomDropsAndDuplicates) {
+  Rng rng(GetParam());
+  sim::EventLoop loop;
+  hwdb::Database db(loop);
+  ASSERT_TRUE(
+      db.create_table(hwdb::Schema("Keys", {{"k", hwdb::ColumnType::Int}}), 256)
+          .ok());
+  hwdb::rpc::InProcRpcLink link(loop, db);
+
+  hwdb::rpc::RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.timeout = 20 * kMillisecond;
+  policy.backoff_base = 10 * kMillisecond;
+  policy.backoff_cap = 50 * kMillisecond;
+  auto& client = link.make_client(policy);
+
+  // Re-randomize the link's drop/duplicate/delay mix every 200 ms while a
+  // unique key is inserted every 25 ms — an arbitrary interleaving of lost
+  // requests, lost responses and duplicated datagrams.
+  Rng fault_rng(GetParam() ^ 0xfa017u);
+  for (int b = 0; b < 8; ++b) {
+    loop.schedule_at(b * 200 * kMillisecond, [&, b] {
+      sim::DatagramFault fault;
+      fault.drop = rng.uniform01() * 0.6;
+      fault.duplicate = rng.uniform01() * 0.5;
+      fault.extra_delay = rng.uniform(3) * kMillisecond;
+      link.set_fault(fault, &fault_rng);
+    });
+  }
+  // Heal the link for the tail so every in-flight retry chain can finish.
+  loop.schedule_at(1600 * kMillisecond,
+                   [&] { link.set_fault(sim::DatagramFault{}, &fault_rng); });
+
+  std::set<std::int64_t> acked;
+  for (std::int64_t k = 0; k < 64; ++k) {
+    loop.schedule_at(k * 25 * kMillisecond, [&, k] {
+      client.insert("Keys", {hwdb::Value{k}},
+                    [&acked, k](const hwdb::rpc::Response& resp) {
+                      if (resp.ok) acked.insert(k);
+                    });
+    });
+  }
+  loop.run_until(10 * kSecond);
+  EXPECT_EQ(client.pending(), 0u);
+
+  // Every key the server applied, it applied exactly once — no matter how
+  // the drops and duplicates interleaved with the retry schedule...
+  std::multiset<std::int64_t> applied;
+  auto rs = db.query("SELECT k FROM Keys");
+  ASSERT_TRUE(rs.ok());
+  for (const auto& row : rs.value().rows) applied.insert(row[0].as_int());
+  std::set<std::int64_t> distinct(applied.begin(), applied.end());
+  EXPECT_EQ(distinct.size(), applied.size());
+
+  // ...and an OK ack is a promise: the insert is in the table. (The converse
+  // does not hold — an applied insert whose response kept getting lost times
+  // out client-side.)
+  for (const std::int64_t k : acked) EXPECT_TRUE(distinct.count(k)) << k;
+
+  // Suppression only happens for datagrams the client re-sent or the link
+  // duplicated.
+  EXPECT_LE(link.server().stats().dup_suppressed,
+            client.stats().retries + link.stats().fault_duplicated);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RpcDedupProperty,
+                         ::testing::Values(7, 77, 777));
 
 }  // namespace
 }  // namespace hw
