@@ -1,0 +1,172 @@
+// Fleet-scale performance sweep: runs the same fleet (same fleet seed, same
+// homes) across a ladder of worker-pool sizes and reports homes/sec,
+// frames/sec and the speedup over the single-threaded run. Also re-checks
+// the fleet determinism contract the hard way: the merged non-histogram
+// telemetry must be bit-identical at every pool size.
+//
+// Emits BENCH_fleet_perf.json (path overridable with --out) for the CI
+// artifact upload.
+//
+// Usage: fleet_perf [--smoke] [--chaos] [--homes N] [--seed S]
+//                   [--duration-secs D] [--devices N] [--threads 1,2,4,8]
+//                   [--out PATH]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fleet/fleet.hpp"
+
+using namespace hw;
+
+namespace {
+
+std::vector<std::size_t> parse_thread_list(const char* arg) {
+  std::vector<std::size_t> out;
+  std::string item;
+  for (const char* p = arg;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (!item.empty()) out.push_back(std::strtoull(item.c_str(), nullptr, 10));
+      item.clear();
+      if (*p == '\0') break;
+    } else {
+      item.push_back(*p);
+    }
+  }
+  return out;
+}
+
+struct RunRow {
+  std::size_t threads = 0;
+  double wall_ms = 0.0;
+  double homes_per_sec = 0.0;
+  double frames_per_sec = 0.0;
+  double speedup = 1.0;
+  std::size_t homes_ok = 0;
+  std::uint64_t total_frames = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fleet::FleetConfig config;
+  config.homes = 1000;
+  config.seed = 2011;
+  config.duration = 10 * kSecond;
+  config.devices_per_home = 3;
+  config.run_apps = true;
+  config.chaos = false;
+  std::vector<std::size_t> thread_ladder = {1, 2, 4, 8};
+  std::string out_path = "BENCH_fleet_perf.json";
+
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      config.homes = 64;
+      config.duration = 5 * kSecond;
+    } else if (std::strcmp(argv[i], "--chaos") == 0) {
+      config.chaos = true;
+      config.duration = 30 * kSecond;
+    } else if (std::strcmp(argv[i], "--homes") == 0) {
+      config.homes = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      config.seed = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--duration-secs") == 0) {
+      config.duration = std::strtoull(next(), nullptr, 10) * kSecond;
+    } else if (std::strcmp(argv[i], "--devices") == 0) {
+      config.devices_per_home = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      thread_ladder = parse_thread_list(next());
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      out_path = next();
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  const unsigned hw_threads = std::max(1u, std::thread::hardware_concurrency());
+  std::printf("=== fleet_perf: %zu homes, seed %llu, %.0fs virtual each, "
+              "%zu devices/home, chaos %s (%u hardware threads) ===\n\n",
+              config.homes, static_cast<unsigned long long>(config.seed),
+              to_seconds(config.duration), config.devices_per_home,
+              config.chaos ? "on" : "off", hw_threads);
+  std::printf("%8s %12s %12s %14s %10s %9s\n", "threads", "wall_ms",
+              "homes/sec", "frames/sec", "speedup", "homes_ok");
+
+  std::vector<RunRow> rows;
+  std::map<std::string, double> reference_totals;
+  bool deterministic = true;
+  double wall_ms_at_1 = 0.0;
+
+  for (const std::size_t threads : thread_ladder) {
+    config.threads = threads;
+    const fleet::FleetResult result = fleet::FleetRunner(config).run();
+
+    RunRow row;
+    row.threads = result.threads_used;
+    row.wall_ms = result.wall_ms;
+    row.homes_per_sec = result.homes_per_sec();
+    row.frames_per_sec = result.frames_per_sec();
+    row.homes_ok = result.homes_ok;
+    row.total_frames = result.total_frames;
+    if (threads == thread_ladder.front()) wall_ms_at_1 = result.wall_ms;
+    row.speedup = result.wall_ms > 0.0 ? wall_ms_at_1 / result.wall_ms : 0.0;
+    rows.push_back(row);
+
+    if (reference_totals.empty()) {
+      reference_totals = result.scalar_totals;
+    } else if (result.scalar_totals != reference_totals) {
+      deterministic = false;
+    }
+
+    std::printf("%8zu %12.1f %12.1f %14.1f %9.2fx %9zu\n", row.threads,
+                row.wall_ms, row.homes_per_sec, row.frames_per_sec, row.speedup,
+                row.homes_ok);
+  }
+
+  std::printf("\nmerged telemetry identical across pool sizes: %s\n",
+              deterministic ? "yes" : "NO — DETERMINISM VIOLATION");
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"fleet_perf\",\n");
+  std::fprintf(out, "  \"fleet_seed\": %llu,\n",
+               static_cast<unsigned long long>(config.seed));
+  std::fprintf(out, "  \"homes\": %zu,\n", config.homes);
+  std::fprintf(out, "  \"devices_per_home\": %zu,\n", config.devices_per_home);
+  std::fprintf(out, "  \"virtual_duration_s\": %.3f,\n",
+               to_seconds(config.duration));
+  std::fprintf(out, "  \"chaos\": %s,\n", config.chaos ? "true" : "false");
+  std::fprintf(out, "  \"hardware_threads\": %u,\n", hw_threads);
+  std::fprintf(out, "  \"deterministic_across_threads\": %s,\n",
+               deterministic ? "true" : "false");
+  std::fprintf(out, "  \"runs\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const RunRow& r = rows[i];
+    std::fprintf(out,
+                 "    {\"threads\": %zu, \"wall_ms\": %.3f, "
+                 "\"homes_per_sec\": %.3f, \"frames_per_sec\": %.3f, "
+                 "\"speedup_vs_first\": %.3f, \"homes_ok\": %zu, "
+                 "\"total_frames\": %llu}%s\n",
+                 r.threads, r.wall_ms, r.homes_per_sec, r.frames_per_sec,
+                 r.speedup, r.homes_ok,
+                 static_cast<unsigned long long>(r.total_frames),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  return deterministic ? 0 : 1;
+}

@@ -1,0 +1,261 @@
+#include "fleet/fleet.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <set>
+#include <thread>
+
+#include "hwdb/udp_transport.hpp"
+#include "util/rand.hpp"
+#include "workload/scenario.hpp"
+
+namespace hw::fleet {
+namespace {
+
+double wall_ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+std::uint64_t FleetRunner::home_seed(std::uint64_t fleet_seed,
+                                     std::size_t home_id) {
+  // Advance a SplitMix64 stream keyed by (fleet_seed, home_id). Mixing the id
+  // through one splitmix step before combining decorrelates home k from home
+  // k+1 even when fleet_seed is tiny (0, 1, ...).
+  std::uint64_t id_state = static_cast<std::uint64_t>(home_id);
+  std::uint64_t state = fleet_seed ^ splitmix64(id_state);
+  std::uint64_t seed = splitmix64(state);
+  // The scenario stack treats seed 0 as degenerate; nudge away from it.
+  return seed != 0 ? seed : 0x9e3779b97f4a7c15ULL;
+}
+
+sim::FaultPlan FleetRunner::chaos_plan(std::uint64_t seed, Duration duration) {
+  sim::FaultPlan plan;
+  plan.seed = seed;
+  // Draws come from a dedicated stream so the plan shape never perturbs the
+  // scenario's own randomness.
+  std::uint64_t s = seed ^ 0xda3e39cb94b95bdbULL;
+
+  const auto push_if_fits = [&](sim::FaultWindow w) {
+    if (w.start + w.duration + kSecond < duration) plan.windows.push_back(w);
+  };
+
+  // Every home weathers a lossy-links window; placement and intensity vary.
+  const Timestamp loss_at = 2 * kSecond + splitmix64(s) % (3 * kSecond);
+  const Duration loss_len = 2 * kSecond + splitmix64(s) % (3 * kSecond);
+  const double loss = 0.15 + static_cast<double>(splitmix64(s) % 20) / 100.0;
+  push_if_fits({sim::FaultKind::LinkLoss, loss_at, loss_len, "*", loss, {}});
+
+  // Roughly half the homes also see an hwdb drop/duplicate burst...
+  if (splitmix64(s) % 2 == 0) {
+    const Timestamp at = 5 * kSecond + splitmix64(s) % (2 * kSecond);
+    push_if_fits({sim::FaultKind::HwdbFault, at, 2 * kSecond, "*", 0.0,
+                  {0.3, 0.2, 2 * kMillisecond}});
+  }
+  // ...half a controller-channel outage...
+  if (splitmix64(s) % 2 == 0) {
+    const Timestamp at = 10 * kSecond + splitmix64(s) % (2 * kSecond);
+    push_if_fits({sim::FaultKind::ControllerOutage, at, 3 * kSecond, "*", 0.0,
+                  {}});
+  }
+  // ...and a quarter a datapath cold restart late in the run.
+  if (splitmix64(s) % 4 == 0) {
+    push_if_fits({sim::FaultKind::DatapathRestart, 20 * kSecond, 0, "*", 0.0,
+                  {}});
+  }
+  return plan;
+}
+
+HomeResult FleetRunner::run_home(std::size_t home_id) const {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::uint64_t seed = home_seed(config_.seed, home_id);
+
+  // The home's own registry, installed for the home's entire lifetime so
+  // every instrument — router subsystems, hosts, links, apps — lands in it.
+  telemetry::MetricRegistry registry;
+  telemetry::ScopedMetricRegistry scope(registry);
+
+  workload::HomeScenario::Config sc;
+  sc.seed = seed;
+  sc.router.admission = homework::DeviceRegistry::AdmissionDefault::PermitAll;
+  sc.router.liveness.probe_interval = kSecond;
+  sc.router.liveness.max_misses = 2;
+  sc.router.datapath.controller_dead_interval = 2 * kSecond;
+  workload::HomeScenario home(sc, registry);
+  home.start();
+
+  // Device population derives from the home seed: kind, wired/wireless and
+  // position all come from a dedicated SplitMix64 stream.
+  std::uint64_t draw = seed ^ 0xbf58476d1ce4e5b9ULL;
+  for (std::size_t i = 0; i < config_.devices_per_home; ++i) {
+    workload::DeviceSpec spec;
+    spec.name = "dev" + std::to_string(i);
+    spec.kind = static_cast<workload::DeviceKind>(splitmix64(draw) % 6);
+    if (splitmix64(draw) % 2 == 0) {
+      spec.position =
+          sim::Position{static_cast<double>(1 + splitmix64(draw) % 14),
+                        static_cast<double>(1 + splitmix64(draw) % 14)};
+    }
+    home.add_device(spec);
+  }
+
+  HomeResult result;
+  result.home_id = home_id;
+  result.seed = seed;
+  result.devices = home.devices().size();
+
+  // The measurement plane under load: a reliable RPC client inserting a
+  // monotone sequence into this home's hwdb (mangled by chaos when armed).
+  const bool have_table =
+      home.router()
+          .db()
+          .create_table(
+              hwdb::Schema("FleetSamples", {{"seq", hwdb::ColumnType::Int}}),
+              1024)
+          .ok();
+  hwdb::rpc::InProcRpcLink rpc_link(home.loop(), home.router().db());
+  hwdb::rpc::RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.timeout = 100 * kMillisecond;
+  policy.backoff_base = 50 * kMillisecond;
+  policy.backoff_cap = 400 * kMillisecond;
+  hwdb::rpc::RpcClient& rpc = rpc_link.make_client(policy);
+
+  std::set<std::int64_t> acked;
+  std::int64_t next_seq = 0;
+  // Stop inserting before the end so in-flight retries settle by harvest.
+  const Timestamp insert_until =
+      config_.duration - std::min<Duration>(config_.duration / 6, 5 * kSecond);
+  sim::PeriodicTimer inserter(home.loop(), 500 * kMillisecond, [&] {
+    if (!have_table || home.loop().now() >= insert_until) return;
+    const std::int64_t seq = next_seq++;
+    rpc.insert("FleetSamples", {hwdb::Value{seq}},
+               [&acked, seq](const auto& resp) {
+                 if (resp.ok) acked.insert(seq);
+               });
+  });
+  home.loop().schedule_at(kSecond, [&] { inserter.start(); });
+
+  sim::FaultInjector faults(home.loop());
+  if (config_.chaos) {
+    home.router().attach_faults(faults);
+    faults.set_hwdb_fault([&](const sim::DatagramFault& f, Rng* frng) {
+      rpc_link.set_fault(f, frng);
+    });
+    for (auto& d : home.devices()) {
+      faults.add_link(d.name, *d.attachment.link);
+    }
+    faults.arm(chaos_plan(seed, config_.duration));
+  }
+
+  home.start_dhcp_all();
+  // Chaos windows can exhaust a client's retry budget; periodically re-kick
+  // any unbound device, exactly what a real DHCP client's INIT state does.
+  sim::PeriodicTimer rekick(home.loop(), 5 * kSecond, [&] {
+    for (auto& d : home.devices()) {
+      if (!d.host->ip()) d.host->start_dhcp();
+    }
+  });
+  rekick.start();
+
+  if (config_.run_apps) {
+    // Let leases bind first so the app mixes resolve and flow immediately.
+    (void)home.wait_all_bound(std::min<Duration>(10 * kSecond, config_.duration));
+    home.start_apps_all();
+  }
+  home.loop().run_until(config_.duration);
+
+  // Harvest while everything is alive, still on this worker thread.
+  result.scalars = registry.scalars();
+  result.histograms = registry.histogram_states();
+  for (auto& d : home.devices()) {
+    if (d.host->ip()) ++result.devices_bound;
+  }
+  result.all_bound = result.devices_bound == result.devices;
+  result.fail_safe_at_end = home.router().datapath().fail_safe();
+  result.flow_entries = home.router().datapath().table().size();
+  result.faults = faults.stats();
+  result.inserts_acked = acked.size();
+  std::multiset<std::int64_t> applied;
+  if (auto rs = home.router().db().query("SELECT seq FROM FleetSamples");
+      rs.ok()) {
+    for (const auto& row : rs.value().rows) applied.insert(row[0].as_int());
+  }
+  result.inserts_applied = applied.size();
+  const std::set<std::int64_t> distinct(applied.begin(), applied.end());
+  result.inserts_exactly_once =
+      distinct.size() == applied.size() &&
+      std::all_of(acked.begin(), acked.end(),
+                  [&](std::int64_t seq) { return distinct.count(seq) > 0; });
+  if (const auto frames = registry.total("sim.link.tx_frames")) {
+    result.frames = static_cast<std::uint64_t>(*frames);
+  }
+  result.wall_ms = wall_ms_since(wall_start);
+  return result;
+}
+
+FleetResult FleetRunner::run() const {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::size_t n = config_.homes;
+  std::size_t threads = config_.threads != 0
+                            ? config_.threads
+                            : std::max(1u, std::thread::hardware_concurrency());
+  threads = std::max<std::size_t>(1, std::min(threads, std::max<std::size_t>(n, 1)));
+
+  // Each slot is written by exactly one worker; the joins below are the
+  // happens-before edge for the aggregation pass.
+  std::vector<HomeResult> results(n);
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    while (true) {
+      const std::size_t id = next.fetch_add(1, std::memory_order_relaxed);
+      if (id >= n) return;
+      results[id] = run_home(id);
+    }
+  };
+  if (threads == 1) {
+    worker();  // inline: keeps single-threaded runs debuggable
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+
+  FleetResult fleet;
+  fleet.homes = std::move(results);
+  fleet.threads_used = threads;
+
+  // Merge strictly in home-id order: double accumulation order is fixed, so
+  // the totals are bit-identical regardless of worker-pool size.
+  std::map<std::string, std::vector<double>> by_series;
+  for (const HomeResult& r : fleet.homes) {
+    for (const auto& [name, value] : r.scalars) {
+      fleet.scalar_totals[name] += value;
+      by_series[name].push_back(value);
+    }
+    for (const auto& [name, h] : r.histograms) fleet.histograms[name].merge(h);
+    if (r.ok()) ++fleet.homes_ok;
+    fleet.total_frames += r.frames;
+  }
+  for (auto& [name, values] : by_series) {
+    std::sort(values.begin(), values.end());
+    SeriesStat stat;
+    stat.homes = values.size();
+    stat.min = values.front();
+    stat.max = values.back();
+    stat.median = values[values.size() / 2];
+    for (const double v : values) stat.sum += v;
+    fleet.series[name] = stat;
+  }
+
+  fleet.wall_ms = wall_ms_since(wall_start);
+  return fleet;
+}
+
+}  // namespace hw::fleet

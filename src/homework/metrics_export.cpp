@@ -7,8 +7,10 @@ namespace {
 constexpr std::string_view kLog = "metrics";
 }  // namespace
 
-MetricsExport::MetricsExport(Config config, hwdb::Database& db)
-    : Component(kName), config_(config), db_(db) {}
+MetricsExport::MetricsExport(Config config, hwdb::Database& db,
+                             telemetry::MetricRegistry& registry)
+    : Component(kName), config_(config), db_(db), registry_(registry),
+      metrics_(registry) {}
 
 MetricsExport::~MetricsExport() = default;
 
@@ -36,7 +38,7 @@ void MetricsExport::install(nox::Controller& ctl) {
 
 void MetricsExport::poll() {
   metrics_.polls.inc();
-  for (const auto& sample : telemetry::MetricRegistry::instance().snapshot()) {
+  for (const auto& sample : registry_.snapshot()) {
     const auto status =
         db_.insert("Metrics", {hwdb::Value{sample.name},
                                hwdb::Value{telemetry::to_string(sample.kind)},

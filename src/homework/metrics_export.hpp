@@ -1,7 +1,7 @@
 // MetricsExport NOX module: the router monitoring *itself* through its own
 // measurement plane. A peer of EventExport — where EventExport populates the
 // paper's Flows/Links/Leases tables with network observations, MetricsExport
-// polls the process-wide telemetry::MetricRegistry and appends every sample
+// polls the router's telemetry::MetricRegistry and appends every sample
 // to the hwdb Metrics table, so CQL queries and the RPC interface read
 // router internals (packet-ins, flow installs, lookup latency percentiles,
 // DHCP counters, …) exactly like any other hwdb table:
@@ -35,7 +35,11 @@ class MetricsExport final : public nox::Component {
 
   static constexpr const char* kName = "metrics-export";
 
-  MetricsExport(Config config, hwdb::Database& db);
+  /// `registry` is the registry to poll (and the scope of the module's own
+  /// instruments); defaults to the calling thread's active registry.
+  MetricsExport(Config config, hwdb::Database& db,
+                telemetry::MetricRegistry& registry =
+                    telemetry::MetricRegistry::current());
   ~MetricsExport() override;
 
   void install(nox::Controller& ctl) override;
@@ -53,9 +57,13 @@ class MetricsExport final : public nox::Component {
  private:
   Config config_;
   hwdb::Database& db_;
+  telemetry::MetricRegistry& registry_;  // the registry poll() snapshots
   struct Instruments {
-    telemetry::Counter polls{"homework.metrics_export.polls"};
-    telemetry::Counter rows_exported{"homework.metrics_export.rows_exported"};
+    explicit Instruments(telemetry::MetricRegistry& reg)
+        : polls{reg, "homework.metrics_export.polls"},
+          rows_exported{reg, "homework.metrics_export.rows_exported"} {}
+    telemetry::Counter polls;
+    telemetry::Counter rows_exported;
   } metrics_;
   std::unique_ptr<sim::PeriodicTimer> timer_;
 };

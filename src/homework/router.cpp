@@ -41,18 +41,22 @@ class HomeworkRouter::TraceShim final : public sim::FrameSink {
   sim::FrameSink* next_;
 };
 
-HomeworkRouter::HomeworkRouter(sim::EventLoop& loop, Rng& rng, Config config)
-    : loop_(loop), rng_(rng), config_(config) {
-  db_ = std::make_unique<hwdb::Database>(loop_);
+HomeworkRouter::HomeworkRouter(sim::EventLoop& loop, Rng& rng, Config config,
+                               telemetry::MetricRegistry& metrics)
+    : loop_(loop), rng_(rng), config_(config), metrics_(metrics) {
+  // Leaf modules (DHCP, DNS, wireless, …) carry bare instruments; scope them
+  // to this router's registry for the whole build.
+  telemetry::ScopedMetricRegistry scope(metrics_);
+  db_ = std::make_unique<hwdb::Database>(loop_, metrics_);
   registry_ = std::make_unique<DeviceRegistry>(config_.admission);
   policy_ = std::make_unique<policy::PolicyEngine>([this] { return loop_.now(); });
   wireless_ = std::make_unique<WirelessMap>(config_.wireless, rng_,
                                             config_.ap_position);
 
-  datapath_ = std::make_unique<ofp::Datapath>(loop_, config_.datapath);
+  datapath_ = std::make_unique<ofp::Datapath>(loop_, config_.datapath, metrics_);
   connection_ =
       std::make_unique<ofp::InProcConnection>(loop_, config_.channel_latency);
-  controller_ = std::make_unique<nox::Controller>(loop_);
+  controller_ = std::make_unique<nox::Controller>(loop_, metrics_);
 
   upstream_ = std::make_unique<Upstream>(loop_, config_.upstream);
 
@@ -98,8 +102,9 @@ HomeworkRouter::HomeworkRouter(sim::EventLoop& loop, Rng& rng, Config config)
                                            wireless_.get());
   export_ = exp.get();
 
-  auto metrics = std::make_unique<MetricsExport>(config_.metrics_export, *db_);
-  metrics_export_ = metrics.get();
+  auto metrics_export =
+      std::make_unique<MetricsExport>(config_.metrics_export, *db_, metrics_);
+  metrics_export_ = metrics_export.get();
 
   auto api = std::make_unique<ControlApi>(*registry_, *policy_, *db_);
   control_api_ = api.get();
@@ -110,7 +115,7 @@ HomeworkRouter::HomeworkRouter(sim::EventLoop& loop, Rng& rng, Config config)
   controller_->add_component(std::move(dns));
   controller_->add_component(std::move(fwd));
   controller_->add_component(std::move(exp));
-  controller_->add_component(std::move(metrics));
+  controller_->add_component(std::move(metrics_export));
   controller_->add_component(std::move(api));
   auto liveness = std::make_unique<nox::LivenessMonitor>(config_.liveness);
   liveness_ = liveness.get();
@@ -156,6 +161,9 @@ void HomeworkRouter::start() {
 HomeworkRouter::Attachment HomeworkRouter::attach_device(
     sim::Host& host, std::optional<sim::Position> position,
     sim::LinkChannel::Config link_config) {
+  // Per-attachment links carry bare instruments; keep them in this router's
+  // registry no matter which scope the caller runs under.
+  telemetry::ScopedMetricRegistry scope(metrics_);
   const std::uint16_t port = next_port_++;
   links_.push_back(
       std::make_unique<sim::DuplexLink>(loop_, link_config, &rng_));

@@ -28,6 +28,7 @@
 #include "sim/fault_injector.hpp"
 #include "sim/host.hpp"
 #include "sim/trace.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace hw::homework {
 
@@ -58,7 +59,17 @@ class HomeworkRouter {
     bool capture_uplink = false;
   };
 
-  HomeworkRouter(sim::EventLoop& loop, Rng& rng, Config config);
+  /// `metrics` is the registry every instrument of this router — subsystems
+  /// and leaf modules alike — attaches to. It defaults to the calling
+  /// thread's active registry, so existing single-home callers land in the
+  /// process-wide registry while the fleet runner hands each home its own.
+  /// The router passes it explicitly to the subsystems it constructs and
+  /// additionally installs it as the thread's scoped registry for the
+  /// duration of construction/attachment, so modules without a registry
+  /// parameter (DHCP, DNS, links, …) inherit it too.
+  HomeworkRouter(sim::EventLoop& loop, Rng& rng, Config config,
+                 telemetry::MetricRegistry& metrics =
+                     telemetry::MetricRegistry::current());
   ~HomeworkRouter();
   HomeworkRouter(const HomeworkRouter&) = delete;
   HomeworkRouter& operator=(const HomeworkRouter&) = delete;
@@ -98,6 +109,7 @@ class HomeworkRouter {
   [[nodiscard]] EventExport& event_export() { return *export_; }
   [[nodiscard]] MetricsExport& metrics_export() { return *metrics_export_; }
   [[nodiscard]] ControlApi& control_api() { return *control_api_; }
+  [[nodiscard]] telemetry::MetricRegistry& metrics() { return metrics_; }
   [[nodiscard]] const Config& config() const { return config_; }
   /// Uplink capture (points "uplink-tx"/"uplink-rx"); empty unless
   /// config.capture_uplink was set.
@@ -118,6 +130,7 @@ class HomeworkRouter {
   sim::EventLoop& loop_;
   Rng& rng_;
   Config config_;
+  telemetry::MetricRegistry& metrics_;
 
   std::unique_ptr<hwdb::Database> db_;
   std::unique_ptr<DeviceRegistry> registry_;

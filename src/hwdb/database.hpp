@@ -37,7 +37,12 @@ struct DatabaseStats {
 
 class Database {
  public:
-  explicit Database(sim::EventLoop& loop) : loop_(loop) {}
+  /// `metrics` scopes the database's instruments; defaults to the calling
+  /// thread's active registry so each fleet home measures itself.
+  explicit Database(sim::EventLoop& loop,
+                    telemetry::MetricRegistry& metrics =
+                        telemetry::MetricRegistry::current())
+      : loop_(loop), metrics_(metrics) {}
   ~Database() = default;
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
@@ -95,12 +100,19 @@ class Database {
   SubscriptionId next_sub_id_ = 1;
   // Mutable: query() is logically const but still counts.
   mutable struct Instruments {
-    telemetry::Counter inserts{"hwdb.database.inserts"};
-    telemetry::Counter queries{"hwdb.database.queries"};
-    telemetry::Counter subscription_fires{"hwdb.database.subscription_fires"};
-    telemetry::Counter insert_errors{"hwdb.database.insert_errors"};
-    telemetry::Gauge tables{"hwdb.database.tables"};
-    telemetry::Histogram insert_ns{"hwdb.database.insert_ns"};
+    explicit Instruments(telemetry::MetricRegistry& reg)
+        : inserts{reg, "hwdb.database.inserts"},
+          queries{reg, "hwdb.database.queries"},
+          subscription_fires{reg, "hwdb.database.subscription_fires"},
+          insert_errors{reg, "hwdb.database.insert_errors"},
+          tables{reg, "hwdb.database.tables"},
+          insert_ns{reg, "hwdb.database.insert_ns"} {}
+    telemetry::Counter inserts;
+    telemetry::Counter queries;
+    telemetry::Counter subscription_fires;
+    telemetry::Counter insert_errors;
+    telemetry::Gauge tables;
+    telemetry::Histogram insert_ns;
   } metrics_;
 };
 

@@ -53,10 +53,15 @@ class RpcClient {
   using PushCallback = std::function<void(std::uint64_t sub_id, const ResultSet&)>;
 
   /// Fire-and-forget client: no timeouts, no retries (legacy behaviour).
-  explicit RpcClient(SendFn send) : send_(std::move(send)) {}
+  explicit RpcClient(SendFn send, telemetry::MetricRegistry& metrics =
+                                      telemetry::MetricRegistry::current())
+      : send_(std::move(send)), metrics_(metrics) {}
   /// Reliable client: unanswered calls are retried on `loop` per `policy`.
-  RpcClient(SendFn send, sim::EventLoop& loop, RetryPolicy policy)
-      : send_(std::move(send)), loop_(&loop), policy_(policy) {}
+  RpcClient(SendFn send, sim::EventLoop& loop, RetryPolicy policy,
+            telemetry::MetricRegistry& metrics =
+                telemetry::MetricRegistry::current())
+      : send_(std::move(send)), loop_(&loop), policy_(policy),
+        metrics_(metrics) {}
   ~RpcClient();
   RpcClient(const RpcClient&) = delete;
   RpcClient& operator=(const RpcClient&) = delete;
@@ -104,8 +109,11 @@ class RpcClient {
   std::map<std::uint32_t, PendingCall> pending_;
   std::uint32_t next_request_id_ = 1;
   struct Instruments {
-    telemetry::Counter retries{"hwdb.rpc.retries"};
-    telemetry::Counter timeouts{"hwdb.rpc.timeouts"};
+    explicit Instruments(telemetry::MetricRegistry& reg)
+        : retries{reg, "hwdb.rpc.retries"},
+          timeouts{reg, "hwdb.rpc.timeouts"} {}
+    telemetry::Counter retries;
+    telemetry::Counter timeouts;
   } metrics_;
 };
 

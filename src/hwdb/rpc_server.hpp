@@ -36,7 +36,10 @@ class RpcServer {
   /// `send` transmits a datagram back to a client (responses and pushes).
   using SendFn = std::function<void(ClientAddress, const Bytes&)>;
 
-  RpcServer(Database& db, SendFn send) : db_(db), send_(std::move(send)) {}
+  RpcServer(Database& db, SendFn send,
+            telemetry::MetricRegistry& metrics =
+                telemetry::MetricRegistry::current())
+      : db_(db), send_(std::move(send)), metrics_(metrics) {}
   ~RpcServer();
   RpcServer(const RpcServer&) = delete;
   RpcServer& operator=(const RpcServer&) = delete;
@@ -63,10 +66,15 @@ class RpcServer {
   Database& db_;
   SendFn send_;
   struct Instruments {
-    telemetry::Counter requests{"hwdb.rpc_server.requests"};
-    telemetry::Counter errors{"hwdb.rpc_server.errors"};
-    telemetry::Counter pushes{"hwdb.rpc_server.pushes"};
-    telemetry::Counter dup_suppressed{"hwdb.rpc.dup_suppressed"};
+    explicit Instruments(telemetry::MetricRegistry& reg)
+        : requests{reg, "hwdb.rpc_server.requests"},
+          errors{reg, "hwdb.rpc_server.errors"},
+          pushes{reg, "hwdb.rpc_server.pushes"},
+          dup_suppressed{reg, "hwdb.rpc.dup_suppressed"} {}
+    telemetry::Counter requests;
+    telemetry::Counter errors;
+    telemetry::Counter pushes;
+    telemetry::Counter dup_suppressed;
   } metrics_;
   /// subscription id → owning client.
   std::map<SubscriptionId, ClientAddress> sub_owner_;

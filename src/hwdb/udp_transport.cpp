@@ -21,24 +21,29 @@ constexpr std::size_t kMaxDatagram = 65536;
 // InProcRpcLink
 
 InProcRpcLink::InProcRpcLink(sim::EventLoop& loop, Database& db, Config config,
-                             Rng* rng)
-    : loop_(loop), config_(config), rng_(rng) {
+                             Rng* rng, telemetry::MetricRegistry& metrics)
+    : loop_(loop), config_(config), rng_(rng), registry_(metrics),
+      metrics_(metrics) {
   server_ = std::make_unique<RpcServer>(
-      db, [this](ClientAddress to, const Bytes& datagram) {
+      db,
+      [this](ClientAddress to, const Bytes& datagram) {
         transmit(datagram, [this, to](Bytes d) {
           const std::size_t idx = static_cast<std::size_t>(to);
           if (idx < clients_.size()) clients_[idx]->handle_datagram(d);
         });
-      });
+      },
+      registry_);
 }
 
 InProcRpcLink::~InProcRpcLink() = default;
 
 RpcClient& InProcRpcLink::make_client() {
   const ClientAddress addr = clients_.size();
-  clients_.push_back(std::make_unique<RpcClient>([this, addr](const Bytes& d) {
-    transmit(d, [this, addr](Bytes dg) { server_->handle_datagram(addr, dg); });
-  }));
+  clients_.push_back(std::make_unique<RpcClient>(
+      [this, addr](const Bytes& d) {
+        transmit(d, [this, addr](Bytes dg) { server_->handle_datagram(addr, dg); });
+      },
+      registry_));
   return *clients_.back();
 }
 
@@ -48,7 +53,7 @@ RpcClient& InProcRpcLink::make_client(RetryPolicy policy) {
       [this, addr](const Bytes& d) {
         transmit(d, [this, addr](Bytes dg) { server_->handle_datagram(addr, dg); });
       },
-      loop_, policy));
+      loop_, policy, registry_));
   return *clients_.back();
 }
 
@@ -93,7 +98,8 @@ void InProcRpcLink::transmit(const Bytes& datagram,
 // ---------------------------------------------------------------------------
 // UdpServerTransport
 
-UdpServerTransport::UdpServerTransport(Database& db, std::uint16_t port) {
+UdpServerTransport::UdpServerTransport(Database& db, std::uint16_t port,
+                                       telemetry::MetricRegistry& metrics) {
   fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
   if (fd_ < 0) {
     HW_LOG_ERROR(kLog, "socket() failed: %s", std::strerror(errno));
@@ -122,7 +128,8 @@ UdpServerTransport::UdpServerTransport(Database& db, std::uint16_t port) {
         peer.sin_port = htons(static_cast<std::uint16_t>(to & 0xffff));
         ::sendto(fd_, datagram.data(), datagram.size(), 0,
                  reinterpret_cast<sockaddr*>(&peer), sizeof peer);
-      });
+      },
+      metrics);
 }
 
 UdpServerTransport::~UdpServerTransport() {
@@ -153,7 +160,8 @@ std::size_t UdpServerTransport::poll() {
 // UdpClientTransport
 
 UdpClientTransport::UdpClientTransport(std::uint16_t server_port,
-                                       sim::EventLoop* loop)
+                                       sim::EventLoop* loop,
+                                       telemetry::MetricRegistry& metrics)
     : loop_(loop) {
   fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
   if (fd_ < 0) {
@@ -170,9 +178,11 @@ UdpClientTransport::UdpClientTransport(std::uint16_t server_port,
     fd_ = -1;
     return;
   }
-  client_ = std::make_unique<RpcClient>([this](const Bytes& datagram) {
-    if (fd_ >= 0) ::send(fd_, datagram.data(), datagram.size(), 0);
-  });
+  client_ = std::make_unique<RpcClient>(
+      [this](const Bytes& datagram) {
+        if (fd_ >= 0) ::send(fd_, datagram.data(), datagram.size(), 0);
+      },
+      metrics);
 }
 
 UdpClientTransport::~UdpClientTransport() {

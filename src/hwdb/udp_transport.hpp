@@ -34,8 +34,12 @@ class InProcRpcLink {
     double loss_probability = 0.0;
   };
 
+  /// `metrics` scopes the link's instruments and those of the server and
+  /// every client it creates; defaults to the thread's active registry.
   InProcRpcLink(sim::EventLoop& loop, Database& db, Config config,
-                Rng* rng = nullptr);
+                Rng* rng = nullptr,
+                telemetry::MetricRegistry& metrics =
+                    telemetry::MetricRegistry::current());
   InProcRpcLink(sim::EventLoop& loop, Database& db)
       : InProcRpcLink(loop, db, Config{}) {}
   ~InProcRpcLink();
@@ -63,14 +67,19 @@ class InProcRpcLink {
   sim::EventLoop& loop_;
   Config config_;
   Rng* rng_;
+  telemetry::MetricRegistry& registry_;  // handed to created clients
   sim::DatagramFault fault_;
   Rng* fault_rng_ = nullptr;
   std::unique_ptr<RpcServer> server_;
   std::vector<std::unique_ptr<RpcClient>> clients_;
   struct Instruments {
-    telemetry::Counter fault_dropped{"hwdb.rpc_link.fault_dropped"};
-    telemetry::Counter fault_duplicated{"hwdb.rpc_link.fault_duplicated"};
-    telemetry::Counter fault_delayed{"hwdb.rpc_link.fault_delayed"};
+    explicit Instruments(telemetry::MetricRegistry& reg)
+        : fault_dropped{reg, "hwdb.rpc_link.fault_dropped"},
+          fault_duplicated{reg, "hwdb.rpc_link.fault_duplicated"},
+          fault_delayed{reg, "hwdb.rpc_link.fault_delayed"} {}
+    telemetry::Counter fault_dropped;
+    telemetry::Counter fault_duplicated;
+    telemetry::Counter fault_delayed;
   } metrics_;
 };
 
@@ -78,7 +87,9 @@ class InProcRpcLink {
 /// poll() to drain pending datagrams.
 class UdpServerTransport {
  public:
-  UdpServerTransport(Database& db, std::uint16_t port);
+  UdpServerTransport(Database& db, std::uint16_t port,
+                     telemetry::MetricRegistry& metrics =
+                         telemetry::MetricRegistry::current());
   ~UdpServerTransport();
   UdpServerTransport(const UdpServerTransport&) = delete;
   UdpServerTransport& operator=(const UdpServerTransport&) = delete;
@@ -102,7 +113,9 @@ class UdpServerTransport {
 class UdpClientTransport {
  public:
   explicit UdpClientTransport(std::uint16_t server_port,
-                              sim::EventLoop* loop = nullptr);
+                              sim::EventLoop* loop = nullptr,
+                              telemetry::MetricRegistry& metrics =
+                                  telemetry::MetricRegistry::current());
   ~UdpClientTransport();
   UdpClientTransport(const UdpClientTransport&) = delete;
   UdpClientTransport& operator=(const UdpClientTransport&) = delete;

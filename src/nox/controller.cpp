@@ -10,7 +10,8 @@ namespace {
 constexpr std::string_view kLog = "nox";
 }  // namespace
 
-Controller::Controller(sim::EventLoop& loop) : loop_(loop) {}
+Controller::Controller(sim::EventLoop& loop, telemetry::MetricRegistry& metrics)
+    : loop_(loop), metrics_(metrics) {}
 Controller::~Controller() = default;
 
 void Controller::add_component(std::unique_ptr<Component> component) {

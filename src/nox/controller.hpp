@@ -32,7 +32,11 @@ struct ControllerStats {
 
 class Controller {
  public:
-  explicit Controller(sim::EventLoop& loop);
+  /// `metrics` scopes the controller's instruments; defaults to the calling
+  /// thread's active registry.
+  explicit Controller(sim::EventLoop& loop,
+                      telemetry::MetricRegistry& metrics =
+                          telemetry::MetricRegistry::current());
   ~Controller();
   Controller(const Controller&) = delete;
   Controller& operator=(const Controller&) = delete;
@@ -129,16 +133,25 @@ class Controller {
   std::function<void(DatapathId)> on_resynced_;
   std::uint32_t next_xid_ = 1;
   struct Instruments {
-    telemetry::Counter packet_ins{"nox.controller.packet_ins"};
-    telemetry::Counter packet_outs{"nox.controller.packet_outs"};
-    telemetry::Counter flow_mods{"nox.controller.flow_mods"};
-    telemetry::Counter flow_removed{"nox.controller.flow_removed"};
-    telemetry::Counter errors{"nox.controller.errors"};
-    telemetry::Counter unparseable_packets{"nox.controller.unparseable_packets"};
-    telemetry::Counter reconnects{"nox.channel.reconnects"};
-    telemetry::Counter resynced_flows{"nox.channel.resynced_flows"};
-    telemetry::Histogram packet_in_dispatch_ns{
-        "nox.controller.packet_in_dispatch_ns"};
+    explicit Instruments(telemetry::MetricRegistry& reg)
+        : packet_ins{reg, "nox.controller.packet_ins"},
+          packet_outs{reg, "nox.controller.packet_outs"},
+          flow_mods{reg, "nox.controller.flow_mods"},
+          flow_removed{reg, "nox.controller.flow_removed"},
+          errors{reg, "nox.controller.errors"},
+          unparseable_packets{reg, "nox.controller.unparseable_packets"},
+          reconnects{reg, "nox.channel.reconnects"},
+          resynced_flows{reg, "nox.channel.resynced_flows"},
+          packet_in_dispatch_ns{reg, "nox.controller.packet_in_dispatch_ns"} {}
+    telemetry::Counter packet_ins;
+    telemetry::Counter packet_outs;
+    telemetry::Counter flow_mods;
+    telemetry::Counter flow_removed;
+    telemetry::Counter errors;
+    telemetry::Counter unparseable_packets;
+    telemetry::Counter reconnects;
+    telemetry::Counter resynced_flows;
+    telemetry::Histogram packet_in_dispatch_ns;
   } metrics_;
 };
 

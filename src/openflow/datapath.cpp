@@ -53,11 +53,13 @@ Bytes rewrite_frame(const Bytes& frame, const std::function<void(net::ParsedPack
 
 }  // namespace
 
-Datapath::Datapath(sim::EventLoop& loop, Config config)
+Datapath::Datapath(sim::EventLoop& loop, Config config,
+                   telemetry::MetricRegistry& metrics)
     : loop_(loop),
       config_(config),
-      table_(config.table_capacity),
-      microflow_(config.microflow_capacity) {
+      table_(config.table_capacity, metrics),
+      microflow_(config.microflow_capacity),
+      metrics_(metrics) {
   buffers_.reserve(config_.n_buffers);
   expiry_timer_ = std::make_unique<sim::PeriodicTimer>(
       loop_, config_.expiry_interval, [this] { sweep_timeouts(); });

@@ -58,7 +58,11 @@ class Datapath {
     Duration controller_dead_interval = 15 * kSecond;
   };
 
-  Datapath(sim::EventLoop& loop, Config config);
+  /// `metrics` scopes the datapath's (and its flow table's) instruments;
+  /// defaults to the calling thread's active registry.
+  Datapath(sim::EventLoop& loop, Config config,
+           telemetry::MetricRegistry& metrics =
+               telemetry::MetricRegistry::current());
   ~Datapath();
   Datapath(const Datapath&) = delete;
   Datapath& operator=(const Datapath&) = delete;
@@ -164,20 +168,33 @@ class Datapath {
   std::map<std::uint16_t, PortState> ports_;
   ChannelEndpoint* channel_ = nullptr;
   struct Instruments {
-    telemetry::Counter packet_ins{"openflow.datapath.packet_ins"};
-    telemetry::Counter packet_outs{"openflow.datapath.packet_outs"};
-    telemetry::Counter flow_mods{"openflow.datapath.flow_mods"};
-    telemetry::Counter flow_removed_sent{"openflow.datapath.flow_removed_sent"};
-    telemetry::Counter buffer_evictions{"openflow.datapath.buffer_evictions"};
-    telemetry::Counter microflow_hits{"openflow.datapath.microflow_hits"};
-    telemetry::Counter microflow_misses{"openflow.datapath.microflow_misses"};
-    telemetry::Counter microflow_invalidations{
-        "openflow.datapath.microflow_invalidations"};
-    telemetry::Counter failsafe_entries{"openflow.datapath.failsafe_entries"};
-    telemetry::Counter failsafe_dropped_packet_ins{
-        "openflow.datapath.failsafe_dropped_packet_ins"};
-    telemetry::Counter restarts{"openflow.datapath.restarts"};
-    telemetry::Gauge fail_safe{"openflow.datapath.fail_safe"};
+    explicit Instruments(telemetry::MetricRegistry& reg)
+        : packet_ins{reg, "openflow.datapath.packet_ins"},
+          packet_outs{reg, "openflow.datapath.packet_outs"},
+          flow_mods{reg, "openflow.datapath.flow_mods"},
+          flow_removed_sent{reg, "openflow.datapath.flow_removed_sent"},
+          buffer_evictions{reg, "openflow.datapath.buffer_evictions"},
+          microflow_hits{reg, "openflow.datapath.microflow_hits"},
+          microflow_misses{reg, "openflow.datapath.microflow_misses"},
+          microflow_invalidations{
+              reg, "openflow.datapath.microflow_invalidations"},
+          failsafe_entries{reg, "openflow.datapath.failsafe_entries"},
+          failsafe_dropped_packet_ins{
+              reg, "openflow.datapath.failsafe_dropped_packet_ins"},
+          restarts{reg, "openflow.datapath.restarts"},
+          fail_safe{reg, "openflow.datapath.fail_safe"} {}
+    telemetry::Counter packet_ins;
+    telemetry::Counter packet_outs;
+    telemetry::Counter flow_mods;
+    telemetry::Counter flow_removed_sent;
+    telemetry::Counter buffer_evictions;
+    telemetry::Counter microflow_hits;
+    telemetry::Counter microflow_misses;
+    telemetry::Counter microflow_invalidations;
+    telemetry::Counter failsafe_entries;
+    telemetry::Counter failsafe_dropped_packet_ins;
+    telemetry::Counter restarts;
+    telemetry::Gauge fail_safe;
   } metrics_;
   std::uint32_t next_xid_ = 1;
   bool fail_safe_ = false;

@@ -62,7 +62,10 @@ enum class FlowModResult {
 
 class FlowTable {
  public:
-  explicit FlowTable(std::size_t capacity = 4096) : capacity_(capacity) {}
+  explicit FlowTable(std::size_t capacity = 4096,
+                     telemetry::MetricRegistry& metrics =
+                         telemetry::MetricRegistry::current())
+      : capacity_(capacity), metrics_(metrics) {}
 
   /// Applies a flow-mod at time `now`. Removed entries (for DELETE) are
   /// appended to `removed` so the datapath can emit flow-removed messages.
@@ -161,13 +164,21 @@ class FlowTable {
   std::vector<std::unique_ptr<Subtable>> subtables_;
 
   struct Instruments {
-    telemetry::Counter lookups{"openflow.flow_table.lookups"};
-    telemetry::Counter matches{"openflow.flow_table.matches"};
-    telemetry::Gauge entries{"openflow.flow_table.entries"};
-    telemetry::Histogram lookup_ns{"openflow.flow_table.lookup_ns"};
-    telemetry::Gauge subtables{"openflow.flow_table.subtables"};
-    telemetry::Counter subtable_scans{"openflow.flow_table.subtable_scans"};
-    telemetry::Counter table_full{"openflow.flow_table.table_full"};
+    explicit Instruments(telemetry::MetricRegistry& reg)
+        : lookups{reg, "openflow.flow_table.lookups"},
+          matches{reg, "openflow.flow_table.matches"},
+          entries{reg, "openflow.flow_table.entries"},
+          lookup_ns{reg, "openflow.flow_table.lookup_ns"},
+          subtables{reg, "openflow.flow_table.subtables"},
+          subtable_scans{reg, "openflow.flow_table.subtable_scans"},
+          table_full{reg, "openflow.flow_table.table_full"} {}
+    telemetry::Counter lookups;
+    telemetry::Counter matches;
+    telemetry::Gauge entries;
+    telemetry::Histogram lookup_ns;
+    telemetry::Gauge subtables;
+    telemetry::Counter subtable_scans;
+    telemetry::Counter table_full;
   } metrics_;
 };
 

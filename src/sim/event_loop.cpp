@@ -5,12 +5,14 @@
 namespace hw::sim {
 
 EventLoop::EventId EventLoop::schedule_at(Timestamp when, Callback fn) {
+  check_owner();
   const EventId id = next_id_++;
   heap_.push(Entry{std::max(when, now_), id, std::move(fn)});
   return id;
 }
 
 void EventLoop::cancel(EventId id) {
+  check_owner();
   if (id == 0 || id >= next_id_) return;
   cancelled_ids_.push_back(id);
   ++cancelled_;
@@ -39,6 +41,7 @@ bool EventLoop::pop_one(Timestamp deadline) {
 }
 
 std::size_t EventLoop::run_until(Timestamp deadline) {
+  check_owner();
   std::size_t count = 0;
   while (pop_one(deadline)) ++count;
   now_ = std::max(now_, deadline);
@@ -46,6 +49,7 @@ std::size_t EventLoop::run_until(Timestamp deadline) {
 }
 
 std::size_t EventLoop::run_all() {
+  check_owner();
   std::size_t count = 0;
   while (pop_one(~Timestamp{0})) ++count;
   return count;

@@ -3,10 +3,16 @@
 // artifact animation) runs off this loop, making runs deterministic.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <queue>
 #include <vector>
+
+#ifndef NDEBUG
+#include <atomic>
+#include <thread>
+#endif
 
 #include "util/types.hpp"
 
@@ -40,7 +46,42 @@ class EventLoop {
   [[nodiscard]] std::size_t pending() const { return heap_.size() - cancelled_; }
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
+  // -- Thread ownership (debug builds) -----------------------------------------
+  // A loop — and with it an entire simulated home — belongs to exactly one
+  // thread: the first thread that schedules or runs it. The fleet runner
+  // executes many loops concurrently on a worker pool; scheduling into a
+  // foreign home's loop would corrupt its heap silently, so in debug builds
+  // every entry point asserts ownership and fails loudly instead.
+
+  /// True when the calling thread owns this loop (or no owner is bound yet).
+  /// Always true in release builds.
+  [[nodiscard]] bool owned_by_caller() const {
+#ifndef NDEBUG
+    const auto owner = owner_.load(std::memory_order_relaxed);
+    return owner == std::thread::id{} || owner == std::this_thread::get_id();
+#else
+    return true;
+#endif
+  }
+
  private:
+#ifndef NDEBUG
+  /// Binds the loop to the calling thread on first use, then asserts every
+  /// later use comes from that same thread.
+  void check_owner() {
+    std::thread::id expected{};
+    if (owner_.compare_exchange_strong(expected, std::this_thread::get_id(),
+                                       std::memory_order_relaxed)) {
+      return;
+    }
+    assert(expected == std::this_thread::get_id() &&
+           "sim::EventLoop used from a thread that does not own it");
+  }
+  mutable std::atomic<std::thread::id> owner_{};
+#else
+  void check_owner() {}
+#endif
+
   struct Entry {
     Timestamp when;
     EventId id;  // also breaks ties: FIFO among same-time events

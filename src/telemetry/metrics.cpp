@@ -1,7 +1,6 @@
 #include "telemetry/metrics.hpp"
 
 #include <algorithm>
-#include <map>
 
 namespace hw::telemetry {
 
@@ -15,11 +14,15 @@ const char* to_string(MetricKind k) {
 }
 
 Instrument::Instrument(std::string name, MetricKind kind)
-    : name_(std::move(name)), kind_(kind) {
-  MetricRegistry::instance().attach(this);
+    : Instrument(MetricRegistry::current(), std::move(name), kind) {}
+
+Instrument::Instrument(MetricRegistry& registry, std::string name,
+                       MetricKind kind)
+    : registry_(&registry), name_(std::move(name)), kind_(kind) {
+  registry_->attach(this);
 }
 
-Instrument::~Instrument() { MetricRegistry::instance().detach(this); }
+Instrument::~Instrument() { registry_->detach(this); }
 
 namespace {
 
@@ -66,14 +69,29 @@ MetricRegistry& MetricRegistry::instance() {
   return registry;
 }
 
-void MetricRegistry::attach(Instrument* i) { instruments_.push_back(i); }
+MetricRegistry*& MetricRegistry::current_slot() {
+  thread_local MetricRegistry* current = nullptr;
+  return current;
+}
+
+MetricRegistry& MetricRegistry::current() {
+  MetricRegistry* reg = current_slot();
+  return reg != nullptr ? *reg : instance();
+}
+
+void MetricRegistry::attach(Instrument* i) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  instruments_.push_back(i);
+}
 
 void MetricRegistry::detach(Instrument* i) {
+  std::lock_guard<std::mutex> lock(mutex_);
   instruments_.erase(std::remove(instruments_.begin(), instruments_.end(), i),
                      instruments_.end());
 }
 
 std::optional<double> MetricRegistry::total(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::optional<double> out;
   for (const Instrument* i : instruments_) {
     if (i->name() != name) continue;
@@ -94,19 +112,54 @@ std::optional<double> MetricRegistry::total(const std::string& name) const {
   return out;
 }
 
+std::map<std::string, double> MetricRegistry::scalars() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, double> out;
+  for (const Instrument* i : instruments_) {
+    switch (i->kind()) {
+      case MetricKind::Counter:
+        out[i->name()] +=
+            static_cast<double>(static_cast<const Counter*>(i)->value());
+        break;
+      case MetricKind::Gauge:
+        out[i->name()] +=
+            static_cast<double>(static_cast<const Gauge*>(i)->value());
+        break;
+      case MetricKind::Histogram:
+        break;
+    }
+  }
+  return out;
+}
+
+std::map<std::string, HistogramState>
+MetricRegistry::histogram_states_locked() const {
+  std::map<std::string, HistogramState> out;
+  for (const Instrument* i : instruments_) {
+    if (i->kind() != MetricKind::Histogram) continue;
+    const auto* h = static_cast<const Histogram*>(i);
+    HistogramState& m = out[i->name()];
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      m.buckets[b] += h->buckets()[b];
+    }
+    m.count += h->count();
+    m.sum += h->sum();
+    m.max = std::max(m.max, h->max_value());
+  }
+  return out;
+}
+
+std::map<std::string, HistogramState> MetricRegistry::histogram_states() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return histogram_states_locked();
+}
+
 std::vector<MetricSample> MetricRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   // Aggregate same-named instruments: instances of a module each carry their
   // own cells, the series is their merge.
-  std::map<std::string, double> scalars;            // counters + gauges
+  std::map<std::string, double> scalars;  // counters + gauges
   std::map<std::string, MetricKind> scalar_kinds;
-  struct MergedHistogram {
-    Histogram::Buckets buckets{};
-    std::uint64_t count = 0;
-    std::uint64_t sum = 0;
-    std::uint64_t max = 0;
-  };
-  std::map<std::string, MergedHistogram> histograms;
-
   for (const Instrument* i : instruments_) {
     switch (i->kind()) {
       case MetricKind::Counter:
@@ -119,19 +172,11 @@ std::vector<MetricSample> MetricRegistry::snapshot() const {
             static_cast<double>(static_cast<const Gauge*>(i)->value());
         scalar_kinds.emplace(i->name(), MetricKind::Gauge);
         break;
-      case MetricKind::Histogram: {
-        const auto* h = static_cast<const Histogram*>(i);
-        MergedHistogram& m = histograms[i->name()];
-        for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
-          m.buckets[b] += h->buckets()[b];
-        }
-        m.count += h->count();
-        m.sum += h->sum();
-        m.max = std::max(m.max, h->max_value());
+      case MetricKind::Histogram:
         break;
-      }
     }
   }
+  const auto histograms = histogram_states_locked();
 
   std::vector<MetricSample> out;
   out.reserve(scalars.size() + histograms.size() * 7);
@@ -144,12 +189,10 @@ std::vector<MetricSample> MetricRegistry::snapshot() const {
     };
     emit("count", static_cast<double>(m.count));
     emit("sum", static_cast<double>(m.sum));
-    emit("mean", m.count == 0 ? 0.0
-                              : static_cast<double>(m.sum) /
-                                    static_cast<double>(m.count));
-    emit("p50", Histogram::percentile_of(m.buckets, m.count, 0.50));
-    emit("p90", Histogram::percentile_of(m.buckets, m.count, 0.90));
-    emit("p99", Histogram::percentile_of(m.buckets, m.count, 0.99));
+    emit("mean", m.mean());
+    emit("p50", m.percentile(0.50));
+    emit("p90", m.percentile(0.90));
+    emit("p99", m.percentile(0.99));
     emit("max", static_cast<double>(m.max));
   }
   std::sort(out.begin(), out.end(),

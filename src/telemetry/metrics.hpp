@@ -1,10 +1,25 @@
-// The router's self-measurement plane: a process-wide registry of named
-// instruments. The paper's thesis is that hwdb is *the* measurement plane
-// every interface reads from; this subsystem lets the router monitor itself
-// through that same plane. Modules own Counter/Gauge/Histogram instruments
-// (plain uint64 cells — the simulation is single-threaded by design, so no
-// atomics), the registry tracks every live instrument, and MetricsExport
-// periodically snapshots it into the hwdb Metrics table.
+// The router's self-measurement plane: a registry of named instruments. The
+// paper's thesis is that hwdb is *the* measurement plane every interface
+// reads from; this subsystem lets the router monitor itself through that
+// same plane. Modules own Counter/Gauge/Histogram instruments (plain uint64
+// cells — each home simulation is single-threaded by design, so no atomics),
+// the registry tracks every live instrument, and MetricsExport periodically
+// snapshots it into the hwdb Metrics table.
+//
+// Registries are instance-scoped so many independent homes can coexist in
+// one process (the fleet runner gives every home its own). Instruments bind
+// to a registry at construction: either explicitly (top-level subsystems —
+// Router, Datapath, Controller, Database, the RPC transports — take a
+// MetricRegistry& parameter) or implicitly through the calling thread's
+// MetricRegistry::current(), which defaults to the legacy process-wide
+// instance() and is overridden with a ScopedMetricRegistry. Leaf modules
+// therefore inherit whatever registry the enclosing home installed without
+// each needing a parameter.
+//
+// Thread model: a registry's *instrument cells* are owned by one thread at a
+// time (the home's worker); only registry membership — attach/detach/
+// snapshot — is mutex-guarded, because the process-default registry is
+// genuinely shared by every thread that never installed a scope.
 //
 // Naming convention: `layer.module.name`, e.g. `openflow.flow_table.lookups`
 // or `hwdb.database.insert_ns`. Several instances of a module may carry the
@@ -16,6 +31,8 @@
 #include <bit>
 #include <chrono>
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -36,9 +53,9 @@ struct MetricSample {
 
 class MetricRegistry;
 
-/// Base of all instruments: registers with the process registry on
-/// construction, deregisters on destruction. Non-copyable and non-movable —
-/// instruments live as members of the module they instrument.
+/// Base of all instruments: registers with a registry on construction,
+/// deregisters from that same registry on destruction. Non-copyable and
+/// non-movable — instruments live as members of the module they instrument.
 class Instrument {
  public:
   Instrument(const Instrument&) = delete;
@@ -48,10 +65,14 @@ class Instrument {
   [[nodiscard]] MetricKind kind() const { return kind_; }
 
  protected:
+  /// Attaches to the calling thread's MetricRegistry::current().
   Instrument(std::string name, MetricKind kind);
+  /// Attaches to an explicitly injected registry.
+  Instrument(MetricRegistry& registry, std::string name, MetricKind kind);
   ~Instrument();
 
  private:
+  MetricRegistry* registry_;  // where we attached; detach goes here
   std::string name_;
   MetricKind kind_;
 };
@@ -61,6 +82,8 @@ class Counter final : public Instrument {
  public:
   explicit Counter(std::string name)
       : Instrument(std::move(name), MetricKind::Counter) {}
+  Counter(MetricRegistry& registry, std::string name)
+      : Instrument(registry, std::move(name), MetricKind::Counter) {}
 
   void inc(std::uint64_t n = 1) { value_ += n; }
   [[nodiscard]] std::uint64_t value() const { return value_; }
@@ -74,6 +97,8 @@ class Gauge final : public Instrument {
  public:
   explicit Gauge(std::string name)
       : Instrument(std::move(name), MetricKind::Gauge) {}
+  Gauge(MetricRegistry& registry, std::string name)
+      : Instrument(registry, std::move(name), MetricKind::Gauge) {}
 
   void set(std::int64_t v) { value_ = v; }
   void add(std::int64_t d) { value_ += d; }
@@ -94,6 +119,8 @@ class Histogram final : public Instrument {
 
   explicit Histogram(std::string name)
       : Instrument(std::move(name), MetricKind::Histogram) {}
+  Histogram(MetricRegistry& registry, std::string name)
+      : Instrument(registry, std::move(name), MetricKind::Histogram) {}
 
   void record(std::uint64_t v) {
     ++buckets_[std::bit_width(v)];
@@ -124,32 +151,105 @@ class Histogram final : public Instrument {
   std::uint64_t max_ = 0;
 };
 
-/// The process-wide instrument registry. Instruments attach themselves; a
-/// snapshot aggregates same-named instruments (sum for counters and gauges,
+/// Mergeable raw histogram state: the per-series aggregate a registry export
+/// produces and the fleet runner merges across homes (bucket-wise addition
+/// keeps quantile estimation exact w.r.t. the bucketing).
+struct HistogramState {
+  Histogram::Buckets buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+
+  void merge(const HistogramState& other) {
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      buckets[b] += other.buckets[b];
+    }
+    count += other.count;
+    sum += other.sum;
+    if (other.max > max) max = other.max;
+  }
+  [[nodiscard]] double percentile(double q) const {
+    return Histogram::percentile_of(buckets, count, q);
+  }
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+/// An instrument registry. Instruments attach themselves; a snapshot
+/// aggregates same-named instruments (sum for counters and gauges,
 /// bucket-merge for histograms) into a flat, name-sorted sample vector.
+///
+/// instance() is the process-wide default every bare instrument lands in;
+/// current() is the calling thread's active registry (instance() unless a
+/// ScopedMetricRegistry overrides it). Membership operations are
+/// mutex-guarded; instrument *values* are read unlocked and must only be
+/// mutated/snapshotted from the thread that owns the instruments.
 class MetricRegistry {
  public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// The process-default registry (legacy callers, benches, examples).
   static MetricRegistry& instance();
+  /// The calling thread's active registry; instance() unless overridden.
+  static MetricRegistry& current();
 
   /// Flattened, name-sorted view of every live instrument. Histogram series
   /// expand to `<name>.count`, `<name>.sum`, `<name>.mean`, `<name>.p50`,
   /// `<name>.p90`, `<name>.p99` and `<name>.max`.
   [[nodiscard]] std::vector<MetricSample> snapshot() const;
 
+  /// Non-histogram series only: name → summed counter/gauge value. The
+  /// deterministic view chaos/fleet runs diff (histograms time wall-clock
+  /// nanoseconds and legitimately differ between runs).
+  [[nodiscard]] std::map<std::string, double> scalars() const;
+
+  /// Raw merged histogram state per series (fleet-wide merging).
+  [[nodiscard]] std::map<std::string, HistogramState> histogram_states() const;
+
   /// Sum of all counter/gauge instruments bearing `name` (tests, reports);
   /// nullopt when no such instrument is live.
   [[nodiscard]] std::optional<double> total(const std::string& name) const;
 
   [[nodiscard]] std::size_t instrument_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
     return instruments_.size();
   }
 
  private:
   friend class Instrument;
+  friend class ScopedMetricRegistry;
   void attach(Instrument* i);
   void detach(Instrument* i);
+  [[nodiscard]] std::map<std::string, HistogramState> histogram_states_locked()
+      const;
 
+  static MetricRegistry*& current_slot();
+
+  mutable std::mutex mutex_;
   std::vector<Instrument*> instruments_;
+};
+
+/// RAII override of the calling thread's MetricRegistry::current(). The
+/// fleet runner installs one per home on its worker thread so every
+/// instrument the home constructs — down to per-host and per-link cells —
+/// lands in that home's registry. Nests; restores the previous scope on
+/// destruction.
+class ScopedMetricRegistry {
+ public:
+  explicit ScopedMetricRegistry(MetricRegistry& registry)
+      : previous_(MetricRegistry::current_slot()) {
+    MetricRegistry::current_slot() = &registry;
+  }
+  ~ScopedMetricRegistry() { MetricRegistry::current_slot() = previous_; }
+  ScopedMetricRegistry(const ScopedMetricRegistry&) = delete;
+  ScopedMetricRegistry& operator=(const ScopedMetricRegistry&) = delete;
+
+ private:
+  MetricRegistry* previous_;
 };
 
 /// Wall-clock nanosecond stopwatch recording into a histogram when it goes

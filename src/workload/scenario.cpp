@@ -15,10 +15,10 @@ const char* to_string(DeviceKind kind) {
   return "?";
 }
 
-HomeScenario::HomeScenario(Config config)
-    : config_(config), rng_(config.seed) {
+HomeScenario::HomeScenario(Config config, telemetry::MetricRegistry& metrics)
+    : config_(config), metrics_(metrics), rng_(config.seed) {
   router_ = std::make_unique<homework::HomeworkRouter>(loop_, rng_,
-                                                       config_.router);
+                                                       config_.router, metrics_);
 }
 
 HomeScenario::~HomeScenario() {
@@ -46,6 +46,8 @@ void HomeScenario::start() {
 }
 
 std::size_t HomeScenario::add_device(const DeviceSpec& spec) {
+  // Hosts carry bare instruments (sim.host.*); scope them to this home.
+  telemetry::ScopedMetricRegistry scope(metrics_);
   sim::Host::Config host_config;
   host_config.name = spec.name;
   host_config.mac = MacAddress::from_index(next_mac_index_++);
@@ -150,6 +152,8 @@ std::vector<AppProfile> HomeScenario::app_mix(DeviceKind kind) const {
 void HomeScenario::start_apps(const std::string& name) {
   Device* d = device(name);
   if (d == nullptr) return;
+  // Traffic apps carry bare instruments (workload.app.*); scope them too.
+  telemetry::ScopedMetricRegistry scope(metrics_);
   for (const auto& profile : app_mix(d->kind)) {
     d->apps.push_back(
         std::make_unique<TrafficApp>(loop_, *d->host, rng_, profile));

@@ -31,7 +31,12 @@ class HomeScenario {
     std::uint64_t seed = 42;
   };
 
-  explicit HomeScenario(Config config);
+  /// `metrics` scopes every instrument the scenario creates (router, hosts,
+  /// links, traffic apps); defaults to the calling thread's active registry.
+  /// The fleet runner passes each home's own registry here.
+  explicit HomeScenario(Config config,
+                        telemetry::MetricRegistry& metrics =
+                            telemetry::MetricRegistry::current());
   ~HomeScenario();
   HomeScenario(const HomeScenario&) = delete;
   HomeScenario& operator=(const HomeScenario&) = delete;
@@ -71,6 +76,7 @@ class HomeScenario {
   [[nodiscard]] homework::HomeworkRouter& router() { return *router_; }
   [[nodiscard]] sim::EventLoop& loop() { return loop_; }
   [[nodiscard]] Rng& rng() { return rng_; }
+  [[nodiscard]] telemetry::MetricRegistry& metrics() { return metrics_; }
 
   /// Advances virtual time.
   void run_for(Duration d) { loop_.run_for(d); }
@@ -80,6 +86,7 @@ class HomeScenario {
   void register_services();
 
   Config config_;
+  telemetry::MetricRegistry& metrics_;
   sim::EventLoop loop_;
   Rng rng_;
   std::unique_ptr<homework::HomeworkRouter> router_;

@@ -40,11 +40,7 @@ std::uint64_t chaos_seed() {
 /// Counter/gauge view of the process registry (histograms excluded: they
 /// hold wall-clock latencies and are non-deterministic by construction).
 std::map<std::string, double> scalar_snapshot() {
-  std::map<std::string, double> out;
-  for (const auto& s : telemetry::MetricRegistry::instance().snapshot()) {
-    if (s.kind != telemetry::MetricKind::Histogram) out[s.name] = s.value;
-  }
-  return out;
+  return telemetry::MetricRegistry::instance().scalars();
 }
 
 struct ChaosResult {

@@ -1,0 +1,198 @@
+// Fleet runner suite: per-home seed derivation, the determinism contract
+// (one fleet seed → bit-identical merged non-histogram telemetry and
+// identical per-home verdicts no matter how many worker threads run it),
+// chaos fleets with distinct per-home fault plans, and the event loop's
+// debug-build thread-ownership assert.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "fleet/fleet.hpp"
+#include "sim/event_loop.hpp"
+
+namespace hw::fleet {
+namespace {
+
+FleetConfig small_fleet(std::size_t homes, std::size_t threads, bool chaos) {
+  FleetConfig config;
+  config.homes = homes;
+  config.threads = threads;
+  config.seed = 2011;  // the paper's year; any value works
+  config.duration = chaos ? 30 * kSecond : 10 * kSecond;
+  config.devices_per_home = 3;
+  config.run_apps = true;
+  config.chaos = chaos;
+  return config;
+}
+
+TEST(FleetSeeds, PerHomeSeedsAreStableAndDistinct) {
+  std::set<std::uint64_t> seeds;
+  for (std::size_t id = 0; id < 1000; ++id) {
+    const std::uint64_t s = FleetRunner::home_seed(2011, id);
+    EXPECT_EQ(s, FleetRunner::home_seed(2011, id)) << "unstable for home " << id;
+    EXPECT_TRUE(seeds.insert(s).second) << "seed collision at home " << id;
+    EXPECT_NE(s, 0u);
+  }
+  // Different fleet seeds shift every home.
+  EXPECT_NE(FleetRunner::home_seed(2011, 7), FleetRunner::home_seed(2012, 7));
+}
+
+TEST(FleetSeeds, ChaosPlansVaryAcrossHomesAndFitTheRun) {
+  const Duration duration = 30 * kSecond;
+  std::set<std::size_t> window_counts;
+  std::set<Timestamp> loss_starts;
+  for (std::size_t id = 0; id < 32; ++id) {
+    const auto plan =
+        FleetRunner::chaos_plan(FleetRunner::home_seed(2011, id), duration);
+    EXPECT_EQ(plan.seed, FleetRunner::home_seed(2011, id));
+    ASSERT_FALSE(plan.windows.empty());
+    window_counts.insert(plan.windows.size());
+    loss_starts.insert(plan.windows.front().start);
+    for (const auto& w : plan.windows) {
+      EXPECT_LT(w.start + w.duration, duration) << "window outlives the run";
+    }
+  }
+  // Distinct per-home plans: shapes and placements actually vary.
+  EXPECT_GT(window_counts.size(), 1u);
+  EXPECT_GT(loss_starts.size(), 4u);
+}
+
+TEST(FleetHome, SingleHomeBindsServesAndInsertsExactlyOnce) {
+  FleetRunner runner(small_fleet(1, 1, /*chaos=*/false));
+  const HomeResult r = runner.run_home(0);
+  EXPECT_EQ(r.home_id, 0u);
+  EXPECT_EQ(r.devices, 3u);
+  EXPECT_EQ(r.devices_bound, 3u);
+  EXPECT_TRUE(r.all_bound);
+  EXPECT_FALSE(r.fail_safe_at_end);
+  EXPECT_TRUE(r.inserts_exactly_once);
+  EXPECT_GT(r.inserts_acked, 0u);
+  EXPECT_GT(r.frames, 0u);
+  EXPECT_GT(r.flow_entries, 0u);
+  EXPECT_TRUE(r.ok());
+  // The per-home registry carried the whole stack's instruments.
+  EXPECT_GT(r.scalars.count("homework.dhcp.acks"), 0u);
+  EXPECT_GT(r.scalars.count("openflow.datapath.packet_ins"), 0u);
+  EXPECT_GT(r.scalars.count("sim.link.tx_frames"), 0u);
+}
+
+TEST(FleetHome, SameHomeReplaysIdentically) {
+  FleetRunner runner(small_fleet(1, 1, /*chaos=*/false));
+  const HomeResult a = runner.run_home(0);
+  const HomeResult b = runner.run_home(0);
+  EXPECT_EQ(a.scalars, b.scalars);
+  EXPECT_EQ(a.inserts_acked, b.inserts_acked);
+  EXPECT_EQ(a.frames, b.frames);
+}
+
+/// The determinism view of a fleet result: everything except wall-clock and
+/// histogram data.
+struct FleetFingerprint {
+  std::map<std::string, double> totals;
+  std::vector<std::map<std::string, double>> per_home;
+  std::vector<bool> verdicts;
+  std::vector<std::uint64_t> seeds;
+  std::size_t homes_ok = 0;
+  std::uint64_t total_frames = 0;
+
+  bool operator==(const FleetFingerprint&) const = default;
+};
+
+FleetFingerprint fingerprint(const FleetResult& fleet) {
+  FleetFingerprint fp;
+  fp.totals = fleet.scalar_totals;
+  for (const auto& r : fleet.homes) {
+    fp.per_home.push_back(r.scalars);
+    fp.verdicts.push_back(r.ok());
+    fp.seeds.push_back(r.seed);
+  }
+  fp.homes_ok = fleet.homes_ok;
+  fp.total_frames = fleet.total_frames;
+  return fp;
+}
+
+TEST(FleetDeterminism, ThreadCountNeverChangesTheMergedTelemetry) {
+  const FleetFingerprint one =
+      fingerprint(FleetRunner(small_fleet(8, 1, false)).run());
+  const FleetFingerprint two =
+      fingerprint(FleetRunner(small_fleet(8, 2, false)).run());
+  const FleetFingerprint eight =
+      fingerprint(FleetRunner(small_fleet(8, 8, false)).run());
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+  EXPECT_EQ(one.per_home.size(), 8u);
+  EXPECT_EQ(one.homes_ok, 8u) << "a quiet fleet must fully converge";
+}
+
+TEST(FleetDeterminism, ChaosFleetIsDeterministicToo) {
+  // Distinct per-home fault plans, homes racing on up to 8 workers — the
+  // merged non-histogram telemetry and every per-home verdict must still be
+  // bit-identical across pool sizes.
+  const FleetResult first = FleetRunner(small_fleet(6, 1, true)).run();
+  const FleetResult second = FleetRunner(small_fleet(6, 2, true)).run();
+  const FleetResult third = FleetRunner(small_fleet(6, 8, true)).run();
+  EXPECT_EQ(fingerprint(first), fingerprint(second));
+  EXPECT_EQ(fingerprint(first), fingerprint(third));
+
+  // Chaos actually happened, and differently per home.
+  std::set<std::uint64_t> fault_mix;
+  for (const auto& r : first.homes) {
+    EXPECT_GT(r.faults.windows_started, 0u) << "home " << r.home_id;
+    EXPECT_EQ(r.faults.windows_started, r.faults.windows_ended);
+    EXPECT_EQ(r.faults.active, 0);
+    // Exactly-once hwdb delivery holds under datagram mangling.
+    EXPECT_TRUE(r.inserts_exactly_once) << "home " << r.home_id;
+    fault_mix.insert(r.faults.windows_started * 131 + r.faults.link_faults);
+  }
+  EXPECT_GT(fault_mix.size(), 1u) << "fault plans did not vary across homes";
+  // Recovery: the scripted faults all clear well before the end of the run,
+  // so every home must converge to bound leases and a live datapath.
+  EXPECT_EQ(first.homes_ok, first.homes.size());
+}
+
+TEST(FleetAggregation, TotalsAndSeriesAgreeWithPerHomeResults) {
+  const FleetResult fleet = FleetRunner(small_fleet(4, 2, false)).run();
+  ASSERT_EQ(fleet.homes.size(), 4u);
+  // Homes land sorted by id regardless of which worker finished first.
+  for (std::size_t i = 0; i < fleet.homes.size(); ++i) {
+    EXPECT_EQ(fleet.homes[i].home_id, i);
+  }
+  // Spot-check one series: the total is the per-home sum, the distribution
+  // brackets it.
+  const std::string series = "homework.dhcp.acks";
+  double sum = 0.0;
+  for (const auto& r : fleet.homes) sum += r.scalars.at(series);
+  EXPECT_DOUBLE_EQ(fleet.scalar_totals.at(series), sum);
+  const SeriesStat& stat = fleet.series.at(series);
+  EXPECT_EQ(stat.homes, 4u);
+  EXPECT_DOUBLE_EQ(stat.sum, sum);
+  EXPECT_LE(stat.min, stat.median);
+  EXPECT_LE(stat.median, stat.max);
+  // Histograms merged across homes (latency series exist and carry counts).
+  bool saw_histogram = false;
+  for (const auto& [name, h] : fleet.histograms) {
+    if (h.count > 0) saw_histogram = true;
+  }
+  EXPECT_TRUE(saw_histogram);
+}
+
+#ifndef NDEBUG
+using EventLoopOwnershipDeathTest = ::testing::Test;
+
+TEST(EventLoopOwnershipDeathTest, ForeignThreadScheduleAsserts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  sim::EventLoop loop;
+  loop.schedule_at(1, [] {});  // binds ownership to this thread
+  EXPECT_DEATH(
+      {
+        std::thread foreign([&] { loop.schedule_at(2, [] {}); });
+        foreign.join();
+      },
+      "does not own");
+}
+#endif
+
+}  // namespace
+}  // namespace hw::fleet

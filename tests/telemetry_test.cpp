@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 
 #include "telemetry/metrics.hpp"
 
@@ -138,6 +139,100 @@ TEST(Histogram, ScopedTimerRecordsOneObservation) {
   Histogram h("test.timer.latency_ns");
   { const ScopedTimer timer(h); }
   EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(ScopedRegistry, BareInstrumentsLandInTheActiveScope) {
+  MetricRegistry mine;
+  const std::size_t process_before = MetricRegistry::instance().instrument_count();
+  {
+    ScopedMetricRegistry scope(mine);
+    Counter c("test.scoped.counter");
+    c.inc(3);
+    EXPECT_EQ(mine.instrument_count(), 1u);
+    EXPECT_EQ(MetricRegistry::instance().instrument_count(), process_before);
+    EXPECT_EQ(mine.total("test.scoped.counter"), 3.0);
+    EXPECT_FALSE(
+        MetricRegistry::instance().total("test.scoped.counter").has_value());
+  }
+  // Scope gone: bare instruments fall back to the process registry.
+  Counter after("test.scoped.after");
+  EXPECT_FALSE(mine.total("test.scoped.after").has_value());
+  EXPECT_TRUE(
+      MetricRegistry::instance().total("test.scoped.after").has_value());
+}
+
+TEST(ScopedRegistry, ScopesNestAndRestore) {
+  MetricRegistry outer;
+  MetricRegistry inner;
+  ScopedMetricRegistry outer_scope(outer);
+  Counter a("test.nest.a");
+  {
+    ScopedMetricRegistry inner_scope(inner);
+    Counter b("test.nest.b");
+    EXPECT_EQ(inner.instrument_count(), 1u);
+    // The inner scope detaches b before the outer scope sees anything.
+  }
+  Counter c("test.nest.c");
+  EXPECT_EQ(outer.instrument_count(), 2u);  // a and c
+  EXPECT_EQ(inner.instrument_count(), 0u);
+}
+
+TEST(ScopedRegistry, ExplicitInjectionWinsOverTheScope) {
+  MetricRegistry scoped;
+  MetricRegistry injected;
+  ScopedMetricRegistry scope(scoped);
+  Counter c(injected, "test.inject.counter");
+  c.inc();
+  EXPECT_EQ(injected.total("test.inject.counter"), 1.0);
+  EXPECT_FALSE(scoped.total("test.inject.counter").has_value());
+}
+
+TEST(ScopedRegistry, DetachTargetsTheAttachRegistry) {
+  // An instrument destroyed under a *different* scope than it was created
+  // under must still deregister from where it attached.
+  MetricRegistry first;
+  MetricRegistry second;
+  auto c = [&] {
+    ScopedMetricRegistry scope(first);
+    return std::make_unique<Counter>("test.detach.counter");
+  }();
+  {
+    ScopedMetricRegistry scope(second);
+    c.reset();
+  }
+  EXPECT_EQ(first.instrument_count(), 0u);
+  EXPECT_EQ(second.instrument_count(), 0u);
+}
+
+TEST(ScopedRegistry, ScalarsExcludeHistogramSeries) {
+  MetricRegistry reg;
+  ScopedMetricRegistry scope(reg);
+  Counter c("test.scalars.counter");
+  Gauge g("test.scalars.gauge");
+  Histogram h("test.scalars.latency_ns");
+  c.inc(2);
+  g.set(-5);
+  h.record(100);
+  const auto scalars = reg.scalars();
+  EXPECT_EQ(scalars.size(), 2u);
+  EXPECT_DOUBLE_EQ(scalars.at("test.scalars.counter"), 2.0);
+  EXPECT_DOUBLE_EQ(scalars.at("test.scalars.gauge"), -5.0);
+}
+
+TEST(HistogramState, MergeIsBucketWise) {
+  MetricRegistry reg_a;
+  MetricRegistry reg_b;
+  Histogram a(reg_a, "test.hstate.latency_ns");
+  Histogram b(reg_b, "test.hstate.latency_ns");
+  for (int i = 0; i < 90; ++i) a.record(10);
+  for (int i = 0; i < 10; ++i) b.record(1000);
+  HistogramState merged = reg_a.histogram_states().at("test.hstate.latency_ns");
+  merged.merge(reg_b.histogram_states().at("test.hstate.latency_ns"));
+  EXPECT_EQ(merged.count, 100u);
+  EXPECT_EQ(merged.sum, 90u * 10u + 10u * 1000u);
+  EXPECT_EQ(merged.max, 1000u);
+  EXPECT_GE(merged.percentile(0.99), 512.0);
+  EXPECT_LE(merged.percentile(0.50), 16.0);
 }
 
 }  // namespace
