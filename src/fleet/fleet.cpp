@@ -1,23 +1,37 @@
 #include "fleet/fleet.hpp"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <memory>
 #include <set>
 #include <thread>
 
+#include "homework/router.hpp"
 #include "hwdb/udp_transport.hpp"
+#include "snapshot/codec.hpp"
 #include "util/rand.hpp"
 #include "workload/scenario.hpp"
 
 namespace hw::fleet {
 namespace {
 
+constexpr std::uint32_t kRngTag = snapshot::tag("RNGS");
+constexpr std::uint32_t kDriverTag = snapshot::tag("FDRV");
+
 double wall_ms_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now() - start)
       .count();
+}
+
+/// Smallest phase + k * period strictly after `now` — re-arms a restored
+/// home's periodic drivers on the same absolute tick grid the uninterrupted
+/// run uses.
+Timestamp next_phase_tick(Timestamp now, Duration period, Duration phase) {
+  if (now < phase) return phase;
+  return phase + ((now - phase) / period + 1) * period;
 }
 
 }  // namespace
@@ -68,12 +82,41 @@ sim::FaultPlan FleetRunner::chaos_plan(std::uint64_t seed, Duration duration) {
     push_if_fits({sim::FaultKind::DatapathRestart, 20 * kSecond, 0, "*", 0.0,
                   {}});
   }
+  // Another quarter crashes and comes back restoring the flow table from the
+  // last snapshot (a cold restart when no checkpoint has been captured).
+  if (splitmix64(s) % 4 == 1) {
+    push_if_fits({sim::FaultKind::CrashRestartRestore, 22 * kSecond, 0, "*",
+                  0.0, {}});
+  }
   return plan;
 }
 
 HomeResult FleetRunner::run_home(std::size_t home_id) const {
-  const auto wall_start = std::chrono::steady_clock::now();
   const std::uint64_t seed = home_seed(config_.seed, home_id);
+  const bool kill = config_.kill_home && *config_.kill_home == home_id &&
+                    config_.checkpoints && config_.kill_at > 0 &&
+                    config_.kill_at < config_.duration;
+  if (!kill) {
+    return run_life(home_id, seed, nullptr, config_.duration, nullptr);
+  }
+
+  // First life runs to the kill point, checkpointing periodically; the home
+  // is then torn down completely (worker "crash") and a second life resumes
+  // from the last captured image. A kill before the first checkpoint simply
+  // reruns the home from scratch.
+  std::optional<snapshot::SnapshotImage> checkpoint;
+  (void)run_life(home_id, seed, nullptr, config_.kill_at, &checkpoint);
+  if (!checkpoint) {
+    return run_life(home_id, seed, nullptr, config_.duration, nullptr);
+  }
+  return run_life(home_id, seed, &*checkpoint, config_.duration, nullptr);
+}
+
+HomeResult FleetRunner::run_life(
+    std::size_t home_id, std::uint64_t seed,
+    const snapshot::SnapshotImage* resume, Timestamp end_at,
+    std::optional<snapshot::SnapshotImage>* checkpoint_out) const {
+  const auto wall_start = std::chrono::steady_clock::now();
 
   // The home's own registry, installed for the home's entire lifetime so
   // every instrument — router subsystems, hosts, links, apps — lands in it.
@@ -86,6 +129,15 @@ HomeResult FleetRunner::run_home(std::size_t home_id) const {
   sc.router.liveness.probe_interval = kSecond;
   sc.router.liveness.max_misses = 2;
   sc.router.datapath.controller_dead_interval = 2 * kSecond;
+  if (resume != nullptr) {
+    // Start the loop one boot-settle before the capture instant: boot runs
+    // the clock to exactly captured_at, module timers arm on the same
+    // integer-second grid as the first life, and the restore below rewinds
+    // the state they produced while settling.
+    const Duration settle = homework::HomeworkRouter::kBootSettle;
+    sc.clock_origin =
+        resume->captured_at > settle ? resume->captured_at - settle : 0;
+  }
   workload::HomeScenario home(sc, registry);
   home.start();
 
@@ -139,8 +191,6 @@ HomeResult FleetRunner::run_home(std::size_t home_id) const {
                  if (resp.ok) acked.insert(seq);
                });
   });
-  home.loop().schedule_at(kSecond, [&] { inserter.start(); });
-
   sim::FaultInjector faults(home.loop());
   if (config_.chaos) {
     home.router().attach_faults(faults);
@@ -150,25 +200,118 @@ HomeResult FleetRunner::run_home(std::size_t home_id) const {
     for (auto& d : home.devices()) {
       faults.add_link(d.name, *d.attachment.link);
     }
-    faults.arm(chaos_plan(seed, config_.duration));
+    sim::FaultPlan plan = chaos_plan(seed, config_.duration);
+    if (resume != nullptr) {
+      // Windows that fully closed before the capture live on only through
+      // the restored state; windows still open (or future) re-begin at
+      // resume. Fault counters therefore drift from an uninterrupted run —
+      // chaos resume is behavioural, not bit-exact.
+      const Timestamp at = resume->captured_at;
+      std::erase_if(plan.windows, [at](const sim::FaultWindow& w) {
+        return w.start + w.duration <= at;
+      });
+    }
+    faults.arm(plan);
   }
 
-  home.start_dhcp_all();
+  // Checkpoint plumbing: the driver-side layers (scenario RNG stream, insert
+  // sequence counter) and the telemetry layer join the router's five state
+  // layers so an image carries everything a resumed life needs.
+  auto& snaps = home.router().snapshots();
+  snapshot::LambdaLayer rng_layer(
+      [&home](snapshot::Writer& w) {
+        ByteWriter& c = w.begin_chunk(kRngTag);
+        for (const std::uint64_t word : home.rng().state()) c.u64(word);
+        w.end_chunk();
+      },
+      [&home](const snapshot::Reader& r) -> Status {
+        const Bytes* chunk = r.find(kRngTag);
+        if (chunk == nullptr) return Status::success();
+        ByteReader br(*chunk);
+        std::array<std::uint64_t, 4> state{};
+        for (auto& word : state) {
+          auto v = br.u64();
+          if (!v) return v.error();
+          word = v.value();
+        }
+        home.rng().set_state(state);
+        return Status::success();
+      });
+  snapshot::LambdaLayer driver_layer(
+      [&next_seq](snapshot::Writer& w) {
+        w.begin_chunk(kDriverTag).u64(static_cast<std::uint64_t>(next_seq));
+        w.end_chunk();
+      },
+      [&next_seq](const snapshot::Reader& r) -> Status {
+        const Bytes* chunk = r.find(kDriverTag);
+        if (chunk == nullptr) return Status::success();
+        ByteReader br(*chunk);
+        auto v = br.u64();
+        if (!v) return v.error();
+        next_seq = static_cast<std::int64_t>(v.value());
+        return Status::success();
+      });
+  snapshot::TelemetryLayer tele_layer(registry);
+  const bool snapshotting = config_.checkpoints || resume != nullptr;
+  if (snapshotting) {
+    snaps.add_layer("rng", &rng_layer);
+    snaps.add_layer("fleet-driver", &driver_layer);
+  }
+
   // Chaos windows can exhaust a client's retry budget; periodically re-kick
   // any unbound device, exactly what a real DHCP client's INIT state does.
+  // Armed on the absolute x.5s grid so a resumed life's kicks line up with
+  // the uninterrupted run's.
   sim::PeriodicTimer rekick(home.loop(), 5 * kSecond, [&] {
     for (auto& d : home.devices()) {
       if (!d.host->ip()) d.host->start_dhcp();
     }
   });
-  rekick.start();
 
-  if (config_.run_apps) {
-    // Let leases bind first so the app mixes resolve and flow immediately.
-    (void)home.wait_all_bound(std::min<Duration>(10 * kSecond, config_.duration));
-    home.start_apps_all();
+  if (resume == nullptr) {
+    if (snapshotting) snaps.add_layer("telemetry", &tele_layer);
+    home.loop().schedule_at(kSecond, [&] { inserter.start(); });
+    home.start_dhcp_all();
+    rekick.start_at(5 * kSecond + 500 * kMillisecond);
+    if (config_.run_apps) {
+      // Let leases bind first so the app mixes resolve and flow immediately.
+      (void)home.wait_all_bound(
+          std::min<Duration>(10 * kSecond, config_.duration));
+      home.start_apps_all();
+    }
+  } else {
+    // Two-phase restore: state layers first, then — once apps and their
+    // instruments exist — the telemetry layer, so restored counters land on
+    // live series and erase the boot's own side effects.
+    const bool restored = snaps.restore(*resume).ok();
+    if (restored) {
+      home.adopt_restored_leases();
+      if (config_.run_apps) home.start_apps_all();
+      // Boot-era channel messages (the devices' PORT_STATUS announcements)
+      // are still in flight at the capture instant; drain them before the
+      // telemetry restore so their rx counts are erased along with the rest
+      // of the boot's side effects — the uninterrupted run counted them
+      // before the capture, so the restored TELE chunk already has them.
+      home.loop().run_for(kMillisecond);
+      snaps.add_layer("telemetry", &tele_layer);
+      (void)snaps.restore_layers(resume->bytes, {"telemetry"});
+    } else {
+      // Unrestorable image: behave like a fresh boot mid-timeline.
+      snaps.add_layer("telemetry", &tele_layer);
+      home.start_dhcp_all();
+      if (config_.run_apps) home.start_apps_all();
+    }
+    const Timestamp now = home.loop().now();
+    inserter.start_at(next_phase_tick(now, 500 * kMillisecond, 0));
+    rekick.start_at(next_phase_tick(now, 5 * kSecond, 500 * kMillisecond));
   }
-  home.loop().run_until(config_.duration);
+
+  if (config_.checkpoints) {
+    snaps.start_periodic_captures(config_.checkpoint_interval, {},
+                                  homework::HomeworkRouter::kBootSettle);
+  }
+
+  home.loop().run_until(end_at);
 
   // Harvest while everything is alive, still on this worker thread.
   result.scalars = registry.scalars();
@@ -195,6 +338,7 @@ HomeResult FleetRunner::run_home(std::size_t home_id) const {
   if (const auto frames = registry.total("sim.link.tx_frames")) {
     result.frames = static_cast<std::uint64_t>(*frames);
   }
+  if (checkpoint_out != nullptr) *checkpoint_out = snaps.last_image();
   result.wall_ms = wall_ms_since(wall_start);
   return result;
 }

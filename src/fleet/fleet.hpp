@@ -23,10 +23,12 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "sim/fault_injector.hpp"
+#include "snapshot/coordinator.hpp"
 #include "telemetry/metrics.hpp"
 #include "util/types.hpp"
 
@@ -47,6 +49,22 @@ struct FleetConfig {
   bool run_apps = true;
   /// Arm a per-home FaultPlan (windows and intensities derive from the seed).
   bool chaos = false;
+
+  /// Periodic whole-home checkpoints. Captures land at
+  /// k * checkpoint_interval + HomeworkRouter::kBootSettle — past the
+  /// integer-second module timer ticks, so no echo probe or RPC exchange
+  /// straddles the image.
+  bool checkpoints = false;
+  Duration checkpoint_interval = 5 * kSecond;
+
+  /// Kill this home's worker at kill_at (virtual time) and resume it from
+  /// its last periodic checkpoint. With apps and chaos off, the resumed
+  /// home's non-histogram telemetry at `duration` is bit-identical to an
+  /// uninterrupted run; apps re-arm their traffic timers from the resume
+  /// point and chaos plans drop already-finished windows, so either makes
+  /// the resume behavioural rather than bit-exact. Requires checkpoints.
+  std::optional<std::size_t> kill_home;
+  Timestamp kill_at = 0;
 };
 
 /// Everything harvested from one finished home, on the worker that ran it.
@@ -142,6 +160,16 @@ class FleetRunner {
   [[nodiscard]] FleetResult run() const;
 
  private:
+  /// One life of a home: fresh from t=0 when `resume` is null, or restored
+  /// from `resume` (loop origin = captured_at - kBootSettle, boot, restore,
+  /// re-arm phase-aligned driver timers). Runs to `end_at` and harvests.
+  /// When `checkpoint_out` is non-null the coordinator's last image (if any)
+  /// is copied out for the next life.
+  [[nodiscard]] HomeResult run_life(
+      std::size_t home_id, std::uint64_t seed,
+      const snapshot::SnapshotImage* resume, Timestamp end_at,
+      std::optional<snapshot::SnapshotImage>* checkpoint_out) const;
+
   FleetConfig config_;
 };
 

@@ -125,4 +125,93 @@ void DeviceRegistry::emit(RegistryEvent e, const DeviceRecord& rec) {
   for (const auto& listener : listeners_) listener(e, rec);
 }
 
+namespace {
+constexpr std::uint32_t kRegistryTag = snapshot::tag("DREG");
+}  // namespace
+
+void DeviceRegistry::save(snapshot::Writer& w) const {
+  ByteWriter& c = w.begin_chunk(kRegistryTag);
+  c.u8(static_cast<std::uint8_t>(default_));
+  c.u32(static_cast<std::uint32_t>(devices_.size()));
+  for (const auto& [mac, rec] : devices_) {
+    snapshot::put_mac(c, mac);
+    c.u8(static_cast<std::uint8_t>(rec.state));
+    snapshot::put_string(c, rec.name);
+    snapshot::put_string(c, rec.hostname);
+    c.u8(rec.lease.has_value() ? 1 : 0);
+    if (rec.lease) {
+      snapshot::put_ip(c, rec.lease->ip);
+      c.u64(rec.lease->granted_at);
+      c.u64(rec.lease->expires_at);
+      snapshot::put_string(c, rec.lease->hostname);
+    }
+    c.u8(rec.port.has_value() ? 1 : 0);
+    if (rec.port) c.u16(*rec.port);
+    c.u64(rec.first_seen);
+    c.u64(rec.last_seen);
+    c.u64(rec.dhcp_requests);
+  }
+  w.end_chunk();
+}
+
+Status DeviceRegistry::restore(const snapshot::Reader& r) {
+  const Bytes* chunk = r.find(kRegistryTag);
+  if (chunk == nullptr) return Status::success();
+  ByteReader br(*chunk);
+  auto def = br.u8();
+  auto count = br.u32();
+  if (!def || !count) return make_error("registry snapshot: truncated header");
+  std::map<MacAddress, DeviceRecord> devices;
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    DeviceRecord rec;
+    auto mac = snapshot::get_mac(br);
+    auto state = br.u8();
+    auto name = snapshot::get_string(br);
+    auto hostname = snapshot::get_string(br);
+    auto has_lease = br.u8();
+    if (!mac || !state || !name || !hostname || !has_lease) {
+      return make_error("registry snapshot: truncated record");
+    }
+    rec.mac = mac.value();
+    rec.state = static_cast<DeviceState>(state.value());
+    rec.name = std::move(name).take();
+    rec.hostname = std::move(hostname).take();
+    if (has_lease.value() != 0) {
+      Lease lease;
+      auto ip = snapshot::get_ip(br);
+      auto granted = br.u64();
+      auto expires = br.u64();
+      auto lease_host = snapshot::get_string(br);
+      if (!ip || !granted || !expires || !lease_host) {
+        return make_error("registry snapshot: truncated lease");
+      }
+      lease.ip = ip.value();
+      lease.granted_at = granted.value();
+      lease.expires_at = expires.value();
+      lease.hostname = std::move(lease_host).take();
+      rec.lease = std::move(lease);
+    }
+    auto has_port = br.u8();
+    if (!has_port) return has_port.error();
+    if (has_port.value() != 0) {
+      auto port = br.u16();
+      if (!port) return port.error();
+      rec.port = port.value();
+    }
+    auto first_seen = br.u64();
+    auto last_seen = br.u64();
+    auto dhcp_requests = br.u64();
+    if (!first_seen || !last_seen || !dhcp_requests) {
+      return make_error("registry snapshot: truncated timestamps");
+    }
+    rec.first_seen = first_seen.value();
+    rec.last_seen = last_seen.value();
+    rec.dhcp_requests = dhcp_requests.value();
+    devices.emplace(rec.mac, std::move(rec));
+  }
+  default_ = static_cast<AdmissionDefault>(def.value());
+  devices_ = std::move(devices);
+  return Status::success();
+}
+
 }  // namespace hw::homework

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "snapshot/snapshottable.hpp"
 #include "util/addr.hpp"
 #include "util/types.hpp"
 
@@ -58,7 +59,7 @@ enum class RegistryEvent {
 
 const char* to_string(RegistryEvent e);
 
-class DeviceRegistry {
+class DeviceRegistry final : public snapshot::Snapshottable {
  public:
   using Listener =
       std::function<void(RegistryEvent, const DeviceRecord&)>;
@@ -96,6 +97,13 @@ class DeviceRegistry {
 
   [[nodiscard]] AdmissionDefault admission_default() const { return default_; }
   void set_admission_default(AdmissionDefault def) { default_ = def; }
+
+  // -- Snapshottable ('DREG' chunk) -------------------------------------------
+  // Captures every device record, including admission state, metadata, lease
+  // and learned port. Restore replaces the record map directly — listeners
+  // stay registered but no Registry events fire.
+  void save(snapshot::Writer& w) const override;
+  Status restore(const snapshot::Reader& r) override;
 
  private:
   void emit(RegistryEvent e, const DeviceRecord& rec);

@@ -224,4 +224,46 @@ void DhcpServer::sweep_expiry() {
   }
 }
 
+namespace {
+constexpr std::uint32_t kDhcpTag = snapshot::tag("DHCP");
+}  // namespace
+
+void DhcpServer::save(snapshot::Writer& w) const {
+  ByteWriter& c = w.begin_chunk(kDhcpTag);
+  c.u32(static_cast<std::uint32_t>(allocations_.size()));
+  for (const auto& [mac, ip] : allocations_) {
+    snapshot::put_mac(c, mac);
+    snapshot::put_ip(c, ip);
+  }
+  c.u32(static_cast<std::uint32_t>(declined_.size()));
+  for (const Ipv4Address ip : declined_) snapshot::put_ip(c, ip);
+  w.end_chunk();
+}
+
+Status DhcpServer::restore(const snapshot::Reader& r) {
+  const Bytes* chunk = r.find(kDhcpTag);
+  if (chunk == nullptr) return Status::success();
+  ByteReader br(*chunk);
+  auto nalloc = br.u32();
+  if (!nalloc) return nalloc.error();
+  std::map<MacAddress, Ipv4Address> allocations;
+  for (std::uint32_t i = 0; i < nalloc.value(); ++i) {
+    auto mac = snapshot::get_mac(br);
+    auto ip = snapshot::get_ip(br);
+    if (!mac || !ip) return make_error("dhcp snapshot: truncated allocation");
+    allocations.emplace(mac.value(), ip.value());
+  }
+  auto ndeclined = br.u32();
+  if (!ndeclined) return ndeclined.error();
+  std::set<Ipv4Address> declined;
+  for (std::uint32_t i = 0; i < ndeclined.value(); ++i) {
+    auto ip = snapshot::get_ip(br);
+    if (!ip) return make_error("dhcp snapshot: truncated declined set");
+    declined.insert(ip.value());
+  }
+  allocations_ = std::move(allocations);
+  declined_ = std::move(declined);
+  return Status::success();
+}
+
 }  // namespace hw::homework

@@ -14,6 +14,7 @@
 #include "net/dhcp.hpp"
 #include "nox/component.hpp"
 #include "nox/controller.hpp"
+#include "snapshot/snapshottable.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace hw::homework {
@@ -35,7 +36,7 @@ struct DhcpServerStats {
   std::uint64_t retransmits = 0;
 };
 
-class DhcpServer final : public nox::Component {
+class DhcpServer final : public nox::Component, public snapshot::Snapshottable {
  public:
   struct Config {
     Ipv4Address server_ip{192, 168, 1, 1};
@@ -77,6 +78,12 @@ class DhcpServer final : public nox::Component {
   [[nodiscard]] std::optional<Ipv4Address> allocation(MacAddress mac) const;
   /// Runs one lease-expiry sweep immediately (normally timer-driven).
   void sweep_expiry();
+
+  // -- Snapshottable ('DHCP' chunk) -------------------------------------------
+  // Captures the allocation map and the declined-address set; lease expiry
+  // deadlines live in DeviceRegistry records and are restored there.
+  void save(snapshot::Writer& w) const override;
+  Status restore(const snapshot::Reader& r) override;
 
  private:
   void process(nox::DatapathId dpid, std::uint16_t in_port,

@@ -43,7 +43,11 @@ class HomeworkRouter::TraceShim final : public sim::FrameSink {
 
 HomeworkRouter::HomeworkRouter(sim::EventLoop& loop, Rng& rng, Config config,
                                telemetry::MetricRegistry& metrics)
-    : loop_(loop), rng_(rng), config_(config), metrics_(metrics) {
+    : loop_(loop),
+      rng_(rng),
+      config_(config),
+      metrics_(metrics),
+      uplink_trace_(config_.uplink_trace_max) {
   // Leaf modules (DHCP, DNS, wireless, …) carry bare instruments; scope them
   // to this router's registry for the whole build.
   telemetry::ScopedMetricRegistry scope(metrics_);
@@ -144,6 +148,15 @@ HomeworkRouter::HomeworkRouter(sim::EventLoop& loop, Rng& rng, Config config,
     from_upstream = trace_shims_.back().get();
   }
   upstream_->connect(from_upstream);
+
+  // Checkpoint/restore: the router's durable state layers, in the order a
+  // restore must rebuild them. Callers append RNG/telemetry layers.
+  snapshots_ = std::make_unique<snapshot::SnapshotCoordinator>(loop_, metrics_);
+  snapshots_->add_layer("flow-table", &datapath_->table());
+  snapshots_->add_layer("hwdb", db_.get());
+  snapshots_->add_layer("dhcp", dhcp_);
+  snapshots_->add_layer("registry", registry_.get());
+  snapshots_->add_layer("policy", policy_.get());
 }
 
 HomeworkRouter::~HomeworkRouter() = default;
@@ -154,7 +167,7 @@ void HomeworkRouter::start() {
   datapath_->connect(connection_->datapath_end());
   controller_->connect_datapath(connection_->controller_end());
   // Let HELLO/FEATURES and the modules' table setup settle.
-  loop_.run_for(10 * kMillisecond);
+  loop_.run_for(kBootSettle);
   started_ = true;
 }
 
@@ -199,10 +212,18 @@ void HomeworkRouter::move_device(MacAddress mac, sim::Position position) {
   wireless_->place_station(mac, position);
 }
 
+Status HomeworkRouter::warm_restart() {
+  datapath_->restart();
+  const auto& image = snapshots_->last_image();
+  if (!image) return Status::success();  // nothing captured yet: cold restart
+  return snapshots_->restore_layers(image->bytes, {"flow-table"});
+}
+
 void HomeworkRouter::attach_faults(sim::FaultInjector& faults) {
   faults.set_controller_channel([this] { connection_->disconnect(); },
                                 [this] { connection_->reconnect(); });
   faults.set_datapath_restart([this] { datapath_->restart(); });
+  faults.set_warm_restart([this] { (void)warm_restart(); });
 }
 
 }  // namespace hw::homework

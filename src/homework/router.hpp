@@ -28,12 +28,22 @@
 #include "sim/fault_injector.hpp"
 #include "sim/host.hpp"
 #include "sim/trace.hpp"
+#include "snapshot/coordinator.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace hw::homework {
 
 class HomeworkRouter {
  public:
+  /// How long start() runs the loop to let the OpenFlow handshake and module
+  /// table setup settle. Also the canonical snapshot phase offset: periodic
+  /// captures taken at k * interval + kBootSettle land after the
+  /// integer-second module timer cascades (liveness echo, hwdb RPC acks)
+  /// have drained, so a resumed home whose loop originates at
+  /// captured_at - kBootSettle reaches the capture instant exactly at the
+  /// end of its own boot settle.
+  static constexpr Duration kBootSettle = 10 * kMillisecond;
+
   struct Config {
     Ipv4Address router_ip{192, 168, 1, 1};
     Ipv4Subnet subnet{Ipv4Address{192, 168, 1, 0}, 24};
@@ -57,6 +67,9 @@ class HomeworkRouter {
     /// Records every frame crossing the uplink into uplink_trace(), from
     /// which sim::write_pcap produces a tcpdump-compatible capture.
     bool capture_uplink = false;
+    /// Ring cap on the uplink trace (0 = unbounded); dropped frames are
+    /// counted in Trace::dropped().
+    std::size_t uplink_trace_max = 0;
   };
 
   /// `metrics` is the registry every instrument of this router — subsystems
@@ -115,6 +128,18 @@ class HomeworkRouter {
   /// config.capture_uplink was set.
   [[nodiscard]] sim::Trace& uplink_trace() { return uplink_trace_; }
 
+  /// Checkpoint/restore coordinator with the router's five state layers
+  /// pre-registered ("flow-table", "hwdb", "dhcp", "registry", "policy").
+  /// Callers append their own layers (RNG streams, telemetry — telemetry
+  /// last) before capturing or restoring.
+  [[nodiscard]] snapshot::SnapshotCoordinator& snapshots() { return *snapshots_; }
+
+  /// Restarts the datapath and restores its flow table from the last
+  /// captured snapshot instead of cold-wiping; falls back to a cold restart
+  /// when no snapshot exists. The controller's liveness resync still replays
+  /// module flow setup afterwards — those flow-mods are idempotent.
+  Status warm_restart();
+
   /// Registers the router's fault surfaces with a chaos injector: the
   /// controller secure channel (ControllerOutage severs/restores it) and the
   /// datapath (DatapathRestart cold-boots it). Device links are registered
@@ -150,6 +175,7 @@ class HomeworkRouter {
   ControlApi* control_api_ = nullptr;
   nox::LivenessMonitor* liveness_ = nullptr;
 
+  std::unique_ptr<snapshot::SnapshotCoordinator> snapshots_;
   std::vector<std::unique_ptr<sim::DuplexLink>> links_;
   std::vector<std::unique_ptr<WirelessIngress>> wireless_shims_;
   sim::Trace uplink_trace_;

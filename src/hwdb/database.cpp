@@ -1,5 +1,8 @@
 #include "hwdb/database.hpp"
 
+#include <algorithm>
+#include <bit>
+
 #include "util/logging.hpp"
 
 namespace hw::hwdb {
@@ -120,6 +123,168 @@ void Database::fire(Subscription& sub) {
   }
   metrics_.subscription_fires.inc();
   sub.cb(sub.id, result.value());
+}
+
+namespace {
+
+constexpr std::uint32_t kTableTag = snapshot::tag("HTBL");
+constexpr std::uint32_t kMetaTag = snapshot::tag("HMET");
+
+void put_value(ByteWriter& w, const Value& v) {
+  w.u8(static_cast<std::uint8_t>(v.type()));
+  switch (v.type()) {
+    case ColumnType::Int:
+      w.u64(static_cast<std::uint64_t>(v.as_int()));
+      break;
+    case ColumnType::Real:
+      w.u64(std::bit_cast<std::uint64_t>(v.as_real()));
+      break;
+    case ColumnType::Text:
+      snapshot::put_string(w, v.as_text());
+      break;
+    case ColumnType::Ts:
+      w.u64(v.as_ts());
+      break;
+  }
+}
+
+Result<Value> get_value(ByteReader& r) {
+  auto type = r.u8();
+  if (!type) return type.error();
+  switch (static_cast<ColumnType>(type.value())) {
+    case ColumnType::Int: {
+      auto v = r.u64();
+      if (!v) return v.error();
+      return Value{static_cast<std::int64_t>(v.value())};
+    }
+    case ColumnType::Real: {
+      auto v = r.u64();
+      if (!v) return v.error();
+      return Value{std::bit_cast<double>(v.value())};
+    }
+    case ColumnType::Text: {
+      auto s = snapshot::get_string(r);
+      if (!s) return s.error();
+      return Value{std::move(s).take()};
+    }
+    case ColumnType::Ts: {
+      auto v = r.u64();
+      if (!v) return v.error();
+      return Value::ts(v.value());
+    }
+  }
+  return make_error("hwdb snapshot: unknown value type");
+}
+
+}  // namespace
+
+void Database::save(snapshot::Writer& w) const {
+  // tables_ is an ordered map, so the chunk sequence is deterministic.
+  for (const auto& [name, table] : tables_) {
+    ByteWriter& c = w.begin_chunk(kTableTag);
+    snapshot::put_string(c, name);
+    c.u64(table->capacity());
+    c.u64(table->inserted());
+    c.u64(table->evicted());
+    const auto& columns = table->schema().columns();
+    c.u32(static_cast<std::uint32_t>(columns.size()));
+    for (const auto& col : columns) {
+      snapshot::put_string(c, col.name);
+      c.u8(static_cast<std::uint8_t>(col.type));
+    }
+    c.u32(static_cast<std::uint32_t>(table->size()));
+    table->rows().for_each([&](const Row& row) {
+      c.u64(row.ts);
+      for (const Value& v : row.values) put_value(c, v);
+      return true;
+    });
+    w.end_chunk();
+  }
+  ByteWriter& meta = w.begin_chunk(kMetaTag);
+  meta.u64(next_sub_id_);
+  w.end_chunk();
+}
+
+Status Database::restore(const snapshot::Reader& r) {
+  for (const Bytes* chunk : r.find_all(kTableTag)) {
+    ByteReader br(*chunk);
+    auto name = snapshot::get_string(br);
+    if (!name) return name.error();
+    auto capacity = br.u64();
+    auto inserted = br.u64();
+    auto evicted = br.u64();
+    auto ncols = br.u32();
+    if (!capacity || !inserted || !evicted || !ncols) {
+      return make_error("hwdb snapshot: truncated table header");
+    }
+    std::vector<ColumnDef> columns;
+    columns.reserve(ncols.value());
+    for (std::uint32_t i = 0; i < ncols.value(); ++i) {
+      auto col_name = snapshot::get_string(br);
+      auto col_type = br.u8();
+      if (!col_name || !col_type) {
+        return make_error("hwdb snapshot: truncated column defs");
+      }
+      columns.push_back(ColumnDef{std::move(col_name).take(),
+                                  static_cast<ColumnType>(col_type.value())});
+    }
+    auto nrows = br.u32();
+    if (!nrows) return nrows.error();
+    std::vector<Row> rows;
+    rows.reserve(nrows.value());
+    for (std::uint32_t i = 0; i < nrows.value(); ++i) {
+      Row row;
+      auto ts = br.u64();
+      if (!ts) return ts.error();
+      row.ts = ts.value();
+      row.values.reserve(columns.size());
+      for (std::size_t col = 0; col < columns.size(); ++col) {
+        auto v = get_value(br);
+        if (!v) return v.error();
+        row.values.push_back(std::move(v).take());
+      }
+      rows.push_back(std::move(row));
+    }
+
+    Table* t = table(name.value());
+    if (t == nullptr) {
+      // A table this home has not (yet) created: materialize it.
+      if (auto s = create_table(Schema(name.value(), columns),
+                                capacity.value());
+          !s.ok()) {
+        return s;
+      }
+      t = table(name.value());
+    } else {
+      if (t->capacity() != capacity.value() ||
+          t->schema().columns().size() != columns.size()) {
+        return Status::failure("hwdb snapshot: schema mismatch for table " +
+                               name.value());
+      }
+      for (std::size_t i = 0; i < columns.size(); ++i) {
+        if (t->schema().columns()[i].name != columns[i].name ||
+            t->schema().columns()[i].type != columns[i].type) {
+          return Status::failure("hwdb snapshot: schema mismatch for table " +
+                                 name.value());
+        }
+      }
+    }
+    if (auto s = t->restore_rows(std::move(rows), inserted.value(),
+                                 evicted.value());
+        !s.ok()) {
+      return s;
+    }
+  }
+  if (const Bytes* meta = r.find(kMetaTag); meta != nullptr) {
+    ByteReader br(*meta);
+    auto next_id = br.u64();
+    if (!next_id) return next_id.error();
+    // Live subscriptions keep their ids; only make sure new ones never
+    // collide with ids the captured home had handed out.
+    next_sub_id_ = std::max(next_sub_id_, next_id.value());
+  }
+  metrics_.tables.set(static_cast<std::int64_t>(tables_.size()));
+  return Status::success();
 }
 
 }  // namespace hw::hwdb

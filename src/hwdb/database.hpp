@@ -14,6 +14,7 @@
 #include "hwdb/executor.hpp"
 #include "hwdb/table.hpp"
 #include "sim/event_loop.hpp"
+#include "snapshot/snapshottable.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace hw::hwdb {
@@ -35,7 +36,7 @@ struct DatabaseStats {
   std::uint64_t insert_errors = 0;
 };
 
-class Database {
+class Database final : public snapshot::Snapshottable {
  public:
   /// `metrics` scopes the database's instruments; defaults to the calling
   /// thread's active registry so each fleet home measures itself.
@@ -43,9 +44,18 @@ class Database {
                     telemetry::MetricRegistry& metrics =
                         telemetry::MetricRegistry::current())
       : loop_(loop), metrics_(metrics) {}
-  ~Database() = default;
+  ~Database() override = default;
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
+
+  // -- Snapshottable (one 'HTBL' chunk per table + 'HMET' metadata) -----------
+  // Captures every table's schema, ring contents and lifetime counters, plus
+  // the next subscription id. Restore refills the rings directly — no
+  // subscription fires, no insert telemetry, no re-stamping with now() —
+  // and leaves live subscriptions registered: owners re-register on a fresh
+  // home, a warm restart keeps them.
+  void save(snapshot::Writer& w) const override;
+  Status restore(const snapshot::Reader& r) override;
 
   /// Creates a table with a fixed-capacity ring buffer. Fails if the name is
   /// taken.

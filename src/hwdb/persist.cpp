@@ -32,45 +32,71 @@ Result<std::size_t> dump_table_tsv(const Table& table, const std::string& path) 
 Result<std::size_t> load_table_tsv(Table& table, const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "r");
   if (f == nullptr) return make_error("cannot open " + path);
-  std::size_t rows = 0;
-  char line[4096];
+
+  // Two-phase load: parse and validate the whole file into a staging buffer
+  // first, insert only once everything checked out. A malformed file —
+  // truncated mid-line, wrong column count, timestamps running backwards —
+  // therefore never partially mutates the table.
+  struct StagedRow {
+    Timestamp ts = 0;
+    std::vector<Value> values;
+  };
+  std::vector<StagedRow> staged;
+  std::string line;
   int lineno = 0;
-  while (std::fgets(line, sizeof line, f) != nullptr) {
+  Timestamp prev_ts = 0;
+  bool have_prev = false;
+  const auto fail = [&](const std::string& what) {
+    std::fclose(f);
+    return make_error(path + ":" + std::to_string(lineno) + ": " + what);
+  };
+  for (;;) {
+    line.clear();
+    int c = 0;
+    while ((c = std::fgetc(f)) != EOF && c != '\n') {
+      line.push_back(static_cast<char>(c));
+    }
+    if (c == EOF) {
+      // dump_table_tsv terminates every line, header included. Data with no
+      // final newline is a torn write, not a last line.
+      if (!line.empty()) return fail("truncated file (no trailing newline)");
+      break;
+    }
     ++lineno;
-    std::string_view text = trim(line);
+    const std::string_view text = trim(line);
     if (text.empty() || text[0] == '#') continue;
     const auto fields = split(text, '\t');
     if (fields.size() != table.schema().width() + 1) {
-      std::fclose(f);
-      return make_error(path + ":" + std::to_string(lineno) +
-                        ": expected " +
-                        std::to_string(table.schema().width() + 1) + " fields");
+      return fail("expected " + std::to_string(table.schema().width() + 1) +
+                  " fields, got " + std::to_string(fields.size()));
     }
     auto ts = Value::from_string(ColumnType::Ts, fields[0]);
-    if (!ts) {
-      std::fclose(f);
-      return make_error(path + ":" + std::to_string(lineno) + ": bad ts");
+    if (!ts) return fail("bad ts");
+    const Timestamp row_ts = ts.value().as_ts();
+    if (have_prev && row_ts < prev_ts) {
+      return fail("non-monotonic timestamp");
     }
-    std::vector<Value> values;
-    values.reserve(fields.size() - 1);
+    prev_ts = row_ts;
+    have_prev = true;
+    StagedRow row;
+    row.ts = row_ts;
+    row.values.reserve(fields.size() - 1);
     for (std::size_t i = 1; i < fields.size(); ++i) {
       auto v = Value::from_string(table.schema().columns()[i - 1].type,
                                   fields[i]);
-      if (!v) {
-        std::fclose(f);
-        return make_error(path + ":" + std::to_string(lineno) + ": " +
-                          v.error().message);
-      }
-      values.push_back(std::move(v).take());
+      if (!v) return fail(v.error().message);
+      row.values.push_back(std::move(v).take());
     }
-    if (auto s = table.insert(ts.value().as_ts(), std::move(values)); !s.ok()) {
-      std::fclose(f);
-      return s.error();
-    }
-    ++rows;
+    staged.push_back(std::move(row));
   }
   std::fclose(f);
-  return rows;
+
+  for (auto& row : staged) {
+    if (auto s = table.insert(row.ts, std::move(row.values)); !s.ok()) {
+      return s.error();
+    }
+  }
+  return staged.size();
 }
 
 PersistSink::PersistSink(Database& db, std::string query_text,

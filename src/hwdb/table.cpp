@@ -40,4 +40,19 @@ Status Table::insert(Timestamp now, std::vector<Value> values) {
   return {};
 }
 
+Status Table::restore_rows(std::vector<Row> rows, std::uint64_t inserted,
+                           std::uint64_t evicted) {
+  for (const Row& row : rows) {
+    if (row.values.size() != schema_.width()) {
+      return Status::failure("restore into " + schema_.name() +
+                             ": row width mismatch");
+    }
+  }
+  rows_.clear();
+  for (Row& row : rows) rows_.push(std::move(row));
+  inserted_ = inserted;
+  rows_.restore_evicted(evicted);
+  return {};
+}
+
 }  // namespace hw::hwdb

@@ -64,6 +64,12 @@ class Table {
 
   void clear() { rows_.clear(); }
 
+  /// Snapshot restore: replaces the ring contents with `rows` (validated,
+  /// oldest first) and overwrites the inserted/evicted lifetime counters the
+  /// captured table reported. Fails — table untouched — on arity mismatch.
+  Status restore_rows(std::vector<Row> rows, std::uint64_t inserted,
+                      std::uint64_t evicted);
+
  private:
   Schema schema_;
   RingBuffer<Row> rows_;

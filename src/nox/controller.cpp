@@ -168,6 +168,19 @@ void Controller::handle_message(Connection& conn, const Bytes& encoded) {
         } else if constexpr (std::is_same_v<T, ofp::StatsReply>) {
           auto it = pending_stats_.find(xid);
           if (it != pending_stats_.end()) {
+            // Paginated replies (OFPSF_REPLY_MORE) accumulate until the
+            // final fragment; the callback sees one merged reply.
+            if (auto* flows =
+                    std::get_if<std::vector<ofp::FlowStatsEntry>>(&m.body)) {
+              auto& partial = partial_stats_[xid];
+              partial.insert(partial.end(),
+                             std::make_move_iterator(flows->begin()),
+                             std::make_move_iterator(flows->end()));
+              if ((m.flags & ofp::kStatsReplyMore) != 0) return;
+              m.body = std::move(partial);
+              m.flags = 0;
+              partial_stats_.erase(xid);
+            }
             auto cb = std::move(it->second);
             pending_stats_.erase(it);
             cb(m);

@@ -128,6 +128,9 @@ class Controller {
   bool started_ = false;
   std::vector<std::unique_ptr<Connection>> connections_;
   std::map<std::uint32_t, StatsCallback> pending_stats_;
+  // Flow-stats fragments (OFPSF_REPLY_MORE) accumulating per xid until the
+  // final fragment releases the merged reply to the callback.
+  std::map<std::uint32_t, std::vector<ofp::FlowStatsEntry>> partial_stats_;
   std::map<std::uint32_t, std::function<void()>> pending_echo_;
   std::map<std::uint32_t, std::function<void()>> pending_barrier_;
   std::function<void(DatapathId)> on_resynced_;

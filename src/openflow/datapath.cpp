@@ -487,7 +487,13 @@ void Datapath::handle_stats_request(const StatsRequest& req, std::uint32_t xid) 
       const Match match = filter != nullptr ? filter->match : Match::any();
       const std::uint16_t out_port =
           filter != nullptr ? filter->out_port : port_no(Port::None);
-      std::vector<FlowStatsEntry> entries;
+      // The u16 length in the OF 1.0 header caps a frame at 64 KiB; a large
+      // table's reply paginates with OFPSF_REPLY_MORE, as the spec
+      // prescribes. The budget stays well under the cap so action lists
+      // never push a fragment over.
+      constexpr std::size_t kFragmentBudget = 32 * 1024;
+      std::vector<FlowStatsEntry> batch;
+      std::size_t batch_bytes = 0;
       for (const FlowEntry* e : table_.query(match, out_port)) {
         FlowStatsEntry fs;
         fs.match = e->match;
@@ -502,9 +508,20 @@ void Datapath::handle_stats_request(const StatsRequest& req, std::uint32_t xid) 
         fs.packet_count = e->packet_count;
         fs.byte_count = e->byte_count;
         fs.actions = e->actions;
-        entries.push_back(std::move(fs));
+        const std::size_t wire = 88 + 16 * fs.actions.size();
+        if (!batch.empty() && batch_bytes + wire > kFragmentBudget) {
+          StatsReply fragment;
+          fragment.type = StatsType::Flow;
+          fragment.flags = kStatsReplyMore;
+          fragment.body = std::move(batch);
+          send_to_controller(std::move(fragment), xid);
+          batch.clear();
+          batch_bytes = 0;
+        }
+        batch_bytes += wire;
+        batch.push_back(std::move(fs));
       }
-      reply.body = std::move(entries);
+      reply.body = std::move(batch);
       break;
     }
     case StatsType::Aggregate: {

@@ -326,4 +326,113 @@ void FlowTable::for_each(const std::function<void(const FlowEntry&)>& fn) const 
   for (const FlowEntry* e : query(Match::any())) fn(*e);
 }
 
+namespace {
+constexpr std::uint32_t kFlowTableTag = snapshot::tag("FTBL");
+}  // namespace
+
+void FlowTable::save(snapshot::Writer& w) const {
+  // Collect and order by insertion seq: bucket iteration order is hash-map
+  // dependent, the seq order is not.
+  std::vector<const FlowEntry*> entries;
+  entries.reserve(size_);
+  for (const auto& sub : subtables_) {
+    for (const auto& [key, bucket] : sub->buckets) {
+      for (const FlowEntry& e : bucket) entries.push_back(&e);
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const FlowEntry* a, const FlowEntry* b) { return a->seq < b->seq; });
+
+  ByteWriter& c = w.begin_chunk(kFlowTableTag);
+  c.u64(next_seq_);
+  c.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const FlowEntry* e : entries) {
+    e->match.serialize(c);
+    c.u16(e->priority);
+    c.u64(e->cookie);
+    c.u16(e->idle_timeout);
+    c.u16(e->hard_timeout);
+    c.u8(e->send_flow_removed ? 1 : 0);
+    c.u64(e->install_time);
+    c.u64(e->last_used);
+    c.u64(e->packet_count);
+    c.u64(e->byte_count);
+    c.u64(e->seq);
+    ByteWriter actions;
+    serialize_actions(actions, e->actions);
+    c.u16(static_cast<std::uint16_t>(actions.size()));
+    c.raw(actions.bytes());
+  }
+  w.end_chunk();
+}
+
+void FlowTable::insert_restored(FlowEntry e) {
+  Subtable* sub = subtable_for(e.match.wildcards);
+  if (sub == nullptr) sub = &create_subtable(e.match.wildcards);
+  const FlowKey key = FlowKey::from_match(e.match);
+  auto& bucket = sub->buckets[hw::ofp::apply(sub->mask, key)];
+  const auto pos = std::upper_bound(
+      bucket.begin(), bucket.end(), e.priority,
+      [](std::uint16_t p, const FlowEntry& x) { return p > x.priority; });
+  sub->max_priority = std::max(sub->max_priority, e.priority);
+  bucket.insert(pos, std::move(e));
+  ++sub->n_entries;
+  ++size_;
+}
+
+Status FlowTable::restore(const snapshot::Reader& r) {
+  const Bytes* chunk = r.find(kFlowTableTag);
+  if (chunk == nullptr) return Status::success();
+  ByteReader br(*chunk);
+  auto next_seq = br.u64();
+  auto count = br.u32();
+  if (!next_seq || !count) return make_error("flow-table chunk truncated");
+  if (count.value() > capacity_) {
+    return make_error("flow-table snapshot exceeds table capacity");
+  }
+
+  clear();
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    FlowEntry e;
+    auto match = Match::parse(br);
+    if (!match) return match.error();
+    e.match = match.value();
+    auto priority = br.u16();
+    auto cookie = br.u64();
+    auto idle = br.u16();
+    auto hard = br.u16();
+    auto send_removed = br.u8();
+    auto install_time = br.u64();
+    auto last_used = br.u64();
+    auto packets = br.u64();
+    auto bytes = br.u64();
+    auto seq = br.u64();
+    auto actions_len = br.u16();
+    if (!priority || !cookie || !idle || !hard || !send_removed ||
+        !install_time || !last_used || !packets || !bytes || !seq ||
+        !actions_len) {
+      return make_error("flow-table entry truncated");
+    }
+    auto actions = parse_actions(br, actions_len.value());
+    if (!actions) return actions.error();
+    e.priority = priority.value();
+    e.cookie = cookie.value();
+    e.idle_timeout = idle.value();
+    e.hard_timeout = hard.value();
+    e.send_flow_removed = send_removed.value() != 0;
+    e.install_time = install_time.value();
+    e.last_used = last_used.value();
+    e.packet_count = packets.value();
+    e.byte_count = bytes.value();
+    e.seq = seq.value();
+    e.actions = std::move(actions).take();
+    insert_restored(std::move(e));
+  }
+  next_seq_ = next_seq.value();
+  sort_subtables();
+  metrics_.entries.set(static_cast<std::int64_t>(size_));
+  bump_generation();
+  return Status::success();
+}
+
 }  // namespace hw::ofp

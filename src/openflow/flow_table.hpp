@@ -18,6 +18,7 @@
 #include "openflow/flow_key.hpp"
 #include "openflow/match.hpp"
 #include "openflow/messages.hpp"
+#include "snapshot/snapshottable.hpp"
 #include "telemetry/metrics.hpp"
 #include "util/types.hpp"
 
@@ -60,7 +61,7 @@ enum class FlowModResult {
   NoMatch,   // modify/delete matched nothing (not an error per spec)
 };
 
-class FlowTable {
+class FlowTable final : public snapshot::Snapshottable {
  public:
   explicit FlowTable(std::size_t capacity = 4096,
                      telemetry::MetricRegistry& metrics =
@@ -127,6 +128,15 @@ class FlowTable {
   /// EXPERIMENTS dumps).
   void for_each(const std::function<void(const FlowEntry&)>& fn) const;
 
+  // -- Snapshottable ('FTBL' chunk) --------------------------------------------
+  // Serializes every entry — match, priority, actions, timeouts, counters,
+  // install/last-used times, insertion seq — ordered by seq so the encoding
+  // is deterministic. Restore rebuilds the subtables from scratch and bumps
+  // the generation, which flushes the datapath's microflow cache on its next
+  // probe.
+  void save(snapshot::Writer& w) const override;
+  Status restore(const snapshot::Reader& r) override;
+
  private:
   /// One tuple-space subtable: every entry added with the same wildcard
   /// bitmap. The bucket key is the entry's FlowKey masked by `mask`; a
@@ -152,6 +162,9 @@ class FlowTable {
   /// collecting for expiry) and restores the subtable invariants.
   bool remove_entries(const std::function<bool(const FlowEntry&)>& pred,
                       const std::function<void(FlowEntry&&)>& sink);
+  /// Places a fully populated entry (counters, times and seq preserved) into
+  /// its subtable — the restore path's insert, bypassing FlowMod semantics.
+  void insert_restored(FlowEntry e);
   void prune_and_resort();
   void sort_subtables();
   void bump_generation();

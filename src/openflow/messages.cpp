@@ -127,7 +127,7 @@ void encode_body(ByteWriter& w, const Message& msg) {
           }
         } else if constexpr (std::is_same_v<T, StatsReply>) {
           w.u16(static_cast<std::uint16_t>(m.type));
-          w.u16(0);  // flags (no more replies)
+          w.u16(m.flags);
           if (const auto* desc = std::get_if<DescStats>(&m.body)) {
             w.fixed_string(desc->mfr_desc, kDescStrLen);
             w.fixed_string(desc->hw_desc, kDescStrLen);
@@ -395,7 +395,9 @@ Result<Message> decode_body(MsgType type, ByteReader& r) {
       auto t = r.u16();
       if (!t) return t.error();
       m.type = static_cast<StatsType>(t.value());
-      if (auto s = r.skip(2); !s.ok()) return s.error();
+      auto fl = r.u16();
+      if (!fl) return fl.error();
+      m.flags = fl.value();
       switch (m.type) {
         case StatsType::Desc: {
           DescStats desc;

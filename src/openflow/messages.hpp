@@ -222,8 +222,12 @@ struct StatsRequest {
   std::variant<std::monostate, FlowStatsRequest, PortStatsRequest> body;
 };
 
+/// OFPSF_REPLY_MORE: further STATS_REPLY messages follow for the same xid.
+inline constexpr std::uint16_t kStatsReplyMore = 0x0001;
+
 struct StatsReply {
   StatsType type = StatsType::Desc;
+  std::uint16_t flags = 0;  // kStatsReplyMore on all but the last fragment
   std::variant<std::monostate, DescStats, std::vector<FlowStatsEntry>,
                AggregateStatsReplyBody, std::vector<PortStatsEntry>>
       body;

@@ -70,4 +70,94 @@ DeviceRestriction PolicyEngine::restriction_for(const std::string& mac) const {
   return compile_restriction(docs, to_lower(mac), tags_of(mac), context());
 }
 
+namespace {
+
+constexpr std::uint32_t kPolicyTag = snapshot::tag("PLCY");
+
+void put_string_list(ByteWriter& w, const std::vector<std::string>& list) {
+  w.u32(static_cast<std::uint32_t>(list.size()));
+  for (const std::string& s : list) snapshot::put_string(w, s);
+}
+
+Result<std::vector<std::string>> get_string_list(ByteReader& r) {
+  auto count = r.u32();
+  if (!count) return count.error();
+  std::vector<std::string> out;
+  out.reserve(count.value());
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto s = snapshot::get_string(r);
+    if (!s) return s.error();
+    out.push_back(std::move(s).take());
+  }
+  return out;
+}
+
+}  // namespace
+
+void PolicyEngine::save(snapshot::Writer& w) const {
+  ByteWriter& c = w.begin_chunk(kPolicyTag);
+  c.u32(static_cast<std::uint32_t>(epoch_weekday_));
+  c.u32(static_cast<std::uint32_t>(installed_.size()));
+  for (const auto& [id, doc] : installed_) {
+    snapshot::put_string(c, id);
+    snapshot::put_string(c, doc.to_json().dump());
+  }
+  c.u32(static_cast<std::uint32_t>(key_policies_.size()));
+  for (const auto& [slot, ids] : key_policies_) {
+    c.u32(slot);
+    put_string_list(c, ids);
+  }
+  c.u32(static_cast<std::uint32_t>(tags_.size()));
+  for (const auto& [mac, tags] : tags_) {
+    snapshot::put_string(c, mac);
+    put_string_list(c, tags);
+  }
+  w.end_chunk();
+}
+
+Status PolicyEngine::restore(const snapshot::Reader& r) {
+  const Bytes* chunk = r.find(kPolicyTag);
+  if (chunk == nullptr) return Status::success();
+  ByteReader br(*chunk);
+  auto weekday = br.u32();
+  auto ndocs = br.u32();
+  if (!weekday || !ndocs) return make_error("policy snapshot: truncated header");
+  std::map<std::string, PolicyDocument> installed;
+  for (std::uint32_t i = 0; i < ndocs.value(); ++i) {
+    auto id = snapshot::get_string(br);
+    auto text = snapshot::get_string(br);
+    if (!id || !text) return make_error("policy snapshot: truncated document");
+    auto json = Json::parse(text.value());
+    if (!json) return json.error();
+    auto doc = PolicyDocument::from_json(json.value());
+    if (!doc) return doc.error();
+    installed.emplace(std::move(id).take(), std::move(doc).take());
+  }
+  auto nslots = br.u32();
+  if (!nslots) return nslots.error();
+  std::map<UsbMonitor::SlotId, std::vector<std::string>> key_policies;
+  for (std::uint32_t i = 0; i < nslots.value(); ++i) {
+    auto slot = br.u32();
+    if (!slot) return slot.error();
+    auto ids = get_string_list(br);
+    if (!ids) return ids.error();
+    key_policies.emplace(slot.value(), std::move(ids).take());
+  }
+  auto ntags = br.u32();
+  if (!ntags) return ntags.error();
+  std::map<std::string, std::vector<std::string>> tags;
+  for (std::uint32_t i = 0; i < ntags.value(); ++i) {
+    auto mac = snapshot::get_string(br);
+    if (!mac) return mac.error();
+    auto list = get_string_list(br);
+    if (!list) return list.error();
+    tags.emplace(std::move(mac).take(), std::move(list).take());
+  }
+  epoch_weekday_ = static_cast<int>(weekday.value());
+  installed_ = std::move(installed);
+  key_policies_ = std::move(key_policies);
+  tags_ = std::move(tags);
+  return Status::success();
+}
+
 }  // namespace hw::policy

@@ -12,10 +12,11 @@
 
 #include "policy/compiler.hpp"
 #include "policy/usb.hpp"
+#include "snapshot/snapshottable.hpp"
 
 namespace hw::policy {
 
-class PolicyEngine {
+class PolicyEngine final : public snapshot::Snapshottable {
  public:
   /// `now_fn` supplies virtual time for schedule evaluation.
   explicit PolicyEngine(std::function<Timestamp()> now_fn);
@@ -51,6 +52,14 @@ class PolicyEngine {
 
   [[nodiscard]] int epoch_weekday() const { return epoch_weekday_; }
   void set_epoch_weekday(int weekday) { epoch_weekday_ = weekday; }
+
+  // -- Snapshottable ('PLCY' chunk) -------------------------------------------
+  // Captures installed documents (as their JSON form), key-slot bindings,
+  // device tags and the epoch weekday. Restore is silent: the on_change
+  // listener is NOT fired — the restoring home re-evaluates enforcement
+  // through its own warm-restart path.
+  void save(snapshot::Writer& w) const override;
+  Status restore(const snapshot::Reader& r) override;
 
  private:
   void notify() {

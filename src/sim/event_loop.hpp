@@ -24,6 +24,13 @@ class EventLoop {
   /// Handle for cancelling a scheduled event.
   using EventId = std::uint64_t;
 
+  EventLoop() = default;
+  /// Starts the clock at `origin` instead of zero. A home restored from a
+  /// checkpoint constructs its loop at the capture time, so relative delays
+  /// during reconstruction land on the same absolute instants they did in
+  /// the home's first life.
+  explicit EventLoop(Timestamp origin) : now_(origin) {}
+
   [[nodiscard]] Timestamp now() const { return now_; }
 
   /// Schedules `fn` to run at absolute time `when` (clamped to >= now).
@@ -116,6 +123,18 @@ class PeriodicTimer {
     if (running_) return;
     running_ = true;
     arm();
+  }
+  /// Starts with the first fire at absolute time `first` (clamped to now),
+  /// then every `period` after it. A restored home re-arms its periodic
+  /// drivers with this so their tick phase matches the uninterrupted run.
+  void start_at(Timestamp first) {
+    if (running_) return;
+    running_ = true;
+    pending_ = loop_.schedule_at(first, [this] {
+      if (!running_) return;
+      fn_();
+      if (running_) arm();
+    });
   }
   void stop() {
     if (!running_) return;

@@ -14,6 +14,7 @@ const char* to_string(FaultKind kind) {
     case FaultKind::ControllerOutage: return "controller-outage";
     case FaultKind::HwdbFault: return "hwdb-fault";
     case FaultKind::DatapathRestart: return "datapath-restart";
+    case FaultKind::CrashRestartRestore: return "crash-restart-restore";
   }
   return "?";
 }
@@ -47,6 +48,10 @@ void FaultInjector::set_hwdb_fault(
 
 void FaultInjector::set_datapath_restart(std::function<void()> restart) {
   restart_datapath_ = std::move(restart);
+}
+
+void FaultInjector::set_warm_restart(std::function<void()> restart) {
+  warm_restart_ = std::move(restart);
 }
 
 void FaultInjector::arm(const FaultPlan& plan) {
@@ -104,6 +109,12 @@ void FaultInjector::begin_window(const FaultWindow& window) {
       metrics_.windows_ended.inc();
       metrics_.active.add(-1);
       break;
+    case FaultKind::CrashRestartRestore:
+      metrics_.crash_restores.inc();
+      if (warm_restart_) warm_restart_();
+      metrics_.windows_ended.inc();
+      metrics_.active.add(-1);
+      break;
   }
 }
 
@@ -129,6 +140,7 @@ void FaultInjector::end_window(const FaultWindow& window) {
       if (apply_hwdb_fault_) apply_hwdb_fault_(DatagramFault{}, &rng_);
       break;
     case FaultKind::DatapathRestart:
+    case FaultKind::CrashRestartRestore:
       break;  // handled inline at begin
   }
 }

@@ -30,6 +30,9 @@ enum class FaultKind : std::uint8_t {
   ControllerOutage,  // sever the OpenFlow secure channel
   HwdbFault,         // drop / duplicate / delay hwdb RPC datagrams
   DatapathRestart,   // instantaneous: datapath loses all volatile state
+  /// Instantaneous: the datapath crashes and comes back restoring its flow
+  /// table from the last snapshot (HomeworkRouter::warm_restart).
+  CrashRestartRestore,
 };
 
 const char* to_string(FaultKind kind);
@@ -70,6 +73,7 @@ struct FaultInjectorStats {
   std::uint64_t controller_outages = 0;
   std::uint64_t hwdb_faults = 0;
   std::uint64_t datapath_restarts = 0;
+  std::uint64_t crash_restores = 0;
   std::int64_t active = 0;
 };
 
@@ -100,6 +104,11 @@ class FaultInjector {
   /// Datapath cold-restart hook (e.g. ofp::Datapath::restart).
   void set_datapath_restart(std::function<void()> restart);
 
+  /// Crash-restart-with-restore hook (e.g. HomeworkRouter::warm_restart):
+  /// the datapath restarts and refills its flow table from the last
+  /// snapshot instead of cold-wiping.
+  void set_warm_restart(std::function<void()> restart);
+
   // -- Plan execution ----------------------------------------------------------
   /// Schedules every window of `plan` on the event loop. Re-seeds the
   /// injector RNG from plan.seed first, so arm() is the reproducibility
@@ -112,7 +121,7 @@ class FaultInjector {
     return {metrics_.windows_started.value(), metrics_.windows_ended.value(),
             metrics_.link_faults.value(),     metrics_.controller_outages.value(),
             metrics_.hwdb_faults.value(),     metrics_.datapath_restarts.value(),
-            metrics_.active.value()};
+            metrics_.crash_restores.value(),  metrics_.active.value()};
   }
 
  private:
@@ -134,6 +143,7 @@ class FaultInjector {
   std::function<void()> restore_controller_;
   std::function<void(const DatagramFault&, Rng*)> apply_hwdb_fault_;
   std::function<void()> restart_datapath_;
+  std::function<void()> warm_restart_;
   std::vector<EventLoop::EventId> scheduled_;
   struct Instruments {
     telemetry::Counter windows_started{"sim.fault.windows_started"};
@@ -142,6 +152,7 @@ class FaultInjector {
     telemetry::Counter controller_outages{"sim.fault.controller_outages"};
     telemetry::Counter hwdb_faults{"sim.fault.hwdb_faults"};
     telemetry::Counter datapath_restarts{"sim.fault.datapath_restarts"};
+    telemetry::Counter crash_restores{"sim.fault.crash_restores"};
     telemetry::Gauge active{"sim.fault.active"};
   } metrics_;
 };

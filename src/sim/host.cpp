@@ -198,6 +198,18 @@ void Host::handle_dhcp(const net::ParsedPacket& p) {
   }
 }
 
+void Host::adopt_lease(Ipv4Address ip, Ipv4Address gateway, Ipv4Address dns,
+                       Ipv4Address server, std::uint32_t lease_secs) {
+  ip_ = ip;
+  gateway_ = gateway;
+  dns_server_ = dns;
+  dhcp_server_ = server;
+  lease_secs_ = lease_secs;
+  dhcp_state_ = DhcpClientState::Bound;
+  dhcp_retries_ = 0;
+  schedule_renewal();
+}
+
 void Host::schedule_renewal() {
   // T1 = lease/2 per RFC 2131.
   const Duration t1 = static_cast<Duration>(lease_secs_) * kSecond / 2;

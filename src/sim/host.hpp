@@ -67,6 +67,12 @@ class Host final : public FrameSink {
   void start_dhcp();
   /// Sends DHCPRELEASE and forgets the lease.
   void release_dhcp();
+  /// Snapshot-restore only: adopts a lease the captured home had already
+  /// granted this host. Sets the bound state and arms the renewal timer but
+  /// sends no traffic and does NOT fire on_bound — a restore reproduces
+  /// state, not the exchange that built it.
+  void adopt_lease(Ipv4Address ip, Ipv4Address gateway, Ipv4Address dns,
+                   Ipv4Address server, std::uint32_t lease_secs);
   [[nodiscard]] DhcpClientState dhcp_state() const { return dhcp_state_; }
   [[nodiscard]] std::optional<Ipv4Address> ip() const { return ip_; }
   [[nodiscard]] std::optional<Ipv4Address> gateway() const { return gateway_; }

@@ -1,0 +1,160 @@
+#include "snapshot/codec.hpp"
+
+#include <array>
+#include <cassert>
+
+namespace hw::snapshot {
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const std::uint8_t byte : data) {
+    crc = table[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void put_string(ByteWriter& w, std::string_view s) {
+  w.u32(static_cast<std::uint32_t>(s.size()));
+  w.raw(s.data(), s.size());
+}
+
+Result<std::string> get_string(ByteReader& r) {
+  auto len = r.u32();
+  if (!len) return len.error();
+  auto bytes = r.raw(len.value());
+  if (!bytes) return bytes.error();
+  return std::string(bytes.value().begin(), bytes.value().end());
+}
+
+void put_mac(ByteWriter& w, MacAddress mac) { w.raw(mac.octets()); }
+
+Result<MacAddress> get_mac(ByteReader& r) {
+  auto raw = r.view(6);
+  if (!raw) return raw.error();
+  std::array<std::uint8_t, 6> octets{};
+  std::memcpy(octets.data(), raw.value().data(), 6);
+  return MacAddress{octets};
+}
+
+Result<Ipv4Address> get_ip(ByteReader& r) {
+  auto v = r.u32();
+  if (!v) return v.error();
+  return Ipv4Address{v.value()};
+}
+
+ByteWriter& Writer::begin_chunk(std::uint32_t chunk_tag) {
+  assert(!in_chunk_ && "snapshot chunks may not nest");
+  in_chunk_ = true;
+  current_tag_ = chunk_tag;
+  current_ = ByteWriter{};
+  return current_;
+}
+
+void Writer::end_chunk() {
+  assert(in_chunk_ && "end_chunk without begin_chunk");
+  in_chunk_ = false;
+  chunks_.push_back(Chunk{current_tag_, std::move(current_).take()});
+}
+
+Bytes Writer::finish() && {
+  assert(!in_chunk_ && "finish with an open chunk");
+  // Payload: every chunk framed as tag / length / crc / bytes.
+  ByteWriter payload;
+  for (const Chunk& c : chunks_) {
+    payload.u32(c.tag);
+    payload.u32(static_cast<std::uint32_t>(c.payload.size()));
+    payload.u32(crc32(c.payload));
+    payload.raw(c.payload);
+  }
+  const Bytes body = std::move(payload).take();
+
+  ByteWriter image(20 + body.size());
+  image.u32(kMagic);
+  image.u16(kFormatVersion);
+  image.u16(static_cast<std::uint16_t>(chunks_.size()));
+  image.u32(static_cast<std::uint32_t>(body.size()));
+  image.u32(crc32(body));
+  image.raw(body);
+  return std::move(image).take();
+}
+
+Result<Reader> Reader::parse(std::span<const std::uint8_t> image) {
+  ByteReader r(image);
+  auto magic = r.u32();
+  if (!magic || magic.value() != kMagic) {
+    return make_error("snapshot: bad magic");
+  }
+  auto version = r.u16();
+  if (!version || version.value() != kFormatVersion) {
+    return make_error("snapshot: unsupported format version");
+  }
+  auto chunk_count = r.u16();
+  auto payload_size = r.u32();
+  auto payload_crc = r.u32();
+  if (!chunk_count || !payload_size || !payload_crc) {
+    return make_error("snapshot: truncated header");
+  }
+  if (payload_size.value() != r.remaining()) {
+    return make_error("snapshot: payload size mismatch");
+  }
+  auto body = r.view(payload_size.value());
+  if (!body) return make_error("snapshot: truncated payload");
+  if (crc32(body.value()) != payload_crc.value()) {
+    return make_error("snapshot: payload checksum mismatch");
+  }
+
+  Reader out;
+  ByteReader chunks(body.value());
+  for (std::uint16_t i = 0; i < chunk_count.value(); ++i) {
+    auto chunk_tag = chunks.u32();
+    auto len = chunks.u32();
+    auto crc = chunks.u32();
+    if (!chunk_tag || !len || !crc) {
+      return make_error("snapshot: truncated chunk header");
+    }
+    auto chunk_payload = chunks.raw(len.value());
+    if (!chunk_payload) return make_error("snapshot: truncated chunk payload");
+    if (crc32(chunk_payload.value()) != crc.value()) {
+      return make_error("snapshot: chunk checksum mismatch");
+    }
+    out.chunks_.push_back(
+        Chunk{chunk_tag.value(), std::move(chunk_payload).take()});
+  }
+  if (!chunks.empty()) {
+    return make_error("snapshot: trailing bytes after last chunk");
+  }
+  return out;
+}
+
+const Bytes* Reader::find(std::uint32_t chunk_tag) const {
+  for (const Chunk& c : chunks_) {
+    if (c.tag == chunk_tag) return &c.payload;
+  }
+  return nullptr;
+}
+
+std::vector<const Bytes*> Reader::find_all(std::uint32_t chunk_tag) const {
+  std::vector<const Bytes*> out;
+  for (const Chunk& c : chunks_) {
+    if (c.tag == chunk_tag) out.push_back(&c.payload);
+  }
+  return out;
+}
+
+}  // namespace hw::snapshot

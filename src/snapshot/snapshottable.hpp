@@ -1,0 +1,25 @@
+// The layer interface of the checkpoint subsystem. A subsystem that wants
+// its state captured implements save()/restore() against the chunked-TLV
+// codec; the SnapshotCoordinator walks registered layers in registration
+// order. Layers own their chunk tags; a restore must tolerate its chunk
+// being absent (older image) by leaving current state alone.
+#pragma once
+
+#include "snapshot/codec.hpp"
+#include "util/result.hpp"
+
+namespace hw::snapshot {
+
+class Snapshottable {
+ public:
+  virtual ~Snapshottable() = default;
+
+  /// Serializes this layer's state as one or more chunks.
+  virtual void save(Writer& w) const = 0;
+  /// Rebuilds this layer's state from a verified image. Must be silent: no
+  /// listener callbacks, no telemetry increments, no traffic — a restore
+  /// reproduces state, it does not replay the events that built it.
+  virtual Status restore(const Reader& r) = 0;
+};
+
+}  // namespace hw::snapshot

@@ -112,6 +112,35 @@ std::optional<double> MetricRegistry::total(const std::string& name) const {
   return out;
 }
 
+bool MetricRegistry::restore_scalar(const std::string& name, double target) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Several instances of a module can carry the same series (one per host,
+  // per link, ...). Leave all but the first alone and set the first so the
+  // *sum* lands on the captured value — the only view scalars() exposes.
+  Instrument* first = nullptr;
+  double rest = 0.0;
+  for (Instrument* i : instruments_) {
+    if (i->name() != name || i->kind() == MetricKind::Histogram) continue;
+    if (first == nullptr) {
+      first = i;
+      continue;
+    }
+    rest += i->kind() == MetricKind::Counter
+                ? static_cast<double>(static_cast<const Counter*>(i)->value())
+                : static_cast<double>(static_cast<const Gauge*>(i)->value());
+  }
+  if (first == nullptr) return false;
+  const double want = target - rest;
+  if (first->kind() == MetricKind::Counter) {
+    static_cast<Counter*>(first)->restore(
+        want <= 0.0 ? 0 : static_cast<std::uint64_t>(want + 0.5));
+  } else {
+    static_cast<Gauge*>(first)->set(static_cast<std::int64_t>(
+        want < 0.0 ? want - 0.5 : want + 0.5));
+  }
+  return true;
+}
+
 std::map<std::string, double> MetricRegistry::scalars() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::map<std::string, double> out;

@@ -87,6 +87,9 @@ class Counter final : public Instrument {
 
   void inc(std::uint64_t n = 1) { value_ += n; }
   [[nodiscard]] std::uint64_t value() const { return value_; }
+  /// Snapshot-restore only: overwrites the count. Counters stay monotone in
+  /// normal operation; a checkpoint restore legitimately rewinds them.
+  void restore(std::uint64_t v) { value_ = v; }
 
  private:
   std::uint64_t value_ = 0;
@@ -213,6 +216,12 @@ class MetricRegistry {
   /// Sum of all counter/gauge instruments bearing `name` (tests, reports);
   /// nullopt when no such instrument is live.
   [[nodiscard]] std::optional<double> total(const std::string& name) const;
+
+  /// Snapshot restore: adjusts the first counter/gauge instrument bearing
+  /// `name` so the series sums to `target` (the value scalars() reported at
+  /// capture time). Counter cells clamp at zero. Returns false when no
+  /// matching non-histogram instrument is live.
+  bool restore_scalar(const std::string& name, double target);
 
   [[nodiscard]] std::size_t instrument_count() const {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -3,6 +3,7 @@
 // cross-stdlib stable, so we implement our own distributions too.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 namespace hw {
@@ -33,6 +34,18 @@ class Rng {
   double normal(double mean, double stddev);
   /// Pareto heavy-tail with shape alpha and scale xm (flow sizes).
   double pareto(double alpha, double xm);
+
+  /// Raw xoshiro256** state, for checkpoint/restore. A restored stream
+  /// continues bit-exactly where the captured one left off.
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    s_[0] = s[0];
+    s_[1] = s[1];
+    s_[2] = s[2];
+    s_[3] = s[3];
+  }
 
  private:
   std::uint64_t s_[4];

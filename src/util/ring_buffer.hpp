@@ -53,6 +53,10 @@ class RingBuffer {
     head_ = tail_ = size_ = 0;
   }
 
+  /// Snapshot-restore only: overwrites the eviction count after a clear()
+  /// plus refill reproduced the buffer's contents.
+  void restore_evicted(std::uint64_t n) { evicted_ = n; }
+
   /// Visits entries oldest-first; stops early if `fn` returns false.
   template <typename Fn>
   void for_each(Fn&& fn) const {

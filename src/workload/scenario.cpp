@@ -16,7 +16,10 @@ const char* to_string(DeviceKind kind) {
 }
 
 HomeScenario::HomeScenario(Config config, telemetry::MetricRegistry& metrics)
-    : config_(config), metrics_(metrics), rng_(config.seed) {
+    : config_(config),
+      metrics_(metrics),
+      loop_(config.clock_origin),
+      rng_(config.seed) {
   router_ = std::make_unique<homework::HomeworkRouter>(loop_, rng_,
                                                        config_.router, metrics_);
 }
@@ -122,6 +125,19 @@ bool HomeScenario::wait_all_bound(Duration deadline) {
     loop_.run_for(100 * kMillisecond);
   }
   return false;
+}
+
+void HomeScenario::adopt_restored_leases() {
+  const auto& dhcp = router_->dhcp().config();
+  for (auto& d : devices_) {
+    const auto* rec = router_->registry().find(d.host->mac());
+    if (rec == nullptr || rec->state != homework::DeviceState::Permitted ||
+        !rec->lease) {
+      continue;
+    }
+    d.host->adopt_lease(rec->lease->ip, dhcp.server_ip, dhcp.server_ip,
+                        dhcp.server_ip, dhcp.lease_secs);
+  }
 }
 
 std::vector<AppProfile> HomeScenario::app_mix(DeviceKind kind) const {

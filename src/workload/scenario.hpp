@@ -29,6 +29,10 @@ class HomeScenario {
   struct Config {
     homework::HomeworkRouter::Config router;
     std::uint64_t seed = 42;
+    /// Virtual time the home's clock starts at. A home resumed from a
+    /// snapshot is constructed with the capture time so restored absolute
+    /// timestamps (leases, flow entries, hwdb rows) stay meaningful.
+    Timestamp clock_origin = 0;
   };
 
   /// `metrics` scopes every instrument the scenario creates (router, hosts,
@@ -66,6 +70,12 @@ class HomeScenario {
   /// Runs the loop until every permitted device holds a lease (or deadline).
   bool wait_all_bound(Duration deadline = 30 * kSecond);
 
+  /// Snapshot resume: every device whose restored registry record is
+  /// Permitted with a live lease adopts it silently (bound state + renewal
+  /// timer, no DHCP exchange, no on_bound callbacks). Call after restoring
+  /// a snapshot into this home.
+  void adopt_restored_leases();
+
   /// Starts the app mix appropriate to each device's kind.
   void start_apps(const std::string& name);
   void start_apps_all();
@@ -87,7 +97,7 @@ class HomeScenario {
 
   Config config_;
   telemetry::MetricRegistry& metrics_;
-  sim::EventLoop loop_;
+  sim::EventLoop loop_;  // initialized with config_.clock_origin in the ctor
   Rng rng_;
   std::unique_ptr<homework::HomeworkRouter> router_;
   std::vector<Device> devices_;

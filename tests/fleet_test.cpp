@@ -178,6 +178,120 @@ TEST(FleetAggregation, TotalsAndSeriesAgreeWithPerHomeResults) {
   EXPECT_TRUE(saw_histogram);
 }
 
+// ---------------------------------------------------------------------------
+// Checkpoint / resume
+
+/// Scalars minus the snapshot bookkeeping series: a resumed home performs
+/// restores its uninterrupted twin never did, so snapshot.* is the one
+/// family allowed to differ.
+std::map<std::string, double> scrub_snapshot(
+    const std::map<std::string, double>& scalars) {
+  std::map<std::string, double> out;
+  for (const auto& [name, value] : scalars) {
+    if (name.rfind("snapshot.", 0) != 0) out.emplace(name, value);
+  }
+  return out;
+}
+
+/// EXPECT per-key equality so a failure names the exact diverging series
+/// instead of gtest truncating the (large) map printout.
+void expect_scalars_equal(const std::map<std::string, double>& a,
+                          const std::map<std::string, double>& b,
+                          const std::string& context) {
+  for (const auto& [name, value] : a) {
+    const auto it = b.find(name);
+    if (it == b.end()) {
+      ADD_FAILURE() << context << ": series " << name << " missing from b";
+      continue;
+    }
+    EXPECT_EQ(value, it->second) << context << ": series " << name;
+  }
+  for (const auto& [name, value] : b) {
+    if (a.find(name) == a.end()) {
+      ADD_FAILURE() << context << ": extra series " << name << " = " << value;
+    }
+  }
+}
+
+FleetConfig checkpointed_fleet(std::size_t homes, std::size_t threads) {
+  FleetConfig config;
+  config.homes = homes;
+  config.threads = threads;
+  config.seed = 2011;
+  config.duration = 14 * kSecond;
+  config.devices_per_home = 3;
+  // Apps arm their traffic timers at lease-bind time and chaos windows can
+  // straddle the kill point; both make a resume behavioural rather than
+  // bit-exact, so the determinism proof runs the driver workload only.
+  config.run_apps = false;
+  config.chaos = false;
+  config.checkpoints = true;
+  config.checkpoint_interval = 5 * kSecond;
+  return config;
+}
+
+TEST(FleetResume, KilledHomeResumesBitIdenticalToUninterruptedRun) {
+  // Run to T, kill, restore from the last periodic checkpoint, run to 2T:
+  // every non-histogram series must match the uninterrupted twin exactly.
+  const FleetConfig base = checkpointed_fleet(1, 1);
+  FleetConfig killed = base;
+  killed.kill_home = 0;
+  killed.kill_at = 7 * kSecond;
+
+  const HomeResult a = FleetRunner(base).run_home(0);
+  const HomeResult b = FleetRunner(killed).run_home(0);
+
+  // The kill actually took the checkpoint/restore path.
+  EXPECT_GT(b.scalars.at("snapshot.captures"), 0.0);
+  EXPECT_GT(b.scalars.at("snapshot.restores"), 0.0);
+  EXPECT_EQ(b.scalars.at("snapshot.corrupt_rejected"), 0.0);
+
+  expect_scalars_equal(scrub_snapshot(a.scalars), scrub_snapshot(b.scalars),
+                       "single home");
+  EXPECT_EQ(a.devices_bound, b.devices_bound);
+  EXPECT_TRUE(b.all_bound);
+  EXPECT_EQ(a.inserts_applied, b.inserts_applied);
+  EXPECT_EQ(a.flow_entries, b.flow_entries);
+  EXPECT_TRUE(b.inserts_exactly_once);
+  EXPECT_TRUE(b.ok());
+}
+
+TEST(FleetResume, EightThreadFleetWithOneResumedHomeKeepsItsFingerprint) {
+  const FleetConfig base = checkpointed_fleet(8, 8);
+  FleetConfig killed = base;
+  killed.kill_home = 3;
+  killed.kill_at = 8 * kSecond;
+
+  const FleetResult a = FleetRunner(base).run();
+  const FleetResult b = FleetRunner(killed).run();
+  ASSERT_EQ(a.homes.size(), 8u);
+  ASSERT_EQ(b.homes.size(), 8u);
+  EXPECT_EQ(b.homes_ok, 8u);
+  EXPECT_GT(b.homes[3].scalars.at("snapshot.restores"), 0.0);
+  for (std::size_t i = 0; i < 8; ++i) {
+    expect_scalars_equal(
+        scrub_snapshot(a.homes[i].scalars), scrub_snapshot(b.homes[i].scalars),
+        "home " + std::to_string(i) + (i == 3 ? " (the resumed one)" : ""));
+    EXPECT_EQ(a.homes[i].ok(), b.homes[i].ok());
+  }
+  // The merged fleet view agrees too (scrubbed of the snapshot family).
+  expect_scalars_equal(scrub_snapshot(a.scalar_totals),
+                       scrub_snapshot(b.scalar_totals), "fleet totals");
+  EXPECT_EQ(a.total_frames, b.total_frames);
+}
+
+TEST(FleetResume, KillBeforeFirstCheckpointFallsBackToAFreshRun) {
+  FleetConfig config = checkpointed_fleet(1, 1);
+  config.kill_home = 0;
+  config.kill_at = 2 * kSecond;  // before the first capture at ~5s
+  const HomeResult r = FleetRunner(config).run_home(0);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.scalars.at("snapshot.restores"), 0.0);
+
+  const HomeResult plain = FleetRunner(checkpointed_fleet(1, 1)).run_home(0);
+  EXPECT_EQ(scrub_snapshot(plain.scalars), scrub_snapshot(r.scalars));
+}
+
 #ifndef NDEBUG
 using EventLoopOwnershipDeathTest = ::testing::Test;
 

@@ -459,8 +459,44 @@ TEST(TableTsv, LoadRejectsSchemaMismatch) {
   std::fclose(f);
   Table table(links_schema(), 8);
   EXPECT_FALSE(load_table_tsv(table, path).ok());
+  EXPECT_EQ(table.size(), 0u) << "rejected load must not partially mutate";
   std::remove(path.c_str());
   EXPECT_FALSE(load_table_tsv(table, "/no/such/file.tsv").ok());
+}
+
+TEST(TableTsv, LoadRejectsTruncationWithoutPartialMutation) {
+  // A file torn mid-line (no trailing newline) is a failed write, not a
+  // short table: the load reports an error and stages nothing. Valid rows
+  // ahead of the tear must not leak into the table either.
+  const std::string path = ::testing::TempDir() + "/hwdb_torn_test.tsv";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fprintf(f, "1000000\tm0\t-60\t1\n");
+  std::fprintf(f, "2000000\tm1\t-61");  // torn: no newline
+  std::fclose(f);
+  Table table(links_schema(), 8);
+  const auto loaded = load_table_tsv(table, path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.error().message.find("truncated"), std::string::npos)
+      << loaded.error().message;
+  EXPECT_EQ(table.size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(TableTsv, LoadRejectsNonMonotonicTimestamps) {
+  // Ring tables are time-ordered by construction; a dump with timestamps
+  // running backwards is corrupt input, not a reordering request.
+  const std::string path = ::testing::TempDir() + "/hwdb_backwards_test.tsv";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fprintf(f, "2000000\tm0\t-60\t1\n");
+  std::fprintf(f, "1000000\tm1\t-61\t2\n");
+  std::fclose(f);
+  Table table(links_schema(), 8);
+  const auto loaded = load_table_tsv(table, path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.error().message.find("non-monotonic"), std::string::npos)
+      << loaded.error().message;
+  EXPECT_EQ(table.size(), 0u);
+  std::remove(path.c_str());
 }
 
 TEST(PersistSink, AppendsBatchesToFile) {

@@ -276,6 +276,41 @@ TEST_F(DatapathFixture, StatsFlowAndAggregateAndPort) {
   EXPECT_EQ(ports[1].tx_packets, 2u);  // port 2 sent both
 }
 
+TEST_F(DatapathFixture, LargeFlowStatsReplyPaginatesUnderFrameCap) {
+  // A reply for a big table would overflow the OF 1.0 u16 header length;
+  // the datapath must split it into OFPSF_REPLY_MORE fragments, each a
+  // decodable frame (FakeController asserts decode on every receive).
+  constexpr std::size_t kFlows = 900;
+  for (std::size_t i = 0; i < kFlows; ++i) {
+    FlowMod mod;
+    mod.match = Match::any();
+    mod.match.with_dl_type(0x0800).with_nw_dst(
+        Ipv4Address{10, static_cast<std::uint8_t>(i >> 8),
+                    static_cast<std::uint8_t>(i & 0xff), 1});
+    mod.actions = output_to(2);
+    controller.send(std::move(mod));
+    if (i % 64 == 0) loop.run_for(kMillisecond);
+  }
+  loop.run_for(kMillisecond);
+  ASSERT_EQ(dp.table().size(), kFlows);
+
+  StatsRequest req;
+  req.type = StatsType::Flow;
+  req.body = FlowStatsRequest{};
+  controller.send(std::move(req), 99);
+  loop.run_for(kMillisecond);
+
+  auto replies = controller.of_type<StatsReply>();
+  ASSERT_GT(replies.size(), 1u);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < replies.size(); ++i) {
+    const bool last = i + 1 == replies.size();
+    EXPECT_EQ(replies[i]->flags & kStatsReplyMore, last ? 0 : kStatsReplyMore);
+    total += std::get<std::vector<FlowStatsEntry>>(replies[i]->body).size();
+  }
+  EXPECT_EQ(total, kFlows);
+}
+
 TEST_F(DatapathFixture, IdleTimeoutEmitsFlowRemoved) {
   FlowMod mod;
   mod.match = Match::any();

@@ -512,5 +512,26 @@ TEST(Trace, RecordsAndFilters) {
   EXPECT_EQ(trace.size(), 0u);
 }
 
+TEST(Trace, RingCapDropsOldestAndCountsThem) {
+  Trace trace(2);
+  EXPECT_EQ(trace.max_entries(), 2u);
+  trace.record(100, "p", Bytes{1});
+  trace.record(200, "p", Bytes{2});
+  EXPECT_EQ(trace.dropped(), 0u);
+  trace.record(300, "p", Bytes{3});
+  trace.record(400, "p", Bytes{4});
+  EXPECT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.dropped(), 2u);
+  // Oldest-first retention: the survivors are the newest two.
+  EXPECT_EQ(trace.entries().front().time, 300u);
+  EXPECT_EQ(trace.entries().back().time, 400u);
+
+  // Unbounded traces never drop.
+  Trace unbounded;
+  for (int i = 0; i < 100; ++i) unbounded.record(i, "p", Bytes{0});
+  EXPECT_EQ(unbounded.size(), 100u);
+  EXPECT_EQ(unbounded.dropped(), 0u);
+}
+
 }  // namespace
 }  // namespace hw::sim
