@@ -1,0 +1,284 @@
+// Shared-controller fan-out bench: one controller event loop serving N home
+// datapaths over framed stream channels. Measures flow-setup throughput and
+// the wall-clock fan-out latency from a device's first packet of a new flow
+// to the first FlowMod landing back in its datapath — with all N homes
+// demanding setup at the same virtual instant, so the tail shows how the
+// controller's serial dispatch stretches as the fleet grows.
+//
+// Emits BENCH_ctrl_fanout.json (path overridable with --out) for the CI
+// artifact upload.
+//
+// Usage: ctrl_fanout [--smoke] [--rounds R] [--fleet 1,16,128] [--seed S]
+//                    [--out PATH]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "homework/device_registry.hpp"
+#include "homework/dhcp_server.hpp"
+#include "homework/dns_proxy.hpp"
+#include "homework/forwarding.hpp"
+#include "nox/controller.hpp"
+#include "openflow/datapath.hpp"
+#include "openflow/stream_channel.hpp"
+#include "policy/engine.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/host.hpp"
+#include "sim/link.hpp"
+#include "util/rand.hpp"
+
+using namespace hw;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::vector<std::size_t> parse_size_list(const char* arg) {
+  std::vector<std::size_t> out;
+  std::string item;
+  for (const char* p = arg;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (!item.empty()) out.push_back(std::strtoull(item.c_str(), nullptr, 10));
+      item.clear();
+      if (*p == '\0') break;
+    } else {
+      item.push_back(*p);
+    }
+  }
+  return out;
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+struct RunRow {
+  std::size_t datapaths = 0;
+  std::size_t flow_setups = 0;
+  double throughput_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double wall_ms = 0.0;
+};
+
+/// One home on the shared loop: a datapath behind a framed stream channel
+/// with two directly-attached devices.
+struct Home {
+  std::uint64_t dpid = 0;
+  std::unique_ptr<Rng> rng;
+  std::unique_ptr<ofp::Datapath> datapath;
+  std::unique_ptr<ofp::StreamConnection> conn;
+  std::vector<std::unique_ptr<sim::Host>> hosts;
+  std::vector<std::unique_ptr<sim::DuplexLink>> links;
+  Clock::time_point sent_at{};
+  bool pending = false;
+};
+
+RunRow run_fanout(std::size_t n_datapaths, int rounds, std::uint64_t seed) {
+  telemetry::MetricRegistry registry;
+  telemetry::ScopedMetricRegistry scoped(registry);
+  sim::EventLoop loop;
+
+  homework::DeviceRegistry devices(
+      homework::DeviceRegistry::AdmissionDefault::PermitAll);
+  policy::PolicyEngine policy([&loop] { return loop.now(); });
+  nox::Controller controller(loop, registry);
+  controller.add_component(std::make_unique<homework::DhcpServer>(
+      homework::DhcpServer::Config{}, devices));
+  controller.add_component(std::make_unique<homework::DnsProxy>(
+      homework::DnsProxy::Config{}, devices, policy));
+  controller.add_component(std::make_unique<homework::Forwarding>(
+      homework::Forwarding::Config{}, devices, policy));
+  controller.start();
+
+  std::deque<Home> homes;
+  std::vector<double> latencies_us;
+  for (std::size_t h = 0; h < n_datapaths; ++h) {
+    Home home;
+    home.dpid = h + 1;
+    std::uint64_t mix = seed ^ (h + 1);
+    home.rng = std::make_unique<Rng>(splitmix64(mix));
+    ofp::Datapath::Config dp_config;
+    dp_config.datapath_id = home.dpid;
+    home.datapath = std::make_unique<ofp::Datapath>(loop, dp_config, registry);
+    home.conn = std::make_unique<ofp::StreamConnection>(
+        loop, ofp::StreamConnection::Config{}, home.rng.get());
+    for (std::size_t i = 0; i < 2; ++i) {
+      sim::Host::Config host_config;
+      host_config.name = "dev" + std::to_string(i);
+      host_config.mac =
+          MacAddress::from_index(1 + static_cast<std::uint32_t>(i));
+      home.hosts.push_back(
+          std::make_unique<sim::Host>(loop, host_config, *home.rng));
+      home.links.push_back(std::make_unique<sim::DuplexLink>(
+          loop, sim::LinkChannel::Config{}, home.rng.get()));
+      const auto port = static_cast<std::uint16_t>(2 + i);
+      home.datapath->add_port(port, "port" + std::to_string(port),
+                              MacAddress::from_index(0xfff000u + port),
+                              &home.links.back()->b_to_a());
+      home.links.back()->b_to_a().connect(home.hosts.back().get());
+      home.links.back()->a_to_b().connect(home.datapath->ingress(port));
+      home.hosts.back()->attach_uplink(&home.links.back()->a_to_b());
+    }
+    home.datapath->connect(home.conn->datapath_end());
+    controller.connect_datapath(home.conn->controller_end());
+    homes.push_back(std::move(home));
+  }
+  for (Home& home : homes) {
+    Home* slot = &home;
+    home.datapath->set_flow_mod_observer([slot, &latencies_us](
+                                             const ofp::FlowMod& mod) {
+      if (!slot->pending || mod.command != ofp::FlowModCommand::Add) return;
+      slot->pending = false;
+      latencies_us.push_back(std::chrono::duration<double, std::micro>(
+                                 Clock::now() - slot->sent_at)
+                                 .count());
+    });
+  }
+
+  // Bind every device (staggered inside each home, same schedule across
+  // homes), then let the handshake and leases settle.
+  for (Home& home : homes) {
+    for (std::size_t i = 0; i < home.hosts.size(); ++i) {
+      sim::Host* host = home.hosts[i].get();
+      loop.schedule_at(10 * kMillisecond +
+                           static_cast<Duration>(i + 1) * 50 * kMillisecond,
+                       [host] { host->start_dhcp(); });
+    }
+  }
+  loop.run_until(kSecond);
+  for (const Home& home : homes) {
+    for (const auto& host : home.hosts) {
+      if (!host->ip()) {
+        std::fprintf(stderr, "dpid %llu: device failed to bind\n",
+                     static_cast<unsigned long long>(home.dpid));
+        std::exit(1);
+      }
+    }
+  }
+
+  // Measurement: every round, device 0 of EVERY home opens a brand-new flow
+  // (fresh dport) at the same virtual instant; the controller grinds through
+  // the resulting packet-in burst serially.
+  const Clock::time_point wall_start = Clock::now();
+  std::size_t flow_setups = 0;
+  for (int round = 0; round < rounds; ++round) {
+    const Timestamp at = kSecond + (static_cast<Timestamp>(round) + 1) *
+                                       100 * kMillisecond;
+    const auto dport = static_cast<std::uint16_t>(10000 + round);
+    for (Home& home : homes) {
+      Home* slot = &home;
+      sim::Host* sender = home.hosts.front().get();
+      const Ipv4Address peer = home.hosts.back()->ip().value();
+      loop.schedule_at(at, [slot, sender, peer, dport] {
+        slot->pending = true;
+        slot->sent_at = Clock::now();
+        (void)sender->send_udp(peer, 40000, dport, 64);
+      });
+    }
+    loop.run_until(at + 90 * kMillisecond);
+    for (Home& home : homes) {
+      if (home.pending) {
+        std::fprintf(stderr, "dpid %llu: flow setup lost in round %d\n",
+                     static_cast<unsigned long long>(home.dpid), round);
+        std::exit(1);
+      }
+      ++flow_setups;
+    }
+  }
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             Clock::now() - wall_start)
+                             .count();
+
+  std::sort(latencies_us.begin(), latencies_us.end());
+  RunRow row;
+  row.datapaths = n_datapaths;
+  row.flow_setups = flow_setups;
+  row.throughput_per_sec =
+      wall_ms > 0.0 ? static_cast<double>(flow_setups) * 1e3 / wall_ms : 0.0;
+  row.p50_us = percentile(latencies_us, 0.50);
+  row.p99_us = percentile(latencies_us, 0.99);
+  row.wall_ms = wall_ms;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int rounds = 50;
+  std::uint64_t seed = 2011;
+  std::vector<std::size_t> fleet_ladder = {1, 16, 128};
+  std::string out_path = "BENCH_ctrl_fanout.json";
+  bool smoke = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      rounds = 5;
+    } else if (std::strcmp(argv[i], "--rounds") == 0) {
+      rounds = static_cast<int>(std::strtol(next(), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--fleet") == 0) {
+      fleet_ladder = parse_size_list(next());
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      out_path = next();
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  std::printf("=== ctrl_fanout: one controller, N framed datapaths, "
+              "%d flow-setup rounds, seed %llu ===\n\n",
+              rounds, static_cast<unsigned long long>(seed));
+  std::printf("%10s %12s %16s %12s %12s %10s\n", "datapaths", "setups",
+              "setups/sec", "p50_us", "p99_us", "wall_ms");
+
+  std::vector<RunRow> rows;
+  for (const std::size_t n : fleet_ladder) {
+    rows.push_back(run_fanout(n, rounds, seed));
+    const RunRow& r = rows.back();
+    std::printf("%10zu %12zu %16.1f %12.1f %12.1f %10.1f\n", r.datapaths,
+                r.flow_setups, r.throughput_per_sec, r.p50_us, r.p99_us,
+                r.wall_ms);
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"ctrl_fanout\",\n");
+  std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(out, "  \"rounds\": %d,\n", rounds);
+  std::fprintf(out, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(seed));
+  std::fprintf(out, "  \"runs\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const RunRow& r = rows[i];
+    std::fprintf(out,
+                 "    {\"datapaths\": %zu, \"flow_setups\": %zu, "
+                 "\"throughput_per_sec\": %.3f, \"fanout_p50_us\": %.3f, "
+                 "\"fanout_p99_us\": %.3f, \"wall_ms\": %.3f}%s\n",
+                 r.datapaths, r.flow_setups, r.throughput_per_sec, r.p50_us,
+                 r.p99_us, r.wall_ms, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}

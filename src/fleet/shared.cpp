@@ -1,0 +1,226 @@
+#include "fleet/shared.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "fleet/fleet.hpp"
+#include "homework/device_registry.hpp"
+#include "homework/dhcp_server.hpp"
+#include "homework/dns_proxy.hpp"
+#include "homework/forwarding.hpp"
+#include "nox/controller.hpp"
+#include "openflow/datapath.hpp"
+#include "openflow/stream_channel.hpp"
+#include "policy/engine.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/host.hpp"
+#include "sim/link.hpp"
+#include "util/rand.hpp"
+
+namespace hw::fleet {
+namespace {
+
+/// Handshake settle before the per-home schedules start (matches
+/// HomeworkRouter::kBootSettle so timings are comparable across modes).
+constexpr Duration kBootSettle = 10 * kMillisecond;
+/// Stagger between device DHCP starts inside a home: device i binds at
+/// kBootSettle + (i+1) * kBindStagger in every home, so allocation order —
+/// and thus the address each device gets — is identical across homes.
+constexpr Duration kBindStagger = 50 * kMillisecond;
+/// Traffic rounds: each bound device sends UDP to its next peer at
+/// kTrafficStart + round * kTrafficPeriod.
+constexpr Duration kTrafficStart = 2 * kSecond;
+constexpr Duration kTrafficPeriod = 500 * kMillisecond;
+constexpr int kTrafficRounds = 3;
+
+double wall_ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+SharedFleetRunner::ShardOutcome SharedFleetRunner::run_shard(
+    std::size_t shard, std::size_t shards) const {
+  // Everything this shard builds — controller, datapaths, hosts, links —
+  // registers its instruments in the shard registry.
+  telemetry::MetricRegistry registry;
+  telemetry::ScopedMetricRegistry scoped(registry);
+  sim::EventLoop loop;
+
+  // One controller, one module set, one device registry for every home on
+  // this shard; per-home separation rests entirely on datapath-id keying.
+  homework::DeviceRegistry devices(
+      homework::DeviceRegistry::AdmissionDefault::PermitAll);
+  policy::PolicyEngine policy([&loop] { return loop.now(); });
+  nox::Controller controller(loop, registry);
+  controller.add_component(std::make_unique<homework::DhcpServer>(
+      homework::DhcpServer::Config{}, devices));
+  controller.add_component(std::make_unique<homework::DnsProxy>(
+      homework::DnsProxy::Config{}, devices, policy));
+  controller.add_component(std::make_unique<homework::Forwarding>(
+      homework::Forwarding::Config{}, devices, policy));
+  controller.start();
+
+  struct Device {
+    std::unique_ptr<sim::Host> host;
+    std::unique_ptr<sim::DuplexLink> link;
+  };
+  struct Home {
+    std::size_t home_id = 0;
+    std::uint64_t dpid = 0;
+    std::unique_ptr<Rng> rng;
+    std::unique_ptr<ofp::Datapath> datapath;
+    std::unique_ptr<ofp::StreamConnection> conn;
+    std::vector<Device> devices;
+  };
+  std::deque<Home> homes;
+
+  for (std::size_t h = shard; h < config_.homes; h += shards) {
+    Home home;
+    home.home_id = h;
+    home.dpid = static_cast<std::uint64_t>(h) + 1;
+    home.rng = std::make_unique<Rng>(FleetRunner::home_seed(config_.seed, h));
+
+    ofp::Datapath::Config dp_config;
+    dp_config.datapath_id = home.dpid;
+    home.datapath = std::make_unique<ofp::Datapath>(loop, dp_config, registry);
+
+    ofp::StreamConnection::Config chan;
+    chan.link.latency = config_.channel_latency;
+    chan.link.jitter = config_.channel_jitter;
+    chan.link.mtu = config_.channel_mtu;
+    home.conn =
+        std::make_unique<ofp::StreamConnection>(loop, chan, home.rng.get());
+
+    for (std::size_t i = 0; i < config_.devices_per_home; ++i) {
+      sim::Host::Config host_config;
+      host_config.name =
+          "home" + std::to_string(h) + "-dev" + std::to_string(i);
+      // Deliberately the SAME MAC in every home: the registry, DHCP scopes
+      // and flow rules must keep them apart by datapath id alone.
+      host_config.mac =
+          MacAddress::from_index(1 + static_cast<std::uint32_t>(i));
+      auto host =
+          std::make_unique<sim::Host>(loop, host_config, *home.rng);
+      auto link = std::make_unique<sim::DuplexLink>(
+          loop, sim::LinkChannel::Config{}, home.rng.get());
+      const auto port = static_cast<std::uint16_t>(2 + i);  // 1 = uplink
+      home.datapath->add_port(port, "port" + std::to_string(port),
+                              MacAddress::from_index(0xfff000u + port),
+                              &link->b_to_a());
+      link->b_to_a().connect(host.get());
+      link->a_to_b().connect(home.datapath->ingress(port));
+      host->attach_uplink(&link->a_to_b());
+      home.devices.push_back({std::move(host), std::move(link)});
+    }
+
+    home.datapath->connect(home.conn->datapath_end());
+    controller.connect_datapath(home.conn->controller_end());
+    homes.push_back(std::move(home));
+  }
+
+  // Per-home schedules (identical across homes, all in virtual time).
+  for (Home& home : homes) {
+    for (std::size_t i = 0; i < home.devices.size(); ++i) {
+      sim::Host* host = home.devices[i].host.get();
+      loop.schedule_at(
+          kBootSettle + static_cast<Duration>(i + 1) * kBindStagger,
+          [host] { host->start_dhcp(); });
+    }
+    if (config_.traffic && home.devices.size() >= 2) {
+      const std::size_t n = home.devices.size();
+      for (std::size_t i = 0; i < n; ++i) {
+        sim::Host* host = home.devices[i].host.get();
+        // The DHCP pool starts at .100 and binds happen in device order, so
+        // device k holds 192.168.1.(100+k) — in every home at once; the
+        // controller must tell the copies apart by dpid.
+        const Ipv4Address peer{
+            192, 168, 1, static_cast<std::uint8_t>(100 + (i + 1) % n)};
+        const auto sport = static_cast<std::uint16_t>(40000 + i);
+        for (int round = 0; round < kTrafficRounds; ++round) {
+          loop.schedule_at(
+              kTrafficStart + static_cast<Duration>(round) * kTrafficPeriod,
+              [host, peer, sport] {
+                (void)host->send_udp(peer, sport, 7777, 64);
+              });
+        }
+      }
+    }
+  }
+
+  loop.run_until(config_.duration);
+
+  ShardOutcome out;
+  for (const Home& home : homes) {
+    SharedHomeStatus status;
+    status.home_id = home.home_id;
+    status.dpid = home.dpid;
+    status.shard = shard;
+    status.devices = home.devices.size();
+    for (const Device& dev : home.devices) {
+      if (dev.host->ip()) ++status.devices_bound;
+    }
+    status.all_bound = status.devices_bound == status.devices;
+    status.flow_entries = home.datapath->table().size();
+    out.homes.push_back(status);
+  }
+  out.scalars = registry.scalars();
+  out.histograms = registry.histogram_states();
+  return out;
+}
+
+SharedFleetResult SharedFleetRunner::run() const {
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t shards =
+      config_.threads == 0 ? std::thread::hardware_concurrency()
+                           : config_.threads;
+  shards = std::max<std::size_t>(
+      1, std::min(shards, std::max<std::size_t>(config_.homes, 1)));
+
+  std::vector<ShardOutcome> outcomes(shards);
+  if (shards == 1) {
+    outcomes[0] = run_shard(0, 1);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+      pool.emplace_back(
+          [this, s, shards, &outcomes] { outcomes[s] = run_shard(s, shards); });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+
+  SharedFleetResult result;
+  result.shards_used = shards;
+  // Merge in shard order. Every scalar is a sum of integer-valued per-home
+  // contributions (or of per-home gauges like flow-table sizes), and integer
+  // sums in doubles are exact, so the totals do not depend on how homes were
+  // sharded — the same property FleetRunner's home-id-order merge provides.
+  for (const ShardOutcome& out : outcomes) {
+    for (const auto& [name, value] : out.scalars) {
+      result.scalar_totals[name] += value;
+    }
+    for (const auto& [name, state] : out.histograms) {
+      result.histograms[name].merge(state);
+    }
+    result.homes.insert(result.homes.end(), out.homes.begin(),
+                        out.homes.end());
+  }
+  std::sort(result.homes.begin(), result.homes.end(),
+            [](const SharedHomeStatus& a, const SharedHomeStatus& b) {
+              return a.home_id < b.home_id;
+            });
+  for (const SharedHomeStatus& home : result.homes) {
+    if (home.ok()) ++result.homes_ok;
+  }
+  result.wall_ms = wall_ms_since(start);
+  return result;
+}
+
+}  // namespace hw::fleet

@@ -1,0 +1,107 @@
+// Shared-controller fleet: N home datapaths handshaking over framed stream
+// channels into ONE controller event loop — the deployment the paper argues
+// for in §4, where an ISP runs the NOX platform for many subscriber homes
+// and each home keeps only a dumb OpenFlow switch.
+//
+// Topology: the fleet is split into `threads` shards. Each shard owns one
+// sim::EventLoop, one nox::Controller with one set of Homework modules
+// (DHCP, DNS proxy, forwarding) and one DeviceRegistry/PolicyEngine — and
+// every home assigned to the shard contributes its own ofp::Datapath
+// (dpid = home_id + 1) connected through its own ofp::StreamConnection.
+// All controller-side state is keyed by datapath id, so homes that reuse
+// the same device MACs and the same RFC1918 addresses (they all do — every
+// home hands out 192.168.1.100+ to devices 02:..:01+) stay fully isolated.
+//
+// Determinism contract: every home runs the same virtual-time schedule and
+// draws randomness only from its own seeded Rng, so each home's telemetry
+// contribution is independent of which shard ran it and of how homes
+// interleave inside a shard's loop. Counters are integer-valued and sum
+// exactly in doubles, so the merged non-histogram totals are bit-identical
+// across worker-pool sizes. Histograms time wall-clock nanoseconds and are
+// merged but excluded from determinism comparisons.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "util/types.hpp"
+
+namespace hw::fleet {
+
+struct SharedFleetConfig {
+  /// Number of homes (one datapath each). Home k gets dpid k + 1.
+  std::size_t homes = 16;
+  /// Worker threads; each runs one controller shard. 0 = one per hardware
+  /// thread. Never more shards than homes.
+  std::size_t threads = 1;
+  /// Fleet seed; home k draws from FleetRunner::home_seed(seed, k).
+  std::uint64_t seed = 1;
+  /// Virtual time each shard simulates.
+  Duration duration = 5 * kSecond;
+  /// Devices attached per home; identical MACs across homes on purpose.
+  std::size_t devices_per_home = 2;
+  /// Controller channel: one-way stream latency, per-send jitter, and max
+  /// bytes per read (0 = unbounded; small values force frame reassembly).
+  Duration channel_latency = 100;
+  Duration channel_jitter = 0;
+  std::size_t channel_mtu = 0;
+  /// After binding, devices exchange UDP with a peer in their own home,
+  /// driving proxy-ARP and flow setup through the shared controller.
+  bool traffic = true;
+};
+
+/// Per-home verdict harvested on the shard that ran it.
+struct SharedHomeStatus {
+  std::size_t home_id = 0;
+  std::uint64_t dpid = 0;
+  std::size_t shard = 0;
+  std::size_t devices = 0;
+  std::size_t devices_bound = 0;  // hold a DHCP lease at end of run
+  std::size_t flow_entries = 0;   // datapath flow-table size at end of run
+  bool all_bound = false;
+
+  [[nodiscard]] bool ok() const { return all_bound; }
+};
+
+struct SharedFleetResult {
+  /// Per-home statuses, sorted by home_id.
+  std::vector<SharedHomeStatus> homes;
+  /// Counter/gauge sums across all shards (the deterministic view).
+  std::map<std::string, double> scalar_totals;
+  /// Bucket-merged histogram state across shards (wall-clock latencies).
+  std::map<std::string, telemetry::HistogramState> histograms;
+
+  std::size_t shards_used = 0;
+  std::size_t homes_ok = 0;
+  double wall_ms = 0.0;
+};
+
+/// Runs a shared-controller fleet on a worker pool and merges per-shard
+/// telemetry. Stateless between run() calls.
+class SharedFleetRunner {
+ public:
+  explicit SharedFleetRunner(SharedFleetConfig config) : config_(config) {}
+
+  [[nodiscard]] const SharedFleetConfig& config() const { return config_; }
+
+  [[nodiscard]] SharedFleetResult run() const;
+
+ private:
+  struct ShardOutcome {
+    std::map<std::string, double> scalars;
+    std::map<std::string, telemetry::HistogramState> histograms;
+    std::vector<SharedHomeStatus> homes;
+  };
+
+  /// Simulates shard `shard` of `shards` (homes with home_id % shards ==
+  /// shard) start-to-finish on the calling thread, under its own registry.
+  [[nodiscard]] ShardOutcome run_shard(std::size_t shard,
+                                       std::size_t shards) const;
+
+  SharedFleetConfig config_;
+};
+
+}  // namespace hw::fleet

@@ -24,11 +24,14 @@ const char* to_string(RegistryEvent e) {
   return "?";
 }
 
-DeviceRecord* DeviceRegistry::touch(MacAddress mac, Timestamp now,
+DeviceRecord* DeviceRegistry::touch(std::uint64_t dpid, MacAddress mac,
+                                    Timestamp now,
                                     const std::string& hostname) {
-  auto it = devices_.find(mac);
+  const Key key{dpid, mac};
+  auto it = devices_.find(key);
   if (it == devices_.end()) {
     DeviceRecord rec;
+    rec.dpid = dpid;
     rec.mac = mac;
     rec.state = default_ == AdmissionDefault::PermitAll ? DeviceState::Permitted
                                                         : DeviceState::Pending;
@@ -36,7 +39,7 @@ DeviceRecord* DeviceRegistry::touch(MacAddress mac, Timestamp now,
     rec.first_seen = now;
     rec.last_seen = now;
     rec.dhcp_requests = 1;
-    it = devices_.emplace(mac, std::move(rec)).first;
+    it = devices_.emplace(key, std::move(rec)).first;
     emit(RegistryEvent::Discovered, it->second);
     return &it->second;
   }
@@ -46,19 +49,37 @@ DeviceRecord* DeviceRegistry::touch(MacAddress mac, Timestamp now,
   return &it->second;
 }
 
-const DeviceRecord* DeviceRegistry::find(MacAddress mac) const {
-  auto it = devices_.find(mac);
+const DeviceRecord* DeviceRegistry::find(std::uint64_t dpid,
+                                         MacAddress mac) const {
+  auto it = devices_.find(Key{dpid, mac});
   return it == devices_.end() ? nullptr : &it->second;
+}
+
+DeviceRecord* DeviceRegistry::find(std::uint64_t dpid, MacAddress mac) {
+  auto it = devices_.find(Key{dpid, mac});
+  return it == devices_.end() ? nullptr : &it->second;
+}
+
+const DeviceRecord* DeviceRegistry::find(MacAddress mac) const {
+  if (const DeviceRecord* rec = find(default_dpid_, mac)) return rec;
+  for (const auto& [key, rec] : devices_) {
+    if (key.second == mac) return &rec;
+  }
+  return nullptr;
 }
 
 DeviceRecord* DeviceRegistry::find(MacAddress mac) {
-  auto it = devices_.find(mac);
-  return it == devices_.end() ? nullptr : &it->second;
+  if (DeviceRecord* rec = find(default_dpid_, mac)) return rec;
+  for (auto& [key, rec] : devices_) {
+    if (key.second == mac) return &rec;
+  }
+  return nullptr;
 }
 
-const DeviceRecord* DeviceRegistry::find_by_ip(Ipv4Address ip) const {
-  for (const auto& [_, rec] : devices_) {
-    if (rec.lease && rec.lease->ip == ip) return &rec;
+const DeviceRecord* DeviceRegistry::find_by_ip(std::uint64_t dpid,
+                                               Ipv4Address ip) const {
+  for (const auto& [key, rec] : devices_) {
+    if (key.first == dpid && rec.lease && rec.lease->ip == ip) return &rec;
   }
   return nullptr;
 }
@@ -70,16 +91,26 @@ std::vector<const DeviceRecord*> DeviceRegistry::all() const {
   return out;
 }
 
-bool DeviceRegistry::set_state(MacAddress mac, DeviceState state, Timestamp now) {
-  DeviceRecord* rec = find(mac);
+std::vector<const DeviceRecord*> DeviceRegistry::all(std::uint64_t dpid) const {
+  std::vector<const DeviceRecord*> out;
+  for (const auto& [key, rec] : devices_) {
+    if (key.first == dpid) out.push_back(&rec);
+  }
+  return out;
+}
+
+bool DeviceRegistry::set_state(std::uint64_t dpid, MacAddress mac,
+                               DeviceState state, Timestamp now) {
+  DeviceRecord* rec = find(dpid, mac);
   if (rec == nullptr) {
     // Allow pre-authorisation of devices that have not appeared yet.
     DeviceRecord fresh;
+    fresh.dpid = dpid;
     fresh.mac = mac;
     fresh.state = state;
     fresh.first_seen = now;
     fresh.last_seen = now;
-    auto [it, _] = devices_.emplace(mac, std::move(fresh));
+    auto [it, _] = devices_.emplace(Key{dpid, mac}, std::move(fresh));
     emit(RegistryEvent::StateChanged, it->second);
     return true;
   }
@@ -90,8 +121,19 @@ bool DeviceRegistry::set_state(MacAddress mac, DeviceState state, Timestamp now)
   return true;
 }
 
-bool DeviceRegistry::set_name(MacAddress mac, std::string name, Timestamp now) {
-  DeviceRecord* rec = find(mac);
+bool DeviceRegistry::set_state(MacAddress mac, DeviceState state,
+                               Timestamp now) {
+  // Compat path: act on an existing record wherever it lives, else create
+  // one under the default home.
+  if (DeviceRecord* rec = find(mac)) {
+    return set_state(rec->dpid, mac, state, now);
+  }
+  return set_state(default_dpid_, mac, state, now);
+}
+
+bool DeviceRegistry::set_name(std::uint64_t dpid, MacAddress mac,
+                              std::string name, Timestamp now) {
+  DeviceRecord* rec = find(dpid, mac);
   if (rec == nullptr) return false;
   rec->name = std::move(name);
   rec->last_seen = now;
@@ -99,25 +141,33 @@ bool DeviceRegistry::set_name(MacAddress mac, std::string name, Timestamp now) {
   return true;
 }
 
-void DeviceRegistry::record_lease(MacAddress mac, Lease lease, bool renewal,
-                                  Timestamp now) {
+bool DeviceRegistry::set_name(MacAddress mac, std::string name, Timestamp now) {
   DeviceRecord* rec = find(mac);
-  if (rec == nullptr) rec = touch(mac, now, lease.hostname);
+  if (rec == nullptr) return false;
+  return set_name(rec->dpid, mac, std::move(name), now);
+}
+
+void DeviceRegistry::record_lease(std::uint64_t dpid, MacAddress mac,
+                                  Lease lease, bool renewal, Timestamp now) {
+  DeviceRecord* rec = find(dpid, mac);
+  if (rec == nullptr) rec = touch(dpid, mac, now, lease.hostname);
   rec->lease = std::move(lease);
   rec->last_seen = now;
   emit(renewal ? RegistryEvent::LeaseRenewed : RegistryEvent::LeaseGranted, *rec);
 }
 
-void DeviceRegistry::clear_lease(MacAddress mac, bool expired, Timestamp now) {
-  DeviceRecord* rec = find(mac);
+void DeviceRegistry::clear_lease(std::uint64_t dpid, MacAddress mac,
+                                 bool expired, Timestamp now) {
+  DeviceRecord* rec = find(dpid, mac);
   if (rec == nullptr || !rec->lease) return;
   rec->lease.reset();
   rec->last_seen = now;
   emit(expired ? RegistryEvent::LeaseExpired : RegistryEvent::LeaseReleased, *rec);
 }
 
-void DeviceRegistry::note_location(MacAddress mac, std::uint16_t port) {
-  DeviceRecord* rec = find(mac);
+void DeviceRegistry::note_location(std::uint64_t dpid, MacAddress mac,
+                                   std::uint16_t port) {
+  DeviceRecord* rec = find(dpid, mac);
   if (rec != nullptr) rec->port = port;
 }
 
@@ -127,14 +177,18 @@ void DeviceRegistry::emit(RegistryEvent e, const DeviceRecord& rec) {
 
 namespace {
 constexpr std::uint32_t kRegistryTag = snapshot::tag("DREG");
+constexpr std::uint8_t kRegistryVersion = 2;  // v2: per-record dpid
 }  // namespace
 
 void DeviceRegistry::save(snapshot::Writer& w) const {
   ByteWriter& c = w.begin_chunk(kRegistryTag);
+  c.u8(kRegistryVersion);
   c.u8(static_cast<std::uint8_t>(default_));
+  c.u64(default_dpid_);
   c.u32(static_cast<std::uint32_t>(devices_.size()));
-  for (const auto& [mac, rec] : devices_) {
-    snapshot::put_mac(c, mac);
+  for (const auto& [key, rec] : devices_) {
+    c.u64(key.first);
+    snapshot::put_mac(c, rec.mac);
     c.u8(static_cast<std::uint8_t>(rec.state));
     snapshot::put_string(c, rec.name);
     snapshot::put_string(c, rec.hostname);
@@ -158,20 +212,30 @@ Status DeviceRegistry::restore(const snapshot::Reader& r) {
   const Bytes* chunk = r.find(kRegistryTag);
   if (chunk == nullptr) return Status::success();
   ByteReader br(*chunk);
+  auto version = br.u8();
+  if (!version) return make_error("registry snapshot: truncated header");
+  if (version.value() != kRegistryVersion) {
+    return make_error("registry snapshot: unsupported version");
+  }
   auto def = br.u8();
+  auto default_dpid = br.u64();
   auto count = br.u32();
-  if (!def || !count) return make_error("registry snapshot: truncated header");
-  std::map<MacAddress, DeviceRecord> devices;
+  if (!def || !default_dpid || !count) {
+    return make_error("registry snapshot: truncated header");
+  }
+  std::map<Key, DeviceRecord> devices;
   for (std::uint32_t i = 0; i < count.value(); ++i) {
     DeviceRecord rec;
+    auto dpid = br.u64();
     auto mac = snapshot::get_mac(br);
     auto state = br.u8();
     auto name = snapshot::get_string(br);
     auto hostname = snapshot::get_string(br);
     auto has_lease = br.u8();
-    if (!mac || !state || !name || !hostname || !has_lease) {
+    if (!dpid || !mac || !state || !name || !hostname || !has_lease) {
       return make_error("registry snapshot: truncated record");
     }
+    rec.dpid = dpid.value();
     rec.mac = mac.value();
     rec.state = static_cast<DeviceState>(state.value());
     rec.name = std::move(name).take();
@@ -207,9 +271,10 @@ Status DeviceRegistry::restore(const snapshot::Reader& r) {
     rec.first_seen = first_seen.value();
     rec.last_seen = last_seen.value();
     rec.dhcp_requests = dhcp_requests.value();
-    devices.emplace(rec.mac, std::move(rec));
+    devices.emplace(Key{rec.dpid, rec.mac}, std::move(rec));
   }
   default_ = static_cast<AdmissionDefault>(def.value());
+  default_dpid_ = default_dpid.value();
   devices_ = std::move(devices);
   return Status::success();
 }

@@ -3,12 +3,19 @@
 // control interface), user-supplied metadata, and its current lease if any.
 // The DHCP server, DNS proxy, forwarding module and control API all consult
 // and update this registry.
+//
+// Records are keyed by (datapath id, MAC): under a shared controller one
+// registry serves many homes, and the same MAC in two homes is two distinct
+// devices with independent admission state and leases. Single-home callers
+// use the mac-only overloads, which resolve against default_dpid().
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "snapshot/snapshottable.hpp"
@@ -34,6 +41,7 @@ struct Lease {
 };
 
 struct DeviceRecord {
+  std::uint64_t dpid = 0;  // home datapath the device lives behind
   MacAddress mac;
   DeviceState state = DeviceState::Pending;
   std::string name;      // user-supplied metadata ("Tom's Mac Air")
@@ -72,33 +80,62 @@ class DeviceRegistry final : public snapshot::Snapshottable {
   explicit DeviceRegistry(AdmissionDefault def = AdmissionDefault::Pending)
       : default_(def) {}
 
-  /// Notes a DHCP sighting of `mac`, creating the record if new. Returns the
-  /// record (never null).
-  DeviceRecord* touch(MacAddress mac, Timestamp now, const std::string& hostname);
+  /// The home that mac-only calls refer to. A single-home router sets this
+  /// to its datapath id; the shared-controller fleet always passes dpids
+  /// explicitly.
+  void set_default_dpid(std::uint64_t dpid) { default_dpid_ = dpid; }
+  [[nodiscard]] std::uint64_t default_dpid() const { return default_dpid_; }
 
+  /// Notes a DHCP sighting of `mac` behind `dpid`, creating the record if
+  /// new. Returns the record (never null).
+  DeviceRecord* touch(std::uint64_t dpid, MacAddress mac, Timestamp now,
+                      const std::string& hostname);
+  DeviceRecord* touch(MacAddress mac, Timestamp now,
+                      const std::string& hostname) {
+    return touch(default_dpid_, mac, now, hostname);
+  }
+
+  [[nodiscard]] const DeviceRecord* find(std::uint64_t dpid,
+                                         MacAddress mac) const;
+  DeviceRecord* find(std::uint64_t dpid, MacAddress mac);
+  /// Mac-only lookup: default home first, then any home (compat for
+  /// single-home callers and tests).
   [[nodiscard]] const DeviceRecord* find(MacAddress mac) const;
   DeviceRecord* find(MacAddress mac);
-  [[nodiscard]] const DeviceRecord* find_by_ip(Ipv4Address ip) const;
+
+  [[nodiscard]] const DeviceRecord* find_by_ip(std::uint64_t dpid,
+                                               Ipv4Address ip) const;
+  [[nodiscard]] const DeviceRecord* find_by_ip(Ipv4Address ip) const {
+    return find_by_ip(default_dpid_, ip);
+  }
+
   [[nodiscard]] std::vector<const DeviceRecord*> all() const;
+  [[nodiscard]] std::vector<const DeviceRecord*> all(std::uint64_t dpid) const;
   [[nodiscard]] std::size_t size() const { return devices_.size(); }
 
   /// Admission decisions (control API / Figure 3 board).
+  bool set_state(std::uint64_t dpid, MacAddress mac, DeviceState state,
+                 Timestamp now);
   bool set_state(MacAddress mac, DeviceState state, Timestamp now);
+  bool set_name(std::uint64_t dpid, MacAddress mac, std::string name,
+                Timestamp now);
   bool set_name(MacAddress mac, std::string name, Timestamp now);
 
   /// Lease lifecycle (DHCP server).
-  void record_lease(MacAddress mac, Lease lease, bool renewal, Timestamp now);
-  void clear_lease(MacAddress mac, bool expired, Timestamp now);
+  void record_lease(std::uint64_t dpid, MacAddress mac, Lease lease,
+                    bool renewal, Timestamp now);
+  void clear_lease(std::uint64_t dpid, MacAddress mac, bool expired,
+                   Timestamp now);
 
   /// Notes the switch port a packet from `mac` arrived on (no event).
-  void note_location(MacAddress mac, std::uint16_t port);
+  void note_location(std::uint64_t dpid, MacAddress mac, std::uint16_t port);
 
   void add_listener(Listener listener) { listeners_.push_back(std::move(listener)); }
 
   [[nodiscard]] AdmissionDefault admission_default() const { return default_; }
   void set_admission_default(AdmissionDefault def) { default_ = def; }
 
-  // -- Snapshottable ('DREG' chunk) -------------------------------------------
+  // -- Snapshottable ('DREG' chunk, format v2: per-record dpid) ---------------
   // Captures every device record, including admission state, metadata, lease
   // and learned port. Restore replaces the record map directly — listeners
   // stay registered but no Registry events fire.
@@ -106,10 +143,13 @@ class DeviceRegistry final : public snapshot::Snapshottable {
   Status restore(const snapshot::Reader& r) override;
 
  private:
+  using Key = std::pair<std::uint64_t, MacAddress>;
+
   void emit(RegistryEvent e, const DeviceRecord& rec);
 
   AdmissionDefault default_;
-  std::map<MacAddress, DeviceRecord> devices_;
+  std::uint64_t default_dpid_ = 1;
+  std::map<Key, DeviceRecord> devices_;
   std::vector<Listener> listeners_;
 };
 

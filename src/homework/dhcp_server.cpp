@@ -49,8 +49,8 @@ void DhcpServer::process(nox::DatapathId dpid, std::uint16_t in_port,
                          const net::ParsedPacket& packet,
                          const net::DhcpMessage& msg) {
   const Timestamp now = controller().loop().now();
-  DeviceRecord* rec = registry_.touch(msg.chaddr, now, msg.hostname);
-  registry_.note_location(msg.chaddr, in_port);
+  DeviceRecord* rec = registry_.touch(dpid, msg.chaddr, now, msg.hostname);
+  registry_.note_location(dpid, msg.chaddr, in_port);
   (void)packet;
 
   switch (msg.message_type) {
@@ -72,8 +72,8 @@ void DhcpServer::process(nox::DatapathId dpid, std::uint16_t in_port,
       // A lossy network re-sends DISCOVERs; the sticky allocator hands the
       // same address back, so a retransmit can never double-allocate. Count
       // it so the chaos suite can read the recovery story off telemetry.
-      if (allocation(msg.chaddr)) metrics_.retransmits.inc();
-      auto ip = allocate(msg.chaddr);
+      if (allocation(dpid, msg.chaddr)) metrics_.retransmits.inc();
+      auto ip = allocate(dpid, msg.chaddr);
       if (!ip) {
         metrics_.pool_exhausted.inc();
         HW_LOG_WARN(kLog, "address pool exhausted for %s",
@@ -97,7 +97,7 @@ void DhcpServer::process(nox::DatapathId dpid, std::uint16_t in_port,
       }
       // The requested address must match our allocation (either from the
       // preceding OFFER or a renewal of the active lease in ciaddr).
-      auto allocated = allocation(msg.chaddr);
+      auto allocated = allocation(dpid, msg.chaddr);
       const Ipv4Address wanted =
           msg.requested_ip.value_or(msg.ciaddr);
       if (!allocated || wanted.is_zero() || wanted != *allocated) {
@@ -119,7 +119,7 @@ void DhcpServer::process(nox::DatapathId dpid, std::uint16_t in_port,
       lease.granted_at = now;
       lease.expires_at = now + static_cast<Duration>(config_.lease_secs) * kSecond;
       lease.hostname = msg.hostname;
-      registry_.record_lease(msg.chaddr, lease, renewal, now);
+      registry_.record_lease(dpid, msg.chaddr, lease, renewal, now);
       metrics_.acks.inc();
       send_reply(dpid, in_port,
                  make_reply(msg, net::DhcpMessageType::Ack, *allocated),
@@ -129,18 +129,20 @@ void DhcpServer::process(nox::DatapathId dpid, std::uint16_t in_port,
 
     case net::DhcpMessageType::Release: {
       metrics_.releases.inc();
-      registry_.clear_lease(msg.chaddr, /*expired=*/false, now);
+      registry_.clear_lease(dpid, msg.chaddr, /*expired=*/false, now);
       return;
     }
 
     case net::DhcpMessageType::Decline: {
       metrics_.declines.inc();
       // The client saw an address conflict; blacklist the address.
-      if (auto it = allocations_.find(msg.chaddr); it != allocations_.end()) {
-        declined_.insert(it->second);
-        allocations_.erase(it);
+      Scope& scope = scopes_[dpid];
+      if (auto it = scope.allocations.find(msg.chaddr);
+          it != scope.allocations.end()) {
+        scope.declined.insert(it->second);
+        scope.allocations.erase(it);
       }
-      registry_.clear_lease(msg.chaddr, /*expired=*/false, now);
+      registry_.clear_lease(dpid, msg.chaddr, /*expired=*/false, now);
       return;
     }
 
@@ -185,29 +187,35 @@ void DhcpServer::send_reply(nox::DatapathId dpid, std::uint16_t port,
   controller().send_packet_out(dpid, po);
 }
 
-std::optional<Ipv4Address> DhcpServer::allocation(MacAddress mac) const {
-  auto it = allocations_.find(mac);
-  return it == allocations_.end() ? std::nullopt
-                                  : std::optional<Ipv4Address>(it->second);
+std::optional<Ipv4Address> DhcpServer::allocation(nox::DatapathId dpid,
+                                                  MacAddress mac) const {
+  auto scope_it = scopes_.find(dpid);
+  if (scope_it == scopes_.end()) return std::nullopt;
+  auto it = scope_it->second.allocations.find(mac);
+  return it == scope_it->second.allocations.end()
+             ? std::nullopt
+             : std::optional<Ipv4Address>(it->second);
 }
 
-std::optional<Ipv4Address> DhcpServer::allocate(MacAddress mac) {
-  if (auto existing = allocation(mac)) return existing;
+std::optional<Ipv4Address> DhcpServer::allocate(nox::DatapathId dpid,
+                                                MacAddress mac) {
+  if (auto existing = allocation(dpid, mac)) return existing;
+  Scope& scope = scopes_[dpid];
   // Linear scan of the pool for a free address. Home pools are small (~100
   // addresses) so this stays trivially fast.
   for (std::uint32_t a = config_.pool_start.value(); a <= config_.pool_end.value();
        ++a) {
     const Ipv4Address candidate{a};
-    if (declined_.count(candidate) != 0) continue;
+    if (scope.declined.count(candidate) != 0) continue;
     bool taken = false;
-    for (const auto& [_, ip] : allocations_) {
+    for (const auto& [_, ip] : scope.allocations) {
       if (ip == candidate) {
         taken = true;
         break;
       }
     }
     if (!taken) {
-      allocations_[mac] = candidate;
+      scope.allocations[mac] = candidate;
       return candidate;
     }
   }
@@ -219,7 +227,7 @@ void DhcpServer::sweep_expiry() {
   for (const DeviceRecord* rec : registry_.all()) {
     if (rec->lease && rec->lease->expires_at <= now) {
       metrics_.expired.inc();
-      registry_.clear_lease(rec->mac, /*expired=*/true, now);
+      registry_.clear_lease(rec->dpid, rec->mac, /*expired=*/true, now);
     }
   }
 }
@@ -230,13 +238,17 @@ constexpr std::uint32_t kDhcpTag = snapshot::tag("DHCP");
 
 void DhcpServer::save(snapshot::Writer& w) const {
   ByteWriter& c = w.begin_chunk(kDhcpTag);
-  c.u32(static_cast<std::uint32_t>(allocations_.size()));
-  for (const auto& [mac, ip] : allocations_) {
-    snapshot::put_mac(c, mac);
-    snapshot::put_ip(c, ip);
+  c.u32(static_cast<std::uint32_t>(scopes_.size()));
+  for (const auto& [dpid, scope] : scopes_) {
+    c.u64(dpid);
+    c.u32(static_cast<std::uint32_t>(scope.allocations.size()));
+    for (const auto& [mac, ip] : scope.allocations) {
+      snapshot::put_mac(c, mac);
+      snapshot::put_ip(c, ip);
+    }
+    c.u32(static_cast<std::uint32_t>(scope.declined.size()));
+    for (const Ipv4Address ip : scope.declined) snapshot::put_ip(c, ip);
   }
-  c.u32(static_cast<std::uint32_t>(declined_.size()));
-  for (const Ipv4Address ip : declined_) snapshot::put_ip(c, ip);
   w.end_chunk();
 }
 
@@ -244,25 +256,30 @@ Status DhcpServer::restore(const snapshot::Reader& r) {
   const Bytes* chunk = r.find(kDhcpTag);
   if (chunk == nullptr) return Status::success();
   ByteReader br(*chunk);
-  auto nalloc = br.u32();
-  if (!nalloc) return nalloc.error();
-  std::map<MacAddress, Ipv4Address> allocations;
-  for (std::uint32_t i = 0; i < nalloc.value(); ++i) {
-    auto mac = snapshot::get_mac(br);
-    auto ip = snapshot::get_ip(br);
-    if (!mac || !ip) return make_error("dhcp snapshot: truncated allocation");
-    allocations.emplace(mac.value(), ip.value());
+  auto nscopes = br.u32();
+  if (!nscopes) return nscopes.error();
+  std::map<nox::DatapathId, Scope> scopes;
+  for (std::uint32_t s = 0; s < nscopes.value(); ++s) {
+    auto dpid = br.u64();
+    auto nalloc = br.u32();
+    if (!dpid || !nalloc) return make_error("dhcp snapshot: truncated scope");
+    Scope scope;
+    for (std::uint32_t i = 0; i < nalloc.value(); ++i) {
+      auto mac = snapshot::get_mac(br);
+      auto ip = snapshot::get_ip(br);
+      if (!mac || !ip) return make_error("dhcp snapshot: truncated allocation");
+      scope.allocations.emplace(mac.value(), ip.value());
+    }
+    auto ndeclined = br.u32();
+    if (!ndeclined) return ndeclined.error();
+    for (std::uint32_t i = 0; i < ndeclined.value(); ++i) {
+      auto ip = snapshot::get_ip(br);
+      if (!ip) return make_error("dhcp snapshot: truncated declined set");
+      scope.declined.insert(ip.value());
+    }
+    scopes.emplace(dpid.value(), std::move(scope));
   }
-  auto ndeclined = br.u32();
-  if (!ndeclined) return ndeclined.error();
-  std::set<Ipv4Address> declined;
-  for (std::uint32_t i = 0; i < ndeclined.value(); ++i) {
-    auto ip = snapshot::get_ip(br);
-    if (!ip) return make_error("dhcp snapshot: truncated declined set");
-    declined.insert(ip.value());
-  }
-  allocations_ = std::move(allocations);
-  declined_ = std::move(declined);
+  scopes_ = std::move(scopes);
   return Status::success();
 }
 

@@ -74,14 +74,18 @@ class DhcpServer final : public nox::Component, public snapshot::Snapshottable {
             metrics_.retransmits.value()};
   }
   [[nodiscard]] const Config& config() const { return config_; }
-  /// Current address allocation (MAC keyed), including offered-not-acked.
-  [[nodiscard]] std::optional<Ipv4Address> allocation(MacAddress mac) const;
+  /// Current address allocation in `dpid`'s scope, incl. offered-not-acked.
+  [[nodiscard]] std::optional<Ipv4Address> allocation(nox::DatapathId dpid,
+                                                      MacAddress mac) const;
+  [[nodiscard]] std::optional<Ipv4Address> allocation(MacAddress mac) const {
+    return allocation(registry_.default_dpid(), mac);
+  }
   /// Runs one lease-expiry sweep immediately (normally timer-driven).
   void sweep_expiry();
 
-  // -- Snapshottable ('DHCP' chunk) -------------------------------------------
-  // Captures the allocation map and the declined-address set; lease expiry
-  // deadlines live in DeviceRegistry records and are restored there.
+  // -- Snapshottable ('DHCP' chunk, v2: per-dpid scopes) ----------------------
+  // Captures each home's allocation map and declined-address set; lease
+  // expiry deadlines live in DeviceRegistry records and are restored there.
   void save(snapshot::Writer& w) const override;
   Status restore(const snapshot::Reader& r) override;
 
@@ -92,8 +96,9 @@ class DhcpServer final : public nox::Component, public snapshot::Snapshottable {
                   const net::DhcpMessage& reply, MacAddress client_mac);
   net::DhcpMessage make_reply(const net::DhcpMessage& req,
                               net::DhcpMessageType type, Ipv4Address yiaddr) const;
-  /// Sticky allocation: reuse the previous address when possible.
-  std::optional<Ipv4Address> allocate(MacAddress mac);
+  /// Sticky allocation: reuse the previous address when possible. Each home
+  /// datapath draws from its own copy of the pool.
+  std::optional<Ipv4Address> allocate(nox::DatapathId dpid, MacAddress mac);
 
   Config config_;
   DeviceRegistry& registry_;
@@ -110,8 +115,14 @@ class DhcpServer final : public nox::Component, public snapshot::Snapshottable {
     telemetry::Counter expired{"homework.dhcp.expired"};
     telemetry::Counter retransmits{"homework.dhcp.retransmits"};
   } metrics_;
-  std::map<MacAddress, Ipv4Address> allocations_;
-  std::set<Ipv4Address> declined_;  // addresses a client reported in use
+  /// One home's address-space state. Homes behind different datapaths use
+  /// identical (overlapping) private pools — exactly why scoping by dpid is
+  /// load-bearing under a shared controller.
+  struct Scope {
+    std::map<MacAddress, Ipv4Address> allocations;
+    std::set<Ipv4Address> declined;  // addresses a client reported in use
+  };
+  std::map<nox::DatapathId, Scope> scopes_;
   std::unique_ptr<sim::PeriodicTimer> expiry_timer_;
 };
 

@@ -41,9 +41,9 @@ nox::Disposition DnsProxy::handle_packet_in(const nox::PacketInEvent& ev) {
 void DnsProxy::handle_query(const nox::PacketInEvent& ev) {
   metrics_.queries.inc();
   const MacAddress device = ev.packet.eth.src;
-  registry_.note_location(device, ev.msg.in_port);
+  registry_.note_location(ev.dpid, device, ev.msg.in_port);
 
-  const DeviceRecord* rec = registry_.find(device);
+  const DeviceRecord* rec = registry_.find(ev.dpid, device);
   if (rec == nullptr || rec->state != DeviceState::Permitted || !rec->lease) {
     metrics_.dropped_unpermitted.inc();
     return;  // drop silently; unadmitted devices get no resolution
@@ -54,7 +54,7 @@ void DnsProxy::handle_query(const nox::PacketInEvent& ev) {
   const auto& query = msg.value();
   const std::string qname = query.questions.front().name;
 
-  if (!policy_.domain_allowed(device.to_string(), qname)) {
+  if (!policy_.domain_allowed(ev.dpid, device.to_string(), qname)) {
     metrics_.blocked.inc();
     auto refusal = query.make_response();
     refusal.rcode = net::DnsRcode::NxDomain;
@@ -68,7 +68,7 @@ void DnsProxy::handle_query(const nox::PacketInEvent& ev) {
   // Remember where the answer should go, then relay upstream unchanged
   // (transparent proxy: source stays the client, so the upstream reply
   // comes back through our port-53 interception rule).
-  pending_[{ev.packet.ip->src.value(), query.id}] =
+  pending_[{ev.dpid, ev.packet.ip->src.value(), query.id}] =
       PendingQuery{device, ev.msg.in_port, qname};
   metrics_.forwarded.inc();
   relay_upstream(ev.dpid, ev.packet);
@@ -111,10 +111,11 @@ void DnsProxy::handle_response(const nox::PacketInEvent& ev) {
     }
     FlowVerdict verdict = FlowVerdict::Deny;
     if (!name.empty() &&
-        policy_.domain_allowed(pending.device.to_string(), name)) {
+        policy_.domain_allowed(pending.dpid, pending.device.to_string(),
+                               name)) {
       verdict = FlowVerdict::Allow;
       // Cache so subsequent flows to this address pass synchronously.
-      auto& entry = cache_[pending.device][pending.target];
+      auto& entry = cache_[{pending.dpid, pending.device}][pending.target];
       entry.names.insert(name);
       entry.expires_at = controller().loop().now() +
                          static_cast<Duration>(config_.cache_ttl_secs) * kSecond;
@@ -125,21 +126,22 @@ void DnsProxy::handle_response(const nox::PacketInEvent& ev) {
   }
 
   // Otherwise: an upstream answer for a client query we relayed.
-  auto it = pending_.find({ev.packet.ip->dst.value(), resp.id});
+  auto it = pending_.find({ev.dpid, ev.packet.ip->dst.value(), resp.id});
   if (it == pending_.end()) return;
   const PendingQuery pending = it->second;
   pending_.erase(it);
 
-  record_answers(pending.device, resp);
+  record_answers(ev.dpid, pending.device, resp);
   metrics_.responses.inc();
 
-  const DeviceRecord* rec = registry_.find(pending.device);
+  const DeviceRecord* rec = registry_.find(ev.dpid, pending.device);
   if (rec == nullptr || !rec->lease) return;
   send_to_device(ev.dpid, pending.device, pending.device_port, rec->lease->ip,
                  ev.packet.udp->dst_port, resp);
 }
 
-void DnsProxy::record_answers(MacAddress device, const net::DnsMessage& msg) {
+void DnsProxy::record_answers(nox::DatapathId dpid, MacAddress device,
+                              const net::DnsMessage& msg) {
   const Timestamp expiry =
       controller().loop().now() +
       static_cast<Duration>(config_.cache_ttl_secs) * kSecond;
@@ -151,7 +153,7 @@ void DnsProxy::record_answers(MacAddress device, const net::DnsMessage& msg) {
       continue;
     }
     if (rec.rtype != net::DnsType::A) continue;
-    auto& entry = cache_[device][rec.address];
+    auto& entry = cache_[{dpid, device}][rec.address];
     entry.names.insert(rec.name);
     entry.names.insert(names.begin(), names.end());
     entry.expires_at = expiry;
@@ -172,13 +174,14 @@ void DnsProxy::send_to_device(nox::DatapathId dpid, MacAddress device_mac,
   controller().send_packet_out(dpid, po);
 }
 
-DnsProxy::FlowVerdict DnsProxy::check_flow(MacAddress device,
+DnsProxy::FlowVerdict DnsProxy::check_flow(nox::DatapathId dpid,
+                                           MacAddress device,
                                            Ipv4Address dst) const {
-  const auto restriction = policy_.restriction_for(device.to_string());
+  const auto restriction = policy_.restriction_for(dpid, device.to_string());
   if (restriction.network_blocked) return FlowVerdict::Deny;
   if (restriction.unrestricted()) return FlowVerdict::Allow;
 
-  auto dev_it = cache_.find(device);
+  auto dev_it = cache_.find({dpid, device});
   if (dev_it != cache_.end()) {
     auto it = dev_it->second.find(dst);
     if (it != dev_it->second.end() &&
@@ -201,6 +204,7 @@ void DnsProxy::reverse_lookup(nox::DatapathId dpid, MacAddress device,
                                       net::DnsType::Ptr);
 
   PendingReverse pending;
+  pending.dpid = dpid;
   pending.device = device;
   pending.target = dst;
   pending.cb = std::move(cb);
@@ -222,9 +226,10 @@ void DnsProxy::reverse_lookup(nox::DatapathId dpid, MacAddress device,
   controller().send_packet_out(dpid, po);
 }
 
-std::vector<std::string> DnsProxy::names_for(MacAddress device) const {
+std::vector<std::string> DnsProxy::names_for(nox::DatapathId dpid,
+                                             MacAddress device) const {
   std::vector<std::string> out;
-  auto it = cache_.find(device);
+  auto it = cache_.find({dpid, device});
   if (it == cache_.end()) return out;
   std::set<std::string> names;
   for (const auto& [_, entry] : it->second) {

@@ -16,7 +16,9 @@
 #include <map>
 #include <set>
 #include <string>
+#include <tuple>
 #include <unordered_map>
+#include <utility>
 
 #include "homework/device_registry.hpp"
 #include "net/dns.hpp"
@@ -59,16 +61,25 @@ class DnsProxy final : public nox::Component {
 
   // -- Flow admission interface used by the forwarding module ------------------
   enum class FlowVerdict { Allow, Deny, Unknown };
-  /// Synchronous check: is `dst` covered by a name this device was allowed
-  /// to resolve (or is the device unrestricted)?
-  [[nodiscard]] FlowVerdict check_flow(MacAddress device, Ipv4Address dst) const;
+  /// Synchronous check: is `dst` covered by a name this device (behind
+  /// `dpid`) was allowed to resolve, or is the device unrestricted?
+  [[nodiscard]] FlowVerdict check_flow(nox::DatapathId dpid, MacAddress device,
+                                       Ipv4Address dst) const;
+  [[nodiscard]] FlowVerdict check_flow(MacAddress device,
+                                       Ipv4Address dst) const {
+    return check_flow(registry_.default_dpid(), device, dst);
+  }
   /// Asynchronous reverse lookup for Unknown verdicts: fires `cb` with the
   /// final Allow/Deny once the PTR answer (or timeout) arrives.
   void reverse_lookup(nox::DatapathId dpid, MacAddress device, Ipv4Address dst,
                       std::function<void(FlowVerdict)> cb);
 
   /// Names this device successfully resolved recently (for the UI).
-  [[nodiscard]] std::vector<std::string> names_for(MacAddress device) const;
+  [[nodiscard]] std::vector<std::string> names_for(nox::DatapathId dpid,
+                                                   MacAddress device) const;
+  [[nodiscard]] std::vector<std::string> names_for(MacAddress device) const {
+    return names_for(registry_.default_dpid(), device);
+  }
 
   [[nodiscard]] DnsProxyStats stats() const {
     return {metrics_.queries.value(),
@@ -89,7 +100,8 @@ class DnsProxy final : public nox::Component {
   void send_to_device(nox::DatapathId dpid, MacAddress device_mac,
                       std::uint16_t device_port, Ipv4Address device_ip,
                       std::uint16_t device_udp_port, const net::DnsMessage& msg);
-  void record_answers(MacAddress device, const net::DnsMessage& msg);
+  void record_answers(nox::DatapathId dpid, MacAddress device,
+                      const net::DnsMessage& msg);
 
   Config config_;
   DeviceRegistry& registry_;
@@ -104,24 +116,33 @@ class DnsProxy final : public nox::Component {
     telemetry::Counter dropped_unpermitted{"homework.dns.dropped_unpermitted"};
   } metrics_;
 
-  /// Per-device name cache: device → (ip → {names, expiry}).
+  /// Per-device name cache: (home, device) → (ip → {names, expiry}). Two
+  /// homes resolving the same name must not share verdicts: their devices
+  /// are restricted independently.
   struct CacheEntry {
     std::set<std::string> names;
     Timestamp expires_at = 0;
   };
-  std::map<MacAddress, std::unordered_map<Ipv4Address, CacheEntry>> cache_;
+  std::map<std::pair<nox::DatapathId, MacAddress>,
+           std::unordered_map<Ipv4Address, CacheEntry>>
+      cache_;
 
-  /// Outstanding client queries relayed upstream, keyed by (client ip, dns
-  /// id); remembers where to send the answer.
+  /// Outstanding client queries relayed upstream, keyed by (home, client ip,
+  /// dns id) — overlapping private address space means the same (ip, id)
+  /// pair can be in flight from two homes at once.
   struct PendingQuery {
     MacAddress device;
     std::uint16_t device_port = 0;  // switch port
     std::string qname;
   };
-  std::map<std::pair<std::uint32_t, std::uint16_t>, PendingQuery> pending_;
+  std::map<std::tuple<nox::DatapathId, std::uint32_t, std::uint16_t>,
+           PendingQuery>
+      pending_;
 
-  /// Outstanding reverse lookups keyed by dns id of our own PTR query.
+  /// Outstanding reverse lookups keyed by dns id of our own PTR query (ids
+  /// are drawn from one shared counter, so the id alone is unambiguous).
   struct PendingReverse {
+    nox::DatapathId dpid = 0;
     MacAddress device;
     Ipv4Address target;
     std::function<void(FlowVerdict)> cb;

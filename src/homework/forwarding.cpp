@@ -28,7 +28,7 @@ void Forwarding::install(nox::Controller& ctl) {
   registry_.add_listener([this](RegistryEvent ev, const DeviceRecord& rec) {
     if (ev == RegistryEvent::StateChanged && rec.lease &&
         rec.state != DeviceState::Permitted) {
-      revoke_device_flows(rec.lease->ip);
+      revoke_device_flows(rec.dpid, rec.lease->ip);
     }
     if ((ev == RegistryEvent::LeaseReleased || ev == RegistryEvent::LeaseExpired)) {
       // rec.lease is already cleared; nothing to revoke by address here —
@@ -63,14 +63,15 @@ nox::Disposition Forwarding::handle_packet_in(const nox::PacketInEvent& ev) {
 
 void Forwarding::handle_arp(const nox::PacketInEvent& ev) {
   const auto& arp = *ev.packet.arp;
-  registry_.note_location(arp.sender_mac, ev.msg.in_port);
+  registry_.note_location(ev.dpid, arp.sender_mac, ev.msg.in_port);
   if (arp.op != net::ArpOp::Request) return;
 
   // Proxy-ARP: the router answers for its own address and for every leased
   // device address, so devices never learn each other's MACs ("avoiding
   // direct Ethernet-layer communication between devices").
   const bool for_router = arp.target_ip == config_.router_ip;
-  const bool for_device = registry_.find_by_ip(arp.target_ip) != nullptr;
+  const bool for_device =
+      registry_.find_by_ip(ev.dpid, arp.target_ip) != nullptr;
   if (!for_router && !for_device) return;
 
   net::ArpMessage reply;
@@ -88,9 +89,10 @@ void Forwarding::handle_arp(const nox::PacketInEvent& ev) {
   controller().send_packet_out(ev.dpid, po);
 }
 
-Forwarding::NextHop Forwarding::next_hop_for(Ipv4Address dst) const {
+Forwarding::NextHop Forwarding::next_hop_for(nox::DatapathId dpid,
+                                             Ipv4Address dst) const {
   NextHop hop;
-  if (const DeviceRecord* rec = registry_.find_by_ip(dst);
+  if (const DeviceRecord* rec = registry_.find_by_ip(dpid, dst);
       rec != nullptr && rec->port) {
     hop.port = *rec->port;
     hop.mac = rec->mac;
@@ -112,8 +114,8 @@ void Forwarding::handle_ipv4(const nox::PacketInEvent& ev) {
   const bool from_upstream = ev.msg.in_port == config_.uplink_port;
 
   if (!from_upstream) {
-    registry_.note_location(src_mac, ev.msg.in_port);
-    const DeviceRecord* rec = registry_.find(src_mac);
+    registry_.note_location(ev.dpid, src_mac, ev.msg.in_port);
+    const DeviceRecord* rec = registry_.find(ev.dpid, src_mac);
     if (rec == nullptr || rec->state != DeviceState::Permitted || !rec->lease ||
         rec->lease->ip != ip.src) {
       // Unknown/unpermitted source or spoofed address: drop, and install a
@@ -142,14 +144,14 @@ void Forwarding::handle_ipv4(const nox::PacketInEvent& ev) {
   }
 
   // Policy gate 1: blanket network access for the source device.
-  if (!from_upstream && !policy_.network_allowed(src_mac.to_string())) {
+  if (!from_upstream && !policy_.network_allowed(ev.dpid, src_mac.to_string())) {
     install_pair(ev.dpid, ev.packet, ev.msg.in_port, ev.msg.buffer_id, false);
     return;
   }
 
   // Local destination must be a leased, permitted device.
   if (config_.subnet.contains(ip.dst)) {
-    const DeviceRecord* dst_rec = registry_.find_by_ip(ip.dst);
+    const DeviceRecord* dst_rec = registry_.find_by_ip(ev.dpid, ip.dst);
     const bool ok = dst_rec != nullptr &&
                     dst_rec->state == DeviceState::Permitted && dst_rec->port;
     install_pair(ev.dpid, ev.packet, ev.msg.in_port, ev.msg.buffer_id, ok);
@@ -161,19 +163,20 @@ void Forwarding::handle_ipv4(const nox::PacketInEvent& ev) {
   // initiate this exchange. Unknown verdicts fail closed — we never reverse-
   // look-up on behalf of inbound traffic.
   if (from_upstream) {
-    const DeviceRecord* dst_rec = registry_.find_by_ip(ip.dst);
+    const DeviceRecord* dst_rec = registry_.find_by_ip(ev.dpid, ip.dst);
     bool ok = dst_rec != nullptr && dst_rec->state == DeviceState::Permitted &&
               dst_rec->port.has_value() &&
-              policy_.network_allowed(dst_rec->mac.to_string());
+              policy_.network_allowed(ev.dpid, dst_rec->mac.to_string());
     if (ok && dns_ != nullptr) {
-      ok = dns_->check_flow(dst_rec->mac, ip.src) == DnsProxy::FlowVerdict::Allow;
+      ok = dns_->check_flow(ev.dpid, dst_rec->mac, ip.src) ==
+           DnsProxy::FlowVerdict::Allow;
     }
     install_pair(ev.dpid, ev.packet, ev.msg.in_port, ev.msg.buffer_id, ok);
     return;
   }
 
   const DnsProxy::FlowVerdict verdict =
-      dns_ != nullptr ? dns_->check_flow(src_mac, ip.dst)
+      dns_ != nullptr ? dns_->check_flow(ev.dpid, src_mac, ip.dst)
                       : DnsProxy::FlowVerdict::Allow;
   switch (verdict) {
     case DnsProxy::FlowVerdict::Allow:
@@ -224,7 +227,7 @@ void Forwarding::install_pair(nox::DatapathId dpid,
     return;
   }
 
-  const NextHop hop = next_hop_for(ip.dst);
+  const NextHop hop = next_hop_for(dpid, ip.dst);
   if (!hop.known) {
     metrics_.flows_denied.inc();
     return;
@@ -237,9 +240,9 @@ void Forwarding::install_pair(nox::DatapathId dpid,
   auto egress_action = [&](std::uint16_t egress_port,
                            Ipv4Address device_ip) -> ofp::Action {
     if (config_.configure_queue) {
-      if (const DeviceRecord* rec = registry_.find_by_ip(device_ip)) {
+      if (const DeviceRecord* rec = registry_.find_by_ip(dpid, device_ip)) {
         const auto restriction =
-            policy_.restriction_for(rec->mac.to_string());
+            policy_.restriction_for(dpid, rec->mac.to_string());
         if (restriction.rate_limit_bps > 0) {
           const std::uint32_t queue_id = device_ip.value() & 0xffff;
           config_.configure_queue(egress_port, queue_id,
@@ -276,7 +279,7 @@ void Forwarding::install_pair(nox::DatapathId dpid,
 
   // Reverse direction (pre-installed so the response doesn't round-trip
   // through the controller).
-  const NextHop back = next_hop_for(ip.src);
+  const NextHop back = next_hop_for(dpid, ip.src);
   if (back.known) {
     ofp::Match rev = ofp::Match::any();
     rev.with_dl_type(static_cast<std::uint16_t>(net::EtherType::Ipv4))
@@ -327,20 +330,18 @@ void Forwarding::revoke_all_flows() {
   }
 }
 
-void Forwarding::revoke_device_flows(Ipv4Address ip) {
-  for (const auto dpid : datapaths_) {
-    ofp::Match as_src = ofp::Match::any();
-    as_src.with_dl_type(static_cast<std::uint16_t>(net::EtherType::Ipv4))
-        .with_nw_src(ip);
-    ofp::Match as_dst = ofp::Match::any();
-    as_dst.with_dl_type(static_cast<std::uint16_t>(net::EtherType::Ipv4))
-        .with_nw_dst(ip);
-    for (const auto& m : {as_src, as_dst}) {
-      ofp::FlowMod del;
-      del.match = m;
-      del.command = ofp::FlowModCommand::Delete;
-      controller().send_flow_mod(dpid, del);
-    }
+void Forwarding::revoke_device_flows(nox::DatapathId dpid, Ipv4Address ip) {
+  ofp::Match as_src = ofp::Match::any();
+  as_src.with_dl_type(static_cast<std::uint16_t>(net::EtherType::Ipv4))
+      .with_nw_src(ip);
+  ofp::Match as_dst = ofp::Match::any();
+  as_dst.with_dl_type(static_cast<std::uint16_t>(net::EtherType::Ipv4))
+      .with_nw_dst(ip);
+  for (const auto& m : {as_src, as_dst}) {
+    ofp::FlowMod del;
+    del.match = m;
+    del.command = ofp::FlowModCommand::Delete;
+    controller().send_flow_mod(dpid, del);
   }
 }
 

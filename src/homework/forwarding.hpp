@@ -78,8 +78,10 @@ class Forwarding final : public nox::Component {
   /// Deletes every forwarding rule (policy changed / manual flush); traffic
   /// re-admits through fresh packet-ins.
   void revoke_all_flows();
-  /// Deletes rules touching one device's address (device denied/revoked).
-  void revoke_device_flows(Ipv4Address ip);
+  /// Deletes rules touching one device's address on its home datapath — the
+  /// same private address is in use in other homes and must stay installed
+  /// there.
+  void revoke_device_flows(nox::DatapathId dpid, Ipv4Address ip);
 
  private:
   void handle_arp(const nox::PacketInEvent& ev);
@@ -94,7 +96,8 @@ class Forwarding final : public nox::Component {
     MacAddress mac;
     bool known = false;
   };
-  [[nodiscard]] NextHop next_hop_for(Ipv4Address dst) const;
+  [[nodiscard]] NextHop next_hop_for(nox::DatapathId dpid,
+                                     Ipv4Address dst) const;
 
   Config config_;
   DeviceRegistry& registry_;

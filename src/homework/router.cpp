@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "openflow/stream_channel.hpp"
+
 namespace hw::homework {
 
 /// Counts wireless transmissions (for the Links table's retry signal) on the
@@ -53,13 +55,22 @@ HomeworkRouter::HomeworkRouter(sim::EventLoop& loop, Rng& rng, Config config,
   telemetry::ScopedMetricRegistry scope(metrics_);
   db_ = std::make_unique<hwdb::Database>(loop_, metrics_);
   registry_ = std::make_unique<DeviceRegistry>(config_.admission);
+  registry_->set_default_dpid(config_.datapath.datapath_id);
   policy_ = std::make_unique<policy::PolicyEngine>([this] { return loop_.now(); });
   wireless_ = std::make_unique<WirelessMap>(config_.wireless, rng_,
                                             config_.ap_position);
 
   datapath_ = std::make_unique<ofp::Datapath>(loop_, config_.datapath, metrics_);
-  connection_ =
-      std::make_unique<ofp::InProcConnection>(loop_, config_.channel_latency);
+  if (config_.transport == Config::Transport::Stream) {
+    ofp::StreamConnection::Config stream;
+    stream.link.latency = config_.channel_latency;
+    stream.link.jitter = config_.channel_jitter;
+    stream.link.mtu = config_.channel_mtu;
+    connection_ = std::make_unique<ofp::StreamConnection>(loop_, stream, &rng_);
+  } else {
+    connection_ =
+        std::make_unique<ofp::InProcConnection>(loop_, config_.channel_latency);
+  }
   controller_ = std::make_unique<nox::Controller>(loop_, metrics_);
 
   upstream_ = std::make_unique<Upstream>(loop_, config_.upstream);

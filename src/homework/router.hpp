@@ -62,7 +62,17 @@ class HomeworkRouter {
     EventExport::Config event_export;
     MetricsExport::Config metrics_export;
     nox::LivenessMonitor::Config liveness;
+    /// Secure-channel transport: InProc delivers whole messages through the
+    /// loop; Stream runs real OpenFlow wire framing over a byte pipe
+    /// (partial/coalesced reads, mid-message cuts on faults).
+    enum class Transport { InProc, Stream };
+    Transport transport = Transport::InProc;
     Duration channel_latency = 100;  // controller channel, microseconds
+    /// Extra per-send jitter on the Stream transport (0 on InProc).
+    Duration channel_jitter = 0;
+    /// Max bytes per stream read (0 = unbounded); small values force the
+    /// framer to reassemble messages from partial reads.
+    std::size_t channel_mtu = 0;
     std::uint16_t uplink_port = 1;
     /// Records every frame crossing the uplink into uplink_trace(), from
     /// which sim::write_pcap produces a tcpdump-compatible capture.
@@ -108,7 +118,7 @@ class HomeworkRouter {
   // -- Subsystem access --------------------------------------------------------
   [[nodiscard]] sim::EventLoop& loop() { return loop_; }
   [[nodiscard]] ofp::Datapath& datapath() { return *datapath_; }
-  [[nodiscard]] ofp::InProcConnection& connection() { return *connection_; }
+  [[nodiscard]] ofp::SecureLink& connection() { return *connection_; }
   [[nodiscard]] nox::Controller& controller() { return *controller_; }
   [[nodiscard]] nox::LivenessMonitor& liveness() { return *liveness_; }
   [[nodiscard]] hwdb::Database& db() { return *db_; }
@@ -162,7 +172,7 @@ class HomeworkRouter {
   std::unique_ptr<policy::PolicyEngine> policy_;
   std::unique_ptr<WirelessMap> wireless_;
   std::unique_ptr<ofp::Datapath> datapath_;
-  std::unique_ptr<ofp::InProcConnection> connection_;
+  std::unique_ptr<ofp::SecureLink> connection_;
   std::unique_ptr<nox::Controller> controller_;
   std::unique_ptr<Upstream> upstream_;
 

@@ -22,6 +22,9 @@ class ChannelEndpoint {
   virtual ~ChannelEndpoint() = default;
   virtual void send(const Bytes& encoded) = 0;
   void on_receive(Handler handler) { handler_ = std::move(handler); }
+  /// Observation tap: sees every delivered message (after reassembly, before
+  /// the handler). Tests compare delivered sequences across transports.
+  void set_tap(Handler tap) { tap_ = std::move(tap); }
   [[nodiscard]] bool connected() const { return connected_; }
 
   /// Snapshot view over the endpoint's telemetry instruments.
@@ -42,6 +45,7 @@ class ChannelEndpoint {
   void dispatch(const Bytes& encoded) {
     metrics_.rx_messages.inc();
     metrics_.rx_bytes.inc(encoded.size());
+    if (tap_) tap_(encoded);
     if (handler_) handler_(encoded);
   }
   void note_sent(std::size_t size) {
@@ -51,6 +55,7 @@ class ChannelEndpoint {
   void note_dropped() { metrics_.tx_dropped.inc(); }
 
   Handler handler_;
+  Handler tap_;
   bool connected_ = true;
 
  private:
@@ -63,22 +68,36 @@ class ChannelEndpoint {
   } metrics_;
 };
 
+/// A secure-channel transport joining a datapath endpoint to a controller
+/// endpoint, with connection-loss fault hooks. Implementations: the
+/// whole-message InProcConnection below and the byte-stream StreamConnection
+/// (stream_channel.hpp).
+class SecureLink {
+ public:
+  virtual ~SecureLink() = default;
+  virtual ChannelEndpoint& datapath_end() = 0;
+  virtual ChannelEndpoint& controller_end() = 0;
+  /// Simulates connection loss: subsequent sends are dropped.
+  virtual void disconnect() = 0;
+  /// Re-establishes a severed connection. Messages dropped during the outage
+  /// stay lost (TCP would have reset); the endpoints must re-handshake.
+  virtual void reconnect() = 0;
+  [[nodiscard]] virtual bool connected() const = 0;
+};
+
 /// An in-process connection joining two endpoints through the event loop,
 /// preserving ordering and (optionally) modelling channel latency.
-class InProcConnection {
+class InProcConnection final : public SecureLink {
  public:
   explicit InProcConnection(sim::EventLoop& loop, Duration latency = 0);
 
-  ~InProcConnection();
-  ChannelEndpoint& datapath_end();
-  ChannelEndpoint& controller_end();
+  ~InProcConnection() override;
+  ChannelEndpoint& datapath_end() override;
+  ChannelEndpoint& controller_end() override;
 
-  /// Simulates connection loss: subsequent sends are dropped.
-  void disconnect();
-  /// Re-establishes a severed connection. Messages dropped during the outage
-  /// stay lost (TCP would have reset); the endpoints must re-handshake.
-  void reconnect();
-  [[nodiscard]] bool connected() const;
+  void disconnect() override;
+  void reconnect() override;
+  [[nodiscard]] bool connected() const override;
 
  private:
   class End;

@@ -420,6 +420,7 @@ void Datapath::handle_channel_message(const Bytes& encoded) {
 
 void Datapath::handle_flow_mod(const FlowMod& mod, std::uint32_t xid) {
   metrics_.flow_mods.inc();
+  if (flow_mod_observer_) flow_mod_observer_(mod);
   std::vector<FlowEntry> removed;
   const FlowModResult result = table_.apply(mod, loop_.now(), &removed);
 

@@ -100,6 +100,12 @@ class Datapath {
   [[nodiscard]] const PortCounters* port_counters(std::uint16_t port) const;
   [[nodiscard]] std::vector<PhyPort> port_descriptions() const;
 
+  /// Observation hook: sees every FlowMod as it is applied. Benches use it
+  /// to timestamp flow installation without touching the datapath's logic.
+  void set_flow_mod_observer(std::function<void(const FlowMod&)> fn) {
+    flow_mod_observer_ = std::move(fn);
+  }
+
   /// Runs one expiry sweep immediately (normally driven by the timer). Also
   /// the fail-safe watchdog: entered when the channel has been silent for
   /// controller_dead_interval, left on the next channel message.
@@ -197,6 +203,7 @@ class Datapath {
     telemetry::Gauge fail_safe;
   } metrics_;
   std::uint32_t next_xid_ = 1;
+  std::function<void(const FlowMod&)> flow_mod_observer_;
   bool fail_safe_ = false;
   Timestamp last_channel_rx_ = 0;
 

@@ -1,0 +1,139 @@
+// The secure channel over a real byte stream: OpenFlow 1.0 header-based
+// framing on top of sim::StreamLink. A StreamFramer reassembles messages
+// from partial reads, splits coalesced reads, and rejects short-header,
+// bad-version and oversized frames without desyncing the stream; a
+// StreamChannel binds a framer to one end of a StreamLink behind the
+// ChannelEndpoint interface; a StreamConnection packages the pair as a
+// SecureLink so HomeworkRouter and the fleet can swap it in for
+// InProcConnection.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+
+#include "openflow/channel.hpp"
+#include "sim/stream.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/bytes.hpp"
+
+namespace hw::ofp {
+
+/// Snapshot view over the framer's telemetry instruments.
+struct StreamFramerStats {
+  std::uint64_t frames_ok = 0;
+  std::uint64_t frames_partial = 0;    // completed from more than one read
+  std::uint64_t frames_coalesced = 0;  // shared one read with other frames
+  std::uint64_t frames_bad = 0;        // rejected headers / resync runs
+};
+
+/// Incremental OpenFlow 1.0 message reassembly. feed() accepts arbitrary
+/// byte chunks and emits exactly the complete messages they contain, in
+/// order. Header validation (per frame at the buffer head):
+///  - version must be kWireVersion (0x01),
+///  - the header length field must be in [kHeaderSize, max_frame].
+/// A frame with a valid length and a plausible foreign version (0x02–0x06,
+/// OF 1.1–1.6) is counted bad and skipped whole (a well-framed message of
+/// another OF version keeps the stream aligned). Any other rejection enters
+/// a byte-wise resync scan that drops bytes until a plausible header lines
+/// up; one contiguous scan run counts as one bad frame no matter how many
+/// bytes it sheds.
+class StreamFramer {
+ public:
+  struct Config {
+    /// Upper bound on a single frame; headers claiming more are rejected.
+    /// The OF 1.0 length field is 16 bits, so 65535 accepts everything a
+    /// spec-conforming peer can send.
+    std::size_t max_frame = 65535;
+  };
+
+  using FrameSink = std::function<void(const Bytes& frame)>;
+
+  StreamFramer() = default;
+  explicit StreamFramer(Config config) : config_(config) {}
+
+  /// Consumes a read's worth of stream bytes, invoking `sink` once per
+  /// complete message.
+  void feed(std::span<const std::uint8_t> data, const FrameSink& sink);
+
+  /// Drops all buffered bytes (stream reset / reconnect).
+  void reset();
+
+  [[nodiscard]] StreamFramerStats stats() const {
+    return {metrics_.frames_ok.value(), metrics_.frames_partial.value(),
+            metrics_.frames_coalesced.value(), metrics_.frames_bad.value()};
+  }
+  [[nodiscard]] std::size_t buffered() const { return buffer_.size(); }
+
+ private:
+  enum class HeaderVerdict { Ok, NeedMore, SkipFrame, Scan };
+  [[nodiscard]] HeaderVerdict check_header(std::size_t& frame_len) const;
+
+  Config config_;
+  Bytes buffer_;
+  bool scanning_ = false;       // inside a contiguous resync run
+  bool frame_was_split_ = false;  // head frame started in an earlier feed
+  struct Instruments {
+    telemetry::Counter frames_ok{"openflow.channel.frames_ok"};
+    telemetry::Counter frames_partial{"openflow.channel.frames_partial"};
+    telemetry::Counter frames_coalesced{"openflow.channel.frames_coalesced"};
+    telemetry::Counter frames_bad{"openflow.channel.frames_bad"};
+  } metrics_;
+};
+
+/// ChannelEndpoint over one end of a byte-stream link: send() writes the
+/// encoded message into the stream, received bytes run through a
+/// StreamFramer and every reassembled message is dispatched to the handler.
+class StreamChannel final : public ChannelEndpoint {
+ public:
+  StreamChannel(sim::StreamLink::End& end, StreamFramer::Config framing = {});
+
+  void send(const Bytes& encoded) override;
+
+  /// Clears reassembly state (a reconnect starts a fresh stream).
+  void reset_framer() { framer_.reset(); }
+  void mark_disconnected() { connected_ = false; }
+  void mark_connected() { connected_ = true; }
+
+  [[nodiscard]] const StreamFramer& framer() const { return framer_; }
+
+ private:
+  sim::StreamLink::End& end_;
+  StreamFramer framer_;
+};
+
+/// SecureLink over a byte stream: the drop-in replacement for
+/// InProcConnection with real wire framing underneath. disconnect() cuts
+/// the stream (in-flight bytes are lost, possibly mid-message); reconnect()
+/// restores it as a fresh connection with both framers reset.
+class StreamConnection final : public SecureLink {
+ public:
+  struct Config {
+    sim::StreamLink::Config link;
+    StreamFramer::Config framing;
+  };
+
+  explicit StreamConnection(sim::EventLoop& loop, Config config = {},
+                            Rng* rng = nullptr);
+  ~StreamConnection() override;
+
+  ChannelEndpoint& datapath_end() override;
+  ChannelEndpoint& controller_end() override;
+
+  void disconnect() override;
+  void reconnect() override;
+  [[nodiscard]] bool connected() const override;
+
+  /// The underlying byte pipe, for fault injection beyond sever/restore
+  /// (stall mid-frame, per-byte mangling).
+  [[nodiscard]] sim::StreamLink& link() { return *link_; }
+  [[nodiscard]] const StreamChannel& datapath_channel() const { return *a_; }
+  [[nodiscard]] const StreamChannel& controller_channel() const { return *b_; }
+
+ private:
+  std::unique_ptr<sim::StreamLink> link_;
+  std::unique_ptr<StreamChannel> a_;  // datapath side (link end a)
+  std::unique_ptr<StreamChannel> b_;  // controller side (link end b)
+};
+
+}  // namespace hw::ofp

@@ -50,9 +50,28 @@ void PolicyEngine::set_tags(const std::string& mac,
   notify();
 }
 
+void PolicyEngine::set_tags(std::uint64_t dpid, const std::string& mac,
+                            std::vector<std::string> tags) {
+  dpid_tags_[dpid][to_lower(mac)] = std::move(tags);
+  notify();
+}
+
 std::vector<std::string> PolicyEngine::tags_of(const std::string& mac) const {
   auto it = tags_.find(to_lower(mac));
   return it == tags_.end() ? std::vector<std::string>{} : it->second;
+}
+
+std::vector<std::string> PolicyEngine::tags_of(std::uint64_t dpid,
+                                               const std::string& mac) const {
+  std::vector<std::string> out = tags_of(mac);
+  auto home = dpid_tags_.find(dpid);
+  if (home != dpid_tags_.end()) {
+    auto it = home->second.find(to_lower(mac));
+    if (it != home->second.end()) {
+      out.insert(out.end(), it->second.begin(), it->second.end());
+    }
+  }
+  return out;
 }
 
 EvalContext PolicyEngine::context() const {
@@ -68,6 +87,15 @@ DeviceRestriction PolicyEngine::restriction_for(const std::string& mac) const {
   docs.reserve(installed_.size());
   for (const auto& [_, doc] : installed_) docs.push_back(doc);
   return compile_restriction(docs, to_lower(mac), tags_of(mac), context());
+}
+
+DeviceRestriction PolicyEngine::restriction_for(std::uint64_t dpid,
+                                                const std::string& mac) const {
+  std::vector<PolicyDocument> docs;
+  docs.reserve(installed_.size());
+  for (const auto& [_, doc] : installed_) docs.push_back(doc);
+  return compile_restriction(docs, to_lower(mac), tags_of(dpid, mac),
+                             context());
 }
 
 namespace {
@@ -112,6 +140,15 @@ void PolicyEngine::save(snapshot::Writer& w) const {
     snapshot::put_string(c, mac);
     put_string_list(c, tags);
   }
+  c.u32(static_cast<std::uint32_t>(dpid_tags_.size()));
+  for (const auto& [dpid, home] : dpid_tags_) {
+    c.u64(dpid);
+    c.u32(static_cast<std::uint32_t>(home.size()));
+    for (const auto& [mac, tags] : home) {
+      snapshot::put_string(c, mac);
+      put_string_list(c, tags);
+    }
+  }
   w.end_chunk();
 }
 
@@ -153,10 +190,28 @@ Status PolicyEngine::restore(const snapshot::Reader& r) {
     if (!list) return list.error();
     tags.emplace(std::move(mac).take(), std::move(list).take());
   }
+  auto nhomes = br.u32();
+  if (!nhomes) return nhomes.error();
+  std::map<std::uint64_t, std::map<std::string, std::vector<std::string>>>
+      dpid_tags;
+  for (std::uint32_t h = 0; h < nhomes.value(); ++h) {
+    auto dpid = br.u64();
+    auto nmacs = br.u32();
+    if (!dpid || !nmacs) return make_error("policy snapshot: truncated home");
+    auto& home = dpid_tags[dpid.value()];
+    for (std::uint32_t i = 0; i < nmacs.value(); ++i) {
+      auto mac = snapshot::get_string(br);
+      if (!mac) return mac.error();
+      auto list = get_string_list(br);
+      if (!list) return list.error();
+      home.emplace(std::move(mac).take(), std::move(list).take());
+    }
+  }
   epoch_weekday_ = static_cast<int>(weekday.value());
   installed_ = std::move(installed);
   key_policies_ = std::move(key_policies);
   tags_ = std::move(tags);
+  dpid_tags_ = std::move(dpid_tags);
   return Status::success();
 }
 

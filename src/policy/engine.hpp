@@ -6,6 +6,7 @@
 // have changed so flows/DNS state can be re-evaluated.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -29,20 +30,38 @@ class PolicyEngine final : public snapshot::Snapshottable {
   [[nodiscard]] std::vector<const PolicyDocument*> policies() const;
 
   // -- Device tags ("the kids") ----------------------------------------------
+  // Tags come in two buckets: global (single-home compat, applied in every
+  // home) and per-datapath (a shared controller serving many homes tags each
+  // home's devices independently). Queries merge both.
   void set_tags(const std::string& mac, std::vector<std::string> tags);
+  void set_tags(std::uint64_t dpid, const std::string& mac,
+                std::vector<std::string> tags);
   [[nodiscard]] std::vector<std::string> tags_of(const std::string& mac) const;
+  [[nodiscard]] std::vector<std::string> tags_of(std::uint64_t dpid,
+                                                 const std::string& mac) const;
 
   // -- USB mediation ------------------------------------------------------------
   [[nodiscard]] UsbMonitor& usb() { return usb_; }
 
   // -- Enforcement queries ------------------------------------------------------
   [[nodiscard]] DeviceRestriction restriction_for(const std::string& mac) const;
+  [[nodiscard]] DeviceRestriction restriction_for(std::uint64_t dpid,
+                                                  const std::string& mac) const;
   [[nodiscard]] bool network_allowed(const std::string& mac) const {
     return !restriction_for(mac).network_blocked;
+  }
+  [[nodiscard]] bool network_allowed(std::uint64_t dpid,
+                                     const std::string& mac) const {
+    return !restriction_for(dpid, mac).network_blocked;
   }
   [[nodiscard]] bool domain_allowed(const std::string& mac,
                                     const std::string& domain) const {
     const auto r = restriction_for(mac);
+    return !r.network_blocked && r.domain_allowed(domain);
+  }
+  [[nodiscard]] bool domain_allowed(std::uint64_t dpid, const std::string& mac,
+                                    const std::string& domain) const {
+    const auto r = restriction_for(dpid, mac);
     return !r.network_blocked && r.domain_allowed(domain);
   }
 
@@ -71,7 +90,9 @@ class PolicyEngine final : public snapshot::Snapshottable {
   std::map<std::string, PolicyDocument> installed_;
   /// Policies installed by an inserted key, keyed by slot (removed with it).
   std::map<UsbMonitor::SlotId, std::vector<std::string>> key_policies_;
-  std::map<std::string, std::vector<std::string>> tags_;
+  std::map<std::string, std::vector<std::string>> tags_;  // global bucket
+  std::map<std::uint64_t, std::map<std::string, std::vector<std::string>>>
+      dpid_tags_;
   UsbMonitor usb_;
   std::function<void()> on_change_;
   int epoch_weekday_ = 1;  // Monday

@@ -1,0 +1,107 @@
+#include "sim/stream.hpp"
+
+#include <algorithm>
+
+namespace hw::sim {
+
+StreamLink::StreamLink(EventLoop& loop, Config config, Rng* rng)
+    : loop_(loop), config_(config), rng_(rng) {
+  a_.link_ = this;
+  b_.link_ = this;
+  a_.peer_ = &b_;
+  b_.peer_ = &a_;
+}
+
+void StreamLink::End::send(std::span<const std::uint8_t> data) {
+  if (data.empty()) return;
+  StreamLink& link = *link_;
+  if (!link.connected_) return;  // TCP after RST: writes go nowhere
+  link.metrics_.tx_bytes.inc(data.size());
+  Bytes bytes(data.begin(), data.end());
+  if (link.mangle_ > 0.0 && link.rng_ != nullptr) {
+    for (auto& byte : bytes) {
+      if (link.rng_->chance(link.mangle_)) {
+        byte ^= static_cast<std::uint8_t>(1 + link.rng_->uniform(255));
+        link.metrics_.mangled_bytes.inc();
+      }
+    }
+  }
+  peer_->enqueue(std::move(bytes));
+}
+
+void StreamLink::End::enqueue(Bytes data) {
+  StreamLink& link = *link_;
+  Duration extra = 0;
+  if (link.config_.jitter > 0 && link.rng_ != nullptr) {
+    extra = static_cast<Duration>(link.rng_->uniform(
+        static_cast<std::uint64_t>(link.config_.jitter) + 1));
+  }
+  // The stream is ordered: a jittered chunk never overtakes an earlier one.
+  const Timestamp ready =
+      std::max(link.loop_.now() + link.config_.latency + extra, last_ready_);
+  last_ready_ = ready;
+  inbox_.push_back(Chunk{ready, std::move(data)});
+  link.loop_.schedule_at(ready, [this] { flush(); });
+}
+
+void StreamLink::End::flush() {
+  StreamLink& link = *link_;
+  if (!link.connected_ || link.stalled_) return;
+  const Timestamp now = link.loop_.now();
+  // Drain every chunk that is due. Consecutive due chunks merge into one
+  // read (coalescing); an mtu bounds each read and spills the remainder
+  // into further reads at the same instant (partial frames).
+  while (!inbox_.empty() && inbox_.front().ready_at <= now) {
+    Bytes read = std::move(inbox_.front().data);
+    inbox_.pop_front();
+    while (!inbox_.empty() && inbox_.front().ready_at <= now &&
+           (link.config_.mtu == 0 || read.size() < link.config_.mtu)) {
+      Bytes& next = inbox_.front().data;
+      read.insert(read.end(), next.begin(), next.end());
+      inbox_.pop_front();
+    }
+    std::size_t offset = 0;
+    while (offset < read.size()) {
+      const std::size_t take =
+          link.config_.mtu == 0 ? read.size() - offset
+                                : std::min(link.config_.mtu, read.size() - offset);
+      link.metrics_.rx_bytes.inc(take);
+      link.metrics_.rx_chunks.inc();
+      if (on_data_) {
+        on_data_(std::span<const std::uint8_t>(read.data() + offset, take));
+      }
+      // Receiving may cut the link (a handler reacting to garbage); stop
+      // delivering the rest of a stream that no longer exists.
+      if (!link.connected_ || link.stalled_) return;
+      offset += take;
+    }
+  }
+}
+
+void StreamLink::cut() {
+  if (!connected_) return;
+  connected_ = false;
+  for (End* end : {&a_, &b_}) {
+    for (const auto& chunk : end->inbox_) {
+      metrics_.cut_bytes.inc(chunk.data.size());
+    }
+    end->inbox_.clear();
+    end->last_ready_ = 0;
+  }
+}
+
+void StreamLink::restore() { connected_ = true; }
+
+void StreamLink::stall() { stalled_ = true; }
+
+void StreamLink::unstall() {
+  if (!stalled_) return;
+  stalled_ = false;
+  // Deliver whatever queued up during the stall (TCP would: the bytes were
+  // acked into the socket buffer). A caller modelling a reset instead calls
+  // cut()/restore().
+  a_.flush();
+  b_.flush();
+}
+
+}  // namespace hw::sim

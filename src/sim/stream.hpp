@@ -1,0 +1,132 @@
+// Byte-stream link: the TCP stand-in under the OpenFlow secure channel.
+// Unlike LinkChannel (frame-granularity), a StreamLink carries an ordered
+// byte stream with no message boundaries: one send may be delivered split
+// into several reads (mtu), and several sends may be delivered in one read
+// (coalescing) — exactly the conditions a stream framer must survive.
+//
+// Fault surface (FaultInjector-compatible):
+//  - cut()/restore(): connection loss; bytes in flight are dropped, possibly
+//    mid-message, and the stream restarts clean (a TCP reconnect).
+//  - stall()/unstall(): delivery freezes while sends keep queueing — the
+//    half-open TCP connection a liveness watchdog must detect.
+//  - set_mangle(): per-byte corruption probability for fuzz/chaos runs.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <span>
+
+#include "sim/event_loop.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/bytes.hpp"
+#include "util/rand.hpp"
+
+namespace hw::sim {
+
+/// Snapshot view over the link's telemetry instruments.
+struct StreamLinkStats {
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t rx_bytes = 0;
+  std::uint64_t rx_chunks = 0;      // on_data invocations
+  std::uint64_t mangled_bytes = 0;  // bytes flipped by set_mangle
+  std::uint64_t cut_bytes = 0;      // in-flight bytes lost to cut()
+};
+
+/// Full-duplex ordered byte pipe between two ends, with latency, optional
+/// jitter (delivery order is still preserved: a chunk never overtakes an
+/// earlier one) and an optional mtu bounding the bytes handed to on_data per
+/// callback.
+class StreamLink {
+ public:
+  struct Config {
+    Duration latency = 0;
+    /// Max extra delay per send, drawn uniformly from [0, jitter] with the
+    /// link's Rng. Zero disables (and needs no Rng).
+    Duration jitter = 0;
+    /// Max bytes per on_data callback; 0 = unbounded (one callback drains
+    /// everything due). Small values force partial-frame delivery.
+    std::size_t mtu = 0;
+  };
+
+  class End {
+   public:
+    using DataFn = std::function<void(std::span<const std::uint8_t>)>;
+
+    /// Appends bytes to the stream towards the peer end.
+    void send(std::span<const std::uint8_t> data);
+    void send(const Bytes& data) {
+      send(std::span<const std::uint8_t>(data.data(), data.size()));
+    }
+    /// Registers the receive callback for bytes arriving at this end.
+    void on_data(DataFn fn) { on_data_ = std::move(fn); }
+    [[nodiscard]] bool connected() const { return link_->connected_; }
+
+   private:
+    friend class StreamLink;
+    /// Per-direction in-flight state: bytes this end has *received* come
+    /// through peer_->send, so the queue lives on the receiving end.
+    struct Chunk {
+      Timestamp ready_at = 0;
+      Bytes data;
+    };
+
+    void enqueue(Bytes data);
+    void flush();
+
+    StreamLink* link_ = nullptr;
+    End* peer_ = nullptr;
+    DataFn on_data_;
+    std::deque<Chunk> inbox_;
+    Timestamp last_ready_ = 0;  // monotone delivery deadline (ordering)
+  };
+
+  StreamLink(EventLoop& loop, Config config, Rng* rng = nullptr);
+
+  End& a() { return a_; }
+  End& b() { return b_; }
+
+  /// Connection loss: queued-but-undelivered bytes (both directions) are
+  /// dropped — possibly mid-message — and subsequent sends are discarded.
+  void cut();
+  /// Fresh connection after cut(): both directions restart with an empty
+  /// stream. Peers must re-handshake; framers must be reset by the caller.
+  void restore();
+  [[nodiscard]] bool connected() const { return connected_; }
+
+  /// Freezes delivery: sends keep queueing but nothing reaches on_data until
+  /// unstall(). Models a wedged peer / half-open TCP connection.
+  void stall();
+  void unstall();
+  [[nodiscard]] bool stalled() const { return stalled_; }
+
+  /// Per-byte flip probability applied at send time (needs the link Rng).
+  void set_mangle(double probability) { mangle_ = probability; }
+
+  [[nodiscard]] StreamLinkStats stats() const {
+    return {metrics_.tx_bytes.value(), metrics_.rx_bytes.value(),
+            metrics_.rx_chunks.value(), metrics_.mangled_bytes.value(),
+            metrics_.cut_bytes.value()};
+  }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  friend class End;
+
+  EventLoop& loop_;
+  Config config_;
+  Rng* rng_;
+  double mangle_ = 0.0;
+  bool connected_ = true;
+  bool stalled_ = false;
+  End a_;
+  End b_;
+  struct Instruments {
+    telemetry::Counter tx_bytes{"sim.stream.tx_bytes"};
+    telemetry::Counter rx_bytes{"sim.stream.rx_bytes"};
+    telemetry::Counter rx_chunks{"sim.stream.rx_chunks"};
+    telemetry::Counter mangled_bytes{"sim.stream.mangled_bytes"};
+    telemetry::Counter cut_bytes{"sim.stream.cut_bytes"};
+  } metrics_;
+};
+
+}  // namespace hw::sim

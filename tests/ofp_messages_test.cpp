@@ -2,6 +2,9 @@
 // be exact (length field), and malformed input must be rejected.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+
 #include "openflow/messages.hpp"
 
 namespace hw::ofp {
@@ -229,6 +232,64 @@ TEST(OfpCodec, StatsReplyDesc) {
   auto out = round_trip({14, reply});
   const auto& desc = std::get<DescStats>(std::get<StatsReply>(out.msg).body);
   EXPECT_EQ(desc.mfr_desc, "Homework project");
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-width string fields at exact field width (16-byte port names,
+// 256-byte desc strings) and their NUL-padding on the wire.
+
+TEST(OfpCodec, PortNameRoundTripsAtExactFieldWidth) {
+  FeaturesReply fr;
+  fr.datapath_id = 1;
+  // Exactly 16 chars fill the field completely: no NUL survives on the wire
+  // and the decoder must take all 16 without reading past the field.
+  fr.ports.push_back(
+      PhyPort{7, MacAddress::from_index(7), std::string(16, 'p'), 0, 0, 0});
+  // 15 chars leave exactly one byte of NUL padding, which the reader strips.
+  fr.ports.push_back(
+      PhyPort{8, MacAddress::from_index(8), std::string(15, 'q'), 0, 0, 0});
+  // Over-long names truncate to the field width on the wire.
+  fr.ports.push_back(
+      PhyPort{9, MacAddress::from_index(9), std::string(40, 'r'), 0, 0, 0});
+  auto out = round_trip({5, fr});
+  const auto& ports = std::get<FeaturesReply>(out.msg).ports;
+  ASSERT_EQ(ports.size(), 3u);
+  EXPECT_EQ(ports[0].name, std::string(16, 'p'));
+  EXPECT_EQ(ports[1].name, std::string(15, 'q'));
+  EXPECT_EQ(ports[2].name, std::string(16, 'r'));
+}
+
+TEST(OfpCodec, PortNamePaddingIsNulOnTheWire) {
+  FeaturesReply fr;
+  fr.datapath_id = 1;
+  fr.ports.push_back(PhyPort{1, MacAddress::from_index(1), "eth0", 0, 0, 0});
+  const Bytes wire = encode({1, fr});
+  const std::string name = "eth0";
+  const auto it = std::search(wire.begin(), wire.end(), name.begin(), name.end());
+  ASSERT_NE(it, wire.end());
+  for (std::size_t i = name.size(); i < 16; ++i) {
+    EXPECT_EQ(*(it + static_cast<std::ptrdiff_t>(i)), 0u)
+        << "padding byte " << i << " not NUL";
+  }
+}
+
+TEST(OfpCodec, DescStringsRoundTripAtExactWidthAndTruncateBeyond) {
+  DescStats desc;
+  desc.mfr_desc = std::string(256, 'm');   // exactly DESC_STR_LEN
+  desc.hw_desc = std::string(300, 'h');    // beyond: truncated on the wire
+  desc.sw_desc = std::string(255, 'w');    // one NUL of padding
+  desc.serial_num = std::string(32, 's');  // exactly SERIAL_NUM_LEN
+  desc.dp_desc = "home";
+  StatsReply reply;
+  reply.type = StatsType::Desc;
+  reply.body = desc;
+  auto out = round_trip({9, reply});
+  const auto& d = std::get<DescStats>(std::get<StatsReply>(out.msg).body);
+  EXPECT_EQ(d.mfr_desc, std::string(256, 'm'));
+  EXPECT_EQ(d.hw_desc, std::string(256, 'h'));
+  EXPECT_EQ(d.sw_desc, std::string(255, 'w'));
+  EXPECT_EQ(d.serial_num, std::string(32, 's'));
+  EXPECT_EQ(d.dp_desc, "home");
 }
 
 TEST(OfpCodec, Barrier) {
