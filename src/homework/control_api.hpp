@@ -27,6 +27,7 @@
 #include "nox/component.hpp"
 #include "nox/controller.hpp"
 #include "policy/engine.hpp"
+#include "reconcile/desired_state.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace hw::homework {
@@ -49,6 +50,14 @@ class ControlApi final : public nox::Component {
              hwdb::Database& db);
 
   void install(nox::Controller& ctl) override;
+
+  /// Binds the goal-state store: admission decisions and device metadata
+  /// writes then mutate the device's DeviceIntent alongside the registry
+  /// (the registry write stays immediate; the intent makes it durable and
+  /// reconcilable). `changed` fires with the device's dpid after each write
+  /// so the caller can schedule a reconcile round.
+  void bind_goal_state(reconcile::DesiredStore& store,
+                       std::function<void(nox::DatapathId)> changed);
 
   /// Serves one HTTP request (the in-home interfaces and tests call this;
   /// a socket front-end would parse/serialize around it).
@@ -73,6 +82,8 @@ class ControlApi final : public nox::Component {
   DeviceRegistry& registry_;
   policy::PolicyEngine& policy_;
   hwdb::Database& db_;
+  reconcile::DesiredStore* desired_ = nullptr;
+  std::function<void(nox::DatapathId)> desired_changed_;
   HttpRouter router_;
   struct Instruments {
     telemetry::Counter requests{"homework.control_api.requests"};

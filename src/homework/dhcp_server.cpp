@@ -20,15 +20,18 @@ void DhcpServer::install(nox::Controller& ctl) {
   expiry_timer_->start();
 }
 
-void DhcpServer::handle_datapath_join(nox::DatapathId dpid,
-                                      const ofp::FeaturesReply&) {
+void DhcpServer::contribute_flows(nox::DatapathId, nox::FlowIntentSink& sink) {
   // Client→server DHCP traffic comes to the controller, highest priority.
-  ofp::Match m = ofp::Match::any();
-  m.with_dl_type(static_cast<std::uint16_t>(net::EtherType::Ipv4))
+  nox::FlowIntent intent;
+  intent.key = "dhcp:intercept";
+  intent.match = ofp::Match::any();
+  intent.match.with_dl_type(static_cast<std::uint16_t>(net::EtherType::Ipv4))
       .with_nw_proto(static_cast<std::uint8_t>(net::IpProto::Udp))
       .with_tp_src(net::kDhcpClientPort)
       .with_tp_dst(net::kDhcpServerPort);
-  controller().install_flow(dpid, m, ofp::send_to_controller(1024), 0xffff);
+  intent.actions = ofp::send_to_controller(1024);
+  intent.priority = 0xffff;
+  sink.add(std::move(intent));
 }
 
 nox::Disposition DhcpServer::handle_packet_in(const nox::PacketInEvent& ev) {
@@ -120,6 +123,7 @@ void DhcpServer::process(nox::DatapathId dpid, std::uint16_t in_port,
       lease.expires_at = now + static_cast<Duration>(config_.lease_secs) * kSecond;
       lease.hostname = msg.hostname;
       registry_.record_lease(dpid, msg.chaddr, lease, renewal, now);
+      if (allocation_observer_) allocation_observer_(dpid, msg.chaddr, lease.ip);
       metrics_.acks.inc();
       send_reply(dpid, in_port,
                  make_reply(msg, net::DhcpMessageType::Ack, *allocated),
@@ -130,6 +134,7 @@ void DhcpServer::process(nox::DatapathId dpid, std::uint16_t in_port,
     case net::DhcpMessageType::Release: {
       metrics_.releases.inc();
       registry_.clear_lease(dpid, msg.chaddr, /*expired=*/false, now);
+      if (allocation_observer_) allocation_observer_(dpid, msg.chaddr, std::nullopt);
       return;
     }
 
@@ -143,6 +148,7 @@ void DhcpServer::process(nox::DatapathId dpid, std::uint16_t in_port,
         scope.allocations.erase(it);
       }
       registry_.clear_lease(dpid, msg.chaddr, /*expired=*/false, now);
+      if (allocation_observer_) allocation_observer_(dpid, msg.chaddr, std::nullopt);
       return;
     }
 
@@ -227,9 +233,22 @@ void DhcpServer::sweep_expiry() {
   for (const DeviceRecord* rec : registry_.all()) {
     if (rec->lease && rec->lease->expires_at <= now) {
       metrics_.expired.inc();
-      registry_.clear_lease(rec->dpid, rec->mac, /*expired=*/true, now);
+      const auto dpid = rec->dpid;
+      const auto mac = rec->mac;
+      registry_.clear_lease(dpid, mac, /*expired=*/true, now);
+      if (allocation_observer_) allocation_observer_(dpid, mac, std::nullopt);
     }
   }
+}
+
+bool DhcpServer::adopt_allocation(nox::DatapathId dpid, MacAddress mac,
+                                  Ipv4Address ip) {
+  Scope& scope = scopes_[dpid];
+  auto it = scope.allocations.find(mac);
+  if (it != scope.allocations.end() && it->second == ip) return false;
+  scope.allocations[mac] = ip;
+  scope.declined.erase(ip);
+  return true;
 }
 
 namespace {

@@ -6,8 +6,10 @@
 // carry a /32 netmask so every client routes all traffic via the router.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 
 #include "homework/device_registry.hpp"
@@ -56,8 +58,8 @@ class DhcpServer final : public nox::Component, public snapshot::Snapshottable {
   ~DhcpServer() override;
 
   void install(nox::Controller& ctl) override;
-  void handle_datapath_join(nox::DatapathId dpid,
-                            const ofp::FeaturesReply& features) override;
+  void contribute_flows(nox::DatapathId dpid,
+                        nox::FlowIntentSink& sink) override;
   nox::Disposition handle_packet_in(const nox::PacketInEvent& ev) override;
 
   [[nodiscard]] DhcpServerStats stats() const {
@@ -82,6 +84,18 @@ class DhcpServer final : public nox::Component, public snapshot::Snapshottable {
   }
   /// Runs one lease-expiry sweep immediately (normally timer-driven).
   void sweep_expiry();
+
+  /// Observer for allocation lifecycle: fired with the address on ACK and
+  /// with nullopt on release/decline/expiry. The goal-state layer mirrors
+  /// scope bindings into desired state through this.
+  using AllocationObserver =
+      std::function<void(nox::DatapathId, MacAddress, std::optional<Ipv4Address>)>;
+  void set_allocation_observer(AllocationObserver fn) {
+    allocation_observer_ = std::move(fn);
+  }
+  /// Re-adopts `ip` as `mac`'s allocation in `dpid`'s scope (reconciler
+  /// lease fixup after divergence). Returns true if the scope changed.
+  bool adopt_allocation(nox::DatapathId dpid, MacAddress mac, Ipv4Address ip);
 
   // -- Snapshottable ('DHCP' chunk, v2: per-dpid scopes) ----------------------
   // Captures each home's allocation map and declined-address set; lease
@@ -124,6 +138,7 @@ class DhcpServer final : public nox::Component, public snapshot::Snapshottable {
   };
   std::map<nox::DatapathId, Scope> scopes_;
   std::unique_ptr<sim::PeriodicTimer> expiry_timer_;
+  AllocationObserver allocation_observer_;
 };
 
 }  // namespace hw::homework

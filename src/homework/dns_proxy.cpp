@@ -12,20 +12,27 @@ DnsProxy::DnsProxy(Config config, DeviceRegistry& registry,
                    policy::PolicyEngine& policy)
     : Component(kName), config_(config), registry_(registry), policy_(policy) {}
 
-void DnsProxy::handle_datapath_join(nox::DatapathId dpid,
-                                    const ofp::FeaturesReply&) {
+void DnsProxy::contribute_flows(nox::DatapathId, nox::FlowIntentSink& sink) {
   // All DNS traffic (queries out, answers back) comes to the controller.
-  ofp::Match to_dns = ofp::Match::any();
-  to_dns.with_dl_type(static_cast<std::uint16_t>(net::EtherType::Ipv4))
+  nox::FlowIntent query;
+  query.key = "dns:query";
+  query.match = ofp::Match::any();
+  query.match.with_dl_type(static_cast<std::uint16_t>(net::EtherType::Ipv4))
       .with_nw_proto(static_cast<std::uint8_t>(net::IpProto::Udp))
       .with_tp_dst(net::kDnsPort);
-  controller().install_flow(dpid, to_dns, ofp::send_to_controller(1024), 0xfffe);
+  query.actions = ofp::send_to_controller(1024);
+  query.priority = 0xfffe;
+  sink.add(std::move(query));
 
-  ofp::Match from_dns = ofp::Match::any();
-  from_dns.with_dl_type(static_cast<std::uint16_t>(net::EtherType::Ipv4))
+  nox::FlowIntent answer;
+  answer.key = "dns:answer";
+  answer.match = ofp::Match::any();
+  answer.match.with_dl_type(static_cast<std::uint16_t>(net::EtherType::Ipv4))
       .with_nw_proto(static_cast<std::uint8_t>(net::IpProto::Udp))
       .with_tp_src(net::kDnsPort);
-  controller().install_flow(dpid, from_dns, ofp::send_to_controller(1024), 0xfffe);
+  answer.actions = ofp::send_to_controller(1024);
+  answer.priority = 0xfffe;
+  sink.add(std::move(answer));
 }
 
 nox::Disposition DnsProxy::handle_packet_in(const nox::PacketInEvent& ev) {

@@ -55,8 +55,8 @@ class DnsProxy final : public nox::Component {
 
   DnsProxy(Config config, DeviceRegistry& registry, policy::PolicyEngine& policy);
 
-  void handle_datapath_join(nox::DatapathId dpid,
-                            const ofp::FeaturesReply& features) override;
+  void contribute_flows(nox::DatapathId dpid,
+                        nox::FlowIntentSink& sink) override;
   nox::Disposition handle_packet_in(const nox::PacketInEvent& ev) override;
 
   // -- Flow admission interface used by the forwarding module ------------------

@@ -1,5 +1,7 @@
 #include "homework/forwarding.hpp"
 
+#include <algorithm>
+
 #include "net/packet.hpp"
 #include "util/logging.hpp"
 
@@ -37,13 +39,23 @@ void Forwarding::install(nox::Controller& ctl) {
   });
 }
 
+void Forwarding::contribute_flows(nox::DatapathId, nox::FlowIntentSink& sink) {
+  // ARP is always handled at the controller (proxy ARP / mediation).
+  nox::FlowIntent arp;
+  arp.key = "fwd:arp";
+  arp.match = ofp::Match::any();
+  arp.match.with_dl_type(static_cast<std::uint16_t>(net::EtherType::Arp));
+  arp.actions = ofp::send_to_controller(512);
+  arp.priority = 0xfffd;
+  sink.add(std::move(arp));
+}
+
 void Forwarding::handle_datapath_join(nox::DatapathId dpid,
                                       const ofp::FeaturesReply&) {
-  datapaths_.push_back(dpid);
-  // ARP is always handled at the controller (proxy ARP / mediation).
-  ofp::Match arp = ofp::Match::any();
-  arp.with_dl_type(static_cast<std::uint16_t>(net::EtherType::Arp));
-  controller().install_flow(dpid, arp, ofp::send_to_controller(512), 0xfffd);
+  if (std::find(datapaths_.begin(), datapaths_.end(), dpid) ==
+      datapaths_.end()) {
+    datapaths_.push_back(dpid);
+  }
 }
 
 nox::Disposition Forwarding::handle_packet_in(const nox::PacketInEvent& ev) {

@@ -60,6 +60,8 @@ class Forwarding final : public nox::Component {
   }
 
   void install(nox::Controller& ctl) override;
+  void contribute_flows(nox::DatapathId dpid,
+                        nox::FlowIntentSink& sink) override;
   void handle_datapath_join(nox::DatapathId dpid,
                             const ofp::FeaturesReply& features) override;
   nox::Disposition handle_packet_in(const nox::PacketInEvent& ev) override;

@@ -9,7 +9,9 @@
 // retries appear in the Links table.
 #pragma once
 
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "homework/control_api.hpp"
@@ -25,6 +27,8 @@
 #include "nox/liveness.hpp"
 #include "openflow/datapath.hpp"
 #include "policy/engine.hpp"
+#include "reconcile/desired_state.hpp"
+#include "reconcile/reconciler.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/host.hpp"
 #include "sim/trace.hpp"
@@ -74,6 +78,12 @@ class HomeworkRouter {
     /// framer to reassemble messages from partial reads.
     std::size_t channel_mtu = 0;
     std::uint16_t uplink_port = 1;
+    /// How (re)joining datapaths get their flow setup. Replay blindly
+    /// re-sends every module's flows (the legacy resync). Reconcile runs the
+    /// goal-state reconciler: desired state is diffed against a flow-stats
+    /// readback and only the delta is sent.
+    enum class Resync { Replay, Reconcile };
+    Resync resync = Resync::Reconcile;
     /// Records every frame crossing the uplink into uplink_trace(), from
     /// which sim::write_pcap produces a tcpdump-compatible capture.
     bool capture_uplink = false;
@@ -132,22 +142,31 @@ class HomeworkRouter {
   [[nodiscard]] EventExport& event_export() { return *export_; }
   [[nodiscard]] MetricsExport& metrics_export() { return *metrics_export_; }
   [[nodiscard]] ControlApi& control_api() { return *control_api_; }
+  /// Goal-state store backing the reconciler; null in Replay mode.
+  [[nodiscard]] reconcile::DesiredStore* desired_store() {
+    return desired_.get();
+  }
+  /// The reconciler component; null in Replay mode.
+  [[nodiscard]] reconcile::Reconciler* reconciler() { return reconciler_; }
   [[nodiscard]] telemetry::MetricRegistry& metrics() { return metrics_; }
   [[nodiscard]] const Config& config() const { return config_; }
   /// Uplink capture (points "uplink-tx"/"uplink-rx"); empty unless
   /// config.capture_uplink was set.
   [[nodiscard]] sim::Trace& uplink_trace() { return uplink_trace_; }
 
-  /// Checkpoint/restore coordinator with the router's five state layers
-  /// pre-registered ("flow-table", "hwdb", "dhcp", "registry", "policy").
+  /// Checkpoint/restore coordinator with the router's state layers
+  /// pre-registered ("flow-table", "hwdb", "dhcp", "registry", "policy",
+  /// and — in Reconcile mode — "desired").
   /// Callers append their own layers (RNG streams, telemetry — telemetry
   /// last) before capturing or restoring.
   [[nodiscard]] snapshot::SnapshotCoordinator& snapshots() { return *snapshots_; }
 
   /// Restarts the datapath and restores its flow table from the last
   /// captured snapshot instead of cold-wiping; falls back to a cold restart
-  /// when no snapshot exists. The controller's liveness resync still replays
-  /// module flow setup afterwards — those flow-mods are idempotent.
+  /// when no snapshot exists. The controller's liveness resync then heals the
+  /// table: in Reconcile mode one reconcile round reads the restored table
+  /// back and sends only the delta; in Replay mode the legacy path re-sends
+  /// every module's (idempotent) flow setup.
   Status warm_restart();
 
   /// Registers the router's fault surfaces with a chaos injector: the
@@ -184,6 +203,11 @@ class HomeworkRouter {
   MetricsExport* metrics_export_ = nullptr;
   ControlApi* control_api_ = nullptr;
   nox::LivenessMonitor* liveness_ = nullptr;
+
+  std::unique_ptr<reconcile::DesiredStore> desired_;
+  reconcile::Reconciler* reconciler_ = nullptr;  // owned by the controller
+  /// Last rate cap pushed per "dpid|mac" (change detection for the QoS hook).
+  std::map<std::string, std::uint64_t> applied_qos_;
 
   std::unique_ptr<snapshot::SnapshotCoordinator> snapshots_;
   std::vector<std::unique_ptr<sim::DuplexLink>> links_;

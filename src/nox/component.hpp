@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "net/packet.hpp"
@@ -15,6 +16,50 @@ namespace hw::nox {
 class Controller;
 
 using DatapathId = std::uint64_t;
+
+/// One flow a component wants present in a datapath's table — the unit of
+/// desired state. `key` is the flow's stable identity ("dhcp:intercept",
+/// "policy:block:src:<mac>", …): replay and reconciliation both derive the
+/// flow's cookie from it, so a rule installed by blind replay and the same
+/// rule installed by a reconcile delta are byte-identical on the wire.
+struct FlowIntent {
+  std::string key;
+  ofp::Match match;
+  std::uint16_t priority = 0x8000;
+  ofp::ActionList actions;
+  std::uint16_t idle_timeout = 0;
+  std::uint16_t hard_timeout = 0;
+  std::uint16_t flags = 0;
+};
+
+/// Receives a component's flow contributions (Component::contribute_flows).
+class FlowIntentSink {
+ public:
+  virtual ~FlowIntentSink() = default;
+  virtual void add(FlowIntent intent) = 0;
+};
+
+/// Cookie namespace tag for desired-state-owned flows: the top byte marks a
+/// flow as declaratively owned, so a reconciler may delete unclaimed entries
+/// carrying it while leaving reactive flows (cookie 0) alone.
+inline constexpr std::uint64_t kDesiredCookieTag = 0xD5;
+
+/// Deterministic cookie for a desired flow: the namespace tag in the top
+/// byte over an FNV-1a hash of the identity key. Pure function of the key —
+/// identical across replay/reconcile paths, runs, and thread counts.
+[[nodiscard]] constexpr std::uint64_t desired_cookie(std::string_view key) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : key) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return (kDesiredCookieTag << 56) | (h & 0x00ffffffffffffffull);
+}
+
+/// True if `cookie` lies in the desired-state namespace.
+[[nodiscard]] constexpr bool is_desired_cookie(std::uint64_t cookie) {
+  return (cookie >> 56) == kDesiredCookieTag;
+}
 
 /// NOX event-handler chain disposition: Continue passes the event to the
 /// next component, Stop consumes it.
@@ -46,6 +91,12 @@ class Component {
   /// Called once when the controller starts the component, after its
   /// dependencies have been installed. `ctl` outlives the component.
   virtual void install(Controller& ctl) { ctl_ = &ctl; }
+
+  /// Declares the flows this component wants present in `dpid`'s table.
+  /// Called by the controller's replay path on every (re)join and by the
+  /// reconciler when it rebuilds desired state — must be a pure function of
+  /// the component's current state (no sends, no mutation).
+  virtual void contribute_flows(DatapathId, FlowIntentSink&) {}
 
   // -- Event handlers (defaults ignore the event) ---------------------------
   virtual void handle_datapath_join(DatapathId, const ofp::FeaturesReply&) {}

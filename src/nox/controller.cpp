@@ -126,6 +126,10 @@ void Controller::handle_message(Connection& conn, const Bytes& encoded) {
           }
         } else if constexpr (std::is_same_v<T, ofp::FeaturesReply>) {
           const bool rejoin = conn.dpid.has_value();
+          // A resync requested while the dpid was unknown re-arms here: the
+          // first reply identifying it runs the full re-sync path.
+          const bool rearmed = pending_resync_.erase(m.datapath_id) > 0;
+          const bool resync = rejoin || rearmed;
           conn.dpid = m.datapath_id;
           conn.features = m;
           HW_LOG_INFO(kLog, "datapath %llu %sjoined with %zu ports",
@@ -135,17 +139,25 @@ void Controller::handle_message(Connection& conn, const Bytes& encoded) {
           for (Component* c : ordered_) {
             c->handle_datapath_join(m.datapath_id, conn.features);
           }
-          if (rejoin) {
-            // Everything the components just pushed is the recovery
-            // re-install; a barrier confirms it landed in the flow table.
-            metrics_.resynced_flows.inc(metrics_.flow_mods.value() -
-                                        mods_before);
-            const DatapathId dpid = m.datapath_id;
-            send_barrier(dpid, [this, dpid] {
-              HW_LOG_INFO(kLog, "datapath %llu re-sync barrier confirmed",
-                          static_cast<unsigned long long>(dpid));
-              if (on_resynced_) on_resynced_(dpid);
-            });
+          if (resync_hook_) {
+            // Goal-state mode: the hook triggers a reconcile round that
+            // reads the table back, applies the minimal delta and (for
+            // resyncs) finishes through confirm_resync().
+            resync_hook_(m.datapath_id, resync);
+          } else {
+            replay_flow_setup(m.datapath_id);
+            if (resync) {
+              // Everything the components and the replay just pushed is the
+              // recovery re-install; a barrier confirms it landed.
+              metrics_.resynced_flows.inc(metrics_.flow_mods.value() -
+                                          mods_before);
+              const DatapathId dpid = m.datapath_id;
+              send_barrier(dpid, [this, dpid] {
+                HW_LOG_INFO(kLog, "datapath %llu re-sync barrier confirmed",
+                            static_cast<unsigned long long>(dpid));
+                if (on_resynced_) on_resynced_(dpid);
+              });
+            }
           }
         } else if constexpr (std::is_same_v<T, ofp::PacketIn>) {
           if (conn.dpid) dispatch_packet_in(*conn.dpid, m);
@@ -279,11 +291,57 @@ void Controller::send_barrier(DatapathId dpid, std::function<void()> cb) {
 
 void Controller::resync_datapath(DatapathId dpid) {
   Connection* conn = find(dpid);
-  if (conn == nullptr) return;
+  if (conn == nullptr) {
+    // The dpid is not identified on any live connection (it reconnected and
+    // has not completed FEATURES yet, or never existed). Count the skip and
+    // re-arm: the next FEATURES_REPLY naming this dpid re-syncs it.
+    metrics_.resync_skipped.inc();
+    pending_resync_.insert(dpid);
+    return;
+  }
   metrics_.reconnects.inc();
   // Restart the handshake; the FEATURES_REPLY handler re-announces the join
-  // to every component (re-installing their flows) and barriers the result.
+  // to every component and re-syncs the table (replay or reconcile round).
   conn->channel->send(ofp::encode({next_xid(), ofp::FeaturesRequest{}}));
+}
+
+void Controller::collect_flow_intents(DatapathId dpid,
+                                      FlowIntentSink& sink) const {
+  for (Component* c : ordered_) c->contribute_flows(dpid, sink);
+}
+
+void Controller::replay_flow_setup(DatapathId dpid) {
+  // Direct-wire sink: each contribution becomes an Add flow-mod carrying the
+  // deterministic desired-state cookie, exactly what a reconcile Add sends.
+  class WireSink final : public FlowIntentSink {
+   public:
+    WireSink(Controller& ctl, DatapathId dpid) : ctl_(ctl), dpid_(dpid) {}
+    void add(FlowIntent intent) override {
+      ofp::FlowMod mod;
+      mod.match = intent.match;
+      mod.command = ofp::FlowModCommand::Add;
+      mod.priority = intent.priority;
+      mod.idle_timeout = intent.idle_timeout;
+      mod.hard_timeout = intent.hard_timeout;
+      mod.flags = intent.flags;
+      mod.cookie = desired_cookie(intent.key);
+      mod.actions = std::move(intent.actions);
+      ctl_.send_flow_mod(dpid_, mod);
+    }
+
+   private:
+    Controller& ctl_;
+    DatapathId dpid_;
+  } sink(*this, dpid);
+  collect_flow_intents(dpid, sink);
+}
+
+void Controller::confirm_resync(DatapathId dpid, std::uint64_t flows) {
+  metrics_.resynced_flows.inc(flows);
+  HW_LOG_INFO(kLog, "datapath %llu reconcile re-sync converged (%llu flows)",
+              static_cast<unsigned long long>(dpid),
+              static_cast<unsigned long long>(flows));
+  if (on_resynced_) on_resynced_(dpid);
 }
 
 }  // namespace hw::nox

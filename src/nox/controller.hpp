@@ -8,6 +8,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "nox/component.hpp"
@@ -28,6 +29,7 @@ struct ControllerStats {
   std::uint64_t unparseable_packets = 0;
   std::uint64_t reconnects = 0;       // channel re-handshakes driven
   std::uint64_t resynced_flows = 0;   // flow-mods replayed by re-syncs
+  std::uint64_t resync_skipped = 0;   // resyncs requested for unknown dpids
 };
 
 class Controller {
@@ -88,21 +90,42 @@ class Controller {
   void send_barrier(DatapathId dpid, std::function<void()> cb);
 
   /// Re-synchronizes a datapath after a channel outage or restart: restarts
-  /// the handshake, replays every component's flow setup on FEATURES_REPLY
-  /// and confirms with a barrier. on_resynced (if set) fires once the
-  /// barrier reply proves the re-installed flows are in the table. Also
+  /// the handshake, then on FEATURES_REPLY either replays every component's
+  /// flow setup (legacy path) or hands off to the resync hook (reconciler).
+  /// on_resynced (if set) fires once the flows are proven in the table. Also
   /// triggered automatically when an identified datapath re-sends HELLO.
+  /// If `dpid` is not currently identified, the request is counted in
+  /// nox.channel.resync_skipped and re-armed: the next FEATURES_REPLY that
+  /// identifies `dpid` is treated as a re-sync even on a fresh connection.
   void resync_datapath(DatapathId dpid);
   void on_resynced(std::function<void(DatapathId)> fn) {
     on_resynced_ = std::move(fn);
   }
+
+  // -- Goal-state integration --------------------------------------------------
+  /// Collects every component's flow contributions for `dpid` into `sink`
+  /// (install order — later contributions of the same key win downstream).
+  void collect_flow_intents(DatapathId dpid, FlowIntentSink& sink) const;
+  /// Legacy imperative path: wires every contributed flow straight to the
+  /// datapath as an Add (cookie = desired_cookie(key)).
+  void replay_flow_setup(DatapathId dpid);
+  /// When set, (re)joins no longer replay flow setup; the hook is invoked
+  /// with `resync` true on rejoins/re-armed resyncs and is expected to drive
+  /// a reconcile round that ends in confirm_resync().
+  void set_resync_hook(std::function<void(DatapathId, bool resync)> hook) {
+    resync_hook_ = std::move(hook);
+  }
+  /// Reconciler callback once a resync-origin round has proven the table
+  /// converged: accounts `flows` as resynced and fires on_resynced.
+  void confirm_resync(DatapathId dpid, std::uint64_t flows);
 
   [[nodiscard]] sim::EventLoop& loop() const { return loop_; }
   [[nodiscard]] ControllerStats stats() const {
     return {metrics_.packet_ins.value(),     metrics_.packet_outs.value(),
             metrics_.flow_mods.value(),      metrics_.flow_removed.value(),
             metrics_.errors.value(),         metrics_.unparseable_packets.value(),
-            metrics_.reconnects.value(),     metrics_.resynced_flows.value()};
+            metrics_.reconnects.value(),     metrics_.resynced_flows.value(),
+            metrics_.resync_skipped.value()};
   }
   /// Packet-in dispatch latency (nanoseconds through the component chain) —
   /// the instrument ctrl_perf and MetricsExport report from.
@@ -134,6 +157,10 @@ class Controller {
   std::map<std::uint32_t, std::function<void()>> pending_echo_;
   std::map<std::uint32_t, std::function<void()>> pending_barrier_;
   std::function<void(DatapathId)> on_resynced_;
+  std::function<void(DatapathId, bool)> resync_hook_;
+  /// Dpids whose resync was requested while unidentified: the next
+  /// FEATURES_REPLY naming them runs the full re-sync path.
+  std::set<DatapathId> pending_resync_;
   std::uint32_t next_xid_ = 1;
   struct Instruments {
     explicit Instruments(telemetry::MetricRegistry& reg)
@@ -145,6 +172,7 @@ class Controller {
           unparseable_packets{reg, "nox.controller.unparseable_packets"},
           reconnects{reg, "nox.channel.reconnects"},
           resynced_flows{reg, "nox.channel.resynced_flows"},
+          resync_skipped{reg, "nox.channel.resync_skipped"},
           packet_in_dispatch_ns{reg, "nox.controller.packet_in_dispatch_ns"} {}
     telemetry::Counter packet_ins;
     telemetry::Counter packet_outs;
@@ -154,6 +182,7 @@ class Controller {
     telemetry::Counter unparseable_packets;
     telemetry::Counter reconnects;
     telemetry::Counter resynced_flows;
+    telemetry::Counter resync_skipped;
     telemetry::Histogram packet_in_dispatch_ns;
   } metrics_;
 };

@@ -3,10 +3,13 @@
 // restrictions" (paper §1).
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "policy/policy.hpp"
+#include "util/addr.hpp"
 
 namespace hw::policy {
 
@@ -47,8 +50,45 @@ DeviceRestriction compile_restriction(const std::vector<PolicyDocument>& policie
                                       const std::string& mac,
                                       const std::vector<std::string>& tags,
                                       const EvalContext& ctx);
+/// Pointer-set overload (the PolicyEngine's view of its installed set).
+DeviceRestriction compile_restriction(
+    const std::vector<const PolicyDocument*>& policies, const std::string& mac,
+    const std::vector<std::string>& tags, const EvalContext& ctx);
 
 /// True if `p` is currently suspended by an inserted unlock token.
 bool policy_unlocked(const PolicyDocument& p, const EvalContext& ctx);
+
+// ---------------------------------------------------------------------------
+// Lowering stage: rule documents → imperative desired-state statements.
+//
+// The reconciler feeds the home's device population in, and each statement
+// comes back as something it can turn directly into a desired-state entry —
+// a drop-flow pair for a network block, a QoS intent for a rate cap. DNS
+// restrictions stay in the DNS proxy's verdict path (they gate lookups, not
+// flows) and are deliberately not lowered.
+
+/// One device as the lowering pass sees it.
+struct LoweredDevice {
+  std::string mac;
+  std::vector<std::string> tags;
+  /// Leased address, when bound — needed to materialize drop flows.
+  std::optional<Ipv4Address> ip;
+};
+
+/// One imperative statement compiled from the active policy set.
+struct LoweredStatement {
+  enum class Verb : std::uint8_t { BlockNetwork, RateLimit };
+  Verb verb = Verb::BlockNetwork;
+  std::string mac;
+  std::optional<Ipv4Address> ip;       // set when the device holds a lease
+  std::uint64_t rate_bps = 0;          // RateLimit only
+  std::vector<std::string> sources;    // contributing policy ids
+};
+
+/// Lowers the active policy set over a device population into statements,
+/// in deterministic (mac-sorted) order.
+std::vector<LoweredStatement> lower_policies(
+    const std::vector<const PolicyDocument*>& policies,
+    std::vector<LoweredDevice> devices, const EvalContext& ctx);
 
 }  // namespace hw::policy

@@ -66,8 +66,16 @@ class PolicyEngine final : public snapshot::Snapshottable {
   }
 
   /// Fired whenever policy state changed (install/uninstall/usb/tags): the
-  /// enforcement layer revokes cached flows and DNS verdicts.
-  void on_change(std::function<void()> fn) { on_change_ = std::move(fn); }
+  /// enforcement layer revokes cached flows and DNS verdicts, and the
+  /// reconciler recompiles desired state. Listeners accumulate and run in
+  /// registration order.
+  void on_change(std::function<void()> fn) {
+    on_change_.push_back(std::move(fn));
+  }
+
+  /// The current evaluation inputs (virtual time, weekday, inserted unlock
+  /// tokens) — what the lowering pass needs alongside policies().
+  [[nodiscard]] EvalContext eval_context() const { return context(); }
 
   [[nodiscard]] int epoch_weekday() const { return epoch_weekday_; }
   void set_epoch_weekday(int weekday) { epoch_weekday_ = weekday; }
@@ -82,7 +90,7 @@ class PolicyEngine final : public snapshot::Snapshottable {
 
  private:
   void notify() {
-    if (on_change_) on_change_();
+    for (const auto& fn : on_change_) fn();
   }
   [[nodiscard]] EvalContext context() const;
 
@@ -94,7 +102,7 @@ class PolicyEngine final : public snapshot::Snapshottable {
   std::map<std::uint64_t, std::map<std::string, std::vector<std::string>>>
       dpid_tags_;
   UsbMonitor usb_;
-  std::function<void()> on_change_;
+  std::vector<std::function<void()>> on_change_;
   int epoch_weekday_ = 1;  // Monday
 };
 

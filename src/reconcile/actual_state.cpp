@@ -1,0 +1,100 @@
+#include "reconcile/actual_state.hpp"
+
+#include <map>
+
+namespace hw::reconcile {
+
+namespace {
+
+/// Flow identity for delta matching: the serialized match pattern plus the
+/// priority. Serialization canonicalizes wildcarded fields, so two matches
+/// that compare same_pattern() serialize identically.
+std::string flow_identity(const ofp::Match& match, std::uint16_t priority) {
+  ByteWriter w;
+  match.serialize(w);
+  w.u16(priority);
+  const Bytes& b = w.bytes();
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+}  // namespace
+
+FlowDelta compute_flow_delta(const DesiredState& desired,
+                             const std::vector<ActualFlow>& actual) {
+  FlowDelta delta;
+  std::map<std::string, const ActualFlow*> by_identity;
+  for (const ActualFlow& row : actual) {
+    by_identity[flow_identity(row.match, row.priority)] = &row;
+  }
+
+  for (const auto& [key, want] : desired.flows) {
+    const std::string id = flow_identity(want.match, want.priority);
+    auto it = by_identity.find(id);
+    if (it == by_identity.end()) {
+      delta.add.push_back(want);
+      continue;
+    }
+    const ActualFlow& have = *it->second;
+    by_identity.erase(it);  // claimed
+    const bool timeouts_equal = have.idle_timeout == want.idle_timeout &&
+                                have.hard_timeout == want.hard_timeout;
+    const bool payload_equal =
+        have.actions == want.actions && have.cookie == want.cookie();
+    if (timeouts_equal && payload_equal) {
+      ++delta.noop;
+    } else if (timeouts_equal) {
+      delta.modify.push_back(want);
+    } else {
+      // Modify never rewrites timeouts, so replace the row outright.
+      delta.del.push_back({want.match, want.priority});
+      delta.add.push_back(want);
+    }
+  }
+
+  // Whatever desired-owned rows remain unclaimed are stale — reap them.
+  // Foreign rows (reactive flows, cookie 0) are outside our namespace.
+  for (const auto& [id, row] : by_identity) {
+    if (nox::is_desired_cookie(row->cookie)) {
+      delta.del.push_back({row->match, row->priority});
+    }
+  }
+  return delta;
+}
+
+void ActualState::refresh(const std::vector<ofp::FlowStatsEntry>& entries) {
+  flows_.clear();
+  flows_.reserve(entries.size());
+  for (const auto& e : entries) {
+    flows_.push_back({e.match, e.priority, e.cookie, e.actions, e.idle_timeout,
+                      e.hard_timeout});
+  }
+  fresh_ = true;
+}
+
+void ActualState::note_flow_removed(const ofp::Match& match,
+                                    std::uint16_t priority) {
+  std::erase_if(flows_, [&](const ActualFlow& row) {
+    return row.priority == priority && row.match.same_pattern(match);
+  });
+}
+
+void ActualState::apply(const FlowDelta& delta) {
+  for (const Deletion& d : delta.del) note_flow_removed(d.match, d.priority);
+  auto upsert = [&](const DesiredFlow& want) {
+    for (ActualFlow& row : flows_) {
+      if (row.priority == want.priority && row.match.same_pattern(want.match)) {
+        row.actions = want.actions;
+        row.cookie = want.cookie();
+        row.idle_timeout = want.idle_timeout;
+        row.hard_timeout = want.hard_timeout;
+        return;
+      }
+    }
+    flows_.push_back({want.match, want.priority, want.cookie(), want.actions,
+                      want.idle_timeout, want.hard_timeout});
+  };
+  for (const DesiredFlow& f : delta.add) upsert(f);
+  for (const DesiredFlow& f : delta.modify) upsert(f);
+}
+
+}  // namespace hw::reconcile

@@ -1,0 +1,154 @@
+#include "reconcile/desired_state.hpp"
+
+namespace hw::reconcile {
+
+namespace {
+
+constexpr std::uint32_t kDesiredTag = snapshot::tag("DSTA");
+
+void put_string_list(ByteWriter& w, const std::vector<std::string>& list) {
+  w.u32(static_cast<std::uint32_t>(list.size()));
+  for (const auto& s : list) snapshot::put_string(w, s);
+}
+
+Result<std::vector<std::string>> get_string_list(ByteReader& r) {
+  auto n = r.u32();
+  if (!n) return n.error();
+  std::vector<std::string> out;
+  out.reserve(n.value());
+  for (std::uint32_t i = 0; i < n.value(); ++i) {
+    auto s = snapshot::get_string(r);
+    if (!s) return s.error();
+    out.push_back(std::move(s).take());
+  }
+  return out;
+}
+
+void put_flow(ByteWriter& w, const DesiredFlow& f) {
+  snapshot::put_string(w, f.key);
+  f.match.serialize(w);
+  w.u16(f.priority);
+  w.u16(f.idle_timeout);
+  w.u16(f.hard_timeout);
+  w.u16(f.flags);
+  ByteWriter actions;
+  ofp::serialize_actions(actions, f.actions);
+  w.u32(static_cast<std::uint32_t>(actions.size()));
+  w.raw(actions.bytes());
+}
+
+Result<DesiredFlow> get_flow(ByteReader& r) {
+  DesiredFlow f;
+  auto key = snapshot::get_string(r);
+  if (!key) return key.error();
+  f.key = std::move(key).take();
+  auto match = ofp::Match::parse(r);
+  if (!match) return match.error();
+  f.match = match.value();
+  auto priority = r.u16();
+  auto idle = r.u16();
+  auto hard = r.u16();
+  auto flags = r.u16();
+  auto actions_len = r.u32();
+  if (!priority || !idle || !hard || !flags || !actions_len) {
+    return make_error("desired snapshot: truncated flow");
+  }
+  f.priority = priority.value();
+  f.idle_timeout = idle.value();
+  f.hard_timeout = hard.value();
+  f.flags = flags.value();
+  auto actions = ofp::parse_actions(r, actions_len.value());
+  if (!actions) return actions.error();
+  f.actions = std::move(actions).take();
+  return f;
+}
+
+void put_device(ByteWriter& w, const std::string& mac, const DeviceIntent& d) {
+  snapshot::put_string(w, mac);
+  w.u8(static_cast<std::uint8_t>(d.admission));
+  put_string_list(w, d.tags);
+  w.u8(d.lease_ip.has_value() ? 1 : 0);
+  if (d.lease_ip) snapshot::put_ip(w, *d.lease_ip);
+  w.u64(d.rate_limit_bps);
+}
+
+}  // namespace
+
+std::vector<nox::DatapathId> DesiredStore::dpids() const {
+  std::vector<nox::DatapathId> out;
+  out.reserve(states_.size());
+  for (const auto& [dpid, state] : states_) out.push_back(dpid);
+  return out;
+}
+
+void DesiredStore::save(snapshot::Writer& w) const {
+  ByteWriter& c = w.begin_chunk(kDesiredTag);
+  c.u32(static_cast<std::uint32_t>(states_.size()));
+  for (const auto& [dpid, state] : states_) {
+    c.u64(dpid);
+    c.u64(state.version);
+    c.u32(static_cast<std::uint32_t>(state.flows.size()));
+    for (const auto& [key, flow] : state.flows) put_flow(c, flow);
+    c.u32(static_cast<std::uint32_t>(state.devices.size()));
+    for (const auto& [mac, intent] : state.devices) put_device(c, mac, intent);
+  }
+  w.end_chunk();
+}
+
+Status DesiredStore::restore(const snapshot::Reader& r) {
+  const Bytes* chunk = r.find(kDesiredTag);
+  if (chunk == nullptr) return Status::success();
+  ByteReader br(*chunk);
+  auto nstates = br.u32();
+  if (!nstates) return nstates.error();
+  std::map<nox::DatapathId, DesiredState> states;
+  for (std::uint32_t i = 0; i < nstates.value(); ++i) {
+    auto dpid = br.u64();
+    auto version = br.u64();
+    auto nflows = br.u32();
+    if (!dpid || !version || !nflows) {
+      return make_error("desired snapshot: truncated datapath header");
+    }
+    DesiredState& state = states[dpid.value()];
+    state.version = version.value();
+    for (std::uint32_t f = 0; f < nflows.value(); ++f) {
+      auto flow = get_flow(br);
+      if (!flow) return flow.error();
+      std::string key = flow.value().key;
+      state.flows.emplace(std::move(key), std::move(flow).take());
+    }
+    auto ndevices = br.u32();
+    if (!ndevices) return ndevices.error();
+    for (std::uint32_t d = 0; d < ndevices.value(); ++d) {
+      auto mac = snapshot::get_string(br);
+      if (!mac) return mac.error();
+      auto admission = br.u8();
+      if (!admission) return admission.error();
+      DeviceIntent intent;
+      if (admission.value() >
+          static_cast<std::uint8_t>(DeviceIntent::Admission::Denied)) {
+        return make_error("desired snapshot: bad admission verdict");
+      }
+      intent.admission =
+          static_cast<DeviceIntent::Admission>(admission.value());
+      auto tags = get_string_list(br);
+      if (!tags) return tags.error();
+      intent.tags = std::move(tags).take();
+      auto has_ip = br.u8();
+      if (!has_ip) return has_ip.error();
+      if (has_ip.value() != 0) {
+        auto ip = snapshot::get_ip(br);
+        if (!ip) return ip.error();
+        intent.lease_ip = ip.value();
+      }
+      auto rate = br.u64();
+      if (!rate) return rate.error();
+      intent.rate_limit_bps = rate.value();
+      state.devices.emplace(std::move(mac).take(), std::move(intent));
+    }
+  }
+  states_ = std::move(states);
+  return Status::success();
+}
+
+}  // namespace hw::reconcile

@@ -1,0 +1,109 @@
+// Goal-state model: the per-datapath DesiredState document the controller
+// owns. Imperative writers (REST control API, USB policy keys, the DHCP
+// allocator, the policy compiler's lowering stage) mutate this document;
+// the Reconciler diffs it against the datapath's actual table and issues
+// minimal idempotent deltas. The store is snapshottable ('DSTA' chunk) so
+// desired state survives whole-home checkpoint/restore.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nox/component.hpp"
+#include "openflow/match.hpp"
+#include "openflow/actions.hpp"
+#include "snapshot/snapshottable.hpp"
+#include "util/addr.hpp"
+
+namespace hw::reconcile {
+
+/// One flow that must exist in the datapath's table. Identity is `key`
+/// (stable across rounds); the wire cookie is derived from it.
+struct DesiredFlow {
+  std::string key;
+  ofp::Match match;
+  std::uint16_t priority = 0x8000;
+  ofp::ActionList actions;
+  std::uint16_t idle_timeout = 0;
+  std::uint16_t hard_timeout = 0;
+  std::uint16_t flags = 0;
+
+  [[nodiscard]] std::uint64_t cookie() const {
+    return nox::desired_cookie(key);
+  }
+  bool operator==(const DesiredFlow& o) const {
+    return key == o.key && match.same_pattern(o.match) &&
+           priority == o.priority && actions == o.actions &&
+           idle_timeout == o.idle_timeout && hard_timeout == o.hard_timeout &&
+           flags == o.flags;
+  }
+};
+
+/// Declarative per-device intent: admission verdict, policy tags, the DHCP
+/// scope binding, and the lowered QoS cap. The reconciler's state-fixup
+/// pass heals registry/lease divergence against these.
+struct DeviceIntent {
+  enum class Admission : std::uint8_t { Unspecified = 0, Permitted, Denied };
+  Admission admission = Admission::Unspecified;
+  std::vector<std::string> tags;
+  std::optional<Ipv4Address> lease_ip;
+  /// Lowered from the active policy set each round (0 = uncapped).
+  std::uint64_t rate_limit_bps = 0;
+  bool operator==(const DeviceIntent&) const = default;
+};
+
+/// The desired-state document for one datapath.
+struct DesiredState {
+  /// Flow identity key → flow. Map order gives deterministic delta order.
+  std::map<std::string, DesiredFlow> flows;
+  /// Device mac (canonical string form) → intent.
+  std::map<std::string, DeviceIntent> devices;
+  /// Bumped on every mutation (observability / cheap change detection).
+  std::uint64_t version = 0;
+
+  void put_flow(DesiredFlow flow) {
+    ++version;
+    flows[flow.key] = std::move(flow);
+  }
+  bool erase_flow(const std::string& key) {
+    if (flows.erase(key) == 0) return false;
+    ++version;
+    return true;
+  }
+  DeviceIntent& device(const std::string& mac) {
+    ++version;
+    return devices[mac];
+  }
+  bool operator==(const DesiredState& other) const {
+    return flows == other.flows && devices == other.devices;
+  }
+};
+
+/// Per-dpid desired-state documents, snapshottable as the 'DSTA' layer.
+class DesiredStore final : public snapshot::Snapshottable {
+ public:
+  [[nodiscard]] DesiredState& state(nox::DatapathId dpid) {
+    return states_[dpid];
+  }
+  [[nodiscard]] const DesiredState* find(nox::DatapathId dpid) const {
+    auto it = states_.find(dpid);
+    return it == states_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] std::vector<nox::DatapathId> dpids() const;
+  [[nodiscard]] std::size_t size() const { return states_.size(); }
+
+  // -- Snapshottable ('DSTA' chunk) -------------------------------------------
+  // Captures every dpid's flows and device intents. Restore is silent (no
+  // reconcile round is triggered; the restoring home drives its own rounds
+  // through warm restart / resync) and all-or-nothing.
+  void save(snapshot::Writer& w) const override;
+  Status restore(const snapshot::Reader& r) override;
+
+ private:
+  std::map<nox::DatapathId, DesiredState> states_;
+};
+
+}  // namespace hw::reconcile

@@ -15,6 +15,8 @@
 // CHAOS_SEED overrides the default seed so CI can sweep a fixed seed list.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <set>
@@ -58,12 +60,17 @@ struct ChaosResult {
   std::size_t flow_entries = 0;
   bool fail_safe_at_end = true;
   int resync_confirmations = 0;  // barrier-confirmed re-syncs observed
+  /// Canonical "match|priority|actions|cookie" rows of the final table,
+  /// sorted — the replay-vs-reconcile differential compares these.
+  std::vector<std::string> flow_rows;
 };
 
 /// One full scripted run. Everything (router, hosts, faults, rpc) is local,
 /// so its instruments detach on return and back-to-back runs see clean
 /// registry state for the series this scenario drives.
-ChaosResult run_scenario(std::uint64_t seed) {
+ChaosResult run_scenario(std::uint64_t seed,
+                         HomeworkRouter::Config::Resync resync =
+                             HomeworkRouter::Config::Resync::Reconcile) {
   sim::EventLoop loop;
   Rng rng(seed);
 
@@ -72,6 +79,7 @@ ChaosResult run_scenario(std::uint64_t seed) {
   config.liveness.probe_interval = kSecond;
   config.liveness.max_misses = 2;
   config.datapath.controller_dead_interval = 2 * kSecond;
+  config.resync = resync;
   HomeworkRouter router(loop, rng, config);
 
   ChaosResult result;
@@ -176,6 +184,20 @@ ChaosResult run_scenario(std::uint64_t seed) {
   result.dhcp = router.dhcp().stats();
   result.flow_entries = router.datapath().table().size();
   result.fail_safe_at_end = router.datapath().fail_safe();
+  router.datapath().table().for_each([&result](const ofp::FlowEntry& e) {
+    char cookie[20];
+    std::snprintf(cookie, sizeof cookie, "%016llx",
+                  static_cast<unsigned long long>(e.cookie));
+    result.flow_rows.push_back(e.match.to_string() + "|" +
+                               std::to_string(e.priority) + "|" +
+                               ofp::to_string(e.actions) + "|" + cookie);
+  });
+  std::sort(result.flow_rows.begin(), result.flow_rows.end());
+  if (resync == HomeworkRouter::Config::Resync::Reconcile) {
+    EXPECT_TRUE(router.reconciler()->verify_converged(
+        router.datapath().id(), router.datapath().table()))
+        << "final table diverged from desired state (seed " << seed << ")";
+  }
   return result;
 }
 
@@ -261,6 +283,36 @@ TEST(ChaosSoak, IdenticalSeedReplaysIdentically) {
   EXPECT_EQ(a.rpc_client.retries, b.rpc_client.retries);
   EXPECT_EQ(a.rpc_server.dup_suppressed, b.rpc_server.dup_suppressed);
   EXPECT_EQ(a.resync_confirmations, b.resync_confirmations);
+}
+
+TEST(ChaosDifferential, ReplayAndReconcileConvergeToIdenticalState) {
+  // Same seed, same fault plan, two recovery strategies: the legacy blind
+  // replay and the goal-state reconciler must land every device on the same
+  // lease, apply the same hwdb rows, and leave bit-identical flow tables
+  // (rows, priorities, actions AND cookies — replay stamps the same
+  // deterministic desired-state cookies a reconcile Add would).
+  const std::uint64_t seed = chaos_seed();
+  const ChaosResult replay =
+      run_scenario(seed, HomeworkRouter::Config::Resync::Replay);
+  const ChaosResult reconcile =
+      run_scenario(seed, HomeworkRouter::Config::Resync::Reconcile);
+
+  EXPECT_EQ(replay.flow_rows, reconcile.flow_rows) << "seed " << seed;
+  EXPECT_EQ(replay.leases, reconcile.leases);
+  EXPECT_EQ(replay.applied, reconcile.applied);
+  EXPECT_EQ(replay.acked, reconcile.acked);
+  EXPECT_FALSE(replay.fail_safe_at_end);
+  EXPECT_FALSE(reconcile.fail_safe_at_end);
+
+  // Both strategies recovered through barrier-confirmed re-syncs, but the
+  // reconciler did it with delta rounds: the divergence (outage heal with a
+  // surviving table + one cold restart) costs it strictly fewer re-sent
+  // flows than replaying every module's setup on each reconnect.
+  EXPECT_GE(replay.resync_confirmations, 2);
+  EXPECT_GE(reconcile.resync_confirmations, 2);
+  EXPECT_LT(reconcile.controller.resynced_flows,
+            replay.controller.resynced_flows)
+      << "delta resync must beat blind replay (seed " << seed << ")";
 }
 
 }  // namespace

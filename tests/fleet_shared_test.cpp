@@ -100,6 +100,71 @@ TEST(SharedFleet, MergedTelemetryBitIdenticalAcrossWorkerPoolSizes) {
   EXPECT_EQ(one.per_home.size(), 8u);
 }
 
+TEST(SharedFleet, ReconcileFingerprintBitIdenticalAcrossThreadsUnderRestarts) {
+  // The divergence workload: every odd home cold-restarts mid-run and rejoins
+  // through a reconcile round. The reconcile.* counters are per-home
+  // deterministic, so the merged fingerprint — including rounds, delta and
+  // convergence counts — must be bit-identical at any worker-pool size.
+  SharedFleetConfig cfg = base_config();
+  cfg.duration = 5 * kSecond;
+  cfg.restart_odd_homes = true;
+  cfg.threads = 1;
+  const SharedFleetResult base = SharedFleetRunner(cfg).run();
+  const Fingerprint one = fingerprint(base);
+  cfg.threads = 2;
+  const Fingerprint two = fingerprint(SharedFleetRunner(cfg).run());
+  cfg.threads = 8;
+  const Fingerprint eight = fingerprint(SharedFleetRunner(cfg).run());
+
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+
+  // Every home — restarted or not — ends converged on its desired state.
+  EXPECT_EQ(base.homes_ok, 8u);
+  for (const SharedHomeStatus& home : base.homes) {
+    EXPECT_TRUE(home.converged) << "home " << home.home_id;
+  }
+  // The reconciler really drove the recovery: join rounds for all 8 homes,
+  // a rebuild round per restarted odd home (service flows re-added as
+  // deltas) and a converged zero-delta round per admin-resynced even home.
+  EXPECT_GE(base.scalar_totals.at("reconcile.rounds"), 16.0);
+  EXPECT_GT(base.scalar_totals.at("reconcile.deltas_added"), 0.0);
+  EXPECT_GE(base.scalar_totals.at("reconcile.converged_rounds"), 4.0);
+}
+
+TEST(SharedFleet, ReplayAndReconcileFleetsConvergeToIdenticalState) {
+  // Differential: the same fleet, same seeds, same odd-home restarts, run
+  // once with legacy replay-resync and once with the reconciler. Final flow
+  // tables (rows, priorities, actions, cookies) and leases must be
+  // identical in every home.
+  SharedFleetConfig cfg = base_config();
+  cfg.homes = 4;
+  cfg.duration = 5 * kSecond;
+  cfg.restart_odd_homes = true;
+  cfg.collect_state = true;
+
+  cfg.reconcile = false;
+  const SharedFleetResult replay = SharedFleetRunner(cfg).run();
+  cfg.reconcile = true;
+  const SharedFleetResult reconcile = SharedFleetRunner(cfg).run();
+
+  ASSERT_EQ(replay.homes.size(), 4u);
+  ASSERT_EQ(reconcile.homes.size(), 4u);
+  EXPECT_EQ(replay.homes_ok, 4u);
+  EXPECT_EQ(reconcile.homes_ok, 4u);
+  for (std::size_t i = 0; i < replay.homes.size(); ++i) {
+    EXPECT_EQ(replay.homes[i].flow_rows, reconcile.homes[i].flow_rows)
+        << "home " << i << " flow tables diverged between resync strategies";
+    EXPECT_EQ(replay.homes[i].leases, reconcile.homes[i].leases)
+        << "home " << i;
+    EXPECT_FALSE(reconcile.homes[i].leases.empty()) << "home " << i;
+  }
+  // Both recover the restarted homes, the reconciler with strictly fewer
+  // re-sent flows (the even homes' tables survive and need zero deltas).
+  EXPECT_LT(reconcile.scalar_totals.at("nox.channel.resynced_flows"),
+            replay.scalar_totals.at("nox.channel.resynced_flows"));
+}
+
 TEST(SharedFleet, FramedChannelsReassembleUnderTinyMtu) {
   // A 5-byte read ceiling means no OpenFlow message ever arrives whole; the
   // framers must reassemble every handshake and packet-in from partials.

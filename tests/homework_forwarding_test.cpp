@@ -136,7 +136,14 @@ TEST_F(ForwardingFixture, NetworkBlockedDeviceCannotSend) {
   p.block_network = true;
   router.policy().install(std::move(p));
   EXPECT_FALSE(ping(host, router.config().upstream.dns_ip));
-  EXPECT_GE(router.forwarding().stats().flows_denied, 1u);
+  // The policy compiles to proactive drop flows: packets die in the table
+  // without a controller round trip (the reactive deny path never fires).
+  std::size_t compiled_drops = 0;
+  router.datapath().table().for_each([&](const ofp::FlowEntry& e) {
+    if (nox::is_desired_cookie(e.cookie) && e.actions.empty()) ++compiled_drops;
+  });
+  EXPECT_GE(compiled_drops, 2u)
+      << "block policy must lower to a src/dst drop-flow pair";
 }
 
 TEST_F(ForwardingFixture, PolicyChangeRevokesInstalledFlows) {
@@ -144,23 +151,41 @@ TEST_F(ForwardingFixture, PolicyChangeRevokesInstalledFlows) {
   const auto ip = resolve(host, "www.example.com");
   ASSERT_TRUE(ip.has_value());
   ASSERT_TRUE(ping(host, *ip));
-  const auto table_before = router.datapath().table().size();
+
+  auto count_reactive = [&] {
+    std::size_t n = 0;
+    router.datapath().table().for_each(
+        [&](const ofp::FlowEntry& e) { n += e.cookie == 0 ? 1 : 0; });
+    return n;
+  };
+  auto count_compiled_drops = [&] {
+    std::size_t n = 0;
+    router.datapath().table().for_each([&](const ofp::FlowEntry& e) {
+      n += nox::is_desired_cookie(e.cookie) && e.actions.empty() ? 1 : 0;
+    });
+    return n;
+  };
+  const auto reactive_before = count_reactive();
 
   // Install a blocking policy: the change handler must flush the forwarding
-  // band so the next packet re-admits (and is now denied).
+  // band (the compiled drop pair takes its place in the table) so the next
+  // packet is denied.
   policy::PolicyDocument p;
   p.id = "grounded";
   p.who.macs = {host.mac().to_string()};
   p.block_network = true;
   router.policy().install(std::move(p));
   loop.run_for(kSecond);
-  EXPECT_LT(router.datapath().table().size(), table_before);
+  EXPECT_LT(count_reactive(), reactive_before);
+  EXPECT_GE(count_compiled_drops(), 2u);
   EXPECT_GE(router.forwarding().stats().policy_revocations, 1u);
   EXPECT_FALSE(ping(host, *ip));
 
-  // Lifting the policy restores connectivity on the next admission.
+  // Lifting the policy removes the drop pair and restores connectivity on
+  // the next admission.
   router.policy().uninstall("grounded");
   loop.run_for(kSecond);
+  EXPECT_EQ(count_compiled_drops(), 0u);
   EXPECT_TRUE(ping(host, *ip));
 }
 

@@ -360,6 +360,34 @@ TEST_F(HandshakeFixture, HelloOnIdentifiedChannelTriggersResync) {
   EXPECT_GE(ctl.stats().reconnects, 1u);
 }
 
+TEST_F(HandshakeFixture, ResyncForUnknownDatapathIsCountedAndRearmed) {
+  ctl.add_component(std::make_unique<FlowOnJoin>());
+
+  // Nothing has identified yet: the resync request cannot be served. It must
+  // not vanish silently — it is counted and re-armed.
+  ASSERT_EQ(ctl.stats().resync_skipped, 0u);
+  ctl.resync_datapath(7);
+  EXPECT_EQ(ctl.stats().resync_skipped, 1u);
+
+  // When dpid 7 finally identifies, the armed request upgrades the fresh
+  // join into a full re-sync: on_resynced fires even though this connection
+  // never dropped.
+  std::vector<DatapathId> resynced;
+  ctl.on_resynced([&](DatapathId d) { resynced.push_back(d); });
+  connect_all();
+  loop.run_for(100 * kMillisecond);
+  EXPECT_EQ(resynced, (std::vector<DatapathId>{7}));
+  EXPECT_GT(ctl.stats().resynced_flows, 0u);
+  EXPECT_EQ(dp.table().size(), 1u);
+
+  // The armed request was consumed: a second request for a now-known dpid
+  // is served immediately and does not bump the skip counter.
+  ctl.resync_datapath(7);
+  loop.run_for(100 * kMillisecond);
+  EXPECT_EQ(ctl.stats().resync_skipped, 1u);
+  EXPECT_EQ(resynced, (std::vector<DatapathId>{7, 7}));
+}
+
 TEST_F(HandshakeFixture, SendToUnknownDatapathIsSafe) {
   connect_all();
   ctl.install_flow(999, ofp::Match::any(), ofp::output_to(1));

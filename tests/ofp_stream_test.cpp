@@ -234,6 +234,10 @@ TEST(StreamLiveness, StalledStreamGoesDeadThenResyncsAfterReconnect) {
   cfg.channel_mtu = 5;  // every message arrives in partial reads
   cfg.liveness.probe_interval = kSecond;
   cfg.liveness.max_misses = 2;
+  // This test exercises the legacy replay-resync through the framed channel
+  // (the reconciler would instead prove the surviving table converged and
+  // send nothing — covered by the reconcile/chaos suites).
+  cfg.resync = homework::HomeworkRouter::Config::Resync::Replay;
   homework::HomeworkRouter router(loop, rng, cfg, registry);
 
   sim::Host::Config hc;

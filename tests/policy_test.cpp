@@ -112,7 +112,7 @@ TEST(PolicyDocument, FromJsonValidation) {
 // Compilation
 
 TEST(Compile, NoPoliciesMeansUnrestricted) {
-  const auto r = compile_restriction({}, "aa:bb", {}, {});
+  const auto r = compile_restriction(std::vector<PolicyDocument>{}, "aa:bb", {}, {});
   EXPECT_TRUE(r.unrestricted());
   EXPECT_TRUE(r.domain_allowed("anything.example"));
 }
