@@ -106,7 +106,22 @@ SharedFleetRunner::ShardOutcome SharedFleetRunner::run_shard(
   };
   std::deque<Home> homes;
 
-  for (std::size_t h = shard; h < config_.homes; h += shards) {
+  // Roam mode schedules homes in pairs so a pair always shares one loop —
+  // the re-association below must be a same-shard rewire at every thread
+  // count, or the merged fingerprint would depend on sharding.
+  std::vector<std::size_t> assigned;
+  if (config_.roam) {
+    for (std::size_t p = shard; 2 * p < config_.homes; p += shards) {
+      assigned.push_back(2 * p);
+      if (2 * p + 1 < config_.homes) assigned.push_back(2 * p + 1);
+    }
+  } else {
+    for (std::size_t h = shard; h < config_.homes; h += shards) {
+      assigned.push_back(h);
+    }
+  }
+
+  for (const std::size_t h : assigned) {
     Home home;
     home.home_id = h;
     home.dpid = static_cast<std::uint64_t>(h) + 1;
@@ -128,9 +143,16 @@ SharedFleetRunner::ShardOutcome SharedFleetRunner::run_shard(
       host_config.name =
           "home" + std::to_string(h) + "-dev" + std::to_string(i);
       // Deliberately the SAME MAC in every home: the registry, DHCP scopes
-      // and flow rules must keep them apart by datapath id alone.
-      host_config.mac =
-          MacAddress::from_index(1 + static_cast<std::uint32_t>(i));
+      // and flow rules must keep them apart by datapath id alone. The one
+      // exception is the roamer (odd home, device 0), whose MAC is unique
+      // per pair so cross-home leakage of its state is detectable.
+      if (config_.roam && h % 2 == 1 && i == 0) {
+        host_config.mac = MacAddress::from_index(
+            0xaa0000u + static_cast<std::uint32_t>(h / 2));
+      } else {
+        host_config.mac =
+            MacAddress::from_index(1 + static_cast<std::uint32_t>(i));
+      }
       auto host =
           std::make_unique<sim::Host>(loop, host_config, *home.rng);
       auto link = std::make_unique<sim::DuplexLink>(
@@ -198,6 +220,52 @@ SharedFleetRunner::ShardOutcome SharedFleetRunner::run_shard(
     }
   }
 
+  // Roaming re-association: the odd home's roamer walks next door. Detach
+  // from the odd datapath, attach on a fresh port of the paired even
+  // datapath, re-DHCP behind the new dpid, then talk to a local peer there.
+  std::map<std::size_t, Duration> rebind_by_home;
+  if (config_.roam) {
+    for (Home& odd : homes) {
+      if (odd.home_id % 2 != 1 || odd.devices.empty()) continue;
+      Home* even = nullptr;
+      for (Home& cand : homes) {
+        if (cand.home_id == odd.home_id - 1) even = &cand;
+      }
+      if (even == nullptr) continue;  // unpaired trailing home
+      sim::Host* roamer = odd.devices[0].host.get();
+      sim::DuplexLink* link = odd.devices[0].link.get();
+      ofp::Datapath* from = odd.datapath.get();
+      ofp::Datapath* to = even->datapath.get();
+      const auto old_port = static_cast<std::uint16_t>(2);
+      const auto new_port =
+          static_cast<std::uint16_t>(2 + config_.devices_per_home);
+      const std::size_t dst_home = even->home_id;
+      loop.schedule_at(config_.roam_at, [this, roamer, link, from, to,
+                                         old_port, new_port, dst_home,
+                                         &rebind_by_home, &loop] {
+        from->remove_port(old_port);
+        to->add_port(new_port, "roam" + std::to_string(new_port),
+                     MacAddress::from_index(0xfff000u + new_port),
+                     &link->b_to_a());
+        link->a_to_b().connect(to->ingress(new_port));
+        roamer->on_bound([this, dst_home, &rebind_by_home, &loop] {
+          if (rebind_by_home.count(dst_home) != 0) return;
+          rebind_by_home[dst_home] = loop.now() - config_.roam_at;
+        });
+        roamer->start_dhcp();
+      });
+      if (config_.traffic) {
+        // Post-roam round: the roamer reaches the destination home's own
+        // device 0 (192.168.1.100 *behind the even dpid*), proving its
+        // flows now live in the new home's table.
+        const Ipv4Address peer{192, 168, 1, 100};
+        loop.schedule_at(config_.roam_at + kSecond, [roamer, peer] {
+          (void)roamer->send_udp(peer, 41000, 7777, 64);
+        });
+      }
+    }
+  }
+
   loop.run_until(config_.duration);
 
   ShardOutcome out;
@@ -212,6 +280,10 @@ SharedFleetRunner::ShardOutcome SharedFleetRunner::run_shard(
     }
     status.all_bound = status.devices_bound == status.devices;
     status.flow_entries = home.datapath->table().size();
+    if (const auto it = rebind_by_home.find(home.home_id);
+        it != rebind_by_home.end()) {
+      status.roam_rebind_us = it->second;
+    }
     if (reconciler != nullptr) {
       status.converged =
           reconciler->verify_converged(home.dpid, home.datapath->table());

@@ -63,6 +63,15 @@ struct SharedFleetConfig {
   /// differential replay-vs-reconcile comparisons; off by default — the
   /// strings are not part of the fingerprint).
   bool collect_state = false;
+  /// Roaming workload: homes are scheduled in PAIRS (2p, 2p+1) on one shard
+  /// at any thread count, the odd home's device 0 carries a unique per-pair
+  /// MAC (a phone that walks next door), and at roam_at it detaches from the
+  /// odd home's datapath, re-associates on a fresh port of the even home's
+  /// datapath and re-DHCPs behind the new dpid. The origin home keeps its
+  /// own (dpid, mac) state; the destination grants a lease from its own
+  /// scope — per-dpid isolation is what the roaming scenario verifies.
+  bool roam = false;
+  Timestamp roam_at = 3500 * kMillisecond;
 };
 
 /// Per-home verdict harvested on the shard that ran it.
@@ -81,6 +90,9 @@ struct SharedHomeStatus {
   /// (sorted); only populated when collect_state is set.
   std::vector<std::string> flow_rows;
   std::vector<std::string> leases;
+  /// Roam mode: virtual µs from roam_at until the roamer re-bound INTO this
+  /// home (0 for homes that received no roamer).
+  Duration roam_rebind_us = 0;
 
   [[nodiscard]] bool ok() const { return all_bound && converged; }
 };

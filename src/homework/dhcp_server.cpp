@@ -76,7 +76,7 @@ void DhcpServer::process(nox::DatapathId dpid, std::uint16_t in_port,
       // same address back, so a retransmit can never double-allocate. Count
       // it so the chaos suite can read the recovery story off telemetry.
       if (allocation(dpid, msg.chaddr)) metrics_.retransmits.inc();
-      auto ip = allocate(dpid, msg.chaddr);
+      auto ip = allocate(dpid, msg.chaddr, now);
       if (!ip) {
         metrics_.pool_exhausted.inc();
         HW_LOG_WARN(kLog, "address pool exhausted for %s",
@@ -123,6 +123,12 @@ void DhcpServer::process(nox::DatapathId dpid, std::uint16_t in_port,
       lease.expires_at = now + static_cast<Duration>(config_.lease_secs) * kSecond;
       lease.hostname = msg.hostname;
       registry_.record_lease(dpid, msg.chaddr, lease, renewal, now);
+      // The ACK claims the offer: the allocation becomes sticky (exempt
+      // from the unclaimed-offer hold) for the life of the scope.
+      if (auto it = scopes_[dpid].allocations.find(msg.chaddr);
+          it != scopes_[dpid].allocations.end()) {
+        it->second.offered_at = 0;
+      }
       if (allocation_observer_) allocation_observer_(dpid, msg.chaddr, lease.ip);
       metrics_.acks.inc();
       send_reply(dpid, in_port,
@@ -144,7 +150,8 @@ void DhcpServer::process(nox::DatapathId dpid, std::uint16_t in_port,
       Scope& scope = scopes_[dpid];
       if (auto it = scope.allocations.find(msg.chaddr);
           it != scope.allocations.end()) {
-        scope.declined.insert(it->second);
+        scope.declined.insert(it->second.ip);
+        scope.in_use.erase(it->second.ip);
         scope.allocations.erase(it);
       }
       registry_.clear_lease(dpid, msg.chaddr, /*expired=*/false, now);
@@ -200,30 +207,24 @@ std::optional<Ipv4Address> DhcpServer::allocation(nox::DatapathId dpid,
   auto it = scope_it->second.allocations.find(mac);
   return it == scope_it->second.allocations.end()
              ? std::nullopt
-             : std::optional<Ipv4Address>(it->second);
+             : std::optional<Ipv4Address>(it->second.ip);
 }
 
 std::optional<Ipv4Address> DhcpServer::allocate(nox::DatapathId dpid,
-                                                MacAddress mac) {
+                                                MacAddress mac, Timestamp now) {
   if (auto existing = allocation(dpid, mac)) return existing;
   Scope& scope = scopes_[dpid];
-  // Linear scan of the pool for a free address. Home pools are small (~100
-  // addresses) so this stays trivially fast.
+  // Linear scan of the pool for a free address, with set-backed occupancy
+  // checks: a DISCOVER flood against an exhausted pool walks the pool once
+  // per message but never the allocation map.
   for (std::uint32_t a = config_.pool_start.value(); a <= config_.pool_end.value();
        ++a) {
     const Ipv4Address candidate{a};
     if (scope.declined.count(candidate) != 0) continue;
-    bool taken = false;
-    for (const auto& [_, ip] : scope.allocations) {
-      if (ip == candidate) {
-        taken = true;
-        break;
-      }
-    }
-    if (!taken) {
-      scope.allocations[mac] = candidate;
-      return candidate;
-    }
+    if (scope.in_use.count(candidate) != 0) continue;
+    scope.allocations[mac] = {candidate, now};
+    scope.in_use.insert(candidate);
+    return candidate;
   }
   return std::nullopt;
 }
@@ -239,31 +240,55 @@ void DhcpServer::sweep_expiry() {
       if (allocation_observer_) allocation_observer_(dpid, mac, std::nullopt);
     }
   }
+  // Reclaim offers nobody ever claimed: a spoofed-MAC DISCOVER flood can
+  // drain the pool, but each phantom allocation only survives offer_hold.
+  // ACKed allocations carry offered_at == 0 and stay sticky forever.
+  for (auto& [dpid, scope] : scopes_) {
+    for (auto it = scope.allocations.begin(); it != scope.allocations.end();) {
+      if (it->second.offered_at != 0 &&
+          it->second.offered_at + config_.offer_hold <= now) {
+        metrics_.offers_expired.inc();
+        scope.in_use.erase(it->second.ip);
+        it = scope.allocations.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
 }
 
 bool DhcpServer::adopt_allocation(nox::DatapathId dpid, MacAddress mac,
                                   Ipv4Address ip) {
   Scope& scope = scopes_[dpid];
   auto it = scope.allocations.find(mac);
-  if (it != scope.allocations.end() && it->second == ip) return false;
-  scope.allocations[mac] = ip;
+  if (it != scope.allocations.end() && it->second.ip == ip) return false;
+  if (it != scope.allocations.end()) scope.in_use.erase(it->second.ip);
+  scope.allocations[mac] = {ip, /*offered_at=*/0};
+  scope.in_use.insert(ip);
   scope.declined.erase(ip);
   return true;
 }
 
 namespace {
 constexpr std::uint32_t kDhcpTag = snapshot::tag("DHCP");
+/// v3 format marker: the first u32 of a v2 image is the scope count, which
+/// can never be 0xFFFFFFFF, so the sentinel disambiguates the formats.
+constexpr std::uint32_t kDhcpVersionSentinel = 0xFFFFFFFFu;
+constexpr std::uint32_t kDhcpVersion = 3;
 }  // namespace
 
 void DhcpServer::save(snapshot::Writer& w) const {
   ByteWriter& c = w.begin_chunk(kDhcpTag);
+  c.u32(kDhcpVersionSentinel);
+  c.u32(kDhcpVersion);
   c.u32(static_cast<std::uint32_t>(scopes_.size()));
   for (const auto& [dpid, scope] : scopes_) {
     c.u64(dpid);
     c.u32(static_cast<std::uint32_t>(scope.allocations.size()));
-    for (const auto& [mac, ip] : scope.allocations) {
+    for (const auto& [mac, binding] : scope.allocations) {
       snapshot::put_mac(c, mac);
-      snapshot::put_ip(c, ip);
+      snapshot::put_ip(c, binding.ip);
+      c.u64(static_cast<std::uint64_t>(binding.offered_at));
     }
     c.u32(static_cast<std::uint32_t>(scope.declined.size()));
     for (const Ipv4Address ip : scope.declined) snapshot::put_ip(c, ip);
@@ -275,10 +300,23 @@ Status DhcpServer::restore(const snapshot::Reader& r) {
   const Bytes* chunk = r.find(kDhcpTag);
   if (chunk == nullptr) return Status::success();
   ByteReader br(*chunk);
-  auto nscopes = br.u32();
-  if (!nscopes) return nscopes.error();
+  auto first = br.u32();
+  if (!first) return first.error();
+  std::uint32_t version = 2;  // legacy images lead straight with nscopes
+  std::uint32_t nscopes = first.value();
+  if (first.value() == kDhcpVersionSentinel) {
+    auto ver = br.u32();
+    if (!ver) return ver.error();
+    if (ver.value() != kDhcpVersion) {
+      return make_error("dhcp snapshot: unsupported version");
+    }
+    version = ver.value();
+    auto n = br.u32();
+    if (!n) return n.error();
+    nscopes = n.value();
+  }
   std::map<nox::DatapathId, Scope> scopes;
-  for (std::uint32_t s = 0; s < nscopes.value(); ++s) {
+  for (std::uint32_t s = 0; s < nscopes; ++s) {
     auto dpid = br.u64();
     auto nalloc = br.u32();
     if (!dpid || !nalloc) return make_error("dhcp snapshot: truncated scope");
@@ -287,7 +325,14 @@ Status DhcpServer::restore(const snapshot::Reader& r) {
       auto mac = snapshot::get_mac(br);
       auto ip = snapshot::get_ip(br);
       if (!mac || !ip) return make_error("dhcp snapshot: truncated allocation");
-      scope.allocations.emplace(mac.value(), ip.value());
+      Binding binding{ip.value(), 0};
+      if (version >= 3) {
+        auto offered = br.u64();
+        if (!offered) return make_error("dhcp snapshot: truncated offer time");
+        binding.offered_at = static_cast<Timestamp>(offered.value());
+      }
+      scope.in_use.insert(binding.ip);
+      scope.allocations.emplace(mac.value(), binding);
     }
     auto ndeclined = br.u32();
     if (!ndeclined) return ndeclined.error();

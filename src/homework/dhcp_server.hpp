@@ -33,6 +33,9 @@ struct DhcpServerStats {
   std::uint64_t ignored_pending = 0;  // silent treatment of pending devices
   std::uint64_t pool_exhausted = 0;
   std::uint64_t expired = 0;
+  /// Offered-but-never-ACKed allocations released back into the pool after
+  /// offer_hold — the recovery path from a spoofed-DISCOVER starvation.
+  std::uint64_t offers_expired = 0;
   /// Retransmitted DISCOVER/REQUEST messages (lossy network re-sends)
   /// answered idempotently from the existing allocation.
   std::uint64_t retransmits = 0;
@@ -50,6 +53,12 @@ class DhcpServer final : public nox::Component, public snapshot::Snapshottable {
     /// Router-mediated isolation: /32 netmask in leases.
     bool isolate = true;
     Duration expiry_sweep = 5 * kSecond;
+    /// How long an offered-but-never-ACKed allocation is held before the
+    /// sweep returns it to the pool. Leased allocations are exempt — once a
+    /// device ACKs, its address stays sticky across release/expiry as
+    /// before. This bounds how long a spoofed-MAC DISCOVER flood can pin
+    /// the scope.
+    Duration offer_hold = 10 * kSecond;
   };
 
   static constexpr const char* kName = "dhcp-server";
@@ -73,6 +82,7 @@ class DhcpServer final : public nox::Component, public snapshot::Snapshottable {
             metrics_.ignored_pending.value(),
             metrics_.pool_exhausted.value(),
             metrics_.expired.value(),
+            metrics_.offers_expired.value(),
             metrics_.retransmits.value()};
   }
   [[nodiscard]] const Config& config() const { return config_; }
@@ -97,9 +107,11 @@ class DhcpServer final : public nox::Component, public snapshot::Snapshottable {
   /// lease fixup after divergence). Returns true if the scope changed.
   bool adopt_allocation(nox::DatapathId dpid, MacAddress mac, Ipv4Address ip);
 
-  // -- Snapshottable ('DHCP' chunk, v2: per-dpid scopes) ----------------------
-  // Captures each home's allocation map and declined-address set; lease
-  // expiry deadlines live in DeviceRegistry records and are restored there.
+  // -- Snapshottable ('DHCP' chunk, v3: offer timestamps) ---------------------
+  // Captures each home's allocation map (with offer timestamps), and the
+  // declined-address set; lease expiry deadlines live in DeviceRegistry
+  // records and are restored there. v2 images (no version sentinel, no
+  // offer timestamps) still decode — their allocations restore as sticky.
   void save(snapshot::Writer& w) const override;
   Status restore(const snapshot::Reader& r) override;
 
@@ -111,8 +123,10 @@ class DhcpServer final : public nox::Component, public snapshot::Snapshottable {
   net::DhcpMessage make_reply(const net::DhcpMessage& req,
                               net::DhcpMessageType type, Ipv4Address yiaddr) const;
   /// Sticky allocation: reuse the previous address when possible. Each home
-  /// datapath draws from its own copy of the pool.
-  std::optional<Ipv4Address> allocate(nox::DatapathId dpid, MacAddress mac);
+  /// datapath draws from its own copy of the pool. `now` stamps the offer
+  /// for the unclaimed-offer hold.
+  std::optional<Ipv4Address> allocate(nox::DatapathId dpid, MacAddress mac,
+                                      Timestamp now);
 
   Config config_;
   DeviceRegistry& registry_;
@@ -127,14 +141,26 @@ class DhcpServer final : public nox::Component, public snapshot::Snapshottable {
     telemetry::Counter ignored_pending{"homework.dhcp.ignored_pending"};
     telemetry::Counter pool_exhausted{"homework.dhcp.pool_exhausted"};
     telemetry::Counter expired{"homework.dhcp.expired"};
+    telemetry::Counter offers_expired{"homework.dhcp.offers_expired"};
     telemetry::Counter retransmits{"homework.dhcp.retransmits"};
   } metrics_;
+  /// One address binding: the allocation plus when it was offered.
+  /// offered_at == 0 marks an ACKed (leased at least once) allocation,
+  /// which is sticky forever; a non-zero offered_at means the offer was
+  /// never claimed and the sweep may reclaim it after offer_hold.
+  struct Binding {
+    Ipv4Address ip;
+    Timestamp offered_at = 0;
+  };
   /// One home's address-space state. Homes behind different datapaths use
   /// identical (overlapping) private pools — exactly why scoping by dpid is
   /// load-bearing under a shared controller.
   struct Scope {
-    std::map<MacAddress, Ipv4Address> allocations;
+    std::map<MacAddress, Binding> allocations;
     std::set<Ipv4Address> declined;  // addresses a client reported in use
+    /// Mirror of the allocated addresses so an exhaustion-era flood pays
+    /// O(pool log n) per DISCOVER instead of O(pool * allocations).
+    std::set<Ipv4Address> in_use;
   };
   std::map<nox::DatapathId, Scope> scopes_;
   std::unique_ptr<sim::PeriodicTimer> expiry_timer_;

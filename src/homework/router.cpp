@@ -84,6 +84,7 @@ HomeworkRouter::HomeworkRouter(sim::EventLoop& loop, Rng& rng, Config config,
   dhcp_config.lease_secs = config_.lease_secs;
   dhcp_config.router_mac = config_.router_mac;
   dhcp_config.isolate = config_.isolate;
+  dhcp_config.offer_hold = config_.dhcp_offer_hold;
   auto dhcp = std::make_unique<DhcpServer>(dhcp_config, *registry_);
   dhcp_ = dhcp.get();
 

@@ -54,6 +54,9 @@ class HomeworkRouter {
     Ipv4Address pool_start{192, 168, 1, 100};
     Ipv4Address pool_end{192, 168, 1, 199};
     std::uint32_t lease_secs = 3600;
+    /// Unclaimed-DHCP-offer hold before the sweep reclaims the address
+    /// (DhcpServer::Config::offer_hold).
+    Duration dhcp_offer_hold = 10 * kSecond;
     MacAddress router_mac = MacAddress::from_index(0xffffff);
     DeviceRegistry::AdmissionDefault admission =
         DeviceRegistry::AdmissionDefault::Pending;

@@ -1,0 +1,51 @@
+// DHCP pool starvation: an attacker floods spoofed-MAC DISCOVERs until the
+// per-dpid scope runs dry. The platform's promises: the pool exhausts
+// cleanly (counter, no crash, no double allocation), legitimate devices
+// keep their leases and renew successfully THROUGH the attack, and once the
+// unclaimed offers expire the pool recovers for new legitimate joiners.
+#pragma once
+
+#include "scenario/scenario.hpp"
+
+namespace hw::scenario {
+
+class DhcpStarvationScenario final : public HomeAttackScenario {
+ public:
+  struct Params {
+    std::size_t residents = 3;
+    /// Distinct spoofed source MACs; larger than the pool so the flood can
+    /// always drain it.
+    std::size_t spoofed_macs = 140;
+    Duration attack_start = 2 * kSecond;
+    Duration attack_end = 14 * kSecond;
+    Duration flood_interval = 5 * kMillisecond;
+    /// Short leases so residents renew mid-attack (at lease/2).
+    std::uint32_t lease_secs = 20;
+    /// How long the server holds an offered-but-never-ACKed allocation.
+    Duration offer_hold = 4 * kSecond;
+    /// A fresh legitimate device joins after the attack; its bind must
+    /// succeed once expired offers return to the pool.
+    Duration late_join_at = 20 * kSecond + 100 * kMillisecond;
+  };
+
+  DhcpStarvationScenario(Config config, Params params)
+      : HomeAttackScenario("dhcp-starvation", config), params_(params) {}
+  explicit DhcpStarvationScenario(Config config = Config{})
+      : DhcpStarvationScenario(config, Params{}) {}
+
+  [[nodiscard]] const Params& params() const { return params_; }
+
+ protected:
+  [[nodiscard]] workload::HomeScenario::Config home_config() const override;
+  void populate(workload::HomeScenario& home) override;
+  void drive(sim::EventLoop& loop) override;
+  void verify(Report& report) override;
+
+ private:
+  Params params_;
+  std::size_t attacker_index_ = 0;
+  std::size_t late_joiner_index_ = 0;
+  Timestamp late_joiner_bound_at_ = 0;
+};
+
+}  // namespace hw::scenario

@@ -1,0 +1,67 @@
+// Flash-crowd guest churn: bursts of unknown devices are admitted through
+// the control API (the party starts), then expelled again (the party ends),
+// while a quarantine policy is installed and removed against one guest
+// mid-crowd. Exercises the Figure 3 admission path — registry, control API,
+// DHCP NAK-on-deny, policy lowering — under churn rates a situated display
+// would never produce. Promises: every admitted guest binds (permit→bind
+// latency is the recovery series), expelled guests end up Denied and
+// unbound, the final burst and the residents keep their leases, the API
+// accounting matches the bursts exactly, and the policy 201/204 round-trip
+// actually drops the quarantined guest's flows.
+#pragma once
+
+#include "scenario/scenario.hpp"
+
+namespace hw::scenario {
+
+class GuestChurnScenario final : public HomeAttackScenario {
+ public:
+  struct Params {
+    std::size_t residents = 2;
+    std::size_t bursts = 3;
+    std::size_t burst_size = 6;
+    Duration first_burst = 3 * kSecond;
+    Duration burst_spacing = 5 * kSecond;
+    /// Every burst but the last is expelled this long after it arrived.
+    Duration expel_after = 3500 * kMillisecond;
+    /// Quarantine policy timeline against one final-burst guest.
+    Duration policy_install_at = 14 * kSecond;
+    Duration policy_delete_at = 16 * kSecond;
+  };
+
+  GuestChurnScenario(Config config, Params params)
+      : HomeAttackScenario("guest-churn", config), params_(params) {}
+  explicit GuestChurnScenario(Config config = default_config())
+      : GuestChurnScenario(config, Params{}) {}
+
+  static Config default_config() {
+    Config config;
+    config.duration = 18 * kSecond;
+    return config;
+  }
+
+  [[nodiscard]] const Params& params() const { return params_; }
+
+ protected:
+  [[nodiscard]] workload::HomeScenario::Config home_config() const override;
+  void populate(workload::HomeScenario& home) override;
+  void drive(sim::EventLoop& loop) override;
+  void verify(Report& report) override;
+
+ private:
+  [[nodiscard]] std::size_t guest_count() const {
+    return params_.bursts * params_.burst_size;
+  }
+
+  Params params_;
+  std::size_t guest_binds_ = 0;
+  int policy_install_status_ = 0;
+  int policy_delete_status_ = 0;
+  /// Compiled `policy:block` drop flows observed mid-quarantine, and the
+  /// packets they swallowed (the guest's probes die in the table, so the
+  /// proof of enforcement is the drop rules' own counters).
+  std::size_t quarantine_drop_flows_ = 0;
+  std::uint64_t quarantine_dropped_packets_ = 0;
+};
+
+}  // namespace hw::scenario

@@ -1,0 +1,53 @@
+// IoT swarm: hundreds of low-rate devices join the home in a tight stagger
+// and then chatter to their cloud endpoints — not malicious packets, but a
+// hostile *scale* for per-dpid registry, DHCP scope, policy and flow-table
+// bookkeeping sized around a family's worth of devices. Promises: every
+// device binds (bind latency is the recovery series), every lease is
+// distinct, the chatter sets up per-device flows without tripping TableFull
+// or pool exhaustion, and the registry tracks the whole swarm.
+#pragma once
+
+#include "scenario/scenario.hpp"
+
+namespace hw::scenario {
+
+class IotSwarmScenario final : public HomeAttackScenario {
+ public:
+  struct Params {
+    /// Swarm size; the pool below leaves headroom (.10–.250 = 241 leases).
+    std::size_t devices = 180;
+    Duration join_start = 200 * kMillisecond;
+    /// One join per stagger step — a "smart home" powering on, not a botnet
+    /// burst, but still ~50x a normal home's admission rate.
+    Duration join_stagger = 20 * kMillisecond;
+    Duration chatter_start = 6 * kSecond;
+    Duration chatter_end = 10 * kSecond;
+    Duration chatter_interval = kSecond;
+    std::size_t chatter_bytes = 64;
+  };
+
+  IotSwarmScenario(Config config, Params params)
+      : HomeAttackScenario("iot-swarm", config), params_(params) {}
+  explicit IotSwarmScenario(Config config = default_config())
+      : IotSwarmScenario(config, Params{}) {}
+
+  static Config default_config() {
+    Config config;
+    config.duration = 12 * kSecond;
+    return config;
+  }
+
+  [[nodiscard]] const Params& params() const { return params_; }
+
+ protected:
+  [[nodiscard]] workload::HomeScenario::Config home_config() const override;
+  void populate(workload::HomeScenario& home) override;
+  void drive(sim::EventLoop& loop) override;
+  void verify(Report& report) override;
+
+ private:
+  Params params_;
+  std::size_t bound_count_ = 0;
+};
+
+}  // namespace hw::scenario

@@ -1,0 +1,110 @@
+#include "scenario/roaming.hpp"
+
+#include <algorithm>
+
+namespace hw::scenario {
+
+fleet::SharedFleetConfig RoamingScenario::fleet_config(
+    std::size_t threads) const {
+  fleet::SharedFleetConfig cfg;
+  cfg.homes = params_.homes;
+  cfg.threads = threads;
+  cfg.seed = config_.seed;
+  cfg.duration = config_.duration;
+  cfg.devices_per_home = params_.devices_per_home;
+  cfg.roam = true;
+  cfg.roam_at = params_.roam_at;
+  cfg.collect_state = true;
+  return cfg;
+}
+
+Report RoamingScenario::run() {
+  count_run();
+  set_attack_window(params_.roam_at, config_.duration);
+
+  std::vector<fleet::SharedFleetResult> results;
+  for (const std::size_t threads : params_.thread_counts) {
+    fleet::SharedFleetRunner runner(fleet_config(threads));
+    results.push_back(runner.run());
+    record_attack(params_.homes / 2);  // one re-association per pair
+  }
+  Report report = make_report();
+  if (results.empty()) return report;
+
+  // Same seed, different worker pools: the merged scalar totals must agree
+  // to the bit (histograms time wall-clock and are excluded by contract).
+  bool stable = true;
+  std::string stable_detail;
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    if (results[i].scalar_totals != results[0].scalar_totals) {
+      stable = false;
+      stable_detail += "threads=" + std::to_string(params_.thread_counts[i]) +
+                       " diverged from threads=" +
+                       std::to_string(params_.thread_counts[0]) + "; ";
+    }
+  }
+  expect(report, "fingerprint-stable-across-thread-counts", stable,
+         stable ? std::to_string(results.size()) + " pools compared"
+                : stable_detail);
+
+  // Per-home promises, checked on every run (they are identical by the
+  // invariant above, but a determinism bug must not mask an isolation bug).
+  const auto lease_row = [](MacAddress mac, std::uint8_t last) {
+    return mac.to_string() + "|192.168.1." + std::to_string(last);
+  };
+  const auto has = [](const std::vector<std::string>& rows,
+                      const std::string& row) {
+    return std::find(rows.begin(), rows.end(), row) != rows.end();
+  };
+  bool rebound = true, origin_kept = true, no_leak = true, all_ok = true;
+  std::string rebound_detail, leak_detail;
+  for (std::size_t r = 0; r < results.size(); ++r) {
+    const auto& result = results[r];
+    all_ok = all_ok && result.homes_ok == params_.homes;
+    for (const auto& home : result.homes) {
+      const std::size_t pair = home.home_id / 2;
+      const MacAddress roamer =
+          MacAddress::from_index(0xaa0000u + static_cast<std::uint32_t>(pair));
+      if (home.home_id % 2 == 0) {
+        // Destination: granted the roamer a lease from its own scope (its
+        // native devices hold .100/.101) and measured the rebind.
+        const auto expected = lease_row(
+            roamer, static_cast<std::uint8_t>(100 + params_.devices_per_home));
+        if (home.roam_rebind_us == 0 || !has(home.leases, expected)) {
+          rebound = false;
+          rebound_detail += "home" + std::to_string(home.home_id) +
+                            " (threads=" +
+                            std::to_string(params_.thread_counts[r]) + "); ";
+        }
+        if (r == 0 && home.roam_rebind_us > 0) {
+          record_recovery(home.roam_rebind_us);
+        }
+      } else {
+        // Origin: the roamer's sticky allocation stays behind the odd dpid.
+        origin_kept = origin_kept && has(home.leases, lease_row(roamer, 100));
+      }
+      // The pair's roamer MAC must never appear under any other dpid.
+      for (const auto& other : result.homes) {
+        if (other.home_id / 2 == pair) continue;
+        for (const auto& lease : other.leases) {
+          if (lease.rfind(roamer.to_string() + "|", 0) == 0) {
+            no_leak = false;
+            leak_detail += roamer.to_string() + " in home" +
+                           std::to_string(other.home_id) + "; ";
+          }
+        }
+      }
+    }
+  }
+  expect(report, "roamer-rebinds-at-destination", rebound, rebound_detail);
+  expect(report, "origin-home-state-untouched", origin_kept);
+  expect(report, "roamer-mac-never-leaks-across-pairs", no_leak, leak_detail);
+  expect(report, "all-homes-bound-and-converged", all_ok);
+
+  // Refresh the recovery series gathered above into the report.
+  Report final_report = make_report();
+  final_report.invariants = std::move(report.invariants);
+  return final_report;
+}
+
+}  // namespace hw::scenario

@@ -1,0 +1,152 @@
+#include "scenario/scenario.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "net/dhcp.hpp"
+#include "net/packet.hpp"
+
+namespace hw::scenario {
+
+bool Report::ok() const {
+  return !invariants.empty() &&
+         std::all_of(invariants.begin(), invariants.end(),
+                     [](const Invariant& i) { return i.held; });
+}
+
+double Report::attack_rate() const {
+  if (attack_seconds <= 0.0) return 0.0;
+  return static_cast<double>(attack_events) / attack_seconds;
+}
+
+namespace {
+
+Duration percentile(std::vector<Duration> samples, double p) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(samples.size() - 1) + 0.5);
+  return samples[std::min(rank, samples.size() - 1)];
+}
+
+}  // namespace
+
+Duration Report::recovery_p50() const { return percentile(recovery_samples, 0.50); }
+Duration Report::recovery_p99() const { return percentile(recovery_samples, 0.99); }
+
+std::string Report::to_string() const {
+  std::string out = scenario + " (seed " + std::to_string(seed) + "): " +
+                    (ok() ? "OK" : "FAIL") + "\n";
+  for (const Invariant& inv : invariants) {
+    out += std::string("  [") + (inv.held ? "pass" : "FAIL") + "] " + inv.name;
+    if (!inv.detail.empty()) out += " — " + inv.detail;
+    out += "\n";
+  }
+  char line[128];
+  std::snprintf(line, sizeof line,
+                "  attack: %llu events, %.2f ev/s; recovery p50 %llu us, "
+                "p99 %llu us (%zu samples)\n",
+                static_cast<unsigned long long>(attack_events), attack_rate(),
+                static_cast<unsigned long long>(recovery_p50()),
+                static_cast<unsigned long long>(recovery_p99()),
+                recovery_samples.size());
+  out += line;
+  return out;
+}
+
+namespace {
+std::uint64_t derive_attack_seed(std::uint64_t seed) {
+  std::uint64_t state = seed ^ 0x5ce9a2101ull;
+  return splitmix64(state);
+}
+}  // namespace
+
+Scenario::Scenario(std::string name, Config config)
+    : config_(config),
+      name_(std::move(name)),
+      attack_rng_(derive_attack_seed(config.seed)) {}
+
+Scenario::~Scenario() = default;
+
+void Scenario::record_attack(std::uint64_t n) {
+  metrics_.events.inc(n);
+  attack_events_ += n;
+}
+
+void Scenario::record_recovery(Duration latency) {
+  metrics_.recovery_ns.record(static_cast<std::uint64_t>(latency) * 1000u);
+  recovery_samples_.push_back(latency);
+}
+
+void Scenario::expect(Report& report, std::string name, bool held,
+                      std::string detail) {
+  if (held) {
+    metrics_.invariants_ok.inc();
+  } else {
+    metrics_.invariants_failed.inc();
+  }
+  report.invariants.push_back({std::move(name), held, std::move(detail)});
+}
+
+Report Scenario::make_report() {
+  Report report;
+  report.scenario = name_;
+  report.seed = config_.seed;
+  report.attack_events = attack_events_;
+  report.attack_seconds = attack_seconds_;
+  report.recovery_samples = recovery_samples_;
+  return report;
+}
+
+void Scenario::set_attack_window(Duration start, Duration end) {
+  attack_seconds_ =
+      end > start ? static_cast<double>(end - start) / kSecond : 0.0;
+}
+
+workload::HomeScenario::Config HomeAttackScenario::home_config() const {
+  return {};
+}
+
+Report HomeAttackScenario::run() {
+  count_run();
+  workload::HomeScenario::Config cfg = home_config();
+  cfg.seed = config_.seed;
+  home_ = std::make_unique<workload::HomeScenario>(cfg);
+  home_->start();
+  populate(*home_);
+  if (config_.faults) {
+    faults_ = std::make_unique<sim::FaultInjector>(home_->loop());
+    home_->router().attach_faults(*faults_);
+    for (const auto& dev : home_->devices()) {
+      if (dev.attachment.link != nullptr) {
+        faults_->add_link(dev.name, *dev.attachment.link);
+      }
+    }
+    faults_->arm(*config_.faults);
+  }
+  drive(home_->loop());
+  home_->loop().run_until(config_.duration);
+  Report report = make_report();
+  verify(report);
+  return report;
+}
+
+void HomeAttackScenario::inject(std::size_t device, const Bytes& frame) {
+  auto& devices = home_->devices();
+  if (device >= devices.size()) return;
+  sim::DuplexLink* link = devices[device].attachment.link;
+  if (link == nullptr) return;
+  // a_to_b is the device→router direction (HomeworkRouter::attach_device
+  // connects it to the port ingress).
+  (void)link->a_to_b().send(frame);
+}
+
+Bytes spoofed_discover(MacAddress mac, std::uint32_t xid,
+                       const std::string& hostname) {
+  const Bytes payload = net::DhcpMessage::discover(xid, mac, hostname).serialize();
+  return net::build_dhcp_frame(mac, MacAddress::broadcast(),
+                               Ipv4Address::any(), Ipv4Address::broadcast(),
+                               /*from_client=*/true, payload);
+}
+
+}  // namespace hw::scenario

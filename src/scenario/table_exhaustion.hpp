@@ -1,0 +1,63 @@
+// Flow-table exhaustion under hostile churn: a compromised resident sprays
+// short flows at ever-new destinations until the (deliberately small) table
+// rejects adds with OFPET_FLOW_MOD_FAILED / ALL_TABLES_FULL, while a
+// mid-attack controller outage forces the datapath through fail-safe mode.
+// Promises: the table never exceeds capacity, the rejections surface as
+// controller-visible errors, fail-safe is entered AND left, the datapath
+// never wedges (post-attack traffic still sets up flows), and the
+// reconciler converges the table after the dust settles.
+#pragma once
+
+#include "scenario/scenario.hpp"
+
+namespace hw::scenario {
+
+class TableExhaustionScenario final : public HomeAttackScenario {
+ public:
+  struct Params {
+    /// Small on purpose: the attack must hit TableFull quickly.
+    std::size_t table_capacity = 64;
+    std::size_t microflow_capacity = 64;
+    Duration attack_start = 2 * kSecond;
+    Duration attack_end = 20 * kSecond;
+    /// One hostile flow (fresh destination address) per interval.
+    Duration hostile_flow_interval = 4 * kMillisecond;
+    /// Mid-attack controller outage window (drives fail-safe mode).
+    Duration outage_start = 8 * kSecond;
+    Duration outage_end = 12 * kSecond;
+    Duration controller_dead_interval = 2 * kSecond;
+    /// Post-attack probe: a clean device pings the router and opens a fresh
+    /// flow; the reply latency is the recovery sample.
+    Duration probe_at = 26 * kSecond;
+  };
+
+  TableExhaustionScenario(Config config, Params params)
+      : HomeAttackScenario("table-exhaustion", config), params_(params) {}
+  explicit TableExhaustionScenario(Config config = default_config())
+      : TableExhaustionScenario(config, Params{}) {}
+
+  static Config default_config() {
+    Config config;
+    config.duration = 32 * kSecond;
+    return config;
+  }
+
+  [[nodiscard]] const Params& params() const { return params_; }
+
+ protected:
+  [[nodiscard]] workload::HomeScenario::Config home_config() const override;
+  void populate(workload::HomeScenario& home) override;
+  void drive(sim::EventLoop& loop) override;
+  void verify(Report& report) override;
+
+ private:
+  Params params_;
+  std::unique_ptr<sim::PeriodicTimer> sampler_;
+  std::size_t max_table_size_ = 0;
+  bool saw_fail_safe_ = false;
+  std::uint64_t flows_installed_before_probe_ = 0;
+  std::uint64_t table_full_before_probe_ = 0;
+  bool probe_reply_seen_ = false;
+};
+
+}  // namespace hw::scenario

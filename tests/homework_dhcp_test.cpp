@@ -1,6 +1,7 @@
 // The Homework DHCP server module: admission gating (Figure 3 semantics),
 // lease lifecycle, isolation netmask, pool management and expiry.
 #include "router_fixture.hpp"
+#include "scenario/scenario.hpp"
 
 namespace hw::homework {
 namespace {
@@ -150,6 +151,97 @@ TEST_F(SmallPoolFixture, PoolExhaustionLeavesThirdDeviceUnserved) {
   ASSERT_TRUE(bind(b).has_value());
   EXPECT_FALSE(bind(c, 3 * kSecond).has_value());
   EXPECT_GT(router.dhcp().stats().pool_exhausted, 0u);
+}
+
+TEST_F(SmallPoolFixture, ExhaustionNeverDoubleAllocates) {
+  sim::Host& a = make_device("a");
+  sim::Host& b = make_device("b");
+  sim::Host& c = make_device("c");
+  ASSERT_TRUE(bind(a).has_value());
+  ASSERT_TRUE(bind(b).has_value());
+  EXPECT_FALSE(bind(c, 3 * kSecond).has_value());
+  // The two live leases stay distinct and the unserved device was ignored,
+  // not NAKed (it may be served later when the pool frees up).
+  EXPECT_NE(a.ip(), b.ip());
+  EXPECT_EQ(c.stats().dhcp_naks, 0u);
+  const DeviceRecord* rec_c = router.registry().find(c.mac());
+  ASSERT_NE(rec_c, nullptr);
+  EXPECT_FALSE(rec_c->lease.has_value());
+}
+
+struct SmallPoolShortLeaseFixture : RouterFixture {
+  static HomeworkRouter::Config config() {
+    auto c = SmallPoolFixture::small_pool();
+    c.lease_secs = 10;  // renewal fires at 5s, mid-exhaustion
+    return c;
+  }
+  SmallPoolShortLeaseFixture() : RouterFixture(config()) {}
+};
+
+TEST_F(SmallPoolShortLeaseFixture, RenewDuringExhaustionKeepsLease) {
+  sim::Host& a = make_device("a");
+  sim::Host& b = make_device("b");
+  const auto ip_a = bind(a);
+  const auto ip_b = bind(b);
+  ASSERT_TRUE(ip_a.has_value());
+  ASSERT_TRUE(ip_b.has_value());
+  // A third device hammers the empty pool while a and b renew through it.
+  sim::Host& c = make_device("c");
+  c.start_dhcp();
+  loop.run_for(12 * kSecond);
+  EXPECT_GT(router.dhcp().stats().pool_exhausted, 0u);
+  // Renewals (REQUEST against the sticky allocation) succeeded: same
+  // addresses, still bound, never NAKed.
+  EXPECT_EQ(a.ip(), ip_a);
+  EXPECT_EQ(b.ip(), ip_b);
+  EXPECT_EQ(a.dhcp_state(), sim::DhcpClientState::Bound);
+  EXPECT_GE(a.stats().dhcp_acks, 2u);
+  EXPECT_EQ(a.stats().dhcp_naks, 0u);
+  EXPECT_EQ(b.stats().dhcp_naks, 0u);
+  const DeviceRecord* rec_a = router.registry().find(a.mac());
+  const DeviceRecord* rec_b = router.registry().find(b.mac());
+  ASSERT_NE(rec_a, nullptr);
+  ASSERT_NE(rec_b, nullptr);
+  ASSERT_TRUE(rec_a->lease.has_value());
+  ASSERT_TRUE(rec_b->lease.has_value());
+  EXPECT_NE(rec_a->lease->ip, rec_b->lease->ip);
+}
+
+struct SpoofedPoolFixture : RouterFixture {
+  static HomeworkRouter::Config config() {
+    auto c = SmallPoolFixture::small_pool();
+    c.dhcp_offer_hold = 2 * kSecond;
+    return c;
+  }
+  SpoofedPoolFixture() : RouterFixture(config()) {}
+};
+
+TEST_F(SpoofedPoolFixture, UnclaimedSpoofedOffersExpireBackIntoPool) {
+  // An attacker NIC behind port 2 sprays DISCOVERs from two spoofed MACs —
+  // enough to drain the whole two-address pool with unclaimed offers.
+  make_device("attacker-nic");
+  sim::DuplexLink* link = last_link();
+  ASSERT_NE(link, nullptr);
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    link->a_to_b().send(scenario::spoofed_discover(
+        MacAddress::from_index(0x200000u + i), 0x1000u + i, "spoof"));
+  }
+  loop.run_for(200 * kMillisecond);
+  EXPECT_EQ(router.dhcp().stats().offers, 2u);
+
+  // A legitimate device now finds the pool dry (counted, silently ignored)…
+  sim::Host& legit = make_device("legit");
+  legit.start_dhcp();
+  loop.run_for(500 * kMillisecond);
+  EXPECT_FALSE(legit.ip().has_value());
+  EXPECT_GT(router.dhcp().stats().pool_exhausted, 0u);
+  EXPECT_EQ(legit.stats().dhcp_naks, 0u);
+
+  // …until the never-ACKed offers expire after offer_hold and the client's
+  // periodic retry claims a freed address.
+  loop.run_for(6 * kSecond);
+  EXPECT_GE(router.dhcp().stats().offers_expired, 2u);
+  EXPECT_TRUE(legit.ip().has_value());
 }
 
 struct ShortLeaseFixture : RouterFixture {

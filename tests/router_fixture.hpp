@@ -63,6 +63,12 @@ struct RouterFixture : ::testing::Test {
     return host;
   }
 
+  /// Device→router link of the most recently attached device — a raw frame
+  /// injection point for spoofed-traffic tests.
+  [[nodiscard]] sim::DuplexLink* last_link() {
+    return attachments_.empty() ? nullptr : attachments_.back().link;
+  }
+
   sim::EventLoop loop;
   Rng rng;
   HomeworkRouter router;
