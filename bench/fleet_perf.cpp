@@ -7,7 +7,7 @@
 // Emits BENCH_fleet_perf.json (path overridable with --out) for the CI
 // artifact upload.
 //
-// Usage: fleet_perf [--smoke] [--chaos] [--homes N] [--seed S]
+// Usage: fleet_perf [--smoke] [--chaos] [--list] [--homes N] [--seed S]
 //                   [--duration-secs D] [--devices N] [--threads 1,2,4,8]
 //                   [--out PATH]
 #include <algorithm>
@@ -83,6 +83,14 @@ int main(int argc, char** argv) {
       config.devices_per_home = std::strtoull(next(), nullptr, 10);
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       thread_ladder = parse_thread_list(next());
+    } else if (std::strcmp(argv[i], "--list") == 0) {
+      std::printf("baseline   DHCP + DNS + periodic traffic per seeded home "
+                  "(default)\n"
+                  "apps       baseline plus per-device application mixes "
+                  "(Web/Streaming/VoIP/Gaming/Bulk/Email)\n"
+                  "chaos      apps plus fault injection: crash-restart, "
+                  "link flaps, lease storms (--chaos)\n");
+      return 0;
     } else if (std::strcmp(argv[i], "--out") == 0) {
       out_path = next();
     } else {

@@ -1,0 +1,261 @@
+// Live-operations plane bench: how much operator load a running fleet
+// sustains. Two measurements (docs/liveops.md):
+//
+//  * subscription fan-out — S operator subscriptions (S in the ladder) over
+//    a fleet advancing barrier by barrier; reports barriers/sec and delta
+//    frames/sec the LiveServer pushed through its send hook, plus the mean
+//    encoded frame size.
+//  * mutation apply — wall-clock cost of submit -> barrier apply for a
+//    quarantine/release toggle, measured per mutation over ~200 mutations;
+//    reports p50/p99 wall microseconds.
+//
+// All virtual-time behaviour is deterministic per seed; wall_ms and the
+// p50/p99 columns track the simulator's real cost.
+//
+// Emits BENCH_live_perf.json (path overridable with --out) for the CI
+// artifact upload.
+//
+// Usage: live_perf [--smoke] [--homes N] [--seed S] [--subs 1,16,64]
+//                  [--out PATH]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "live/server.hpp"
+#include "telemetry/metrics.hpp"
+
+using namespace hw;
+
+namespace {
+
+std::vector<std::size_t> parse_size_list(const char* arg) {
+  std::vector<std::size_t> out;
+  std::string item;
+  for (const char* p = arg;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (!item.empty()) out.push_back(std::strtoull(item.c_str(), nullptr, 10));
+      item.clear();
+      if (*p == '\0') break;
+    } else {
+      item.push_back(*p);
+    }
+  }
+  return out;
+}
+
+double wall_ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::uint64_t percentile_us(std::vector<std::uint64_t> samples, double q) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(samples.size() - 1) + 0.5);
+  return samples[std::min(idx, samples.size() - 1)];
+}
+
+struct FanoutRow {
+  std::size_t subs = 0;
+  std::size_t barriers = 0;
+  double wall_ms = 0.0;
+  double barriers_per_sec = 0.0;
+  std::uint64_t frames = 0;
+  double frames_per_sec = 0.0;
+  double mean_frame_bytes = 0.0;
+};
+
+live::LiveConfig fleet_config(std::size_t homes, std::uint64_t seed) {
+  live::LiveConfig config;
+  config.homes = homes;
+  config.threads = 1;
+  config.seed = seed;
+  config.attack.kind = live::LiveAttack::Kind::DhcpFlood;
+  config.attack.home = 0;
+  return config;
+}
+
+/// Drives `barriers` pumps with S pattern-subscribed operators whose frames
+/// land in a counting sink (no real socket: this measures server-side
+/// sampling, delta encoding and flush, not loopback UDP).
+FanoutRow run_fanout(std::size_t homes, std::uint64_t seed, std::size_t subs,
+                     std::size_t barriers) {
+  telemetry::MetricRegistry registry;
+  telemetry::ScopedMetricRegistry scoped(registry);
+
+  live::LiveFleet fleet(fleet_config(homes, seed), registry);
+  fleet.start();
+
+  std::uint64_t frames = 0;
+  std::uint64_t frame_bytes = 0;
+  live::LiveServer server(
+      fleet,
+      [&](live::ClientAddress, const Bytes& datagram) {
+        ++frames;
+        frame_bytes += datagram.size();
+      },
+      registry);
+
+  for (std::size_t s = 0; s < subs; ++s) {
+    hwdb::rpc::SubscribeSeriesRequest req;
+    req.pattern = "*";
+    // Mix fleet-merged and per-home subscriptions like a real operator wall.
+    req.home = s % 2 == 0 ? hwdb::rpc::kAllHomes
+                          : static_cast<std::uint32_t>(s % homes);
+    const hwdb::rpc::Request wire{static_cast<std::uint32_t>(s + 1), req};
+    const Bytes datagram = hwdb::rpc::encode(wire);
+    server.handle_datagram(static_cast<live::ClientAddress>(s), datagram);
+  }
+  // Subscription responses counted so far are handshake, not stream traffic.
+  frames = 0;
+  frame_bytes = 0;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t b = 0; b < barriers; ++b) server.pump();
+  const double wall_ms = wall_ms_since(t0);
+
+  FanoutRow row;
+  row.subs = subs;
+  row.barriers = barriers;
+  row.wall_ms = wall_ms;
+  row.barriers_per_sec =
+      wall_ms > 0.0 ? static_cast<double>(barriers) / (wall_ms / 1e3) : 0.0;
+  row.frames = frames;
+  row.frames_per_sec =
+      wall_ms > 0.0 ? static_cast<double>(frames) / (wall_ms / 1e3) : 0.0;
+  row.mean_frame_bytes =
+      frames > 0 ? static_cast<double>(frame_bytes) / static_cast<double>(frames)
+                 : 0.0;
+  return row;
+}
+
+struct MutateRow {
+  std::size_t mutations = 0;
+  std::uint64_t p50_us = 0;
+  std::uint64_t p99_us = 0;
+  double wall_ms = 0.0;
+};
+
+/// Measures submit -> applied-barrier wall cost for a quarantine/release
+/// toggle against the attacker's device, one mutation per barrier.
+MutateRow run_mutations(std::size_t homes, std::uint64_t seed,
+                        std::size_t count) {
+  telemetry::MetricRegistry registry;
+  telemetry::ScopedMetricRegistry scoped(registry);
+
+  live::LiveFleet fleet(fleet_config(homes, seed), registry);
+  fleet.start();
+  fleet.advance_to(4 * kSecond);  // past boot, attack underway
+  const std::string mac = fleet.device_mac(0, "guest");
+
+  std::vector<std::uint64_t> samples;
+  samples.reserve(count);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto m0 = std::chrono::steady_clock::now();
+    fleet.submit(i % 2 == 0 ? live::quarantine(0, mac)
+                            : live::release(0, mac));
+    fleet.step();  // the barrier that ingests and applies the mutation
+    samples.push_back(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - m0)
+            .count()));
+  }
+
+  MutateRow row;
+  row.mutations = count;
+  row.p50_us = percentile_us(samples, 0.50);
+  row.p99_us = percentile_us(samples, 0.99);
+  row.wall_ms = wall_ms_since(t0);
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::size_t homes = 8;
+  std::uint64_t seed = 2011;
+  std::vector<std::size_t> sub_ladder = {1, 16, 64};
+  std::string out_path = "BENCH_live_perf.json";
+
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--homes") == 0) {
+      homes = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--subs") == 0) {
+      sub_ladder = parse_size_list(next());
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      out_path = next();
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (smoke) homes = std::min<std::size_t>(homes, 4);
+  const std::size_t barriers = smoke ? 24 : 120;    // 6s / 30s virtual
+  const std::size_t mutation_count = smoke ? 60 : 200;
+
+  std::printf("=== live_perf: %zu homes, seed %llu%s ===\n\n", homes,
+              static_cast<unsigned long long>(seed), smoke ? " (smoke)" : "");
+
+  std::printf("-- subscription fan-out (%zu barriers each) --\n", barriers);
+  std::printf("%6s %10s %14s %10s %14s %14s\n", "subs", "wall_ms",
+              "barriers/sec", "frames", "frames/sec", "frame_bytes");
+  std::vector<FanoutRow> fanout;
+  for (const std::size_t subs : sub_ladder) {
+    fanout.push_back(run_fanout(homes, seed, subs, barriers));
+    const FanoutRow& r = fanout.back();
+    std::printf("%6zu %10.1f %14.1f %10llu %14.1f %14.1f\n", r.subs, r.wall_ms,
+                r.barriers_per_sec, static_cast<unsigned long long>(r.frames),
+                r.frames_per_sec, r.mean_frame_bytes);
+  }
+
+  std::printf("\n-- mutation apply (quarantine/release toggle) --\n");
+  const MutateRow mut = run_mutations(homes, seed, mutation_count);
+  std::printf("%zu mutations: p50 %llu us, p99 %llu us (%.1f ms total)\n",
+              mut.mutations, static_cast<unsigned long long>(mut.p50_us),
+              static_cast<unsigned long long>(mut.p99_us), mut.wall_ms);
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"live_perf\",\n");
+  std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(out, "  \"homes\": %zu,\n", homes);
+  std::fprintf(out, "  \"fanout\": [\n");
+  for (std::size_t i = 0; i < fanout.size(); ++i) {
+    const FanoutRow& r = fanout[i];
+    std::fprintf(out,
+                 "    {\"subs\": %zu, \"barriers\": %zu, \"wall_ms\": %.1f, "
+                 "\"barriers_per_sec\": %.1f, \"frames\": %llu, "
+                 "\"frames_per_sec\": %.1f, \"mean_frame_bytes\": %.1f}%s\n",
+                 r.subs, r.barriers, r.wall_ms, r.barriers_per_sec,
+                 static_cast<unsigned long long>(r.frames), r.frames_per_sec,
+                 r.mean_frame_bytes, i + 1 < fanout.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out,
+               "  \"mutation_apply\": {\"mutations\": %zu, \"p50_us\": %llu, "
+               "\"p99_us\": %llu, \"wall_ms\": %.1f}\n",
+               mut.mutations, static_cast<unsigned long long>(mut.p50_us),
+               static_cast<unsigned long long>(mut.p99_us), mut.wall_ms);
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -12,7 +12,7 @@
 // Emits BENCH_scenario_perf.json (path overridable with --out) for the CI
 // artifact upload.
 //
-// Usage: scenario_perf [--smoke] [--out PATH]
+// Usage: scenario_perf [--smoke] [--list] [--out PATH]
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -80,6 +80,17 @@ int main(int argc, char** argv) {
     };
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--list") == 0) {
+      std::printf("dhcp_starvation    MAC-rotating DISCOVER flood against the "
+                  "DHCP scope\n"
+                  "table_exhaustion   flow-table fill attack with eviction "
+                  "pressure\n"
+                  "iot_swarm          hundreds of chatty IoT devices joining "
+                  "at once\n"
+                  "guest_churn        guest admit/expel churn mid-crowd\n"
+                  "roaming            device roams across homes; differential "
+                  "thread-count pair\n");
+      return 0;
     } else if (std::strcmp(argv[i], "--out") == 0) {
       out_path = next();
     } else {

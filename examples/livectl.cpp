@@ -1,0 +1,400 @@
+// livectl: the operator CLI for the live operations plane (docs/liveops.md).
+// Talks the hwdb RPC dialect's live verbs over loopback UDP: subscribe to
+// telemetry series, tail one series as delta frames arrive, issue control
+// mutations, and ask the server to prove the time-travel contract with a
+// Replay verification.
+//
+// Modes:
+//   livectl --demo   [--homes N] [--seed S]
+//       Self-contained end-to-end demo (also the integration test): boots an
+//       attacked fleet under a LiveUdpServer, subscribes over the real
+//       socket, watches the attack move, checkpoints, quarantines the
+//       attacker mid-run, verifies the mutation measurably changed the
+//       outcome, then has the server replay the run from its checkpoint and
+//       prove the fingerprint matches. Prints PASS and exits 0.
+//   livectl --serve  [--port P] [--homes N] [--seed S] [--barriers N]
+//       Runs an attacked fleet under a LiveUdpServer, pumping one barrier
+//       per 50 ms of wall time. Prints the bound port.
+//   livectl --connect PORT [--series PATTERN] [--home H] [--tail N]
+//                          [--mutate VERB] [--replay]
+//       Attaches to a running server: subscribes, tails N frames, optionally
+//       issues one mutation (checkpoint | pause | resume | step |
+//       quarantine:HOME:MAC | release:HOME:MAC | admit:HOME:NAME |
+//       expel:HOME:NAME) and/or a Replay verification.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "live/client.hpp"
+#include "live/server.hpp"
+
+using namespace hw;
+
+namespace {
+
+struct Options {
+  enum class Mode { Demo, Serve, Connect } mode = Mode::Demo;
+  std::size_t homes = 4;
+  std::uint64_t seed = 7;
+  std::uint16_t port = 0;
+  std::size_t barriers = 0;  // serve: 0 = run until killed
+  std::string series = "*";
+  std::uint32_t home = hwdb::rpc::kAllHomes;
+  std::size_t tail = 8;
+  std::string mutate;
+  bool replay = false;
+};
+
+live::LiveConfig attacked_fleet(const Options& opt) {
+  live::LiveConfig config;
+  config.homes = opt.homes;
+  config.threads = 2;
+  config.seed = opt.seed;
+  config.attack.kind = live::LiveAttack::Kind::DhcpFlood;
+  config.attack.home = 0;
+  return config;
+}
+
+/// Parses "quarantine:0:aa:bb:cc:dd:ee:ff"-style mutate specs.
+bool parse_mutation(const std::string& spec, live::Mutation& out) {
+  const auto colon = spec.find(':');
+  const std::string verb = spec.substr(0, colon);
+  std::uint32_t home = 0;
+  std::string arg;
+  if (colon != std::string::npos) {
+    const std::string rest = spec.substr(colon + 1);
+    const auto second = rest.find(':');
+    home = static_cast<std::uint32_t>(std::strtoul(rest.c_str(), nullptr, 10));
+    if (second != std::string::npos) arg = rest.substr(second + 1);
+  }
+  if (verb == "checkpoint") {
+    out = live::checkpoint();
+  } else if (verb == "pause") {
+    out = live::pause();
+  } else if (verb == "resume") {
+    out = live::resume_clock();
+  } else if (verb == "step") {
+    out = live::step();
+  } else if (verb == "quarantine") {
+    out = live::quarantine(home, arg);
+  } else if (verb == "release") {
+    out = live::release(home, arg);
+  } else if (verb == "admit") {
+    out = live::admit(home, arg);
+  } else if (verb == "expel") {
+    out = live::expel(home, arg);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+int fail(const char* what) {
+  std::fprintf(stderr, "FAIL: %s\n", what);
+  return 1;
+}
+
+// ---------------------------------------------------------------------------
+// --demo
+
+int run_demo(const Options& opt) {
+  telemetry::MetricRegistry registry;
+  telemetry::ScopedMetricRegistry scoped(registry);
+
+  live::LiveFleet fleet(attacked_fleet(opt), registry);
+  fleet.start();
+  live::LiveUdpServer server(fleet, 0, registry);
+  if (!server.ok()) return fail("cannot bind loopback UDP socket");
+  std::printf("live server on 127.0.0.1:%u, %zu homes, attack on home 0\n",
+              server.port(), opt.homes);
+
+  hwdb::rpc::UdpClientTransport transport(server.port());
+  if (!transport.ok()) return fail("cannot open client socket");
+  live::LiveClient ctl(transport.client());
+
+  // One wall-clock exchange: drain client->server, then server->client.
+  const auto exchange = [&] {
+    for (int i = 0; i < 20; ++i) {
+      server.poll();
+      if (transport.wait(5)) break;
+    }
+    transport.poll();
+  };
+  // One virtual barrier: advance the fleet, then deliver its frames.
+  const auto pump_to = [&](Timestamp t) {
+    while (fleet.now() < t) {
+      server.poll();
+      server.server().pump();
+      transport.wait(5);
+      transport.poll();
+    }
+  };
+
+  // Subscribe: the merged fleet, and home 0's operator gauges.
+  std::uint64_t fleet_sub = 0, home_sub = 0;
+  ctl.subscribe_series("*", hwdb::rpc::kAllHomes, 1, 64,
+                       [&](Result<std::uint64_t> id) {
+                         if (id.ok()) fleet_sub = id.value();
+                       });
+  exchange();
+  ctl.subscribe_series("live.home.*", 0, 1, 64,
+                       [&](Result<std::uint64_t> id) {
+                         if (id.ok()) home_sub = id.value();
+                       });
+  exchange();
+  if (fleet_sub == 0 || home_sub == 0) return fail("subscribe handshake");
+  std::printf("subscribed: fleet sub %llu, home-0 sub %llu\n",
+              static_cast<unsigned long long>(fleet_sub),
+              static_cast<unsigned long long>(home_sub));
+
+  const auto home_series = [&](const char* name) {
+    const live::View* v = ctl.view(home_sub);
+    if (v == nullptr) return 0.0;
+    const auto it = v->values.find(name);
+    return it == v->values.end() ? 0.0 : it->second;
+  };
+
+  // Watch the attack start: hostile DISCOVERs begin at 3.013s.
+  pump_to(3 * kSecond + 250 * kMillisecond);
+  const double sent_early = home_series("live.home.attack_sent");
+  pump_to(4 * kSecond + 250 * kMillisecond);
+  const double sent_late = home_series("live.home.attack_sent");
+  std::printf("attack telemetry moving: attack_sent %.0f -> %.0f\n",
+              sent_early, sent_late);
+  if (!(sent_late > sent_early) || sent_early <= 0.0) {
+    return fail("attack telemetry is not moving");
+  }
+
+  // Checkpoint (lands on the 5s capture grid), then quarantine the attacker.
+  bool ok = false;
+  Timestamp applied = 0;
+  ctl.mutate(live::checkpoint(), [&](bool o, Timestamp at, std::string) {
+    ok = o;
+    applied = at;
+  });
+  exchange();
+  if (!ok) return fail("checkpoint mutation rejected");
+  std::printf("checkpoint scheduled for t=%.2fs\n", to_seconds(applied));
+  pump_to(5 * kSecond + 500 * kMillisecond);
+
+  const std::string mac = fleet.device_mac(0, "guest");
+  ok = false;
+  ctl.mutate(live::quarantine(0, mac), [&](bool o, Timestamp at, std::string) {
+    ok = o;
+    applied = at;
+  });
+  exchange();
+  if (!ok) return fail("quarantine mutation rejected");
+  std::printf("quarantine of %s lands at t=%.2fs\n", mac.c_str(),
+              to_seconds(applied));
+
+  // Tail the home-0 gauges while the block policy takes hold.
+  std::size_t tailed = 0;
+  ctl.on_frame([&](const live::View& v) {
+    if (v.sub_id != home_sub || tailed >= opt.tail) return;
+    ++tailed;
+    const auto drops = v.values.find("live.home.block_drops");
+    std::printf("  t=%.2fs frame %llu: block_drops %.0f\n", to_seconds(v.vtime),
+                static_cast<unsigned long long>(v.last_seq),
+                drops == v.values.end() ? 0.0 : drops->second);
+  });
+  pump_to(8 * kSecond);
+  ctl.on_frame({});
+
+  if (home_series("live.home.block_drops") <= 0.0) {
+    return fail("quarantine did not measurably block the attacker");
+  }
+  std::printf("quarantine enforced: block_drops %.0f, attack_sent %.0f\n",
+              home_series("live.home.block_drops"),
+              home_series("live.home.attack_sent"));
+
+  // Ask the server to prove the time-travel contract: restore its last
+  // checkpoint, re-apply the logged mutation tail (including our
+  // quarantine), and compare fingerprints.
+  ok = false;
+  std::string error;
+  live::Mutation replay;
+  replay.kind = hwdb::rpc::MutateKind::Replay;
+  replay.home = hwdb::rpc::kAllHomes;
+  ctl.mutate(replay, [&](bool o, Timestamp, std::string e) {
+    ok = o;
+    error = std::move(e);
+  });
+  exchange();
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: replay verification: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("replay verification: fingerprint bit-identical\n");
+
+  const live::View* fv = ctl.view(fleet_sub);
+  std::printf("stream health: %llu frames, %llu dups, %llu gaps, %llu "
+              "dropped\nPASS\n",
+              static_cast<unsigned long long>(fv->frames),
+              static_cast<unsigned long long>(fv->dups),
+              static_cast<unsigned long long>(fv->gaps),
+              static_cast<unsigned long long>(fv->dropped));
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// --serve / --connect
+
+int run_serve(const Options& opt) {
+  telemetry::MetricRegistry registry;
+  telemetry::ScopedMetricRegistry scoped(registry);
+
+  live::LiveFleet fleet(attacked_fleet(opt), registry);
+  fleet.start();
+  live::LiveUdpServer server(fleet, opt.port, registry);
+  if (!server.ok()) return fail("cannot bind loopback UDP socket");
+  std::printf("live server on 127.0.0.1:%u (%zu homes, seed %llu)\n",
+              server.port(), opt.homes,
+              static_cast<unsigned long long>(opt.seed));
+  std::fflush(stdout);
+
+  for (std::size_t b = 0; opt.barriers == 0 || b < opt.barriers; ++b) {
+    server.poll();
+    server.server().pump();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return 0;
+}
+
+int run_connect(const Options& opt) {
+  telemetry::MetricRegistry registry;
+  telemetry::ScopedMetricRegistry scoped(registry);
+
+  hwdb::rpc::UdpClientTransport transport(opt.port);
+  if (!transport.ok()) return fail("cannot open client socket");
+  live::LiveClient ctl(transport.client());
+
+  // The stream pushes frames continuously, so any wait() can be woken by a
+  // DeltaPush instead of the response we sent for — poll until the request's
+  // own callback resolves.
+  const auto exchange_until = [&](const bool& done) {
+    for (int i = 0; i < 40 && !done; ++i) {
+      transport.wait(500);
+      transport.poll();
+    }
+  };
+
+  std::uint64_t sub = 0;
+  bool sub_done = false;
+  ctl.subscribe_series(opt.series, opt.home, 1, 64,
+                       [&](Result<std::uint64_t> id) {
+                         if (id.ok()) sub = id.value();
+                         sub_done = true;
+                       });
+  exchange_until(sub_done);
+  if (sub == 0) return fail("subscribe handshake (is --serve running?)");
+
+  if (!opt.mutate.empty()) {
+    live::Mutation m;
+    if (!parse_mutation(opt.mutate, m)) return fail("bad --mutate spec");
+    bool ok = false;
+    bool done = false;
+    std::string error;
+    Timestamp applied = 0;
+    ctl.mutate(m, [&](bool o, Timestamp at, std::string e) {
+      ok = o;
+      applied = at;
+      error = std::move(e);
+      done = true;
+    });
+    exchange_until(done);
+    if (!ok) {
+      std::fprintf(stderr, "FAIL: mutation: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("mutation applies at t=%.2fs\n", to_seconds(applied));
+  }
+
+  std::size_t tailed = 0;
+  ctl.on_frame([&](const live::View& v) {
+    ++tailed;
+    std::printf("t=%.2fs seq %llu %s: %zu series (%llu dropped)\n",
+                to_seconds(v.vtime),
+                static_cast<unsigned long long>(v.last_seq),
+                v.synced ? "synced" : "unsynced", v.values.size(),
+                static_cast<unsigned long long>(v.dropped));
+  });
+  while (tailed < opt.tail) {
+    if (!transport.wait(2000)) return fail("stream timed out");
+    transport.poll();
+  }
+
+  if (opt.replay) {
+    bool ok = false;
+    bool done = false;
+    std::string error;
+    live::Mutation replay;
+    replay.kind = hwdb::rpc::MutateKind::Replay;
+    replay.home = hwdb::rpc::kAllHomes;
+    ctl.mutate(replay, [&](bool o, Timestamp, std::string e) {
+      ok = o;
+      error = std::move(e);
+      done = true;
+    });
+    exchange_until(done);
+    if (!ok) {
+      std::fprintf(stderr, "FAIL: replay verification: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("replay verification: fingerprint bit-identical\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (std::strcmp(argv[i], "--demo") == 0) {
+      opt.mode = Options::Mode::Demo;
+    } else if (std::strcmp(argv[i], "--serve") == 0) {
+      opt.mode = Options::Mode::Serve;
+    } else if (std::strcmp(argv[i], "--connect") == 0) {
+      opt.mode = Options::Mode::Connect;
+      opt.port = static_cast<std::uint16_t>(std::strtoul(next(), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--homes") == 0) {
+      opt.homes = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      opt.seed = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--port") == 0) {
+      opt.port = static_cast<std::uint16_t>(std::strtoul(next(), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--barriers") == 0) {
+      opt.barriers = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--series") == 0) {
+      opt.series = next();
+    } else if (std::strcmp(argv[i], "--home") == 0) {
+      opt.home = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--tail") == 0) {
+      opt.tail = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--mutate") == 0) {
+      opt.mutate = next();
+    } else if (std::strcmp(argv[i], "--replay") == 0) {
+      opt.replay = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  switch (opt.mode) {
+    case Options::Mode::Demo:
+      return run_demo(opt);
+    case Options::Mode::Serve:
+      return run_serve(opt);
+    case Options::Mode::Connect:
+      return run_connect(opt);
+  }
+  return 2;
+}

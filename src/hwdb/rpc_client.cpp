@@ -96,6 +96,10 @@ void RpcClient::handle_datagram(std::span<const std::uint8_t> datagram) {
     if (push_) push_(push->sub_id, push->result);
     return;
   }
+  if (auto* delta = std::get_if<DeltaPush>(&decoded.value())) {
+    if (delta_) delta_(*delta);
+    return;
+  }
   if (auto* resp = std::get_if<Response>(&decoded.value())) {
     auto it = pending_.find(resp->request_id);
     if (it == pending_.end()) return;  // late duplicate of an answered call

@@ -51,6 +51,7 @@ class RpcClient {
   using SendFn = std::function<void(const Bytes&)>;
   using ResponseCallback = std::function<void(const Response&)>;
   using PushCallback = std::function<void(std::uint64_t sub_id, const ResultSet&)>;
+  using DeltaCallback = std::function<void(const DeltaPush&)>;
 
   /// Fire-and-forget client: no timeouts, no retries (legacy behaviour).
   explicit RpcClient(SendFn send, telemetry::MetricRegistry& metrics =
@@ -73,6 +74,8 @@ class RpcClient {
 
   /// Push handler for subscription publishes.
   void on_push(PushCallback cb) { push_ = std::move(cb); }
+  /// Push handler for live telemetry delta frames (LiveServer streams).
+  void on_delta(DeltaCallback cb) { delta_ = std::move(cb); }
 
   /// Feed a datagram received from the server.
   void handle_datagram(std::span<const std::uint8_t> datagram);
@@ -104,6 +107,7 @@ class RpcClient {
 
   SendFn send_;
   PushCallback push_;
+  DeltaCallback delta_;
   sim::EventLoop* loop_ = nullptr;
   RetryPolicy policy_;
   std::map<std::uint32_t, PendingCall> pending_;

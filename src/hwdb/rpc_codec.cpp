@@ -125,6 +125,20 @@ Bytes encode(const Request& req) {
         } else if constexpr (std::is_same_v<T, UnsubscribeRequest>) {
           w.u8(static_cast<std::uint8_t>(Opcode::Unsubscribe));
           w.u64(body.sub_id);
+        } else if constexpr (std::is_same_v<T, SubscribeSeriesRequest>) {
+          w.u8(static_cast<std::uint8_t>(Opcode::SubscribeSeries));
+          write_str16(w, body.pattern);
+          w.u32(body.home);
+          w.u32(body.every);
+          w.u32(body.max_queue);
+        } else if constexpr (std::is_same_v<T, MutateRequest>) {
+          w.u8(static_cast<std::uint8_t>(Opcode::Mutate));
+          w.u8(static_cast<std::uint8_t>(body.kind));
+          w.u32(body.home);
+          write_str16(w, body.text);
+          write_str16(w, body.aux);
+          w.u64(body.arg0);
+          w.u64(body.arg1);
         } else {
           w.u8(static_cast<std::uint8_t>(Opcode::Ping));
         }
@@ -141,13 +155,16 @@ Bytes encode(const Response& resp) {
     write_str16(w, resp.error);
     return std::move(w).take();
   }
-  // Body discriminator: 0 none, 1 resultset, 2 sub_id.
+  // Body discriminator: 0 none, 1 resultset, 2 sub_id, 3 applied_at.
   if (resp.result) {
     w.u8(1);
     write_result_set(w, *resp.result);
   } else if (resp.sub_id) {
     w.u8(2);
     w.u64(*resp.sub_id);
+  } else if (resp.applied_at) {
+    w.u8(3);
+    w.u64(*resp.applied_at);
   } else {
     w.u8(0);
   }
@@ -163,16 +180,70 @@ Bytes encode(const Publish& push) {
   return std::move(w).take();
 }
 
+Bytes encode(const DeltaPush& push) {
+  ByteWriter w(64);
+  w.u32(0);
+  w.u8(static_cast<std::uint8_t>(Opcode::Delta));
+  w.u64(push.sub_id);
+  w.u64(push.seq);
+  w.u64(push.vtime);
+  w.u32(push.home);
+  w.u8(push.snapshot ? 1 : 0);
+  w.u64(push.dropped);
+  w.u32(static_cast<std::uint32_t>(push.values.size()));
+  for (const auto& [name, value] : push.values) {
+    write_str16(w, name);
+    w.u64(std::bit_cast<std::uint64_t>(value));
+  }
+  return std::move(w).take();
+}
+
 Result<Decoded> decode(std::span<const std::uint8_t> datagram, bool from_server) {
   ByteReader r(datagram);
   auto request_id = r.u32();
   if (!request_id) return request_id.error();
 
   if (from_server) {
-    // Either a push (request_id 0, opcode Publish) or a response.
+    // Either a push (request_id 0, opcode Publish or Delta) or a response.
     if (request_id.value() == 0) {
       auto opcode = r.u8();
       if (!opcode) return opcode.error();
+      if (opcode.value() == static_cast<std::uint8_t>(Opcode::Delta)) {
+        DeltaPush push;
+        auto sub = r.u64();
+        if (!sub) return sub.error();
+        push.sub_id = sub.value();
+        auto seq = r.u64();
+        if (!seq) return seq.error();
+        push.seq = seq.value();
+        auto vtime = r.u64();
+        if (!vtime) return vtime.error();
+        push.vtime = vtime.value();
+        auto home = r.u32();
+        if (!home) return home.error();
+        push.home = home.value();
+        auto kind = r.u8();
+        if (!kind) return kind.error();
+        push.snapshot = kind.value() != 0;
+        auto dropped = r.u64();
+        if (!dropped) return dropped.error();
+        push.dropped = dropped.value();
+        auto count = r.u32();
+        if (!count) return count.error();
+        if (count.value() > 1'000'000) {
+          return make_error("RPC: implausible delta size");
+        }
+        push.values.reserve(count.value());
+        for (std::uint32_t i = 0; i < count.value(); ++i) {
+          auto name = read_str16(r);
+          if (!name) return name.error();
+          auto bits = r.u64();
+          if (!bits) return bits.error();
+          push.values.emplace_back(std::move(name).take(),
+                                   std::bit_cast<double>(bits.value()));
+        }
+        return Decoded{std::move(push)};
+      }
       if (opcode.value() != static_cast<std::uint8_t>(Opcode::Publish)) {
         return make_error("RPC: expected Publish opcode");
       }
@@ -206,6 +277,10 @@ Result<Decoded> decode(std::span<const std::uint8_t> datagram, bool from_server)
       auto sub = r.u64();
       if (!sub) return sub.error();
       resp.sub_id = sub.value();
+    } else if (disc.value() == 3) {
+      auto at = r.u64();
+      if (!at) return at.error();
+      resp.applied_at = at.value();
     } else if (disc.value() != 0) {
       return make_error("RPC: bad response discriminator");
     }
@@ -262,7 +337,52 @@ Result<Decoded> decode(std::span<const std::uint8_t> datagram, bool from_server)
     case Opcode::Ping:
       req.body = PingRequest{};
       return Decoded{std::move(req)};
+    case Opcode::SubscribeSeries: {
+      SubscribeSeriesRequest body;
+      auto pattern = read_str16(r);
+      if (!pattern) return pattern.error();
+      body.pattern = std::move(pattern).take();
+      auto home = r.u32();
+      if (!home) return home.error();
+      body.home = home.value();
+      auto every = r.u32();
+      if (!every) return every.error();
+      body.every = every.value();
+      auto max_queue = r.u32();
+      if (!max_queue) return max_queue.error();
+      body.max_queue = max_queue.value();
+      req.body = std::move(body);
+      return Decoded{std::move(req)};
+    }
+    case Opcode::Mutate: {
+      MutateRequest body;
+      auto kind = r.u8();
+      if (!kind) return kind.error();
+      if (kind.value() < 1 ||
+          kind.value() > static_cast<std::uint8_t>(MutateKind::Replay)) {
+        return make_error("RPC: bad mutate kind");
+      }
+      body.kind = static_cast<MutateKind>(kind.value());
+      auto home = r.u32();
+      if (!home) return home.error();
+      body.home = home.value();
+      auto text = read_str16(r);
+      if (!text) return text.error();
+      body.text = std::move(text).take();
+      auto aux = read_str16(r);
+      if (!aux) return aux.error();
+      body.aux = std::move(aux).take();
+      auto arg0 = r.u64();
+      if (!arg0) return arg0.error();
+      body.arg0 = arg0.value();
+      auto arg1 = r.u64();
+      if (!arg1) return arg1.error();
+      body.arg1 = arg1.value();
+      req.body = std::move(body);
+      return Decoded{std::move(req)};
+    }
     case Opcode::Publish:
+    case Opcode::Delta:
       break;
   }
   return make_error("RPC: bad request opcode");

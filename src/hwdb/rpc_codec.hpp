@@ -23,6 +23,13 @@ enum class Opcode : std::uint8_t {
   Unsubscribe = 4,
   Ping = 5,
   Publish = 6,  // server→client push
+  // Live-operations verbs (src/live, docs/liveops.md). They share this wire
+  // protocol so livectl and the paper's satellite interfaces speak one
+  // dialect, but only a LiveServer answers them; the hwdb RpcServer rejects
+  // them with an error response.
+  SubscribeSeries = 7,
+  Mutate = 8,
+  Delta = 9,  // server→client push
 };
 
 struct InsertRequest {
@@ -46,8 +53,48 @@ struct UnsubscribeRequest {
 
 struct PingRequest {};
 
+/// Home selector meaning "the whole fleet, merged in home-id order".
+constexpr std::uint32_t kAllHomes = 0xffffffffu;
+
+/// Subscribe to telemetry series streamed from a running LiveFleet. The
+/// server answers with a sub_id and then pushes Delta frames at barrier
+/// cadence (every `every`-th barrier), bounded per subscription by
+/// `max_queue` frames (drop-oldest under backpressure).
+struct SubscribeSeriesRequest {
+  /// Exact `layer.module.name`, or a prefix ending in '*' ("live.home.*").
+  std::string pattern = "*";
+  std::uint32_t home = kAllHomes;
+  std::uint32_t every = 1;
+  std::uint32_t max_queue = 64;
+};
+
+/// Control-mutation verbs against a running fleet (live::Mutation mirrors
+/// this; the codec only fixes the wire values).
+enum class MutateKind : std::uint8_t {
+  Admit = 1,        // text = device name (or MAC)
+  Expel = 2,        // text = device name (or MAC)
+  ApplyPolicy = 3,  // text = policy id, aux = policy JSON body
+  RevokePolicy = 4, // text = policy id
+  Checkpoint = 5,   // fleet-wide consistent capture at the barrier
+  InjectFault = 6,  // text = fault kind, aux = loss, arg0 = offset, arg1 = len
+  Pause = 7,        // freeze the virtual clock at the barrier
+  Resume = 8,
+  Step = 9,         // arg0 = barriers to run while paused (default 1)
+  Replay = 10,      // re-execute from the last checkpoint and verify
+};
+
+struct MutateRequest {
+  MutateKind kind = MutateKind::Admit;
+  std::uint32_t home = 0;
+  std::string text;
+  std::string aux;
+  std::uint64_t arg0 = 0;
+  std::uint64_t arg1 = 0;
+};
+
 using RequestBody = std::variant<InsertRequest, QueryRequest, SubscribeRequest,
-                                 UnsubscribeRequest, PingRequest>;
+                                 UnsubscribeRequest, PingRequest,
+                                 SubscribeSeriesRequest, MutateRequest>;
 
 struct Request {
   std::uint32_t request_id = 0;
@@ -59,7 +106,9 @@ struct Response {
   bool ok = true;
   std::string error;            // when !ok
   std::optional<ResultSet> result;   // Query
-  std::optional<std::uint64_t> sub_id;  // Subscribe
+  std::optional<std::uint64_t> sub_id;  // Subscribe / SubscribeSeries
+  /// Mutate: the virtual-time barrier the mutation lands on.
+  std::optional<Timestamp> applied_at;
 };
 
 struct Publish {
@@ -67,12 +116,29 @@ struct Publish {
   ResultSet result;
 };
 
+/// One streamed telemetry frame. `values` carries absolute series values
+/// (telemetry::scalar_delta semantics): a delta frame lists only series that
+/// changed since the previous frame, a snapshot frame lists every matched
+/// series (first frame of a subscription, and the resync frame after the
+/// server dropped queued frames under backpressure). `seq` is monotonic per
+/// subscription; `dropped` counts frames shed since the last delivery.
+struct DeltaPush {
+  std::uint64_t sub_id = 0;
+  std::uint64_t seq = 0;
+  Timestamp vtime = 0;
+  std::uint32_t home = kAllHomes;
+  bool snapshot = false;
+  std::uint64_t dropped = 0;
+  std::vector<std::pair<std::string, double>> values;
+};
+
 Bytes encode(const Request& req);
 Bytes encode(const Response& resp);
 Bytes encode(const Publish& push);
+Bytes encode(const DeltaPush& push);
 
 /// Datagram classification after decoding.
-using Decoded = std::variant<Request, Response, Publish>;
+using Decoded = std::variant<Request, Response, Publish, DeltaPush>;
 Result<Decoded> decode(std::span<const std::uint8_t> datagram,
                        bool from_server);
 

@@ -7,6 +7,27 @@ namespace {
 constexpr std::string_view kLog = "hwdb-rpc";
 }  // namespace
 
+const Bytes* DedupCache::find(ClientAddress from,
+                              std::uint32_t request_id) const {
+  const auto client = clients_.find(from);
+  if (client == clients_.end()) return nullptr;
+  const auto it = client->second.responses.find(request_id);
+  return it == client->second.responses.end() ? nullptr : &it->second;
+}
+
+void DedupCache::remember(ClientAddress from, std::uint32_t request_id,
+                          Bytes response) {
+  State& state = clients_[from];
+  state.responses[request_id] = std::move(response);
+  state.order.push_back(request_id);
+  if (state.order.size() > window_) {
+    state.responses.erase(state.order.front());
+    state.order.pop_front();
+  }
+}
+
+void DedupCache::drop_client(ClientAddress from) { clients_.erase(from); }
+
 RpcServer::~RpcServer() {
   for (const auto& [sub_id, _] : sub_owner_) db_.unsubscribe(sub_id);
 }
@@ -29,21 +50,14 @@ void RpcServer::handle_datagram(ClientAddress from,
   // A retransmission of an already-answered request replays the cached
   // response without re-executing the body — this is what keeps retried
   // inserts/subscribes idempotent over the lossy UDP transport.
-  DedupState& dedup = dedup_[from];
-  if (auto cached = dedup.responses.find(req->request_id);
-      cached != dedup.responses.end()) {
+  if (const Bytes* cached = dedup_.find(from, req->request_id)) {
     metrics_.dup_suppressed.inc();
-    send_(from, cached->second);
+    send_(from, *cached);
     return;
   }
 
   Bytes encoded_resp = encode(process(from, *req));
-  dedup.responses[req->request_id] = encoded_resp;
-  dedup.order.push_back(req->request_id);
-  if (dedup.order.size() > kDedupWindow) {
-    dedup.responses.erase(dedup.order.front());
-    dedup.order.pop_front();
-  }
+  dedup_.remember(from, req->request_id, encoded_resp);
   send_(from, encoded_resp);
 }
 
@@ -88,6 +102,11 @@ Response RpcServer::process(ClientAddress from, const Request& req) {
         } else if constexpr (std::is_same_v<T, UnsubscribeRequest>) {
           db_.unsubscribe(body.sub_id);
           sub_owner_.erase(body.sub_id);
+        } else if constexpr (std::is_same_v<T, SubscribeSeriesRequest> ||
+                             std::is_same_v<T, MutateRequest>) {
+          // Live-operations verbs only make sense against a LiveServer.
+          resp.ok = false;
+          resp.error = "RPC: live verb on an hwdb endpoint";
         } else {
           // Ping: empty ok response.
         }
@@ -98,7 +117,7 @@ Response RpcServer::process(ClientAddress from, const Request& req) {
 }
 
 void RpcServer::drop_client(ClientAddress addr) {
-  dedup_.erase(addr);
+  dedup_.drop_client(addr);
   for (auto it = sub_owner_.begin(); it != sub_owner_.end();) {
     if (it->second == addr) {
       db_.unsubscribe(it->first);

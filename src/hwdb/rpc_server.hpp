@@ -23,6 +23,31 @@ namespace hw::hwdb::rpc {
 /// route responses/pushes back.
 using ClientAddress = std::uint64_t;
 
+/// Bounded per-client window of recently answered request ids with their
+/// encoded responses. Both RPC endpoints (the hwdb RpcServer here and the
+/// live-operations LiveServer) answer a retransmitted request by replaying
+/// the cached response instead of re-executing it — that is the whole
+/// idempotency contract with RpcClient's retry path.
+class DedupCache {
+ public:
+  explicit DedupCache(std::size_t window) : window_(window) {}
+
+  /// Cached response for (from, request_id), or nullptr when unseen.
+  [[nodiscard]] const Bytes* find(ClientAddress from,
+                                  std::uint32_t request_id) const;
+  /// Remembers a freshly computed response, evicting FIFO past the window.
+  void remember(ClientAddress from, std::uint32_t request_id, Bytes response);
+  void drop_client(ClientAddress from);
+
+ private:
+  struct State {
+    std::map<std::uint32_t, Bytes> responses;
+    std::deque<std::uint32_t> order;
+  };
+  std::size_t window_;
+  std::map<ClientAddress, State> clients_;
+};
+
 /// Snapshot view over the RPC server's telemetry instruments.
 struct ServerStats {
   std::uint64_t requests = 0;
@@ -78,13 +103,7 @@ class RpcServer {
   } metrics_;
   /// subscription id → owning client.
   std::map<SubscriptionId, ClientAddress> sub_owner_;
-  /// Recently answered requests, per client: encoded responses replayed on
-  /// retransmission, evicted FIFO once the window is full.
-  struct DedupState {
-    std::map<std::uint32_t, Bytes> responses;
-    std::deque<std::uint32_t> order;
-  };
-  std::map<ClientAddress, DedupState> dedup_;
+  DedupCache dedup_{kDedupWindow};
 };
 
 }  // namespace hw::hwdb::rpc

@@ -1,0 +1,84 @@
+#include "live/client.hpp"
+
+namespace hw::live {
+
+LiveClient::LiveClient(hwdb::rpc::RpcClient& rpc) : rpc_(rpc) {
+  rpc_.on_delta(
+      [this](const hwdb::rpc::DeltaPush& frame) { handle_delta(frame); });
+}
+
+void LiveClient::subscribe_series(std::string pattern, std::uint32_t home,
+                                  std::uint32_t every, std::uint32_t max_queue,
+                                  SubscribeCallback cb) {
+  hwdb::rpc::SubscribeSeriesRequest req;
+  req.pattern = std::move(pattern);
+  req.home = home;
+  req.every = every;
+  req.max_queue = max_queue;
+  rpc_.call(req, [this, cb = std::move(cb)](const hwdb::rpc::Response& resp) {
+    if (!resp.ok || !resp.sub_id) {
+      if (cb) cb(Error{resp.error.empty() ? "subscribe failed" : resp.error});
+      return;
+    }
+    views_[*resp.sub_id].sub_id = *resp.sub_id;
+    if (cb) cb(*resp.sub_id);
+  });
+}
+
+void LiveClient::unsubscribe(std::uint64_t sub_id) {
+  views_.erase(sub_id);
+  rpc_.call(hwdb::rpc::UnsubscribeRequest{sub_id},
+            [](const hwdb::rpc::Response&) {});
+}
+
+void LiveClient::mutate(const Mutation& m, MutateCallback cb) {
+  rpc_.call(to_request(m),
+            [cb = std::move(cb)](const hwdb::rpc::Response& resp) {
+              if (!cb) return;
+              cb(resp.ok, resp.applied_at.value_or(0), resp.error);
+            });
+}
+
+const View* LiveClient::view(std::uint64_t sub_id) const {
+  const auto it = views_.find(sub_id);
+  return it == views_.end() ? nullptr : &it->second;
+}
+
+const View* LiveClient::sole_view() const {
+  return views_.size() == 1 ? &views_.begin()->second : nullptr;
+}
+
+void LiveClient::handle_delta(const hwdb::rpc::DeltaPush& frame) {
+  auto it = views_.find(frame.sub_id);
+  if (it == views_.end()) return;  // unsubscribed, or sub response still lost
+  View& v = it->second;
+
+  // Seq gating: UDP may duplicate or reorder frames. An already-seen seq is
+  // discarded (deltas carry absolute values, so re-applying one would be
+  // harmless — but a *stale* duplicate arriving late would not be).
+  if (frame.seq <= v.last_seq) {
+    ++v.dups;
+    return;
+  }
+  if (frame.seq != v.last_seq + 1 && v.last_seq != 0) {
+    ++v.gaps;
+    v.synced = false;
+  }
+  v.last_seq = frame.seq;
+  v.dropped += frame.dropped;
+  v.vtime = frame.vtime;
+
+  if (frame.snapshot) {
+    v.values.clear();
+    for (const auto& [name, value] : frame.values) v.values[name] = value;
+    v.synced = true;
+  } else if (v.synced) {
+    for (const auto& [name, value] : frame.values) v.values[name] = value;
+  }
+  // An unsynced delta is counted but not merged; the server's next snapshot
+  // resynchronizes the view.
+  ++v.frames;
+  if (frame_) frame_(v);
+}
+
+}  // namespace hw::live

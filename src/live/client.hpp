@@ -1,0 +1,70 @@
+// Operator-side view of a live telemetry stream. LiveClient wraps an
+// hwdb::rpc::RpcClient (any transport) and owns the stream-consistency
+// logic the wire pushes onto receivers: per-subscription sequence gating
+// (UDP duplicates are dropped, not re-applied), gap detection (a missing
+// seq marks the view unsynced until the server's next snapshot frame), and
+// delta merging into a rolling absolute-value map. Mutations go out through
+// the same client and come back with the deterministic barrier they landed
+// on.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "hwdb/rpc_client.hpp"
+#include "live/mutation.hpp"
+#include "telemetry/delta.hpp"
+
+namespace hw::live {
+
+/// Rolling state of one subscription as seen by the operator.
+struct View {
+  std::uint64_t sub_id = 0;
+  std::uint64_t last_seq = 0;
+  std::uint64_t frames = 0;   // frames applied (dups excluded)
+  std::uint64_t dups = 0;     // duplicate frames discarded by seq gating
+  std::uint64_t gaps = 0;     // seq discontinuities observed
+  std::uint64_t dropped = 0;  // server-reported frames shed to backpressure
+  Timestamp vtime = 0;        // virtual time of the last applied frame
+  /// False between a detected gap and the next snapshot frame; delta frames
+  /// arriving unsynced are not merged (their base is unknown).
+  bool synced = false;
+  telemetry::ScalarMap values;
+};
+
+class LiveClient {
+ public:
+  using MutateCallback =
+      std::function<void(bool ok, Timestamp applied_at, std::string error)>;
+  using SubscribeCallback = std::function<void(Result<std::uint64_t>)>;
+
+  explicit LiveClient(hwdb::rpc::RpcClient& rpc);
+
+  /// Subscribes to series matching `pattern` (exact name or prefix ending in
+  /// '*') for one home or the merged fleet; `cb` receives the sub id.
+  void subscribe_series(std::string pattern, std::uint32_t home,
+                        std::uint32_t every, std::uint32_t max_queue,
+                        SubscribeCallback cb);
+  void unsubscribe(std::uint64_t sub_id);
+
+  /// Sends a control mutation; `cb` fires with the barrier it will apply at.
+  void mutate(const Mutation& m, MutateCallback cb = {});
+
+  /// View for a subscription (created on subscribe, updated per frame).
+  [[nodiscard]] const View* view(std::uint64_t sub_id) const;
+  /// The only view, when exactly one subscription exists (demo convenience).
+  [[nodiscard]] const View* sole_view() const;
+
+  /// Invoked after every applied frame (tailing UIs).
+  void on_frame(std::function<void(const View&)> cb) { frame_ = std::move(cb); }
+
+ private:
+  void handle_delta(const hwdb::rpc::DeltaPush& frame);
+
+  hwdb::rpc::RpcClient& rpc_;
+  std::map<std::uint64_t, View> views_;
+  std::function<void(const View&)> frame_;
+};
+
+}  // namespace hw::live

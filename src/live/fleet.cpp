@@ -1,0 +1,730 @@
+#include "live/fleet.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "fleet/fleet.hpp"
+#include "homework/router.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/fault_injector.hpp"
+#include "snapshot/codec.hpp"
+#include "util/logging.hpp"
+#include "util/rand.hpp"
+#include "workload/scenario.hpp"
+
+namespace hw::live {
+namespace {
+
+constexpr std::string_view kLog = "live";
+constexpr std::uint32_t kRngTag = snapshot::tag("RNGS");
+constexpr std::uint32_t kDriverTag = snapshot::tag("LDRV");
+constexpr Duration kBootSettle = homework::HomeworkRouter::kBootSettle;
+
+/// Smallest phase + k * period strictly after `now` (same grid re-arm the
+/// fleet runner uses for restored periodic drivers).
+Timestamp next_phase_tick(Timestamp now, Duration period, Duration phase) {
+  if (now < phase) return phase;
+  return phase + ((now - phase) / period + 1) * period;
+}
+
+std::optional<sim::FaultKind> parse_fault_kind(const std::string& name) {
+  for (const sim::FaultKind kind :
+       {sim::FaultKind::LinkLoss, sim::FaultKind::LinkPartition,
+        sim::FaultKind::ControllerOutage, sim::FaultKind::HwdbFault,
+        sim::FaultKind::DatapathRestart, sim::FaultKind::CrashRestartRestore}) {
+    if (name == sim::to_string(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+/// Series excluded from the determinism fingerprint. snapshot.* counters
+/// legitimately differ (the replay restores, the live run doesn't). The
+/// openflow cache-warmth series count hit/miss splits of pure lookup caches
+/// the datapath intentionally cold-starts on restore — same packets, same
+/// forwarding decisions, different hit accounting — and an LRU of live
+/// FlowEntry handles is not serialisable state.
+bool transient_series(const std::string& name) {
+  if (name.rfind("snapshot.", 0) == 0) return true;
+  if (name.rfind("openflow.datapath.microflow_", 0) == 0) return true;
+  return name == "openflow.datapath.buffer_evictions" ||
+         name == "openflow.flow_table.subtable_scans";
+}
+
+/// Reads the CaptureTag out of an encoded image without restoring anything.
+Result<snapshot::CaptureTag> read_capture_tag(const Bytes& image) {
+  auto reader = snapshot::Reader::parse(image);
+  if (!reader) return reader.error();
+  snapshot::CaptureTagLayer probe;
+  if (auto s = probe.restore(reader.value()); !s.ok()) return s.error();
+  return probe.value();
+}
+
+}  // namespace
+
+struct LiveFleet::Home {
+  std::size_t id = 0;
+  std::uint64_t seed = 0;
+  std::size_t device_count = 0;
+  std::string error;
+
+  // registry first: it must outlive every instrument the home constructs.
+  telemetry::MetricRegistry registry;
+  std::unique_ptr<workload::HomeScenario> scenario;
+  std::unique_ptr<sim::FaultInjector> faults;
+  std::unique_ptr<snapshot::LambdaLayer> rng_layer;
+  std::unique_ptr<snapshot::LambdaLayer> driver_layer;
+  snapshot::CaptureTagLayer ftag;
+  std::unique_ptr<snapshot::TelemetryLayer> tele_layer;
+  std::unique_ptr<sim::PeriodicTimer> attack_timer;
+  std::unique_ptr<sim::PeriodicTimer> rekick;
+
+  /// Hostile events emitted so far — also the attack's MAC/xid sequence
+  /// counter, so it snapshots (LDRV) and a resumed attack continues the
+  /// exact stream.
+  std::uint64_t attack_sent = 0;
+  std::size_t guest_index = static_cast<std::size_t>(-1);
+
+  struct Gauges {
+    explicit Gauges(telemetry::MetricRegistry& reg)
+        : devices_bound{reg, "live.home.devices_bound"},
+          flow_entries{reg, "live.home.flow_entries"},
+          block_flows{reg, "live.home.block_flows"},
+          block_drops{reg, "live.home.block_drops"},
+          attack_sent{reg, "live.home.attack_sent"} {}
+    telemetry::Gauge devices_bound;
+    telemetry::Gauge flow_entries;
+    telemetry::Gauge block_flows;
+    telemetry::Gauge block_drops;
+    telemetry::Gauge attack_sent;
+  };
+  std::optional<Gauges> gauges;
+
+  std::optional<snapshot::SnapshotImage> capture_out;
+};
+
+LiveFleet::LiveFleet(LiveConfig config, telemetry::MetricRegistry& metrics)
+    : config_(config), metrics_(metrics) {
+  if (config_.homes == 0) config_.homes = 1;
+  nthreads_ = std::max<std::size_t>(1, std::min(config_.threads, config_.homes));
+}
+
+LiveFleet::~LiveFleet() {
+  if (started_) {
+    // Homes were constructed on their owner workers; PeriodicTimer/app
+    // destructors cancel loop events, so destruction must happen there too.
+    run_on_workers([this](std::size_t w) {
+      for (std::size_t i = w; i < homes_.size(); i += nthreads_) {
+        homes_[i].reset();
+      }
+    });
+  }
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(pool_mu_);
+      shutdown_ = true;
+    }
+    pool_cv_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+}
+
+void LiveFleet::start_workers() {
+  if (nthreads_ <= 1) return;  // inline mode: jobs run on the driving thread
+  workers_.reserve(nthreads_);
+  for (std::size_t i = 0; i < nthreads_; ++i) {
+    workers_.emplace_back([this, i] {
+      std::uint64_t seen = 0;
+      while (true) {
+        std::function<void(std::size_t)> job;
+        {
+          std::unique_lock<std::mutex> lock(pool_mu_);
+          pool_cv_.wait(lock,
+                        [&] { return shutdown_ || generation_ != seen; });
+          if (generation_ == seen) return;  // shutdown, no new job
+          seen = generation_;
+          job = job_;
+        }
+        job(i);
+        {
+          std::lock_guard<std::mutex> lock(pool_mu_);
+          ++done_;
+        }
+        pool_cv_.notify_all();
+      }
+    });
+  }
+}
+
+void LiveFleet::run_on_workers(const std::function<void(std::size_t)>& job) {
+  if (workers_.empty()) {
+    for (std::size_t i = 0; i < nthreads_; ++i) job(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    job_ = job;
+    done_ = 0;
+    ++generation_;
+  }
+  pool_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(pool_mu_);
+  pool_cv_.wait(lock, [&] { return done_ == workers_.size(); });
+}
+
+void LiveFleet::build_home(std::size_t id,
+                           const snapshot::SnapshotImage* resume) {
+  auto h = std::make_unique<Home>();
+  h->id = id;
+  h->seed = fleet::FleetRunner::home_seed(config_.seed, id);
+  telemetry::ScopedMetricRegistry scope(h->registry);
+
+  workload::HomeScenario::Config sc;
+  sc.seed = h->seed;
+  sc.router.admission = homework::DeviceRegistry::AdmissionDefault::PermitAll;
+  sc.router.liveness.probe_interval = kSecond;
+  sc.router.liveness.max_misses = 2;
+  sc.router.datapath.controller_dead_interval = 2 * kSecond;
+  // Spoofed-DISCOVER floods leave unclaimed offers pending across
+  // checkpoints; the reclaim sweep runs on a boot-relative grid, so holding
+  // offers past the run keeps live tail and replay tail byte-identical.
+  sc.router.dhcp_offer_hold = 3600 * kSecond;
+  if (resume != nullptr) {
+    sc.clock_origin = resume->captured_at > kBootSettle
+                          ? resume->captured_at - kBootSettle
+                          : 0;
+  }
+  h->scenario = std::make_unique<workload::HomeScenario>(sc, h->registry);
+  h->scenario->start();
+
+  // Same seed-derived population as the fleet runner, so a home's world is
+  // recognisable across both planes.
+  std::uint64_t draw = h->seed ^ 0xbf58476d1ce4e5b9ULL;
+  for (std::size_t i = 0; i < config_.devices_per_home; ++i) {
+    workload::DeviceSpec spec;
+    spec.name = "dev" + std::to_string(i);
+    spec.kind = static_cast<workload::DeviceKind>(splitmix64(draw) % 6);
+    if (splitmix64(draw) % 2 == 0) {
+      spec.position =
+          sim::Position{static_cast<double>(1 + splitmix64(draw) % 14),
+                        static_cast<double>(1 + splitmix64(draw) % 14)};
+    }
+    h->scenario->add_device(spec);
+  }
+  const bool attack_home = config_.attack.kind != LiveAttack::Kind::None &&
+                           config_.attack.home == id;
+  if (attack_home) {
+    h->guest_index = h->scenario->add_device(
+        {"guest", workload::DeviceKind::Phone, std::nullopt});
+  }
+  h->device_count = h->scenario->devices().size();
+
+  // Fault surfaces: armed with an empty plan so the injector RNG is seeded
+  // deterministically before any mid-run InjectFault mutation draws from it.
+  h->faults = std::make_unique<sim::FaultInjector>(h->scenario->loop());
+  h->scenario->router().attach_faults(*h->faults);
+  h->faults->set_hwdb_fault({});
+  for (auto& d : h->scenario->devices()) {
+    h->faults->add_link(d.name, *d.attachment.link);
+  }
+  sim::FaultPlan empty_plan;
+  empty_plan.seed = h->seed ^ 0xa0761d6478bd642fULL;
+  h->faults->arm(empty_plan);
+
+  // Snapshot layers on top of the router's state layers: scenario RNG,
+  // the live driver counters, the fleet capture tag, telemetry last.
+  auto& snaps = h->scenario->router().snapshots();
+  workload::HomeScenario* scenario = h->scenario.get();
+  h->rng_layer = std::make_unique<snapshot::LambdaLayer>(
+      [scenario](snapshot::Writer& w) {
+        ByteWriter& c = w.begin_chunk(kRngTag);
+        for (const std::uint64_t word : scenario->rng().state()) c.u64(word);
+        w.end_chunk();
+      },
+      [scenario](const snapshot::Reader& r) -> Status {
+        const Bytes* chunk = r.find(kRngTag);
+        if (chunk == nullptr) return Status::success();
+        ByteReader br(*chunk);
+        std::array<std::uint64_t, 4> state{};
+        for (auto& word : state) {
+          auto v = br.u64();
+          if (!v) return v.error();
+          word = v.value();
+        }
+        scenario->rng().set_state(state);
+        return Status::success();
+      });
+  Home* hp = h.get();
+  h->driver_layer = std::make_unique<snapshot::LambdaLayer>(
+      [hp](snapshot::Writer& w) {
+        ByteWriter& c = w.begin_chunk(kDriverTag);
+        c.u64(hp->attack_sent);
+        // Host-side ARP caches: resolved next-hops are host state the router
+        // layers cannot see, but a replayed tail must not re-ARP what the
+        // first life resolved before the capture.
+        auto& devices = hp->scenario->devices();
+        c.u32(static_cast<std::uint32_t>(devices.size()));
+        for (auto& d : devices) {
+          std::vector<std::pair<Ipv4Address, MacAddress>> entries(
+              d.host->arp_cache().begin(), d.host->arp_cache().end());
+          std::sort(entries.begin(), entries.end());
+          c.u32(static_cast<std::uint32_t>(entries.size()));
+          for (const auto& [ip, mac] : entries) {
+            c.u32(ip.value());
+            for (const std::uint8_t octet : mac.octets()) c.u8(octet);
+          }
+        }
+        w.end_chunk();
+      },
+      [hp](const snapshot::Reader& r) -> Status {
+        const Bytes* chunk = r.find(kDriverTag);
+        if (chunk == nullptr) return Status::success();
+        ByteReader br(*chunk);
+        auto v = br.u64();
+        if (!v) return v.error();
+        hp->attack_sent = v.value();
+        auto ndevices = br.u32();
+        if (!ndevices) return ndevices.error();
+        auto& devices = hp->scenario->devices();
+        for (std::uint32_t i = 0; i < ndevices.value(); ++i) {
+          auto nentries = br.u32();
+          if (!nentries) return nentries.error();
+          for (std::uint32_t e = 0; e < nentries.value(); ++e) {
+            auto ip = br.u32();
+            if (!ip) return ip.error();
+            std::array<std::uint8_t, 6> octets{};
+            for (auto& octet : octets) {
+              auto b = br.u8();
+              if (!b) return b.error();
+              octet = b.value();
+            }
+            if (i < devices.size()) {
+              devices[i].host->seed_arp(Ipv4Address{ip.value()},
+                                        MacAddress{octets});
+            }
+          }
+        }
+        return Status::success();
+      });
+  snaps.add_layer("rng", h->rng_layer.get());
+  snaps.add_layer("live-driver", h->driver_layer.get());
+  snaps.add_layer("capture-tag", &h->ftag);
+  h->tele_layer = std::make_unique<snapshot::TelemetryLayer>(h->registry);
+  h->gauges.emplace(h->registry);
+
+  const LiveAttack attack = config_.attack;
+  h->attack_timer = std::make_unique<sim::PeriodicTimer>(
+      h->scenario->loop(), attack.period, [hp, attack] {
+        auto& devices = hp->scenario->devices();
+        if (hp->guest_index >= devices.size()) return;
+        auto& guest = devices[hp->guest_index];
+        if (guest.attachment.link == nullptr) return;
+        for (std::size_t j = 0; j < attack.per_tick; ++j) {
+          const auto n = static_cast<std::uint32_t>(hp->attack_sent);
+          const Bytes frame = scenario::spoofed_discover(
+              MacAddress::from_index(0x800000 + n), 0x51000000u + n,
+              "flood-" + std::to_string(n));
+          (void)guest.attachment.link->a_to_b().send(frame);
+          ++hp->attack_sent;
+        }
+        // The attacker's own traffic — what a quarantine mutation blocks.
+        if (guest.host->ip()) {
+          (void)guest.host->send_udp(Ipv4Address{198, 51, 100, 7}, 33000, 443,
+                                     64);
+        }
+      });
+  h->rekick = std::make_unique<sim::PeriodicTimer>(
+      h->scenario->loop(), 5 * kSecond, [hp] {
+        for (auto& d : hp->scenario->devices()) {
+          if (!d.host->ip()) d.host->start_dhcp();
+        }
+      });
+
+  if (resume == nullptr) {
+    snaps.add_layer("telemetry", h->tele_layer.get());
+    h->scenario->start_dhcp_all();
+    h->rekick->start_at(5 * kSecond + 500 * kMillisecond);
+    if (attack_home) h->attack_timer->start_at(attack.start);
+    if (config_.run_apps) {
+      (void)h->scenario->wait_all_bound(10 * kSecond);
+      h->scenario->start_apps_all();
+    }
+  } else {
+    // The proven resume recipe (fleet::FleetRunner::run_life): state layers,
+    // lease adoption, a 1 ms drain for boot-era in-flight frames, then the
+    // telemetry layer so restored counters erase the boot's side effects.
+    const Status restored = snaps.restore(*resume);
+    if (!restored.ok()) {
+      h->error = restored.error().message;
+      homes_[id] = std::move(h);
+      return;
+    }
+    h->scenario->adopt_restored_leases();
+    if (config_.run_apps) h->scenario->start_apps_all();
+    h->scenario->loop().run_for(kMillisecond);
+    snaps.add_layer("telemetry", h->tele_layer.get());
+    if (auto s = snaps.restore_layers(resume->bytes, {"telemetry"});
+        !s.ok()) {
+      h->error = s.error().message;
+    }
+    const Timestamp now = h->scenario->loop().now();
+    h->rekick->start_at(
+        next_phase_tick(now, 5 * kSecond, 5 * kSecond + 500 * kMillisecond));
+    if (attack_home) {
+      h->attack_timer->start_at(
+          next_phase_tick(now, attack.period, attack.start));
+    }
+  }
+  homes_[id] = std::move(h);
+}
+
+void LiveFleet::start() {
+  if (started_) return;
+  homes_.resize(config_.homes);
+  start_workers();
+  run_on_workers([this](std::size_t w) {
+    for (std::size_t i = w; i < homes_.size(); i += nthreads_) {
+      build_home(i, nullptr);
+    }
+  });
+  now_ = kBootSettle;
+  started_ = true;
+}
+
+Status LiveFleet::resume(const FleetCheckpoint& cp,
+                         std::vector<Mutation> tail) {
+  if (started_) return make_error("live: fleet already started");
+  if (cp.images.size() != config_.homes) {
+    return make_error("live: checkpoint has " +
+                      std::to_string(cp.images.size()) + " images for " +
+                      std::to_string(config_.homes) + " homes");
+  }
+  // Reject stitched image sets before touching any home: every member must
+  // carry the same capture id, its own position and the right fleet size.
+  for (std::size_t i = 0; i < cp.images.size(); ++i) {
+    auto tag = read_capture_tag(cp.images[i].bytes);
+    if (!tag) return tag.error();
+    if (tag.value().capture_id != cp.capture_id ||
+        tag.value().member != i ||
+        tag.value().members != cp.images.size()) {
+      return make_error("live: capture tag mismatch on member " +
+                        std::to_string(i) + " (capture " +
+                        std::to_string(tag.value().capture_id) + ", member " +
+                        std::to_string(tag.value().member) + ")");
+    }
+  }
+
+  homes_.resize(config_.homes);
+  start_workers();
+  run_on_workers([this, &cp](std::size_t w) {
+    for (std::size_t i = w; i < homes_.size(); i += nthreads_) {
+      build_home(i, &cp.images[i]);
+    }
+  });
+  for (const auto& h : homes_) {
+    if (!h->error.empty()) {
+      return make_error("live: home " + std::to_string(h->id) +
+                        " failed to resume: " + h->error);
+    }
+  }
+
+  now_ = cp.captured_at;
+  next_mutation_id_ = cp.mutation_id + 1;
+  next_capture_id_ = cp.capture_id + 1;
+  for (Mutation& m : tail) {
+    next_mutation_id_ = std::max(next_mutation_id_, m.id + 1);
+    log_.push_back(m);
+    if (m.kind == MutateKind::Checkpoint) {
+      pending_checkpoints_.push_back(m);
+    } else {
+      pending_.push_back(m);
+    }
+  }
+  metrics_.resumes.inc();
+  started_ = true;
+  return Status::success();
+}
+
+Timestamp LiveFleet::next_barrier() const {
+  const Duration interval = config_.barrier_interval;
+  if (now_ < kBootSettle) return kBootSettle + interval;
+  return kBootSettle + ((now_ - kBootSettle) / interval + 1) * interval;
+}
+
+Timestamp LiveFleet::next_checkpoint_barrier() const {
+  const Duration align = kCheckpointAlign;
+  if (now_ < kBootSettle) return kBootSettle + align;
+  return kBootSettle + ((now_ - kBootSettle) / align + 1) * align;
+}
+
+Mutation LiveFleet::submit(Mutation m) {
+  m.id = 0;
+  m.applied_at = m.kind == MutateKind::Checkpoint ? next_checkpoint_barrier()
+                                                  : next_barrier();
+  {
+    std::lock_guard<std::mutex> lock(inbox_mu_);
+    inbox_.push_back(m);
+  }
+  metrics_.mutations.inc();
+  return m;
+}
+
+bool LiveFleet::checkpoint_pending_at(Timestamp barrier) const {
+  for (const Mutation& m : pending_checkpoints_) {
+    if (m.applied_at == barrier) return true;
+  }
+  return false;
+}
+
+Timestamp LiveFleet::step() {
+  const Timestamp barrier = next_barrier();
+
+  // Ingest the inbox. Checkpoints are ordered first and land on the aligned
+  // capture grid; a mutation must never share a barrier with a capture —
+  // the image has to show the pre-mutation state so the replayed tail
+  // (ids > the checkpoint's) re-applies it exactly once.
+  std::vector<Mutation> batch;
+  {
+    std::lock_guard<std::mutex> lock(inbox_mu_);
+    batch.swap(inbox_);
+  }
+  std::stable_partition(batch.begin(), batch.end(), [](const Mutation& m) {
+    return m.kind == MutateKind::Checkpoint;
+  });
+  for (Mutation& m : batch) {
+    m.id = next_mutation_id_++;
+    if (m.kind == MutateKind::Checkpoint) {
+      m.applied_at = next_checkpoint_barrier();
+      pending_checkpoints_.push_back(m);
+    } else {
+      m.applied_at = barrier;
+      while (checkpoint_pending_at(m.applied_at)) {
+        m.applied_at += config_.barrier_interval;
+      }
+      pending_.push_back(m);
+    }
+    HW_LOG_INFO(kLog, "mutation #%llu %s home=%u lands at t=%llu",
+                static_cast<unsigned long long>(m.id), to_string(m.kind),
+                m.home, static_cast<unsigned long long>(m.applied_at));
+    log_.push_back(m);
+  }
+
+  // Quiesce every home at the barrier.
+  run_on_workers([this, barrier](std::size_t w) {
+    for (std::size_t i = w; i < homes_.size(); i += nthreads_) {
+      Home& h = *homes_[i];
+      telemetry::ScopedMetricRegistry scope(h.registry);
+      h.scenario->loop().run_until(barrier);
+    }
+  });
+
+  // Fleet-wide consistent capture, before any mutation due at this barrier.
+  std::optional<std::uint64_t> capture_mutation;
+  for (auto it = pending_checkpoints_.begin();
+       it != pending_checkpoints_.end();) {
+    if (it->applied_at == barrier) {
+      if (!capture_mutation) capture_mutation = it->id;
+      it = pending_checkpoints_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (capture_mutation) {
+    FleetCheckpoint cp;
+    cp.capture_id = next_capture_id_++;
+    cp.captured_at = barrier;
+    cp.mutation_id = *capture_mutation;
+    cp.images.resize(homes_.size());
+    const std::uint64_t capture_id = cp.capture_id;
+    run_on_workers([this, capture_id](std::size_t w) {
+      for (std::size_t i = w; i < homes_.size(); i += nthreads_) {
+        Home& h = *homes_[i];
+        telemetry::ScopedMetricRegistry scope(h.registry);
+        h.ftag.value() = snapshot::CaptureTag{
+            capture_id, static_cast<std::uint32_t>(h.id),
+            static_cast<std::uint32_t>(homes_.size())};
+        h.capture_out = h.scenario->router().snapshots().capture();
+      }
+    });
+    for (auto& h : homes_) {
+      cp.images[h->id] = std::move(*h->capture_out);
+      h->capture_out.reset();
+    }
+    checkpoints_.push_back(std::move(cp));
+    metrics_.captures.inc();
+  }
+
+  // Apply due mutations in id order, then refresh the operator gauges.
+  std::vector<Mutation> due;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->applied_at <= barrier) {
+      due.push_back(*it);
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::sort(due.begin(), due.end(),
+            [](const Mutation& a, const Mutation& b) { return a.id < b.id; });
+  run_on_workers([this, barrier, &due](std::size_t w) {
+    for (std::size_t i = w; i < homes_.size(); i += nthreads_) {
+      Home& h = *homes_[i];
+      telemetry::ScopedMetricRegistry scope(h.registry);
+      for (const Mutation& m : due) {
+        if (m.home == kAllHomes || m.home == h.id) apply_mutation(h, m);
+      }
+      h.scenario->loop().run_until(barrier);
+      update_gauges(h);
+    }
+  });
+
+  now_ = barrier;
+  metrics_.steps.inc();
+  return now_;
+}
+
+void LiveFleet::advance_to(Timestamp t) {
+  while (now_ < t) step();
+}
+
+void LiveFleet::apply_mutation(Home& h, const Mutation& m) {
+  auto& api = h.scenario->router().control_api();
+  switch (m.kind) {
+    case MutateKind::Admit: {
+      auto* dev = h.scenario->device(m.text);
+      if (dev == nullptr) return;
+      h.scenario->permit(m.text);
+      dev->host->start_dhcp();
+      return;
+    }
+    case MutateKind::Expel: {
+      auto* dev = h.scenario->device(m.text);
+      if (dev == nullptr) return;
+      homework::HttpRequest req;
+      req.method = "POST";
+      req.path = "/api/devices/" + dev->host->mac().to_string() + "/deny";
+      (void)api.handle(req);
+      return;
+    }
+    case MutateKind::ApplyPolicy: {
+      homework::HttpRequest req;
+      req.method = "POST";
+      req.path = "/api/policies";
+      req.body = m.aux;
+      (void)api.handle(req);
+      return;
+    }
+    case MutateKind::RevokePolicy: {
+      homework::HttpRequest req;
+      req.method = "DELETE";
+      req.path = "/api/policies/" + m.text;
+      (void)api.handle(req);
+      return;
+    }
+    case MutateKind::InjectFault: {
+      const auto kind = parse_fault_kind(m.text);
+      if (!kind) return;
+      sim::FaultWindow w;
+      w.kind = *kind;
+      w.start = m.applied_at + static_cast<Duration>(m.arg0);
+      w.duration = static_cast<Duration>(m.arg1);
+      w.loss = m.aux.empty() ? 0.5 : std::strtod(m.aux.c_str(), nullptr);
+      h.faults->inject(w);
+      return;
+    }
+    case MutateKind::Checkpoint:
+    case MutateKind::Pause:
+    case MutateKind::Resume:
+    case MutateKind::Step:
+    case MutateKind::Replay:
+      return;  // fleet/server-level verbs; nothing to do per home
+  }
+}
+
+void LiveFleet::update_gauges(Home& h) {
+  std::size_t bound = 0;
+  for (auto& d : h.scenario->devices()) {
+    if (d.host->ip()) ++bound;
+  }
+  std::size_t block_flows = 0;
+  std::uint64_t block_drops = 0;
+  auto& table = h.scenario->router().datapath().table();
+  table.for_each([&](const ofp::FlowEntry& e) {
+    if (e.priority != 0x9100) return;  // reconciler's kPolicyBlockPriority
+    ++block_flows;
+    block_drops += e.packet_count;
+  });
+  h.gauges->devices_bound.set(static_cast<std::int64_t>(bound));
+  h.gauges->flow_entries.set(static_cast<std::int64_t>(table.size()));
+  h.gauges->block_flows.set(static_cast<std::int64_t>(block_flows));
+  h.gauges->block_drops.set(static_cast<std::int64_t>(block_drops));
+  h.gauges->attack_sent.set(static_cast<std::int64_t>(h.attack_sent));
+}
+
+std::map<std::string, double> LiveFleet::scalars(std::uint32_t home) const {
+  if (home != kAllHomes) {
+    if (home >= homes_.size()) return {};
+    return homes_[home]->registry.scalars();
+  }
+  // Merge in home-id order: fixed accumulation order keeps the totals
+  // bit-identical at any thread count.
+  std::map<std::string, double> out;
+  for (const auto& h : homes_) {
+    for (const auto& [name, value] : h->registry.scalars()) {
+      out[name] += value;
+    }
+  }
+  return out;
+}
+
+std::map<std::string, double> LiveFleet::fingerprint() const {
+  std::map<std::string, double> out = scalars(kAllHomes);
+  for (auto it = out.begin(); it != out.end();) {
+    it = transient_series(it->first) ? out.erase(it) : std::next(it);
+  }
+  return out;
+}
+
+LiveHomeStatus LiveFleet::status(std::uint32_t home) const {
+  LiveHomeStatus s;
+  if (home >= homes_.size()) return s;
+  const Home& h = *homes_[home];
+  s.devices = h.device_count;
+  const auto gauge = [&h](const char* name) -> std::uint64_t {
+    const auto v = h.registry.total(name);
+    return v && *v > 0 ? static_cast<std::uint64_t>(*v) : 0;
+  };
+  s.devices_bound = gauge("live.home.devices_bound");
+  s.flow_entries = gauge("live.home.flow_entries");
+  s.block_flows = gauge("live.home.block_flows");
+  s.block_drops = gauge("live.home.block_drops");
+  s.attack_sent = gauge("live.home.attack_sent");
+  return s;
+}
+
+std::string LiveFleet::device_mac(std::uint32_t home,
+                                  const std::string& name) const {
+  if (home >= homes_.size()) return {};
+  for (auto& d : homes_[home]->scenario->devices()) {
+    if (d.name == name) return d.host->mac().to_string();
+  }
+  return {};
+}
+
+Result<std::map<std::string, double>> LiveFleet::replay_fingerprint(
+    LiveConfig config, const FleetCheckpoint& cp,
+    const std::vector<Mutation>& full_log, Timestamp until,
+    std::size_t threads) {
+  config.threads = threads;
+  LiveFleet replica(config);
+  std::vector<Mutation> tail;
+  for (const Mutation& m : full_log) {
+    if (m.id > cp.mutation_id) tail.push_back(m);
+  }
+  if (auto s = replica.resume(cp, std::move(tail)); !s.ok()) {
+    return s.error();
+  }
+  replica.advance_to(until);
+  return replica.fingerprint();
+}
+
+}  // namespace hw::live

@@ -1,0 +1,118 @@
+#include "live/mutation.hpp"
+
+namespace hw::live {
+
+const char* to_string(MutateKind kind) {
+  switch (kind) {
+    case MutateKind::Admit: return "admit";
+    case MutateKind::Expel: return "expel";
+    case MutateKind::ApplyPolicy: return "apply-policy";
+    case MutateKind::RevokePolicy: return "revoke-policy";
+    case MutateKind::Checkpoint: return "checkpoint";
+    case MutateKind::InjectFault: return "inject-fault";
+    case MutateKind::Pause: return "pause";
+    case MutateKind::Resume: return "resume";
+    case MutateKind::Step: return "step";
+    case MutateKind::Replay: return "replay";
+  }
+  return "?";
+}
+
+Mutation admit(std::uint32_t home, std::string device) {
+  Mutation m;
+  m.kind = MutateKind::Admit;
+  m.home = home;
+  m.text = std::move(device);
+  return m;
+}
+
+Mutation expel(std::uint32_t home, std::string device) {
+  Mutation m;
+  m.kind = MutateKind::Expel;
+  m.home = home;
+  m.text = std::move(device);
+  return m;
+}
+
+Mutation quarantine(std::uint32_t home, const std::string& mac) {
+  Mutation m;
+  m.kind = MutateKind::ApplyPolicy;
+  m.home = home;
+  m.text = "live-q-" + mac;
+  m.aux = "{\"id\":\"live-q-" + mac + "\",\"who\":{\"macs\":[\"" + mac +
+          "\"]},\"block_network\":true}";
+  return m;
+}
+
+Mutation release(std::uint32_t home, const std::string& mac) {
+  Mutation m;
+  m.kind = MutateKind::RevokePolicy;
+  m.home = home;
+  m.text = "live-q-" + mac;
+  return m;
+}
+
+Mutation checkpoint() {
+  Mutation m;
+  m.kind = MutateKind::Checkpoint;
+  m.home = kAllHomes;
+  return m;
+}
+
+Mutation inject_fault(std::uint32_t home, std::string kind, double loss,
+                      Duration offset, Duration duration) {
+  Mutation m;
+  m.kind = MutateKind::InjectFault;
+  m.home = home;
+  m.text = std::move(kind);
+  m.aux = std::to_string(loss);
+  m.arg0 = static_cast<std::uint64_t>(offset);
+  m.arg1 = static_cast<std::uint64_t>(duration);
+  return m;
+}
+
+Mutation pause() {
+  Mutation m;
+  m.kind = MutateKind::Pause;
+  m.home = kAllHomes;
+  return m;
+}
+
+Mutation resume_clock() {
+  Mutation m;
+  m.kind = MutateKind::Resume;
+  m.home = kAllHomes;
+  return m;
+}
+
+Mutation step(std::uint64_t barriers) {
+  Mutation m;
+  m.kind = MutateKind::Step;
+  m.home = kAllHomes;
+  m.arg0 = barriers;
+  return m;
+}
+
+hwdb::rpc::MutateRequest to_request(const Mutation& m) {
+  hwdb::rpc::MutateRequest req;
+  req.kind = m.kind;
+  req.home = m.home;
+  req.text = m.text;
+  req.aux = m.aux;
+  req.arg0 = m.arg0;
+  req.arg1 = m.arg1;
+  return req;
+}
+
+Mutation from_request(const hwdb::rpc::MutateRequest& req) {
+  Mutation m;
+  m.kind = req.kind;
+  m.home = req.home;
+  m.text = req.text;
+  m.aux = req.aux;
+  m.arg0 = req.arg0;
+  m.arg1 = req.arg1;
+  return m;
+}
+
+}  // namespace hw::live

@@ -1,0 +1,62 @@
+// Control mutations against a running LiveFleet. A Mutation is the in-memory
+// form of the wire-level hwdb::rpc::MutateRequest: submitted from any thread
+// (or decoded off the operator socket), stamped with the deterministic
+// virtual-time barrier it will land on, applied on the owning worker, and
+// recorded in the fleet's mutation log so a mutated run stays replayable —
+// replaying (checkpoint, seeds, log tail) reproduces the live run's
+// non-histogram telemetry bit-identically.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hwdb/rpc_codec.hpp"
+#include "util/types.hpp"
+
+namespace hw::live {
+
+using hwdb::rpc::kAllHomes;
+using hwdb::rpc::MutateKind;
+
+const char* to_string(MutateKind kind);
+
+struct Mutation {
+  MutateKind kind = MutateKind::Admit;
+  /// Target home, or kAllHomes for fleet-wide verbs (Checkpoint, Pause…).
+  std::uint32_t home = 0;
+  /// Device name / policy id, per-kind (see hwdb::rpc::MutateKind).
+  std::string text;
+  /// Policy JSON body (ApplyPolicy) or fault parameter string (InjectFault).
+  std::string aux;
+  std::uint64_t arg0 = 0;
+  std::uint64_t arg1 = 0;
+
+  /// Assigned by the fleet at the barrier that ingests the mutation — the
+  /// replay order key. 0 while the mutation is still in flight.
+  std::uint64_t id = 0;
+  /// The virtual-time barrier the mutation applies at.
+  Timestamp applied_at = 0;
+};
+
+// -- Factories for the common verbs -----------------------------------------
+[[nodiscard]] Mutation admit(std::uint32_t home, std::string device);
+[[nodiscard]] Mutation expel(std::uint32_t home, std::string device);
+/// Installs a block-network policy for `mac` (policy id "live-q-<mac>").
+[[nodiscard]] Mutation quarantine(std::uint32_t home, const std::string& mac);
+/// Deletes the policy quarantine() installed for `mac`.
+[[nodiscard]] Mutation release(std::uint32_t home, const std::string& mac);
+[[nodiscard]] Mutation checkpoint();
+/// Opens a FaultWindow on `home`: `kind` as in sim::to_string(FaultKind),
+/// starting `offset` after the barrier and lasting `duration`.
+[[nodiscard]] Mutation inject_fault(std::uint32_t home, std::string kind,
+                                    double loss, Duration offset,
+                                    Duration duration);
+[[nodiscard]] Mutation pause();
+[[nodiscard]] Mutation resume_clock();
+[[nodiscard]] Mutation step(std::uint64_t barriers = 1);
+
+/// Wire conversions (livectl and the LiveServer share these).
+[[nodiscard]] hwdb::rpc::MutateRequest to_request(const Mutation& m);
+[[nodiscard]] Mutation from_request(const hwdb::rpc::MutateRequest& req);
+
+}  // namespace hw::live

@@ -68,6 +68,15 @@ void FaultInjector::arm(const FaultPlan& plan) {
   }
 }
 
+void FaultInjector::inject(const FaultWindow& window) {
+  scheduled_.push_back(
+      loop_.schedule_at(window.start, [this, window] { begin_window(window); }));
+  if (window.duration > 0) {
+    scheduled_.push_back(loop_.schedule_at(window.start + window.duration,
+                                           [this, window] { end_window(window); }));
+  }
+}
+
 std::vector<LinkChannel*> FaultInjector::matching_links(
     const std::string& target) {
   std::vector<LinkChannel*> out;

@@ -115,6 +115,12 @@ class FaultInjector {
   /// boundary. May be called once per injector.
   void arm(const FaultPlan& plan);
 
+  /// Schedules one extra window on an already-armed injector without
+  /// touching the RNG — the live-operations plane uses this to inject a
+  /// fault mid-run while keeping the original plan's draws reproducible.
+  /// window.start is an absolute virtual time and must not be in the past.
+  void inject(const FaultWindow& window);
+
   [[nodiscard]] bool armed() const { return armed_; }
   [[nodiscard]] Rng& rng() { return rng_; }
   [[nodiscard]] FaultInjectorStats stats() const {

@@ -73,6 +73,14 @@ class Host final : public FrameSink {
   /// state, not the exchange that built it.
   void adopt_lease(Ipv4Address ip, Ipv4Address gateway, Ipv4Address dns,
                    Ipv4Address server, std::uint32_t lease_secs);
+  /// Snapshot-restore only: re-seeds an ARP entry the captured host had
+  /// already learned, so a restored host does not re-resolve (and so emit
+  /// traffic) for a next-hop the first life resolved before the capture.
+  void seed_arp(Ipv4Address ip, MacAddress mac) { arp_cache_[ip] = mac; }
+  [[nodiscard]] const std::unordered_map<Ipv4Address, MacAddress>& arp_cache()
+      const {
+    return arp_cache_;
+  }
   [[nodiscard]] DhcpClientState dhcp_state() const { return dhcp_state_; }
   [[nodiscard]] std::optional<Ipv4Address> ip() const { return ip_; }
   [[nodiscard]] std::optional<Ipv4Address> gateway() const { return gateway_; }

@@ -8,6 +8,7 @@ namespace {
 
 constexpr std::uint32_t kMetaTag = tag("META");
 constexpr std::uint32_t kTeleTag = tag("TELE");
+constexpr std::uint32_t kFtagTag = tag("FTAG");
 
 }  // namespace
 
@@ -155,6 +156,29 @@ Result<SnapshotImage> SnapshotCoordinator::read_file(const std::string& path) {
   auto at = captured_at(reader.value());
   if (!at) return at.error();
   return SnapshotImage{std::move(bytes), at.value()};
+}
+
+void CaptureTagLayer::save(Writer& w) const {
+  ByteWriter& c = w.begin_chunk(kFtagTag);
+  c.u64(tag_.capture_id);
+  c.u32(tag_.member);
+  c.u32(tag_.members);
+  w.end_chunk();
+}
+
+Status CaptureTagLayer::restore(const Reader& r) {
+  const Bytes* chunk = r.find(kFtagTag);
+  if (chunk == nullptr) return make_error("snapshot: no FTAG chunk");
+  ByteReader br(*chunk);
+  auto id = br.u64();
+  if (!id) return id.error();
+  auto member = br.u32();
+  if (!member) return member.error();
+  auto members = br.u32();
+  if (!members) return members.error();
+  tag_ = CaptureTag{id.value(), member.value(), members.value()};
+  restored_ = true;
+  return Status::success();
 }
 
 void TelemetryLayer::save(Writer& w) const {

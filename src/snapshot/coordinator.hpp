@@ -128,6 +128,34 @@ class LambdaLayer final : public Snapshottable {
   std::function<Status(const Reader&)> restore_;
 };
 
+/// Fleet-wide capture identity stamped into each member's image ('FTAG'
+/// chunk). A coordinated checkpoint captures every home at the same barrier
+/// instant; the tag records which capture the image belongs to and the
+/// member's position, so a restore can reject an image set stitched together
+/// from different captures (or with members swapped around).
+struct CaptureTag {
+  std::uint64_t capture_id = 0;  // fleet-unique, monotonic per checkpoint
+  std::uint32_t member = 0;      // home id this image belongs to
+  std::uint32_t members = 0;     // fleet size at capture time
+};
+
+/// Layer carrying a CaptureTag. The owner sets the tag via value() just
+/// before a coordinated capture; after a restore, value() holds the tag
+/// read from the image and restored() is true.
+class CaptureTagLayer final : public Snapshottable {
+ public:
+  void save(Writer& w) const override;
+  Status restore(const Reader& r) override;
+
+  [[nodiscard]] CaptureTag& value() { return tag_; }
+  [[nodiscard]] const CaptureTag& value() const { return tag_; }
+  [[nodiscard]] bool restored() const { return restored_; }
+
+ private:
+  CaptureTag tag_;
+  bool restored_ = false;
+};
+
 /// Snapshots a registry's non-histogram scalars ('TELE' chunk). Restore
 /// adjusts live instruments so each series sums to its captured value;
 /// histograms time wall-clock nanoseconds and are deliberately excluded.

@@ -1,0 +1,35 @@
+#include "telemetry/delta.hpp"
+
+#include <bit>
+
+namespace hw::telemetry {
+
+ScalarMap scalar_delta(const ScalarMap& prev, const ScalarMap& cur) {
+  ScalarMap out;
+  for (const auto& [name, value] : cur) {
+    const auto it = prev.find(name);
+    if (it == prev.end() || std::bit_cast<std::uint64_t>(it->second) !=
+                                std::bit_cast<std::uint64_t>(value)) {
+      out.emplace(name, value);
+    }
+  }
+  return out;
+}
+
+void apply_delta(ScalarMap& base, const ScalarMap& delta) {
+  for (const auto& [name, value] : delta) base[name] = value;
+}
+
+HistogramState histogram_delta(const HistogramState& prev,
+                               const HistogramState& cur) {
+  HistogramState out;
+  for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+    out.buckets[b] = cur.buckets[b] - prev.buckets[b];
+  }
+  out.count = cur.count - prev.count;
+  out.sum = cur.sum - prev.sum;
+  out.max = cur.max;
+  return out;
+}
+
+}  // namespace hw::telemetry

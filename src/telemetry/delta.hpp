@@ -1,0 +1,37 @@
+// Delta encoding over telemetry snapshots, for the live operations plane's
+// streaming subscriptions (docs/liveops.md). A delta between two scalar maps
+// carries the *absolute* new value of every series that appeared or changed
+// — never differences — so applying a delta is idempotent and a receiver
+// that missed frames resynchronizes from any later full snapshot without
+// arithmetic. Histogram states delta bucket-wise (observations only ever
+// accumulate), with the delta's max carrying the current max so a
+// merge-round-trip reproduces the target state exactly.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "telemetry/metrics.hpp"
+
+namespace hw::telemetry {
+
+using ScalarMap = std::map<std::string, double>;
+
+/// Series of `cur` that are new or bit-wise different from `prev`, at their
+/// `cur` value. Series absent from `cur` are not reported: instruments live
+/// for the lifetime of the home that owns them, so a series never retires
+/// mid-stream. Comparison is bit-wise, not operator==, so a counter stepping
+/// through every double value round-trips losslessly.
+[[nodiscard]] ScalarMap scalar_delta(const ScalarMap& prev, const ScalarMap& cur);
+
+/// Applies a delta (or a full snapshot) onto `base`: every entry overwrites.
+void apply_delta(ScalarMap& base, const ScalarMap& delta);
+
+/// Bucket-wise difference cur - prev (requires prev to be an earlier state
+/// of the same histogram: every bucket, count and sum of prev <= cur). The
+/// delta's max is cur's max — max is not subtractive — so
+/// `prev.merge(histogram_delta(prev, cur)) == cur` holds exactly.
+[[nodiscard]] HistogramState histogram_delta(const HistogramState& prev,
+                                             const HistogramState& cur);
+
+}  // namespace hw::telemetry

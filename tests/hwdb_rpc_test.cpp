@@ -87,6 +87,64 @@ TEST(RpcCodec, PublishRoundTrip) {
   EXPECT_EQ(out->result.rows.size(), 1u);
 }
 
+TEST(RpcCodec, LiveVerbsRoundTrip) {
+  Request sub{11, SubscribeSeriesRequest{"live.home.*", 3, 4, 16}};
+  auto d1 = decode(encode(sub), false);
+  ASSERT_TRUE(d1.ok());
+  const auto& s =
+      std::get<SubscribeSeriesRequest>(std::get<Request>(d1.value()).body);
+  EXPECT_EQ(s.pattern, "live.home.*");
+  EXPECT_EQ(s.home, 3u);
+  EXPECT_EQ(s.every, 4u);
+  EXPECT_EQ(s.max_queue, 16u);
+
+  Request mut{12, MutateRequest{MutateKind::ApplyPolicy, 2, "policy-json",
+                                "aux-blob", 7, 9}};
+  auto d2 = decode(encode(mut), false);
+  ASSERT_TRUE(d2.ok());
+  const auto& m = std::get<MutateRequest>(std::get<Request>(d2.value()).body);
+  EXPECT_EQ(m.kind, MutateKind::ApplyPolicy);
+  EXPECT_EQ(m.home, 2u);
+  EXPECT_EQ(m.text, "policy-json");
+  EXPECT_EQ(m.aux, "aux-blob");
+  EXPECT_EQ(m.arg0, 7u);
+  EXPECT_EQ(m.arg1, 9u);
+
+  // The response body discriminator is exclusive: a Mutate answer carries
+  // applied_at (the barrier the mutation lands on), nothing else.
+  Response resp;
+  resp.request_id = 13;
+  resp.applied_at = Timestamp{4250000};
+  auto d3 = decode(encode(resp), true);
+  ASSERT_TRUE(d3.ok());
+  ASSERT_TRUE(std::get<Response>(d3.value()).applied_at.has_value());
+  EXPECT_EQ(*std::get<Response>(d3.value()).applied_at, 4250000);
+}
+
+TEST(RpcCodec, DeltaPushRoundTrip) {
+  DeltaPush push;
+  push.sub_id = 21;
+  push.seq = 17;
+  push.vtime = 3000013;
+  push.home = 1;
+  push.snapshot = true;
+  push.dropped = 4;
+  push.values = {{"live.fleet.barriers", 12.0}, {"sim.host.tx_frames", 88.5}};
+  auto decoded = decode(encode(push), /*from_server=*/true);
+  ASSERT_TRUE(decoded.ok());
+  const auto* out = std::get_if<DeltaPush>(&decoded.value());
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->sub_id, 21u);
+  EXPECT_EQ(out->seq, 17u);
+  EXPECT_EQ(out->vtime, 3000013);
+  EXPECT_EQ(out->home, 1u);
+  EXPECT_TRUE(out->snapshot);
+  EXPECT_EQ(out->dropped, 4u);
+  ASSERT_EQ(out->values.size(), 2u);
+  EXPECT_EQ(out->values[0].first, "live.fleet.barriers");
+  EXPECT_DOUBLE_EQ(out->values[1].second, 88.5);
+}
+
 TEST(RpcCodec, RejectsGarbage) {
   Bytes garbage{1, 2};
   EXPECT_FALSE(decode(garbage, true).ok());
@@ -291,6 +349,41 @@ TEST_F(LinkFixture, ServerSuppressesDuplicatedRequests) {
   auto rs = db.query("SELECT mac FROM Links");
   ASSERT_TRUE(rs.ok());
   EXPECT_EQ(rs.value().rows.size(), 1u);
+}
+
+TEST_F(LinkFixture, RetriedSubscribeCreatesOneSubscriptionInOrder) {
+  // Regression for the live-plane streaming contract: a subscribe whose
+  // datagram is retransmitted (client retry or network duplication) must be
+  // deduplicated server-side into exactly ONE subscription, so the push
+  // stream afterwards carries no duplicated or reordered updates.
+  auto& client = link.make_client();
+  Rng fault_rng(3);
+  sim::DatagramFault dup;
+  dup.duplicate = 1.0;  // every datagram arrives twice
+  link.set_fault(dup, &fault_rng);
+  // Heal the link once the handshake settled, before the first push, so
+  // push delivery itself is clean and any duplication we observe would come
+  // from a doubled server-side subscription.
+  loop.schedule_at(20 * kMillisecond,
+                   [&] { link.set_fault(sim::DatagramFault{}, &fault_rng); });
+
+  std::uint64_t sub_id = 0;
+  std::vector<std::uint64_t> push_ids;
+  client.on_push(
+      [&](std::uint64_t id, const ResultSet&) { push_ids.push_back(id); });
+  client.subscribe("SELECT * FROM Links [RANGE 5 SECONDS]", false, 1000,
+                   [&](Result<std::uint64_t> id) {
+                     ASSERT_TRUE(id.ok());
+                     sub_id = id.value();
+                   });
+  loop.run_for(3 * kSecond + 10 * kMillisecond);
+
+  EXPECT_GE(link.server().stats().dup_suppressed, 1u);
+  EXPECT_EQ(db.subscription_count(), 1u);
+  // One push per period, all for the single subscription id — a doubled
+  // subscription would interleave a second id (or double the count).
+  EXPECT_EQ(push_ids.size(), 3u);
+  for (const auto id : push_ids) EXPECT_EQ(id, sub_id);
 }
 
 TEST_F(LinkFixture, RetryScheduleIsDeterministic) {

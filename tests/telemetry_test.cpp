@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 
+#include "telemetry/delta.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace hw::telemetry {
@@ -233,6 +235,82 @@ TEST(HistogramState, MergeIsBucketWise) {
   EXPECT_EQ(merged.max, 1000u);
   EXPECT_GE(merged.percentile(0.99), 512.0);
   EXPECT_LE(merged.percentile(0.50), 16.0);
+}
+
+TEST(ScalarDelta, UnchangedSnapshotYieldsEmptyDelta) {
+  const ScalarMap prev = {{"a.counter", 3.0}, {"b.gauge", -1.5}};
+  EXPECT_TRUE(scalar_delta(prev, prev).empty());
+}
+
+TEST(ScalarDelta, CarriesAbsoluteValuesOfNewAndChangedSeries) {
+  const ScalarMap prev = {{"a.counter", 3.0}, {"b.gauge", -1.5}};
+  const ScalarMap cur = {{"a.counter", 7.0}, {"b.gauge", -1.5}, {"c.new", 1.0}};
+  const ScalarMap delta = scalar_delta(prev, cur);
+  EXPECT_EQ(delta.size(), 2u);
+  EXPECT_DOUBLE_EQ(delta.at("a.counter"), 7.0);  // absolute, not +4
+  EXPECT_DOUBLE_EQ(delta.at("c.new"), 1.0);
+  ScalarMap base = prev;
+  apply_delta(base, delta);
+  EXPECT_EQ(base, cur);
+}
+
+TEST(ScalarDelta, ComparisonIsBitWiseSoCounterStepsNeverVanish) {
+  // A counter stepping through every successive double must always produce a
+  // delta entry, even where operator== would be lossy (-0.0 == 0.0) or false
+  // (NaN != NaN would re-report an unchanged NaN under operator!=).
+  const ScalarMap neg_zero = {{"x", -0.0}};
+  const ScalarMap pos_zero = {{"x", 0.0}};
+  const ScalarMap sign_flip = scalar_delta(neg_zero, pos_zero);
+  ASSERT_EQ(sign_flip.size(), 1u);
+  EXPECT_FALSE(std::signbit(sign_flip.at("x")));
+  EXPECT_TRUE(scalar_delta(pos_zero, pos_zero).empty());
+
+  // Monotone counter walk: every step reports exactly the changed series and
+  // applying the stream of deltas reproduces the final state.
+  ScalarMap state = {{"steps", 0.0}};
+  ScalarMap shadow = state;
+  for (int i = 1; i <= 64; ++i) {
+    ScalarMap next = state;
+    next["steps"] = static_cast<double>(i);
+    const ScalarMap d = scalar_delta(state, next);
+    ASSERT_EQ(d.size(), 1u) << "step " << i;
+    apply_delta(shadow, d);
+    state = next;
+  }
+  EXPECT_EQ(shadow, state);
+}
+
+TEST(HistogramDelta, MergeRoundTripReproducesCurExactly) {
+  MetricRegistry reg;
+  Histogram h(reg, "test.hdelta.latency_ns");
+  for (int i = 0; i < 50; ++i) h.record(10);
+  const HistogramState prev = reg.histogram_states().at("test.hdelta.latency_ns");
+  for (int i = 0; i < 25; ++i) h.record(5000);
+  h.record(123456);
+  const HistogramState cur = reg.histogram_states().at("test.hdelta.latency_ns");
+
+  const HistogramState delta = histogram_delta(prev, cur);
+  EXPECT_EQ(delta.count, cur.count - prev.count);
+  EXPECT_EQ(delta.sum, cur.sum - prev.sum);
+  EXPECT_EQ(delta.max, cur.max);  // max is not subtractive
+
+  HistogramState rebuilt = prev;
+  rebuilt.merge(delta);
+  EXPECT_EQ(rebuilt.buckets, cur.buckets);
+  EXPECT_EQ(rebuilt.count, cur.count);
+  EXPECT_EQ(rebuilt.sum, cur.sum);
+  EXPECT_EQ(rebuilt.max, cur.max);
+}
+
+TEST(HistogramDelta, EmptyWhenNothingRecordedBetweenSnapshots) {
+  MetricRegistry reg;
+  Histogram h(reg, "test.hdelta.idle_ns");
+  h.record(42);
+  const HistogramState prev = reg.histogram_states().at("test.hdelta.idle_ns");
+  const HistogramState delta = histogram_delta(prev, prev);
+  EXPECT_EQ(delta.count, 0u);
+  EXPECT_EQ(delta.sum, 0u);
+  for (const auto bucket : delta.buckets) EXPECT_EQ(bucket, 0u);
 }
 
 }  // namespace
