@@ -1,0 +1,296 @@
+// Residency density bench (docs/residency.md): how many homes one process
+// can hold when cold homes hibernate to their snapshot images and page back
+// on demand. Each rung boots a quiet fleet with hibernate_on_start, advances
+// a few checkpoint-aligned periods while deterministic wake probes page
+// single homes back in, and reports:
+//
+//  * density — total homes vs the peak simultaneously-resident count
+//    (gate: >= 10x on every rung);
+//  * paging cost — resume wall-clock p50/p99 from residency.resume_ns;
+//  * image economics — logical vs stored bytes in the content-addressed
+//    ImageStore (dedup savings across near-identical quiet homes);
+//  * the determinism contract — the residency run's merged non-histogram
+//    telemetry, after refresh_telemetry(), is bit-identical to an
+//    always-resident twin at every worker-thread count in the ladder
+//    (gate: any mismatch fails the bench).
+//
+// Emits BENCH_fleet_density.json (path overridable with --out) for the CI
+// artifact upload.
+//
+// Usage: density_perf [--smoke] [--homes 40,120] [--seed S]
+//                     [--threads 1,2,8] [--out PATH]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "homework/router.hpp"
+#include "live/fleet.hpp"
+#include "telemetry/metrics.hpp"
+
+using namespace hw;
+
+namespace {
+
+std::vector<std::size_t> parse_size_list(const char* arg) {
+  std::vector<std::size_t> out;
+  std::string item;
+  for (const char* p = arg;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (!item.empty()) out.push_back(std::strtoull(item.c_str(), nullptr, 10));
+      item.clear();
+      if (*p == '\0') break;
+    } else {
+      item.push_back(*p);
+    }
+  }
+  return out;
+}
+
+double wall_ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+live::LiveConfig density_config(std::size_t homes, std::uint64_t seed,
+                                std::size_t threads, bool residency_on) {
+  live::LiveConfig config;
+  config.homes = homes;
+  config.threads = threads;
+  config.seed = seed;
+  config.devices_per_home = 2;
+  if (residency_on) {
+    config.residency.max_resident = 4;
+    config.residency.idle_watermark = 5 * kSecond;
+    // The virtual world is closed: a hibernated home's catch-up on wake
+    // fires every timer at its recorded virtual time, so sleeping through
+    // periodic maintenance ticks is safe — exactly what the fingerprint
+    // gate below proves. Waking on every pending tick would keep quiet
+    // homes resident and defeat density.
+    config.residency.wake_on_due = false;
+    config.residency.hibernate_on_start = true;
+  }
+  return config;
+}
+
+/// Wake-probe schedule: one home paged back per aligned period, mid-period,
+/// target varying deterministically. Identical for the residency run and the
+/// always-resident twin (a Wake on a resident home is a virtual no-op), so
+/// both runs carry the same mutation log.
+std::uint32_t probe_home(std::size_t seq, std::size_t homes) {
+  return static_cast<std::uint32_t>((7 + 13 * seq) % homes);
+}
+
+struct RunOutcome {
+  std::map<std::string, double> fingerprint;
+  std::size_t resident_peak = 0;
+  std::uint64_t image_bytes_logical = 0;
+  std::uint64_t image_bytes_stored = 0;
+  std::uint64_t image_bytes_deduped = 0;
+  std::size_t images = 0;
+  double resumes = 0.0;
+  double resume_p50_ms = 0.0;
+  double resume_p99_ms = 0.0;
+  double wall_ms = 0.0;
+};
+
+RunOutcome run_fleet(std::size_t homes, std::uint64_t seed,
+                     std::size_t threads, std::size_t periods,
+                     bool residency_on) {
+  telemetry::MetricRegistry registry;
+  telemetry::ScopedMetricRegistry scoped(registry);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  live::LiveFleet fleet(density_config(homes, seed, threads, residency_on),
+                        registry);
+  fleet.start();
+
+  const Duration align = live::LiveFleet::kCheckpointAlign;
+  const Timestamp boot = homework::HomeworkRouter::kBootSettle;
+  const Timestamp end = boot + periods * align;
+  std::vector<Timestamp> probes;
+  for (std::size_t k = 1; k < periods; ++k) {
+    probes.push_back(boot + k * align + align / 2);
+  }
+  std::size_t seq = 0;
+  while (fleet.now() < end) {
+    if (seq < probes.size() && fleet.next_barrier() == probes[seq]) {
+      fleet.submit(live::wake_home(probe_home(seq, homes)));
+      ++seq;
+    }
+    fleet.step();
+  }
+
+  RunOutcome out;
+  out.resident_peak = fleet.resident_peak();
+  out.image_bytes_logical = fleet.image_store().logical_bytes();
+  out.image_bytes_stored = fleet.image_store().stored_bytes();
+  out.image_bytes_deduped = fleet.image_store().deduped_bytes();
+  out.images = fleet.image_store().size();
+  // Bring hibernated homes current before fingerprinting (frozen scalars
+  // speak for their hibernation barrier, not now()).
+  fleet.refresh_telemetry();
+  out.fingerprint = fleet.fingerprint();
+  if (const auto v = registry.total("residency.resumes")) out.resumes = *v;
+  const auto hists = registry.histogram_states();
+  if (const auto it = hists.find("residency.resume_ns"); it != hists.end()) {
+    out.resume_p50_ms = it->second.percentile(0.50) / 1e6;
+    out.resume_p99_ms = it->second.percentile(0.99) / 1e6;
+  }
+  out.wall_ms = wall_ms_since(t0);
+  return out;
+}
+
+struct Rung {
+  std::size_t homes = 0;
+  RunOutcome density;       // residency on, measurement thread count
+  double ratio = 0.0;       // homes / resident_peak
+  bool ratio_ok = false;
+  bool fingerprint_ok = true;
+  std::vector<std::size_t> threads_checked;
+  double baseline_wall_ms = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::vector<std::size_t> home_ladder = {40, 120};
+  std::uint64_t seed = 2011;
+  std::vector<std::size_t> thread_ladder = {1, 2, 8};
+  std::string out_path = "BENCH_fleet_density.json";
+
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--homes") == 0) {
+      home_ladder = parse_size_list(next());
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      thread_ladder = parse_size_list(next());
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      out_path = next();
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (smoke) {
+    home_ladder = {40};
+    thread_ladder = {1, 2};
+  }
+  const std::size_t periods = smoke ? 2 : 3;
+  const std::size_t measure_threads = 2;
+
+  std::printf("=== density_perf: seed %llu, %zu aligned periods%s ===\n\n",
+              static_cast<unsigned long long>(seed), periods,
+              smoke ? " (smoke)" : "");
+
+  bool all_ok = true;
+  std::vector<Rung> rungs;
+  for (const std::size_t homes : home_ladder) {
+    Rung rung;
+    rung.homes = homes;
+    rung.density = run_fleet(homes, seed, measure_threads, periods,
+                             /*residency_on=*/true);
+    rung.ratio = rung.density.resident_peak == 0
+                     ? 0.0
+                     : static_cast<double>(homes) /
+                           static_cast<double>(rung.density.resident_peak);
+    rung.ratio_ok = rung.ratio >= 10.0;
+
+    // The always-resident twin at one thread is the reference fingerprint;
+    // every residency run in the thread ladder must match it bit-for-bit.
+    const auto base_t0 = std::chrono::steady_clock::now();
+    const RunOutcome baseline =
+        run_fleet(homes, seed, 1, periods, /*residency_on=*/false);
+    rung.baseline_wall_ms = wall_ms_since(base_t0);
+    for (const std::size_t threads : thread_ladder) {
+      if (threads > homes) continue;
+      rung.threads_checked.push_back(threads);
+      const RunOutcome run = threads == measure_threads
+                                 ? rung.density
+                                 : run_fleet(homes, seed, threads, periods,
+                                             /*residency_on=*/true);
+      if (run.fingerprint != baseline.fingerprint) {
+        rung.fingerprint_ok = false;
+        std::fprintf(stderr,
+                     "FAIL: %zu homes, %zu threads: residency fingerprint "
+                     "diverges from always-resident\n",
+                     homes, threads);
+      }
+    }
+
+    std::printf("-- %zu homes --\n", homes);
+    std::printf("resident peak %zu (%.1fx density, gate >= 10x: %s)\n",
+                rung.density.resident_peak, rung.ratio,
+                rung.ratio_ok ? "ok" : "FAIL");
+    std::printf("%zu stored images: %.1f KB logical, %.1f KB stored, "
+                "%.1f KB deduped\n",
+                rung.density.images,
+                static_cast<double>(rung.density.image_bytes_logical) / 1e3,
+                static_cast<double>(rung.density.image_bytes_stored) / 1e3,
+                static_cast<double>(rung.density.image_bytes_deduped) / 1e3);
+    std::printf("%.0f resumes: p50 %.2f ms, p99 %.2f ms\n",
+                rung.density.resumes, rung.density.resume_p50_ms,
+                rung.density.resume_p99_ms);
+    std::printf("fingerprint vs always-resident: %s (threads:",
+                rung.fingerprint_ok ? "bit-identical" : "MISMATCH");
+    for (const std::size_t t : rung.threads_checked) std::printf(" %zu", t);
+    std::printf(")\n");
+    std::printf("wall: density %.1f ms, baseline %.1f ms\n\n",
+                rung.density.wall_ms, rung.baseline_wall_ms);
+
+    all_ok = all_ok && rung.ratio_ok && rung.fingerprint_ok;
+    rungs.push_back(std::move(rung));
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"fleet_density\",\n");
+  std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(out, "  \"periods\": %zu,\n", periods);
+  std::fprintf(out, "  \"rungs\": [\n");
+  for (std::size_t i = 0; i < rungs.size(); ++i) {
+    const Rung& r = rungs[i];
+    std::fprintf(
+        out,
+        "    {\"homes\": %zu, \"resident_peak\": %zu, \"ratio\": %.1f, "
+        "\"ratio_ok\": %s, \"fingerprint_ok\": %s, \"images\": %zu, "
+        "\"image_bytes_logical\": %llu, \"image_bytes_stored\": %llu, "
+        "\"image_bytes_deduped\": %llu, \"resumes\": %.0f, "
+        "\"resume_p50_ms\": %.2f, \"resume_p99_ms\": %.2f, "
+        "\"wall_ms\": %.1f, \"baseline_wall_ms\": %.1f}%s\n",
+        r.homes, r.density.resident_peak, r.ratio,
+        r.ratio_ok ? "true" : "false", r.fingerprint_ok ? "true" : "false",
+        r.density.images,
+        static_cast<unsigned long long>(r.density.image_bytes_logical),
+        static_cast<unsigned long long>(r.density.image_bytes_stored),
+        static_cast<unsigned long long>(r.density.image_bytes_deduped),
+        r.density.resumes, r.density.resume_p50_ms, r.density.resume_p99_ms,
+        r.density.wall_ms, r.baseline_wall_ms,
+        i + 1 < rungs.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!all_ok) {
+    std::fprintf(stderr, "FAIL: density or determinism gate\n");
+    return 1;
+  }
+  std::printf("PASS\n");
+  return 0;
+}

@@ -9,6 +9,8 @@
 #include <optional>
 
 #include "hwdb/udp_transport.hpp"
+#include "residency/image_store.hpp"
+#include "residency/residency.hpp"
 #include "workload/scenario.hpp"
 
 using namespace hw;
@@ -123,6 +125,19 @@ int main() {
               "SELECT name, value FROM Metrics [NOW] --\n");
   hwdb::rpc::InProcRpcLink rpc_link(router.loop(), router.db());
   hwdb::rpc::RpcClient& rpc_client = rpc_link.make_client();
+  // Residency accounting surfaces (docs/residency.md): deposit this home's
+  // snapshot image in a content-addressed store and run it through one
+  // hibernate/resume cycle, so the fleet.resident_homes / fleet.image_bytes
+  // gauges are live in the same registry the Metrics export polls.
+  residency::ImageStore image_store;
+  residency::ResidencyPolicy residency_policy;
+  residency_policy.max_resident = 1;
+  residency::ResidencyManager residency(residency_policy);
+  residency.reset(1, router.loop().now());
+  (void)image_store.put(0, router.snapshots().capture());
+  residency.on_hibernated(0, router.loop().now(),
+                          residency::ResidencyManager::kNever);
+  residency.on_resumed(0, router.loop().now(), 0);
   // The RPC stack's own instruments (hwdb.rpc.*) attach when the link is
   // created; let one export period elapse so they appear in the snapshot.
   home.run_for(2 * kSecond);
@@ -164,6 +179,10 @@ int main() {
         // healthy run, but readable over the same RPC path.
         "nox.channel.reconnects", "nox.channel.resynced_flows",
         "hwdb.rpc.retries", "hwdb.rpc.timeouts", "hwdb.rpc.dup_suppressed",
+        // Residency-plane accounting (docs/residency.md), read over the same
+        // RPC path an external dashboard would use.
+        "fleet.resident_homes", "fleet.image_bytes",
+        "residency.image_bytes_deduped", "residency.resumes",
         "sim.host.tx_frames", "openflow.flow_table.lookup_ns.p50",
         "openflow.flow_table.lookup_ns.p99",
         "nox.controller.packet_in_dispatch_ns.p50",

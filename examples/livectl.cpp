@@ -20,7 +20,10 @@
 //       Attaches to a running server: subscribes, tails N frames, optionally
 //       issues one mutation (checkpoint | pause | resume | step |
 //       quarantine:HOME:MAC | release:HOME:MAC | admit:HOME:NAME |
-//       expel:HOME:NAME) and/or a Replay verification.
+//       expel:HOME:NAME | hibernate:HOME | wake:HOME) and/or a Replay
+//       verification. hibernate/wake drive the residency plane
+//       (docs/residency.md): hibernate pages a home out to its snapshot
+//       image at the next aligned barrier, wake pages it back in.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -87,6 +90,10 @@ bool parse_mutation(const std::string& spec, live::Mutation& out) {
     out = live::admit(home, arg);
   } else if (verb == "expel") {
     out = live::expel(home, arg);
+  } else if (verb == "hibernate") {
+    out = live::hibernate_home(home);
+  } else if (verb == "wake") {
+    out = live::wake_home(home);
   } else {
     return false;
   }

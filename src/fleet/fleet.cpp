@@ -36,16 +36,14 @@ Timestamp next_phase_tick(Timestamp now, Duration period, Duration phase) {
 
 }  // namespace
 
+FleetRunner::FleetRunner(FleetConfig config)
+    : config_(std::move(config)),
+      profile_(residency::FleetProfile::build(config_.seed, config_.homes,
+                                              config_.devices_per_home)) {}
+
 std::uint64_t FleetRunner::home_seed(std::uint64_t fleet_seed,
                                      std::size_t home_id) {
-  // Advance a SplitMix64 stream keyed by (fleet_seed, home_id). Mixing the id
-  // through one splitmix step before combining decorrelates home k from home
-  // k+1 even when fleet_seed is tiny (0, 1, ...).
-  std::uint64_t id_state = static_cast<std::uint64_t>(home_id);
-  std::uint64_t state = fleet_seed ^ splitmix64(id_state);
-  std::uint64_t seed = splitmix64(state);
-  // The scenario stack treats seed 0 as degenerate; nudge away from it.
-  return seed != 0 ? seed : 0x9e3779b97f4a7c15ULL;
+  return residency::FleetProfile::home_seed(fleet_seed, home_id);
 }
 
 sim::FaultPlan FleetRunner::chaos_plan(std::uint64_t seed, Duration duration) {
@@ -141,19 +139,18 @@ HomeResult FleetRunner::run_life(
   workload::HomeScenario home(sc, registry);
   home.start();
 
-  // Device population derives from the home seed: kind, wired/wireless and
-  // position all come from a dedicated SplitMix64 stream.
-  std::uint64_t draw = seed ^ 0xbf58476d1ce4e5b9ULL;
-  for (std::size_t i = 0; i < config_.devices_per_home; ++i) {
-    workload::DeviceSpec spec;
-    spec.name = "dev" + std::to_string(i);
-    spec.kind = static_cast<workload::DeviceKind>(splitmix64(draw) % 6);
-    if (splitmix64(draw) % 2 == 0) {
-      spec.position =
-          sim::Position{static_cast<double>(1 + splitmix64(draw) % 14),
-                        static_cast<double>(1 + splitmix64(draw) % 14)};
+  // Device population from the shared per-fleet profile (the seed-derived
+  // tables every plane reads; re-derived only for out-of-range ids a test
+  // runs ad hoc).
+  if (home_id < profile_->device_specs.size()) {
+    for (const workload::DeviceSpec& spec : profile_->device_specs[home_id]) {
+      home.add_device(spec);
     }
-    home.add_device(spec);
+  } else {
+    for (const workload::DeviceSpec& spec : residency::FleetProfile::
+             derive_devices(seed, config_.devices_per_home)) {
+      home.add_device(spec);
+    }
   }
 
   HomeResult result;
@@ -339,6 +336,11 @@ HomeResult FleetRunner::run_life(
     result.frames = static_cast<std::uint64_t>(*frames);
   }
   if (checkpoint_out != nullptr) *checkpoint_out = snaps.last_image();
+  if (config_.image_store != nullptr && snaps.last_image()) {
+    // Deposit the home's latest periodic image into the residency store
+    // (content-addressed, thread-safe) keyed by home id.
+    (void)config_.image_store->put(home_id, *snaps.last_image());
+  }
   result.wall_ms = wall_ms_since(wall_start);
   return result;
 }

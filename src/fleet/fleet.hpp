@@ -23,10 +23,13 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "residency/image_store.hpp"
+#include "residency/profile.hpp"
 #include "sim/fault_injector.hpp"
 #include "snapshot/coordinator.hpp"
 #include "telemetry/metrics.hpp"
@@ -65,6 +68,12 @@ struct FleetConfig {
   /// the resume behavioural rather than bit-exact. Requires checkpoints.
   std::optional<std::size_t> kill_home;
   Timestamp kill_at = 0;
+
+  /// When set (and checkpoints are on), every home's latest periodic image
+  /// is deposited here under its home id as the run finishes — feeding the
+  /// residency plane's content-addressed store (docs/residency.md). The
+  /// store is thread-safe; workers deposit concurrently.
+  residency::ImageStore* image_store = nullptr;
 };
 
 /// Everything harvested from one finished home, on the worker that ran it.
@@ -137,13 +146,20 @@ struct FleetResult {
 /// joins its own pool); a FleetRunner holds no state between runs.
 class FleetRunner {
  public:
-  explicit FleetRunner(FleetConfig config) : config_(config) {}
+  explicit FleetRunner(FleetConfig config);
 
   [[nodiscard]] const FleetConfig& config() const { return config_; }
+  /// The shared immutable per-fleet tables (seeds, device populations) every
+  /// home reads instead of re-deriving.
+  [[nodiscard]] const std::shared_ptr<const residency::FleetProfile>& profile()
+      const {
+    return profile_;
+  }
 
   /// Seed for home `home_id` under fleet seed `fleet_seed` (SplitMix64 over
   /// the fleet seed advanced past the home id — decorrelates neighbouring
-  /// homes even for small fleet seeds).
+  /// homes even for small fleet seeds). Delegates to
+  /// residency::FleetProfile::home_seed, the one shared derivation.
   [[nodiscard]] static std::uint64_t home_seed(std::uint64_t fleet_seed,
                                                std::size_t home_id);
 
@@ -171,6 +187,7 @@ class FleetRunner {
       std::optional<snapshot::SnapshotImage>* checkpoint_out) const;
 
   FleetConfig config_;
+  std::shared_ptr<const residency::FleetProfile> profile_;
 };
 
 }  // namespace hw::fleet

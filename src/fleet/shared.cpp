@@ -125,7 +125,7 @@ SharedFleetRunner::ShardOutcome SharedFleetRunner::run_shard(
     Home home;
     home.home_id = h;
     home.dpid = static_cast<std::uint64_t>(h) + 1;
-    home.rng = std::make_unique<Rng>(FleetRunner::home_seed(config_.seed, h));
+    home.rng = std::make_unique<Rng>(profile_->home_seeds[h]);
 
     ofp::Datapath::Config dp_config;
     dp_config.datapath_id = home.dpid;

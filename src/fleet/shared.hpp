@@ -23,9 +23,11 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "residency/profile.hpp"
 #include "telemetry/metrics.hpp"
 #include "util/types.hpp"
 
@@ -114,7 +116,10 @@ struct SharedFleetResult {
 /// telemetry. Stateless between run() calls.
 class SharedFleetRunner {
  public:
-  explicit SharedFleetRunner(SharedFleetConfig config) : config_(config) {}
+  explicit SharedFleetRunner(SharedFleetConfig config)
+      : config_(config),
+        profile_(residency::FleetProfile::build(config_.seed, config_.homes,
+                                                config_.devices_per_home)) {}
 
   [[nodiscard]] const SharedFleetConfig& config() const { return config_; }
 
@@ -133,6 +138,9 @@ class SharedFleetRunner {
                                        std::size_t shards) const;
 
   SharedFleetConfig config_;
+  /// Shared immutable per-fleet tables; shards index home_seeds instead of
+  /// re-deriving seeds per home.
+  std::shared_ptr<const residency::FleetProfile> profile_;
 };
 
 }  // namespace hw::fleet

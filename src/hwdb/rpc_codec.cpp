@@ -359,7 +359,7 @@ Result<Decoded> decode(std::span<const std::uint8_t> datagram, bool from_server)
       auto kind = r.u8();
       if (!kind) return kind.error();
       if (kind.value() < 1 ||
-          kind.value() > static_cast<std::uint8_t>(MutateKind::Replay)) {
+          kind.value() > static_cast<std::uint8_t>(MutateKind::Wake)) {
         return make_error("RPC: bad mutate kind");
       }
       body.kind = static_cast<MutateKind>(kind.value());

@@ -81,6 +81,8 @@ enum class MutateKind : std::uint8_t {
   Resume = 8,
   Step = 9,         // arg0 = barriers to run while paused (default 1)
   Replay = 10,      // re-execute from the last checkpoint and verify
+  Hibernate = 11,   // force-evict a home to its snapshot image (residency)
+  Wake = 12,        // page a hibernated home back in
 };
 
 struct MutateRequest {

@@ -1,15 +1,14 @@
 #include "live/fleet.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 
-#include "fleet/fleet.hpp"
 #include "homework/router.hpp"
 #include "scenario/scenario.hpp"
 #include "sim/fault_injector.hpp"
 #include "snapshot/codec.hpp"
 #include "util/logging.hpp"
-#include "util/rand.hpp"
 #include "workload/scenario.hpp"
 
 namespace hw::live {
@@ -59,6 +58,30 @@ Result<snapshot::CaptureTag> read_capture_tag(const Bytes& image) {
   return probe.value();
 }
 
+/// Mutation kinds that act on one home's live stack — the kinds that page a
+/// hibernated target back in before applying (wake-before-apply: a stored
+/// image always reflects every mutation ever applied to its home).
+bool targets_home(MutateKind kind) {
+  switch (kind) {
+    case MutateKind::Admit:
+    case MutateKind::Expel:
+    case MutateKind::ApplyPolicy:
+    case MutateKind::RevokePolicy:
+    case MutateKind::InjectFault:
+    case MutateKind::Wake:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
 }  // namespace
 
 struct LiveFleet::Home {
@@ -103,9 +126,14 @@ struct LiveFleet::Home {
 };
 
 LiveFleet::LiveFleet(LiveConfig config, telemetry::MetricRegistry& metrics)
-    : config_(config), metrics_(metrics) {
+    : config_(std::move(config)),
+      store_(metrics),
+      residency_(config_.residency, metrics),
+      metrics_(metrics) {
   if (config_.homes == 0) config_.homes = 1;
   nthreads_ = std::max<std::size_t>(1, std::min(config_.threads, config_.homes));
+  profile_ = residency::FleetProfile::build(config_.seed, config_.homes,
+                                            config_.devices_per_home);
 }
 
 LiveFleet::~LiveFleet() {
@@ -175,7 +203,7 @@ void LiveFleet::build_home(std::size_t id,
                            const snapshot::SnapshotImage* resume) {
   auto h = std::make_unique<Home>();
   h->id = id;
-  h->seed = fleet::FleetRunner::home_seed(config_.seed, id);
+  h->seed = profile_->home_seeds[id];
   telemetry::ScopedMetricRegistry scope(h->registry);
 
   workload::HomeScenario::Config sc;
@@ -185,9 +213,10 @@ void LiveFleet::build_home(std::size_t id,
   sc.router.liveness.max_misses = 2;
   sc.router.datapath.controller_dead_interval = 2 * kSecond;
   // Spoofed-DISCOVER floods leave unclaimed offers pending across
-  // checkpoints; the reclaim sweep runs on a boot-relative grid, so holding
-  // offers past the run keeps live tail and replay tail byte-identical.
-  sc.router.dhcp_offer_hold = 3600 * kSecond;
+  // checkpoints; the reclaim sweep runs on a boot-relative grid, so the
+  // default holds offers past the run, keeping live tail and replay tail
+  // byte-identical (residency tests shrink the hold to watch expiry fire).
+  sc.router.dhcp_offer_hold = config_.dhcp_offer_hold;
   if (resume != nullptr) {
     sc.clock_origin = resume->captured_at > kBootSettle
                           ? resume->captured_at - kBootSettle
@@ -196,18 +225,9 @@ void LiveFleet::build_home(std::size_t id,
   h->scenario = std::make_unique<workload::HomeScenario>(sc, h->registry);
   h->scenario->start();
 
-  // Same seed-derived population as the fleet runner, so a home's world is
-  // recognisable across both planes.
-  std::uint64_t draw = h->seed ^ 0xbf58476d1ce4e5b9ULL;
-  for (std::size_t i = 0; i < config_.devices_per_home; ++i) {
-    workload::DeviceSpec spec;
-    spec.name = "dev" + std::to_string(i);
-    spec.kind = static_cast<workload::DeviceKind>(splitmix64(draw) % 6);
-    if (splitmix64(draw) % 2 == 0) {
-      spec.position =
-          sim::Position{static_cast<double>(1 + splitmix64(draw) % 14),
-                        static_cast<double>(1 + splitmix64(draw) % 14)};
-    }
+  // Same seed-derived population as the fleet runners, read from the shared
+  // immutable profile so hibernate/wake cycles never re-derive it.
+  for (const workload::DeviceSpec& spec : profile_->device_specs[id]) {
     h->scenario->add_device(spec);
   }
   const bool attack_home = config_.attack.kind != LiveAttack::Kind::None &&
@@ -380,13 +400,44 @@ void LiveFleet::build_home(std::size_t id,
 void LiveFleet::start() {
   if (started_) return;
   homes_.resize(config_.homes);
+  frozen_.resize(config_.homes);
+  hstage_.resize(config_.homes);
+  wake_images_.resize(config_.homes);
+  wake_ns_.assign(config_.homes, 0);
   start_workers();
-  run_on_workers([this](std::size_t w) {
-    for (std::size_t i = w; i < homes_.size(); i += nthreads_) {
-      build_home(i, nullptr);
+  if (config_.residency.hibernate_on_start) {
+    // Staged boot: each worker builds one owned home at a time, runs it to
+    // the first capture-aligned barrier and hibernates it before building
+    // the next — peak residency during start is the worker count, not the
+    // fleet size.
+    const Timestamp first = kBootSettle + kCheckpointAlign;
+    residency_.reset(config_.homes, first);
+    run_on_workers([this, first](std::size_t w) {
+      for (std::size_t i = w; i < homes_.size(); i += nthreads_) {
+        build_home(i, nullptr);
+        {
+          Home& h = *homes_[i];
+          telemetry::ScopedMetricRegistry scope(h.registry);
+          h.scenario->loop().run_until(first);
+        }
+        hibernate_on_worker(i, /*capture_id=*/first);
+      }
+    });
+    for (std::size_t i = 0; i < homes_.size(); ++i) {
+      (void)finish_hibernate(i, first);
     }
-  });
-  now_ = kBootSettle;
+    now_ = first;
+    resident_peak_ = std::min(nthreads_, homes_.size());
+  } else {
+    residency_.reset(config_.homes, kBootSettle);
+    run_on_workers([this](std::size_t w) {
+      for (std::size_t i = w; i < homes_.size(); i += nthreads_) {
+        build_home(i, nullptr);
+      }
+    });
+    now_ = kBootSettle;
+    resident_peak_ = homes_.size();
+  }
   started_ = true;
 }
 
@@ -414,7 +465,17 @@ Status LiveFleet::resume(const FleetCheckpoint& cp,
   }
 
   homes_.resize(config_.homes);
+  frozen_.resize(config_.homes);
+  hstage_.resize(config_.homes);
+  wake_images_.resize(config_.homes);
+  wake_ns_.assign(config_.homes, 0);
+  residency_.reset(config_.homes, cp.captured_at);
+  resident_peak_ = config_.homes;
   start_workers();
+  // Every member boots resident. A mixed checkpoint (some members reused
+  // from hibernation images) restores those homes at their older capture
+  // times; the first step()'s run_until catches them up to the fleet
+  // barrier, replaying their virtual timeline exactly.
   run_on_workers([this, &cp](std::size_t w) {
     for (std::size_t i = w; i < homes_.size(); i += nthreads_) {
       build_home(i, &cp.images[i]);
@@ -458,8 +519,13 @@ Timestamp LiveFleet::next_checkpoint_barrier() const {
 
 Mutation LiveFleet::submit(Mutation m) {
   m.id = 0;
-  m.applied_at = m.kind == MutateKind::Checkpoint ? next_checkpoint_barrier()
-                                                  : next_barrier();
+  // Checkpoints and hibernations both land on the capture-aligned grid —
+  // hibernation is a capture, and the alignment is the timer re-arm
+  // precondition the eventual wake depends on.
+  m.applied_at = m.kind == MutateKind::Checkpoint ||
+                         m.kind == MutateKind::Hibernate
+                     ? next_checkpoint_barrier()
+                     : next_barrier();
   {
     std::lock_guard<std::mutex> lock(inbox_mu_);
     inbox_.push_back(m);
@@ -495,6 +561,12 @@ Timestamp LiveFleet::step() {
     if (m.kind == MutateKind::Checkpoint) {
       m.applied_at = next_checkpoint_barrier();
       pending_checkpoints_.push_back(m);
+    } else if (m.kind == MutateKind::Hibernate) {
+      // Lands on the aligned grid (the wake's timer re-arm precondition) and
+      // may share a barrier with a capture: the capture runs first and shows
+      // the pre-hibernation state either way.
+      m.applied_at = next_checkpoint_barrier();
+      pending_.push_back(m);
     } else {
       m.applied_at = barrier;
       while (checkpoint_pending_at(m.applied_at)) {
@@ -508,14 +580,75 @@ Timestamp LiveFleet::step() {
     log_.push_back(m);
   }
 
-  // Quiesce every home at the barrier.
-  run_on_workers([this, barrier](std::size_t w) {
+  // Page-in decision: which hibernated homes must be resident at this
+  // barrier. External touches and due per-home mutations refresh recency and
+  // force a wake (wake-before-apply); due scheduled events wake under
+  // wake_on_due. Everything else stays paged out — the closed virtual world
+  // guarantees a later catch-up replays the skipped interval bit-exactly.
+  std::vector<std::uint8_t> wake(homes_.size(), 0);
+  {
+    std::vector<std::uint32_t> touched;
+    {
+      std::lock_guard<std::mutex> lock(touch_mu_);
+      touched.swap(touched_);
+    }
+    for (const std::uint32_t id : touched) {
+      if (id >= homes_.size()) continue;
+      residency_.touch(id, barrier);
+      if (residency_.hibernated(id)) wake[id] = 1;
+    }
+  }
+  for (const Mutation& m : pending_) {
+    if (m.applied_at > barrier || !targets_home(m.kind)) continue;
+    if (m.home == kAllHomes) {
+      for (std::size_t i = 0; i < homes_.size(); ++i) {
+        if (residency_.hibernated(i)) wake[i] = 1;
+      }
+    } else if (m.home < homes_.size()) {
+      residency_.touch(m.home, barrier);
+      if (residency_.hibernated(m.home)) wake[m.home] = 1;
+    }
+  }
+  for (const std::size_t id : residency_.due_wakeups(barrier)) wake[id] = 1;
+  bool any_wake = false;
+  for (std::size_t i = 0; i < homes_.size(); ++i) {
+    if (!wake[i]) continue;
+    auto img = store_.get(i);
+    if (!img) {
+      HW_LOG_ERROR(kLog, "wake of home %zu failed: %s", i,
+                   img.error().message.c_str());
+      wake[i] = 0;
+      continue;
+    }
+    wake_images_[i] = std::move(img.value());
+    any_wake = true;
+  }
+
+  // Quiesce every resident home at the barrier; woken homes rebuild from
+  // their stored image and catch up on their owner worker.
+  run_on_workers([this, barrier, &wake](std::size_t w) {
     for (std::size_t i = w; i < homes_.size(); i += nthreads_) {
+      if (homes_[i] == nullptr) {
+        if (!wake[i]) continue;
+        const auto t0 = std::chrono::steady_clock::now();
+        build_home(i, &*wake_images_[i]);
+        Home& h = *homes_[i];
+        telemetry::ScopedMetricRegistry scope(h.registry);
+        h.scenario->loop().run_until(barrier);
+        wake_ns_[i] = elapsed_ns(t0);
+        continue;
+      }
       Home& h = *homes_[i];
       telemetry::ScopedMetricRegistry scope(h.registry);
       h.scenario->loop().run_until(barrier);
     }
   });
+  if (any_wake) {
+    for (std::size_t i = 0; i < homes_.size(); ++i) {
+      if (wake[i]) finish_wake(i, barrier);
+    }
+    resident_peak_ = std::max(resident_peak_, residency_.resident_count());
+  }
 
   // Fleet-wide consistent capture, before any mutation due at this barrier.
   std::optional<std::uint64_t> capture_mutation;
@@ -537,6 +670,7 @@ Timestamp LiveFleet::step() {
     const std::uint64_t capture_id = cp.capture_id;
     run_on_workers([this, capture_id](std::size_t w) {
       for (std::size_t i = w; i < homes_.size(); i += nthreads_) {
+        if (homes_[i] == nullptr) continue;
         Home& h = *homes_[i];
         telemetry::ScopedMetricRegistry scope(h.registry);
         h.ftag.value() = snapshot::CaptureTag{
@@ -545,9 +679,34 @@ Timestamp LiveFleet::step() {
         h.capture_out = h.scenario->router().snapshots().capture();
       }
     });
-    for (auto& h : homes_) {
-      cp.images[h->id] = std::move(*h->capture_out);
-      h->capture_out.reset();
+    for (std::size_t i = 0; i < homes_.size(); ++i) {
+      if (homes_[i] != nullptr) {
+        cp.images[i] = std::move(*homes_[i]->capture_out);
+        homes_[i]->capture_out.reset();
+        continue;
+      }
+      // Hibernated member: reuse its stored image, restamped with this
+      // capture's tag. Wake-before-apply means the image already reflects
+      // every mutation applied to the home; its older captured_at makes the
+      // checkpoint "mixed" — resume catches the member up on the first step.
+      const auto stored = store_.get(i);
+      if (!stored) {
+        HW_LOG_ERROR(kLog, "checkpoint %llu: no image for hibernated home %zu",
+                     static_cast<unsigned long long>(capture_id), i);
+        continue;
+      }
+      auto restamped = snapshot::with_capture_tag(
+          stored.value().bytes,
+          snapshot::CaptureTag{capture_id, static_cast<std::uint32_t>(i),
+                               static_cast<std::uint32_t>(homes_.size())});
+      if (!restamped) {
+        HW_LOG_ERROR(kLog, "checkpoint %llu: restamp failed for home %zu: %s",
+                     static_cast<unsigned long long>(capture_id), i,
+                     restamped.error().message.c_str());
+        continue;
+      }
+      cp.images[i].bytes = std::move(restamped.value());
+      cp.images[i].captured_at = stored.value().captured_at;
     }
     checkpoints_.push_back(std::move(cp));
     metrics_.captures.inc();
@@ -567,6 +726,7 @@ Timestamp LiveFleet::step() {
             [](const Mutation& a, const Mutation& b) { return a.id < b.id; });
   run_on_workers([this, barrier, &due](std::size_t w) {
     for (std::size_t i = w; i < homes_.size(); i += nthreads_) {
+      if (homes_[i] == nullptr) continue;  // hibernated: no mutation targets it
       Home& h = *homes_[i];
       telemetry::ScopedMetricRegistry scope(h.registry);
       for (const Mutation& m : due) {
@@ -577,6 +737,41 @@ Timestamp LiveFleet::step() {
     }
   });
 
+  // Hibernation pass, only on the capture-aligned grid: due Hibernate verbs
+  // plus the policy's deterministic eviction selection.
+  if (aligned_barrier(barrier)) {
+    std::vector<std::uint8_t> evict(homes_.size(), 0);
+    for (const Mutation& m : due) {
+      if (m.kind != MutateKind::Hibernate) continue;
+      if (m.home == kAllHomes) {
+        for (std::size_t i = 0; i < homes_.size(); ++i) evict[i] = 1;
+      } else if (m.home < homes_.size()) {
+        evict[m.home] = 1;
+      }
+    }
+    for (const std::size_t id : residency_.select_evictions(barrier)) {
+      evict[id] = 1;
+    }
+    bool any_evict = false;
+    for (std::size_t i = 0; i < homes_.size(); ++i) {
+      if (evict[i] && homes_[i] == nullptr) evict[i] = 0;  // already out
+      any_evict |= evict[i] != 0;
+    }
+    if (any_evict) {
+      // The hibernation image's FTAG id is the barrier itself: unique per
+      // pass without consuming checkpoint capture ids (a checkpoint restamps
+      // the tag anyway when it reuses the image).
+      run_on_workers([this, barrier, &evict](std::size_t w) {
+        for (std::size_t i = w; i < homes_.size(); i += nthreads_) {
+          if (evict[i]) hibernate_on_worker(i, /*capture_id=*/barrier);
+        }
+      });
+      for (std::size_t i = 0; i < homes_.size(); ++i) {
+        if (evict[i]) (void)finish_hibernate(i, barrier);
+      }
+    }
+  }
+
   now_ = barrier;
   metrics_.steps.inc();
   return now_;
@@ -584,6 +779,121 @@ Timestamp LiveFleet::step() {
 
 void LiveFleet::advance_to(Timestamp t) {
   while (now_ < t) step();
+}
+
+bool LiveFleet::aligned_barrier(Timestamp barrier) const {
+  return barrier > kBootSettle &&
+         (barrier - kBootSettle) % kCheckpointAlign == 0;
+}
+
+void LiveFleet::touch(std::uint32_t home) {
+  if (home >= config_.homes) return;
+  std::lock_guard<std::mutex> lock(touch_mu_);
+  touched_.push_back(home);
+}
+
+void LiveFleet::hibernate_on_worker(std::size_t id, std::uint64_t capture_id) {
+  {
+    Home& h = *homes_[id];
+    telemetry::ScopedMetricRegistry scope(h.registry);
+    update_gauges(h);
+    HibernateOut out;
+    h.ftag.value() = snapshot::CaptureTag{
+        capture_id, static_cast<std::uint32_t>(id),
+        static_cast<std::uint32_t>(homes_.size())};
+    out.image = h.scenario->router().snapshots().capture();
+    out.frozen.scalars = h.registry.scalars();
+    for (const auto& d : h.scenario->devices()) {
+      out.frozen.device_macs[d.name] = d.host->mac().to_string();
+    }
+    out.frozen.device_count = h.device_count;
+    out.next_wakeup = h.scenario->loop().next_event_at();
+    hstage_[id] = std::move(out);
+  }
+  // Teardown on the owner worker: timers and apps cancel their loop events
+  // from the thread that owns the loop.
+  homes_[id].reset();
+}
+
+bool LiveFleet::finish_hibernate(std::size_t id, Timestamp barrier) {
+  if (!hstage_[id]) return false;
+  HibernateOut out = std::move(*hstage_[id]);
+  hstage_[id].reset();
+  if (auto s = store_.put(id, out.image); !s.ok()) {
+    HW_LOG_ERROR(kLog, "hibernate of home %zu failed to store image: %s", id,
+                 s.error().message.c_str());
+  }
+  residency_.on_hibernated(id, barrier, out.next_wakeup);
+  frozen_[id] = std::move(out.frozen);
+  return true;
+}
+
+void LiveFleet::finish_wake(std::size_t id, Timestamp barrier) {
+  wake_images_[id].reset();
+  if (homes_[id] == nullptr) return;
+  if (!homes_[id]->error.empty()) {
+    HW_LOG_ERROR(kLog, "home %zu woke with restore error: %s", id,
+                 homes_[id]->error.c_str());
+  }
+  residency_.on_resumed(id, barrier, wake_ns_[id]);
+  frozen_[id].reset();
+  store_.erase(id);
+}
+
+void LiveFleet::refresh_telemetry() {
+  if (!started_) return;
+  const Timestamp at = now_;
+  std::vector<std::uint8_t> wake(homes_.size(), 0);
+  bool any = false;
+  for (std::size_t i = 0; i < homes_.size(); ++i) {
+    if (homes_[i] != nullptr) continue;
+    auto img = store_.get(i);
+    if (!img) continue;
+    // A home hibernated at this very barrier is already current: its frozen
+    // scalars were harvested after the quiesce. Waking it would capture off
+    // the aligned grid (the post-restore drain advances the loop 1 ms).
+    if (img.value().captured_at >= at) continue;
+    wake_images_[i] = std::move(img.value());
+    wake[i] = 1;
+    any = true;
+  }
+  if (!any) return;
+  // On the aligned grid each woken home re-hibernates right after the
+  // harvest (the worker pages homes through one at a time, so peak residency
+  // stays near resident + workers); off-grid it must stay resident — a
+  // mid-grid capture would break the wake's timer re-arm precondition.
+  const bool realign = aligned_barrier(at);
+  const std::size_t base = residency_.resident_count();
+  run_on_workers([this, at, realign, &wake](std::size_t w) {
+    for (std::size_t i = w; i < homes_.size(); i += nthreads_) {
+      if (!wake[i]) continue;
+      const auto t0 = std::chrono::steady_clock::now();
+      build_home(i, &*wake_images_[i]);
+      {
+        Home& h = *homes_[i];
+        telemetry::ScopedMetricRegistry scope(h.registry);
+        h.scenario->loop().run_until(at);
+        update_gauges(h);
+      }
+      wake_ns_[i] = elapsed_ns(t0);
+      if (realign) hibernate_on_worker(i, /*capture_id=*/at);
+    }
+  });
+  for (std::size_t i = 0; i < homes_.size(); ++i) {
+    if (!wake[i]) continue;
+    wake_images_[i].reset();
+    residency_.on_resumed(i, at, wake_ns_[i]);
+    if (realign && hstage_[i]) {
+      (void)finish_hibernate(i, at);  // replaces the stored image + frozen
+    } else {
+      frozen_[i].reset();
+      store_.erase(i);
+    }
+  }
+  resident_peak_ = std::max(
+      resident_peak_,
+      realign ? std::min(homes_.size(), base + nthreads_)
+              : residency_.resident_count());
 }
 
 void LiveFleet::apply_mutation(Home& h, const Mutation& m) {
@@ -636,6 +946,8 @@ void LiveFleet::apply_mutation(Home& h, const Mutation& m) {
     case MutateKind::Resume:
     case MutateKind::Step:
     case MutateKind::Replay:
+    case MutateKind::Hibernate:
+    case MutateKind::Wake:
       return;  // fleet/server-level verbs; nothing to do per home
   }
 }
@@ -661,15 +973,22 @@ void LiveFleet::update_gauges(Home& h) {
 }
 
 std::map<std::string, double> LiveFleet::scalars(std::uint32_t home) const {
+  const auto home_scalars =
+      [this](std::size_t i) -> std::map<std::string, double> {
+    if (homes_[i] != nullptr) return homes_[i]->registry.scalars();
+    // Hibernated: the telemetry frozen at hibernation time stands in until
+    // the home pages back (refresh_telemetry() brings it current).
+    return frozen_[i] ? frozen_[i]->scalars : std::map<std::string, double>{};
+  };
   if (home != kAllHomes) {
     if (home >= homes_.size()) return {};
-    return homes_[home]->registry.scalars();
+    return home_scalars(home);
   }
   // Merge in home-id order: fixed accumulation order keeps the totals
   // bit-identical at any thread count.
   std::map<std::string, double> out;
-  for (const auto& h : homes_) {
-    for (const auto& [name, value] : h->registry.scalars()) {
+  for (std::size_t i = 0; i < homes_.size(); ++i) {
+    for (const auto& [name, value] : home_scalars(i)) {
       out[name] += value;
     }
   }
@@ -687,6 +1006,24 @@ std::map<std::string, double> LiveFleet::fingerprint() const {
 LiveHomeStatus LiveFleet::status(std::uint32_t home) const {
   LiveHomeStatus s;
   if (home >= homes_.size()) return s;
+  if (homes_[home] == nullptr) {
+    s.hibernated = true;
+    if (!frozen_[home]) return s;
+    const Frozen& f = *frozen_[home];
+    s.devices = f.device_count;
+    const auto gauge = [&f](const char* name) -> std::uint64_t {
+      const auto it = f.scalars.find(name);
+      return it != f.scalars.end() && it->second > 0
+                 ? static_cast<std::uint64_t>(it->second)
+                 : 0;
+    };
+    s.devices_bound = gauge("live.home.devices_bound");
+    s.flow_entries = gauge("live.home.flow_entries");
+    s.block_flows = gauge("live.home.block_flows");
+    s.block_drops = gauge("live.home.block_drops");
+    s.attack_sent = gauge("live.home.attack_sent");
+    return s;
+  }
   const Home& h = *homes_[home];
   s.devices = h.device_count;
   const auto gauge = [&h](const char* name) -> std::uint64_t {
@@ -704,6 +1041,12 @@ LiveHomeStatus LiveFleet::status(std::uint32_t home) const {
 std::string LiveFleet::device_mac(std::uint32_t home,
                                   const std::string& name) const {
   if (home >= homes_.size()) return {};
+  if (homes_[home] == nullptr) {
+    if (!frozen_[home]) return {};
+    const auto it = frozen_[home]->device_macs.find(name);
+    return it != frozen_[home]->device_macs.end() ? it->second
+                                                  : std::string{};
+  }
   for (auto& d : homes_[home]->scenario->devices()) {
     if (d.name == name) return d.host->mac().to_string();
   }
@@ -724,6 +1067,9 @@ Result<std::map<std::string, double>> LiveFleet::replay_fingerprint(
     return s.error();
   }
   replica.advance_to(until);
+  // Bring any home the replica's residency policy still has paged out
+  // current before fingerprinting.
+  replica.refresh_telemetry();
   return replica.fingerprint();
 }
 

@@ -27,13 +27,18 @@
 #pragma once
 
 #include <condition_variable>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "live/mutation.hpp"
+#include "residency/image_store.hpp"
+#include "residency/profile.hpp"
+#include "residency/residency.hpp"
 #include "snapshot/coordinator.hpp"
 #include "telemetry/metrics.hpp"
 #include "util/types.hpp"
@@ -70,6 +75,15 @@ struct LiveConfig {
   /// makes resumes behavioural instead of bit-exact — off by default.
   bool run_apps = false;
   LiveAttack attack;
+  /// Residency policy: cold homes hibernate to their snapshot images at
+  /// checkpoint-aligned barriers and page back on demand — next scheduled
+  /// event due, RPC mutation, subscription touch, or operator Wake verb
+  /// (docs/residency.md). Default: everything stays resident.
+  residency::ResidencyPolicy residency;
+  /// How long the DHCP server holds unclaimed offers. The default parks
+  /// offers past any run so flood leftovers never straddle a checkpoint;
+  /// tests shrink it to watch expiry sweeps fire across hibernation.
+  Duration dhcp_offer_hold = 3600 * kSecond;
 };
 
 /// A fleet-wide consistent capture: one image per home, all taken at the
@@ -92,6 +106,8 @@ struct LiveHomeStatus {
   std::size_t block_flows = 0;
   std::uint64_t block_drops = 0;
   std::uint64_t attack_sent = 0;
+  /// True when the home is paged out; gauges reflect its hibernation time.
+  bool hibernated = false;
 };
 
 class LiveFleet {
@@ -158,8 +174,31 @@ class LiveFleet {
 
   [[nodiscard]] LiveHomeStatus status(std::uint32_t home) const;
   /// MAC of a named device in a home ("" when unknown) — quarantine targets.
+  /// Served from the frozen device table while the home is hibernated.
   [[nodiscard]] std::string device_mac(std::uint32_t home,
                                        const std::string& name) const;
+
+  // -- Residency (docs/residency.md) ---------------------------------------
+  /// Records an external stimulus for `home` from any thread (operator
+  /// subscription, roam partner activity): the home is paged back in at the
+  /// next step() and its LRU recency refreshed.
+  void touch(std::uint32_t home);
+  /// Pages every hibernated home in on its owner worker, catches it up to
+  /// now() and refreshes its telemetry, so scalars()/fingerprint() reflect
+  /// the current barrier. When now() is on the checkpoint-aligned grid the
+  /// home re-hibernates right after the harvest (peak residency stays near
+  /// resident + workers); otherwise it stays resident. Call before
+  /// comparing fingerprints against an always-resident run.
+  void refresh_telemetry();
+  [[nodiscard]] const residency::ResidencyManager& residency() const {
+    return residency_;
+  }
+  [[nodiscard]] const residency::ImageStore& image_store() const {
+    return store_;
+  }
+  /// Highest resident-home count observed at any completed barrier (the
+  /// density bench's "fixed resident-memory budget" figure).
+  [[nodiscard]] std::size_t resident_peak() const { return resident_peak_; }
 
   /// Time-travel helper: resume `cp` on a fresh replica with `threads`
   /// workers, re-apply the log tail (ids > cp.mutation_id), advance to
@@ -171,6 +210,19 @@ class LiveFleet {
 
  private:
   struct Home;
+  /// What a hibernated home leaves behind for the operator plane: its last
+  /// telemetry snapshot and device table, served until the home pages back.
+  struct Frozen {
+    std::map<std::string, double> scalars;
+    std::map<std::string, std::string> device_macs;
+    std::size_t device_count = 0;
+  };
+  /// Worker -> driving-thread staging for one hibernation.
+  struct HibernateOut {
+    snapshot::SnapshotImage image;
+    Frozen frozen;
+    Timestamp next_wakeup = residency::ResidencyManager::kNever;
+  };
 
   void start_workers();
   /// Runs job(worker_index) on every worker and waits for all of them; the
@@ -181,6 +233,15 @@ class LiveFleet {
   void apply_mutation(Home& h, const Mutation& m);
   void update_gauges(Home& h);
   [[nodiscard]] bool checkpoint_pending_at(Timestamp barrier) const;
+  /// Owner-worker half of a hibernation: stamp FTAG, capture, freeze the
+  /// operator view, peek the next event, tear the stack down.
+  void hibernate_on_worker(std::size_t id, std::uint64_t capture_id);
+  /// Driving-thread half: store the image, update records. Returns false
+  /// when the worker produced nothing (home wasn't resident).
+  bool finish_hibernate(std::size_t id, Timestamp barrier);
+  /// Driving-thread record-keeping after a worker woke home `id`.
+  void finish_wake(std::size_t id, Timestamp barrier);
+  [[nodiscard]] bool aligned_barrier(Timestamp barrier) const;
 
   LiveConfig config_;
   std::size_t nthreads_ = 1;
@@ -188,6 +249,21 @@ class LiveFleet {
   Timestamp now_ = 0;
 
   std::vector<std::unique_ptr<Home>> homes_;
+
+  // Residency plane (docs/residency.md). store_/residency_ register their
+  // gauges in the fleet-level registry, never in a per-home one, so the
+  // determinism fingerprint (merged per-home scalars) stays untouched by
+  // residency scheduling.
+  std::shared_ptr<const residency::FleetProfile> profile_;
+  residency::ImageStore store_;
+  residency::ResidencyManager residency_;
+  std::vector<std::optional<Frozen>> frozen_;
+  std::vector<std::optional<HibernateOut>> hstage_;
+  std::vector<std::optional<snapshot::SnapshotImage>> wake_images_;
+  std::vector<std::uint64_t> wake_ns_;
+  std::mutex touch_mu_;
+  std::vector<std::uint32_t> touched_;
+  std::size_t resident_peak_ = 0;
 
   // Mutation plumbing (driving thread, except inbox_ which submit() guards).
   std::mutex inbox_mu_;

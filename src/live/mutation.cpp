@@ -14,6 +14,8 @@ const char* to_string(MutateKind kind) {
     case MutateKind::Resume: return "resume";
     case MutateKind::Step: return "step";
     case MutateKind::Replay: return "replay";
+    case MutateKind::Hibernate: return "hibernate";
+    case MutateKind::Wake: return "wake";
   }
   return "?";
 }
@@ -90,6 +92,20 @@ Mutation step(std::uint64_t barriers) {
   m.kind = MutateKind::Step;
   m.home = kAllHomes;
   m.arg0 = barriers;
+  return m;
+}
+
+Mutation hibernate_home(std::uint32_t home) {
+  Mutation m;
+  m.kind = MutateKind::Hibernate;
+  m.home = home;
+  return m;
+}
+
+Mutation wake_home(std::uint32_t home) {
+  Mutation m;
+  m.kind = MutateKind::Wake;
+  m.home = home;
   return m;
 }
 

@@ -54,6 +54,12 @@ struct Mutation {
 [[nodiscard]] Mutation pause();
 [[nodiscard]] Mutation resume_clock();
 [[nodiscard]] Mutation step(std::uint64_t barriers = 1);
+/// Force-evicts `home` (or every home, kAllHomes) to its snapshot image at
+/// the next checkpoint-aligned barrier (docs/residency.md).
+[[nodiscard]] Mutation hibernate_home(std::uint32_t home);
+/// Pages a hibernated home back in at the next barrier; a no-op (beyond
+/// refreshing residency recency) when the home is already resident.
+[[nodiscard]] Mutation wake_home(std::uint32_t home);
 
 /// Wire conversions (livectl and the LiveServer share these).
 [[nodiscard]] hwdb::rpc::MutateRequest to_request(const Mutation& m);

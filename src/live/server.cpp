@@ -81,6 +81,9 @@ hwdb::rpc::Response LiveServer::process(ClientAddress from,
           sub.every = std::max<std::uint32_t>(1, body.every);
           sub.max_queue = std::max<std::uint32_t>(1, body.max_queue);
           resp.sub_id = sub.id;
+          // An operator watching one home is an external stimulus: page it
+          // back in at the next barrier (docs/residency.md).
+          if (body.home != hwdb::rpc::kAllHomes) fleet_.touch(body.home);
           subs_.emplace(sub.id, std::move(sub));
           metrics_.subs.set(static_cast<std::int64_t>(subs_.size()));
         } else if constexpr (std::is_same_v<T, hwdb::rpc::UnsubscribeRequest>) {
@@ -111,6 +114,9 @@ hwdb::rpc::Response LiveServer::process(ClientAddress from,
                 resp.error = "live: no checkpoint to replay from";
                 break;
               }
+              // Hibernated homes serve stale frozen scalars; page them
+              // through so both fingerprints speak for the current barrier.
+              fleet_.refresh_telemetry();
               auto replayed = LiveFleet::replay_fingerprint(
                   fleet_.config(), fleet_.checkpoints().back(), fleet_.log(),
                   fleet_.now(), /*threads=*/1);

@@ -1,0 +1,190 @@
+#include "residency/image_store.hpp"
+
+#include <cstdio>
+
+#include "snapshot/codec.hpp"
+
+namespace hw::residency {
+namespace {
+
+/// Container framing: 20-byte image header, 12 bytes (tag/len/crc) per
+/// chunk. Framing is attributed to the first pooled copy of a chunk so an
+/// image with no shared chunks accounts for exactly its encoded size —
+/// deduped_bytes() is then zero unless pooling actually shared something.
+constexpr std::uint64_t kHeaderBytes = 20;
+constexpr std::uint64_t kChunkOverhead = 12;
+
+}  // namespace
+
+ImageStore::ImageStore(telemetry::MetricRegistry& metrics)
+    : ImageStore(Config{}, metrics) {}
+
+ImageStore::ImageStore(Config config, telemetry::MetricRegistry& metrics)
+    : config_(std::move(config)), metrics_(metrics) {}
+
+ImageStore::~ImageStore() = default;
+
+Status ImageStore::put(std::uint64_t key,
+                       const snapshot::SnapshotImage& image) {
+  auto reader = snapshot::Reader::parse(image.bytes);
+  if (!reader) return reader.error();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = entries_.find(key); it != entries_.end()) {
+    release_chunks_locked(it->second);
+    if (it->second.spilled) (void)std::remove(spill_path(key).c_str());
+    entries_.erase(it);
+  }
+
+  Entry entry;
+  entry.captured_at = image.captured_at;
+  entry.image_bytes = image.bytes.size();
+  reader.value().for_each_chunk([&](std::uint32_t tag, const Bytes& payload) {
+    const PoolKey pkey{tag, snapshot::crc32(payload),
+                       static_cast<std::uint32_t>(payload.size())};
+    auto& bucket = pool_[pkey];
+    PoolChunk* found = nullptr;
+    if (config_.dedup) {
+      for (auto& candidate : bucket) {
+        if (candidate->payload == payload) {
+          found = candidate.get();
+          break;
+        }
+      }
+    }
+    if (found == nullptr) {
+      bucket.push_back(std::make_unique<PoolChunk>());
+      found = bucket.back().get();
+      found->payload = payload;
+      stored_bytes_ += kChunkOverhead + payload.size();
+    }
+    ++found->refs;
+    entry.chunks.emplace_back(tag, found);
+  });
+  logical_bytes_ += entry.image_bytes;
+  stored_bytes_ += kHeaderBytes;
+  entries_.emplace(key, std::move(entry));
+  refresh_gauges_locked();
+  return Status::success();
+}
+
+Result<snapshot::SnapshotImage> ImageStore::get(std::uint64_t key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return make_error("residency: no image for key " + std::to_string(key));
+  }
+  if (it->second.spilled) {
+    return snapshot::SnapshotCoordinator::read_file(spill_path(key));
+  }
+  snapshot::Writer w;
+  for (const auto& [tag, chunk] : it->second.chunks) {
+    ByteWriter& c = w.begin_chunk(tag);
+    c.raw(chunk->payload);
+    w.end_chunk();
+  }
+  return snapshot::SnapshotImage{std::move(w).finish(),
+                                 it->second.captured_at};
+}
+
+bool ImageStore::contains(std::uint64_t key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.count(key) != 0;
+}
+
+void ImageStore::erase(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  release_chunks_locked(it->second);
+  if (it->second.spilled) (void)std::remove(spill_path(key).c_str());
+  entries_.erase(it);
+  refresh_gauges_locked();
+}
+
+Status ImageStore::spill(std::uint64_t key) {
+  if (config_.spill_dir.empty()) {
+    return make_error("residency: image store has no spill_dir");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return make_error("residency: no image for key " + std::to_string(key));
+  }
+  if (it->second.spilled) return Status::success();
+  snapshot::Writer w;
+  for (const auto& [tag, chunk] : it->second.chunks) {
+    ByteWriter& c = w.begin_chunk(tag);
+    c.raw(chunk->payload);
+    w.end_chunk();
+  }
+  const snapshot::SnapshotImage image{std::move(w).finish(),
+                                      it->second.captured_at};
+  if (auto s = snapshot::SnapshotCoordinator::write_file(spill_path(key),
+                                                         image);
+      !s.ok()) {
+    return s;
+  }
+  release_chunks_locked(it->second);
+  it->second.spilled = true;
+  refresh_gauges_locked();
+  return Status::success();
+}
+
+std::size_t ImageStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::uint64_t ImageStore::logical_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return logical_bytes_;
+}
+
+std::uint64_t ImageStore::stored_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stored_bytes_;
+}
+
+std::uint64_t ImageStore::deduped_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return logical_bytes_ > stored_bytes_ ? logical_bytes_ - stored_bytes_ : 0;
+}
+
+void ImageStore::release_chunks_locked(Entry& entry) {
+  if (entry.spilled) return;  // chunks already released at spill time
+  for (const auto& [tag, chunk] : entry.chunks) {
+    if (--chunk->refs > 0) continue;
+    const PoolKey pkey{tag, snapshot::crc32(chunk->payload),
+                       static_cast<std::uint32_t>(chunk->payload.size())};
+    auto pit = pool_.find(pkey);
+    if (pit == pool_.end()) continue;
+    stored_bytes_ -= kChunkOverhead + chunk->payload.size();
+    auto& bucket = pit->second;
+    for (auto bit = bucket.begin(); bit != bucket.end(); ++bit) {
+      if (bit->get() == chunk) {
+        bucket.erase(bit);
+        break;
+      }
+    }
+    if (bucket.empty()) pool_.erase(pit);
+  }
+  logical_bytes_ -= entry.image_bytes;
+  stored_bytes_ -= kHeaderBytes;
+  entry.chunks.clear();
+}
+
+void ImageStore::refresh_gauges_locked() {
+  metrics_.images.set(static_cast<std::int64_t>(entries_.size()));
+  metrics_.image_bytes.set(static_cast<std::int64_t>(stored_bytes_));
+  metrics_.image_bytes_logical.set(static_cast<std::int64_t>(logical_bytes_));
+  metrics_.image_bytes_deduped.set(static_cast<std::int64_t>(
+      logical_bytes_ > stored_bytes_ ? logical_bytes_ - stored_bytes_ : 0));
+  metrics_.fleet_image_bytes.set(static_cast<std::int64_t>(stored_bytes_));
+}
+
+std::string ImageStore::spill_path(std::uint64_t key) const {
+  return config_.spill_dir + "/img-" + std::to_string(key) + ".hwsn";
+}
+
+}  // namespace hw::residency

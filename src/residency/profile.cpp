@@ -1,0 +1,51 @@
+#include "residency/profile.hpp"
+
+#include "util/rand.hpp"
+
+namespace hw::residency {
+
+std::uint64_t FleetProfile::home_seed(std::uint64_t fleet_seed,
+                                      std::size_t home_id) {
+  std::uint64_t id_state = static_cast<std::uint64_t>(home_id);
+  std::uint64_t state = fleet_seed ^ splitmix64(id_state);
+  std::uint64_t seed = splitmix64(state);
+  // The scenario stack treats seed 0 as degenerate; nudge away from it.
+  return seed != 0 ? seed : 0x9e3779b97f4a7c15ULL;
+}
+
+std::vector<workload::DeviceSpec> FleetProfile::derive_devices(
+    std::uint64_t home_seed, std::size_t devices_per_home) {
+  std::vector<workload::DeviceSpec> specs;
+  specs.reserve(devices_per_home);
+  std::uint64_t draw = home_seed ^ 0xbf58476d1ce4e5b9ULL;
+  for (std::size_t i = 0; i < devices_per_home; ++i) {
+    workload::DeviceSpec spec;
+    spec.name = "dev" + std::to_string(i);
+    spec.kind = static_cast<workload::DeviceKind>(splitmix64(draw) % 6);
+    if (splitmix64(draw) % 2 == 0) {
+      spec.position =
+          sim::Position{static_cast<double>(1 + splitmix64(draw) % 14),
+                        static_cast<double>(1 + splitmix64(draw) % 14)};
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+std::shared_ptr<const FleetProfile> FleetProfile::build(
+    std::uint64_t fleet_seed, std::size_t homes,
+    std::size_t devices_per_home) {
+  auto profile = std::make_shared<FleetProfile>();
+  profile->fleet_seed = fleet_seed;
+  profile->devices_per_home = devices_per_home;
+  profile->home_seeds.reserve(homes);
+  profile->device_specs.reserve(homes);
+  for (std::size_t h = 0; h < homes; ++h) {
+    const std::uint64_t seed = home_seed(fleet_seed, h);
+    profile->home_seeds.push_back(seed);
+    profile->device_specs.push_back(derive_devices(seed, devices_per_home));
+  }
+  return profile;
+}
+
+}  // namespace hw::residency

@@ -1,0 +1,138 @@
+#include "residency/residency.hpp"
+
+#include <algorithm>
+
+namespace hw::residency {
+
+ResidencyManager::ResidencyManager(ResidencyPolicy policy,
+                                   telemetry::MetricRegistry& metrics)
+    : policy_(policy), metrics_(metrics) {}
+
+void ResidencyManager::reset(std::size_t homes, Timestamp now) {
+  records_.assign(homes, Record{});
+  for (auto& r : records_) r.last_active = now;
+  resident_ = homes;
+  refresh_gauges();
+}
+
+void ResidencyManager::touch(std::size_t id, Timestamp now) {
+  if (id >= records_.size()) return;
+  records_[id].last_active = std::max(records_[id].last_active, now);
+}
+
+void ResidencyManager::set_pinned(std::size_t id, bool pinned) {
+  if (id >= records_.size()) return;
+  records_[id].pinned = pinned;
+}
+
+HomeState ResidencyManager::state(std::size_t id) const {
+  return id < records_.size() ? records_[id].state : HomeState::Resident;
+}
+
+Timestamp ResidencyManager::next_wakeup(std::size_t id) const {
+  return id < records_.size() ? records_[id].next_wakeup : kNever;
+}
+
+Timestamp ResidencyManager::last_active(std::size_t id) const {
+  return id < records_.size() ? records_[id].last_active : 0;
+}
+
+std::vector<std::size_t> ResidencyManager::select_evictions(
+    Timestamp barrier) const {
+  std::vector<std::size_t> out;
+  if (policy_.max_resident == 0 && policy_.idle_watermark == 0) return out;
+
+  std::vector<std::uint8_t> evict(records_.size(), 0);
+  std::size_t live = resident_;
+
+  // Watermark pass: every unpinned resident home idle long enough goes.
+  if (policy_.idle_watermark > 0) {
+    for (std::size_t id = 0; id < records_.size(); ++id) {
+      const Record& r = records_[id];
+      if (r.state != HomeState::Resident || r.pinned) continue;
+      if (barrier >= r.last_active &&
+          barrier - r.last_active >= policy_.idle_watermark) {
+        evict[id] = 1;
+        --live;
+      }
+    }
+  }
+
+  // Cap pass: LRU by last_active among the survivors, smaller home id on
+  // ties — a stable order no matter what container produced the records.
+  if (policy_.max_resident > 0 && live > policy_.max_resident) {
+    std::vector<std::size_t> survivors;
+    for (std::size_t id = 0; id < records_.size(); ++id) {
+      const Record& r = records_[id];
+      if (r.state == HomeState::Resident && !r.pinned && !evict[id]) {
+        survivors.push_back(id);
+      }
+    }
+    std::sort(survivors.begin(), survivors.end(),
+              [this](std::size_t a, std::size_t b) {
+                if (records_[a].last_active != records_[b].last_active) {
+                  return records_[a].last_active < records_[b].last_active;
+                }
+                return a < b;
+              });
+    for (const std::size_t id : survivors) {
+      if (live <= policy_.max_resident) break;
+      evict[id] = 1;
+      --live;
+    }
+  }
+
+  for (std::size_t id = 0; id < records_.size(); ++id) {
+    if (evict[id]) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<std::size_t> ResidencyManager::due_wakeups(
+    Timestamp barrier) const {
+  std::vector<std::size_t> out;
+  if (!policy_.wake_on_due) return out;
+  for (std::size_t id = 0; id < records_.size(); ++id) {
+    const Record& r = records_[id];
+    if (r.state == HomeState::Hibernated && r.next_wakeup <= barrier) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+void ResidencyManager::on_hibernated(std::size_t id, Timestamp barrier,
+                                     Timestamp next_wakeup) {
+  if (id >= records_.size()) return;
+  Record& r = records_[id];
+  if (r.state == HomeState::Hibernated) return;
+  r.state = HomeState::Hibernated;
+  r.hibernated_at = barrier;
+  r.next_wakeup = next_wakeup;
+  --resident_;
+  metrics_.evictions.inc();
+  refresh_gauges();
+}
+
+void ResidencyManager::on_resumed(std::size_t id, Timestamp barrier,
+                                  std::uint64_t resume_wall_ns) {
+  if (id >= records_.size()) return;
+  Record& r = records_[id];
+  if (r.state == HomeState::Resident) return;
+  r.state = HomeState::Resident;
+  r.last_active = std::max(r.last_active, barrier);
+  r.next_wakeup = kNever;
+  ++resident_;
+  metrics_.resumes.inc();
+  metrics_.resume_ns.record(resume_wall_ns);
+  refresh_gauges();
+}
+
+void ResidencyManager::refresh_gauges() {
+  metrics_.resident.set(static_cast<std::int64_t>(resident_));
+  metrics_.hibernated.set(
+      static_cast<std::int64_t>(records_.size() - resident_));
+  metrics_.fleet_resident_homes.set(static_cast<std::int64_t>(resident_));
+}
+
+}  // namespace hw::residency

@@ -1,0 +1,132 @@
+// ResidencyManager: decouples "a home exists" from "a home is resident".
+// Tracks per-home residency state (Resident <-> Hibernated), each home's
+// last external stimulus (virtual time) and each hibernated home's
+// next-wakeup virtual time (the earliest event pending in its loop when it
+// was torn down — the contract that no timer is ever missed: either the
+// fleet wakes the home before that instant, or the wake's catch-up replay
+// fires the timer at exactly that virtual time).
+//
+// Eviction policy (docs/residency.md) is deterministic: at a decision
+// barrier, every unpinned resident home idle for at least `idle_watermark`
+// hibernates; then, while more than `max_resident` homes remain resident,
+// the least-recently-active unpinned survivor hibernates, ties broken by
+// smaller home id. The selection is a pure function of (policy, activity
+// record, barrier), so a fleet's residency schedule — and with it the
+// fingerprint of any run that logs its stimuli — is reproducible.
+//
+// The manager only decides and accounts; the owning fleet performs the
+// actual capture/teardown/rebuild and reports transitions back via
+// on_hibernated()/on_resumed().
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "util/types.hpp"
+
+namespace hw::residency {
+
+enum class HomeState : std::uint8_t { Resident, Hibernated };
+
+struct ResidencyPolicy {
+  /// Hard cap on simultaneously resident homes (0 = uncapped).
+  std::size_t max_resident = 0;
+  /// Hibernate homes idle at least this long (0 = never idle-evict).
+  Duration idle_watermark = 0;
+  /// Page a hibernated home back when its next scheduled event comes due.
+  bool wake_on_due = true;
+  /// Boot homes one-per-worker and hibernate each immediately after its
+  /// first aligned barrier, so peak residency during start stays at the
+  /// worker count instead of the fleet size (density benches).
+  bool hibernate_on_start = false;
+
+  [[nodiscard]] bool enabled() const {
+    return max_resident > 0 || idle_watermark > 0 || hibernate_on_start;
+  }
+};
+
+class ResidencyManager {
+ public:
+  /// next_wakeup value for a hibernated home with an empty event queue.
+  static constexpr Timestamp kNever = ~Timestamp{0};
+
+  explicit ResidencyManager(ResidencyPolicy policy,
+                            telemetry::MetricRegistry& metrics =
+                                telemetry::MetricRegistry::current());
+
+  [[nodiscard]] const ResidencyPolicy& policy() const { return policy_; }
+
+  /// (Re)initialises the record table: `homes` homes, all Resident, last
+  /// active at `now`.
+  void reset(std::size_t homes, Timestamp now);
+
+  /// Records an external stimulus for `id` (RPC mutation, operator
+  /// subscription, roam partner activity): refreshes LRU recency.
+  void touch(std::size_t id, Timestamp now);
+  /// Pinned homes are never auto-evicted (they still count toward the cap).
+  void set_pinned(std::size_t id, bool pinned);
+
+  [[nodiscard]] HomeState state(std::size_t id) const;
+  [[nodiscard]] bool hibernated(std::size_t id) const {
+    return state(id) == HomeState::Hibernated;
+  }
+  [[nodiscard]] std::size_t homes() const { return records_.size(); }
+  [[nodiscard]] std::size_t resident_count() const { return resident_; }
+  [[nodiscard]] std::size_t hibernated_count() const {
+    return records_.size() - resident_;
+  }
+  [[nodiscard]] Timestamp next_wakeup(std::size_t id) const;
+  [[nodiscard]] Timestamp last_active(std::size_t id) const;
+
+  /// Deterministic eviction decision at `barrier` (see file comment).
+  /// Returns home ids to hibernate, ascending.
+  [[nodiscard]] std::vector<std::size_t> select_evictions(
+      Timestamp barrier) const;
+  /// Hibernated homes whose next scheduled event is due by `barrier`
+  /// (empty when wake_on_due is off).
+  [[nodiscard]] std::vector<std::size_t> due_wakeups(Timestamp barrier) const;
+
+  /// The fleet hibernated `id` at `barrier`; its loop's earliest pending
+  /// event was at `next_wakeup` (kNever when idle).
+  void on_hibernated(std::size_t id, Timestamp barrier, Timestamp next_wakeup);
+  /// The fleet paged `id` back in at `barrier`, spending `resume_wall_ns`
+  /// wall-clock on restore + catch-up.
+  void on_resumed(std::size_t id, Timestamp barrier,
+                  std::uint64_t resume_wall_ns);
+
+ private:
+  struct Record {
+    HomeState state = HomeState::Resident;
+    Timestamp last_active = 0;
+    Timestamp hibernated_at = 0;
+    Timestamp next_wakeup = kNever;
+    bool pinned = false;
+  };
+
+  void refresh_gauges();
+
+  ResidencyPolicy policy_;
+  std::vector<Record> records_;
+  std::size_t resident_ = 0;
+
+  struct Instruments {
+    explicit Instruments(telemetry::MetricRegistry& reg)
+        : resident{reg, "residency.resident"},
+          hibernated{reg, "residency.hibernated"},
+          evictions{reg, "residency.evictions"},
+          resumes{reg, "residency.resumes"},
+          resume_ns{reg, "residency.resume_ns"},
+          fleet_resident_homes{reg, "fleet.resident_homes"} {}
+    telemetry::Gauge resident;
+    telemetry::Gauge hibernated;
+    telemetry::Counter evictions;
+    telemetry::Counter resumes;
+    telemetry::Histogram resume_ns;
+    /// Fleet-wide resident-memory accounting surface (exported through hwdb
+    /// Metrics next to fleet.image_bytes).
+    telemetry::Gauge fleet_resident_homes;
+  } metrics_;
+};
+
+}  // namespace hw::residency

@@ -40,6 +40,19 @@ bool EventLoop::pop_one(Timestamp deadline) {
   return false;
 }
 
+Timestamp EventLoop::next_event_at() {
+  check_owner();
+  while (!heap_.empty()) {
+    const Entry& top = heap_.top();
+    auto it = std::find(cancelled_ids_.begin(), cancelled_ids_.end(), top.id);
+    if (it == cancelled_ids_.end()) return top.when;
+    cancelled_ids_.erase(it);
+    --cancelled_;
+    heap_.pop();
+  }
+  return kNoEvent;
+}
+
 std::size_t EventLoop::run_until(Timestamp deadline) {
   check_owner();
   std::size_t count = 0;

@@ -53,6 +53,14 @@ class EventLoop {
   [[nodiscard]] std::size_t pending() const { return heap_.size() - cancelled_; }
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
+  /// next_event_at() when nothing is pending.
+  static constexpr Timestamp kNoEvent = ~Timestamp{0};
+  /// Virtual time of the earliest pending (non-cancelled) event without
+  /// running it — what a residency manager records as a hibernated home's
+  /// next-wakeup so no timer is ever missed. Discards lazily-cancelled heap
+  /// entries along the way, exactly as pop_one() would.
+  [[nodiscard]] Timestamp next_event_at();
+
   // -- Thread ownership (debug builds) -----------------------------------------
   // A loop — and with it an entire simulated home — belongs to exactly one
   // thread: the first thread that schedules or runs it. The fleet runner

@@ -157,4 +157,9 @@ std::vector<const Bytes*> Reader::find_all(std::uint32_t chunk_tag) const {
   return out;
 }
 
+void Reader::for_each_chunk(
+    const std::function<void(std::uint32_t, const Bytes&)>& fn) const {
+  for (const Chunk& c : chunks_) fn(c.tag, c.payload);
+}
+
 }  // namespace hw::snapshot

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <span>
 #include <string>
@@ -87,6 +88,12 @@ class Reader {
   [[nodiscard]] std::vector<const Bytes*> find_all(
       std::uint32_t chunk_tag) const;
   [[nodiscard]] std::size_t chunk_count() const { return chunks_.size(); }
+  /// Visits every chunk in image order. The encoding is canonical — header
+  /// fields are pure functions of the chunk sequence — so re-emitting the
+  /// visited chunks through a Writer reproduces the image bit-exactly
+  /// (what the residency ImageStore's content-addressed pool relies on).
+  void for_each_chunk(
+      const std::function<void(std::uint32_t, const Bytes&)>& fn) const;
 
  private:
   struct Chunk {

@@ -181,6 +181,29 @@ Status CaptureTagLayer::restore(const Reader& r) {
   return Status::success();
 }
 
+Result<Bytes> with_capture_tag(std::span<const std::uint8_t> image,
+                               const CaptureTag& tag) {
+  auto reader = Reader::parse(image);
+  if (!reader) return reader.error();
+  if (reader.value().find(kFtagTag) == nullptr) {
+    return make_error("snapshot: no FTAG chunk to restamp");
+  }
+  Writer w;
+  reader.value().for_each_chunk([&](std::uint32_t chunk_tag,
+                                    const Bytes& payload) {
+    ByteWriter& c = w.begin_chunk(chunk_tag);
+    if (chunk_tag == kFtagTag) {
+      c.u64(tag.capture_id);
+      c.u32(tag.member);
+      c.u32(tag.members);
+    } else {
+      c.raw(payload);
+    }
+    w.end_chunk();
+  });
+  return std::move(w).finish();
+}
+
 void TelemetryLayer::save(Writer& w) const {
   const auto scalars = registry_.scalars();
   ByteWriter& c = w.begin_chunk(kTeleTag);

@@ -156,6 +156,14 @@ class CaptureTagLayer final : public Snapshottable {
   bool restored_ = false;
 };
 
+/// Rewrites the FTAG chunk of an encoded image with `tag`, leaving every
+/// other chunk byte-identical (header CRCs recomputed). A fleet checkpoint
+/// of a mixed resident/hibernated fleet reuses a hibernated member's stored
+/// image, restamped into the new capture so the stitched-set validation
+/// still holds. Errors when the image does not parse or has no FTAG chunk.
+Result<Bytes> with_capture_tag(std::span<const std::uint8_t> image,
+                               const CaptureTag& tag);
+
 /// Snapshots a registry's non-histogram scalars ('TELE' chunk). Restore
 /// adjusts live instruments so each series sums to its captured value;
 /// histograms time wall-clock nanoseconds and are deliberately excluded.
